@@ -1,0 +1,53 @@
+//! P3 — LAV vs GAV under schema evolution (latency side).
+//!
+//! The robustness *quality* numbers (completeness/survival rates) are
+//! produced by `evaluation --exp p3`; this bench measures the latency cost
+//! LAV pays for its robustness: LAV rewriting + execution vs the frozen GAV
+//! unfolding, as release counts grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
+use mdm_relational::Executor;
+use mdm_wrappers::workload::{build, evolve_all, WorkloadConfig};
+
+fn lav_vs_gav(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p3_lav_vs_gav_latency");
+    for releases in [0usize, 2, 4, 8] {
+        let config = WorkloadConfig {
+            concepts: 2,
+            features_per_concept: 3,
+            versions_per_source: 1,
+            rows_per_wrapper: 100,
+            seed: 7,
+        };
+        let mut eco = build(&config);
+        evolve_all(&mut eco, releases, 1234);
+        let mdm = mdm_from_synthetic(&eco).expect("builds");
+        let walk = chain_walk(&eco, 2);
+        // LAV may legitimately refuse over-wide unions; skip those points.
+        if mdm.rewrite(&walk).is_err() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("lav_rewrite_execute", releases),
+            &(&mdm, &walk),
+            |b, (mdm, walk)| b.iter(|| std::hint::black_box(mdm.query(walk).expect("answers"))),
+        );
+        let gav = mdm.derive_gav().expect("derives");
+        group.bench_with_input(
+            BenchmarkId::new("gav_rewrite_execute", releases),
+            &(&mdm, &walk, &gav),
+            |b, (mdm, walk, gav)| {
+                b.iter(|| {
+                    let (_, plan, _) = gav.rewrite(mdm.ontology(), walk).expect("unfolds");
+                    std::hint::black_box(Executor::new(mdm.catalog()).run(&plan).expect("executes"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lav_vs_gav);
+criterion_main!(benches);

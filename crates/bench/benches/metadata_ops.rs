@@ -1,0 +1,79 @@
+//! P7 — metadata-management operations at scale.
+//!
+//! MDM is a *metadata* management system: registration, mapping suggestion
+//! and snapshot/restore are its hottest steward paths. This bench sizes
+//! them on ecosystems of growing wrapper counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdm_core::synthetic::mdm_from_synthetic;
+use mdm_core::Mdm;
+use mdm_wrappers::workload::{build, WorkloadConfig};
+
+fn config(versions: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        concepts: 4,
+        features_per_concept: 4,
+        versions_per_source: versions,
+        rows_per_wrapper: 1, // metadata benches don't need data
+        seed: 3,
+    }
+}
+
+fn registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p7_full_registration");
+    for versions in [1usize, 4, 8] {
+        let eco = build(&config(versions));
+        group.bench_with_input(BenchmarkId::from_parameter(versions * 4), &eco, |b, eco| {
+            b.iter(|| std::hint::black_box(mdm_from_synthetic(eco).expect("registers")))
+        });
+    }
+    group.finish();
+}
+
+fn snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p7_snapshot_restore");
+    for versions in [1usize, 4, 8] {
+        let eco = build(&config(versions));
+        let mdm = mdm_from_synthetic(&eco).expect("registers");
+        let document = mdm.snapshot();
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", versions * 4),
+            &mdm,
+            |b, mdm| b.iter(|| std::hint::black_box(mdm.snapshot())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("restore", versions * 4),
+            &document,
+            |b, document| {
+                b.iter(|| std::hint::black_box(Mdm::restore_metadata(document).expect("restores")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn suggestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p7_mapping_suggestion");
+    for versions in [1usize, 4, 8] {
+        let eco = build(&config(versions));
+        let mdm = mdm_from_synthetic(&eco).expect("registers");
+        let wrapper = mdm.ontology().wrappers()[0].local_name().to_string();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(versions * 4),
+            &(mdm, wrapper),
+            |b, (mdm, wrapper)| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        mdm_core::assist::suggest_mapping(mdm.ontology(), wrapper)
+                            .expect("suggests"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, registration, snapshot_restore, suggestion);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! P1/P2 — query-rewriting latency.
+//!
+//! P1: rewriting time vs. the number of coexisting wrapper versions of one
+//!     source (the UCQ width grows linearly with versions).
+//! P2: rewriting time vs. walk size (concepts in a chain, one version each).
+//!
+//! The demo paper reports no numbers; these benches characterise the
+//! algorithm the paper demonstrates. Expected shape: near-linear in the
+//! union width for P1, low-polynomial in walk size for P2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdm_bench::{chain_system, versions_system};
+
+fn p1_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_rewrite_vs_versions");
+    for versions in [1usize, 2, 4, 8, 16, 32, 64] {
+        let system = versions_system(versions, 5);
+        // Sanity: the rewriting really widens with versions.
+        let rewriting = system.mdm.rewrite(&system.walk).expect("rewrites");
+        assert_eq!(rewriting.branch_count(), versions);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(versions),
+            &system,
+            |b, system| {
+                b.iter(|| std::hint::black_box(system.mdm.rewrite(&system.walk).expect("rewrites")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn p2_walk_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_rewrite_vs_walk_size");
+    for concepts in [1usize, 2, 4, 8, 12, 16] {
+        let system = chain_system(concepts, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(concepts),
+            &system,
+            |b, system| {
+                b.iter(|| std::hint::black_box(system.mdm.rewrite(&system.walk).expect("rewrites")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, p1_versions, p2_walk_size);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! P5 — SPARQL BGP matching vs. graph size.
+//!
+//! MDM's metadata introspection (mapping discovery, UI views) runs SPARQL
+//! over the BDI ontology itself; this bench sizes that path. The global
+//! graph is synthesised as `n` concepts × 5 features; the query is a
+//! two-pattern join shaped like the ones `mdm-core` issues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdm_rdf::{Dataset, Graph, Term};
+
+fn metadata_graph(concepts: usize) -> Dataset {
+    let mut graph = Graph::new();
+    let rdf_type = mdm_rdf::vocab::rdf::TYPE.term();
+    let concept_class = mdm_rdf::vocab::bdi::CONCEPT.term();
+    let has_feature = mdm_rdf::vocab::bdi::HAS_FEATURE.term();
+    for c in 0..concepts {
+        let concept = Term::iri(format!("http://e.x/C{c}"));
+        graph.insert((concept.clone(), rdf_type.clone(), concept_class.clone()));
+        for f in 0..5 {
+            let feature = Term::iri(format!("http://e.x/C{c}/f{f}"));
+            graph.insert((concept.clone(), has_feature.clone(), feature));
+        }
+    }
+    let mut dataset = Dataset::new();
+    dataset.default_graph_mut().extend_from(&graph);
+    dataset
+}
+
+const QUERY: &str = "SELECT ?c ?f WHERE { ?c a G:Concept . ?c G:hasFeature ?f . }";
+
+fn p5_bgp_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p5_sparql_bgp_vs_graph_size");
+    for concepts in [20usize, 200, 2_000] {
+        let dataset = metadata_graph(concepts);
+        // Sanity: result set has concepts × 5 rows.
+        let results = mdm_sparql::execute(QUERY, &dataset).expect("evaluates");
+        assert_eq!(results.len(), concepts * 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(concepts * 6), // ≈ triples
+            &dataset,
+            |b, dataset| {
+                b.iter(|| std::hint::black_box(mdm_sparql::execute(QUERY, dataset).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn p5_parse_only(c: &mut Criterion) {
+    c.bench_function("p5_sparql_parse", |b| {
+        b.iter(|| std::hint::black_box(mdm_sparql::parse_query(QUERY).unwrap()))
+    });
+}
+
+criterion_group!(benches, p5_bgp_matching, p5_parse_only);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Shared helpers for the MDM benchmark harness.
+//!
+//! Each bench (P1–P6 in DESIGN.md) needs configured systems of controlled
+//! shape; these builders centralise that so the Criterion benches and the
+//! `evaluation` binary agree on workloads.
+
+use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
+use mdm_core::{Mdm, Walk};
+use mdm_wrappers::workload::{build, WorkloadConfig};
+
+/// A configured system plus the walk the experiment poses.
+pub struct BenchSystem {
+    pub mdm: Mdm,
+    pub walk: Walk,
+    pub label: String,
+}
+
+/// P1: one concept, `versions` wrapper versions — UCQ width scales with the
+/// number of coexisting schema versions.
+pub fn versions_system(versions: usize, rows: usize) -> BenchSystem {
+    let config = WorkloadConfig {
+        concepts: 1,
+        features_per_concept: 3,
+        versions_per_source: versions,
+        rows_per_wrapper: rows,
+        seed: 42,
+    };
+    let eco = build(&config);
+    let mdm = mdm_from_synthetic(&eco).expect("synthetic system builds");
+    let walk = chain_walk(&eco, 1);
+    BenchSystem {
+        mdm,
+        walk,
+        label: format!("versions={versions}"),
+    }
+}
+
+/// P2: a chain of `concepts` single-version sources — rewriting cost scales
+/// with walk size.
+pub fn chain_system(concepts: usize, rows: usize) -> BenchSystem {
+    let config = WorkloadConfig {
+        concepts,
+        features_per_concept: 3,
+        versions_per_source: 1,
+        rows_per_wrapper: rows,
+        seed: 42,
+    };
+    let eco = build(&config);
+    let mdm = mdm_from_synthetic(&eco).expect("synthetic system builds");
+    let walk = chain_walk(&eco, concepts);
+    BenchSystem {
+        mdm,
+        walk,
+        label: format!("concepts={concepts}"),
+    }
+}
+
+/// A mixed system for ablations: `concepts` chain, `versions` per source.
+pub fn mixed_system(concepts: usize, versions: usize, rows: usize) -> BenchSystem {
+    let config = WorkloadConfig {
+        concepts,
+        features_per_concept: 3,
+        versions_per_source: versions,
+        rows_per_wrapper: rows,
+        seed: 42,
+    };
+    let eco = build(&config);
+    let mdm = mdm_from_synthetic(&eco).expect("synthetic system builds");
+    let walk = chain_walk(&eco, concepts);
+    BenchSystem {
+        mdm,
+        walk,
+        label: format!("c{concepts}v{versions}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_answerable_systems() {
+        for system in [
+            versions_system(2, 10),
+            chain_system(2, 10),
+            mixed_system(2, 2, 10),
+        ] {
+            let answer = system.mdm.query(&system.walk).expect(&system.label);
+            assert!(!answer.table.is_empty(), "{}", system.label);
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! # mdm-cli
+//!
+//! A command-line front-end for MDM, playing the role of the paper's
+//! Node.JS/D3 web interface: the steward inspects the graphs and mappings,
+//! the analyst poses walks (in the textual notation of
+//! [`mdm_core::walk_dsl`]) and sees the generated SPARQL, the relational
+//! algebra and the tabular result.
+//!
+//! The command interpreter is a pure function over [`Session`] state, so
+//! every command is unit-testable; `main.rs` is a thin REPL around it.
+
+use std::fmt::Write as _;
+
+use mdm_core::usecase;
+use mdm_core::walk_dsl;
+use mdm_core::Mdm;
+use mdm_wrappers::football::{self, FootballEcosystem};
+
+/// The interpreter state: the system plus the ecosystem backing it.
+pub struct Session {
+    pub mdm: Option<Mdm>,
+    pub ecosystem: Option<FootballEcosystem>,
+    /// Lines being accumulated for a multi-line `query`/`rewrite` command.
+    pending: Option<(PendingKind, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Query,
+    Rewrite,
+    Explain,
+    Trace,
+}
+
+/// The outcome of interpreting one line.
+pub enum Outcome {
+    /// Text to print.
+    Text(String),
+    /// The REPL should exit.
+    Quit,
+    /// The interpreter is collecting a multi-line walk; show this prompt.
+    NeedMore,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with no system loaded.
+    pub fn new() -> Self {
+        Session {
+            mdm: None,
+            ecosystem: None,
+            pending: None,
+        }
+    }
+
+    /// Interprets one input line.
+    pub fn interpret(&mut self, line: &str) -> Outcome {
+        // Multi-line walk collection mode: a lone '.' terminates.
+        if let Some((kind, mut text)) = self.pending.take() {
+            if line.trim() == "." {
+                return self.run_walk(kind, &text);
+            }
+            text.push_str(line);
+            text.push('\n');
+            self.pending = Some((kind, text));
+            return Outcome::NeedMore;
+        }
+
+        let mut parts = line.trim().splitn(2, ' ');
+        let command = parts.next().unwrap_or_default();
+        let argument = parts.next().unwrap_or("").trim();
+        match command {
+            "" => Outcome::Text(String::new()),
+            "help" => Outcome::Text(HELP.to_string()),
+            "quit" | "exit" => Outcome::Quit,
+            "setup" => self.setup(argument),
+            "evolve" => self.evolve(),
+            "show" => self.show(argument),
+            "sources" => self.sources(),
+            "wrappers" => self.wrappers(),
+            "query" => {
+                self.pending = Some((PendingKind::Query, String::new()));
+                Outcome::NeedMore
+            }
+            "rewrite" => {
+                self.pending = Some((PendingKind::Rewrite, String::new()));
+                Outcome::NeedMore
+            }
+            "explain" => {
+                self.pending = Some((PendingKind::Explain, String::new()));
+                Outcome::NeedMore
+            }
+            "trace" => {
+                self.pending = Some((PendingKind::Trace, String::new()));
+                Outcome::NeedMore
+            }
+            "suggest" => self.suggest(argument),
+            "status" => self.status(),
+            "snapshot" => self.snapshot(argument),
+            "restore" => self.restore(argument),
+            other => Outcome::Text(format!(
+                "unknown command '{other}' — type 'help' for the command list"
+            )),
+        }
+    }
+
+    fn require_mdm(&self) -> Result<&Mdm, String> {
+        self.mdm
+            .as_ref()
+            .ok_or_else(|| "no system loaded — run 'setup football' first".to_string())
+    }
+
+    fn setup(&mut self, what: &str) -> Outcome {
+        match what {
+            "football" | "" => {
+                let eco = football::build_default();
+                match usecase::football_mdm(&eco) {
+                    Ok(mdm) => {
+                        let wrappers = mdm.catalog().len();
+                        self.mdm = Some(mdm);
+                        self.ecosystem = Some(eco);
+                        Outcome::Text(format!(
+                            "football use case loaded: 4 sources, {wrappers} wrappers.\n\
+                             Try 'show global', then 'query' (finish the walk with a lone '.')."
+                        ))
+                    }
+                    Err(e) => Outcome::Text(format!("setup failed: {e}")),
+                }
+            }
+            other => Outcome::Text(format!("unknown scenario '{other}' (available: football)")),
+        }
+    }
+
+    fn evolve(&mut self) -> Outcome {
+        let Some(eco) = self.ecosystem.clone() else {
+            return Outcome::Text("no ecosystem loaded — run 'setup football' first".into());
+        };
+        let Some(mdm) = self.mdm.as_mut() else {
+            return Outcome::Text("no system loaded — run 'setup football' first".into());
+        };
+        match usecase::register_players_v2(mdm, &eco) {
+            Ok(()) => Outcome::Text(
+                "Players API v2 registered (breaking release): wrapper w3 + LAV mapping.\n\
+                 Re-run your query — it now spans both schema versions."
+                    .into(),
+            ),
+            Err(e) => Outcome::Text(format!("evolution step failed: {e}")),
+        }
+    }
+
+    fn show(&self, what: &str) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let text = match what {
+            "global" => mdm.render_global_graph(),
+            "source" => mdm.render_source_graph(),
+            "mappings" => mdm.render_mappings(),
+            "trig" => mdm.render_trig(),
+            other => format!("unknown view '{other}' (global | source | mappings | trig)"),
+        };
+        Outcome::Text(text)
+    }
+
+    fn sources(&self) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let mut out = String::new();
+        for source in mdm.ontology().data_sources() {
+            let wrappers = mdm.ontology().wrappers_of(&source);
+            writeln!(out, "{} ({} wrappers)", source.local_name(), wrappers.len()).unwrap();
+        }
+        Outcome::Text(out)
+    }
+
+    fn wrappers(&self) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let mut out = String::new();
+        for wrapper in mdm.ontology().wrappers() {
+            let attributes: Vec<String> = mdm
+                .ontology()
+                .attributes_of(&wrapper)
+                .iter()
+                .map(|a| mdm_core::BdiOntology::attribute_name(a).to_string())
+                .collect();
+            let version = mdm
+                .ontology()
+                .wrapper_version(&wrapper)
+                .map(|v| format!(" v{v}"))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "{}{version}({})",
+                wrapper.local_name(),
+                attributes.join(", ")
+            )
+            .unwrap();
+        }
+        Outcome::Text(out)
+    }
+
+    fn run_walk(&mut self, kind: PendingKind, text: &str) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let walk = match walk_dsl::parse_walk(text, mdm.ontology()) {
+            Ok(w) => w,
+            Err(e) => return Outcome::Text(format!("walk error: {e}")),
+        };
+        match kind {
+            PendingKind::Explain => match mdm.rewrite(&walk) {
+                Ok(rewriting) => Outcome::Text(rewriting.explain()),
+                Err(e) => Outcome::Text(format!("rewrite error: {e}")),
+            },
+            PendingKind::Rewrite => match mdm.rewrite(&walk) {
+                Ok(rewriting) => Outcome::Text(format!(
+                    "-- SPARQL --\n{}\n\n-- algebra ({} branches) --\n{}",
+                    rewriting.sparql,
+                    rewriting.branch_count(),
+                    rewriting.algebra()
+                )),
+                Err(e) => Outcome::Text(format!("rewrite error: {e}")),
+            },
+            PendingKind::Trace => match mdm.query_with_provenance(&walk) {
+                Ok(answer) => Outcome::Text(format!(
+                    "{}({} rows; provenance column names the producing branch)",
+                    answer.render(),
+                    answer.table.len()
+                )),
+                Err(e) => Outcome::Text(format!("query error: {e}")),
+            },
+            PendingKind::Query => match mdm.query(&walk) {
+                Ok(answer) => Outcome::Text(format!(
+                    "-- algebra ({} branches) --\n{}\n\n{}({} rows)",
+                    answer.rewriting.branch_count(),
+                    answer.rewriting.algebra(),
+                    answer.render(),
+                    answer.table.len()
+                )),
+                Err(e) => Outcome::Text(format!("query error: {e}")),
+            },
+        }
+    }
+
+    fn status(&self) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let report = mdm_core::stats::report(mdm.ontology());
+        Outcome::Text(report.render(mdm.ontology()))
+    }
+
+    fn suggest(&self, wrapper: &str) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        if wrapper.is_empty() {
+            return Outcome::Text("usage: suggest <wrapper-name>".into());
+        }
+        match mdm_core::assist::suggest_mapping(mdm.ontology(), wrapper) {
+            Ok(draft) => {
+                let mut out = String::new();
+                writeln!(out, "mapping suggestions for '{wrapper}':").unwrap();
+                for s in &draft.accepted {
+                    writeln!(
+                        out,
+                        "    {} → {}   [{:?}] {}",
+                        s.attribute,
+                        mdm.ontology().compact(&s.feature),
+                        s.confidence,
+                        s.rationale
+                    )
+                    .unwrap();
+                }
+                for a in &draft.unmatched {
+                    writeln!(out, "    {a} → (no candidate)").unwrap();
+                }
+                for gap in &draft.identifier_gaps {
+                    writeln!(
+                        out,
+                        "    WARNING: identifier of {} is not mapped",
+                        mdm.ontology().compact(gap)
+                    )
+                    .unwrap();
+                }
+                if draft.is_applicable() {
+                    writeln!(out, "draft is applicable (review, then apply via the API)").unwrap();
+                }
+                Outcome::Text(out)
+            }
+            Err(e) => Outcome::Text(format!("suggestion failed: {e}")),
+        }
+    }
+
+    fn snapshot(&self, path: &str) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        if path.is_empty() {
+            return Outcome::Text(mdm.snapshot());
+        }
+        match std::fs::write(path, mdm.snapshot()) {
+            Ok(()) => Outcome::Text(format!("metadata snapshot written to {path}")),
+            Err(e) => Outcome::Text(format!("cannot write {path}: {e}")),
+        }
+    }
+
+    fn restore(&mut self, path: &str) -> Outcome {
+        if path.is_empty() {
+            return Outcome::Text("usage: restore <file>".into());
+        }
+        let document = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => return Outcome::Text(format!("cannot read {path}: {e}")),
+        };
+        match Mdm::restore_metadata(&document) {
+            Ok(mdm) => {
+                self.mdm = Some(mdm);
+                self.ecosystem = None;
+                Outcome::Text(format!(
+                    "metadata restored from {path} (wrappers must be re-registered to execute queries)"
+                ))
+            }
+            Err(e) => Outcome::Text(format!("restore failed: {e}")),
+        }
+    }
+}
+
+const HELP: &str = "\
+MDM — Metadata Management System (EDBT 2018 reproduction)
+
+  setup football     load the motivational use case (4 APIs, wrappers, mappings)
+  evolve             register the breaking Players API v2 release (the §3 scenario)
+  show global        the global graph (Figure 5)
+  show source        the source graph (Figure 6)
+  show mappings      the LAV mappings (Figure 7)
+  show trig          the whole metadata state as TriG
+  sources            list registered data sources
+  wrappers           list registered wrappers with signatures
+  rewrite            enter a walk, finish with '.', show SPARQL + algebra (Figure 8)
+  explain            enter a walk, finish with '.', narrate the rewriting derivation
+  query              enter a walk, finish with '.', execute it (Table 1 style)
+  trace              like query, plus a provenance column (which branch/version)
+  suggest <wrapper>  semi-automatic mapping suggestions for an unmapped wrapper
+  status             governance dashboard (coverage, versions, unmapped wrappers)
+  snapshot [file]    dump the metadata snapshot (to stdout or a file)
+  restore <file>     load a metadata snapshot
+  quit               leave
+
+Walk notation (one line per element, '#' comments):
+  ex:Player { ex:playerName, ex:height }
+  sc:SportsTeam { ex:teamName }
+  ex:Player -ex:hasTeam-> sc:SportsTeam
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(outcome: Outcome) -> String {
+        match outcome {
+            Outcome::Text(t) => t,
+            Outcome::Quit => "<quit>".to_string(),
+            Outcome::NeedMore => "<more>".to_string(),
+        }
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut session = Session::new();
+        assert!(text(session.interpret("help")).contains("setup football"));
+        assert!(text(session.interpret("frobnicate")).contains("unknown command"));
+        assert!(matches!(session.interpret("quit"), Outcome::Quit));
+    }
+
+    #[test]
+    fn commands_require_a_loaded_system() {
+        let mut session = Session::new();
+        assert!(text(session.interpret("show global")).contains("no system loaded"));
+        assert!(text(session.interpret("sources")).contains("no system loaded"));
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut session = Session::new();
+        assert!(text(session.interpret("setup football")).contains("loaded"));
+        assert!(text(session.interpret("show global")).contains("concept ex:Player"));
+        assert!(text(session.interpret("sources")).contains("PlayersAPI"));
+        assert!(text(session.interpret("wrappers")).contains("w1 v1(id, pName"));
+
+        // Pose the Figure 8 walk interactively.
+        assert!(matches!(session.interpret("query"), Outcome::NeedMore));
+        assert!(matches!(
+            session.interpret("sc:SportsTeam { ex:teamName }"),
+            Outcome::NeedMore
+        ));
+        assert!(matches!(
+            session.interpret("ex:Player { ex:playerName }"),
+            Outcome::NeedMore
+        ));
+        assert!(matches!(
+            session.interpret("ex:Player -ex:hasTeam-> sc:SportsTeam"),
+            Outcome::NeedMore
+        ));
+        let result = text(session.interpret("."));
+        assert!(result.contains("Lionel Messi"), "{result}");
+        assert!(result.contains("⋈"), "{result}");
+
+        // Evolution scenario through the CLI.
+        assert!(text(session.interpret("evolve")).contains("w3"));
+        session.interpret("query");
+        session.interpret("sc:SportsTeam { ex:teamName }");
+        session.interpret("ex:Player { ex:playerName }");
+        session.interpret("ex:Player -ex:hasTeam-> sc:SportsTeam");
+        let evolved = text(session.interpret("."));
+        assert!(evolved.contains("Zlatan Ibrahimovic"), "{evolved}");
+    }
+
+    #[test]
+    fn explain_and_suggest_commands() {
+        let mut session = Session::new();
+        session.interpret("setup football");
+        session.interpret("explain");
+        session.interpret("ex:Player { ex:playerName }");
+        let explanation = text(session.interpret("."));
+        assert!(explanation.contains("phase (a)"), "{explanation}");
+        assert!(explanation.contains("scans w1"), "{explanation}");
+        // suggest on an unknown wrapper reports the error inline.
+        let missing = text(session.interpret("suggest ghost"));
+        assert!(missing.contains("not registered"), "{missing}");
+        assert!(text(session.interpret("suggest")).contains("usage"));
+        // status shows the dashboard.
+        let status = text(session.interpret("status"));
+        assert!(status.contains("ECOSYSTEM"), "{status}");
+        assert!(status.contains("PlayersAPI"), "{status}");
+    }
+
+    #[test]
+    fn rewrite_shows_artifacts_without_executing() {
+        let mut session = Session::new();
+        session.interpret("setup football");
+        session.interpret("rewrite");
+        session.interpret("ex:Player { ex:playerName }");
+        let shown = text(session.interpret("."));
+        assert!(shown.contains("SELECT"));
+        assert!(shown.contains("π["));
+    }
+
+    #[test]
+    fn walk_errors_are_reported_inline() {
+        let mut session = Session::new();
+        session.interpret("setup football");
+        session.interpret("query");
+        session.interpret("nope:Concept { }");
+        let err = text(session.interpret("."));
+        assert!(err.contains("walk error"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_restore_via_files() {
+        let dir = std::env::temp_dir().join("mdm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.trig");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut session = Session::new();
+        session.interpret("setup football");
+        assert!(text(session.interpret(&format!("snapshot {path_str}"))).contains("written"));
+        let mut fresh = Session::new();
+        assert!(text(fresh.interpret(&format!("restore {path_str}"))).contains("restored"));
+        assert!(text(fresh.interpret("show global")).contains("concept ex:Player"));
+    }
+}

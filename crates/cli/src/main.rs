@@ -1,0 +1,40 @@
+//! The `mdm` REPL: a thin stdin loop around [`mdm_cli::Session`].
+//!
+//! Run with `cargo run -p mdm-cli` and type `help`. A script can be piped:
+//!
+//! ```sh
+//! printf 'setup football\nshow global\nquit\n' | cargo run -p mdm-cli
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mdm_cli::{Outcome, Session};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut session = Session::new();
+    println!("MDM — Metadata Management System (type 'help')");
+    let mut prompt = "mdm> ";
+    print!("{prompt}");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match session.interpret(&line) {
+            Outcome::Text(text) => {
+                if !text.is_empty() {
+                    println!("{text}");
+                }
+                prompt = "mdm> ";
+            }
+            Outcome::NeedMore => {
+                prompt = "  ...> ";
+            }
+            Outcome::Quit => return,
+        }
+        print!("{prompt}");
+        let _ = std::io::stdout().flush();
+    }
+}

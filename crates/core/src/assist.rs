@@ -1,0 +1,403 @@
+//! Steward assistance: semi-automatic mapping suggestions.
+//!
+//! The paper promises that "data stewards are provided with mechanisms to
+//! **semi-automatically** integrate new sources and accommodate schema
+//! evolution into a global schema" (§1) and that MDM "aids on the process of
+//! linking such new schemata to the global graph". This module implements
+//! that aid: given a freshly registered wrapper, it proposes `sameAs` links
+//! from its attributes to global features, ranked by evidence:
+//!
+//! 1. **Reuse** — the attribute IRI is shared with an earlier *mapped*
+//!    wrapper of the same source (the §2.2 attribute-reuse mechanism); the
+//!    previous mapping carries over directly. Strongest evidence: this is
+//!    exactly how a steward accommodates a new version whose fields partly
+//!    survive.
+//! 2. **Exact name match** — the attribute name equals a feature's local
+//!    name under normalisation (case and separator folding: `team_id` ≈
+//!    `teamId` ≈ `TeamID`).
+//! 3. **Fuzzy name match** — high normalised-edit-distance similarity
+//!    (catches `pName` ~ `playerName`, `fullName` ~ `playerName` misses are
+//!    intentional).
+//!
+//! The result is a ranked suggestion list plus a drafted
+//! [`MappingBuilder`]; the steward reviews, completes the contour
+//! (relations), and applies. Gaps (unmapped identifiers) are reported
+//! explicitly.
+
+use mdm_rdf::term::Iri;
+
+use crate::error::MdmError;
+use crate::mapping::MappingBuilder;
+use crate::ontology::BdiOntology;
+
+/// How strongly a suggestion is supported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    Low,
+    Medium,
+    High,
+}
+
+/// One suggested `sameAs` link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The wrapper attribute name.
+    pub attribute: String,
+    /// The proposed target feature.
+    pub feature: Iri,
+    pub confidence: Confidence,
+    /// Human-readable evidence ("reused from w1", "name match", …).
+    pub rationale: String,
+}
+
+/// The full assistance output for one wrapper.
+#[derive(Clone, Debug)]
+pub struct MappingDraft {
+    pub wrapper: String,
+    /// Best suggestion per attribute (attributes with no candidate omitted).
+    pub accepted: Vec<Suggestion>,
+    /// Lower-ranked alternatives the steward may prefer.
+    pub alternatives: Vec<Suggestion>,
+    /// Attributes with no candidate at all.
+    pub unmatched: Vec<String>,
+    /// Covered concepts whose identifier no accepted suggestion maps — the
+    /// draft cannot be applied until the steward resolves these.
+    pub identifier_gaps: Vec<Iri>,
+}
+
+impl MappingDraft {
+    /// Materialises the draft as a [`MappingBuilder`] (concepts and features
+    /// from accepted suggestions; relations from the global graph between
+    /// covered concepts).
+    pub fn to_builder(&self, ontology: &BdiOntology) -> MappingBuilder {
+        let mut builder = MappingBuilder::for_wrapper(&self.wrapper);
+        let mut covered: Vec<Iri> = Vec::new();
+        for suggestion in &self.accepted {
+            if let Some(owner) = ontology.concept_of_feature(&suggestion.feature) {
+                if !covered.contains(&owner) {
+                    covered.push(owner.clone());
+                    builder = builder.cover_concept(&owner);
+                }
+            }
+            builder = builder
+                .cover_feature(&suggestion.feature)
+                .same_as(&suggestion.attribute, &suggestion.feature);
+        }
+        // Relations between covered concepts join the contour so it stays
+        // connected (the steward can prune).
+        for (from, property, to) in ontology.relations() {
+            if covered.contains(&from) && covered.contains(&to) {
+                builder = builder.cover_relation(&from, &property, &to);
+            }
+        }
+        builder
+    }
+
+    /// True when the draft is complete enough to apply (no gaps).
+    pub fn is_applicable(&self) -> bool {
+        self.identifier_gaps.is_empty() && !self.accepted.is_empty()
+    }
+}
+
+/// Produces a mapping draft for a registered (but unmapped) wrapper.
+pub fn suggest_mapping(
+    ontology: &BdiOntology,
+    wrapper_name: &str,
+) -> Result<MappingDraft, MdmError> {
+    let wrapper = BdiOntology::wrapper_iri(wrapper_name);
+    if !ontology.wrappers().contains(&wrapper) {
+        return Err(MdmError::Mapping(format!(
+            "wrapper '{wrapper_name}' is not registered"
+        )));
+    }
+    let attributes = ontology.attributes_of(&wrapper);
+
+    // Candidate features of the whole global graph.
+    let features: Vec<Iri> = ontology
+        .concepts()
+        .iter()
+        .flat_map(|c| ontology.features_of(c))
+        .collect();
+
+    let mut accepted = Vec::new();
+    let mut alternatives = Vec::new();
+    let mut unmatched = Vec::new();
+    for attribute in &attributes {
+        let attribute_name = BdiOntology::attribute_name(attribute).to_string();
+        let mut candidates: Vec<Suggestion> = Vec::new();
+
+        // Evidence 1: the attribute node is already mapped (shared with a
+        // previous wrapper of this source, §2.2 reuse).
+        if let Some(feature) = ontology.feature_of_attribute(attribute) {
+            candidates.push(Suggestion {
+                attribute: attribute_name.clone(),
+                feature,
+                confidence: Confidence::High,
+                rationale: "attribute reused from a previously mapped wrapper of this source"
+                    .to_string(),
+            });
+        }
+
+        // Evidence 2/3: name matching.
+        let normalized = normalize(&attribute_name);
+        for feature in &features {
+            let feature_local = normalize(feature.local_name());
+            if feature_local == normalized {
+                candidates.push(Suggestion {
+                    attribute: attribute_name.clone(),
+                    feature: feature.clone(),
+                    confidence: Confidence::High,
+                    rationale: format!(
+                        "name match '{attribute_name}' = '{}'",
+                        feature.local_name()
+                    ),
+                });
+            } else {
+                let score = similarity(&normalized, &feature_local);
+                if score >= 0.72 {
+                    candidates.push(Suggestion {
+                        attribute: attribute_name.clone(),
+                        feature: feature.clone(),
+                        confidence: if score >= 0.85 {
+                            Confidence::Medium
+                        } else {
+                            Confidence::Low
+                        },
+                        rationale: format!(
+                            "fuzzy match '{attribute_name}' ~ '{}' ({score:.2})",
+                            feature.local_name()
+                        ),
+                    });
+                }
+            }
+        }
+
+        candidates.sort_by(|a, b| {
+            b.confidence
+                .cmp(&a.confidence)
+                .then_with(|| a.feature.cmp(&b.feature))
+        });
+        candidates.dedup_by(|a, b| a.feature == b.feature);
+        match candidates.split_first() {
+            Some((best, rest)) => {
+                accepted.push(best.clone());
+                alternatives.extend(rest.iter().cloned());
+            }
+            None => unmatched.push(attribute_name),
+        }
+    }
+
+    // Identifier gaps over the concepts the accepted suggestions cover.
+    let covered: Vec<Iri> = accepted
+        .iter()
+        .filter_map(|s| ontology.concept_of_feature(&s.feature))
+        .collect();
+    let mut identifier_gaps = Vec::new();
+    for concept in covered {
+        match ontology.identifier_of(&concept) {
+            Some(id) => {
+                if !accepted.iter().any(|s| s.feature == id) && !identifier_gaps.contains(&concept)
+                {
+                    identifier_gaps.push(concept);
+                }
+            }
+            None => identifier_gaps.push(concept),
+        }
+    }
+    identifier_gaps.sort();
+    identifier_gaps.dedup();
+
+    Ok(MappingDraft {
+        wrapper: wrapper_name.to_string(),
+        accepted,
+        alternatives,
+        unmatched,
+        identifier_gaps,
+    })
+}
+
+/// Case/separator-folding normalisation: `team_id` → `teamid`.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Normalised similarity in [0, 1]: 1 − levenshtein/max_len, with a bonus
+/// for containment (`pname` in `playername`).
+fn similarity(a: &str, b: &str) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.contains(short) && short.len() >= 3 {
+        return 0.8 + 0.2 * short.len() as f64 / long.len() as f64;
+    }
+    // Abbreviation pattern: the short name is an ordered subsequence of the
+    // long one sharing its first character (`pname` ⊴ `playername`).
+    if short.len() >= 3
+        && short.chars().next() == long.chars().next()
+        && is_subsequence(short, long)
+    {
+        return 0.75 + 0.1 * short.len() as f64 / long.len() as f64;
+    }
+    let distance = levenshtein(a, b) as f64;
+    let max_len = a.len().max(b.len()) as f64;
+    1.0 - distance / max_len
+}
+
+/// True when `needle`'s characters appear in `haystack` in order.
+fn is_subsequence(needle: &str, haystack: &str) -> bool {
+    let mut chars = haystack.chars();
+    needle.chars().all(|n| chars.any(|h| h == n))
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitution.min(previous[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release::register_wrapper;
+    use crate::testkit::{ex, figure7_ontology, strings};
+
+    #[test]
+    fn normalisation_and_similarity() {
+        assert_eq!(normalize("team_id"), "teamid");
+        assert_eq!(normalize("TeamID"), "teamid");
+        assert_eq!(similarity("teamid", "teamid"), 1.0);
+        assert!(similarity("pname", "playername") > 0.72);
+        // "weight"/"height" are 1 edit apart (5/6 ≈ 0.83): a documented
+        // near-miss the Medium confidence tier absorbs.
+        assert!(similarity("weight", "height") > 0.72);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+
+    #[test]
+    fn evolution_suggestions_come_from_reuse() {
+        // Register the v2 wrapper (shares id/pName/teamId with w1 via
+        // attribute reuse) and ask for suggestions.
+        let mut o = figure7_ontology();
+        register_wrapper(
+            &mut o,
+            "PlayersAPI",
+            "w3",
+            2,
+            &strings(&[
+                "id",
+                "pName",
+                "height",
+                "weight",
+                "foot",
+                "teamId",
+                "nationality",
+            ]),
+        )
+        .unwrap();
+        let draft = suggest_mapping(&o, "w3").unwrap();
+        // Every attribute shared with w1 resolves by reuse at High.
+        for (attribute, feature) in [
+            ("id", ex("playerId")),
+            ("pName", ex("playerName")),
+            ("height", ex("height")),
+            ("teamId", ex("teamId")),
+        ] {
+            let s = draft
+                .accepted
+                .iter()
+                .find(|s| s.attribute == attribute)
+                .unwrap_or_else(|| panic!("no suggestion for {attribute}"));
+            assert_eq!(s.feature, feature, "{attribute}");
+            assert_eq!(s.confidence, Confidence::High, "{attribute}");
+            assert!(
+                s.rationale.contains("reused"),
+                "{attribute}: {}",
+                s.rationale
+            );
+        }
+        // 'nationality' is new: no reuse, no feature named like it → gap.
+        assert!(draft.unmatched.contains(&"nationality".to_string()));
+        // Identifiers covered → applicable once the steward handles
+        // unmatched attributes (they are optional).
+        assert!(draft.identifier_gaps.is_empty());
+    }
+
+    #[test]
+    fn fresh_source_suggestions_come_from_names() {
+        let mut o = figure7_ontology();
+        register_wrapper(
+            &mut o,
+            "TeamsAPI",
+            "w2b",
+            2,
+            &strings(&["teamId", "teamName", "short_name"]),
+        )
+        .unwrap();
+        let draft = suggest_mapping(&o, "w2b").unwrap();
+        let by_attr = |name: &str| draft.accepted.iter().find(|s| s.attribute == name).cloned();
+        assert_eq!(by_attr("teamId").unwrap().feature, ex("teamId"));
+        assert_eq!(by_attr("teamName").unwrap().feature, ex("teamName"));
+        // Separator folding: short_name matches shortName exactly.
+        let short = by_attr("short_name").unwrap();
+        assert_eq!(short.feature, ex("shortName"));
+        assert_eq!(short.confidence, Confidence::High);
+    }
+
+    #[test]
+    fn draft_builder_applies_when_complete() {
+        let mut o = figure7_ontology();
+        register_wrapper(
+            &mut o,
+            "TeamsAPI",
+            "w2c",
+            3,
+            &strings(&["teamId", "teamName", "shortName"]),
+        )
+        .unwrap();
+        let draft = suggest_mapping(&o, "w2c").unwrap();
+        assert!(draft.is_applicable(), "gaps: {:?}", draft.identifier_gaps);
+        let builder = draft.to_builder(&o);
+        builder.apply(&mut o).unwrap();
+        assert!(o
+            .mappings()
+            .named_graph(&BdiOntology::wrapper_iri("w2c"))
+            .is_some());
+    }
+
+    #[test]
+    fn identifier_gap_reported() {
+        let mut o = figure7_ontology();
+        // A wrapper exposing only a non-key feature of SportsTeam.
+        register_wrapper(&mut o, "TeamsAPI", "wnames", 4, &strings(&["teamName"])).unwrap();
+        let draft = suggest_mapping(&o, "wnames").unwrap();
+        assert!(!draft.is_applicable());
+        assert_eq!(
+            draft.identifier_gaps,
+            vec![mdm_rdf::vocab::schema::SPORTS_TEAM.iri()]
+        );
+    }
+
+    #[test]
+    fn unknown_wrapper_rejected() {
+        let o = figure7_ontology();
+        assert!(suggest_mapping(&o, "ghost").is_err());
+    }
+}

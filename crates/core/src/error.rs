@@ -1,0 +1,74 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors raised across the MDM metadata lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MdmError {
+    /// Ontology construction or lookup failed (unknown concept, duplicate
+    /// feature, feature owned by two concepts, missing identifier, …).
+    Ontology(String),
+    /// Source/wrapper registration failed.
+    Registration(String),
+    /// A LAV mapping is invalid (not a subgraph of the global graph,
+    /// sameAs to a foreign attribute, …).
+    Mapping(String),
+    /// A walk is invalid (empty, disconnected, references unknown elements).
+    Walk(String),
+    /// Query rewriting found no way to answer the walk (a concept or
+    /// relation has no covering wrapper).
+    Rewrite(String),
+    /// Federated execution failed.
+    Execution(String),
+    /// Snapshot/restore failed.
+    Repository(String),
+}
+
+impl MdmError {
+    /// The error's category name (stable, used in tests and logs).
+    pub fn category(&self) -> &'static str {
+        match self {
+            MdmError::Ontology(_) => "ontology",
+            MdmError::Registration(_) => "registration",
+            MdmError::Mapping(_) => "mapping",
+            MdmError::Walk(_) => "walk",
+            MdmError::Rewrite(_) => "rewrite",
+            MdmError::Execution(_) => "execution",
+            MdmError::Repository(_) => "repository",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            MdmError::Ontology(m)
+            | MdmError::Registration(m)
+            | MdmError::Mapping(m)
+            | MdmError::Walk(m)
+            | MdmError::Rewrite(m)
+            | MdmError::Execution(m)
+            | MdmError::Repository(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for MdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for MdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_and_message() {
+        let e = MdmError::Mapping("w1 maps a foreign attribute".to_string());
+        assert_eq!(e.category(), "mapping");
+        assert_eq!(e.message(), "w1 maps a foreign attribute");
+        assert_eq!(e.to_string(), "mapping error: w1 maps a foreign attribute");
+    }
+}

@@ -1,0 +1,110 @@
+//! Phase (a) of query rewriting: **query expansion** (paper §2.4).
+//!
+//! "The walk is automatically expanded to include concept identifiers that
+//! have not been explicitly stated." Joins — both between wrappers covering
+//! one concept and between concepts along relations — are only permitted on
+//! identifier features (§2.3), so the rewriting needs every concept's
+//! identifier in scope.
+
+use mdm_rdf::term::Iri;
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+use crate::walk::Walk;
+
+/// The expanded walk plus what was added (for explanations/UI).
+#[derive(Clone, Debug)]
+pub struct ExpandedWalk {
+    pub walk: Walk,
+    /// `(concept, identifier)` pairs the expansion injected.
+    pub added_identifiers: Vec<(Iri, Iri)>,
+}
+
+/// Expands the walk with every selected concept's identifier feature.
+///
+/// Errors when a selected concept has no identifier: such a concept cannot
+/// participate in unambiguous LAV resolution (nothing to join on).
+pub fn expand(walk: &Walk, ontology: &BdiOntology) -> Result<ExpandedWalk, MdmError> {
+    walk.validate(ontology)?;
+    let mut expanded = walk.clone();
+    let mut added = Vec::new();
+    for concept in walk.concepts().to_vec() {
+        let id = ontology.identifier_of(&concept).ok_or_else(|| {
+            MdmError::Rewrite(format!(
+                "concept '{concept}' has no identifier feature (rdfs:subClassOf sc:identifier); \
+                 cannot expand the walk"
+            ))
+        })?;
+        if !walk.features_of(&concept).contains(&id) {
+            expanded.add_feature_internal(&concept, id.clone());
+            added.push((concept.clone(), id));
+        }
+    }
+    Ok(ExpandedWalk {
+        walk: expanded,
+        added_identifiers: added,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{ex, figure5_ontology, figure8_walk};
+    use mdm_rdf::vocab;
+
+    #[test]
+    fn figure8_walk_gains_both_identifiers() {
+        let o = figure5_ontology();
+        let expanded = expand(&figure8_walk(), &o).unwrap();
+        assert_eq!(expanded.added_identifiers.len(), 2);
+        let player_features = expanded.walk.features_of(&ex("Player"));
+        assert!(player_features.contains(&ex("playerId")));
+        assert!(player_features.contains(&ex("playerName")));
+        let team_features = expanded.walk.features_of(&vocab::schema::SPORTS_TEAM.iri());
+        assert!(team_features.contains(&ex("teamId")));
+    }
+
+    #[test]
+    fn explicit_identifier_not_duplicated() {
+        let o = figure5_ontology();
+        let walk = figure8_walk().feature(&ex("Player"), &ex("playerId"));
+        let expanded = expand(&walk, &o).unwrap();
+        // Only the team id was added.
+        assert_eq!(expanded.added_identifiers.len(), 1);
+        assert_eq!(
+            expanded
+                .walk
+                .features_of(&ex("Player"))
+                .iter()
+                .filter(|f| **f == ex("playerId"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn concept_without_identifier_is_an_error() {
+        let mut o = figure5_ontology();
+        let stadium = ex("Stadium");
+        o.add_concept(&stadium).unwrap();
+        o.add_feature(&stadium, &ex("stadiumName")).unwrap();
+        let walk = Walk::new().feature(&stadium, &ex("stadiumName"));
+        let err = expand(&walk, &o).unwrap_err();
+        assert_eq!(err.category(), "rewrite");
+        assert!(err.message().contains("no identifier"));
+    }
+
+    #[test]
+    fn invalid_walks_are_rejected_before_expansion() {
+        let o = figure5_ontology();
+        assert!(expand(&Walk::new(), &o).is_err());
+    }
+
+    #[test]
+    fn original_walk_is_untouched() {
+        let o = figure5_ontology();
+        let walk = figure8_walk();
+        let _ = expand(&walk, &o).unwrap();
+        assert_eq!(walk.features_of(&ex("Player")).len(), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Phase (b) of query rewriting: **intra-concept generation** (paper §2.4).
+//!
+//! For each concept in the (expanded) walk, this phase "generates partial
+//! walks per concept indicating how to query the wrappers in order to obtain
+//! the requested features for the concept at hand".
+//!
+//! A wrapper *covers* feature `f` of concept `c` when its LAV named graph
+//! contains the `(c, G:hasFeature, f)` edge **and** one of its attributes is
+//! `owl:sameAs f`. A [`PartialWalk`] is a *minimal* set of covering wrappers
+//! that together provide all requested features of `c`; when it contains
+//! more than one wrapper they join on the attributes mapped to `c`'s
+//! identifier (the only join MDM permits, §2.3). Distinct minimal covers are
+//! alternative ways to answer — they become union branches downstream.
+//! Multiple *versions* of a source naturally appear here as distinct
+//! single-wrapper covers, which is how old and new schema versions are both
+//! fetched (§3, "governance of evolution").
+
+use std::collections::BTreeMap;
+
+use mdm_rdf::term::Iri;
+use mdm_rdf::vocab::bdi;
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+
+/// Upper bound on alternatives per concept; beyond this the walk is
+/// ambiguous enough that the steward should restructure mappings.
+pub const MAX_COVERS_PER_CONCEPT: usize = 256;
+
+/// One wrapper's contribution to one concept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    /// The wrapper IRI.
+    pub wrapper: Iri,
+    /// The wrapper's relation name (IRI local name), e.g. `w1`.
+    pub wrapper_name: String,
+    /// The concept node through which this wrapper covers — the walk's
+    /// concept itself, or one of its subconcepts (taxonomies, §2.1).
+    pub via: Iri,
+    /// Covered requested features → the wrapper attribute (column) name.
+    pub feature_columns: BTreeMap<Iri, String>,
+    /// The column bound to the concept's identifier.
+    pub id_column: String,
+}
+
+/// One alternative to obtain a concept's requested features: a minimal set
+/// of wrappers, joined pairwise on their identifier columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialWalk {
+    pub concept: Iri,
+    /// The concept's identifier feature.
+    pub identifier: Iri,
+    /// The participating wrappers (deterministic order).
+    pub wrappers: Vec<Coverage>,
+}
+
+impl PartialWalk {
+    /// The column providing `feature`, with its wrapper name, if any
+    /// wrapper of this partial walk covers it.
+    pub fn column_for(&self, feature: &Iri) -> Option<(&str, &str)> {
+        self.wrappers.iter().find_map(|coverage| {
+            coverage
+                .feature_columns
+                .get(feature)
+                .map(|column| (coverage.wrapper_name.as_str(), column.as_str()))
+        })
+    }
+}
+
+/// Computes every wrapper's coverage of `concept`'s requested features.
+///
+/// Only wrappers that map the concept's identifier participate — without
+/// the identifier a wrapper's rows cannot be joined or deduplicated, so the
+/// BDI ontology's design guidelines exclude them (our mapping validator
+/// enforces id coverage, so in practice this filters wrappers mapped to
+/// *other* concepts).
+pub fn coverages(
+    ontology: &BdiOntology,
+    concept: &Iri,
+    features: &[Iri],
+) -> Result<(Iri, Vec<Coverage>), MdmError> {
+    let identifier = ontology
+        .identifier_of(concept)
+        .ok_or_else(|| MdmError::Rewrite(format!("concept '{concept}' has no identifier")))?;
+    let mut out = Vec::new();
+    // A wrapper may cover the walk's concept directly or through a
+    // subconcept (taxonomies, §2.1). Subconcepts participate only when they
+    // *share* the concept's identifier (their own would not join).
+    for via in ontology.subconcepts_of(concept) {
+        if ontology.identifier_of(&via).as_ref() != Some(&identifier) {
+            continue;
+        }
+        for wrapper in ontology.wrappers() {
+            let Some(named) = ontology.mappings().named_graph(&wrapper) else {
+                continue; // registered but unmapped
+            };
+            // The wrapper must cover the identifier edge under `via` and
+            // map the identifier.
+            if !named.contains(&via.term(), &bdi::HAS_FEATURE.term(), &identifier.term()) {
+                continue;
+            }
+            // One pass over the wrapper's sameAs links instead of a scan
+            // per probed feature.
+            let columns = ontology.wrapper_feature_columns(&wrapper);
+            let Some(id_column) = columns.get(&identifier) else {
+                continue;
+            };
+            let mut feature_columns = BTreeMap::new();
+            for feature in features {
+                if !named.contains(&via.term(), &bdi::HAS_FEATURE.term(), &feature.term()) {
+                    continue;
+                }
+                if let Some(column) = columns.get(feature) {
+                    feature_columns.insert(feature.clone(), column.clone());
+                }
+            }
+            if feature_columns.is_empty() {
+                continue;
+            }
+            out.push(Coverage {
+                wrapper_name: wrapper.local_name().to_string(),
+                id_column: id_column.clone(),
+                wrapper,
+                via: via.clone(),
+                feature_columns,
+            });
+        }
+    }
+    Ok((identifier, out))
+}
+
+/// Generates the partial walks (minimal covers) for one concept.
+pub fn partial_walks(
+    ontology: &BdiOntology,
+    concept: &Iri,
+    features: &[Iri],
+) -> Result<Vec<PartialWalk>, MdmError> {
+    let (identifier, candidates) = coverages(ontology, concept, features)?;
+    if candidates.is_empty() {
+        return Err(MdmError::Rewrite(format!(
+            "no wrapper covers concept '{concept}'; the walk cannot be answered"
+        )));
+    }
+    // Unanswerable features fail fast with a precise message.
+    for feature in features {
+        if !candidates
+            .iter()
+            .any(|c| c.feature_columns.contains_key(feature))
+        {
+            return Err(MdmError::Rewrite(format!(
+                "no wrapper covers feature '{feature}' of concept '{concept}'"
+            )));
+        }
+    }
+    // Multi-wrapper covers only combine wrappers reaching the concept
+    // through the *same* node (joining a Goalkeeper wrapper with a Striker
+    // wrapper would compute an intersection, not a cover), so enumeration
+    // runs per `via` group; alternatives union across groups.
+    let mut vias: Vec<Iri> = Vec::new();
+    for candidate in &candidates {
+        if !vias.contains(&candidate.via) {
+            vias.push(candidate.via.clone());
+        }
+    }
+    let mut out: Vec<PartialWalk> = Vec::new();
+    for via in vias {
+        let group: Vec<Coverage> = candidates
+            .iter()
+            .filter(|c| c.via == via)
+            .cloned()
+            .collect();
+        // A group that cannot cover all features contributes nothing (but
+        // another group might; completeness is checked above over all
+        // candidates — here we only require *some* group to cover).
+        let coverable = features
+            .iter()
+            .all(|f| group.iter().any(|c| c.feature_columns.contains_key(f)));
+        if !coverable {
+            continue;
+        }
+        let mut covers: Vec<Vec<usize>> = Vec::new();
+        enumerate_minimal_covers(&group, features, &mut covers)?;
+        out.extend(covers.into_iter().map(|indices| PartialWalk {
+            concept: concept.clone(),
+            identifier: identifier.clone(),
+            wrappers: indices.into_iter().map(|i| group[i].clone()).collect(),
+        }));
+    }
+    if out.is_empty() {
+        return Err(MdmError::Rewrite(format!(
+            "the features requested of '{concept}' are spread across subconcepts \
+             no single taxonomy branch covers"
+        )));
+    }
+    // Deterministic alternative order: by participating wrapper names.
+    out.sort_by_key(|pw| {
+        pw.wrappers
+            .iter()
+            .map(|c| c.wrapper_name.clone())
+            .collect::<Vec<_>>()
+    });
+    Ok(out)
+}
+
+/// Enumerates all minimal index-sets of `candidates` whose coverages union
+/// to `features`.
+fn enumerate_minimal_covers(
+    candidates: &[Coverage],
+    features: &[Iri],
+    out: &mut Vec<Vec<usize>>,
+) -> Result<(), MdmError> {
+    // Represent coverage as bitmasks over the feature list.
+    let masks: Vec<u64> = candidates
+        .iter()
+        .map(|c| {
+            features
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| c.feature_columns.contains_key(*f))
+                .fold(0u64, |mask, (i, _)| mask | (1 << i))
+        })
+        .collect();
+    if features.len() > 63 {
+        return Err(MdmError::Rewrite(format!(
+            "walk requests {} features of one concept; the supported maximum is 63",
+            features.len()
+        )));
+    }
+    let full: u64 = if features.is_empty() {
+        0
+    } else {
+        (1u64 << features.len()) - 1
+    };
+    let mut chosen: Vec<usize> = Vec::new();
+    search(&masks, full, 0, &mut chosen, out);
+    if out.len() > MAX_COVERS_PER_CONCEPT {
+        return Err(MdmError::Rewrite(format!(
+            "{} alternative covers for one concept exceed the limit of {MAX_COVERS_PER_CONCEPT}",
+            out.len()
+        )));
+    }
+    // Keep only minimal covers (no chosen wrapper is redundant).
+    out.retain(|indices| {
+        indices.iter().all(|&skip| {
+            let without: u64 = indices
+                .iter()
+                .filter(|&&i| i != skip)
+                .fold(0, |m, &i| m | masks[i]);
+            without != full
+        })
+    });
+    // Dedup (search can find the same set along different paths — it cannot
+    // with index-increasing recursion, but keep the invariant locally
+    // checkable).
+    out.sort();
+    out.dedup();
+    Ok(())
+}
+
+fn search(
+    masks: &[u64],
+    full: u64,
+    covered: u64,
+    chosen: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if covered == full {
+        let mut cover = chosen.clone();
+        cover.sort_unstable();
+        out.push(cover);
+        return;
+    }
+    if out.len() > MAX_COVERS_PER_CONCEPT {
+        return; // caller reports the overflow
+    }
+    // Branch only over wrappers covering the *first* uncovered feature:
+    // every cover must contain one, so this is complete, and it prunes
+    // most non-minimal supersets. Unlike an index-increasing scan it may
+    // reach the same set along two traces (two chosen wrappers covering
+    // each other's trigger features); the caller's sort+dedup collapses
+    // those.
+    let first_uncovered = (!covered & full).trailing_zeros();
+    for i in 0..masks.len() {
+        if chosen.contains(&i) {
+            continue;
+        }
+        if masks[i] & (1 << first_uncovered) == 0 {
+            continue;
+        }
+        chosen.push(i);
+        search(masks, full, covered | masks[i], chosen, out);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::expand;
+    use crate::testkit::{evolved_ontology, ex, figure7_ontology, figure8_walk};
+    use mdm_rdf::vocab;
+
+    #[test]
+    fn player_concept_is_covered_by_w1() {
+        let o = figure7_ontology();
+        let walk = expand(&figure8_walk(), &o).unwrap().walk;
+        let features = walk.features_of(&ex("Player")).to_vec();
+        let alternatives = partial_walks(&o, &ex("Player"), &features).unwrap();
+        assert_eq!(alternatives.len(), 1);
+        let pw = &alternatives[0];
+        assert_eq!(pw.wrappers.len(), 1);
+        assert_eq!(pw.wrappers[0].wrapper_name, "w1");
+        assert_eq!(pw.column_for(&ex("playerName")), Some(("w1", "pName")));
+        assert_eq!(pw.wrappers[0].id_column, "id");
+    }
+
+    #[test]
+    fn team_concept_prefers_minimal_cover() {
+        let o = figure7_ontology();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        // Request teamId + teamName: w2 covers both; w1 covers only teamId,
+        // so {w1, w2} is non-minimal and {w1} incomplete.
+        let alternatives = partial_walks(&o, &team, &[ex("teamId"), ex("teamName")]).unwrap();
+        assert_eq!(alternatives.len(), 1);
+        assert_eq!(alternatives[0].wrappers[0].wrapper_name, "w2");
+    }
+
+    #[test]
+    fn id_only_request_yields_both_wrappers_as_alternatives() {
+        let o = figure7_ontology();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        // Both w1 and w2 map sc:SportsTeam's id (Figure 7's overlap) —
+        // two single-wrapper alternatives (a union).
+        let alternatives = partial_walks(&o, &team, &[ex("teamId")]).unwrap();
+        assert_eq!(alternatives.len(), 2);
+        let names: Vec<&str> = alternatives
+            .iter()
+            .map(|a| a.wrappers[0].wrapper_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["w1", "w2"]);
+    }
+
+    #[test]
+    fn versions_become_alternatives() {
+        let o = evolved_ontology();
+        // Player name is covered by w1 (v1) and w3 (v2).
+        let alternatives =
+            partial_walks(&o, &ex("Player"), &[ex("playerId"), ex("playerName")]).unwrap();
+        assert_eq!(alternatives.len(), 2);
+        let names: Vec<&str> = alternatives
+            .iter()
+            .map(|a| a.wrappers[0].wrapper_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["w1", "w3"]);
+    }
+
+    #[test]
+    fn multi_wrapper_join_cover() {
+        let o = evolved_ontology();
+        // score is only in w1 (v2 dropped it); nationality only in w3.
+        // Requesting both forces the join cover {w1, w3}.
+        let alternatives = partial_walks(
+            &o,
+            &ex("Player"),
+            &[ex("playerId"), ex("score"), ex("nationality")],
+        )
+        .unwrap();
+        assert_eq!(alternatives.len(), 1);
+        let names: Vec<&str> = alternatives[0]
+            .wrappers
+            .iter()
+            .map(|c| c.wrapper_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["w1", "w3"]);
+    }
+
+    #[test]
+    fn uncovered_feature_is_a_precise_error() {
+        let o = figure7_ontology();
+        // Add an unmapped feature to the ontology.
+        let mut o2 = o.clone();
+        o2.add_feature(&ex("Player"), &ex("birthday")).unwrap();
+        let err = partial_walks(&o2, &ex("Player"), &[ex("playerId"), ex("birthday")]).unwrap_err();
+        assert!(err.message().contains("birthday"));
+        assert!(err.message().contains("no wrapper covers feature"));
+    }
+
+    #[test]
+    fn unmapped_concept_is_an_error() {
+        let mut o = figure7_ontology();
+        let stadium = ex("Stadium");
+        o.add_concept(&stadium).unwrap();
+        o.add_identifier(&stadium, &ex("stadiumId")).unwrap();
+        let err = partial_walks(&o, &stadium, &[ex("stadiumId")]).unwrap_err();
+        assert!(err.message().contains("no wrapper covers concept"));
+    }
+
+    #[test]
+    fn minimal_cover_enumeration_is_exact() {
+        // Synthetic: features f0..f2; wrappers A{f0,f1}, B{f1,f2}, C{f0,f1,f2}.
+        // Minimal covers of {f0,f1,f2}: {A,B} and {C}.
+        let f: Vec<Iri> = (0..3).map(|i| ex(&format!("f{i}"))).collect();
+        let mk = |name: &str, covers: &[usize]| Coverage {
+            wrapper: BdiOntology::wrapper_iri(name),
+            wrapper_name: name.to_string(),
+            via: ex("C"),
+            id_column: "id".to_string(),
+            feature_columns: covers
+                .iter()
+                .map(|&i| (f[i].clone(), format!("a{i}")))
+                .collect(),
+        };
+        let candidates = vec![mk("A", &[0, 1]), mk("B", &[1, 2]), mk("C", &[0, 1, 2])];
+        let mut covers = Vec::new();
+        enumerate_minimal_covers(&candidates, &f, &mut covers).unwrap();
+        assert_eq!(covers, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn minimal_cover_found_regardless_of_candidate_order() {
+        // Regression: X={f1,f2} listed before Y={f0,f2} (think: the id
+        // feature sits at the END of the expanded list, and the wrapper
+        // covering the first feature has the higher index). An
+        // index-increasing search dead-ends after picking Y; the
+        // enumeration must still find {X, Y}.
+        let f: Vec<Iri> = (0..3).map(|i| ex(&format!("f{i}"))).collect();
+        let mk = |name: &str, covers: &[usize]| Coverage {
+            wrapper: BdiOntology::wrapper_iri(name),
+            wrapper_name: name.to_string(),
+            via: ex("C"),
+            id_column: "id".to_string(),
+            feature_columns: covers
+                .iter()
+                .map(|&i| (f[i].clone(), format!("a{i}")))
+                .collect(),
+        };
+        let candidates = vec![mk("X", &[1, 2]), mk("Y", &[0, 2])];
+        let mut covers = Vec::new();
+        enumerate_minimal_covers(&candidates, &f, &mut covers).unwrap();
+        assert_eq!(covers, vec![vec![0, 1]], "must find the X+Y cover");
+    }
+}

@@ -1,0 +1,570 @@
+//! LAV mappings (paper §2.3).
+//!
+//! A LAV mapping for wrapper `w` has two components:
+//!
+//! 1. a **named graph** identified by `w`'s IRI, holding the subgraph of the
+//!    global graph that `w` populates (concepts, their `G:hasFeature` edges
+//!    and concept relations — the contour the steward draws in Figure 7);
+//! 2. **`owl:sameAs` links** from `w`'s attributes to features inside that
+//!    named graph.
+//!
+//! [`MappingBuilder`] accumulates both and [`MappingBuilder::apply`]
+//! validates everything before touching the ontology, so a failed mapping
+//! never leaves partial state behind.
+
+use mdm_rdf::term::Iri;
+use mdm_rdf::vocab::bdi;
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+
+/// A builder for one wrapper's LAV mapping.
+#[derive(Clone, Debug)]
+pub struct MappingBuilder {
+    wrapper: Iri,
+    concepts: Vec<Iri>,
+    features: Vec<Iri>,
+    relations: Vec<(Iri, Iri, Iri)>,
+    same_as: Vec<(String, Iri)>, // (attribute name, feature)
+}
+
+impl MappingBuilder {
+    /// Starts a mapping for the wrapper registered under `wrapper_name`.
+    pub fn for_wrapper(wrapper_name: &str) -> Self {
+        MappingBuilder {
+            wrapper: BdiOntology::wrapper_iri(wrapper_name),
+            concepts: Vec::new(),
+            features: Vec::new(),
+            relations: Vec::new(),
+            same_as: Vec::new(),
+        }
+    }
+
+    /// Adds a concept to the wrapper's contour.
+    pub fn cover_concept(mut self, concept: &Iri) -> Self {
+        if !self.concepts.contains(concept) {
+            self.concepts.push(concept.clone());
+        }
+        self
+    }
+
+    /// Adds a feature (with its `G:hasFeature` edge) to the contour.
+    pub fn cover_feature(mut self, feature: &Iri) -> Self {
+        if !self.features.contains(feature) {
+            self.features.push(feature.clone());
+        }
+        self
+    }
+
+    /// Adds a concept-to-concept relation edge to the contour.
+    pub fn cover_relation(mut self, from: &Iri, property: &Iri, to: &Iri) -> Self {
+        let edge = (from.clone(), property.clone(), to.clone());
+        if !self.relations.contains(&edge) {
+            self.relations.push(edge);
+        }
+        self
+    }
+
+    /// Links attribute `attribute_name` (of the mapping's wrapper) to
+    /// `feature` via `owl:sameAs`.
+    pub fn same_as(mut self, attribute_name: &str, feature: &Iri) -> Self {
+        self.same_as
+            .push((attribute_name.to_string(), feature.clone()));
+        self
+    }
+
+    /// Validates and applies the mapping to the ontology.
+    ///
+    /// Checks (all are `MdmError::Mapping`):
+    /// * the wrapper exists and has no mapping yet;
+    /// * every covered element exists in the global graph (subgraph
+    ///   property) and covered features belong to covered concepts;
+    /// * every relation edge is a relation of the global graph with both
+    ///   endpoints covered;
+    /// * every `sameAs` names an attribute of this wrapper and a covered
+    ///   feature, each attribute maps at most once, and no two attributes
+    ///   map the same feature;
+    /// * every covered concept has its identifier covered *and mapped* —
+    ///   the joinability invariant the rewriting algorithm relies on;
+    /// * the contour is connected (a walkable mapping, like Figure 7's).
+    pub fn apply(self, ontology: &mut BdiOntology) -> Result<Iri, MdmError> {
+        let wrapper = self.wrapper.clone();
+        let wrapper_name = wrapper.local_name().to_string();
+        if !ontology.wrappers().contains(&wrapper) {
+            return Err(MdmError::Mapping(format!(
+                "wrapper '{wrapper_name}' is not registered"
+            )));
+        }
+        if ontology.mappings().named_graph(&wrapper).is_some() {
+            return Err(MdmError::Mapping(format!(
+                "wrapper '{wrapper_name}' already has a mapping"
+            )));
+        }
+        if self.concepts.is_empty() {
+            return Err(MdmError::Mapping(format!(
+                "mapping for '{wrapper_name}' covers no concept"
+            )));
+        }
+        for concept in &self.concepts {
+            if !ontology.is_concept(concept) {
+                return Err(MdmError::Mapping(format!(
+                    "'{concept}' is not a concept of the global graph"
+                )));
+            }
+        }
+        // A feature may be covered under its owning concept *or* under a
+        // covered subconcept of the owner (taxonomies, §2.1): subconcept
+        // instances carry the super's features. The named-graph triple uses
+        // the covered (sub)concept as subject.
+        let mut feature_owners: Vec<(Iri, Iri)> = Vec::with_capacity(self.features.len());
+        for feature in &self.features {
+            let owner = ontology.concept_of_feature(feature).ok_or_else(|| {
+                MdmError::Mapping(format!("'{feature}' is not a feature of the global graph"))
+            })?;
+            let carrier = self
+                .concepts
+                .iter()
+                .find(|covered| ontology.superconcepts_of(covered).contains(&owner));
+            let Some(carrier) = carrier else {
+                return Err(MdmError::Mapping(format!(
+                    "feature '{feature}' belongs to '{owner}', which the contour covers \
+                     neither directly nor through a subconcept"
+                )));
+            };
+            feature_owners.push((feature.clone(), carrier.clone()));
+        }
+        for (from, property, to) in &self.relations {
+            if !self.concepts.contains(from) || !self.concepts.contains(to) {
+                return Err(MdmError::Mapping(format!(
+                    "relation '{property}' endpoints must be covered concepts"
+                )));
+            }
+            if !ontology.relations_between(from, to).contains(property) {
+                return Err(MdmError::Mapping(format!(
+                    "'{from}' -{property}-> '{to}' is not a relation of the global graph"
+                )));
+            }
+        }
+
+        // sameAs validation.
+        let attributes = ontology.attributes_of(&wrapper);
+        let attribute_names: Vec<String> = attributes
+            .iter()
+            .map(|a| BdiOntology::attribute_name(a).to_string())
+            .collect();
+        let mut seen_attributes = std::collections::BTreeSet::new();
+        let mut seen_features = std::collections::BTreeSet::new();
+        for (attribute, feature) in &self.same_as {
+            if !attribute_names.contains(attribute) {
+                return Err(MdmError::Mapping(format!(
+                    "'{attribute}' is not an attribute of wrapper '{wrapper_name}' \
+                     (signature: {attribute_names:?})"
+                )));
+            }
+            if !self.features.contains(feature) {
+                return Err(MdmError::Mapping(format!(
+                    "sameAs target '{feature}' is not covered by the contour"
+                )));
+            }
+            if !seen_attributes.insert(attribute.clone()) {
+                return Err(MdmError::Mapping(format!(
+                    "attribute '{attribute}' is mapped twice"
+                )));
+            }
+            if !seen_features.insert(feature.clone()) {
+                return Err(MdmError::Mapping(format!(
+                    "feature '{feature}' is mapped by two attributes of '{wrapper_name}'"
+                )));
+            }
+        }
+
+        // Joinability: each covered concept's identifier must be covered and
+        // mapped by some attribute.
+        for concept in &self.concepts {
+            let id = ontology.identifier_of(concept).ok_or_else(|| {
+                MdmError::Mapping(format!(
+                    "concept '{concept}' has no identifier feature; it cannot be mapped"
+                ))
+            })?;
+            if !self.features.contains(&id) {
+                return Err(MdmError::Mapping(format!(
+                    "contour covers '{concept}' but not its identifier '{id}'"
+                )));
+            }
+            if !self.same_as.iter().any(|(_, f)| f == &id) {
+                return Err(MdmError::Mapping(format!(
+                    "identifier '{id}' of '{concept}' is covered but no attribute maps it"
+                )));
+            }
+        }
+
+        // Connectivity of the contour over concepts and relation edges
+        // (taxonomy edges between covered concepts connect too).
+        if !self.is_connected(ontology) {
+            return Err(MdmError::Mapping(format!(
+                "the contour of '{wrapper_name}' is not connected; \
+                 add the relation edges between its concepts"
+            )));
+        }
+
+        // All checks passed — materialise the named graph and sameAs links.
+        {
+            let named = ontology.mappings_mut().named_graph_mut(&wrapper);
+            for concept in &self.concepts {
+                named.insert((
+                    concept.term(),
+                    mdm_rdf::vocab::rdf::TYPE.term(),
+                    bdi::CONCEPT.term(),
+                ));
+            }
+            for (feature, owner) in &feature_owners {
+                named.insert((owner.term(), bdi::HAS_FEATURE.term(), feature.term()));
+            }
+            for (from, property, to) in &self.relations {
+                named.insert((from.term(), property.term(), to.term()));
+            }
+        }
+        for (attribute, feature) in &self.same_as {
+            let attribute_iri = attributes
+                .iter()
+                .find(|a| BdiOntology::attribute_name(a) == attribute)
+                .expect("validated attribute exists")
+                .clone();
+            ontology.source_graph_mut().insert((
+                attribute_iri.term(),
+                mdm_rdf::vocab::owl::SAME_AS.term(),
+                feature.term(),
+            ));
+        }
+        Ok(wrapper)
+    }
+
+    /// Connectivity over the covered concepts using the covered relations;
+    /// a covered sub/superconcept pair is connected through the taxonomy.
+    fn is_connected(&self, ontology: &BdiOntology) -> bool {
+        if self.concepts.len() <= 1 {
+            return true;
+        }
+        let mut reached = std::collections::BTreeSet::new();
+        let mut frontier = vec![self.concepts[0].clone()];
+        while let Some(current) = frontier.pop() {
+            if !reached.insert(current.clone()) {
+                continue;
+            }
+            for (from, _, to) in &self.relations {
+                if *from == current && !reached.contains(to) {
+                    frontier.push(to.clone());
+                }
+                if *to == current && !reached.contains(from) {
+                    frontier.push(from.clone());
+                }
+            }
+            for other in &self.concepts {
+                if reached.contains(other) {
+                    continue;
+                }
+                let related = ontology.superconcepts_of(&current).contains(other)
+                    || ontology.subconcepts_of(&current).contains(other);
+                if related {
+                    frontier.push(other.clone());
+                }
+            }
+        }
+        self.concepts.iter().all(|c| reached.contains(c))
+    }
+}
+
+/// Returns the wrappers whose named graph covers `concept` together with
+/// the triple `(concept, G:hasFeature, feature)` — the primitive the
+/// rewriting phases use.
+pub fn wrappers_covering_feature(ontology: &BdiOntology, concept: &Iri, feature: &Iri) -> Vec<Iri> {
+    ontology
+        .mappings()
+        .graphs_containing(&concept.term(), &bdi::HAS_FEATURE.term(), &feature.term())
+        .into_iter()
+        .cloned()
+        .collect()
+}
+
+/// Returns the wrappers whose named graph covers the relation edge.
+pub fn wrappers_covering_relation(
+    ontology: &BdiOntology,
+    from: &Iri,
+    property: &Iri,
+    to: &Iri,
+) -> Vec<Iri> {
+    ontology
+        .mappings()
+        .graphs_containing(&from.term(), &property.term(), &to.term())
+        .into_iter()
+        .cloned()
+        .collect()
+}
+
+/// Taxonomy-aware edge witnesses: wrappers covering `(from', property, to')`
+/// for any subconcepts `from' ⊑ from`, `to' ⊑ to`. Deduplicated, in
+/// wrapper-IRI order.
+pub fn wrappers_covering_relation_taxonomic(
+    ontology: &BdiOntology,
+    from: &Iri,
+    property: &Iri,
+    to: &Iri,
+) -> Vec<Iri> {
+    let mut out: Vec<Iri> = Vec::new();
+    for from_sub in ontology.subconcepts_of(from) {
+        for to_sub in ontology.subconcepts_of(to) {
+            for wrapper in wrappers_covering_relation(ontology, &from_sub, property, &to_sub) {
+                if !out.contains(&wrapper) {
+                    out.push(wrapper);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release::{register_source, register_wrapper};
+    use crate::testkit;
+    use mdm_rdf::vocab;
+
+    fn ex(local: &str) -> Iri {
+        Iri::new(format!("{}{local}", vocab::EXAMPLE_NS))
+    }
+
+    /// Global graph + registered wrappers, no mappings yet.
+    fn prepared() -> BdiOntology {
+        let mut o = testkit::figure5_ontology();
+        register_source(&mut o, "PlayersAPI").unwrap();
+        register_source(&mut o, "TeamsAPI").unwrap();
+        register_wrapper(
+            &mut o,
+            "PlayersAPI",
+            "w1",
+            1,
+            &testkit::strings(&["id", "pName", "height", "weight", "score", "foot", "teamId"]),
+        )
+        .unwrap();
+        register_wrapper(
+            &mut o,
+            "TeamsAPI",
+            "w2",
+            1,
+            &testkit::strings(&["id", "name", "shortName"]),
+        )
+        .unwrap();
+        o
+    }
+
+    /// The paper's Figure 7 mapping for w1 (red contour): all of Player,
+    /// the hasTeam edge, and SportsTeam's identifier.
+    fn w1_mapping() -> MappingBuilder {
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        MappingBuilder::for_wrapper("w1")
+            .cover_concept(&ex("Player"))
+            .cover_concept(&team)
+            .cover_feature(&ex("playerId"))
+            .cover_feature(&ex("playerName"))
+            .cover_feature(&ex("height"))
+            .cover_feature(&ex("weight"))
+            .cover_feature(&ex("score"))
+            .cover_feature(&ex("foot"))
+            .cover_feature(&ex("teamId"))
+            .cover_relation(&ex("Player"), &ex("hasTeam"), &team)
+            .same_as("id", &ex("playerId"))
+            .same_as("pName", &ex("playerName"))
+            .same_as("height", &ex("height"))
+            .same_as("weight", &ex("weight"))
+            .same_as("score", &ex("score"))
+            .same_as("foot", &ex("foot"))
+            .same_as("teamId", &ex("teamId"))
+    }
+
+    /// Figure 7's w2 (green contour): SportsTeam with id and names.
+    fn w2_mapping() -> MappingBuilder {
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("teamName"))
+            .cover_feature(&ex("shortName"))
+            .same_as("id", &ex("teamId"))
+            .same_as("name", &ex("teamName"))
+            .same_as("shortName", &ex("shortName"))
+    }
+
+    #[test]
+    fn figure7_mappings_apply() {
+        let mut o = prepared();
+        let w1 = w1_mapping().apply(&mut o).unwrap();
+        let w2 = w2_mapping().apply(&mut o).unwrap();
+        assert_eq!(o.mappings().named_graph_count(), 2);
+        // w1's named graph holds the relation edge.
+        let ng = o.mappings().named_graph(&w1).unwrap();
+        assert!(ng.contains(
+            &ex("Player").term(),
+            &ex("hasTeam").term(),
+            &vocab::schema::SPORTS_TEAM.term(),
+        ));
+        // The overlap of Figure 7: both wrappers cover SportsTeam's teamId.
+        let covering =
+            wrappers_covering_feature(&o, &vocab::schema::SPORTS_TEAM.iri(), &ex("teamId"));
+        assert_eq!(covering, vec![w1.clone(), w2.clone()]);
+        // sameAs links landed in the source graph.
+        let attr = BdiOntology::attribute_iri("PlayersAPI", "pName");
+        assert_eq!(o.feature_of_attribute(&attr), Some(ex("playerName")));
+    }
+
+    #[test]
+    fn mapping_unknown_wrapper_rejected() {
+        let mut o = prepared();
+        let err = MappingBuilder::for_wrapper("ghost")
+            .cover_concept(&ex("Player"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not registered"));
+    }
+
+    #[test]
+    fn duplicate_mapping_rejected() {
+        let mut o = prepared();
+        w2_mapping().apply(&mut o).unwrap();
+        let err = w2_mapping().apply(&mut o).unwrap_err();
+        assert!(err.message().contains("already has a mapping"));
+    }
+
+    #[test]
+    fn contour_must_be_global_subgraph() {
+        let mut o = prepared();
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&ex("Alien"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not a concept"));
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&vocab::schema::SPORTS_TEAM.iri())
+            .cover_feature(&ex("alienFeature"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not a feature"));
+    }
+
+    #[test]
+    fn feature_of_uncovered_concept_rejected() {
+        let mut o = prepared();
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&vocab::schema::SPORTS_TEAM.iri())
+            .cover_feature(&ex("playerName")) // belongs to Player
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("covers"));
+    }
+
+    #[test]
+    fn same_as_must_point_at_own_attribute_and_covered_feature() {
+        let mut o = prepared();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        // 'pName' is w1's attribute, not w2's.
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("teamName"))
+            .same_as("id", &ex("teamId"))
+            .same_as("pName", &ex("teamName"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not an attribute of wrapper 'w2'"));
+        // Feature outside the contour.
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamId"))
+            .same_as("id", &ex("teamId"))
+            .same_as("name", &ex("teamName"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not covered"));
+    }
+
+    #[test]
+    fn double_mapping_rejected_both_directions() {
+        let mut o = prepared();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let base = || {
+            MappingBuilder::for_wrapper("w2")
+                .cover_concept(&team)
+                .cover_feature(&ex("teamId"))
+                .cover_feature(&ex("teamName"))
+        };
+        let err = base()
+            .same_as("id", &ex("teamId"))
+            .same_as("id", &ex("teamName"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("mapped twice"));
+        let err = base()
+            .same_as("id", &ex("teamId"))
+            .same_as("name", &ex("teamId"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("two attributes"));
+    }
+
+    #[test]
+    fn identifier_coverage_enforced() {
+        let mut o = prepared();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        // Covers the concept and a feature but not the identifier.
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamName"))
+            .same_as("name", &ex("teamName"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("identifier"));
+        // Covers the identifier but maps nothing to it.
+        let err = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("teamName"))
+            .same_as("name", &ex("teamName"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("no attribute maps it"));
+    }
+
+    #[test]
+    fn disconnected_contour_rejected() {
+        let mut o = prepared();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        // Player and Team covered but no relation edge → two islands.
+        let err = MappingBuilder::for_wrapper("w1")
+            .cover_concept(&ex("Player"))
+            .cover_concept(&team)
+            .cover_feature(&ex("playerId"))
+            .cover_feature(&ex("teamId"))
+            .same_as("id", &ex("playerId"))
+            .same_as("teamId", &ex("teamId"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert!(err.message().contains("not connected"));
+    }
+
+    #[test]
+    fn failed_apply_leaves_no_state() {
+        let mut o = prepared();
+        let before_mappings = o.mappings().named_graph_count();
+        let before_source = o.source_graph().len();
+        let _ = MappingBuilder::for_wrapper("w2")
+            .cover_concept(&vocab::schema::SPORTS_TEAM.iri())
+            .cover_feature(&ex("teamId"))
+            .same_as("id", &ex("teamId"))
+            .same_as("nope", &ex("teamId"))
+            .apply(&mut o)
+            .unwrap_err();
+        assert_eq!(o.mappings().named_graph_count(), before_mappings);
+        assert_eq!(o.source_graph().len(), before_source);
+    }
+}

@@ -1,0 +1,534 @@
+//! The MDM facade: the four kinds of interaction the paper demonstrates
+//! (§2): (a) definition of the global graph, (b) registration of wrappers,
+//! (c) definition of LAV mappings, (d) querying the global graph.
+
+use mdm_rdf::term::Iri;
+use mdm_relational::Catalog;
+use mdm_wrappers::{Wrapper, WrapperCatalog};
+
+use crate::error::MdmError;
+use crate::gav::GavMapping;
+use crate::mapping::MappingBuilder;
+use crate::ontology::BdiOntology;
+use crate::query::{answer_walk, QueryAnswer};
+use crate::release::{register_source, register_wrapper, Registration};
+use crate::render;
+use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
+use crate::walk::Walk;
+
+/// Outcome of onboarding one wrapper via [`Mdm::onboard_source`].
+#[derive(Clone, Debug)]
+pub struct OnboardReport {
+    pub wrapper: String,
+    /// True when the suggested mapping was complete and applied.
+    pub mapped: bool,
+    /// Accepted suggestion count.
+    pub suggestions: usize,
+    /// Attributes without any mapping candidate.
+    pub unmatched: Vec<String>,
+    /// Covered concepts whose identifier stayed unmapped (compact IRIs).
+    pub identifier_gaps: Vec<String>,
+}
+
+/// The Metadata Management System.
+///
+/// Owns the BDI ontology (metadata level) and the wrapper catalog
+/// (execution level); the steward methods mutate the former and register
+/// into the latter, the analyst methods rewrite and execute.
+#[derive(Default)]
+pub struct Mdm {
+    ontology: BdiOntology,
+    catalog: WrapperCatalog,
+    options: RewriteOptions,
+}
+
+impl Mdm {
+    /// A fresh, empty system.
+    pub fn new() -> Self {
+        Mdm {
+            ontology: BdiOntology::new(),
+            catalog: WrapperCatalog::new(),
+            options: RewriteOptions::default(),
+        }
+    }
+
+    /// The ontology (read-only).
+    pub fn ontology(&self) -> &BdiOntology {
+        &self.ontology
+    }
+
+    /// The wrapper catalog (read-only).
+    pub fn catalog(&self) -> &WrapperCatalog {
+        &self.catalog
+    }
+
+    /// Sets the rewriting options (distinct on/off).
+    pub fn set_options(&mut self, options: RewriteOptions) {
+        self.options = options;
+    }
+
+    /// Binds a rendering prefix on the underlying ontology.
+    pub(crate) fn bind_prefix_internal(&mut self, prefix: &str, namespace: &str) {
+        self.ontology.bind_prefix(prefix, namespace);
+    }
+
+    // ------------------------------------------------------------------
+    // (a) Definition of the global graph
+    // ------------------------------------------------------------------
+
+    /// Declares a concept.
+    pub fn define_concept(&mut self, concept: &Iri) -> Result<(), MdmError> {
+        self.ontology.add_concept(concept)
+    }
+
+    /// Declares a feature of a concept.
+    pub fn define_feature(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
+        self.ontology.add_feature(concept, feature)
+    }
+
+    /// Declares the identifier feature of a concept.
+    pub fn define_identifier(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
+        self.ontology.add_identifier(concept, feature)
+    }
+
+    /// Relates two concepts.
+    pub fn define_relation(
+        &mut self,
+        from: &Iri,
+        property: &Iri,
+        to: &Iri,
+    ) -> Result<(), MdmError> {
+        self.ontology.add_relation(from, property, to)
+    }
+
+    /// Declares a concept taxonomy edge.
+    pub fn define_subconcept(&mut self, sub: &Iri, sup: &Iri) -> Result<(), MdmError> {
+        self.ontology.add_subconcept(sub, sup)
+    }
+
+    // ------------------------------------------------------------------
+    // (b) Registration of data sources and wrappers
+    // ------------------------------------------------------------------
+
+    /// Registers a data source.
+    pub fn add_source(&mut self, name: &str) -> Result<Iri, MdmError> {
+        register_source(&mut self.ontology, name)
+    }
+
+    /// Registers a wrapper release: extracts its schema into the source
+    /// graph (reusing attributes of earlier releases of the same source)
+    /// *and* installs the runnable wrapper in the execution catalog.
+    ///
+    /// The wrapper's signature and the metadata registration are taken from
+    /// the same object, so they cannot drift.
+    pub fn register_wrapper(&mut self, wrapper: Wrapper) -> Result<Registration, MdmError> {
+        let attributes: Vec<String> = wrapper.signature().attributes().to_vec();
+        let registration = register_wrapper(
+            &mut self.ontology,
+            wrapper.source(),
+            wrapper.name(),
+            wrapper.version(),
+            &attributes,
+        )?;
+        self.catalog.register(wrapper);
+        Ok(registration)
+    }
+
+    /// One-call onboarding of a source release: instantiates the wrappers a
+    /// declarative config describes (see [`mdm_wrappers::config`]), registers
+    /// each, runs the mapping-suggestion engine, and applies every draft
+    /// that is complete. Returns a per-wrapper report; wrappers whose draft
+    /// has gaps stay registered-but-unmapped for the steward to finish.
+    ///
+    /// This is the paper's "semi-automatically integrate new sources"
+    /// pipeline end to end.
+    pub fn onboard_source(
+        &mut self,
+        endpoint: &mdm_wrappers::RestSource,
+        config_text: &str,
+    ) -> Result<Vec<OnboardReport>, MdmError> {
+        let config = mdm_wrappers::config::parse(config_text)
+            .map_err(|e| MdmError::Registration(e.to_string()))?;
+        let wrappers = config
+            .instantiate(endpoint)
+            .map_err(|e| MdmError::Registration(e.to_string()))?;
+        self.add_source(&config.source)?;
+        let mut reports = Vec::with_capacity(wrappers.len());
+        for wrapper in wrappers {
+            let name = wrapper.name().to_string();
+            self.register_wrapper(wrapper)?;
+            let draft = crate::assist::suggest_mapping(&self.ontology, &name)?;
+            let mapped = if draft.is_applicable() {
+                let builder = draft.to_builder(&self.ontology);
+                builder.apply(&mut self.ontology).is_ok()
+            } else {
+                false
+            };
+            reports.push(OnboardReport {
+                wrapper: name,
+                mapped,
+                suggestions: draft.accepted.len(),
+                unmatched: draft.unmatched.clone(),
+                identifier_gaps: draft
+                    .identifier_gaps
+                    .iter()
+                    .map(|c| self.ontology.compact(c))
+                    .collect(),
+            });
+        }
+        Ok(reports)
+    }
+
+    // ------------------------------------------------------------------
+    // (c) Definition of LAV mappings
+    // ------------------------------------------------------------------
+
+    /// Applies a LAV mapping built with [`MappingBuilder`].
+    pub fn define_mapping(&mut self, builder: MappingBuilder) -> Result<Iri, MdmError> {
+        builder.apply(&mut self.ontology)
+    }
+
+    // ------------------------------------------------------------------
+    // (d) Querying the global graph
+    // ------------------------------------------------------------------
+
+    /// Rewrites a walk without executing it (shows SPARQL + algebra, the
+    /// Figure 8 view).
+    pub fn rewrite(&self, walk: &Walk) -> Result<Rewriting, MdmError> {
+        rewrite_walk(&self.ontology, walk, &self.options)
+    }
+
+    /// Rewrites and executes a walk against the internal wrapper catalog.
+    pub fn query(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
+        answer_walk(&self.ontology, walk, &self.catalog, &self.options)
+    }
+
+    /// Like [`Mdm::query`], with a trailing `provenance` column naming the
+    /// union branch (wrapper set) each row came from.
+    pub fn query_with_provenance(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
+        crate::query::answer_walk_with_provenance(
+            &self.ontology,
+            walk,
+            &self.catalog,
+            &self.options,
+        )
+    }
+
+    /// Rewrites and executes against an external catalog (tests/benches).
+    pub fn query_with(&self, walk: &Walk, catalog: &dyn Catalog) -> Result<QueryAnswer, MdmError> {
+        answer_walk(&self.ontology, walk, catalog, &self.options)
+    }
+
+    /// Derives a GAV baseline mapping from the current metadata.
+    pub fn derive_gav(&self) -> Result<GavMapping, MdmError> {
+        GavMapping::derive(&self.ontology)
+    }
+
+    // ------------------------------------------------------------------
+    // Renderings (the figures)
+    // ------------------------------------------------------------------
+
+    /// Figure 5: the global graph listing.
+    pub fn render_global_graph(&self) -> String {
+        render::global_graph_text(&self.ontology)
+    }
+
+    /// Figure 6: the source graph listing.
+    pub fn render_source_graph(&self) -> String {
+        render::source_graph_text(&self.ontology)
+    }
+
+    /// Figure 7: the LAV mapping listing.
+    pub fn render_mappings(&self) -> String {
+        render::mappings_text(&self.ontology)
+    }
+
+    /// The whole metadata state as TriG.
+    pub fn render_trig(&self) -> String {
+        render::ontology_trig(&self.ontology)
+    }
+
+    /// Serialises the metadata state (not the wrapper payloads).
+    pub fn snapshot(&self) -> String {
+        crate::repo::snapshot(&self.ontology)
+    }
+
+    /// Restores the metadata state from a snapshot; wrappers must be
+    /// re-registered into the catalog separately (payloads are data, not
+    /// metadata).
+    pub fn restore_metadata(document: &str) -> Result<Mdm, MdmError> {
+        Ok(Mdm {
+            ontology: crate::repo::restore(document)?,
+            catalog: WrapperCatalog::new(),
+            options: RewriteOptions::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_rdf::vocab;
+    use mdm_wrappers::football;
+
+    fn ex(local: &str) -> Iri {
+        Iri::new(format!("{}{local}", vocab::EXAMPLE_NS))
+    }
+
+    /// Sets up the full motivational use case through the facade, backed by
+    /// the simulated football APIs.
+    pub(crate) fn football_mdm() -> Mdm {
+        let eco = football::build_default();
+        let mut mdm = Mdm::new();
+        let player = ex("Player");
+        let team = vocab::schema::SPORTS_TEAM.iri();
+
+        // (a) global graph.
+        mdm.define_concept(&player).unwrap();
+        mdm.define_concept(&team).unwrap();
+        mdm.define_identifier(&player, &ex("playerId")).unwrap();
+        mdm.define_feature(&player, &ex("playerName")).unwrap();
+        mdm.define_feature(&player, &ex("height")).unwrap();
+        mdm.define_feature(&player, &ex("weight")).unwrap();
+        mdm.define_feature(&player, &ex("score")).unwrap();
+        mdm.define_feature(&player, &ex("foot")).unwrap();
+        mdm.define_identifier(&team, &ex("teamId")).unwrap();
+        mdm.define_feature(&team, &ex("teamName")).unwrap();
+        mdm.define_feature(&team, &ex("shortName")).unwrap();
+        mdm.define_relation(&player, &ex("hasTeam"), &team).unwrap();
+
+        // (b) sources + wrappers.
+        mdm.add_source("PlayersAPI").unwrap();
+        mdm.add_source("TeamsAPI").unwrap();
+        mdm.register_wrapper(football::w1_players_v1(&eco)).unwrap();
+        mdm.register_wrapper(football::w2_teams(&eco)).unwrap();
+
+        // (c) LAV mappings (Figure 7).
+        mdm.define_mapping(
+            MappingBuilder::for_wrapper("w1")
+                .cover_concept(&player)
+                .cover_concept(&team)
+                .cover_feature(&ex("playerId"))
+                .cover_feature(&ex("playerName"))
+                .cover_feature(&ex("height"))
+                .cover_feature(&ex("weight"))
+                .cover_feature(&ex("score"))
+                .cover_feature(&ex("foot"))
+                .cover_feature(&ex("teamId"))
+                .cover_relation(&player, &ex("hasTeam"), &team)
+                .same_as("id", &ex("playerId"))
+                .same_as("pName", &ex("playerName"))
+                .same_as("height", &ex("height"))
+                .same_as("weight", &ex("weight"))
+                .same_as("score", &ex("score"))
+                .same_as("foot", &ex("foot"))
+                .same_as("teamId", &ex("teamId")),
+        )
+        .unwrap();
+        mdm.define_mapping(
+            MappingBuilder::for_wrapper("w2")
+                .cover_concept(&team)
+                .cover_feature(&ex("teamId"))
+                .cover_feature(&ex("teamName"))
+                .cover_feature(&ex("shortName"))
+                .same_as("id", &ex("teamId"))
+                .same_as("name", &ex("teamName"))
+                .same_as("shortName", &ex("shortName")),
+        )
+        .unwrap();
+        mdm
+    }
+
+    #[test]
+    fn end_to_end_figure8_query() {
+        let mdm = football_mdm();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&vocab::schema::SPORTS_TEAM.iri(), &ex("teamName"))
+            .relation(
+                &ex("Player"),
+                &ex("hasTeam"),
+                &vocab::schema::SPORTS_TEAM.iri(),
+            );
+        let answer = mdm.query(&walk).unwrap();
+        assert!(answer.table.len() >= 2);
+        let rendered = answer.render();
+        assert!(rendered.contains("Lionel Messi"));
+        assert!(rendered.contains("FC Barcelona"));
+        // v1 does not serve Zlatan (he ships on the v2 endpoint).
+        assert!(!rendered.contains("Zlatan"));
+    }
+
+    #[test]
+    fn governance_of_evolution_scenario() {
+        // §3: release v2 with breaking changes, register w3 + mapping,
+        // re-run the query — now both versions are fetched.
+        let eco = football::build_default();
+        let mut mdm = football_mdm();
+        let player = ex("Player");
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        mdm.define_feature(&player, &ex("nationality")).unwrap();
+        mdm.register_wrapper(football::w3_players_v2(&eco)).unwrap();
+        mdm.define_mapping(
+            MappingBuilder::for_wrapper("w3")
+                .cover_concept(&player)
+                .cover_concept(&team)
+                .cover_feature(&ex("playerId"))
+                .cover_feature(&ex("playerName"))
+                .cover_feature(&ex("height"))
+                .cover_feature(&ex("weight"))
+                .cover_feature(&ex("foot"))
+                .cover_feature(&ex("nationality"))
+                .cover_feature(&ex("teamId"))
+                .cover_relation(&player, &ex("hasTeam"), &team)
+                .same_as("id", &ex("playerId"))
+                .same_as("pName", &ex("playerName"))
+                .same_as("height", &ex("height"))
+                .same_as("weight", &ex("weight"))
+                .same_as("foot", &ex("foot"))
+                .same_as("nationality", &ex("nationality"))
+                .same_as("teamId", &ex("teamId")),
+        )
+        .unwrap();
+
+        let walk = Walk::new()
+            .feature(&player, &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&player, &ex("hasTeam"), &team);
+        let answer = mdm.query(&walk).unwrap();
+        let rendered = answer.render();
+        assert!(rendered.contains("Lionel Messi"), "{rendered}");
+        assert!(rendered.contains("Zlatan Ibrahimovic"), "{rendered}");
+        assert!(answer.rewriting.branch_count() >= 2);
+        // The union of versions covers every distinct (player, team) pair —
+        // DISTINCT collapses synthetic name collisions, so compare sets.
+        let team_name = |id: i64| {
+            eco.teams
+                .iter()
+                .find(|t| t.id == id)
+                .map(|t| t.name.clone())
+                .unwrap_or_default()
+        };
+        let expected: std::collections::BTreeSet<(String, String)> = eco
+            .players
+            .iter()
+            .map(|p| (p.name.clone(), team_name(p.team_id)))
+            .collect();
+        assert_eq!(
+            answer.table.len(),
+            expected.len(),
+            "union of versions covers every distinct (player, team) pair"
+        );
+    }
+
+    #[test]
+    fn renderings_are_nonempty() {
+        let mdm = football_mdm();
+        assert!(mdm.render_global_graph().contains("GLOBAL GRAPH"));
+        assert!(mdm.render_source_graph().contains("PlayersAPI"));
+        assert!(mdm.render_mappings().contains("named graph w1"));
+        assert!(mdm.render_trig().contains("GRAPH"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_through_facade() {
+        let mdm = football_mdm();
+        let snap = mdm.snapshot();
+        let restored = Mdm::restore_metadata(&snap).unwrap();
+        assert_eq!(restored.ontology().concepts(), mdm.ontology().concepts());
+        // Rewriting works on restored metadata (execution needs wrappers).
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&vocab::schema::SPORTS_TEAM.iri(), &ex("teamName"))
+            .relation(
+                &ex("Player"),
+                &ex("hasTeam"),
+                &vocab::schema::SPORTS_TEAM.iri(),
+            );
+        restored.rewrite(&walk).unwrap();
+    }
+
+    #[test]
+    fn onboarding_pipeline_registers_and_maps() {
+        // A fresh Teams-like source onboards fully automatically because its
+        // attribute names match global features.
+        let mut mdm = football_mdm();
+        let mut endpoint = mdm_wrappers::RestSource::new("TeamsMirror");
+        endpoint.publish(mdm_wrappers::Release {
+            version: 1,
+            format: mdm_wrappers::Format::Json,
+            body: r#"[{"team_id":25,"team_name":"FC Barcelona","short_name":"FCB"}]"#.to_string(),
+            notes: String::new(),
+        });
+        let config = r#"{
+            "source": "TeamsMirror",
+            "wrappers": [{
+                "name": "wm1",
+                "version": 1,
+                "bindings": [
+                    {"attribute": "teamId",    "column": "team_id"},
+                    {"attribute": "teamName",  "column": "team_name"},
+                    {"attribute": "shortName", "column": "short_name"}
+                ]
+            }]
+        }"#;
+        let reports = mdm.onboard_source(&endpoint, config).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].mapped, "report: {:?}", reports[0]);
+        // The onboarded wrapper serves walks immediately.
+        let walk = Walk::new().feature(&vocab::schema::SPORTS_TEAM.iri(), &ex("teamName"));
+        let answer = mdm.query(&walk).unwrap();
+        assert!(answer.rewriting.branch_count() >= 2); // w2 ∪ wm1
+    }
+
+    #[test]
+    fn onboarding_reports_gaps_without_mapping() {
+        let mut mdm = football_mdm();
+        let mut endpoint = mdm_wrappers::RestSource::new("NamesOnly");
+        endpoint.publish(mdm_wrappers::Release {
+            version: 1,
+            format: mdm_wrappers::Format::Json,
+            body: r#"[{"team_name":"FC Barcelona"}]"#.to_string(),
+            notes: String::new(),
+        });
+        let config = r#"{
+            "source": "NamesOnly",
+            "wrappers": [{
+                "name": "wn1",
+                "version": 1,
+                "bindings": [{"attribute": "teamName", "column": "team_name"}]
+            }]
+        }"#;
+        let reports = mdm.onboard_source(&endpoint, config).unwrap();
+        assert!(!reports[0].mapped);
+        assert_eq!(reports[0].identifier_gaps, vec!["sc:SportsTeam"]);
+        // Registered but unmapped: metadata knows it, rewriting ignores it.
+        assert!(mdm
+            .ontology()
+            .wrappers()
+            .iter()
+            .any(|w| w.local_name() == "wn1"));
+    }
+
+    #[test]
+    fn registration_and_metadata_stay_consistent() {
+        let mdm = football_mdm();
+        // Every catalog wrapper has a source-graph node and vice versa.
+        let metadata_wrappers: Vec<String> = mdm
+            .ontology()
+            .wrappers()
+            .iter()
+            .map(|w| w.local_name().to_string())
+            .collect();
+        let catalog_wrappers: Vec<String> = mdm
+            .catalog()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(metadata_wrappers.len(), catalog_wrappers.len());
+        for name in catalog_wrappers {
+            assert!(metadata_wrappers.contains(&name));
+        }
+    }
+}

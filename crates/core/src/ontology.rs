@@ -1,0 +1,659 @@
+//! The BDI ontology: global graph + source graph + mapping dataset.
+//!
+//! The RDF graphs are the single source of truth — every typed accessor
+//! below is a query over them, exactly as the paper's Jena-backed
+//! implementation works. Three structures:
+//!
+//! * the **global graph** (paper §2.1): `G:Concept`s related by user-defined
+//!   properties, each grouping `G:Feature`s via `G:hasFeature`; features may
+//!   be declared identifiers via `rdfs:subClassOf sc:identifier`, and
+//!   concepts may form taxonomies via `rdfs:subClassOf`;
+//! * the **source graph** (paper §2.2): `S:DataSource`s with `S:Wrapper`s
+//!   (one per consumed schema version) exposing `S:Attribute`s;
+//! * the **mapping dataset** (paper §2.3): one named graph per wrapper — the
+//!   subgraph of the global graph the wrapper populates — plus `owl:sameAs`
+//!   links from attributes to features kept in the source graph.
+
+use mdm_rdf::dataset::Dataset;
+use mdm_rdf::graph::Graph;
+use mdm_rdf::namespace::PrefixMap;
+use mdm_rdf::term::{Iri, Term};
+use mdm_rdf::vocab::{bdi, owl, rdf, rdfs, schema};
+
+use crate::error::MdmError;
+
+/// Instance namespace under which MDM mints source/wrapper/attribute IRIs.
+pub const INSTANCE_NS: &str = "http://www.essi.upc.edu/~snadal/BDIOntology/instances/";
+
+/// The BDI ontology.
+#[derive(Clone, Debug, Default)]
+pub struct BdiOntology {
+    global: Graph,
+    source: Graph,
+    mappings: Dataset,
+    prefixes: PrefixMap,
+}
+
+impl BdiOntology {
+    /// An empty ontology with the default prefixes (G:, S:, sc:, ex:, …).
+    pub fn new() -> Self {
+        let mut prefixes = PrefixMap::with_defaults();
+        prefixes.insert("in", INSTANCE_NS);
+        BdiOntology {
+            global: Graph::new(),
+            source: Graph::new(),
+            mappings: Dataset::new(),
+            prefixes,
+        }
+    }
+
+    /// The global graph (read-only).
+    pub fn global_graph(&self) -> &Graph {
+        &self.global
+    }
+
+    /// The source graph (read-only).
+    pub fn source_graph(&self) -> &Graph {
+        &self.source
+    }
+
+    /// The mapping dataset (read-only): one named graph per wrapper.
+    pub fn mappings(&self) -> &Dataset {
+        &self.mappings
+    }
+
+    /// Mutable access to the mapping dataset, for [`crate::mapping`].
+    pub(crate) fn mappings_mut(&mut self) -> &mut Dataset {
+        &mut self.mappings
+    }
+
+    /// Mutable access to the source graph, for [`crate::release`] and
+    /// [`crate::mapping`].
+    pub(crate) fn source_graph_mut(&mut self) -> &mut Graph {
+        &mut self.source
+    }
+
+    /// Mutable access to the global graph, restore path only.
+    pub(crate) fn global_graph_mut_internal(&mut self) -> &mut Graph {
+        &mut self.global
+    }
+
+    /// The prefix map used for rendering.
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.prefixes
+    }
+
+    /// Binds an extra rendering prefix (e.g. a reused external vocabulary).
+    pub fn bind_prefix(&mut self, prefix: &str, namespace: &str) {
+        self.prefixes.insert(prefix, namespace);
+    }
+
+    // ------------------------------------------------------------------
+    // Global graph construction (the data steward's §2.1 interactions)
+    // ------------------------------------------------------------------
+
+    /// Declares a concept. Idempotent.
+    pub fn add_concept(&mut self, concept: &Iri) -> Result<(), MdmError> {
+        if self.is_feature(concept) {
+            return Err(MdmError::Ontology(format!(
+                "'{concept}' is already a feature; it cannot also be a concept"
+            )));
+        }
+        self.global
+            .insert((concept.term(), rdf::TYPE.term(), bdi::CONCEPT.term()));
+        Ok(())
+    }
+
+    /// Declares `feature` and attaches it to `concept`.
+    ///
+    /// Features belong to exactly one concept (paper §2.1: *"we restrict
+    /// features to belong to only one concept"*), so attaching an existing
+    /// feature to a second concept is an error.
+    pub fn add_feature(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
+        if !self.is_concept(concept) {
+            return Err(MdmError::Ontology(format!("unknown concept '{concept}'")));
+        }
+        if let Some(owner) = self.concept_of_feature(feature) {
+            if owner != *concept {
+                return Err(MdmError::Ontology(format!(
+                    "feature '{feature}' already belongs to '{owner}'; features belong to exactly one concept"
+                )));
+            }
+        }
+        if self.is_concept(feature) {
+            return Err(MdmError::Ontology(format!(
+                "'{feature}' is already a concept; it cannot also be a feature"
+            )));
+        }
+        self.global
+            .insert((feature.term(), rdf::TYPE.term(), bdi::FEATURE.term()));
+        self.global
+            .insert((concept.term(), bdi::HAS_FEATURE.term(), feature.term()));
+        Ok(())
+    }
+
+    /// Declares `feature` as an identifier: `feature rdfs:subClassOf
+    /// sc:identifier`. Only identifier features may participate in joins
+    /// (paper §2.3). A concept has at most one identifier.
+    pub fn add_identifier(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
+        self.add_feature(concept, feature)?;
+        if let Some(existing) = self.identifier_of(concept) {
+            if existing != *feature {
+                return Err(MdmError::Ontology(format!(
+                    "concept '{concept}' already has identifier '{existing}'"
+                )));
+            }
+        }
+        self.global.insert((
+            feature.term(),
+            rdfs::SUB_CLASS_OF.term(),
+            schema::IDENTIFIER.term(),
+        ));
+        Ok(())
+    }
+
+    /// Relates two concepts with a user-defined property.
+    pub fn add_relation(&mut self, from: &Iri, property: &Iri, to: &Iri) -> Result<(), MdmError> {
+        for c in [from, to] {
+            if !self.is_concept(c) {
+                return Err(MdmError::Ontology(format!("unknown concept '{c}'")));
+            }
+        }
+        self.global
+            .insert((from.term(), property.term(), to.term()));
+        Ok(())
+    }
+
+    /// Declares `sub rdfs:subClassOf sup` between concepts (taxonomies,
+    /// §2.1).
+    pub fn add_subconcept(&mut self, sub: &Iri, sup: &Iri) -> Result<(), MdmError> {
+        for c in [sub, sup] {
+            if !self.is_concept(c) {
+                return Err(MdmError::Ontology(format!("unknown concept '{c}'")));
+            }
+        }
+        self.global
+            .insert((sub.term(), rdfs::SUB_CLASS_OF.term(), sup.term()));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Global graph accessors
+    // ------------------------------------------------------------------
+
+    /// True when `iri` is a declared concept.
+    pub fn is_concept(&self, iri: &Iri) -> bool {
+        self.global
+            .contains(&iri.term(), &rdf::TYPE.term(), &bdi::CONCEPT.term())
+    }
+
+    /// True when `iri` is a declared feature.
+    pub fn is_feature(&self, iri: &Iri) -> bool {
+        self.global
+            .contains(&iri.term(), &rdf::TYPE.term(), &bdi::FEATURE.term())
+    }
+
+    /// All concepts, in IRI order.
+    pub fn concepts(&self) -> Vec<Iri> {
+        self.global
+            .subjects(&rdf::TYPE.term(), &bdi::CONCEPT.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    /// The features of `concept`, in IRI order.
+    pub fn features_of(&self, concept: &Iri) -> Vec<Iri> {
+        self.global
+            .objects(&concept.term(), &bdi::HAS_FEATURE.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    /// The concept owning `feature`, when declared.
+    pub fn concept_of_feature(&self, feature: &Iri) -> Option<Iri> {
+        self.global
+            .subjects(&bdi::HAS_FEATURE.term(), &feature.term())
+            .into_iter()
+            .find_map(|t| t.as_iri().cloned())
+    }
+
+    /// The identifier feature of `concept`: its feature that is
+    /// `rdfs:subClassOf sc:identifier` (directly or through a feature
+    /// subclass chain). When the concept has no identifier of its own, it
+    /// *inherits* the nearest superconcept's identifier — a subconcept's
+    /// instances are instances of the super, so they share its key (§2.1
+    /// taxonomies).
+    pub fn identifier_of(&self, concept: &Iri) -> Option<Iri> {
+        for candidate in self.superconcepts_of(concept) {
+            if let Some(id) = self
+                .features_of(&candidate)
+                .into_iter()
+                .find(|f| self.is_identifier(f))
+            {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// `concept` and its transitive subconcepts (via `rdfs:subClassOf`
+    /// between concepts), in BFS-from-self order.
+    pub fn subconcepts_of(&self, concept: &Iri) -> Vec<Iri> {
+        self.concept_closure(concept, /* down */ true)
+    }
+
+    /// `concept` and its transitive superconcepts, nearest first.
+    pub fn superconcepts_of(&self, concept: &Iri) -> Vec<Iri> {
+        self.concept_closure(concept, /* down */ false)
+    }
+
+    fn concept_closure(&self, concept: &Iri, down: bool) -> Vec<Iri> {
+        let mut out = Vec::new();
+        let mut frontier = vec![concept.clone()];
+        while let Some(current) = frontier.pop() {
+            if out.contains(&current) {
+                continue;
+            }
+            let neighbours: Vec<Iri> = if down {
+                self.global
+                    .subjects(&rdfs::SUB_CLASS_OF.term(), &current.term())
+            } else {
+                self.global
+                    .objects(&current.term(), &rdfs::SUB_CLASS_OF.term())
+            }
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .filter(|iri| self.is_concept(iri))
+            .collect();
+            out.push(current);
+            frontier.extend(neighbours);
+        }
+        out
+    }
+
+    /// The features available on `concept` including those inherited from
+    /// superconcepts (a subconcept's instances carry the super's features).
+    pub fn inherited_features_of(&self, concept: &Iri) -> Vec<Iri> {
+        let mut out = Vec::new();
+        for ancestor in self.superconcepts_of(concept) {
+            for feature in self.features_of(&ancestor) {
+                if !out.contains(&feature) {
+                    out.push(feature);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when `feature` inherits from `sc:identifier` (transitively).
+    pub fn is_identifier(&self, feature: &Iri) -> bool {
+        let mut frontier = vec![feature.clone()];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(current) = frontier.pop() {
+            if !seen.insert(current.clone()) {
+                continue;
+            }
+            for object in self
+                .global
+                .objects(&current.term(), &rdfs::SUB_CLASS_OF.term())
+            {
+                if let Some(iri) = object.as_iri() {
+                    if schema::IDENTIFIER == *iri {
+                        return true;
+                    }
+                    frontier.push(iri.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// All concept-to-concept relations `(from, property, to)`, excluding
+    /// metamodel edges (`rdf:type`, `G:hasFeature`, `rdfs:subClassOf`).
+    pub fn relations(&self) -> Vec<(Iri, Iri, Iri)> {
+        self.global
+            .iter()
+            .filter_map(|(s, p, o)| {
+                let (Term::Iri(s), Term::Iri(p), Term::Iri(o)) = (s, p, o) else {
+                    return None;
+                };
+                if rdf::TYPE == p || bdi::HAS_FEATURE == p || rdfs::SUB_CLASS_OF == p {
+                    return None;
+                }
+                if self.is_concept(&s) && self.is_concept(&o) {
+                    Some((s, p, o))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Relations between two specific concepts.
+    pub fn relations_between(&self, from: &Iri, to: &Iri) -> Vec<Iri> {
+        self.relations()
+            .into_iter()
+            .filter(|(s, _, o)| s == from && o == to)
+            .map(|(_, p, _)| p)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Source graph accessors (construction lives in `release`)
+    // ------------------------------------------------------------------
+
+    /// Mints the IRI of a data source.
+    pub fn source_iri(name: &str) -> Iri {
+        Iri::new(format!("{INSTANCE_NS}dataSource/{name}"))
+    }
+
+    /// Mints the IRI of a wrapper.
+    pub fn wrapper_iri(name: &str) -> Iri {
+        Iri::new(format!("{INSTANCE_NS}wrapper/{name}"))
+    }
+
+    /// Mints the IRI of an attribute of a data source.
+    ///
+    /// Attributes are scoped per source so that same-named attributes can be
+    /// *reused across wrappers of one source* but never across sources
+    /// ("this is not possible among different data sources as the semantics
+    /// of attributes might differ", §2.2).
+    pub fn attribute_iri(source_name: &str, attribute: &str) -> Iri {
+        Iri::new(format!("{INSTANCE_NS}attribute/{source_name}/{attribute}"))
+    }
+
+    /// All registered data sources.
+    pub fn data_sources(&self) -> Vec<Iri> {
+        self.source
+            .subjects(&rdf::TYPE.term(), &bdi::DATA_SOURCE.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    /// All wrappers of a data source.
+    pub fn wrappers_of(&self, source: &Iri) -> Vec<Iri> {
+        self.source
+            .objects(&source.term(), &bdi::HAS_WRAPPER.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    /// All registered wrappers (across sources).
+    pub fn wrappers(&self) -> Vec<Iri> {
+        self.source
+            .subjects(&rdf::TYPE.term(), &bdi::WRAPPER.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .collect()
+    }
+
+    /// The attributes of a wrapper, in signature order.
+    ///
+    /// Signature order is preserved via `rdfs:label` holding the positional
+    /// index — RDF triples are unordered, the label carries the ordering.
+    pub fn attributes_of(&self, wrapper: &Iri) -> Vec<Iri> {
+        let mut attrs: Vec<(usize, Iri)> = self
+            .source
+            .objects(&wrapper.term(), &bdi::HAS_ATTRIBUTE.term())
+            .into_iter()
+            .filter_map(|t| t.as_iri().cloned())
+            .map(|attr| {
+                let position = self
+                    .attribute_position(wrapper, &attr)
+                    .unwrap_or(usize::MAX);
+                (position, attr)
+            })
+            .collect();
+        attrs.sort();
+        attrs.into_iter().map(|(_, a)| a).collect()
+    }
+
+    fn attribute_position(&self, wrapper: &Iri, attribute: &Iri) -> Option<usize> {
+        // Position triples: (wrapper, S:hasAttribute#<n>, attribute) is not
+        // expressible; instead we store (attribute, rdfs:label, "<wrapper>#<n>")
+        // one label per wrapper using the attribute.
+        let prefix = format!("{}#", wrapper.as_str());
+        self.source
+            .objects(&attribute.term(), &rdfs::LABEL.term())
+            .into_iter()
+            .filter_map(|t| t.as_literal().cloned())
+            .find_map(|label| {
+                label
+                    .lexical()
+                    .strip_prefix(&prefix)
+                    .and_then(|idx| idx.parse::<usize>().ok())
+            })
+    }
+
+    /// Records signature position of an attribute within a wrapper.
+    pub(crate) fn set_attribute_position(
+        &mut self,
+        wrapper: &Iri,
+        attribute: &Iri,
+        position: usize,
+    ) {
+        self.source.insert((
+            attribute.term(),
+            rdfs::LABEL.term(),
+            Term::Literal(mdm_rdf::term::Literal::string(format!(
+                "{}#{position}",
+                wrapper.as_str()
+            ))),
+        ));
+    }
+
+    /// The local attribute name (last IRI segment).
+    pub fn attribute_name(attribute: &Iri) -> &str {
+        attribute.local_name()
+    }
+
+    /// The feature an attribute maps to via `owl:sameAs`, if any.
+    pub fn feature_of_attribute(&self, attribute: &Iri) -> Option<Iri> {
+        self.source
+            .objects(&attribute.term(), &owl::SAME_AS.term())
+            .into_iter()
+            .find_map(|t| t.as_iri().cloned())
+    }
+
+    /// Attributes of `wrapper` mapping to `feature`.
+    pub fn attributes_mapping_to(&self, wrapper: &Iri, feature: &Iri) -> Vec<Iri> {
+        self.attributes_of(wrapper)
+            .into_iter()
+            .filter(|attr| {
+                self.source
+                    .contains(&attr.term(), &owl::SAME_AS.term(), &feature.term())
+            })
+            .collect()
+    }
+
+    /// One-pass view of a wrapper's `sameAs` links: feature → the (first,
+    /// in signature order) attribute name mapping it. The rewriting phases
+    /// probe many features per wrapper; this avoids re-walking the attribute
+    /// list per feature.
+    pub fn wrapper_feature_columns(
+        &self,
+        wrapper: &Iri,
+    ) -> std::collections::BTreeMap<Iri, String> {
+        let mut out = std::collections::BTreeMap::new();
+        for attribute in self.attributes_of(wrapper) {
+            for object in self.source.objects(&attribute.term(), &owl::SAME_AS.term()) {
+                if let Some(feature) = object.as_iri() {
+                    out.entry(feature.clone())
+                        .or_insert_with(|| BdiOntology::attribute_name(&attribute).to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// The version a wrapper consumes (`S:version`).
+    pub fn wrapper_version(&self, wrapper: &Iri) -> Option<i64> {
+        self.source
+            .object(&wrapper.term(), &bdi::VERSION.term())
+            .and_then(|t| t.as_literal().and_then(|l| l.as_i64()))
+    }
+
+    /// Compacts an IRI through the ontology's prefixes, for rendering.
+    pub fn compact(&self, iri: &Iri) -> String {
+        self.prefixes
+            .compact(iri)
+            .unwrap_or_else(|| format!("<{}>", iri.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_rdf::vocab;
+
+    fn ex(local: &str) -> Iri {
+        Iri::new(format!("{}{local}", vocab::EXAMPLE_NS))
+    }
+
+    /// Builds the paper's Figure 5 global graph excerpt: Player and
+    /// sc:SportsTeam with their features and the hasTeam relation.
+    pub(crate) fn figure5_ontology() -> BdiOntology {
+        let mut o = BdiOntology::new();
+        let player = ex("Player");
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        o.add_concept(&player).unwrap();
+        o.add_concept(&team).unwrap();
+        o.add_identifier(&player, &ex("playerId")).unwrap();
+        o.add_feature(&player, &ex("playerName")).unwrap();
+        o.add_feature(&player, &ex("height")).unwrap();
+        o.add_feature(&player, &ex("weight")).unwrap();
+        o.add_feature(&player, &ex("score")).unwrap();
+        o.add_feature(&player, &ex("foot")).unwrap();
+        o.add_identifier(&team, &ex("teamId")).unwrap();
+        o.add_feature(&team, &ex("teamName")).unwrap();
+        o.add_feature(&team, &ex("shortName")).unwrap();
+        o.add_relation(&player, &ex("hasTeam"), &team).unwrap();
+        o
+    }
+
+    #[test]
+    fn concepts_and_features() {
+        let o = figure5_ontology();
+        assert_eq!(o.concepts().len(), 2);
+        assert!(o.is_concept(&ex("Player")));
+        assert_eq!(o.features_of(&ex("Player")).len(), 6);
+        assert_eq!(o.concept_of_feature(&ex("playerName")), Some(ex("Player")));
+        assert_eq!(o.concept_of_feature(&ex("nothing")), None);
+    }
+
+    #[test]
+    fn identifiers() {
+        let o = figure5_ontology();
+        assert_eq!(o.identifier_of(&ex("Player")), Some(ex("playerId")));
+        assert!(o.is_identifier(&ex("teamId")));
+        assert!(!o.is_identifier(&ex("playerName")));
+    }
+
+    #[test]
+    fn feature_single_ownership_enforced() {
+        let mut o = figure5_ontology();
+        let err = o
+            .add_feature(&vocab::schema::SPORTS_TEAM.iri(), &ex("playerName"))
+            .unwrap_err();
+        assert_eq!(err.category(), "ontology");
+        assert!(err.message().contains("exactly one concept"));
+        // Re-attaching to the same concept is fine (idempotent).
+        o.add_feature(&ex("Player"), &ex("playerName")).unwrap();
+    }
+
+    #[test]
+    fn concept_feature_disjointness() {
+        let mut o = figure5_ontology();
+        assert!(o.add_concept(&ex("playerName")).is_err());
+        let err = o.add_feature(&ex("Player"), &ex("Player")).unwrap_err();
+        assert!(err.message().contains("already a concept"));
+    }
+
+    #[test]
+    fn second_identifier_rejected() {
+        let mut o = figure5_ontology();
+        let err = o
+            .add_identifier(&ex("Player"), &ex("playerName"))
+            .unwrap_err();
+        assert!(err.message().contains("already has identifier"));
+    }
+
+    #[test]
+    fn relations_exclude_metamodel_edges() {
+        let o = figure5_ontology();
+        let rels = o.relations();
+        assert_eq!(rels.len(), 1);
+        let (from, p, to) = &rels[0];
+        assert_eq!(from, &ex("Player"));
+        assert_eq!(p, &ex("hasTeam"));
+        assert_eq!(to, &vocab::schema::SPORTS_TEAM.iri());
+        assert_eq!(
+            o.relations_between(&ex("Player"), &vocab::schema::SPORTS_TEAM.iri()),
+            vec![ex("hasTeam")]
+        );
+    }
+
+    #[test]
+    fn relation_requires_known_concepts() {
+        let mut o = figure5_ontology();
+        assert!(o
+            .add_relation(&ex("Player"), &ex("p"), &ex("Unknown"))
+            .is_err());
+    }
+
+    #[test]
+    fn taxonomy_between_concepts() {
+        let mut o = figure5_ontology();
+        let goalkeeper = ex("Goalkeeper");
+        o.add_concept(&goalkeeper).unwrap();
+        o.add_subconcept(&goalkeeper, &ex("Player")).unwrap();
+        assert!(o.global_graph().contains(
+            &goalkeeper.term(),
+            &rdfs::SUB_CLASS_OF.term(),
+            &ex("Player").term()
+        ));
+    }
+
+    #[test]
+    fn identifier_inheritance_through_subclass() {
+        let mut o = figure5_ontology();
+        // A feature subclassing another identifier feature is an identifier.
+        let special = ex("specialId");
+        o.add_feature(&ex("Player"), &special).unwrap();
+        o.global.insert((
+            special.term(),
+            rdfs::SUB_CLASS_OF.term(),
+            ex("teamId").term(),
+        ));
+        assert!(o.is_identifier(&special));
+    }
+
+    #[test]
+    fn minted_iris_are_scoped() {
+        let a1 = BdiOntology::attribute_iri("PlayersAPI", "id");
+        let a2 = BdiOntology::attribute_iri("TeamsAPI", "id");
+        assert_ne!(a1, a2);
+        assert_eq!(BdiOntology::attribute_name(&a1), "id");
+    }
+
+    #[test]
+    fn compact_uses_prefixes() {
+        let o = figure5_ontology();
+        assert_eq!(o.compact(&ex("Player")), "ex:Player");
+        assert_eq!(
+            o.compact(&vocab::schema::SPORTS_TEAM.iri()),
+            "sc:SportsTeam"
+        );
+    }
+
+    #[test]
+    fn unknown_concept_errors() {
+        let mut o = BdiOntology::new();
+        assert!(o.add_feature(&ex("Nope"), &ex("f")).is_err());
+        assert!(o.add_subconcept(&ex("A"), &ex("B")).is_err());
+    }
+}

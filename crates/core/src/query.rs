@@ -1,0 +1,281 @@
+//! End-to-end OMQ execution: rewriting + federated execution.
+//!
+//! "Concerning the execution of queries, the fragment of data provided by
+//! wrappers is loaded into temporal SQLite tables in order to execute the
+//! federated query" (§2.5) — here the rewritten plan runs directly on the
+//! `mdm-relational` engine against any [`Catalog`] of wrapper relations.
+
+use mdm_relational::{Catalog, Executor, Table};
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
+use crate::walk::Walk;
+
+/// The answer to an OMQ: the rewriting artifacts plus the result table.
+#[derive(Clone, Debug)]
+pub struct QueryAnswer {
+    pub rewriting: Rewriting,
+    pub table: Table,
+}
+
+impl QueryAnswer {
+    /// The tabular rendering the MDM UI displays (cf. Table 1).
+    pub fn render(&self) -> String {
+        self.table.render()
+    }
+}
+
+/// Rewrites `walk` and executes it against `catalog`.
+pub fn answer_walk(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    catalog: &dyn Catalog,
+    options: &RewriteOptions,
+) -> Result<QueryAnswer, MdmError> {
+    let rewriting = rewrite_walk(ontology, walk, options)?;
+    let table = Executor::new(catalog)
+        .run(&rewriting.plan)
+        .map_err(|e| MdmError::Execution(e.0))?
+        .sorted();
+    Ok(QueryAnswer { rewriting, table })
+}
+
+/// Like [`answer_walk`], but the result carries a trailing `provenance`
+/// column naming the wrapper set of the union branch each row came from —
+/// the governance view that makes "these rows come from the old version,
+/// those from the new one" visible in the demo.
+///
+/// Rows produced by several branches appear once per branch (provenance is
+/// per-derivation), so the row count may exceed the plain answer's.
+pub fn answer_walk_with_provenance(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    catalog: &dyn Catalog,
+    options: &RewriteOptions,
+) -> Result<QueryAnswer, MdmError> {
+    use mdm_relational::schema::ColumnRef;
+    use mdm_relational::{Expr, Plan, Value};
+
+    let rewriting = rewrite_walk(ontology, walk, options)?;
+    let branches: Vec<Plan> = rewriting
+        .queries
+        .iter()
+        .map(|cq| {
+            let label = cq.atoms.join("+");
+            crate::rewrite::plan_for_cq(cq, &rewriting.output_columns).map(|plan| {
+                // Distinct first (per-branch set semantics), then tag.
+                let plan = if options.distinct {
+                    plan.distinct()
+                } else {
+                    plan
+                };
+                let mut columns: Vec<(Expr, ColumnRef)> = rewriting
+                    .output_columns
+                    .iter()
+                    .map(|name| (Expr::col(name), ColumnRef::bare(name.clone())))
+                    .collect();
+                columns.push((
+                    Expr::Literal(Value::str(label)),
+                    ColumnRef::bare("provenance"),
+                ));
+                plan.project(columns)
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let plan = if branches.len() == 1 {
+        branches.into_iter().next().expect("len checked")
+    } else {
+        Plan::union(branches)
+    };
+    let table = Executor::new(catalog)
+        .run(&plan)
+        .map_err(|e| MdmError::Execution(e.0))?
+        .sorted();
+    Ok(QueryAnswer { rewriting, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{evolved_ontology, ex, figure7_ontology, figure8_walk};
+    use mdm_relational::{MemoryCatalog, Schema, Value};
+
+    /// Wrapper extensions with the paper's Table 1 rows.
+    fn catalog() -> MemoryCatalog {
+        let mut catalog = MemoryCatalog::new();
+        catalog.register(
+            "w1",
+            Table::new(
+                Schema::qualified(
+                    "w1",
+                    ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+                ),
+                vec![
+                    vec![
+                        Value::Int(6176),
+                        Value::str("Lionel Messi"),
+                        Value::Float(170.18),
+                        Value::Int(159),
+                        Value::Int(94),
+                        Value::str("left"),
+                        Value::Int(25),
+                    ],
+                    vec![
+                        Value::Int(6177),
+                        Value::str("Robert Lewandowski"),
+                        Value::Float(184.0),
+                        Value::Int(176),
+                        Value::Int(92),
+                        Value::str("right"),
+                        Value::Int(27),
+                    ],
+                ],
+            )
+            .unwrap(),
+        );
+        catalog.register(
+            "w2",
+            Table::new(
+                Schema::qualified("w2", ["id", "name", "shortName"]),
+                vec![
+                    vec![
+                        Value::Int(25),
+                        Value::str("FC Barcelona"),
+                        Value::str("FCB"),
+                    ],
+                    vec![
+                        Value::Int(27),
+                        Value::str("Bayern Munich"),
+                        Value::str("FCB2"),
+                    ],
+                    vec![
+                        Value::Int(29),
+                        Value::str("Manchester United"),
+                        Value::str("MU"),
+                    ],
+                ],
+            )
+            .unwrap(),
+        );
+        // The v2 wrapper serving the *newer* players only.
+        catalog.register(
+            "w3",
+            Table::new(
+                Schema::qualified(
+                    "w3",
+                    [
+                        "id",
+                        "pName",
+                        "height",
+                        "weight",
+                        "foot",
+                        "teamId",
+                        "nationality",
+                    ],
+                ),
+                vec![vec![
+                    Value::Int(6178),
+                    Value::str("Zlatan Ibrahimovic"),
+                    Value::Float(195.0),
+                    Value::Int(209),
+                    Value::str("right"),
+                    Value::Int(29),
+                    Value::Int(6),
+                ]],
+            )
+            .unwrap(),
+        );
+        catalog
+    }
+
+    #[test]
+    fn figure8_query_yields_table1_rows() {
+        let o = figure7_ontology();
+        let answer =
+            answer_walk(&o, &figure8_walk(), &catalog(), &RewriteOptions::default()).unwrap();
+        assert_eq!(answer.table.len(), 2);
+        let rendered = answer.render();
+        assert!(rendered.contains("Lionel Messi"));
+        assert!(rendered.contains("FC Barcelona"));
+    }
+
+    #[test]
+    fn evolved_ontology_unions_versions() {
+        // With w3 mapped, the same walk now returns all three famous rows —
+        // the §3 governance scenario's punchline.
+        let o = evolved_ontology();
+        let answer =
+            answer_walk(&o, &figure8_walk(), &catalog(), &RewriteOptions::default()).unwrap();
+        assert_eq!(answer.table.len(), 3);
+        let rendered = answer.render();
+        assert!(rendered.contains("Zlatan Ibrahimovic"));
+        assert!(rendered.contains("Manchester United"));
+        assert!(answer.rewriting.branch_count() >= 2);
+    }
+
+    #[test]
+    fn missing_wrapper_in_catalog_is_execution_error() {
+        let o = evolved_ontology();
+        let mut partial = MemoryCatalog::new();
+        // Only w1/w2 registered; the union needs w3.
+        let full = catalog();
+        for name in ["w1", "w2"] {
+            let table = Executor::new(&full)
+                .run(&mdm_relational::Plan::scan(name))
+                .unwrap();
+            partial.register(name, table);
+        }
+        let err =
+            answer_walk(&o, &figure8_walk(), &partial, &RewriteOptions::default()).unwrap_err();
+        assert_eq!(err.category(), "execution");
+        assert!(err.message().contains("w3"));
+    }
+
+    #[test]
+    fn provenance_labels_branches() {
+        let o = evolved_ontology();
+        let answer = answer_walk_with_provenance(
+            &o,
+            &figure8_walk(),
+            &catalog(),
+            &RewriteOptions::default(),
+        )
+        .unwrap();
+        let labels: std::collections::BTreeSet<String> = answer
+            .table
+            .column(&mdm_relational::schema::ColumnRef::bare("provenance"))
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        // Messi comes from the w1 branch, Zlatan from the w3 branch.
+        assert!(labels.iter().any(|l| l.contains("w1")), "{labels:?}");
+        assert!(labels.iter().any(|l| l.contains("w3")), "{labels:?}");
+        let rows: Vec<String> = answer
+            .table
+            .rows()
+            .iter()
+            .map(|r| format!("{} | {}", r[0], r[2]))
+            .collect();
+        assert!(
+            rows.iter()
+                .any(|r| r.contains("Zlatan Ibrahimovic") && r.contains("w3")),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn single_concept_projection_query() {
+        let o = figure7_ontology();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&ex("Player"), &ex("foot"));
+        let answer = answer_walk(&o, &walk, &catalog(), &RewriteOptions::default()).unwrap();
+        assert_eq!(answer.table.len(), 2);
+        assert_eq!(
+            answer.table.schema().join_names(", "),
+            "ex:playerName, ex:foot"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Registration of data sources and wrapper releases (paper §2.2).
+//!
+//! "New wrappers are introduced either because we want to consider data from
+//! a new data source, or because the schema of an existing source has
+//! evolved. Nevertheless, in both cases the procedure to incorporate them is
+//! the same." — the data steward provides the wrapper definition and its
+//! signature `w(a1, …, an)`; MDM extracts the RDF representation of the
+//! wrapper schema into the source graph, **reusing as many attributes as
+//! possible from the previous wrappers of that data source**, and never
+//! across sources.
+
+use mdm_rdf::term::{Iri, Term};
+use mdm_rdf::vocab::{bdi, rdf};
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+
+/// The outcome of a wrapper registration: which attributes were newly
+/// minted and which were reused from previous wrappers of the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Registration {
+    pub source: Iri,
+    pub wrapper: Iri,
+    /// Attribute IRIs in signature order.
+    pub attributes: Vec<Iri>,
+    /// Names reused from earlier wrappers of this source.
+    pub reused: Vec<String>,
+    /// Names minted fresh by this registration.
+    pub minted: Vec<String>,
+}
+
+/// Registers a data source (idempotent).
+pub fn register_source(ontology: &mut BdiOntology, name: &str) -> Result<Iri, MdmError> {
+    if name.is_empty() || !is_safe_name(name) {
+        return Err(MdmError::Registration(format!(
+            "invalid source name '{name}' (use alphanumerics, '_', '-')"
+        )));
+    }
+    let iri = BdiOntology::source_iri(name);
+    ontology
+        .source_graph_mut()
+        .insert((iri.term(), rdf::TYPE.term(), bdi::DATA_SOURCE.term()));
+    Ok(iri)
+}
+
+/// Registers a wrapper release for `source_name`: creates the `S:Wrapper`
+/// node, its `S:version`, and one `S:Attribute` per signature attribute
+/// (reused within the source when the name already exists).
+pub fn register_wrapper(
+    ontology: &mut BdiOntology,
+    source_name: &str,
+    wrapper_name: &str,
+    version: u32,
+    attributes: &[String],
+) -> Result<Registration, MdmError> {
+    let source = BdiOntology::source_iri(source_name);
+    if !ontology.data_sources().contains(&source) {
+        return Err(MdmError::Registration(format!(
+            "unknown data source '{source_name}'; register it first"
+        )));
+    }
+    if !is_safe_name(wrapper_name) {
+        return Err(MdmError::Registration(format!(
+            "invalid wrapper name '{wrapper_name}'"
+        )));
+    }
+    if attributes.is_empty() {
+        return Err(MdmError::Registration(format!(
+            "wrapper '{wrapper_name}' has an empty signature"
+        )));
+    }
+    let wrapper = BdiOntology::wrapper_iri(wrapper_name);
+    if ontology.wrappers().contains(&wrapper) {
+        return Err(MdmError::Registration(format!(
+            "wrapper '{wrapper_name}' is already registered"
+        )));
+    }
+
+    // Attribute reuse: names already present on *this source's* previous
+    // wrappers resolve to the same IRI; others are minted.
+    let existing: std::collections::BTreeSet<String> = ontology
+        .wrappers_of(&source)
+        .iter()
+        .flat_map(|w| ontology.attributes_of(w))
+        .map(|attr| BdiOntology::attribute_name(&attr).to_string())
+        .collect();
+
+    let mut reused = Vec::new();
+    let mut minted = Vec::new();
+    let mut attribute_iris = Vec::with_capacity(attributes.len());
+    {
+        let graph = ontology.source_graph_mut();
+        graph.insert((wrapper.term(), rdf::TYPE.term(), bdi::WRAPPER.term()));
+        graph.insert((source.term(), bdi::HAS_WRAPPER.term(), wrapper.term()));
+        graph.insert((
+            wrapper.term(),
+            bdi::VERSION.term(),
+            Term::integer(version as i64),
+        ));
+        for name in attributes {
+            if !is_safe_name(name) {
+                return Err(MdmError::Registration(format!(
+                    "invalid attribute name '{name}' in wrapper '{wrapper_name}'"
+                )));
+            }
+            let attr = BdiOntology::attribute_iri(source_name, name);
+            if existing.contains(name) {
+                reused.push(name.clone());
+            } else {
+                minted.push(name.clone());
+            }
+            graph.insert((attr.term(), rdf::TYPE.term(), bdi::ATTRIBUTE.term()));
+            graph.insert((wrapper.term(), bdi::HAS_ATTRIBUTE.term(), attr.term()));
+            attribute_iris.push(attr);
+        }
+    }
+    for (position, attr) in attribute_iris.iter().enumerate() {
+        ontology.set_attribute_position(&wrapper, attr, position);
+    }
+    Ok(Registration {
+        source,
+        wrapper,
+        attributes: attribute_iris,
+        reused,
+        minted,
+    })
+}
+
+fn is_safe_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn register_figure6_sources_and_wrappers() {
+        let mut o = BdiOntology::new();
+        register_source(&mut o, "PlayersAPI").unwrap();
+        register_source(&mut o, "TeamsAPI").unwrap();
+        let r1 = register_wrapper(
+            &mut o,
+            "PlayersAPI",
+            "w1",
+            1,
+            &strings(&["id", "pName", "height", "weight", "score", "foot", "teamId"]),
+        )
+        .unwrap();
+        let r2 = register_wrapper(
+            &mut o,
+            "TeamsAPI",
+            "w2",
+            1,
+            &strings(&["id", "name", "shortName"]),
+        )
+        .unwrap();
+        assert_eq!(o.data_sources().len(), 2);
+        assert_eq!(o.wrappers().len(), 2);
+        assert_eq!(r1.attributes.len(), 7);
+        assert_eq!(r1.minted.len(), 7);
+        assert!(r1.reused.is_empty());
+        // Attributes are returned (and stored) in signature order.
+        let names: Vec<String> = o
+            .attributes_of(&r1.wrapper)
+            .iter()
+            .map(|a| BdiOntology::attribute_name(a).to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["id", "pName", "height", "weight", "score", "foot", "teamId"]
+        );
+        // Same-named attributes across *different* sources stay distinct.
+        assert_ne!(r1.attributes[0], r2.attributes[0]);
+        assert_eq!(o.wrapper_version(&r1.wrapper), Some(1));
+    }
+
+    #[test]
+    fn attribute_reuse_within_source() {
+        let mut o = BdiOntology::new();
+        register_source(&mut o, "PlayersAPI").unwrap();
+        let r1 = register_wrapper(
+            &mut o,
+            "PlayersAPI",
+            "w1",
+            1,
+            &strings(&["id", "pName", "teamId"]),
+        )
+        .unwrap();
+        // The evolved wrapper keeps id/teamId, renames pName, adds nationality.
+        let r2 = register_wrapper(
+            &mut o,
+            "PlayersAPI",
+            "w3",
+            2,
+            &strings(&["id", "pName", "teamId", "nationality"]),
+        )
+        .unwrap();
+        assert_eq!(r2.reused, vec!["id", "pName", "teamId"]);
+        assert_eq!(r2.minted, vec!["nationality"]);
+        // Reused names resolve to the identical IRIs.
+        assert_eq!(r1.attributes[0], r2.attributes[0]);
+        // Both wrappers list the shared attribute.
+        assert_eq!(o.attributes_of(&r1.wrapper).len(), 3);
+        assert_eq!(o.attributes_of(&r2.wrapper).len(), 4);
+    }
+
+    #[test]
+    fn signature_order_preserved_per_wrapper_even_when_shared() {
+        let mut o = BdiOntology::new();
+        register_source(&mut o, "S").unwrap();
+        register_wrapper(&mut o, "S", "wa", 1, &strings(&["a", "b"])).unwrap();
+        register_wrapper(&mut o, "S", "wb", 2, &strings(&["b", "a"])).unwrap();
+        let wa = BdiOntology::wrapper_iri("wa");
+        let wb = BdiOntology::wrapper_iri("wb");
+        let names = |w: &Iri| -> Vec<String> {
+            o.attributes_of(w)
+                .iter()
+                .map(|a| BdiOntology::attribute_name(a).to_string())
+                .collect()
+        };
+        assert_eq!(names(&wa), vec!["a", "b"]);
+        assert_eq!(names(&wb), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut o = BdiOntology::new();
+        let err = register_wrapper(&mut o, "Nope", "w1", 1, &strings(&["id"])).unwrap_err();
+        assert!(err.message().contains("unknown data source"));
+    }
+
+    #[test]
+    fn duplicate_wrapper_rejected() {
+        let mut o = BdiOntology::new();
+        register_source(&mut o, "S").unwrap();
+        register_wrapper(&mut o, "S", "w1", 1, &strings(&["id"])).unwrap();
+        let err = register_wrapper(&mut o, "S", "w1", 2, &strings(&["id"])).unwrap_err();
+        assert!(err.message().contains("already registered"));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut o = BdiOntology::new();
+        assert!(register_source(&mut o, "bad name").is_err());
+        assert!(register_source(&mut o, "").is_err());
+        register_source(&mut o, "S").unwrap();
+        assert!(register_wrapper(&mut o, "S", "w 1", 1, &strings(&["id"])).is_err());
+        assert!(register_wrapper(&mut o, "S", "w1", 1, &strings(&["bad attr"])).is_err());
+        assert!(register_wrapper(&mut o, "S", "w1", 1, &[]).is_err());
+    }
+
+    #[test]
+    fn source_registration_is_idempotent() {
+        let mut o = BdiOntology::new();
+        let a = register_source(&mut o, "S").unwrap();
+        let b = register_source(&mut o, "S").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(o.data_sources().len(), 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Deterministic textual renderings of the paper's figures.
+//!
+//! The reference implementation renders these with D3.js in a browser; here
+//! every figure has (a) an ASCII listing and (b) a Graphviz DOT document, so
+//! the artifacts regenerate from the running system and diff cleanly.
+
+use std::fmt::Write as _;
+
+use mdm_rdf::term::Iri;
+use mdm_rdf::turtle;
+
+use crate::ontology::BdiOntology;
+use crate::walk::Walk;
+
+/// Figure 5 (ASCII): the global graph — concepts with their features,
+/// identifiers flagged, then relations.
+pub fn global_graph_text(ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    writeln!(out, "GLOBAL GRAPH").unwrap();
+    writeln!(out, "===========").unwrap();
+    for concept in ontology.concepts() {
+        writeln!(out, "concept {}", ontology.compact(&concept)).unwrap();
+        for feature in ontology.features_of(&concept) {
+            let marker = if ontology.is_identifier(&feature) {
+                "  [id] "
+            } else {
+                "       "
+            };
+            writeln!(out, "{marker}{}", ontology.compact(&feature)).unwrap();
+        }
+    }
+    let relations = ontology.relations();
+    if !relations.is_empty() {
+        writeln!(out, "relations").unwrap();
+        for (from, property, to) in relations {
+            writeln!(
+                out,
+                "       {} --{}--> {}",
+                ontology.compact(&from),
+                ontology.compact(&property),
+                ontology.compact(&to)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 5 (DOT): blue concept nodes, yellow feature nodes — the paper's
+/// colour legend.
+pub fn global_graph_dot(ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph global_graph {{").unwrap();
+    writeln!(out, "    rankdir=LR;").unwrap();
+    writeln!(out, "    node [style=filled];").unwrap();
+    for concept in ontology.concepts() {
+        writeln!(
+            out,
+            "    \"{}\" [fillcolor=lightblue, shape=ellipse];",
+            ontology.compact(&concept)
+        )
+        .unwrap();
+        for feature in ontology.features_of(&concept) {
+            let colour = if ontology.is_identifier(&feature) {
+                "gold"
+            } else {
+                "lightyellow"
+            };
+            writeln!(
+                out,
+                "    \"{}\" [fillcolor={colour}, shape=box];",
+                ontology.compact(&feature)
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    \"{}\" -> \"{}\" [label=\"G:hasFeature\"];",
+                ontology.compact(&concept),
+                ontology.compact(&feature)
+            )
+            .unwrap();
+        }
+    }
+    for (from, property, to) in ontology.relations() {
+        writeln!(
+            out,
+            "    \"{}\" -> \"{}\" [label=\"{}\", penwidth=2];",
+            ontology.compact(&from),
+            ontology.compact(&to),
+            ontology.compact(&property)
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Figure 6 (ASCII): the source graph — sources, wrappers (with versions and
+/// signatures), attributes.
+pub fn source_graph_text(ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    writeln!(out, "SOURCE GRAPH").unwrap();
+    writeln!(out, "============").unwrap();
+    for source in ontology.data_sources() {
+        writeln!(out, "dataSource {}", source.local_name()).unwrap();
+        for wrapper in ontology.wrappers_of(&source) {
+            let version = ontology
+                .wrapper_version(&wrapper)
+                .map(|v| format!(" (v{v})"))
+                .unwrap_or_default();
+            let attributes: Vec<String> = ontology
+                .attributes_of(&wrapper)
+                .iter()
+                .map(|a| BdiOntology::attribute_name(a).to_string())
+                .collect();
+            writeln!(
+                out,
+                "    wrapper {}{version}: {}({})",
+                wrapper.local_name(),
+                wrapper.local_name(),
+                attributes.join(", ")
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 6 (DOT): red sources, orange wrappers, blue attributes.
+pub fn source_graph_dot(ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph source_graph {{").unwrap();
+    writeln!(out, "    rankdir=LR;").unwrap();
+    writeln!(out, "    node [style=filled];").unwrap();
+    for source in ontology.data_sources() {
+        let source_label = source.local_name();
+        writeln!(
+            out,
+            "    \"{source_label}\" [fillcolor=salmon, shape=ellipse];"
+        )
+        .unwrap();
+        for wrapper in ontology.wrappers_of(&source) {
+            let wrapper_label = wrapper.local_name();
+            writeln!(
+                out,
+                "    \"{wrapper_label}\" [fillcolor=orange, shape=ellipse];"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    \"{source_label}\" -> \"{wrapper_label}\" [label=\"S:hasWrapper\"];"
+            )
+            .unwrap();
+            for attribute in ontology.attributes_of(&wrapper) {
+                // Attribute node ids are source-scoped to keep reuse visible.
+                let attribute_id =
+                    format!("{source_label}.{}", BdiOntology::attribute_name(&attribute));
+                writeln!(
+                    out,
+                    "    \"{attribute_id}\" [fillcolor=lightblue, shape=box, label=\"{}\"];",
+                    BdiOntology::attribute_name(&attribute)
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "    \"{wrapper_label}\" -> \"{attribute_id}\" [label=\"S:hasAttribute\"];"
+                )
+                .unwrap();
+            }
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Figure 7 (ASCII): per wrapper, the named-graph contour and the sameAs
+/// links.
+pub fn mappings_text(ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    writeln!(out, "LAV MAPPINGS").unwrap();
+    writeln!(out, "============").unwrap();
+    let names: Vec<Iri> = ontology.mappings().graph_names().cloned().collect();
+    for wrapper in names {
+        writeln!(out, "named graph {}", wrapper.local_name()).unwrap();
+        let graph = ontology
+            .mappings()
+            .named_graph(&wrapper)
+            .expect("name enumerated from dataset");
+        for (s, p, o) in graph.iter() {
+            let compact = |t: &mdm_rdf::Term| -> String {
+                match t.as_iri() {
+                    Some(iri) => ontology.compact(iri),
+                    None => t.to_string(),
+                }
+            };
+            writeln!(out, "    {} {} {}", compact(&s), compact(&p), compact(&o)).unwrap();
+        }
+        for attribute in ontology.attributes_of(&wrapper) {
+            if let Some(feature) = ontology.feature_of_attribute(&attribute) {
+                writeln!(
+                    out,
+                    "    sameAs: {} ≡ {}",
+                    BdiOntology::attribute_name(&attribute),
+                    ontology.compact(&feature)
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// The whole metadata state as a TriG document (global graph in the default
+/// graph, one named graph per mapping) — the serialisation a Jena TDB dump
+/// would give.
+pub fn ontology_trig(ontology: &BdiOntology) -> String {
+    let mut dataset = ontology.mappings().clone();
+    dataset
+        .default_graph_mut()
+        .extend_from(ontology.global_graph());
+    dataset
+        .default_graph_mut()
+        .extend_from(ontology.source_graph());
+    turtle::write_dataset(&dataset, ontology.prefixes())
+}
+
+/// Figure 8 (ASCII): the walk as a pattern listing.
+pub fn walk_text(ontology: &BdiOntology, walk: &Walk) -> String {
+    let mut out = String::new();
+    writeln!(out, "WALK").unwrap();
+    writeln!(out, "====").unwrap();
+    for concept in walk.concepts() {
+        let features: Vec<String> = walk
+            .features_of(concept)
+            .iter()
+            .map(|f| ontology.compact(f))
+            .collect();
+        writeln!(
+            out,
+            "    {} {{ {} }}",
+            ontology.compact(concept),
+            features.join(", ")
+        )
+        .unwrap();
+    }
+    for (from, property, to) in walk.relations() {
+        writeln!(
+            out,
+            "    {} --{}--> {}",
+            ontology.compact(from),
+            ontology.compact(property),
+            ontology.compact(to)
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{figure7_ontology, figure8_walk};
+
+    #[test]
+    fn global_graph_text_lists_concepts_and_ids() {
+        let o = figure7_ontology();
+        let text = global_graph_text(&o);
+        assert!(text.contains("concept ex:Player"));
+        assert!(text.contains("concept sc:SportsTeam"));
+        assert!(text.contains("[id] ex:playerId"));
+        assert!(text.contains("ex:Player --ex:hasTeam--> sc:SportsTeam"));
+    }
+
+    #[test]
+    fn source_graph_text_shows_signatures() {
+        let o = figure7_ontology();
+        let text = source_graph_text(&o);
+        assert!(text.contains("dataSource PlayersAPI"));
+        assert!(text.contains("w1(id, pName, height, weight, score, foot, teamId)"));
+        assert!(text.contains("(v1)"));
+    }
+
+    #[test]
+    fn mappings_text_shows_contours_and_sameas() {
+        let o = figure7_ontology();
+        let text = mappings_text(&o);
+        assert!(text.contains("named graph w1"));
+        assert!(text.contains("sameAs: pName ≡ ex:playerName"));
+        assert!(text.contains("ex:Player ex:hasTeam sc:SportsTeam"));
+    }
+
+    #[test]
+    fn dot_documents_are_well_formed() {
+        let o = figure7_ontology();
+        for dot in [global_graph_dot(&o), source_graph_dot(&o)] {
+            assert!(dot.starts_with("digraph"));
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn trig_round_trips_through_the_turtle_reader() {
+        let o = figure7_ontology();
+        let trig = ontology_trig(&o);
+        let parsed = mdm_rdf::turtle::parse_dataset(&trig).unwrap();
+        assert_eq!(parsed.named_graph_count(), 2);
+        assert_eq!(
+            parsed.default_graph().len(),
+            o.global_graph().len() + o.source_graph().len()
+        );
+    }
+
+    #[test]
+    fn walk_text_lists_pattern() {
+        let o = figure7_ontology();
+        let text = walk_text(&o, &figure8_walk());
+        assert!(text.contains("ex:Player { ex:playerName }"));
+        assert!(text.contains("sc:SportsTeam { ex:teamName }"));
+    }
+}

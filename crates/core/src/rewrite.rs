@@ -1,0 +1,368 @@
+//! The rewriting pipeline: walk → expansion → intra → inter → relational
+//! algebra (paper §2.4, Figure 8).
+
+use std::collections::BTreeMap;
+
+use mdm_rdf::term::Iri;
+use mdm_relational::schema::ColumnRef;
+use mdm_relational::{Expr, Plan};
+
+use crate::error::MdmError;
+use crate::expansion::expand;
+use crate::inter::{generate_ucq, ConjunctiveQuery, QualifiedColumn};
+use crate::intra::partial_walks;
+use crate::ontology::BdiOntology;
+use crate::sparql_gen;
+use crate::walk::Walk;
+
+/// Options controlling plan generation.
+#[derive(Clone, Debug)]
+pub struct RewriteOptions {
+    /// Wrap the union in a `Distinct` (set semantics). MDM's UI shows
+    /// deduplicated tabular results; benches can turn it off.
+    pub distinct: bool,
+    /// Upper bound on enumerated union branches; the rewriting refuses
+    /// wider UCQs with a typed error instead of exploding. Defaults to
+    /// [`crate::inter::MAX_UCQ_BRANCHES`]; raise it for wide ecosystems
+    /// (the SUPERSEDE-scale example does).
+    pub max_branches: usize,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            distinct: true,
+            max_branches: crate::inter::MAX_UCQ_BRANCHES,
+        }
+    }
+}
+
+/// The rewriting output: the UCQ, its relational-algebra plan, and the
+/// SPARQL text of the walk (what the MDM interface shows side by side).
+#[derive(Clone, Debug)]
+pub struct Rewriting {
+    /// The conjunctive queries, one per union branch.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// The executable plan over wrapper relations.
+    pub plan: Plan,
+    /// The SPARQL translation of the walk.
+    pub sparql: String,
+    /// Output column names, in walk order (compacted feature IRIs).
+    pub output_columns: Vec<String>,
+    /// Identifiers injected by phase (a), for explanations.
+    pub expanded_identifiers: Vec<(Iri, Iri)>,
+}
+
+impl Rewriting {
+    /// Number of union branches.
+    pub fn branch_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The plan rendered in algebra notation (Figure 8's right-hand side).
+    pub fn algebra(&self) -> String {
+        self.plan.to_string()
+    }
+
+    /// A human-readable derivation report: what phase (a) injected and what
+    /// each union branch scans, joins and projects — the narration the demo
+    /// gives while showing Figure 8.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "REWRITING — {} union branch(es)", self.branch_count()).unwrap();
+        if self.expanded_identifiers.is_empty() {
+            writeln!(out, "phase (a) query expansion: nothing to add").unwrap();
+        } else {
+            writeln!(out, "phase (a) query expansion added:").unwrap();
+            for (concept, id) in &self.expanded_identifiers {
+                writeln!(
+                    out,
+                    "    {} ⇐ identifier {}",
+                    concept.local_name(),
+                    id.local_name()
+                )
+                .unwrap();
+            }
+        }
+        for (index, cq) in self.queries.iter().enumerate() {
+            writeln!(out, "branch {}:", index + 1).unwrap();
+            writeln!(out, "    scans {}", cq.atoms.join(", ")).unwrap();
+            for ((wa, ca), (wb, cb)) in &cq.joins {
+                writeln!(out, "    joins {wa}.{ca} = {wb}.{cb}").unwrap();
+            }
+            for ((feature, (wrapper, column)), name) in
+                cq.projections.iter().zip(&self.output_columns)
+            {
+                let _ = feature;
+                writeln!(out, "    emits {wrapper}.{column} as {name}").unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// Runs the three phases and builds the plan.
+pub fn rewrite_walk(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    options: &RewriteOptions,
+) -> Result<Rewriting, MdmError> {
+    // Phase (a): query expansion.
+    let expanded = expand(walk, ontology)?;
+
+    // Phase (b): intra-concept generation.
+    let mut alternatives = BTreeMap::new();
+    for concept in expanded.walk.concepts() {
+        let features = expanded.walk.features_of(concept);
+        alternatives.insert(concept.clone(), partial_walks(ontology, concept, features)?);
+    }
+
+    // Phase (c): inter-concept generation.
+    let queries = generate_ucq(ontology, walk, &alternatives, options.max_branches)?;
+    if queries.is_empty() {
+        return Err(MdmError::Rewrite(
+            "the rewriting produced no conjunctive query".to_string(),
+        ));
+    }
+
+    // Assemble the relational algebra.
+    let output_columns: Vec<String> = queries[0]
+        .projections
+        .iter()
+        .map(|(feature, _)| ontology.compact(feature))
+        .collect();
+    let branches: Vec<Plan> = queries
+        .iter()
+        .map(|cq| plan_for_cq(cq, &output_columns))
+        .collect::<Result<_, _>>()?;
+    let mut plan = if branches.len() == 1 {
+        branches.into_iter().next().expect("len checked")
+    } else {
+        Plan::union(branches)
+    };
+    if options.distinct {
+        plan = plan.distinct();
+    }
+
+    Ok(Rewriting {
+        sparql: sparql_gen::walk_to_sparql(ontology, walk),
+        queries,
+        plan,
+        output_columns,
+        expanded_identifiers: expanded.added_identifiers,
+    })
+}
+
+/// Builds the join tree + projection for one conjunctive query.
+///
+/// Atoms join left-deep in connectivity (BFS) order; join conditions attach
+/// as equi-join keys when they link the new atom to the tree, or as filters
+/// when a cycle closes over atoms already joined.
+pub fn plan_for_cq(cq: &ConjunctiveQuery, output_columns: &[String]) -> Result<Plan, MdmError> {
+    if cq.atoms.is_empty() {
+        return Err(MdmError::Rewrite(
+            "conjunctive query with no atom".to_string(),
+        ));
+    }
+    if output_columns.len() != cq.projections.len() {
+        return Err(MdmError::Rewrite(format!(
+            "internal: {} output names for {} projections",
+            output_columns.len(),
+            cq.projections.len()
+        )));
+    }
+
+    // Order atoms by connectivity so every join has at least one key.
+    let ordered = connectivity_order(&cq.atoms, &cq.joins);
+
+    let mut included: Vec<&str> = vec![&ordered[0]];
+    let mut plan = Plan::scan(ordered[0].clone());
+    let mut remaining: Vec<&(QualifiedColumn, QualifiedColumn)> = cq.joins.iter().collect();
+
+    for atom in &ordered[1..] {
+        // Keys linking `atom` to the current tree.
+        let mut keys: Vec<(ColumnRef, ColumnRef)> = Vec::new();
+        remaining.retain(|((wa, ca), (wb, cb))| {
+            let a_in = included.contains(&wa.as_str());
+            let b_in = included.contains(&wb.as_str());
+            if a_in && wb == atom {
+                keys.push((ColumnRef::qualified(wa, ca), ColumnRef::qualified(wb, cb)));
+                false
+            } else if b_in && wa == atom {
+                keys.push((ColumnRef::qualified(wb, cb), ColumnRef::qualified(wa, ca)));
+                false
+            } else {
+                true
+            }
+        });
+        plan = plan.join(Plan::scan(atom.clone()), keys);
+        included.push(atom);
+    }
+
+    // Any leftover conditions close cycles: apply as filters.
+    for ((wa, ca), (wb, cb)) in remaining {
+        plan = plan.filter(
+            Expr::Column(ColumnRef::qualified(wa, ca))
+                .eq(Expr::Column(ColumnRef::qualified(wb, cb))),
+        );
+    }
+
+    // Final projection with the compacted feature names.
+    let columns: Vec<(Expr, ColumnRef)> = cq
+        .projections
+        .iter()
+        .zip(output_columns)
+        .map(|((_, (wrapper, column)), name)| {
+            (
+                Expr::Column(ColumnRef::qualified(wrapper, column)),
+                ColumnRef::bare(name.clone()),
+            )
+        })
+        .collect();
+    Ok(plan.project(columns))
+}
+
+/// BFS order over the join graph starting from the first atom; disconnected
+/// atoms (cross products) append at the end.
+fn connectivity_order(
+    atoms: &[String],
+    joins: &[(QualifiedColumn, QualifiedColumn)],
+) -> Vec<String> {
+    let mut ordered: Vec<String> = Vec::with_capacity(atoms.len());
+    let mut frontier: Vec<&str> = vec![&atoms[0]];
+    while let Some(current) = frontier.pop() {
+        if ordered.iter().any(|a| a == current) {
+            continue;
+        }
+        ordered.push(current.to_string());
+        for ((wa, _), (wb, _)) in joins {
+            if wa == current && !ordered.contains(wb) {
+                frontier.push(wb);
+            }
+            if wb == current && !ordered.contains(wa) {
+                frontier.push(wa);
+            }
+        }
+    }
+    for atom in atoms {
+        if !ordered.contains(atom) {
+            ordered.push(atom.clone());
+        }
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{evolved_ontology, ex, figure7_ontology, figure8_walk};
+
+    #[test]
+    fn figure8_algebra_expression() {
+        let o = figure7_ontology();
+        let rewriting = rewrite_walk(&o, &figure8_walk(), &RewriteOptions::default()).unwrap();
+        assert_eq!(rewriting.branch_count(), 1);
+        assert_eq!(
+            rewriting.algebra(),
+            "δ(π[w1.pName→ex:playerName, w2.name→ex:teamName]\
+             ((w1 ⋈[w1.teamId=w2.id] w2)))"
+        );
+        assert_eq!(
+            rewriting.output_columns,
+            vec!["ex:playerName", "ex:teamName"]
+        );
+        // Expansion injected both identifiers.
+        assert_eq!(rewriting.expanded_identifiers.len(), 2);
+    }
+
+    #[test]
+    fn without_distinct_no_delta() {
+        let o = figure7_ontology();
+        let rewriting = rewrite_walk(
+            &o,
+            &figure8_walk(),
+            &RewriteOptions {
+                distinct: false,
+                ..RewriteOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!rewriting.algebra().starts_with("δ"));
+    }
+
+    #[test]
+    fn evolution_produces_union() {
+        let o = evolved_ontology();
+        let rewriting = rewrite_walk(&o, &figure8_walk(), &RewriteOptions::default()).unwrap();
+        assert!(rewriting.branch_count() >= 2);
+        assert!(rewriting.algebra().contains('∪'));
+        // All branches project identically.
+        assert_eq!(rewriting.plan.union_width(), rewriting.branch_count());
+    }
+
+    #[test]
+    fn single_concept_walk() {
+        let o = figure7_ontology();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&ex("Player"), &ex("height"));
+        let rewriting = rewrite_walk(&o, &walk, &RewriteOptions::default()).unwrap();
+        assert_eq!(rewriting.branch_count(), 1);
+        assert_eq!(rewriting.queries[0].atoms, vec!["w1"]);
+        assert!(rewriting.queries[0].joins.is_empty());
+    }
+
+    #[test]
+    fn explain_narrates_the_derivation() {
+        let o = figure7_ontology();
+        let rewriting = rewrite_walk(&o, &figure8_walk(), &RewriteOptions::default()).unwrap();
+        let explanation = rewriting.explain();
+        assert!(explanation.contains("1 union branch"));
+        assert!(explanation.contains("Player ⇐ identifier playerId"));
+        assert!(explanation.contains("scans w1, w2") || explanation.contains("scans w2, w1"));
+        assert!(explanation.contains("joins w1.teamId = w2.id"));
+        assert!(explanation.contains("emits w1.pName as ex:playerName"));
+    }
+
+    #[test]
+    fn sparql_is_generated() {
+        let o = figure7_ontology();
+        let rewriting = rewrite_walk(&o, &figure8_walk(), &RewriteOptions::default()).unwrap();
+        assert!(rewriting.sparql.contains("SELECT"));
+        assert!(rewriting.sparql.contains("ex:playerName"));
+    }
+
+    #[test]
+    fn cyclic_join_conditions_all_consumed_as_keys() {
+        // Synthetic CQ with a 3-cycle: a-b, b-c, c-a. Connectivity-ordered
+        // insertion attaches every condition when its *later* endpoint joins
+        // the tree, so the full cycle lands in equi-join keys (the σ
+        // fallback in plan_for_cq is purely defensive).
+        let cq = ConjunctiveQuery {
+            atoms: vec!["a".to_string(), "b".to_string(), "c".to_string()],
+            joins: vec![
+                (("a".into(), "x".into()), ("b".into(), "x".into())),
+                (("b".into(), "y".into()), ("c".into(), "y".into())),
+                (("c".into(), "z".into()), ("a".into(), "z".into())),
+            ],
+            projections: vec![(ex("f"), ("a".to_string(), "x".to_string()))],
+        };
+        let plan = plan_for_cq(&cq, &["f".to_string()]).unwrap();
+        let rendered = plan.to_string();
+        assert!(!rendered.contains("σ["), "no filter expected: {rendered}");
+        assert_eq!(rendered.matches('⋈').count(), 2);
+        assert_eq!(rendered.matches('=').count(), 3, "{rendered}");
+    }
+
+    #[test]
+    fn disconnected_atoms_cross_join() {
+        let cq = ConjunctiveQuery {
+            atoms: vec!["a".to_string(), "b".to_string()],
+            joins: vec![],
+            projections: vec![(ex("f"), ("a".to_string(), "x".to_string()))],
+        };
+        let plan = plan_for_cq(&cq, &["f".to_string()]).unwrap();
+        assert!(plan.to_string().contains("⋈[]"));
+    }
+}

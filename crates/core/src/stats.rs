@@ -1,0 +1,227 @@
+//! Ecosystem statistics: the governance dashboard.
+//!
+//! The demo's steward view summarises the state of the integration — which
+//! sources exist, how many versions coexist, which global features are
+//! covered by how many wrappers, and what is *not* queryable yet. This
+//! module computes that report from the metadata alone.
+
+use std::fmt::Write as _;
+
+use mdm_rdf::term::Iri;
+
+use crate::ontology::BdiOntology;
+
+/// Per-feature coverage: how many mapped wrappers provide it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeatureCoverage {
+    pub feature: Iri,
+    pub concept: Iri,
+    pub wrappers: usize,
+    pub is_identifier: bool,
+}
+
+/// Per-source summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceSummary {
+    pub source: Iri,
+    pub wrapper_count: usize,
+    /// Distinct `S:version` values of the source's wrappers, ascending.
+    pub versions: Vec<i64>,
+    /// Wrappers registered but without a LAV mapping.
+    pub unmapped: Vec<Iri>,
+}
+
+/// The whole dashboard.
+#[derive(Clone, Debug, Default)]
+pub struct EcosystemReport {
+    pub concepts: usize,
+    pub features: usize,
+    pub relations: usize,
+    pub sources: Vec<SourceSummary>,
+    pub coverage: Vec<FeatureCoverage>,
+}
+
+impl EcosystemReport {
+    /// Features no mapped wrapper provides (unanswerable in walks).
+    pub fn uncovered_features(&self) -> Vec<&FeatureCoverage> {
+        self.coverage.iter().filter(|c| c.wrappers == 0).collect()
+    }
+
+    /// Features provided by ≥2 wrappers — redundancy that keeps queries
+    /// alive across version changes.
+    pub fn redundant_features(&self) -> Vec<&FeatureCoverage> {
+        self.coverage.iter().filter(|c| c.wrappers >= 2).collect()
+    }
+
+    /// Renders the dashboard as text.
+    pub fn render(&self, ontology: &BdiOntology) -> String {
+        let mut out = String::new();
+        writeln!(out, "ECOSYSTEM").unwrap();
+        writeln!(out, "=========").unwrap();
+        writeln!(
+            out,
+            "{} concepts, {} features, {} relations, {} sources",
+            self.concepts,
+            self.features,
+            self.relations,
+            self.sources.len()
+        )
+        .unwrap();
+        for source in &self.sources {
+            let versions: Vec<String> = source.versions.iter().map(|v| format!("v{v}")).collect();
+            writeln!(
+                out,
+                "source {}: {} wrapper(s) across [{}]{}",
+                source.source.local_name(),
+                source.wrapper_count,
+                versions.join(", "),
+                if source.unmapped.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " — UNMAPPED: {}",
+                        source
+                            .unmapped
+                            .iter()
+                            .map(|w| w.local_name().to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            )
+            .unwrap();
+        }
+        writeln!(out, "feature coverage (wrappers per feature):").unwrap();
+        for coverage in &self.coverage {
+            let marker = if coverage.wrappers == 0 {
+                "  !! "
+            } else if coverage.is_identifier {
+                " [id]"
+            } else {
+                "     "
+            };
+            writeln!(
+                out,
+                "{marker}{:<28} {} wrapper(s)",
+                ontology.compact(&coverage.feature),
+                coverage.wrappers
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Computes the dashboard from the current metadata.
+pub fn report(ontology: &BdiOntology) -> EcosystemReport {
+    let concepts = ontology.concepts();
+    let mut coverage = Vec::new();
+    let mut feature_count = 0usize;
+    for concept in &concepts {
+        for feature in ontology.features_of(concept) {
+            feature_count += 1;
+            let wrappers = crate::mapping::wrappers_covering_feature(ontology, concept, &feature)
+                .into_iter()
+                // Covered *and* mapped by an attribute.
+                .filter(|w| !ontology.attributes_mapping_to(w, &feature).is_empty())
+                .count();
+            coverage.push(FeatureCoverage {
+                is_identifier: ontology.is_identifier(&feature),
+                feature,
+                concept: concept.clone(),
+                wrappers,
+            });
+        }
+    }
+    let sources = ontology
+        .data_sources()
+        .into_iter()
+        .map(|source| {
+            let wrappers = ontology.wrappers_of(&source);
+            let mut versions: Vec<i64> = wrappers
+                .iter()
+                .filter_map(|w| ontology.wrapper_version(w))
+                .collect();
+            versions.sort();
+            versions.dedup();
+            let unmapped: Vec<Iri> = wrappers
+                .iter()
+                .filter(|w| ontology.mappings().named_graph(w).is_none())
+                .cloned()
+                .collect();
+            SourceSummary {
+                wrapper_count: wrappers.len(),
+                source,
+                versions,
+                unmapped,
+            }
+        })
+        .collect();
+    EcosystemReport {
+        concepts: concepts.len(),
+        features: feature_count,
+        relations: ontology.relations().len(),
+        sources,
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release::register_wrapper;
+    use crate::testkit::{evolved_ontology, ex, figure7_ontology, strings};
+
+    #[test]
+    fn figure7_report_shape() {
+        let o = figure7_ontology();
+        let r = report(&o);
+        assert_eq!(r.concepts, 2);
+        assert_eq!(r.features, 9);
+        assert_eq!(r.relations, 1);
+        assert_eq!(r.sources.len(), 2);
+        // teamId is the redundancy hotspot (w1 and w2 both map it).
+        let team_id = r
+            .coverage
+            .iter()
+            .find(|c| c.feature == ex("teamId"))
+            .unwrap();
+        assert_eq!(team_id.wrappers, 2);
+        assert!(team_id.is_identifier);
+        assert!(r.uncovered_features().is_empty());
+    }
+
+    #[test]
+    fn evolution_increases_redundancy() {
+        let before = report(&figure7_ontology());
+        let after = report(&evolved_ontology());
+        assert!(after.redundant_features().len() > before.redundant_features().len());
+        // Versions listed per source.
+        let players = after
+            .sources
+            .iter()
+            .find(|s| s.source.local_name() == "PlayersAPI")
+            .unwrap();
+        assert_eq!(players.versions, vec![1, 2]);
+    }
+
+    #[test]
+    fn unmapped_wrappers_and_uncovered_features_flagged() {
+        let mut o = figure7_ontology();
+        o.add_feature(&ex("Player"), &ex("birthday")).unwrap();
+        register_wrapper(&mut o, "PlayersAPI", "wx", 3, &strings(&["id"])).unwrap();
+        let r = report(&o);
+        let players = r
+            .sources
+            .iter()
+            .find(|s| s.source.local_name() == "PlayersAPI")
+            .unwrap();
+        assert_eq!(players.unmapped.len(), 1);
+        let uncovered = r.uncovered_features();
+        assert_eq!(uncovered.len(), 1);
+        assert_eq!(uncovered[0].feature, ex("birthday"));
+        let rendered = r.render(&o);
+        assert!(rendered.contains("UNMAPPED: wx"));
+        assert!(rendered.contains("!! ex:birthday"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared test fixtures: the paper's motivational use case at each stage of
+//! construction. Only compiled for tests.
+
+use mdm_rdf::term::Iri;
+use mdm_rdf::vocab;
+
+use crate::mapping::MappingBuilder;
+use crate::ontology::BdiOntology;
+use crate::release::{register_source, register_wrapper};
+
+/// `ex:<local>` IRIs.
+pub(crate) fn ex(local: &str) -> Iri {
+    Iri::new(format!("{}{local}", vocab::EXAMPLE_NS))
+}
+
+pub(crate) fn strings(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// The Figure 5 global graph: Player and sc:SportsTeam with their features,
+/// identifiers, and the hasTeam relation.
+pub(crate) fn figure5_ontology() -> BdiOntology {
+    let mut o = BdiOntology::new();
+    let player = ex("Player");
+    let team = vocab::schema::SPORTS_TEAM.iri();
+    o.add_concept(&player).unwrap();
+    o.add_concept(&team).unwrap();
+    o.add_identifier(&player, &ex("playerId")).unwrap();
+    o.add_feature(&player, &ex("playerName")).unwrap();
+    o.add_feature(&player, &ex("height")).unwrap();
+    o.add_feature(&player, &ex("weight")).unwrap();
+    o.add_feature(&player, &ex("score")).unwrap();
+    o.add_feature(&player, &ex("foot")).unwrap();
+    o.add_identifier(&team, &ex("teamId")).unwrap();
+    o.add_feature(&team, &ex("teamName")).unwrap();
+    o.add_feature(&team, &ex("shortName")).unwrap();
+    o.add_relation(&player, &ex("hasTeam"), &team).unwrap();
+    o
+}
+
+/// Figure 5 + the Figure 6 registrations (PlayersAPI/w1, TeamsAPI/w2) + the
+/// Figure 7 LAV mappings — the fully-configured use case, ready for OMQs.
+pub(crate) fn figure7_ontology() -> BdiOntology {
+    let mut o = figure5_ontology();
+    let team = vocab::schema::SPORTS_TEAM.iri();
+    register_source(&mut o, "PlayersAPI").unwrap();
+    register_source(&mut o, "TeamsAPI").unwrap();
+    register_wrapper(
+        &mut o,
+        "PlayersAPI",
+        "w1",
+        1,
+        &strings(&["id", "pName", "height", "weight", "score", "foot", "teamId"]),
+    )
+    .unwrap();
+    register_wrapper(
+        &mut o,
+        "TeamsAPI",
+        "w2",
+        1,
+        &strings(&["id", "name", "shortName"]),
+    )
+    .unwrap();
+    MappingBuilder::for_wrapper("w1")
+        .cover_concept(&ex("Player"))
+        .cover_concept(&team)
+        .cover_feature(&ex("playerId"))
+        .cover_feature(&ex("playerName"))
+        .cover_feature(&ex("height"))
+        .cover_feature(&ex("weight"))
+        .cover_feature(&ex("score"))
+        .cover_feature(&ex("foot"))
+        .cover_feature(&ex("teamId"))
+        .cover_relation(&ex("Player"), &ex("hasTeam"), &team)
+        .same_as("id", &ex("playerId"))
+        .same_as("pName", &ex("playerName"))
+        .same_as("height", &ex("height"))
+        .same_as("weight", &ex("weight"))
+        .same_as("score", &ex("score"))
+        .same_as("foot", &ex("foot"))
+        .same_as("teamId", &ex("teamId"))
+        .apply(&mut o)
+        .unwrap();
+    MappingBuilder::for_wrapper("w2")
+        .cover_concept(&team)
+        .cover_feature(&ex("teamId"))
+        .cover_feature(&ex("teamName"))
+        .cover_feature(&ex("shortName"))
+        .same_as("id", &ex("teamId"))
+        .same_as("name", &ex("teamName"))
+        .same_as("shortName", &ex("shortName"))
+        .apply(&mut o)
+        .unwrap();
+    o
+}
+
+/// The Figure 8 walk: team names and player names.
+pub(crate) fn figure8_walk() -> crate::walk::Walk {
+    let team = vocab::schema::SPORTS_TEAM.iri();
+    crate::walk::Walk::new()
+        .feature(&ex("Player"), &ex("playerName"))
+        .feature(&team, &ex("teamName"))
+        .relation(&ex("Player"), &ex("hasTeam"), &team)
+}
+
+/// figure7 + the governance-of-evolution release: PlayersAPI v2 wrapper w3
+/// with its own LAV mapping covering the same contour as w1 (minus score,
+/// which v2 dropped) plus nationality.
+pub(crate) fn evolved_ontology() -> BdiOntology {
+    let mut o = figure7_ontology();
+    let team = vocab::schema::SPORTS_TEAM.iri();
+    // nationality is a new feature of Player surfaced by v2.
+    o.add_feature(&ex("Player"), &ex("nationality")).unwrap();
+    register_wrapper(
+        &mut o,
+        "PlayersAPI",
+        "w3",
+        2,
+        &strings(&[
+            "id",
+            "pName",
+            "height",
+            "weight",
+            "foot",
+            "teamId",
+            "nationality",
+        ]),
+    )
+    .unwrap();
+    MappingBuilder::for_wrapper("w3")
+        .cover_concept(&ex("Player"))
+        .cover_concept(&team)
+        .cover_feature(&ex("playerId"))
+        .cover_feature(&ex("playerName"))
+        .cover_feature(&ex("height"))
+        .cover_feature(&ex("weight"))
+        .cover_feature(&ex("foot"))
+        .cover_feature(&ex("nationality"))
+        .cover_feature(&ex("teamId"))
+        .cover_relation(&ex("Player"), &ex("hasTeam"), &team)
+        .same_as("id", &ex("playerId"))
+        .same_as("pName", &ex("playerName"))
+        .same_as("height", &ex("height"))
+        .same_as("weight", &ex("weight"))
+        .same_as("foot", &ex("foot"))
+        .same_as("nationality", &ex("nationality"))
+        .same_as("teamId", &ex("teamId"))
+        .apply(&mut o)
+        .unwrap();
+    o
+}

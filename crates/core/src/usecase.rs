@@ -1,0 +1,281 @@
+//! The paper's motivational use case, fully wired: European football data
+//! from four simulated REST APIs behind the BDI ontology.
+//!
+//! Shared by the examples, the evaluation harness and the integration
+//! tests, so every consumer demonstrates the exact Figure 5/6/7
+//! configuration.
+
+use mdm_rdf::term::Iri;
+use mdm_rdf::vocab;
+use mdm_wrappers::football::{self, FootballEcosystem};
+
+use crate::error::MdmError;
+use crate::mapping::MappingBuilder;
+use crate::mdm::Mdm;
+use crate::walk::Walk;
+
+/// `ex:<local>` IRIs of the use case's custom vocabulary.
+pub fn ex(local: &str) -> Iri {
+    Iri::new(format!("{}{local}", vocab::EXAMPLE_NS))
+}
+
+/// The `sc:SportsTeam` concept (reused from schema.org, §2.1).
+pub fn sports_team() -> Iri {
+    vocab::schema::SPORTS_TEAM.iri()
+}
+
+/// Builds the Figure 5 global graph (football domain of Figure 1) into a
+/// fresh [`Mdm`]: Player, sc:SportsTeam, League, Country with identifiers,
+/// features and relations.
+pub fn define_global_graph(mdm: &mut Mdm) -> Result<(), MdmError> {
+    let player = ex("Player");
+    let team = sports_team();
+    let league = ex("League");
+    let country = ex("Country");
+    mdm.define_concept(&player)?;
+    mdm.define_concept(&team)?;
+    mdm.define_concept(&league)?;
+    mdm.define_concept(&country)?;
+
+    mdm.define_identifier(&player, &ex("playerId"))?;
+    mdm.define_feature(&player, &ex("playerName"))?;
+    mdm.define_feature(&player, &ex("height"))?;
+    mdm.define_feature(&player, &ex("weight"))?;
+    mdm.define_feature(&player, &ex("score"))?;
+    mdm.define_feature(&player, &ex("foot"))?;
+
+    mdm.define_identifier(&team, &ex("teamId"))?;
+    mdm.define_feature(&team, &ex("teamName"))?;
+    mdm.define_feature(&team, &ex("shortName"))?;
+
+    mdm.define_identifier(&league, &ex("leagueId"))?;
+    mdm.define_feature(&league, &ex("leagueName"))?;
+
+    mdm.define_identifier(&country, &ex("countryId"))?;
+    mdm.define_feature(&country, &ex("countryName"))?;
+
+    mdm.define_relation(&player, &ex("hasTeam"), &team)?;
+    mdm.define_relation(&team, &ex("playsIn"), &league)?;
+    mdm.define_relation(&league, &ex("ofCountry"), &country)?;
+    mdm.define_relation(&player, &ex("hasNationality"), &country)?;
+    Ok(())
+}
+
+/// Registers the v1 wrappers (w1, w2, w4, w5, w6, w7) and their Figure 7
+/// LAV mappings.
+pub fn register_v1(mdm: &mut Mdm, eco: &FootballEcosystem) -> Result<(), MdmError> {
+    let player = ex("Player");
+    let team = sports_team();
+    let league = ex("League");
+    let country = ex("Country");
+
+    mdm.add_source("PlayersAPI")?;
+    mdm.add_source("TeamsAPI")?;
+    mdm.add_source("LeaguesAPI")?;
+    mdm.add_source("CountriesAPI")?;
+
+    // w1: Players v1 — the exact Figure 7 red contour.
+    mdm.register_wrapper(football::w1_players_v1(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w1")
+            .cover_concept(&player)
+            .cover_concept(&team)
+            .cover_feature(&ex("playerId"))
+            .cover_feature(&ex("playerName"))
+            .cover_feature(&ex("height"))
+            .cover_feature(&ex("weight"))
+            .cover_feature(&ex("score"))
+            .cover_feature(&ex("foot"))
+            .cover_feature(&ex("teamId"))
+            .cover_relation(&player, &ex("hasTeam"), &team)
+            .same_as("id", &ex("playerId"))
+            .same_as("pName", &ex("playerName"))
+            .same_as("height", &ex("height"))
+            .same_as("weight", &ex("weight"))
+            .same_as("score", &ex("score"))
+            .same_as("foot", &ex("foot"))
+            .same_as("teamId", &ex("teamId")),
+    )?;
+
+    // w2: Teams v1 — the green contour.
+    mdm.register_wrapper(football::w2_teams(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w2")
+            .cover_concept(&team)
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("teamName"))
+            .cover_feature(&ex("shortName"))
+            .same_as("id", &ex("teamId"))
+            .same_as("name", &ex("teamName"))
+            .same_as("shortName", &ex("shortName")),
+    )?;
+
+    // w4: Leagues.
+    mdm.register_wrapper(football::w4_leagues(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w4")
+            .cover_concept(&league)
+            .cover_concept(&country)
+            .cover_feature(&ex("leagueId"))
+            .cover_feature(&ex("leagueName"))
+            .cover_feature(&ex("countryId"))
+            .cover_relation(&league, &ex("ofCountry"), &country)
+            .same_as("id", &ex("leagueId"))
+            .same_as("name", &ex("leagueName"))
+            .same_as("countryId", &ex("countryId")),
+    )?;
+
+    // w5: Countries.
+    mdm.register_wrapper(football::w5_countries(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w5")
+            .cover_concept(&country)
+            .cover_feature(&ex("countryId"))
+            .cover_feature(&ex("countryName"))
+            .same_as("id", &ex("countryId"))
+            .same_as("name", &ex("countryName")),
+    )?;
+
+    // w6: a second Teams wrapper exposing the league link.
+    mdm.register_wrapper(football::w6_team_league(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w6")
+            .cover_concept(&team)
+            .cover_concept(&league)
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("leagueId"))
+            .cover_relation(&team, &ex("playsIn"), &league)
+            .same_as("id", &ex("teamId"))
+            .same_as("leagueId", &ex("leagueId")),
+    )?;
+
+    // w7: player nationality under the v1 schema.
+    mdm.register_wrapper(football::w7_player_country_v1(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w7")
+            .cover_concept(&player)
+            .cover_concept(&country)
+            .cover_feature(&ex("playerId"))
+            .cover_feature(&ex("countryId"))
+            .cover_relation(&player, &ex("hasNationality"), &country)
+            .same_as("id", &ex("playerId"))
+            .same_as("countryId", &ex("countryId")),
+    )?;
+    Ok(())
+}
+
+/// The governance-of-evolution step (§3): register the breaking Players v2
+/// release as wrapper w3 with its LAV mapping (adds the nationality
+/// feature).
+pub fn register_players_v2(mdm: &mut Mdm, eco: &FootballEcosystem) -> Result<(), MdmError> {
+    let player = ex("Player");
+    let team = sports_team();
+    // nationality joins the global graph (non-breaking addition there).
+    mdm.define_feature(&player, &ex("nationality"))?;
+    mdm.register_wrapper(football::w3_players_v2(eco))?;
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("w3")
+            .cover_concept(&player)
+            .cover_concept(&team)
+            .cover_feature(&ex("playerId"))
+            .cover_feature(&ex("playerName"))
+            .cover_feature(&ex("height"))
+            .cover_feature(&ex("weight"))
+            .cover_feature(&ex("foot"))
+            .cover_feature(&ex("nationality"))
+            .cover_feature(&ex("teamId"))
+            .cover_relation(&player, &ex("hasTeam"), &team)
+            .same_as("id", &ex("playerId"))
+            .same_as("pName", &ex("playerName"))
+            .same_as("height", &ex("height"))
+            .same_as("weight", &ex("weight"))
+            .same_as("foot", &ex("foot"))
+            .same_as("nationality", &ex("nationality"))
+            .same_as("teamId", &ex("teamId")),
+    )?;
+    Ok(())
+}
+
+/// The complete v1 system: global graph + v1 wrappers + mappings.
+pub fn football_mdm(eco: &FootballEcosystem) -> Result<Mdm, MdmError> {
+    let mut mdm = Mdm::new();
+    define_global_graph(&mut mdm)?;
+    register_v1(&mut mdm, eco)?;
+    Ok(mdm)
+}
+
+/// The Figure 8 walk: "the name of the players and their teams".
+pub fn figure8_walk() -> Walk {
+    Walk::new()
+        .feature(&sports_team(), &ex("teamName"))
+        .feature(&ex("Player"), &ex("playerName"))
+        .relation(&ex("Player"), &ex("hasTeam"), &sports_team())
+}
+
+/// The exemplary query of §1: "who are the players that play in a league of
+/// their nationality?" — Player → Team → League → Country joined with
+/// Player → Country.
+pub fn nationality_league_walk() -> Walk {
+    let player = ex("Player");
+    let team = sports_team();
+    let league = ex("League");
+    let country = ex("Country");
+    Walk::new()
+        .feature(&player, &ex("playerName"))
+        .feature(&league, &ex("leagueName"))
+        .feature(&country, &ex("countryName"))
+        .relation(&player, &ex("hasTeam"), &team)
+        .relation(&team, &ex("playsIn"), &league)
+        .relation(&league, &ex("ofCountry"), &country)
+        .relation(&player, &ex("hasNationality"), &country)
+        .feature(&team, &ex("teamName"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn football_system_builds_and_answers_figure8() {
+        let eco = football::build_default();
+        let mdm = football_mdm(&eco).unwrap();
+        let answer = mdm.query(&figure8_walk()).unwrap();
+        assert!(answer.render().contains("Lionel Messi"));
+        // Output order matches Table 1: team first, then player.
+        assert_eq!(
+            answer.table.schema().join_names(", "),
+            "ex:teamName, ex:playerName"
+        );
+    }
+
+    #[test]
+    fn nationality_league_query_answers() {
+        let eco = football::build_default();
+        let mdm = football_mdm(&eco).unwrap();
+        let answer = mdm.query(&nationality_league_walk()).unwrap();
+        // Messi (Spain via our generator: country 1=Spain, La Liga=Spain) —
+        // he plays in a league of his nationality.
+        let rendered = answer.render();
+        assert!(
+            rendered.contains("Lionel Messi"),
+            "expected Messi in:\n{rendered}"
+        );
+        // Every returned row satisfies league.country == player.nationality
+        // by construction of the join; spot-check columns exist.
+        assert!(answer
+            .table
+            .schema()
+            .join_names(", ")
+            .contains("ex:leagueName"));
+    }
+
+    #[test]
+    fn v2_registration_extends_results() {
+        let eco = football::build_default();
+        let mut mdm = football_mdm(&eco).unwrap();
+        let before = mdm.query(&figure8_walk()).unwrap().table.len();
+        register_players_v2(&mut mdm, &eco).unwrap();
+        let after = mdm.query(&figure8_walk()).unwrap().table.len();
+        assert!(after > before, "v2 must add rows: {before} -> {after}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Walks: ontology-mediated queries posed as subgraphs of the global graph
+//! (paper §2.4).
+//!
+//! "The analyst can graphically select a set of nodes of the global graph
+//! representing such pattern, we refer to it as a walk." A [`Walk`] is the
+//! structured form of that selection: concepts, per-concept requested
+//! features, and the relation edges connecting the concepts. Validation
+//! checks every element exists in the global graph and the selection is
+//! connected.
+
+use std::collections::BTreeMap;
+
+use mdm_rdf::term::Iri;
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+
+/// An OMQ: a connected subgraph of the global graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    /// Concepts in selection order.
+    concepts: Vec<Iri>,
+    /// Requested features per concept (selection order).
+    features: BTreeMap<Iri, Vec<Iri>>,
+    /// Relation edges `(from, property, to)`.
+    relations: Vec<(Iri, Iri, Iri)>,
+}
+
+impl Walk {
+    /// An empty walk (invalid until at least one concept is added).
+    pub fn new() -> Self {
+        Walk {
+            concepts: Vec::new(),
+            features: BTreeMap::new(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Adds a concept to the selection.
+    pub fn concept(mut self, concept: &Iri) -> Self {
+        if !self.concepts.contains(concept) {
+            self.concepts.push(concept.clone());
+            self.features.entry(concept.clone()).or_default();
+        }
+        self
+    }
+
+    /// Adds a requested feature (its concept is added implicitly at
+    /// validation against the ontology).
+    pub fn feature(mut self, concept: &Iri, feature: &Iri) -> Self {
+        self = self.concept(concept);
+        let features = self.features.entry(concept.clone()).or_default();
+        if !features.contains(feature) {
+            features.push(feature.clone());
+        }
+        self
+    }
+
+    /// Adds a relation edge to the selection.
+    pub fn relation(mut self, from: &Iri, property: &Iri, to: &Iri) -> Self {
+        self = self.concept(from).concept(to);
+        let edge = (from.clone(), property.clone(), to.clone());
+        if !self.relations.contains(&edge) {
+            self.relations.push(edge);
+        }
+        self
+    }
+
+    /// The selected concepts.
+    pub fn concepts(&self) -> &[Iri] {
+        &self.concepts
+    }
+
+    /// The requested features of `concept`.
+    pub fn features_of(&self, concept: &Iri) -> &[Iri] {
+        self.features.get(concept).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All requested features across concepts, in selection order.
+    pub fn all_features(&self) -> Vec<Iri> {
+        self.concepts
+            .iter()
+            .flat_map(|c| self.features_of(c).iter().cloned())
+            .collect()
+    }
+
+    /// The relation edges.
+    pub fn relations(&self) -> &[(Iri, Iri, Iri)] {
+        &self.relations
+    }
+
+    /// Internal: extends the feature set (used by query expansion).
+    pub(crate) fn add_feature_internal(&mut self, concept: &Iri, feature: Iri) {
+        let features = self.features.entry(concept.clone()).or_default();
+        if !features.contains(&feature) {
+            features.push(feature);
+        }
+    }
+
+    /// Validates the walk against the global graph:
+    /// * at least one concept with at least one requested feature overall;
+    /// * every concept/feature/relation exists (and features belong to the
+    ///   concept they are requested under);
+    /// * the concept set is connected through the selected relations.
+    pub fn validate(&self, ontology: &BdiOntology) -> Result<(), MdmError> {
+        if self.concepts.is_empty() {
+            return Err(MdmError::Walk("the walk selects no concept".to_string()));
+        }
+        if self.all_features().is_empty() {
+            return Err(MdmError::Walk("the walk requests no feature".to_string()));
+        }
+        for concept in &self.concepts {
+            if !ontology.is_concept(concept) {
+                return Err(MdmError::Walk(format!(
+                    "'{concept}' is not a concept of the global graph"
+                )));
+            }
+            for feature in self.features_of(concept) {
+                match ontology.concept_of_feature(feature) {
+                    // A feature is requestable under its owning concept or
+                    // any subconcept of it (inherited, §2.1 taxonomies).
+                    Some(owner) if ontology.superconcepts_of(concept).contains(&owner) => {}
+                    Some(owner) => {
+                        return Err(MdmError::Walk(format!(
+                            "feature '{feature}' belongs to '{owner}', not '{concept}'"
+                        )))
+                    }
+                    None => {
+                        return Err(MdmError::Walk(format!(
+                            "'{feature}' is not a feature of the global graph"
+                        )))
+                    }
+                }
+            }
+        }
+        for (from, property, to) in &self.relations {
+            if !ontology.relations_between(from, to).contains(property) {
+                return Err(MdmError::Walk(format!(
+                    "'{from}' -{property}-> '{to}' is not a relation of the global graph"
+                )));
+            }
+        }
+        if !self.is_connected() {
+            return Err(MdmError::Walk(
+                "the walk is not connected; select the relations linking its concepts".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.concepts.len() <= 1 {
+            return true;
+        }
+        let mut reached = std::collections::BTreeSet::new();
+        let mut frontier = vec![self.concepts[0].clone()];
+        while let Some(current) = frontier.pop() {
+            if !reached.insert(current.clone()) {
+                continue;
+            }
+            for (from, _, to) in &self.relations {
+                if *from == current && !reached.contains(to) {
+                    frontier.push(to.clone());
+                }
+                if *to == current && !reached.contains(from) {
+                    frontier.push(from.clone());
+                }
+            }
+        }
+        self.concepts.iter().all(|c| reached.contains(c))
+    }
+}
+
+impl Default for Walk {
+    fn default() -> Self {
+        Walk::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{ex, figure5_ontology};
+    use mdm_rdf::vocab;
+
+    /// The Figure 8 walk: team names and player names.
+    pub(crate) fn figure8_walk() -> Walk {
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&ex("Player"), &ex("hasTeam"), &team)
+    }
+
+    #[test]
+    fn figure8_walk_is_valid() {
+        let o = figure5_ontology();
+        let walk = figure8_walk();
+        walk.validate(&o).unwrap();
+        assert_eq!(walk.concepts().len(), 2);
+        assert_eq!(walk.all_features().len(), 2);
+        assert_eq!(walk.relations().len(), 1);
+    }
+
+    #[test]
+    fn empty_walks_rejected() {
+        let o = figure5_ontology();
+        assert!(Walk::new().validate(&o).is_err());
+        // A concept without any requested feature anywhere is rejected too.
+        let err = Walk::new().concept(&ex("Player")).validate(&o).unwrap_err();
+        assert!(err.message().contains("no feature"));
+    }
+
+    #[test]
+    fn unknown_elements_rejected() {
+        let o = figure5_ontology();
+        assert!(Walk::new()
+            .feature(&ex("Alien"), &ex("x"))
+            .validate(&o)
+            .is_err());
+        assert!(Walk::new()
+            .feature(&ex("Player"), &ex("alienFeature"))
+            .validate(&o)
+            .is_err());
+    }
+
+    #[test]
+    fn feature_under_wrong_concept_rejected() {
+        let o = figure5_ontology();
+        let err = Walk::new()
+            .feature(&ex("Player"), &ex("teamName"))
+            .validate(&o)
+            .unwrap_err();
+        assert!(err.message().contains("belongs to"));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let o = figure5_ontology();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let err = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&team, &ex("hasTeam"), &ex("Player")) // reversed
+            .validate(&o)
+            .unwrap_err();
+        assert!(err.message().contains("not a relation"));
+    }
+
+    #[test]
+    fn disconnected_walk_rejected() {
+        let o = figure5_ontology();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let err = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .validate(&o)
+            .unwrap_err();
+        assert!(err.message().contains("not connected"));
+    }
+
+    #[test]
+    fn single_concept_walk_needs_no_relations() {
+        let o = figure5_ontology();
+        Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&ex("Player"), &ex("height"))
+            .validate(&o)
+            .unwrap();
+    }
+
+    #[test]
+    fn builders_deduplicate() {
+        let walk = figure8_walk()
+            .feature(&ex("Player"), &ex("playerName"))
+            .relation(
+                &ex("Player"),
+                &ex("hasTeam"),
+                &vocab::schema::SPORTS_TEAM.iri(),
+            );
+        assert_eq!(walk.features_of(&ex("Player")).len(), 1);
+        assert_eq!(walk.relations().len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! A textual notation for walks.
+//!
+//! The paper's analysts draw walks with the mouse; a CLI needs a textual
+//! equivalent. The notation mirrors the figures:
+//!
+//! ```text
+//! ex:Player { ex:playerName, ex:height }
+//! sc:SportsTeam { ex:teamName }
+//! ex:Player -ex:hasTeam-> sc:SportsTeam
+//! ```
+//!
+//! One line per concept (with its requested features in braces, possibly
+//! empty) or per relation edge (`from -property-> to`). Prefixed names
+//! resolve through the ontology's prefix map; full IRIs in `<…>` work too.
+//! `#` starts a comment.
+
+use mdm_rdf::term::Iri;
+
+use crate::error::MdmError;
+use crate::ontology::BdiOntology;
+use crate::walk::Walk;
+
+/// Parses the walk notation against an ontology's prefixes.
+///
+/// The returned walk is *not* validated here — [`Walk::validate`] (or any
+/// rewriting entry point) does that, so error messages about unknown
+/// concepts/features come from one place.
+pub fn parse_walk(text: &str, ontology: &BdiOntology) -> Result<Walk, MdmError> {
+    let mut walk = Walk::new();
+    for (line_number, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |message: String| MdmError::Walk(format!("line {}: {message}", line_number + 1));
+        if let Some((lhs, rest)) = line.split_once('-') {
+            if let Some((property, to)) = rest.split_once("->") {
+                // Relation line: from -property-> to
+                let from = resolve(lhs.trim(), ontology).map_err(&fail)?;
+                let property = resolve(property.trim(), ontology).map_err(&fail)?;
+                let to = resolve(to.trim(), ontology).map_err(&fail)?;
+                walk = walk.relation(&from, &property, &to);
+                continue;
+            }
+        }
+        if let Some((concept_text, rest)) = line.split_once('{') {
+            // Concept line: concept { f1, f2, … }
+            let features_text = rest
+                .strip_suffix('}')
+                .ok_or_else(|| fail("missing closing '}'".to_string()))?;
+            let concept = resolve(concept_text.trim(), ontology).map_err(&fail)?;
+            walk = walk.concept(&concept);
+            for feature_text in features_text.split(',') {
+                let feature_text = feature_text.trim();
+                if feature_text.is_empty() {
+                    continue;
+                }
+                let feature = resolve(feature_text, ontology).map_err(&fail)?;
+                walk = walk.feature(&concept, &feature);
+            }
+            continue;
+        }
+        // Bare concept line.
+        let concept = resolve(line, ontology).map_err(&fail)?;
+        walk = walk.concept(&concept);
+    }
+    Ok(walk)
+}
+
+/// Renders a walk back into the notation (a parse/print round-trip pair).
+pub fn walk_to_text(walk: &Walk, ontology: &BdiOntology) -> String {
+    let mut out = String::new();
+    for concept in walk.concepts() {
+        let features: Vec<String> = walk
+            .features_of(concept)
+            .iter()
+            .map(|f| ontology.compact(f))
+            .collect();
+        out.push_str(&format!(
+            "{} {{ {} }}\n",
+            ontology.compact(concept),
+            features.join(", ")
+        ));
+    }
+    for (from, property, to) in walk.relations() {
+        out.push_str(&format!(
+            "{} -{}-> {}\n",
+            ontology.compact(from),
+            ontology.compact(property),
+            ontology.compact(to)
+        ));
+    }
+    out
+}
+
+fn resolve(token: &str, ontology: &BdiOntology) -> Result<Iri, String> {
+    if token.is_empty() {
+        return Err("empty name".to_string());
+    }
+    if let Some(stripped) = token.strip_prefix('<') {
+        let iri = stripped
+            .strip_suffix('>')
+            .ok_or_else(|| format!("missing '>' in '{token}'"))?;
+        if iri.is_empty() {
+            return Err("empty IRI '<>'".to_string());
+        }
+        return Ok(Iri::new(iri.to_string()));
+    }
+    ontology
+        .prefixes()
+        .expand(token)
+        .ok_or_else(|| format!("unknown prefix in '{token}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{ex, figure7_ontology, figure8_walk};
+
+    #[test]
+    fn parses_the_figure8_walk() {
+        let o = figure7_ontology();
+        let text = r#"
+            # the Figure 8 OMQ
+            ex:Player { ex:playerName }
+            sc:SportsTeam { ex:teamName }
+            ex:Player -ex:hasTeam-> sc:SportsTeam
+        "#;
+        let walk = parse_walk(text, &o).unwrap();
+        walk.validate(&o).unwrap();
+        assert_eq!(walk.concepts().len(), 2);
+        assert_eq!(walk.features_of(&ex("Player")), &[ex("playerName")]);
+        assert_eq!(walk.relations().len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let o = figure7_ontology();
+        let original = figure8_walk();
+        let text = walk_to_text(&original, &o);
+        let reparsed = parse_walk(&text, &o).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn full_iris_accepted() {
+        let o = figure7_ontology();
+        let text = format!("<{}> {{ <{}> }}", ex("Player"), ex("playerName"));
+        let walk = parse_walk(&text, &o).unwrap();
+        assert_eq!(walk.concepts().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let o = figure7_ontology();
+        let err = parse_walk("\n\nnope:Player { }", &o).unwrap_err();
+        assert!(err.message().contains("line 3"));
+        assert!(err.message().contains("unknown prefix"));
+        let err = parse_walk("ex:Player { ex:playerName", &o).unwrap_err();
+        assert!(err.message().contains("missing closing"));
+    }
+
+    #[test]
+    fn empty_feature_braces_select_concept_only() {
+        let o = figure7_ontology();
+        let walk = parse_walk("ex:Player { }", &o).unwrap();
+        assert_eq!(walk.concepts().len(), 1);
+        assert!(walk.features_of(&ex("Player")).is_empty());
+    }
+
+    #[test]
+    fn parsed_walk_rewrites_like_builder_walk() {
+        let o = figure7_ontology();
+        let text = r#"
+            sc:SportsTeam { ex:teamName }
+            ex:Player { ex:playerName }
+            ex:Player -ex:hasTeam-> sc:SportsTeam
+        "#;
+        let walk = parse_walk(text, &o).unwrap();
+        let rewriting =
+            crate::rewrite::rewrite_walk(&o, &walk, &crate::rewrite::RewriteOptions::default())
+                .unwrap();
+        assert_eq!(rewriting.branch_count(), 1);
+    }
+}

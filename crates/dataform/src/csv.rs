@@ -1,0 +1,290 @@
+//! An RFC-4180-style CSV reader and writer.
+//!
+//! Some MDM sources are tabular exports; CSV is the third format the wrapper
+//! framework accepts. Quoted fields (with embedded commas, quotes and
+//! newlines), CRLF/LF line endings, and a header row are supported.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A CSV parse error with the 1-based record number it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    pub message: String,
+    pub record: usize,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "csv parse error in record {}: {}",
+            self.record, self.message
+        )
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// A parsed CSV document: a header and data records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    pub header: Vec<String>,
+    pub records: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Converts each record to an object [`Value`] keyed by header names,
+    /// typing numeric-looking and boolean-looking fields.
+    pub fn to_values(&self) -> Vec<Value> {
+        self.records
+            .iter()
+            .map(|record| {
+                Value::object(
+                    self.header
+                        .iter()
+                        .zip(record)
+                        .map(|(name, field)| (name.clone(), type_field(field))),
+                )
+            })
+            .collect()
+    }
+}
+
+fn type_field(field: &str) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = field.parse::<i64>() {
+        if field == i.to_string() {
+            return Value::int(i);
+        }
+    }
+    if let Ok(f) = field.parse::<f64>() {
+        if field.contains('.') {
+            return Value::float(f);
+        }
+    }
+    match field {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::string(field),
+    }
+}
+
+/// Parses a CSV document with a header row. Records with a field count
+/// different from the header are an error (ragged tables hide schema drift,
+/// which is exactly what MDM is built to surface).
+pub fn parse(input: &str) -> Result<CsvTable, CsvError> {
+    let mut rows = parse_rows(input)?;
+    if rows.is_empty() {
+        return Err(CsvError {
+            message: "empty document (missing header)".to_string(),
+            record: 0,
+        });
+    }
+    let header = rows.remove(0);
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(CsvError {
+                message: format!(
+                    "record has {} fields but header has {}",
+                    row.len(),
+                    header.len()
+                ),
+                record: i + 1,
+            });
+        }
+    }
+    Ok(CsvTable {
+        header,
+        records: rows,
+    })
+}
+
+/// Parses raw rows without header interpretation.
+pub fn parse_rows(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            '"' => {
+                return Err(CsvError {
+                    message: "quote inside unquoted field".to_string(),
+                    record: rows.len() + 1,
+                })
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            c => {
+                field.push(c);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            message: "unterminated quoted field".to_string(),
+            record: rows.len() + 1,
+        });
+    }
+    if field_started || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Writes a header and records as CSV, quoting only where required.
+pub fn to_string(header: &[String], records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    write_row(&mut out, header);
+    for record in records {
+        write_row(&mut out, record);
+    }
+    out
+}
+
+fn write_row(out: &mut String, fields: &[String]) {
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if field.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&field.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_table() {
+        let t = parse("id,name\n1,Messi\n2,Lewandowski\n").unwrap();
+        assert_eq!(t.header, vec!["id", "name"]);
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.records[0], vec!["1", "Messi"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_newlines() {
+        let t = parse("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",z\n").unwrap();
+        assert_eq!(t.records[0][0], "x,y");
+        assert_eq!(t.records[0][1], "he said \"hi\"");
+        assert_eq!(t.records[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.records, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = parse("a,b\n1,2").unwrap();
+        assert_eq!(t.records.len(), 1);
+    }
+
+    #[test]
+    fn ragged_record_is_error() {
+        let err = parse("a,b\n1,2,3\n").unwrap_err();
+        assert!(err.message.contains("3 fields"));
+        assert_eq!(err.record, 1);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn quote_inside_unquoted_field_is_error() {
+        assert!(parse("a\nb\"c\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn empty_fields_and_nulls() {
+        let t = parse("a,b,c\n1,,x\n").unwrap();
+        assert_eq!(t.records[0][1], "");
+        let values = t.to_values();
+        assert!(values[0].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn to_values_types_fields() {
+        let t = parse("id,height,active,name\n25,170.18,true,Messi\n").unwrap();
+        let v = &t.to_values()[0];
+        assert_eq!(v.get("id").unwrap().as_number().unwrap().as_i64(), Some(25));
+        assert_eq!(
+            v.get("height").unwrap().as_number().unwrap().as_f64(),
+            170.18
+        );
+        assert_eq!(v.get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("Messi"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let header = vec!["a".to_string(), "b".to_string()];
+        let records = vec![
+            vec!["x,y".to_string(), "plain".to_string()],
+            vec!["with \"q\"".to_string(), "line\nbreak".to_string()],
+        ];
+        let text = to_string(&header, &records);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.header, header);
+        assert_eq!(parsed.records, records);
+    }
+}

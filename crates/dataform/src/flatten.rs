@@ -1,0 +1,244 @@
+//! Flattening document trees into 1NF rows.
+//!
+//! Paper §2.2: *"We work under the assumption that wrappers provide a flat
+//! structure in first normal form"*. REST payloads are trees, so each wrapper
+//! contains a flattening step. The rules implemented here:
+//!
+//! * a scalar document is one row with one column (named by
+//!   [`FlattenOptions::scalar_column`]);
+//! * an object contributes one column per scalar field, with nested objects
+//!   flattened using separator-joined column names (`team_name`);
+//! * an array of objects (the standard REST list response) produces one row
+//!   per element;
+//! * a nested array *unnests*: the cartesian product with its parent row,
+//!   which is the 1NF interpretation of repeated groups.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// Options controlling flattening.
+#[derive(Clone, Debug)]
+pub struct FlattenOptions {
+    /// Separator between nested object keys in generated column names.
+    pub separator: String,
+    /// Column name used when a document (or array element) is a bare scalar.
+    pub scalar_column: String,
+}
+
+impl Default for FlattenOptions {
+    fn default() -> Self {
+        FlattenOptions {
+            separator: "_".to_string(),
+            scalar_column: "value".to_string(),
+        }
+    }
+}
+
+/// A flat row: column name → scalar text (empty string encodes null).
+pub type Row = BTreeMap<String, String>;
+
+/// Flattens a document into 1NF rows.
+pub fn flatten_rows(value: &Value, options: &FlattenOptions) -> Vec<Row> {
+    match value {
+        Value::Array(items) => items
+            .iter()
+            .flat_map(|item| flatten_rows(item, options))
+            .collect(),
+        Value::Object(_) => flatten_object(value, "", options),
+        scalar => {
+            let mut row = Row::new();
+            row.insert(
+                options.scalar_column.clone(),
+                scalar.scalar_text().unwrap_or_default(),
+            );
+            vec![row]
+        }
+    }
+}
+
+/// Flattens one object into one-or-more rows (more when arrays unnest).
+fn flatten_object(value: &Value, prefix: &str, options: &FlattenOptions) -> Vec<Row> {
+    let Some(map) = value.as_object() else {
+        // Scalar under a prefix: single column.
+        let mut row = Row::new();
+        let column = if prefix.is_empty() {
+            options.scalar_column.clone()
+        } else {
+            prefix.to_string()
+        };
+        row.insert(column, value.scalar_text().unwrap_or_default());
+        return vec![row];
+    };
+
+    // Start from a single row and expand multiplicatively on arrays.
+    let mut rows: Vec<Row> = vec![Row::new()];
+    for (key, field) in map {
+        let column = if prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{prefix}{}{key}", options.separator)
+        };
+        match field {
+            Value::Array(items) => {
+                // Unnest: each existing row pairs with each element's rows.
+                let mut expanded = Vec::new();
+                if items.is_empty() {
+                    // Empty array: keep parent rows, no columns added.
+                    expanded = rows;
+                } else {
+                    for item in items {
+                        let sub_rows = flatten_object(item, &column, options);
+                        for row in &rows {
+                            for sub in &sub_rows {
+                                let mut merged = row.clone();
+                                merged.extend(sub.clone());
+                                expanded.push(merged);
+                            }
+                        }
+                    }
+                }
+                rows = expanded;
+            }
+            Value::Object(_) => {
+                let sub_rows = flatten_object(field, &column, options);
+                let mut expanded = Vec::new();
+                for row in &rows {
+                    for sub in &sub_rows {
+                        let mut merged = row.clone();
+                        merged.extend(sub.clone());
+                        expanded.push(merged);
+                    }
+                }
+                rows = expanded;
+            }
+            scalar => {
+                let text = scalar.scalar_text().unwrap_or_default();
+                for row in &mut rows {
+                    row.insert(column.clone(), text.clone());
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Extracts the union of column names across rows, sorted — the inferred 1NF
+/// schema MDM's *schema extraction* step derives from a wrapper's payload.
+pub fn infer_columns(rows: &[Row]) -> Vec<String> {
+    let mut columns: Vec<String> = rows
+        .iter()
+        .flat_map(|row| row.keys().cloned())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    columns.sort();
+    columns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn flatten_json(doc: &str) -> Vec<Row> {
+        flatten_rows(&json::parse(doc).unwrap(), &FlattenOptions::default())
+    }
+
+    #[test]
+    fn flat_object_is_one_row() {
+        let rows = flatten_json(r#"{"id":6176,"name":"Lionel Messi","height":170.18}"#);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["id"], "6176");
+        assert_eq!(rows[0]["name"], "Lionel Messi");
+        assert_eq!(rows[0]["height"], "170.18");
+    }
+
+    #[test]
+    fn array_of_objects_is_one_row_each() {
+        let rows = flatten_json(r#"[{"id":1},{"id":2},{"id":3}]"#);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2]["id"], "3");
+    }
+
+    #[test]
+    fn nested_objects_prefix_columns() {
+        let rows = flatten_json(r#"{"player":{"name":"Messi","team":{"id":25}}}"#);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["player_name"], "Messi");
+        assert_eq!(rows[0]["player_team_id"], "25");
+    }
+
+    #[test]
+    fn nested_array_unnests_cartesian() {
+        let rows = flatten_json(r#"{"team":"FCB","players":[{"n":"Messi"},{"n":"Iniesta"}]}"#);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r["team"] == "FCB"));
+        let names: Vec<_> = rows.iter().map(|r| r["players_n"].clone()).collect();
+        assert_eq!(names, vec!["Messi", "Iniesta"]);
+    }
+
+    #[test]
+    fn two_arrays_multiply() {
+        let rows = flatten_json(r#"{"a":[{"x":1},{"x":2}],"b":[{"y":3},{"y":4}]}"#);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn empty_array_keeps_parent_row() {
+        let rows = flatten_json(r#"{"team":"FCB","players":[]}"#);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["team"], "FCB");
+        assert!(!rows[0].contains_key("players"));
+    }
+
+    #[test]
+    fn null_becomes_empty_string() {
+        let rows = flatten_json(r#"{"a":null,"b":1}"#);
+        assert_eq!(rows[0]["a"], "");
+    }
+
+    #[test]
+    fn bare_scalar_document() {
+        let rows = flatten_json("42");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["value"], "42");
+    }
+
+    #[test]
+    fn array_of_scalars() {
+        let rows = flatten_json("[1,2]");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["value"], "1");
+    }
+
+    #[test]
+    fn custom_separator() {
+        let options = FlattenOptions {
+            separator: ".".to_string(),
+            ..FlattenOptions::default()
+        };
+        let value = json::parse(r#"{"a":{"b":1}}"#).unwrap();
+        let rows = flatten_rows(&value, &options);
+        assert_eq!(rows[0]["a.b"], "1");
+    }
+
+    #[test]
+    fn infer_columns_unions_and_sorts() {
+        let rows = flatten_json(r#"[{"b":1},{"a":2,"b":3}]"#);
+        assert_eq!(infer_columns(&rows), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn xml_payload_flattens_after_to_value() {
+        let team = crate::xml::parse(
+            "<team><id>25</id><name>FC Barcelona</name><shortName>FCB</shortName></team>",
+        )
+        .unwrap();
+        let rows = flatten_rows(&crate::xml::to_value(&team), &FlattenOptions::default());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["id"], "25");
+        assert_eq!(rows[0]["name"], "FC Barcelona");
+        assert_eq!(rows[0]["shortName"], "FCB");
+    }
+}

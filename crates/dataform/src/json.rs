@@ -1,0 +1,512 @@
+//! A strict JSON parser and printer (RFC 8259 subset: no duplicate-key
+//! detection, `\u` escapes including surrogate pairs, full number grammar).
+//!
+//! This replaces the off-the-shelf JSON library the paper's Java stack used;
+//! the Players API of the motivational use case (Figure 2) is served in JSON.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{Number, Value};
+
+/// A JSON parse error with byte offset and 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document. Trailing non-whitespace input is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut parser = JsonParser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// Prints a value as compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Prints a value as pretty JSON with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::Int(i)) => out.push_str(&i.to_string()),
+        Value::Number(Number::Float(f)) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                // JSON has no Inf/NaN; degrade to null like most printers.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !map.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.iter().filter(|&&c| c == b'\n').count() + 1;
+        let column = self.pos
+            - consumed
+                .iter()
+                .rposition(|&c| c == b'\n')
+                .map_or(0, |p| p + 1)
+            + 1;
+        JsonError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character '{}'", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected '{kw}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.bump(); // '{'
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected string key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return Err(self.error("expected ':' after key"));
+            }
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.bump(); // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.bump(); // '"'
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require a following \uXXXX low.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.error("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.error("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&first) {
+                            return Err(self.error("unpaired low surrogate"));
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.error("invalid escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.error("control character in string")),
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(_) => {
+                    // Multibyte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.input[start..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        // Integer part.
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid number '{text}'")))?;
+            Ok(Value::float(v))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Value::int(v)),
+                // Overflowing integers degrade to float like serde_json's
+                // arbitrary-precision-off behaviour.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::float)
+                    .map_err(|_| self.error(format!("invalid number '{text}'"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_players_api_payload() {
+        // Figure 2 of the paper, verbatim.
+        let doc = r#"{
+            "id": 6176,
+            "name": "Lionel Messi",
+            "height": 170.18,
+            "weight": 159,
+            "rating": 94,
+            "preferred_foot": "left",
+            "team_id": 25
+        }"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("Lionel Messi"));
+        assert_eq!(
+            v.get("height").unwrap().as_number().unwrap().as_f64(),
+            170.18
+        );
+        assert_eq!(
+            v.get("team_id").unwrap().as_number().unwrap().as_i64(),
+            Some(25)
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,{"b":null},true],"c":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert!(v
+            .get("a")
+            .unwrap()
+            .at(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
+        assert!(v.get("c").unwrap().as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse("\"a\\\"b\\\\c\\nd\u{00e9}\u{1F600}\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndé😀"));
+    }
+
+    #[test]
+    fn rejects_unpaired_surrogate() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn number_grammar() {
+        assert_eq!(parse("0").unwrap(), Value::int(0));
+        assert_eq!(parse("-12").unwrap(), Value::int(-12));
+        assert_eq!(parse("3.5").unwrap(), Value::float(3.5));
+        assert_eq!(parse("1e3").unwrap(), Value::float(1000.0));
+        assert_eq!(parse("-2.5E-1").unwrap(), Value::float(-0.25));
+        assert!(parse(".5").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+    }
+
+    #[test]
+    fn leading_zero_rejected_as_trailing_garbage() {
+        // "01" parses "0" then fails on trailing '1'.
+        assert!(parse("01").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a":1"#).is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_structure() {
+        assert!(parse("{1:2}").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn round_trip_compact() {
+        let doc = r#"{"arr":[1,2.5,"x",null,true],"obj":{"k":"v"}}"#;
+        let v = parse(doc).unwrap();
+        let printed = to_string(&v);
+        assert_eq!(parse(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn round_trip_pretty() {
+        let v = parse(r#"{"a":{"b":[1,2]},"c":"x"}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_integral_floats() {
+        let v = Value::float(25.0);
+        assert_eq!(to_string(&v), "25.0");
+        assert_eq!(parse("25.0").unwrap(), v);
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_float() {
+        let v = parse("123456789012345678901234567890").unwrap();
+        assert!(matches!(v, Value::Number(Number::Float(_))));
+    }
+
+    #[test]
+    fn control_character_rejected() {
+        assert!(parse("\"a\u{0001}b\"").is_err());
+    }
+
+    #[test]
+    fn string_escaping_in_printer() {
+        let v = Value::string("a\"b\\c\nd\u{0007}");
+        let printed = to_string(&v);
+        assert_eq!(printed, "\"a\\\"b\\\\c\\nd\\u0007\"");
+        assert_eq!(parse(&printed).unwrap(), v);
+    }
+}

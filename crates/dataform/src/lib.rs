@@ -1,0 +1,29 @@
+//! # mdm-dataform
+//!
+//! Source-data formats for MDM. The paper's wrappers ingest REST-API payloads
+//! "in their original format" — the motivational use case serves the Players
+//! API as JSON and the Teams API as XML (Figure 2). This crate provides the
+//! substrate the reference implementation got from off-the-shelf Java
+//! libraries:
+//!
+//! * [`Value`] — a unified document tree (null / bool / number / string /
+//!   array / object) shared by all formats.
+//! * [`json`] — a strict JSON parser and printer.
+//! * [`xml`] — a parser and printer for the XML subset REST APIs emit
+//!   (elements, attributes, text; no DTDs or processing instructions).
+//! * [`csv`] — an RFC-4180-style reader/writer for tabular sources.
+//! * [`flatten`] — converts a document tree into the flat 1NF rows that
+//!   wrapper signatures `w(a1, …, an)` expose (paper §2.2).
+//! * [`path`] — dotted-path accessors (`team.name`, `stats.0.goals`) used by
+//!   wrapper queries to rename and project fields.
+
+pub mod csv;
+pub mod flatten;
+pub mod json;
+pub mod path;
+pub mod value;
+pub mod xml;
+
+pub use flatten::{flatten_rows, FlattenOptions};
+pub use path::Path;
+pub use value::{Number, Value};

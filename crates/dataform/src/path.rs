@@ -1,0 +1,179 @@
+//! Dotted-path accessors into [`Value`] trees.
+//!
+//! Wrapper definitions rename and project source fields (paper §2.2: the
+//! Players wrapper exposes `foot` for the source's `preferred_foot`, and adds
+//! `teamId` for `team_id`). A [`Path`] like `team.name` or `stats.0.goals`
+//! selects the field a wrapper attribute is bound to.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::value::Value;
+
+/// One step in a path: an object key or an array index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    Key(String),
+    Index(usize),
+}
+
+/// A dotted path into a document tree (`a.b.0.c`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+/// Error for unparsable paths (currently only the empty path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathError(pub String);
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl Path {
+    /// Builds a path from pre-parsed steps.
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        Path { steps }
+    }
+
+    /// A single-key path.
+    pub fn key(name: impl Into<String>) -> Self {
+        Path {
+            steps: vec![Step::Key(name.into())],
+        }
+    }
+
+    /// The steps of the path.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Resolves the path against a value, returning the sub-value it points
+    /// to. Numeric steps index arrays; all steps also try object keys (so a
+    /// JSON object with a key `"0"` is reachable).
+    pub fn resolve<'a>(&self, value: &'a Value) -> Option<&'a Value> {
+        let mut current = value;
+        for step in &self.steps {
+            current = match step {
+                Step::Key(key) => current.get(key)?,
+                Step::Index(i) => match current.at(*i) {
+                    Some(v) => v,
+                    None => current.get(&i.to_string())?,
+                },
+            };
+        }
+        Some(current)
+    }
+}
+
+impl FromStr for Path {
+    type Err = PathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(PathError("empty path".to_string()));
+        }
+        let steps = s
+            .split('.')
+            .map(|part| {
+                if part.is_empty() {
+                    return Err(PathError(format!("empty step in '{s}'")));
+                }
+                Ok(match part.parse::<usize>() {
+                    Ok(i) if part == i.to_string() => Step::Index(i),
+                    _ => Step::Key(part.to_string()),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Path { steps })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            match step {
+                Step::Key(k) => write!(f, "{k}")?,
+                Step::Index(idx) => write!(f, "{idx}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Value {
+        Value::object([
+            (
+                "team",
+                Value::object([
+                    ("name", Value::string("FC Barcelona")),
+                    ("id", Value::int(25)),
+                ]),
+            ),
+            (
+                "players",
+                Value::array([
+                    Value::object([("name", Value::string("Messi"))]),
+                    Value::object([("name", Value::string("Iniesta"))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn resolves_nested_keys() {
+        let path: Path = "team.name".parse().unwrap();
+        assert_eq!(path.resolve(&doc()).unwrap().as_str(), Some("FC Barcelona"));
+    }
+
+    #[test]
+    fn resolves_array_indexes() {
+        let path: Path = "players.1.name".parse().unwrap();
+        assert_eq!(path.resolve(&doc()).unwrap().as_str(), Some("Iniesta"));
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let path: Path = "team.city".parse().unwrap();
+        assert_eq!(path.resolve(&doc()), None);
+    }
+
+    #[test]
+    fn out_of_range_index_is_none() {
+        let path: Path = "players.5".parse().unwrap();
+        assert_eq!(path.resolve(&doc()), None);
+    }
+
+    #[test]
+    fn numeric_key_on_object_falls_back() {
+        let v = Value::object([("0", Value::string("zero"))]);
+        let path: Path = "0".parse().unwrap();
+        assert_eq!(path.resolve(&v).unwrap().as_str(), Some("zero"));
+    }
+
+    #[test]
+    fn empty_paths_rejected() {
+        assert!("".parse::<Path>().is_err());
+        assert!("a..b".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["team.name", "players.0.name", "a"] {
+            let path: Path = text.parse().unwrap();
+            assert_eq!(path.to_string(), text);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Robustness: parsers must never panic, whatever bytes arrive. (External
+//! REST APIs are exactly the place malformed payloads come from.)
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn json_parser_never_panics(input in "\\PC*") {
+        let _ = mdm_dataform::json::parse(&input);
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_jsonish(input in "[{}\\[\\]\",:0-9a-z\\\\ .eE+-]*") {
+        let _ = mdm_dataform::json::parse(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC*") {
+        let _ = mdm_dataform::xml::parse(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_xmlish(input in "[<>/=\"'a-z0-9 &;!\\[\\]-]*") {
+        let _ = mdm_dataform::xml::parse(&input);
+    }
+
+    #[test]
+    fn csv_parser_never_panics(input in "\\PC*") {
+        let _ = mdm_dataform::csv::parse(&input);
+    }
+
+    #[test]
+    fn path_parser_never_panics(input in "\\PC*") {
+        let _ = input.parse::<mdm_dataform::Path>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the data-format substrate: JSON/CSV round-trips and
+//! flattening invariants.
+
+use proptest::prelude::*;
+
+use mdm_dataform::flatten::{flatten_rows, infer_columns, FlattenOptions};
+use mdm_dataform::{csv, json, Value};
+
+/// Arbitrary JSON-like value trees (bounded depth/size).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        // Floats on an exact decimal grid so text round-trips are exact.
+        (-10_000i32..10_000, 0u8..100).prop_map(|(a, b)| Value::float(a as f64 + b as f64 / 4.0)),
+        "[ -~àé😀]{0,10}".prop_map(Value::string),
+    ];
+    leaf.prop_recursive(3, 40, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::array),
+            proptest::collection::btree_map("[a-z_]{1,6}", inner, 0..5).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    /// parse ∘ to_string is the identity.
+    #[test]
+    fn json_round_trip(value in arb_value()) {
+        let compact = json::to_string(&value);
+        prop_assert_eq!(&json::parse(&compact).unwrap(), &value, "compact: {}", compact);
+        let pretty = json::to_string_pretty(&value);
+        prop_assert_eq!(&json::parse(&pretty).unwrap(), &value, "pretty: {}", pretty);
+    }
+
+    /// CSV round-trips arbitrary field content (quotes, commas, newlines).
+    #[test]
+    fn csv_round_trip(
+        header in proptest::collection::vec("[a-z]{1,6}", 1..5),
+        records in proptest::collection::vec(
+            proptest::collection::vec("[ -~\n\"]{0,12}", 1..5),
+            0..8,
+        ),
+    ) {
+        // Make records rectangular w.r.t. the header.
+        let records: Vec<Vec<String>> = records
+            .into_iter()
+            .map(|mut r| {
+                r.resize(header.len(), String::new());
+                r
+            })
+            .collect();
+        let text = csv::to_string(&header, &records);
+        let parsed = csv::parse(&text).unwrap();
+        prop_assert_eq!(parsed.header, header);
+        prop_assert_eq!(parsed.records, records);
+    }
+
+    /// Flattening an array of flat objects yields exactly one row each, and
+    /// every row's columns appear in the inferred schema.
+    #[test]
+    fn flatten_array_of_flat_objects(
+        objects in proptest::collection::vec(
+            proptest::collection::btree_map(
+                "[a-z]{1,5}",
+                prop_oneof![
+                    any::<i64>().prop_map(Value::int),
+                    "[a-z]{0,6}".prop_map(Value::string),
+                ],
+                1..5,
+            ),
+            0..10,
+        ),
+    ) {
+        let doc = Value::Array(objects.iter().cloned().map(Value::Object).collect());
+        let rows = flatten_rows(&doc, &FlattenOptions::default());
+        prop_assert_eq!(rows.len(), objects.len());
+        let columns = infer_columns(&rows);
+        for (row, object) in rows.iter().zip(&objects) {
+            prop_assert_eq!(row.len(), object.len());
+            for key in row.keys() {
+                prop_assert!(columns.contains(key));
+            }
+        }
+    }
+
+    /// Unnesting multiplies: an object with two arrays of flat objects
+    /// produces |a|×|b| rows (when both non-empty).
+    #[test]
+    fn flatten_multiplies_arrays(a in 1usize..5, b in 1usize..5) {
+        let mk = |n: usize, key: &str| {
+            Value::array((0..n).map(|i| {
+                Value::object([(key, Value::int(i as i64))])
+            }))
+        };
+        let doc = Value::object([("xs", mk(a, "x")), ("ys", mk(b, "y"))]);
+        let rows = flatten_rows(&doc, &FlattenOptions::default());
+        prop_assert_eq!(rows.len(), a * b);
+    }
+
+    /// XML values built from scalars survive the printer/parser.
+    #[test]
+    fn xml_scalar_round_trip(
+        fields in proptest::collection::btree_map(
+            "[a-z]{1,6}",
+            prop_oneof![
+                any::<i32>().prop_map(|i| i.to_string()),
+                "[a-zA-Z ]{1,10}".prop_map(|s| s.trim().to_string()),
+            ],
+            1..6,
+        ),
+    ) {
+        use mdm_dataform::xml;
+        let mut element = xml::Element::new("record");
+        for (k, v) in &fields {
+            element = element.child(xml::Element::new(k.clone()).text(v.clone()));
+        }
+        let printed = xml::to_string(&element);
+        let reparsed = xml::parse(&printed).unwrap();
+        for (k, v) in &fields {
+            let child = reparsed.first_child(k).unwrap();
+            prop_assert_eq!(&child.text_content(), v);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Datasets: a default graph plus named graphs.
+//!
+//! The BDI ontology keeps LAV mappings as RDF *named graphs* — each wrapper
+//! `w` owns a named graph (identified by `w`'s IRI) containing the subset of
+//! the global graph that `w` populates (paper §2.3). [`Dataset`] provides
+//! exactly that: named graphs keyed by IRI, a default graph, and union views.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::term::{Iri, Term, Triple};
+
+/// The name of a graph within a [`Dataset`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GraphName {
+    /// The unnamed default graph.
+    Default,
+    /// A named graph identified by an IRI.
+    Named(Iri),
+}
+
+impl GraphName {
+    /// The IRI of a named graph; `None` for the default graph.
+    pub fn iri(&self) -> Option<&Iri> {
+        match self {
+            GraphName::Default => None,
+            GraphName::Named(iri) => Some(iri),
+        }
+    }
+}
+
+impl fmt::Display for GraphName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphName::Default => write!(f, "DEFAULT"),
+            GraphName::Named(iri) => write!(f, "{iri}"),
+        }
+    }
+}
+
+impl From<Iri> for GraphName {
+    fn from(iri: Iri) -> Self {
+        GraphName::Named(iri)
+    }
+}
+
+/// A quad: a triple plus the graph it belongs to.
+pub type Quad = (GraphName, Term, Term, Term);
+
+/// A collection of one default graph and zero or more named graphs.
+#[derive(Default, Clone)]
+pub struct Dataset {
+    default: Graph,
+    named: BTreeMap<Iri, Graph>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// The default graph.
+    pub fn default_graph(&self) -> &Graph {
+        &self.default
+    }
+
+    /// Mutable access to the default graph.
+    pub fn default_graph_mut(&mut self) -> &mut Graph {
+        &mut self.default
+    }
+
+    /// The named graph for `name`, if present.
+    pub fn named_graph(&self, name: &Iri) -> Option<&Graph> {
+        self.named.get(name)
+    }
+
+    /// Mutable access to the named graph for `name`, creating it if absent.
+    pub fn named_graph_mut(&mut self, name: &Iri) -> &mut Graph {
+        self.named.entry(name.clone()).or_default()
+    }
+
+    /// Removes a named graph entirely; returns it when it existed.
+    pub fn remove_named_graph(&mut self, name: &Iri) -> Option<Graph> {
+        self.named.remove(name)
+    }
+
+    /// Iterates the names of all named graphs, in IRI order.
+    pub fn graph_names(&self) -> impl Iterator<Item = &Iri> {
+        self.named.keys()
+    }
+
+    /// Number of named graphs.
+    pub fn named_graph_count(&self) -> usize {
+        self.named.len()
+    }
+
+    /// Inserts a triple into the graph designated by `name`.
+    pub fn insert(&mut self, name: &GraphName, triple: Triple) -> bool {
+        match name {
+            GraphName::Default => self.default.insert(triple),
+            GraphName::Named(iri) => self.named_graph_mut(iri).insert(triple),
+        }
+    }
+
+    /// Resolves `name` to its graph (empty graphs for absent names read as
+    /// `None`).
+    pub fn graph(&self, name: &GraphName) -> Option<&Graph> {
+        match name {
+            GraphName::Default => Some(&self.default),
+            GraphName::Named(iri) => self.named.get(iri),
+        }
+    }
+
+    /// Iterates every quad in the dataset (default graph first, then named
+    /// graphs in IRI order).
+    pub fn quads(&self) -> impl Iterator<Item = Quad> + '_ {
+        let default = self
+            .default
+            .iter()
+            .map(|(s, p, o)| (GraphName::Default, s, p, o));
+        let named = self.named.iter().flat_map(|(name, graph)| {
+            graph
+                .iter()
+                .map(move |(s, p, o)| (GraphName::Named(name.clone()), s, p, o))
+        });
+        default.chain(named)
+    }
+
+    /// Total number of quads across all graphs.
+    pub fn quad_count(&self) -> usize {
+        self.default.len() + self.named.values().map(Graph::len).sum::<usize>()
+    }
+
+    /// A new graph holding the union of the default graph and every named
+    /// graph (set semantics).
+    pub fn union(&self) -> Graph {
+        let mut out = self.default.clone();
+        for graph in self.named.values() {
+            out.extend_from(graph);
+        }
+        out
+    }
+
+    /// Names of every named graph containing the given triple. This is the
+    /// primitive behind "which wrappers populate this global-graph element?"
+    pub fn graphs_containing(&self, s: &Term, p: &Term, o: &Term) -> Vec<&Iri> {
+        self.named
+            .iter()
+            .filter(|(_, g)| g.contains(s, p, o))
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    /// Names of every named graph in which the term occurs as subject or
+    /// object of at least one triple.
+    pub fn graphs_mentioning(&self, term: &Term) -> Vec<&Iri> {
+        self.named
+            .iter()
+            .filter(|(_, g)| {
+                !g.matching(Some(term), None, None).is_empty()
+                    || !g.matching(None, None, Some(term)).is_empty()
+            })
+            .map(|(name, _)| name)
+            .collect()
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Dataset({} named graphs, {} quads)",
+            self.named.len(),
+            self.quad_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        (Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn default_and_named_graphs_are_separate() {
+        let mut ds = Dataset::new();
+        ds.insert(&GraphName::Default, t("a", "p", "b"));
+        let w1 = Iri::new("ex:w1");
+        ds.insert(&GraphName::Named(w1.clone()), t("a", "p", "c"));
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.named_graph(&w1).unwrap().len(), 1);
+        assert_eq!(ds.quad_count(), 2);
+    }
+
+    #[test]
+    fn named_graph_mut_creates_on_demand() {
+        let mut ds = Dataset::new();
+        let name = Iri::new("ex:w1");
+        assert!(ds.named_graph(&name).is_none());
+        ds.named_graph_mut(&name).insert(t("x", "y", "z"));
+        assert_eq!(ds.named_graph(&name).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_merges_all_graphs() {
+        let mut ds = Dataset::new();
+        ds.insert(&GraphName::Default, t("a", "p", "b"));
+        ds.insert(&GraphName::Named(Iri::new("g1")), t("a", "p", "b"));
+        ds.insert(&GraphName::Named(Iri::new("g2")), t("c", "p", "d"));
+        let u = ds.union();
+        assert_eq!(u.len(), 2); // duplicate collapses
+    }
+
+    #[test]
+    fn graphs_containing_finds_mapping_overlap() {
+        // Mirrors Fig. 7: wrappers w1 and w2 both cover sc:SportsTeam's id.
+        let mut ds = Dataset::new();
+        let triple = t("sc:SportsTeam", "G:hasFeature", "sc:identifier");
+        ds.insert(&GraphName::Named(Iri::new("ex:w1")), triple.clone());
+        ds.insert(&GraphName::Named(Iri::new("ex:w2")), triple.clone());
+        ds.insert(&GraphName::Named(Iri::new("ex:w3")), t("x", "y", "z"));
+        let (s, p, o) = triple;
+        let hits = ds.graphs_containing(&s, &p, &o);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].as_str(), "ex:w1");
+        assert_eq!(hits[1].as_str(), "ex:w2");
+    }
+
+    #[test]
+    fn graphs_mentioning_checks_subject_and_object() {
+        let mut ds = Dataset::new();
+        ds.insert(&GraphName::Named(Iri::new("g1")), t("a", "p", "b"));
+        ds.insert(&GraphName::Named(Iri::new("g2")), t("b", "p", "c"));
+        let b = Term::iri("b");
+        assert_eq!(ds.graphs_mentioning(&b).len(), 2);
+        let a = Term::iri("a");
+        assert_eq!(ds.graphs_mentioning(&a).len(), 1);
+    }
+
+    #[test]
+    fn remove_named_graph_drops_quads() {
+        let mut ds = Dataset::new();
+        let g = Iri::new("g1");
+        ds.insert(&GraphName::Named(g.clone()), t("a", "p", "b"));
+        assert!(ds.remove_named_graph(&g).is_some());
+        assert_eq!(ds.quad_count(), 0);
+        assert!(ds.remove_named_graph(&g).is_none());
+    }
+
+    #[test]
+    fn quads_iterates_default_then_named() {
+        let mut ds = Dataset::new();
+        ds.insert(&GraphName::Named(Iri::new("g1")), t("n", "p", "o"));
+        ds.insert(&GraphName::Default, t("d", "p", "o"));
+        let quads: Vec<_> = ds.quads().collect();
+        assert_eq!(quads.len(), 2);
+        assert_eq!(quads[0].0, GraphName::Default);
+        assert!(matches!(&quads[1].0, GraphName::Named(i) if i.as_str() == "g1"));
+    }
+
+    #[test]
+    fn graph_names_sorted() {
+        let mut ds = Dataset::new();
+        ds.named_graph_mut(&Iri::new("g2"));
+        ds.named_graph_mut(&Iri::new("g1"));
+        let names: Vec<_> = ds.graph_names().map(Iri::as_str).collect();
+        assert_eq!(names, vec!["g1", "g2"]);
+    }
+}

@@ -1,0 +1,409 @@
+//! The indexed triple store.
+//!
+//! [`Graph`] keeps three `BTreeSet` permutation indexes (SPO, POS, OSP) over
+//! interned term ids, so every triple-pattern shape — `(s, ?, ?)`,
+//! `(?, p, ?)`, `(?, p, o)`, … — is answered with a single sorted-range scan.
+//! This mirrors what Jena TDB provided for the paper's implementation, scaled
+//! to the metadata-sized graphs MDM manages (the global and source graphs are
+//! thousands of triples, not billions).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Bound;
+
+use crate::interner::{Interner, TermId};
+use crate::term::{Term, Triple};
+
+/// Internal key in a permutation index: a triple reordered to the index's
+/// component order.
+type Key = (TermId, TermId, TermId);
+
+/// An RDF graph: a set of triples with pattern-matching indexes.
+#[derive(Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` when it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let (s, p, o) = triple;
+        let s = self.interner.intern(&s);
+        let p = self.interner.intern(&p);
+        let o = self.interner.intern(&o);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Removes a triple; returns `true` when it was present.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(s),
+            self.interner.get(p),
+            self.interner.get(o),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// True when the triple is present.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (
+            self.interner.get(s),
+            self.interner.get(p),
+            self.interner.get(o),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Iterates all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            (
+                self.interner.resolve(s).clone(),
+                self.interner.resolve(p).clone(),
+                self.interner.resolve(o).clone(),
+            )
+        })
+    }
+
+    /// Matches a triple pattern where `None` components are wildcards.
+    ///
+    /// The best permutation index for the bound components is chosen, so a
+    /// fully-bound probe is a set lookup and a one-bound probe is a range
+    /// scan. Results come back in a deterministic (index) order.
+    pub fn matching(&self, s: Option<&Term>, p: Option<&Term>, o: Option<&Term>) -> Vec<Triple> {
+        // A bound term the interner has never seen cannot match anything.
+        let lookup = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(t) => self.interner.get(t).map(Some).ok_or(()),
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (lookup(s), lookup(p), lookup(o)) else {
+            return Vec::new();
+        };
+
+        let out: Vec<Key> = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => range2(&self.spo, s, p)
+                .map(|&(s, p, o)| (s, p, o))
+                .collect(),
+            (Some(s), None, None) => range1(&self.spo, s).map(|&(s, p, o)| (s, p, o)).collect(),
+            (None, Some(p), Some(o)) => range2(&self.pos, p, o)
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => range1(&self.pos, p).map(|&(p, o, s)| (s, p, o)).collect(),
+            (Some(s), None, Some(o)) => range2(&self.osp, o, s)
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => range1(&self.osp, o).map(|&(o, s, p)| (s, p, o)).collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        };
+        out.into_iter()
+            .map(|(s, p, o)| {
+                (
+                    self.interner.resolve(s).clone(),
+                    self.interner.resolve(p).clone(),
+                    self.interner.resolve(o).clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The objects of all `(s, p, ·)` triples, in term order (deterministic
+    /// across graphs built in different insertion orders — e.g. one restored
+    /// from a snapshot).
+    pub fn objects(&self, s: &Term, p: &Term) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .matching(Some(s), Some(p), None)
+            .into_iter()
+            .map(|(_, _, o)| o)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The single object of `(s, p, ·)` when exactly one exists.
+    pub fn object(&self, s: &Term, p: &Term) -> Option<Term> {
+        let mut objects = self.objects(s, p);
+        if objects.len() == 1 {
+            objects.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The subjects of all `(·, p, o)` triples, in term order.
+    pub fn subjects(&self, p: &Term, o: &Term) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .matching(None, Some(p), Some(o))
+            .into_iter()
+            .map(|(s, _, _)| s)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All distinct subjects appearing in the graph, in term order.
+    pub fn all_subjects(&self) -> Vec<Term> {
+        let mut seen = BTreeSet::new();
+        for &(s, _, _) in &self.spo {
+            seen.insert(s);
+        }
+        let mut out: Vec<Term> = seen
+            .into_iter()
+            .map(|id| self.interner.resolve(id).clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Inserts every triple of `other` into `self`.
+    pub fn extend_from(&mut self, other: &Graph) {
+        for triple in other.iter() {
+            self.insert(triple);
+        }
+    }
+
+    /// Removes all triples whose subject is `s`; returns how many were removed.
+    pub fn remove_subject(&mut self, s: &Term) -> usize {
+        let doomed = self.matching(Some(s), None, None);
+        let count = doomed.len();
+        for (s, p, o) in &doomed {
+            self.remove(s, p, o);
+        }
+        count
+    }
+}
+
+/// Range scan over a permutation index with the first component bound.
+fn range1(index: &BTreeSet<Key>, a: TermId) -> impl Iterator<Item = &Key> {
+    index.range((
+        Bound::Included((a, TermId::MIN, TermId::MIN)),
+        Bound::Included((a, TermId::MAX, TermId::MAX)),
+    ))
+}
+
+/// Range scan over a permutation index with the first two components bound.
+fn range2(index: &BTreeSet<Key>, a: TermId, b: TermId) -> impl Iterator<Item = &Key> {
+    index.range((
+        Bound::Included((a, b, TermId::MIN)),
+        Bound::Included((a, b, TermId::MAX)),
+    ))
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph({} triples)", self.len())?;
+        for (s, p, o) in self.iter() {
+            writeln!(f, "  {s:?} {p:?} {o:?} .")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        for t in iter {
+            g.insert(t);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        (Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn football_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert(t("ex:Player", "rdf:type", "G:Concept"));
+        g.insert(t("sc:SportsTeam", "rdf:type", "G:Concept"));
+        g.insert(t("ex:Player", "G:hasFeature", "ex:playerName"));
+        g.insert(t("ex:Player", "G:hasFeature", "ex:height"));
+        g.insert(t("sc:SportsTeam", "G:hasFeature", "ex:teamName"));
+        g.insert((
+            Term::iri("ex:playerName"),
+            Term::iri("rdfs:label"),
+            Term::string("name"),
+        ));
+        g
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("a", "b", "c")));
+        assert!(!g.insert(t("a", "b", "c")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn remove_unknown_terms_is_noop() {
+        let mut g = football_graph();
+        let before = g.len();
+        assert!(!g.remove(
+            &Term::iri("ex:Nowhere"),
+            &Term::iri("rdf:type"),
+            &Term::iri("G:Concept")
+        ));
+        assert_eq!(g.len(), before);
+    }
+
+    #[test]
+    fn remove_keeps_indexes_consistent() {
+        let mut g = football_graph();
+        assert!(g.remove(
+            &Term::iri("ex:Player"),
+            &Term::iri("G:hasFeature"),
+            &Term::iri("ex:height")
+        ));
+        assert_eq!(
+            g.matching(
+                Some(&Term::iri("ex:Player")),
+                Some(&Term::iri("G:hasFeature")),
+                None
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            g.matching(None, None, Some(&Term::iri("ex:height"))).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn matching_all_eight_shapes() {
+        let g = football_graph();
+        let s = Term::iri("ex:Player");
+        let p = Term::iri("G:hasFeature");
+        let o = Term::iri("ex:playerName");
+        assert_eq!(g.matching(Some(&s), Some(&p), Some(&o)).len(), 1);
+        assert_eq!(g.matching(Some(&s), Some(&p), None).len(), 2);
+        assert_eq!(g.matching(Some(&s), None, Some(&o)).len(), 1);
+        assert_eq!(g.matching(None, Some(&p), Some(&o)).len(), 1);
+        assert_eq!(g.matching(Some(&s), None, None).len(), 3);
+        assert_eq!(g.matching(None, Some(&p), None).len(), 3);
+        assert_eq!(g.matching(None, None, Some(&o)).len(), 1);
+        assert_eq!(g.matching(None, None, None).len(), g.len());
+    }
+
+    #[test]
+    fn matching_unknown_term_returns_empty() {
+        let g = football_graph();
+        assert!(g
+            .matching(Some(&Term::iri("ex:Unknown")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let g = football_graph();
+        let feats = g.objects(&Term::iri("ex:Player"), &Term::iri("G:hasFeature"));
+        assert_eq!(feats.len(), 2);
+        let concepts = g.subjects(&Term::iri("rdf:type"), &Term::iri("G:Concept"));
+        assert_eq!(concepts.len(), 2);
+    }
+
+    #[test]
+    fn object_requires_uniqueness() {
+        let g = football_graph();
+        // Two features -> ambiguous -> None.
+        assert_eq!(
+            g.object(&Term::iri("ex:Player"), &Term::iri("G:hasFeature")),
+            None
+        );
+        assert_eq!(
+            g.object(&Term::iri("ex:playerName"), &Term::iri("rdfs:label")),
+            Some(Term::string("name"))
+        );
+    }
+
+    #[test]
+    fn remove_subject_removes_all_outgoing() {
+        let mut g = football_graph();
+        let removed = g.remove_subject(&Term::iri("ex:Player"));
+        assert_eq!(removed, 3);
+        assert!(g
+            .matching(Some(&Term::iri("ex:Player")), None, None)
+            .is_empty());
+    }
+
+    #[test]
+    fn extend_from_unions_graphs() {
+        let mut a = Graph::new();
+        a.insert(t("x", "p", "y"));
+        let mut b = Graph::new();
+        b.insert(t("x", "p", "y"));
+        b.insert(t("y", "p", "z"));
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let g1 = football_graph();
+        let g2 = football_graph();
+        let v1: Vec<_> = g1.iter().collect();
+        let v2: Vec<_> = g2.iter().collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn literals_participate_in_matching() {
+        let g = football_graph();
+        let hits = g.matching(None, None, Some(&Term::string("name")));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let g: Graph = vec![t("a", "b", "c"), t("a", "b", "d")]
+            .into_iter()
+            .collect();
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Term interning.
+//!
+//! A [`Graph`](crate::Graph) never stores full [`Term`]s in its indexes;
+//! it stores 4-byte [`TermId`]s handed out by an [`Interner`]. This follows
+//! the standard database-engine idiom (cf. the Rust Performance Book's advice
+//! on interning hot keys): triples become three machine words, index
+//! comparisons become integer comparisons, and the term payloads are stored
+//! exactly once.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`], valid only within the
+/// [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Smallest possible id; used as a range-scan sentinel by the indexes.
+    pub(crate) const MIN: TermId = TermId(u32::MIN);
+    /// Largest possible id; used as a range-scan sentinel by the indexes.
+    pub(crate) const MAX: TermId = TermId(u32::MAX);
+
+    /// The raw index value. Exposed for compact serialisation in tests.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between [`Term`]s and dense [`TermId`]s.
+#[derive(Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the id for `term`, interning it on first sight.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.terms.len()).expect("interner capacity exceeded (2^32 terms)"),
+        );
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Returns the id for `term` if it was interned before, without
+    /// interning. Pattern matching uses this so that probing for a term the
+    /// graph has never seen costs one hash lookup and no allocation.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolves an id back to its term.
+    ///
+    /// # Panics
+    /// Panics when `id` did not originate from this interner.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = Interner::new();
+        let t = Term::iri("http://e.x/a");
+        let id1 = interner.intern(&t);
+        let id2 = interner.intern(&t);
+        assert_eq!(id1, id2);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut interner = Interner::new();
+        let a = interner.intern(&Term::iri("http://e.x/a"));
+        let b = interner.intern(&Term::iri("http://e.x/b"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.get(&Term::string("x")), None);
+        assert!(interner.is_empty());
+        let id = interner.intern(&Term::string("x"));
+        assert_eq!(interner.get(&Term::string("x")), Some(id));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = Interner::new();
+        let original = Term::integer(7);
+        let id = interner.intern(&original);
+        assert_eq!(interner.resolve(id), &original);
+    }
+
+    #[test]
+    fn literal_and_iri_with_same_text_are_distinct() {
+        let mut interner = Interner::new();
+        let a = interner.intern(&Term::iri("x"));
+        let b = interner.intern(&Term::string("x"));
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! # mdm-rdf
+//!
+//! An in-memory RDF substrate purpose-built for the MDM metadata management
+//! system (Nadal et al., *MDM: Governing Evolution in Big Data Ecosystems*,
+//! EDBT 2018).
+//!
+//! The paper's reference implementation stores its two-level *BDI ontology*
+//! (a **global graph** of concepts and features, and a **source graph** of
+//! data sources, wrappers and attributes) in Apache Jena / Jena TDB, and
+//! encodes LAV mappings as RDF *named graphs*. This crate provides the same
+//! capabilities natively in Rust:
+//!
+//! * [`Term`], [`Iri`], [`Literal`], [`BlankNode`] — RDF terms with cheap
+//!   cloning and total ordering.
+//! * [`Graph`] — an indexed triple set with pattern matching over all eight
+//!   (s, p, o) binding shapes, backed by a term interner so triples are three
+//!   machine words.
+//! * [`Dataset`] — a collection of named graphs plus a default graph, the
+//!   structure MDM uses to keep one named graph per LAV mapping.
+//! * [`turtle`] — a reader and writer for the Turtle subset MDM emits, plus
+//!   TriG-style named-graph blocks for serialising datasets.
+//! * [`vocab`] — well-known vocabularies (`rdf:`, `rdfs:`, `owl:`,
+//!   `schema.org`) and the BDI ontology namespaces (`G:` global, `S:`
+//!   source).
+//!
+//! The store is deliberately small and deterministic: iteration order is the
+//! interner's insertion order filtered through sorted indexes, which keeps
+//! renderings of the global/source graphs (Figures 5–7 of the paper) stable
+//! across runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use mdm_rdf::{Graph, Term, vocab};
+//!
+//! let mut g = Graph::new();
+//! let player = Term::iri("http://example.org/Player");
+//! g.insert((player.clone(), vocab::rdf::TYPE.term(), vocab::bdi::CONCEPT.term()));
+//! assert_eq!(g.len(), 1);
+//! assert!(g.contains(&player, &vocab::rdf::TYPE.term(), &vocab::bdi::CONCEPT.term()));
+//! ```
+
+pub mod dataset;
+pub mod graph;
+pub mod interner;
+pub mod namespace;
+pub mod pattern;
+pub mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use dataset::{Dataset, GraphName};
+pub use graph::Graph;
+pub use interner::{Interner, TermId};
+pub use namespace::{Namespace, PrefixMap};
+pub use pattern::TriplePattern;
+pub use term::{BlankNode, Iri, Literal, Term, Triple};

@@ -1,0 +1,194 @@
+//! Namespaces and prefix maps.
+//!
+//! MDM renders every graph with compact prefixed names (`sc:SportsTeam`,
+//! `G:Concept`, …), exactly as the paper's figures do. [`Namespace`] mints
+//! IRIs under a base, and [`PrefixMap`] maps between full IRIs and
+//! `prefix:local` notation for the Turtle reader/writer and the renderers.
+
+use std::collections::BTreeMap;
+
+use crate::term::Iri;
+
+/// A namespace: a base IRI under which local names are minted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Namespace {
+    base: Iri,
+}
+
+impl Namespace {
+    /// Creates a namespace with the given base (should end in `/` or `#`).
+    pub fn new(base: impl Into<String>) -> Self {
+        Namespace {
+            base: Iri::new(base.into()),
+        }
+    }
+
+    /// The base IRI.
+    pub fn base(&self) -> &Iri {
+        &self.base
+    }
+
+    /// Mints the IRI `base + local`.
+    pub fn iri(&self, local: &str) -> Iri {
+        Iri::new(format!("{}{}", self.base.as_str(), local))
+    }
+
+    /// True when `iri` starts with this namespace's base.
+    pub fn contains(&self, iri: &Iri) -> bool {
+        iri.as_str().starts_with(self.base.as_str())
+    }
+
+    /// Strips the base from `iri`, returning the local part.
+    pub fn local<'a>(&self, iri: &'a Iri) -> Option<&'a str> {
+        iri.as_str().strip_prefix(self.base.as_str())
+    }
+}
+
+/// An ordered prefix → namespace map.
+///
+/// Longest-namespace match wins when shrinking an IRI, so overlapping
+/// namespaces (e.g. `http://e.x/` and `http://e.x/sub/`) compact correctly.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixMap {
+    prefixes: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// An empty prefix map.
+    pub fn new() -> Self {
+        PrefixMap::default()
+    }
+
+    /// A prefix map preloaded with the vocabularies MDM always uses.
+    pub fn with_defaults() -> Self {
+        let mut map = PrefixMap::new();
+        for &(prefix, ns) in crate::vocab::DEFAULT_PREFIXES {
+            map.insert(prefix, ns);
+        }
+        map
+    }
+
+    /// Binds `prefix` to `namespace`, replacing any previous binding.
+    pub fn insert(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        self.prefixes.insert(prefix.into(), namespace.into());
+    }
+
+    /// The namespace bound to `prefix`.
+    pub fn expand_prefix(&self, prefix: &str) -> Option<&str> {
+        self.prefixes.get(prefix).map(String::as_str)
+    }
+
+    /// Expands `prefix:local` to a full IRI when the prefix is bound.
+    pub fn expand(&self, qname: &str) -> Option<Iri> {
+        let (prefix, local) = qname.split_once(':')?;
+        let ns = self.prefixes.get(prefix)?;
+        Some(Iri::new(format!("{ns}{local}")))
+    }
+
+    /// Compacts an IRI to `prefix:local` using the longest matching
+    /// namespace; returns `None` when no bound namespace is a prefix of it or
+    /// the remainder contains characters that would not survive a round-trip.
+    pub fn compact(&self, iri: &Iri) -> Option<String> {
+        let s = iri.as_str();
+        let mut best: Option<(&str, &str)> = None;
+        for (prefix, ns) in &self.prefixes {
+            if let Some(local) = s.strip_prefix(ns.as_str()) {
+                if best.is_none() || ns.len() > self.prefixes[best.unwrap().0].len() {
+                    best = Some((prefix, local));
+                }
+            }
+        }
+        let (prefix, local) = best?;
+        if local.is_empty() || !local.chars().all(is_pn_local_char) {
+            return None;
+        }
+        Some(format!("{prefix}:{local}"))
+    }
+
+    /// Iterates the `(prefix, namespace)` bindings in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.prefixes
+            .iter()
+            .map(|(p, ns)| (p.as_str(), ns.as_str()))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when no prefixes are bound.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+/// Characters we allow in the local part of a prefixed name. A pragmatic
+/// subset of Turtle's PN_LOCAL, wide enough for all names MDM generates.
+fn is_pn_local_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_mints_iris() {
+        let ex = Namespace::new("http://example.org/");
+        assert_eq!(ex.iri("Player").as_str(), "http://example.org/Player");
+        assert!(ex.contains(&ex.iri("Player")));
+        assert_eq!(ex.local(&ex.iri("Player")), Some("Player"));
+    }
+
+    #[test]
+    fn namespace_rejects_foreign_iris() {
+        let ex = Namespace::new("http://example.org/");
+        let foreign = Iri::new("http://schema.org/name");
+        assert!(!ex.contains(&foreign));
+        assert_eq!(ex.local(&foreign), None);
+    }
+
+    #[test]
+    fn expand_and_compact_round_trip() {
+        let mut map = PrefixMap::new();
+        map.insert("sc", "http://schema.org/");
+        let iri = map.expand("sc:SportsTeam").unwrap();
+        assert_eq!(iri.as_str(), "http://schema.org/SportsTeam");
+        assert_eq!(map.compact(&iri), Some("sc:SportsTeam".to_string()));
+    }
+
+    #[test]
+    fn compact_prefers_longest_namespace() {
+        let mut map = PrefixMap::new();
+        map.insert("e", "http://e.x/");
+        map.insert("es", "http://e.x/sub/");
+        let iri = Iri::new("http://e.x/sub/thing");
+        assert_eq!(map.compact(&iri), Some("es:thing".to_string()));
+    }
+
+    #[test]
+    fn compact_refuses_unsafe_local_parts() {
+        let mut map = PrefixMap::new();
+        map.insert("e", "http://e.x/");
+        assert_eq!(map.compact(&Iri::new("http://e.x/a/b")), None);
+        assert_eq!(map.compact(&Iri::new("http://e.x/")), None);
+    }
+
+    #[test]
+    fn expand_unknown_prefix_is_none() {
+        let map = PrefixMap::new();
+        assert_eq!(map.expand("nope:x"), None);
+        assert_eq!(map.expand("noColon"), None);
+    }
+
+    #[test]
+    fn defaults_include_bdi_vocabularies() {
+        let map = PrefixMap::with_defaults();
+        assert!(map.expand("G:Concept").is_some());
+        assert!(map.expand("S:Wrapper").is_some());
+        assert!(map.expand("rdf:type").is_some());
+        assert!(map.expand("owl:sameAs").is_some());
+        assert!(map.expand("sc:identifier").is_some());
+    }
+}

@@ -1,0 +1,277 @@
+//! Triple patterns with variables, and single-pattern matching.
+//!
+//! This is the shared primitive under both the SPARQL evaluator
+//! (`mdm-sparql`) and the query-rewriting engine (`mdm-core`): a triple whose
+//! components may be variables, matched against a [`Graph`] to produce
+//! variable bindings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::term::Term;
+
+/// A variable name (without the leading `?`).
+pub type Var = String;
+
+/// One component of a [`TriplePattern`]: a constant term or a variable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatternTerm {
+    /// A constant that must match exactly.
+    Const(Term),
+    /// A variable to be bound.
+    Var(Var),
+}
+
+impl PatternTerm {
+    /// Shorthand for a variable component.
+    pub fn var(name: impl Into<String>) -> Self {
+        PatternTerm::Var(name.into())
+    }
+
+    /// Returns the constant term, if this component is one.
+    pub fn as_const(&self) -> Option<&Term> {
+        match self {
+            PatternTerm::Const(t) => Some(t),
+            PatternTerm::Var(_) => None,
+        }
+    }
+
+    /// Returns the variable name, if this component is one.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Const(t) => write!(f, "{t:?}"),
+            PatternTerm::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+impl From<Term> for PatternTerm {
+    fn from(t: Term) -> Self {
+        PatternTerm::Const(t)
+    }
+}
+
+/// A set of variable bindings produced by pattern matching.
+pub type Bindings = BTreeMap<Var, Term>;
+
+/// A triple pattern: three components, each constant or variable.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    pub subject: PatternTerm,
+    pub predicate: PatternTerm,
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Builds a pattern from any three convertible components.
+    pub fn new(
+        subject: impl Into<PatternTerm>,
+        predicate: impl Into<PatternTerm>,
+        object: impl Into<PatternTerm>,
+    ) -> Self {
+        TriplePattern {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// The distinct variable names in this pattern, in s/p/o order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut vars = Vec::new();
+        for component in [&self.subject, &self.predicate, &self.object] {
+            if let Some(v) = component.as_var() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Applies existing bindings, turning bound variables into constants.
+    pub fn substituted(&self, bindings: &Bindings) -> TriplePattern {
+        let subst = |component: &PatternTerm| -> PatternTerm {
+            match component {
+                PatternTerm::Var(v) => match bindings.get(v) {
+                    Some(term) => PatternTerm::Const(term.clone()),
+                    None => component.clone(),
+                },
+                PatternTerm::Const(_) => component.clone(),
+            }
+        };
+        TriplePattern {
+            subject: subst(&self.subject),
+            predicate: subst(&self.predicate),
+            object: subst(&self.object),
+        }
+    }
+
+    /// Matches this pattern against `graph` under `seed` bindings, returning
+    /// one extended binding set per matching triple.
+    ///
+    /// Repeated variables within the pattern (e.g. `?x p ?x`) are honoured:
+    /// a candidate triple only matches when all occurrences agree.
+    pub fn match_against(&self, graph: &Graph, seed: &Bindings) -> Vec<Bindings> {
+        let pattern = self.substituted(seed);
+        let s = pattern.subject.as_const();
+        let p = pattern.predicate.as_const();
+        let o = pattern.object.as_const();
+        let mut out = Vec::new();
+        'triples: for (ts, tp, to) in graph.matching(s, p, o) {
+            let mut bindings = seed.clone();
+            for (component, term) in [
+                (&pattern.subject, ts),
+                (&pattern.predicate, tp),
+                (&pattern.object, to),
+            ] {
+                if let PatternTerm::Var(v) = component {
+                    match bindings.get(v) {
+                        Some(existing) if *existing != term => continue 'triples,
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.clone(), term);
+                        }
+                    }
+                }
+            }
+            out.push(bindings);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {:?} {:?} .",
+            self.subject, self.predicate, self.object
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert((
+            Term::iri("ex:Player"),
+            Term::iri("G:hasFeature"),
+            Term::iri("ex:playerName"),
+        ));
+        g.insert((
+            Term::iri("ex:Player"),
+            Term::iri("G:hasFeature"),
+            Term::iri("ex:height"),
+        ));
+        g.insert((
+            Term::iri("sc:SportsTeam"),
+            Term::iri("G:hasFeature"),
+            Term::iri("ex:teamName"),
+        ));
+        g.insert((
+            Term::iri("ex:loop"),
+            Term::iri("ex:self"),
+            Term::iri("ex:loop"),
+        ));
+        g
+    }
+
+    #[test]
+    fn all_constant_pattern_matches_once() {
+        let g = sample_graph();
+        let pat = TriplePattern::new(
+            Term::iri("ex:Player"),
+            Term::iri("G:hasFeature"),
+            Term::iri("ex:height"),
+        );
+        assert_eq!(pat.match_against(&g, &Bindings::new()).len(), 1);
+    }
+
+    #[test]
+    fn variable_object_binds_each_match() {
+        let g = sample_graph();
+        let pat = TriplePattern::new(
+            Term::iri("ex:Player"),
+            Term::iri("G:hasFeature"),
+            PatternTerm::var("f"),
+        );
+        let matches = pat.match_against(&g, &Bindings::new());
+        assert_eq!(matches.len(), 2);
+        let bound: Vec<_> = matches.iter().map(|b| b["f"].clone()).collect();
+        assert!(bound.contains(&Term::iri("ex:playerName")));
+        assert!(bound.contains(&Term::iri("ex:height")));
+    }
+
+    #[test]
+    fn seed_bindings_constrain_matching() {
+        let g = sample_graph();
+        let pat = TriplePattern::new(
+            PatternTerm::var("c"),
+            Term::iri("G:hasFeature"),
+            PatternTerm::var("f"),
+        );
+        let mut seed = Bindings::new();
+        seed.insert("c".into(), Term::iri("sc:SportsTeam"));
+        let matches = pat.match_against(&g, &seed);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0]["f"], Term::iri("ex:teamName"));
+    }
+
+    #[test]
+    fn repeated_variable_requires_equality() {
+        let g = sample_graph();
+        let pat = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::var("p"),
+            PatternTerm::var("x"),
+        );
+        let matches = pat.match_against(&g, &Bindings::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0]["x"], Term::iri("ex:loop"));
+    }
+
+    #[test]
+    fn variables_lists_in_order_without_duplicates() {
+        let pat = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::var("p"),
+            PatternTerm::var("x"),
+        );
+        assert_eq!(pat.variables(), vec!["x", "p"]);
+    }
+
+    #[test]
+    fn substituted_freezes_bound_vars() {
+        let pat = TriplePattern::new(PatternTerm::var("s"), Term::iri("p"), PatternTerm::var("o"));
+        let mut b = Bindings::new();
+        b.insert("s".into(), Term::iri("ex:a"));
+        let sub = pat.substituted(&b);
+        assert_eq!(sub.subject.as_const(), Some(&Term::iri("ex:a")));
+        assert!(sub.object.as_var().is_some());
+    }
+
+    #[test]
+    fn no_match_yields_empty() {
+        let g = sample_graph();
+        let pat = TriplePattern::new(
+            Term::iri("ex:Nothing"),
+            PatternTerm::var("p"),
+            PatternTerm::var("o"),
+        );
+        assert!(pat.match_against(&g, &Bindings::new()).is_empty());
+    }
+}

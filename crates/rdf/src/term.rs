@@ -1,0 +1,482 @@
+//! RDF terms: IRIs, blank nodes, literals, and triples.
+//!
+//! Terms are immutable and cheaply cloneable (`Arc<str>` payloads). A total
+//! order is defined over terms (IRIs < blanks < literals, then lexicographic)
+//! so that graph renderings and query results are deterministic.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI (Internationalized Resource Identifier).
+///
+/// MDM uses IRIs to denote concepts, features, data sources, wrappers and
+/// attributes; named-graph identifiers (one per LAV mapping) are also IRIs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates an IRI from any string-like value.
+    ///
+    /// No validation beyond non-emptiness is performed: the BDI ontology
+    /// mints IRIs from user-supplied concept and wrapper names, and those are
+    /// sanitised at the `mdm-core` layer where the naming policy lives.
+    pub fn new(value: impl Into<Arc<str>>) -> Self {
+        let value = value.into();
+        debug_assert!(!value.is_empty(), "IRI must not be empty");
+        Iri(value)
+    }
+
+    /// The full textual form of the IRI.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the *local name*: the suffix after the last `#` or `/`.
+    ///
+    /// Used by renderers to label nodes the way the paper's figures do
+    /// (e.g. `http://schema.org/SportsTeam` renders as `SportsTeam`).
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) if idx + 1 < s.len() => &s[idx + 1..],
+            _ => s,
+        }
+    }
+
+    /// Returns the namespace part: everything up to and including the last
+    /// `#` or `/`, or the whole IRI when it has no separator.
+    pub fn namespace(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) if idx + 1 < s.len() => &s[..=idx],
+            _ => s,
+        }
+    }
+
+    /// Wraps this IRI into a [`Term`].
+    pub fn term(&self) -> Term {
+        Term::Iri(self.clone())
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(value: &str) -> Self {
+        Iri::new(value)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(value: String) -> Self {
+        Iri::new(value)
+    }
+}
+
+impl Borrow<str> for Iri {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A blank node, identified by a label unique within its graph.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Creates a blank node with the given label (without the `_:` prefix).
+    pub fn new(label: impl Into<Arc<str>>) -> Self {
+        BlankNode(label.into())
+    }
+
+    /// The node's label, without the `_:` prefix.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// Well-known XSD datatype IRIs used by [`Literal`] constructors.
+pub mod xsd {
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// An RDF literal: a lexical form, a datatype IRI, and an optional language
+/// tag (in which case the datatype is `rdf:langString`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    lexical: Arc<str>,
+    datatype: Iri,
+    language: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(value: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: value.into(),
+            datatype: Iri::new(xsd::STRING),
+            language: None,
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal {
+            lexical: value.to_string().into(),
+            datatype: Iri::new(xsd::INTEGER),
+            language: None,
+        }
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal {
+            lexical: format_double(value).into(),
+            datatype: Iri::new(xsd::DOUBLE),
+            language: None,
+        }
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal {
+            lexical: if value { "true".into() } else { "false".into() },
+            datatype: Iri::new(xsd::BOOLEAN),
+            language: None,
+        }
+    }
+
+    /// A literal with an explicit datatype.
+    pub fn typed(value: impl Into<Arc<str>>, datatype: Iri) -> Self {
+        Literal {
+            lexical: value.into(),
+            datatype,
+            language: None,
+        }
+    }
+
+    /// A language-tagged string (`rdf:langString`).
+    pub fn lang_string(value: impl Into<Arc<str>>, lang: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: value.into(),
+            datatype: Iri::new(xsd::LANG_STRING),
+            language: Some(lang.into()),
+        }
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The datatype IRI.
+    pub fn datatype(&self) -> &Iri {
+        &self.datatype
+    }
+
+    /// The language tag, if any.
+    pub fn language(&self) -> Option<&str> {
+        self.language.as_deref()
+    }
+
+    /// Interprets the literal as an `i64` when its lexical form parses.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.lexical.parse().ok()
+    }
+
+    /// Interprets the literal as an `f64` when its lexical form parses.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.lexical.parse().ok()
+    }
+
+    /// Interprets the literal as a boolean (`true`/`false`/`1`/`0`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.lexical.as_ref() {
+            "true" | "1" => Some(true),
+            "false" | "0" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Formats a double so integral values keep a trailing `.0` (round-trippable
+/// as `xsd:double`) and all other values use the shortest exact form.
+fn format_double(value: f64) -> String {
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", self.lexical)?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if self.datatype.as_str() != xsd::STRING {
+            write!(f, "^^{:?}", self.datatype)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lexical)
+    }
+}
+
+impl PartialOrd for Literal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Literal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.lexical
+            .cmp(&other.lexical)
+            .then_with(|| self.datatype.cmp(&other.datatype))
+            .then_with(|| self.language.cmp(&other.language))
+    }
+}
+
+/// An RDF term: the union of IRIs, blank nodes and literals.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Iri(Iri),
+    Blank(BlankNode),
+    Literal(Literal),
+}
+
+impl Term {
+    /// Shorthand for `Term::Iri(Iri::new(..))`.
+    pub fn iri(value: impl Into<Arc<str>>) -> Self {
+        Term::Iri(Iri::new(value))
+    }
+
+    /// Shorthand for a blank node term.
+    pub fn blank(label: impl Into<Arc<str>>) -> Self {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// Shorthand for an `xsd:string` literal term.
+    pub fn string(value: impl Into<Arc<str>>) -> Self {
+        Term::Literal(Literal::string(value))
+    }
+
+    /// Shorthand for an `xsd:integer` literal term.
+    pub fn integer(value: i64) -> Self {
+        Term::Literal(Literal::integer(value))
+    }
+
+    /// Shorthand for an `xsd:double` literal term.
+    pub fn double(value: f64) -> Self {
+        Term::Literal(Literal::double(value))
+    }
+
+    /// Returns the IRI when this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal when this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// Returns the blank node when this term is one.
+    pub fn as_blank(&self) -> Option<&BlankNode> {
+        match self {
+            Term::Blank(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True when the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True when the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The local name for IRIs, the label for blanks, the lexical form for
+    /// literals. Used for figure-style compact rendering.
+    pub fn short(&self) -> &str {
+        match self {
+            Term::Iri(iri) => iri.local_name(),
+            Term::Blank(b) => b.label(),
+            Term::Literal(lit) => lit.lexical(),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "{iri:?}"),
+            Term::Blank(b) => write!(f, "{b:?}"),
+            Term::Literal(lit) => write!(f, "{lit:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "{iri}"),
+            Term::Blank(b) => write!(f, "{b}"),
+            Term::Literal(lit) => write!(f, "{lit}"),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(value: Literal) -> Self {
+        Term::Literal(value)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(value: BlankNode) -> Self {
+        Term::Blank(value)
+    }
+}
+
+/// A subject–predicate–object triple of owned terms.
+pub type Triple = (Term, Term, Term);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_name_after_hash() {
+        let iri = Iri::new("http://www.w3.org/2002/07/owl#sameAs");
+        assert_eq!(iri.local_name(), "sameAs");
+        assert_eq!(iri.namespace(), "http://www.w3.org/2002/07/owl#");
+    }
+
+    #[test]
+    fn iri_local_name_after_slash() {
+        let iri = Iri::new("http://schema.org/SportsTeam");
+        assert_eq!(iri.local_name(), "SportsTeam");
+        assert_eq!(iri.namespace(), "http://schema.org/");
+    }
+
+    #[test]
+    fn iri_local_name_trailing_slash_is_whole_iri() {
+        let iri = Iri::new("http://schema.org/");
+        assert_eq!(iri.local_name(), "http://schema.org/");
+    }
+
+    #[test]
+    fn iri_without_separator() {
+        let iri = Iri::new("urn:x");
+        assert_eq!(iri.local_name(), "urn:x");
+        assert_eq!(iri.namespace(), "urn:x");
+    }
+
+    #[test]
+    fn literal_typed_accessors() {
+        assert_eq!(Literal::integer(42).as_i64(), Some(42));
+        assert_eq!(Literal::double(170.18).as_f64(), Some(170.18));
+        assert_eq!(Literal::boolean(true).as_bool(), Some(true));
+        assert_eq!(Literal::string("left").as_i64(), None);
+    }
+
+    #[test]
+    fn double_formatting_keeps_fraction_marker() {
+        assert_eq!(Literal::double(25.0).lexical(), "25.0");
+        assert_eq!(Literal::double(170.18).lexical(), "170.18");
+    }
+
+    #[test]
+    fn lang_string_has_lang_datatype() {
+        let lit = Literal::lang_string("Barcelone", "fr");
+        assert_eq!(lit.language(), Some("fr"));
+        assert_eq!(lit.datatype().as_str(), xsd::LANG_STRING);
+    }
+
+    #[test]
+    fn term_ordering_groups_kinds() {
+        let iri = Term::iri("http://a.example/x");
+        let blank = Term::blank("b0");
+        let lit = Term::string("z");
+        assert!(iri < blank);
+        assert!(blank < lit);
+    }
+
+    #[test]
+    fn term_short_forms() {
+        assert_eq!(Term::iri("http://schema.org/name").short(), "name");
+        assert_eq!(Term::blank("n1").short(), "n1");
+        assert_eq!(Term::string("Messi").short(), "Messi");
+    }
+
+    #[test]
+    fn literal_equality_distinguishes_datatype() {
+        let as_string = Literal::string("42");
+        let as_int = Literal::integer(42);
+        assert_ne!(
+            Term::Literal(as_string.clone()),
+            Term::Literal(as_int.clone())
+        );
+        assert_eq!(as_string.lexical(), as_int.lexical());
+    }
+
+    #[test]
+    fn debug_forms_match_turtle_conventions() {
+        assert_eq!(format!("{:?}", Term::iri("http://e.x/p")), "<http://e.x/p>");
+        assert_eq!(format!("{:?}", Term::blank("x")), "_:x");
+        assert_eq!(format!("{:?}", Term::string("hi")), "\"hi\"");
+        assert_eq!(
+            format!("{:?}", Term::integer(5)),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+}

@@ -1,0 +1,913 @@
+//! Turtle reader and writer (with TriG-style named-graph blocks).
+//!
+//! Covers the Turtle subset MDM itself emits and consumes:
+//!
+//! * `@prefix` directives, `<...>` IRIs, `prefix:local` names, the `a`
+//!   keyword;
+//! * string literals with escapes, `@lang` tags and `^^` datatypes;
+//! * integer / decimal / boolean shorthand literals;
+//! * predicate lists (`;`), object lists (`,`), blank node labels (`_:x`);
+//! * `GRAPH <iri> { ... }` blocks (TriG) so a whole [`Dataset`] — global
+//!   graph + one named graph per LAV mapping — round-trips through a single
+//!   document.
+//!
+//! Not covered (MDM never generates them): collections `( ... )`, anonymous
+//! blank nodes `[ ... ]`, `@base`/relative IRI resolution.
+
+use std::fmt;
+
+use crate::dataset::{Dataset, GraphName};
+use crate::graph::Graph;
+use crate::namespace::PrefixMap;
+use crate::term::{xsd, Iri, Literal, Term};
+
+/// An error raised by the Turtle reader, with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "turtle parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a Turtle document into a [`Graph`].
+pub fn parse_graph(input: &str) -> Result<Graph, ParseError> {
+    let dataset = parse_dataset(input)?;
+    Ok(dataset.union())
+}
+
+/// Parses a Turtle document, also returning the prefix bindings its
+/// `@prefix`/`PREFIX` directives declared (consumers that re-render the
+/// graph — e.g. snapshot restore — need them).
+pub fn parse_graph_with_prefixes(input: &str) -> Result<(Graph, PrefixMap), ParseError> {
+    let parser = Parser::new(input);
+    let (dataset, prefixes) = parser.parse_with_prefixes()?;
+    Ok((dataset.union(), prefixes))
+}
+
+/// Parses a Turtle/TriG document into a [`Dataset`]; triples outside `GRAPH`
+/// blocks land in the default graph.
+pub fn parse_dataset(input: &str) -> Result<Dataset, ParseError> {
+    Parser::new(input).parse()
+}
+
+/// Serialises a graph as Turtle using `prefixes` for compaction.
+pub fn write_graph(graph: &Graph, prefixes: &PrefixMap) -> String {
+    let mut out = String::new();
+    write_prefixes(&mut out, prefixes);
+    write_graph_body(&mut out, graph, prefixes, 0);
+    out
+}
+
+/// Serialises a dataset as TriG: default graph first, then one
+/// `GRAPH <iri> { ... }` block per named graph.
+pub fn write_dataset(dataset: &Dataset, prefixes: &PrefixMap) -> String {
+    let mut out = String::new();
+    write_prefixes(&mut out, prefixes);
+    write_graph_body(&mut out, dataset.default_graph(), prefixes, 0);
+    for name in dataset.graph_names() {
+        let graph = dataset.named_graph(name).expect("name comes from dataset");
+        out.push_str(&format!("GRAPH {} {{\n", format_iri(name, prefixes)));
+        write_graph_body(&mut out, graph, prefixes, 1);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn write_prefixes(out: &mut String, prefixes: &PrefixMap) {
+    for (prefix, ns) in prefixes.iter() {
+        out.push_str(&format!("@prefix {prefix}: <{ns}> .\n"));
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+}
+
+/// Writes triples grouped by subject with `;`-separated predicates and
+/// `,`-separated objects, the style of the paper's figure listings.
+fn write_graph_body(out: &mut String, graph: &Graph, prefixes: &PrefixMap, indent: usize) {
+    let pad = "    ".repeat(indent);
+    for subject in graph.all_subjects() {
+        let triples = graph.matching(Some(&subject), None, None);
+        if triples.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{pad}{}", format_term(&subject, prefixes)));
+        // Group consecutive triples by predicate (matching() returns them
+        // sorted by (s, p, o), so same-predicate triples are adjacent).
+        let mut last_pred: Option<Term> = None;
+        for (_, p, o) in triples {
+            if last_pred.as_ref() == Some(&p) {
+                out.push_str(&format!(", {}", format_term(&o, prefixes)));
+            } else {
+                if last_pred.is_some() {
+                    out.push_str(" ;");
+                }
+                out.push_str(&format!(
+                    "\n{pad}    {} {}",
+                    format_term(&p, prefixes),
+                    format_term(&o, prefixes)
+                ));
+                last_pred = Some(p);
+            }
+        }
+        out.push_str(" .\n");
+    }
+}
+
+/// Formats one term in Turtle syntax, compacting IRIs through `prefixes`.
+pub fn format_term(term: &Term, prefixes: &PrefixMap) -> String {
+    match term {
+        Term::Iri(iri) => format_iri(iri, prefixes),
+        Term::Blank(b) => format!("_:{}", b.label()),
+        Term::Literal(lit) => format_literal(lit, prefixes),
+    }
+}
+
+fn format_iri(iri: &Iri, prefixes: &PrefixMap) -> String {
+    if iri.as_str() == crate::vocab::rdf::TYPE.as_str() {
+        return "a".to_string();
+    }
+    prefixes
+        .compact(iri)
+        .unwrap_or_else(|| format!("<{}>", iri.as_str()))
+}
+
+fn format_literal(lit: &Literal, prefixes: &PrefixMap) -> String {
+    // Shorthand numeric/boolean forms when the lexical form is canonical.
+    match lit.datatype().as_str() {
+        xsd::INTEGER if lit.as_i64().is_some() => return lit.lexical().to_string(),
+        xsd::BOOLEAN if matches!(lit.lexical(), "true" | "false") => {
+            return lit.lexical().to_string()
+        }
+        xsd::DOUBLE if lit.lexical().contains('.') && lit.as_f64().is_some() => {
+            return lit.lexical().to_string()
+        }
+        _ => {}
+    }
+    let escaped = escape_string(lit.lexical());
+    if let Some(lang) = lit.language() {
+        format!("\"{escaped}\"@{lang}")
+    } else if lit.datatype().as_str() == xsd::STRING {
+        format!("\"{escaped}\"")
+    } else {
+        format!("\"{escaped}\"^^{}", format_iri(lit.datatype(), prefixes))
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+    prefixes: PrefixMap,
+    dataset: Dataset,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            prefixes: PrefixMap::new(),
+            dataset: Dataset::new(),
+        }
+    }
+
+    fn parse(self) -> Result<Dataset, ParseError> {
+        self.parse_with_prefixes().map(|(dataset, _)| dataset)
+    }
+
+    fn parse_with_prefixes(mut self) -> Result<(Dataset, PrefixMap), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.at_end() {
+                break;
+            }
+            if self.try_keyword("@prefix") {
+                self.parse_prefix_directive()?;
+            } else if self.try_keyword_ci("PREFIX") {
+                self.parse_sparql_prefix_directive()?;
+            } else if self.try_keyword_ci("GRAPH") {
+                self.parse_graph_block()?;
+            } else {
+                self.parse_statement(&GraphName::Default)?;
+            }
+        }
+        Ok((self.dataset, self.prefixes))
+    }
+
+    // ---- lexical helpers ----
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            column: self.pos - self.line_start + 1,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Consumes `kw` if the input starts with it (case-sensitive).
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            for _ in 0..kw.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `kw` if the input starts with it case-insensitively and the
+    /// keyword is followed by whitespace or `<` (so `GRAPHX` doesn't match).
+    fn try_keyword_ci(&mut self, kw: &str) -> bool {
+        let rest = &self.input[self.pos..];
+        if rest.len() < kw.len() {
+            return false;
+        }
+        let candidate = &rest[..kw.len()];
+        if !candidate.eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        match rest.get(kw.len()) {
+            Some(&c) if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' || c == b'<' => {}
+            _ => return false,
+        }
+        for _ in 0..kw.len() {
+            self.bump();
+        }
+        true
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(found) if found == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(found) => Err(self.error(format!(
+                "expected '{}', found '{}'",
+                c as char, found as char
+            ))),
+            None => Err(self.error(format!("expected '{}', found end of input", c as char))),
+        }
+    }
+
+    // ---- directives ----
+
+    fn parse_prefix_directive(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let prefix = self.parse_prefix_name()?;
+        self.expect(b':')?;
+        self.skip_ws();
+        let ns = self.parse_iri_ref()?;
+        self.skip_ws();
+        self.expect(b'.')?;
+        self.prefixes.insert(prefix, ns);
+        Ok(())
+    }
+
+    fn parse_sparql_prefix_directive(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let prefix = self.parse_prefix_name()?;
+        self.expect(b':')?;
+        self.skip_ws();
+        let ns = self.parse_iri_ref()?;
+        self.prefixes.insert(prefix, ns);
+        Ok(())
+    }
+
+    fn parse_prefix_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .to_string())
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, ParseError> {
+        self.expect(b'<')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'>' {
+                if self.pos == start {
+                    return Err(self.error("empty IRI '<>' (base resolution is unsupported)"));
+                }
+                let iri = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("IRI is not valid UTF-8"))?
+                    .to_string();
+                self.bump();
+                return Ok(iri);
+            }
+            if c == b'\n' {
+                return Err(self.error("unterminated IRI"));
+            }
+            self.bump();
+        }
+        Err(self.error("unterminated IRI"))
+    }
+
+    // ---- statements ----
+
+    fn parse_graph_block(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let name = match self.parse_term()? {
+            Term::Iri(iri) => iri,
+            other => return Err(self.error(format!("graph name must be an IRI, got {other:?}"))),
+        };
+        self.skip_ws();
+        self.expect(b'{')?;
+        let graph_name = GraphName::Named(name.clone());
+        // Materialise the named graph even when the block is empty: an empty
+        // LAV mapping is representable (and is rejected later with a good
+        // error at the mdm-core layer, not silently dropped here).
+        self.dataset.named_graph_mut(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(());
+                }
+                None => return Err(self.error("unterminated GRAPH block")),
+                _ => self.parse_statement(&graph_name)?,
+            }
+        }
+    }
+
+    /// One subject with its predicate-object list, terminated by `.`.
+    fn parse_statement(&mut self, graph: &GraphName) -> Result<(), ParseError> {
+        let subject = self.parse_term()?;
+        loop {
+            self.skip_ws();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_ws();
+                let object = self.parse_term()?;
+                self.dataset
+                    .insert(graph, (subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Some(b';') => {
+                    self.bump();
+                    // Allow a trailing `;` before `.` (common in the wild).
+                    self.skip_ws();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                Some(b'.') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(other) => {
+                    return Err(self.error(format!(
+                        "expected ',', ';' or '.', found '{}'",
+                        other as char
+                    )))
+                }
+                None => return Err(self.error("unterminated statement")),
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term, ParseError> {
+        // `a` shorthand for rdf:type (must not be the start of a longer name).
+        if self.peek() == Some(b'a') {
+            let next = self.input.get(self.pos + 1).copied();
+            if matches!(next, Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+                self.bump();
+                return Ok(crate::vocab::rdf::TYPE.term());
+            }
+        }
+        self.parse_term()
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                let iri = self.parse_iri_ref()?;
+                Ok(Term::iri(iri))
+            }
+            Some(b'"') => self.parse_string_literal(),
+            Some(b'_') => self.parse_blank_node(),
+            Some(c) if c == b'+' || c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => self.parse_qname_or_keyword(),
+            None => Err(self.error("expected term, found end of input")),
+        }
+    }
+
+    fn parse_blank_node(&mut self) -> Result<Term, ParseError> {
+        self.expect(b'_')?;
+        self.expect(b':')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("empty blank node label"));
+        }
+        let label = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .to_string();
+        Ok(Term::blank(label))
+    }
+
+    fn parse_string_literal(&mut self) -> Result<Term, ParseError> {
+        self.expect(b'"')?;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => value.push('"'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(b'n') => value.push('\n'),
+                    Some(b'r') => value.push('\r'),
+                    Some(b't') => value.push('\t'),
+                    Some(other) => {
+                        return Err(self.error(format!("unknown escape '\\{}'", other as char)))
+                    }
+                    None => return Err(self.error("unterminated string escape")),
+                },
+                Some(other) => {
+                    // Collect raw UTF-8 bytes; validity is checked at the end
+                    // of multibyte sequences by String::from_utf8 semantics —
+                    // we rebuild chars from the original byte slice instead.
+                    value.push(other as char);
+                    if other >= 0x80 {
+                        // Multibyte char: back up and take the full char.
+                        value.pop();
+                        let start = self.pos - 1;
+                        let s = std::str::from_utf8(&self.input[start..])
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                        let ch = s.chars().next().expect("non-empty");
+                        for _ in 1..ch.len_utf8() {
+                            self.bump();
+                        }
+                        value.push(ch);
+                    }
+                }
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        // Language tag or datatype suffix.
+        if self.peek() == Some(b'@') {
+            self.bump();
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'-' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let lang = std::str::from_utf8(&self.input[start..self.pos])
+                .expect("ascii slice")
+                .to_string();
+            if lang.is_empty() {
+                return Err(self.error("empty language tag"));
+            }
+            return Ok(Term::Literal(Literal::lang_string(value, lang)));
+        }
+        if self.input[self.pos..].starts_with(b"^^") {
+            self.bump();
+            self.bump();
+            let datatype = match self.parse_term()? {
+                Term::Iri(iri) => iri,
+                other => return Err(self.error(format!("datatype must be an IRI, got {other:?}"))),
+            };
+            return Ok(Term::Literal(Literal::typed(value, datatype)));
+        }
+        Ok(Term::Literal(Literal::string(value)))
+    }
+
+    fn parse_number(&mut self) -> Result<Term, ParseError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.bump();
+        }
+        let mut is_double = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' {
+                // A '.' is a decimal point only when followed by a digit;
+                // otherwise it terminates the statement.
+                match self.input.get(self.pos + 1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_double = true;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == b'e' || c == b'E' {
+                is_double = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii slice");
+        if is_double {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid double '{text}'")))?;
+            Ok(Term::Literal(Literal::typed(
+                format_num(text, value),
+                Iri::new(xsd::DOUBLE),
+            )))
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer '{text}'")))?;
+            Ok(Term::integer(value))
+        }
+    }
+
+    fn parse_qname_or_keyword(&mut self) -> Result<Term, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                // A trailing '.' ends the statement rather than the name.
+                if c == b'.' {
+                    match self.input.get(self.pos + 1) {
+                        Some(n) if n.is_ascii_alphanumeric() || *n == b'_' => {}
+                        _ => break,
+                    }
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .to_string();
+        match name.as_str() {
+            "true" => return Ok(Term::Literal(Literal::boolean(true))),
+            "false" => return Ok(Term::Literal(Literal::boolean(false))),
+            _ => {}
+        }
+        if self.peek() == Some(b':') {
+            self.bump();
+            let local_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                    if c == b'.' {
+                        match self.input.get(self.pos + 1) {
+                            Some(n) if n.is_ascii_alphanumeric() || *n == b'_' => {}
+                            _ => break,
+                        }
+                    }
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let local =
+                std::str::from_utf8(&self.input[local_start..self.pos]).expect("ascii slice");
+            let qname = format!("{name}:{local}");
+            return self
+                .prefixes
+                .expand(&qname)
+                .map(Term::Iri)
+                .ok_or_else(|| self.error(format!("unknown prefix '{name}:'")));
+        }
+        Err(self.error(format!("unexpected token '{name}'")))
+    }
+}
+
+/// Preserves scientific-notation text exactly; canonicalises plain decimals.
+fn format_num(text: &str, value: f64) -> String {
+    if text.contains(['e', 'E']) {
+        text.to_string()
+    } else {
+        // Keep the user's lexical form for decimals (e.g. "170.18").
+        let _ = value;
+        text.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn parse_simple_triple() {
+        let g = parse_graph("<http://e.x/a> <http://e.x/p> <http://e.x/b> .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_prefixed_names_and_a_keyword() {
+        let doc = "@prefix ex: <http://e.x/> .\nex:Player a ex:Concept .";
+        let g = parse_graph(doc).unwrap();
+        assert!(g.contains(
+            &Term::iri("http://e.x/Player"),
+            &vocab::rdf::TYPE.term(),
+            &Term::iri("http://e.x/Concept"),
+        ));
+    }
+
+    #[test]
+    fn parse_predicate_and_object_lists() {
+        let doc = r#"
+            @prefix ex: <http://e.x/> .
+            ex:Player ex:hasFeature ex:name, ex:height ;
+                      a ex:Concept .
+        "#;
+        let g = parse_graph(doc).unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn parse_literals_of_each_kind() {
+        let doc = r#"
+            @prefix ex: <http://e.x/> .
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            ex:messi ex:name "Lionel Messi" ;
+                     ex:height 170.18 ;
+                     ex:weight 159 ;
+                     ex:active true ;
+                     ex:label "Messi"@es ;
+                     ex:custom "x"^^xsd:token .
+        "#;
+        let g = parse_graph(doc).unwrap();
+        assert_eq!(g.len(), 6);
+        let messi = Term::iri("http://e.x/messi");
+        let height = g.object(&messi, &Term::iri("http://e.x/height")).unwrap();
+        assert_eq!(height.as_literal().unwrap().as_f64(), Some(170.18));
+        let weight = g.object(&messi, &Term::iri("http://e.x/weight")).unwrap();
+        assert_eq!(weight.as_literal().unwrap().as_i64(), Some(159));
+        let label = g.object(&messi, &Term::iri("http://e.x/label")).unwrap();
+        assert_eq!(label.as_literal().unwrap().language(), Some("es"));
+    }
+
+    #[test]
+    fn parse_escaped_string() {
+        let doc = r#"<http://e.x/a> <http://e.x/p> "line1\nline\"2\"" ."#;
+        let g = parse_graph(doc).unwrap();
+        let (_, _, o) = g.iter().next().unwrap();
+        assert_eq!(o.as_literal().unwrap().lexical(), "line1\nline\"2\"");
+    }
+
+    #[test]
+    fn parse_unicode_string() {
+        let doc = "<http://e.x/a> <http://e.x/p> \"Barça ⚽\" .";
+        let g = parse_graph(doc).unwrap();
+        let (_, _, o) = g.iter().next().unwrap();
+        assert_eq!(o.as_literal().unwrap().lexical(), "Barça ⚽");
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let doc = "_:w1 <http://e.x/p> _:w2 .";
+        let g = parse_graph(doc).unwrap();
+        let (s, _, o) = g.iter().next().unwrap();
+        assert_eq!(s.as_blank().unwrap().label(), "w1");
+        assert_eq!(o.as_blank().unwrap().label(), "w2");
+    }
+
+    #[test]
+    fn parse_comments_and_whitespace() {
+        let doc = "# leading comment\n<http://e.x/a> <http://e.x/p> 1 . # trailing\n";
+        let g = parse_graph(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_graph_blocks_into_named_graphs() {
+        let doc = r#"
+            @prefix ex: <http://e.x/> .
+            ex:global ex:p ex:o .
+            GRAPH ex:w1 {
+                ex:Player ex:hasFeature ex:name .
+                ex:Player a ex:Concept .
+            }
+            GRAPH ex:w2 {
+                ex:Team ex:hasFeature ex:teamName .
+            }
+        "#;
+        let ds = parse_dataset(doc).unwrap();
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.named_graph_count(), 2);
+        assert_eq!(ds.named_graph(&Iri::new("http://e.x/w1")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error_with_position() {
+        let err = parse_graph("nope:a nope:b nope:c .").unwrap_err();
+        assert!(err.message.contains("unknown prefix"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = parse_graph("<a> <b> \"oops .").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut g = Graph::new();
+        let mut prefixes = PrefixMap::with_defaults();
+        prefixes.insert("e", "http://e.x/");
+        g.insert((
+            Term::iri("http://e.x/Player"),
+            vocab::rdf::TYPE.term(),
+            vocab::bdi::CONCEPT.term(),
+        ));
+        g.insert((
+            Term::iri("http://e.x/Player"),
+            vocab::bdi::HAS_FEATURE.term(),
+            Term::iri("http://e.x/playerName"),
+        ));
+        g.insert((
+            Term::iri("http://e.x/messi"),
+            Term::iri("http://e.x/height"),
+            Term::double(170.18),
+        ));
+        g.insert((
+            Term::iri("http://e.x/messi"),
+            Term::iri("http://e.x/name"),
+            Term::string("Lionel Messi"),
+        ));
+        let text = write_graph(&g, &prefixes);
+        let parsed = parse_graph(&text).unwrap();
+        assert_eq!(parsed.len(), g.len());
+        for t in g.iter() {
+            assert!(
+                parsed.contains(&t.0, &t.1, &t.2),
+                "missing {t:?} in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_round_trips_through_trig() {
+        let mut ds = Dataset::new();
+        let mut prefixes = PrefixMap::new();
+        prefixes.insert("e", "http://e.x/");
+        ds.insert(
+            &GraphName::Default,
+            (
+                Term::iri("http://e.x/a"),
+                Term::iri("http://e.x/p"),
+                Term::string("v"),
+            ),
+        );
+        ds.insert(
+            &GraphName::Named(Iri::new("http://e.x/w1")),
+            (
+                Term::iri("http://e.x/Player"),
+                Term::iri("http://e.x/hasFeature"),
+                Term::iri("http://e.x/name"),
+            ),
+        );
+        let text = write_dataset(&ds, &prefixes);
+        let parsed = parse_dataset(&text).unwrap();
+        assert_eq!(parsed.default_graph().len(), 1);
+        assert_eq!(parsed.named_graph_count(), 1);
+        assert_eq!(
+            parsed
+                .named_graph(&Iri::new("http://e.x/w1"))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rdf_type_renders_as_a() {
+        let mut g = Graph::new();
+        g.insert((
+            Term::iri("http://e.x/x"),
+            vocab::rdf::TYPE.term(),
+            Term::iri("http://e.x/C"),
+        ));
+        let mut prefixes = PrefixMap::new();
+        prefixes.insert("e", "http://e.x/");
+        let text = write_graph(&g, &prefixes);
+        assert!(text.contains(" a e:C"), "got: {text}");
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let g = parse_graph("<a> <p> -42 . <a> <q> 1.5e3 .").unwrap();
+        assert_eq!(g.len(), 2);
+        let o = g.object(&Term::iri("a"), &Term::iri("p")).unwrap();
+        assert_eq!(o.as_literal().unwrap().as_i64(), Some(-42));
+        let o = g.object(&Term::iri("a"), &Term::iri("q")).unwrap();
+        assert_eq!(o.as_literal().unwrap().as_f64(), Some(1500.0));
+    }
+
+    #[test]
+    fn empty_graph_block_is_materialised() {
+        let ds = parse_dataset("@prefix e: <http://e.x/> .\nGRAPH e:w1 { }").unwrap();
+        assert_eq!(ds.named_graph_count(), 1);
+        assert!(ds
+            .named_graph(&Iri::new("http://e.x/w1"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sparql_style_prefix_directive() {
+        let g = parse_graph("PREFIX e: <http://e.x/>\ne:a e:p e:b .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Well-known vocabularies, including the BDI-ontology namespaces.
+//!
+//! The BDI (Big Data Integration) ontology of the paper uses two levels:
+//!
+//! * the **global graph** (`G:` prefix) — `G:Concept`, `G:Feature`, and the
+//!   `G:hasFeature` property relating them;
+//! * the **source graph** (`S:` prefix) — `S:DataSource`, `S:Wrapper`,
+//!   `S:Attribute`, with `S:hasWrapper` / `S:hasAttribute` structuring them.
+//!
+//! LAV mappings are expressed with RDF *named graphs* (one per wrapper) plus
+//! `owl:sameAs` links from source attributes to global features, and joins
+//! are restricted to features that are `rdfs:subClassOf sc:identifier`
+//! (paper §2.3).
+
+use crate::term::{Iri, Term};
+
+/// A compile-time IRI constant that can cheaply become an [`Iri`] or [`Term`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Vocab(pub &'static str);
+
+impl Vocab {
+    /// The full IRI string.
+    pub const fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Materialises the constant as an [`Iri`].
+    pub fn iri(self) -> Iri {
+        Iri::new(self.0)
+    }
+
+    /// Materialises the constant as a [`Term`].
+    pub fn term(self) -> Term {
+        Term::iri(self.0)
+    }
+}
+
+impl PartialEq<Iri> for Vocab {
+    fn eq(&self, other: &Iri) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Term> for Vocab {
+    fn eq(&self, other: &Term) -> bool {
+        matches!(other, Term::Iri(iri) if iri.as_str() == self.0)
+    }
+}
+
+/// `rdf:` — the RDF core vocabulary.
+pub mod rdf {
+    use super::Vocab;
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: Vocab = Vocab("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+/// `rdfs:` — RDF Schema.
+pub mod rdfs {
+    use super::Vocab;
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const SUB_CLASS_OF: Vocab = Vocab("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+    pub const LABEL: Vocab = Vocab("http://www.w3.org/2000/01/rdf-schema#label");
+    pub const DOMAIN: Vocab = Vocab("http://www.w3.org/2000/01/rdf-schema#domain");
+    pub const RANGE: Vocab = Vocab("http://www.w3.org/2000/01/rdf-schema#range");
+}
+
+/// `owl:` — the fragment of OWL MDM uses (`owl:sameAs` for attribute →
+/// feature mapping links).
+pub mod owl {
+    use super::Vocab;
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const SAME_AS: Vocab = Vocab("http://www.w3.org/2002/07/owl#sameAs");
+}
+
+/// `sc:` — schema.org, reused by the paper's use case (`sc:SportsTeam`) and
+/// structurally significant through `sc:identifier`: only features that are
+/// `rdfs:subClassOf sc:identifier` may participate in joins.
+pub mod schema {
+    use super::Vocab;
+    pub const NS: &str = "http://schema.org/";
+    pub const IDENTIFIER: Vocab = Vocab("http://schema.org/identifier");
+    pub const SPORTS_TEAM: Vocab = Vocab("http://schema.org/SportsTeam");
+    pub const NAME: Vocab = Vocab("http://schema.org/name");
+}
+
+/// `G:` — the global-graph metamodel of the BDI ontology.
+pub mod bdi {
+    use super::Vocab;
+    /// Namespace of global-graph metaconcepts.
+    pub const GLOBAL_NS: &str = "http://www.essi.upc.edu/~snadal/BDIOntology/Global/";
+    /// Namespace of source-graph metaconcepts.
+    pub const SOURCE_NS: &str = "http://www.essi.upc.edu/~snadal/BDIOntology/Source/";
+
+    /// `G:Concept` — a domain concept grouping features (blue nodes, Fig. 5).
+    pub const CONCEPT: Vocab = Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Global/Concept");
+    /// `G:Feature` — an analysis feature taking values from sources (yellow
+    /// nodes, Fig. 5).
+    pub const FEATURE: Vocab = Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Global/Feature");
+    /// `G:hasFeature` — relates a concept to each of its features.
+    pub const HAS_FEATURE: Vocab =
+        Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Global/hasFeature");
+
+    /// `S:DataSource` — a registered source (red nodes, Fig. 6).
+    pub const DATA_SOURCE: Vocab =
+        Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/DataSource");
+    /// `S:Wrapper` — one (versioned) access mechanism for a source (orange
+    /// nodes, Fig. 6).
+    pub const WRAPPER: Vocab = Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/Wrapper");
+    /// `S:Attribute` — one attribute of a wrapper's 1NF signature (blue
+    /// nodes, Fig. 6).
+    pub const ATTRIBUTE: Vocab =
+        Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/Attribute");
+    /// `S:hasWrapper` — relates a data source to its wrappers.
+    pub const HAS_WRAPPER: Vocab =
+        Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/hasWrapper");
+    /// `S:hasAttribute` — relates a wrapper to its signature attributes.
+    pub const HAS_ATTRIBUTE: Vocab =
+        Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/hasAttribute");
+    /// `S:version` — the release version a wrapper belongs to.
+    pub const VERSION: Vocab = Vocab("http://www.essi.upc.edu/~snadal/BDIOntology/Source/version");
+}
+
+/// The prefixes every MDM graph is rendered with, mirroring the paper's
+/// figures (`G:`, `S:`, `sc:`, `ex:` plus the W3C standards).
+pub const DEFAULT_PREFIXES: &[(&str, &str)] = &[
+    ("rdf", rdf::NS),
+    ("rdfs", rdfs::NS),
+    ("owl", owl::NS),
+    ("xsd", "http://www.w3.org/2001/XMLSchema#"),
+    ("sc", schema::NS),
+    ("G", bdi::GLOBAL_NS),
+    ("S", bdi::SOURCE_NS),
+    ("ex", "http://www.essi.upc.edu/~snadal/example/"),
+];
+
+/// The example namespace used by the motivational use case (`ex:` prefix).
+pub const EXAMPLE_NS: &str = "http://www.essi.upc.edu/~snadal/example/";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_constants_materialise() {
+        assert_eq!(rdf::TYPE.iri().local_name(), "type");
+        assert_eq!(bdi::CONCEPT.iri().local_name(), "Concept");
+        assert!(rdf::TYPE.term().is_iri());
+    }
+
+    #[test]
+    fn vocab_compares_with_iri_and_term() {
+        let iri = Iri::new(owl::SAME_AS.as_str());
+        assert_eq!(owl::SAME_AS, iri);
+        assert_eq!(owl::SAME_AS, Term::Iri(iri));
+        assert_ne!(owl::SAME_AS, rdf::TYPE.term());
+    }
+
+    #[test]
+    fn global_and_source_namespaces_differ() {
+        assert_ne!(bdi::GLOBAL_NS, bdi::SOURCE_NS);
+        assert!(bdi::CONCEPT.as_str().starts_with(bdi::GLOBAL_NS));
+        assert!(bdi::WRAPPER.as_str().starts_with(bdi::SOURCE_NS));
+    }
+
+    #[test]
+    fn default_prefixes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for (p, _) in DEFAULT_PREFIXES {
+            assert!(seen.insert(*p), "duplicate prefix {p}");
+        }
+    }
+}

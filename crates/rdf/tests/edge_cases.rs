@@ -1,0 +1,188 @@
+//! Edge-case tests for the RDF substrate: Turtle syntax corners, writer
+//! escaping, dataset isolation, large-graph behaviour.
+
+use mdm_rdf::namespace::PrefixMap;
+use mdm_rdf::term::{Iri, Literal, Term};
+use mdm_rdf::{turtle, Graph};
+
+#[test]
+fn prefixed_local_names_with_dots_and_dashes() {
+    let doc = "@prefix e: <http://e.x/> .\ne:a-b e:p.q e:v2.1 .";
+    let g = turtle::parse_graph(doc).unwrap();
+    assert_eq!(g.len(), 1);
+    let (s, p, o) = g.iter().next().unwrap();
+    assert_eq!(s.as_iri().unwrap().as_str(), "http://e.x/a-b");
+    assert_eq!(p.as_iri().unwrap().as_str(), "http://e.x/p.q");
+    assert_eq!(o.as_iri().unwrap().as_str(), "http://e.x/v2.1");
+}
+
+#[test]
+fn trailing_dot_after_local_name_terminates_statement() {
+    // `e:b.` — the dot ends the statement, not the name.
+    let doc = "@prefix e: <http://e.x/> .\ne:a e:p e:b.";
+    let g = turtle::parse_graph(doc).unwrap();
+    let (_, _, o) = g.iter().next().unwrap();
+    assert_eq!(o.as_iri().unwrap().as_str(), "http://e.x/b");
+}
+
+#[test]
+fn semicolons_and_commas_mixed_deeply() {
+    let doc = r#"
+        @prefix e: <http://e.x/> .
+        e:s e:p1 e:a, e:b, e:c ;
+            e:p2 e:d ;
+            e:p3 e:e, e:f .
+    "#;
+    let g = turtle::parse_graph(doc).unwrap();
+    assert_eq!(g.len(), 6);
+}
+
+#[test]
+fn string_with_all_escapes_round_trips() {
+    let tricky = "quote:\" backslash:\\ newline:\n tab:\t cr:\r done";
+    let mut g = Graph::new();
+    g.insert((
+        Term::iri("http://e.x/s"),
+        Term::iri("http://e.x/p"),
+        Term::string(tricky),
+    ));
+    let text = turtle::write_graph(&g, &PrefixMap::new());
+    let parsed = turtle::parse_graph(&text).unwrap();
+    let (_, _, o) = parsed.iter().next().unwrap();
+    assert_eq!(o.as_literal().unwrap().lexical(), tricky);
+}
+
+#[test]
+fn iri_that_no_prefix_covers_writes_in_angles() {
+    let mut g = Graph::new();
+    g.insert((
+        Term::iri("urn:uuid:1234"),
+        Term::iri("http://unprefixed.example/p"),
+        Term::iri("http://e.x/with space"), // space: cannot compact safely
+    ));
+    let mut prefixes = PrefixMap::new();
+    prefixes.insert("e", "http://e.x/");
+    let text = turtle::write_graph(&g, &prefixes);
+    assert!(text.contains("<urn:uuid:1234>"));
+    assert!(text.contains("<http://e.x/with space>"));
+    let parsed = turtle::parse_graph(&text).unwrap();
+    assert_eq!(parsed.len(), 1);
+}
+
+#[test]
+fn typed_literal_with_unprefixed_datatype_round_trips() {
+    let mut g = Graph::new();
+    g.insert((
+        Term::iri("http://e.x/s"),
+        Term::iri("http://e.x/p"),
+        Term::Literal(Literal::typed("v", Iri::new("http://types.example/T"))),
+    ));
+    let text = turtle::write_graph(&g, &PrefixMap::new());
+    assert!(text.contains("^^<http://types.example/T>"));
+    let parsed = turtle::parse_graph(&text).unwrap();
+    let (_, _, o) = parsed.iter().next().unwrap();
+    assert_eq!(
+        o.as_literal().unwrap().datatype().as_str(),
+        "http://types.example/T"
+    );
+}
+
+#[test]
+fn graph_block_followed_by_default_triples() {
+    let doc = r#"
+        @prefix e: <http://e.x/> .
+        GRAPH e:g1 { e:a e:p e:b . }
+        e:x e:p e:y .
+        GRAPH e:g2 { e:c e:p e:d . }
+    "#;
+    let ds = turtle::parse_dataset(doc).unwrap();
+    assert_eq!(ds.default_graph().len(), 1);
+    assert_eq!(ds.named_graph_count(), 2);
+}
+
+#[test]
+fn same_triple_in_two_named_graphs_stays_separate() {
+    let doc = r#"
+        @prefix e: <http://e.x/> .
+        GRAPH e:g1 { e:a e:p e:b . }
+        GRAPH e:g2 { e:a e:p e:b . }
+    "#;
+    let ds = turtle::parse_dataset(doc).unwrap();
+    assert_eq!(ds.quad_count(), 2);
+    assert_eq!(ds.union().len(), 1);
+}
+
+#[test]
+fn boolean_and_numeric_literals_distinct_from_iris() {
+    let doc = "@prefix e: <http://e.x/> .\ne:s e:p true . e:s e:q 42 . e:s e:r e:true .";
+    let g = turtle::parse_graph(doc).unwrap();
+    let objects: Vec<Term> = g
+        .matching(Some(&Term::iri("http://e.x/s")), None, None)
+        .into_iter()
+        .map(|(_, _, o)| o)
+        .collect();
+    assert!(objects
+        .iter()
+        .any(|o| matches!(o, Term::Literal(l) if l.as_bool() == Some(true))));
+    assert!(objects
+        .iter()
+        .any(|o| matches!(o, Term::Literal(l) if l.as_i64() == Some(42))));
+    assert!(objects
+        .iter()
+        .any(|o| o.as_iri().is_some_and(|i| i.as_str().ends_with("true"))));
+}
+
+#[test]
+fn ten_thousand_triples_round_trip() {
+    let mut g = Graph::new();
+    for i in 0..10_000 {
+        g.insert((
+            Term::iri(format!("http://e.x/s{}", i % 100)),
+            Term::iri(format!("http://e.x/p{}", i % 10)),
+            Term::integer(i),
+        ));
+    }
+    assert_eq!(g.len(), 10_000);
+    let mut prefixes = PrefixMap::new();
+    prefixes.insert("e", "http://e.x/");
+    let text = turtle::write_graph(&g, &prefixes);
+    let parsed = turtle::parse_graph(&text).unwrap();
+    assert_eq!(parsed.len(), 10_000);
+}
+
+#[test]
+fn pattern_matching_on_dense_predicate() {
+    let mut g = Graph::new();
+    let p = Term::iri("http://e.x/p");
+    for i in 0..1000 {
+        g.insert((
+            Term::iri(format!("http://e.x/s{i}")),
+            p.clone(),
+            Term::integer(i),
+        ));
+    }
+    assert_eq!(g.matching(None, Some(&p), None).len(), 1000);
+    assert_eq!(
+        g.matching(None, Some(&p), Some(&Term::integer(500))).len(),
+        1
+    );
+}
+
+#[test]
+fn comment_only_and_whitespace_only_documents() {
+    assert_eq!(turtle::parse_graph("").unwrap().len(), 0);
+    assert_eq!(turtle::parse_graph("   \n\t  ").unwrap().len(), 0);
+    assert_eq!(
+        turtle::parse_graph("# nothing here\n# at all")
+            .unwrap()
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn error_positions_point_at_the_problem() {
+    let doc = "@prefix e: <http://e.x/> .\ne:a e:p e:b .\ne:broken e:p @ .";
+    let err = turtle::parse_graph(doc).unwrap_err();
+    assert_eq!(err.line, 3, "{err}");
+}

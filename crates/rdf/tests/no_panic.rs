@@ -1,0 +1,20 @@
+//! Robustness: the Turtle/TriG reader must never panic on arbitrary input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn turtle_parser_never_panics(input in "\\PC*") {
+        let _ = mdm_rdf::turtle::parse_graph(&input);
+        let _ = mdm_rdf::turtle::parse_dataset(&input);
+    }
+
+    #[test]
+    fn turtle_parser_never_panics_on_turtleish(
+        input in "[<>@a-z0-9:/\\.\"'#;,{}\\^ \\n_-]*",
+    ) {
+        let _ = mdm_rdf::turtle::parse_dataset(&input);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the RDF substrate: index coherence under arbitrary
+//! insert/remove interleavings, and Turtle/TriG round-trips.
+
+use proptest::prelude::*;
+
+use mdm_rdf::dataset::{Dataset, GraphName};
+use mdm_rdf::namespace::PrefixMap;
+use mdm_rdf::term::{Iri, Literal, Term, Triple};
+use mdm_rdf::{turtle, Graph};
+
+/// A small pool of IRIs so triples collide often (exercises set semantics).
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    (0u8..12).prop_map(|i| Iri::new(format!("http://e.x/n{i}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Printable strings incl. the characters the escaper must handle.
+        "[ -~àé⚽]{0,12}".prop_map(Literal::string),
+        any::<i64>().prop_map(Literal::integer),
+        // Doubles from a grid that round-trips exactly through decimal text.
+        (-1000i32..1000, 0u8..100).prop_map(|(a, b)| Literal::double(a as f64 + b as f64 / 100.0)),
+        any::<bool>().prop_map(Literal::boolean),
+        ("[a-z]{1,8}", "[a-z]{2}").prop_map(|(s, lang)| Literal::lang_string(s, lang)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => arb_iri().prop_map(Term::Iri),
+        1 => "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
+        3 => arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (
+        arb_iri().prop_map(Term::Iri),
+        arb_iri().prop_map(Term::Iri),
+        arb_term(),
+    )
+        .prop_map(|(s, p, o)| (s, p, o))
+}
+
+proptest! {
+    /// Every pattern shape answers exactly what a naive scan answers.
+    #[test]
+    fn matching_agrees_with_naive_filter(
+        triples in proptest::collection::vec(arb_triple(), 0..40),
+        probe in arb_triple(),
+        mask in 0u8..8,
+    ) {
+        let graph: Graph = triples.iter().cloned().collect();
+        let (ps, pp, po) = &probe;
+        let s = (mask & 1 != 0).then_some(ps);
+        let p = (mask & 2 != 0).then_some(pp);
+        let o = (mask & 4 != 0).then_some(po);
+        let mut expected: Vec<Triple> = triples
+            .iter()
+            .filter(|(ts, tp, to)| {
+                s.is_none_or(|x| x == ts)
+                    && p.is_none_or(|x| x == tp)
+                    && o.is_none_or(|x| x == to)
+            })
+            .cloned()
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let mut actual = graph.matching(s, p, o);
+        actual.sort();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Removals keep all three permutation indexes coherent.
+    #[test]
+    fn insert_remove_interleaving_keeps_indexes_coherent(
+        ops in proptest::collection::vec((any::<bool>(), arb_triple()), 0..60),
+    ) {
+        let mut graph = Graph::new();
+        let mut reference: std::collections::BTreeSet<Triple> = Default::default();
+        for (insert, triple) in ops {
+            if insert {
+                prop_assert_eq!(graph.insert(triple.clone()), reference.insert(triple));
+            } else {
+                let (s, p, o) = &triple;
+                prop_assert_eq!(graph.remove(s, p, o), reference.remove(&triple));
+            }
+            prop_assert_eq!(graph.len(), reference.len());
+        }
+        let from_graph: Vec<Triple> = graph.iter().collect();
+        let from_reference: Vec<Triple> = reference.into_iter().collect();
+        // Same set (graph iterates in interner order, so compare sorted).
+        let mut from_graph_sorted = from_graph;
+        from_graph_sorted.sort();
+        prop_assert_eq!(from_graph_sorted, from_reference);
+    }
+
+    /// write_graph ∘ parse_graph is the identity on graphs.
+    #[test]
+    fn turtle_round_trip(
+        triples in proptest::collection::vec(arb_triple(), 0..30),
+    ) {
+        let graph: Graph = triples.into_iter().collect();
+        let mut prefixes = PrefixMap::with_defaults();
+        prefixes.insert("e", "http://e.x/");
+        let text = turtle::write_graph(&graph, &prefixes);
+        let parsed = turtle::parse_graph(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(parsed.len(), graph.len());
+        for (s, p, o) in graph.iter() {
+            prop_assert!(parsed.contains(&s, &p, &o), "lost {:?} in:\n{}", (s, p, o), text);
+        }
+    }
+
+    /// TriG round-trips datasets with named graphs.
+    #[test]
+    fn trig_round_trip(
+        default in proptest::collection::vec(arb_triple(), 0..10),
+        named in proptest::collection::vec(
+            (0u8..4, arb_triple()),
+            0..20,
+        ),
+    ) {
+        let mut dataset = Dataset::new();
+        for t in default {
+            dataset.insert(&GraphName::Default, t);
+        }
+        for (g, t) in named {
+            dataset.insert(
+                &GraphName::Named(Iri::new(format!("http://e.x/g{g}"))),
+                t,
+            );
+        }
+        let mut prefixes = PrefixMap::with_defaults();
+        prefixes.insert("e", "http://e.x/");
+        let text = turtle::write_dataset(&dataset, &prefixes);
+        let parsed = turtle::parse_dataset(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(parsed.quad_count(), dataset.quad_count());
+        prop_assert_eq!(parsed.named_graph_count(), dataset.named_graph_count());
+    }
+
+    /// Union view equals the set union of members.
+    #[test]
+    fn dataset_union_is_set_union(
+        a in proptest::collection::vec(arb_triple(), 0..15),
+        b in proptest::collection::vec(arb_triple(), 0..15),
+    ) {
+        let mut dataset = Dataset::new();
+        for t in &a {
+            dataset.insert(&GraphName::Named(Iri::new("http://e.x/a")), t.clone());
+        }
+        for t in &b {
+            dataset.insert(&GraphName::Named(Iri::new("http://e.x/b")), t.clone());
+        }
+        let expected: std::collections::BTreeSet<Triple> =
+            a.into_iter().chain(b).collect();
+        let union = dataset.union();
+        prop_assert_eq!(union.len(), expected.len());
+        for t in expected {
+            prop_assert!(union.contains(&t.0, &t.1, &t.2));
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The logical relational algebra.
+//!
+//! The query-rewriting algorithm of `mdm-core` produces a [`Plan`]: a union
+//! of conjunctive queries over wrapper relations. `Display` renders the plan
+//! in textbook notation — `π`, `σ`, `⋈`, `∪`, `δ` — which is exactly the
+//! "generated relational algebra expression over the wrappers" the MDM
+//! frontend shows next to a query (paper Figure 8).
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::schema::{ColumnRef, Schema};
+
+/// Join kinds. MDM's rewriting only emits inner equi-joins (joins are
+/// restricted to identifier features, §2.3); left joins exist for the
+/// OPTIONAL fragment of the SPARQL engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// A sort direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// A base relation (a wrapper, in MDM's usage).
+    Scan { relation: String },
+    /// σ — keep rows satisfying the predicate.
+    Filter { input: Box<Plan>, predicate: Expr },
+    /// π — compute output columns (each an expression with an output name).
+    Project {
+        input: Box<Plan>,
+        columns: Vec<(Expr, ColumnRef)>,
+    },
+    /// ⋈ — equi-join on pairs of (left column, right column).
+    Join {
+        kind: JoinKind,
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(ColumnRef, ColumnRef)>,
+    },
+    /// ∪ — set union of compatible inputs (bag semantics until `Distinct`).
+    Union { inputs: Vec<Plan> },
+    /// δ — duplicate elimination.
+    Distinct { input: Box<Plan> },
+    /// Sort by columns.
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(ColumnRef, SortOrder)>,
+    },
+    /// First-n.
+    Limit { input: Box<Plan>, count: usize },
+}
+
+impl Plan {
+    /// Scan of a named relation.
+    pub fn scan(relation: impl Into<String>) -> Plan {
+        Plan::Scan {
+            relation: relation.into(),
+        }
+    }
+
+    /// σ builder.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// π builder from `(expr, output name)` pairs.
+    pub fn project(self, columns: Vec<(Expr, ColumnRef)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// π builder that just selects existing columns, renaming each to its
+    /// bare output name.
+    pub fn project_named(self, pairs: &[(&str, &str)]) -> Plan {
+        self.project(
+            pairs
+                .iter()
+                .map(|(source, output)| (Expr::col(source), ColumnRef::bare(*output)))
+                .collect(),
+        )
+    }
+
+    /// Inner equi-join builder.
+    pub fn join(self, right: Plan, on: Vec<(ColumnRef, ColumnRef)>) -> Plan {
+        Plan::Join {
+            kind: JoinKind::Inner,
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// ∪ builder; flattens nested unions.
+    pub fn union(inputs: Vec<Plan>) -> Plan {
+        let mut flat = Vec::new();
+        for input in inputs {
+            match input {
+                Plan::Union { inputs } => flat.extend(inputs),
+                other => flat.push(other),
+            }
+        }
+        Plan::Union { inputs: flat }
+    }
+
+    /// δ builder.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Sort builder (ascending on the given columns).
+    pub fn sort_by(self, columns: &[&str]) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys: columns
+                .iter()
+                .map(|c| (ColumnRef::parse(c), SortOrder::Asc))
+                .collect(),
+        }
+    }
+
+    /// Limit builder.
+    pub fn limit(self, count: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            count,
+        }
+    }
+
+    /// The relations scanned by this plan, in first-use order.
+    pub fn scanned_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_scans(&mut out);
+        out
+    }
+
+    fn collect_scans<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Plan::Scan { relation } => {
+                if !out.contains(&relation.as_str()) {
+                    out.push(relation);
+                }
+            }
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.collect_scans(out),
+            Plan::Join { left, right, .. } => {
+                left.collect_scans(out);
+                right.collect_scans(out);
+            }
+            Plan::Union { inputs } => {
+                for input in inputs {
+                    input.collect_scans(out);
+                }
+            }
+        }
+    }
+
+    /// Derives the output schema given a function resolving base-relation
+    /// schemas (usually [`Catalog::relation_schema`](crate::Catalog)).
+    pub fn schema_with(
+        &self,
+        resolve: &dyn Fn(&str) -> Result<Schema, String>,
+    ) -> Result<Schema, String> {
+        match self {
+            Plan::Scan { relation } => resolve(relation),
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.schema_with(resolve),
+            Plan::Project { columns, .. } => Ok(Schema::new(
+                columns.iter().map(|(_, name)| name.clone()).collect(),
+            )),
+            Plan::Join { left, right, .. } => Ok(left
+                .schema_with(resolve)?
+                .concat(&right.schema_with(resolve)?)),
+            Plan::Union { inputs } => {
+                let first = inputs
+                    .first()
+                    .ok_or_else(|| "empty union".to_string())?
+                    .schema_with(resolve)?;
+                for input in &inputs[1..] {
+                    let s = input.schema_with(resolve)?;
+                    if s.len() != first.len() {
+                        return Err(format!("union arms have different arities: {first} vs {s}"));
+                    }
+                }
+                Ok(first)
+            }
+        }
+    }
+
+    /// Number of operator nodes (used by benches to report plan sizes).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.node_count(),
+            Plan::Join { left, right, .. } => left.node_count() + right.node_count(),
+            Plan::Union { inputs } => inputs.iter().map(Plan::node_count).sum(),
+        }
+    }
+
+    /// Number of union branches at the top of the plan (ignoring the
+    /// projection/distinct shell); the UCQ width the paper's rewriting
+    /// produces — one branch per wrapper-version combination.
+    pub fn union_width(&self) -> usize {
+        match self {
+            Plan::Union { inputs } => inputs.len(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.union_width(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { relation } => write!(f, "{relation}"),
+            Plan::Filter { input, predicate } => write!(f, "σ[{predicate}]({input})"),
+            Plan::Project { input, columns } => {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|(expr, name)| {
+                        let rendered = expr.to_string();
+                        if rendered == name.to_string() {
+                            rendered
+                        } else {
+                            format!("{rendered}→{name}")
+                        }
+                    })
+                    .collect();
+                write!(f, "π[{}]({input})", cols.join(", "))
+            }
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
+                let conditions: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let symbol = match kind {
+                    JoinKind::Inner => "⋈",
+                    JoinKind::Left => "⟕",
+                };
+                write!(f, "({left} {symbol}[{}] {right})", conditions.join(" ∧ "))
+            }
+            Plan::Union { inputs } => {
+                let arms: Vec<String> = inputs.iter().map(Plan::to_string).collect();
+                write!(f, "({})", arms.join(" ∪ "))
+            }
+            Plan::Distinct { input } => write!(f, "δ({input})"),
+            Plan::Sort { input, keys } => {
+                let rendered: Vec<String> = keys
+                    .iter()
+                    .map(|(c, order)| match order {
+                        SortOrder::Asc => c.to_string(),
+                        SortOrder::Desc => format!("{c}↓"),
+                    })
+                    .collect();
+                write!(f, "sort[{}]({input})", rendered.join(", "))
+            }
+            Plan::Limit { input, count } => write!(f, "limit[{count}]({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 8 plan: names of players and their teams.
+    fn figure8_plan() -> Plan {
+        Plan::scan("w1")
+            .join(
+                Plan::scan("w2"),
+                vec![(
+                    ColumnRef::qualified("w1", "teamId"),
+                    ColumnRef::qualified("w2", "id"),
+                )],
+            )
+            .project_named(&[("w2.name", "ex:teamName"), ("w1.pName", "ex:playerName")])
+    }
+
+    #[test]
+    fn display_is_figure8_style() {
+        let rendered = figure8_plan().to_string();
+        assert_eq!(
+            rendered,
+            "π[w2.name→ex:teamName, w1.pName→ex:playerName]((w1 ⋈[w1.teamId=w2.id] w2))"
+        );
+    }
+
+    #[test]
+    fn union_flattens() {
+        let u = Plan::union(vec![
+            Plan::scan("a"),
+            Plan::union(vec![Plan::scan("b"), Plan::scan("c")]),
+        ]);
+        match &u {
+            Plan::Union { inputs } => assert_eq!(inputs.len(), 3),
+            _ => panic!("expected union"),
+        }
+        assert_eq!(u.union_width(), 3);
+    }
+
+    #[test]
+    fn scanned_relations_in_order() {
+        assert_eq!(figure8_plan().scanned_relations(), vec!["w1", "w2"]);
+    }
+
+    #[test]
+    fn schema_of_projection() {
+        let resolve = |name: &str| -> Result<Schema, String> {
+            Ok(match name {
+                "w1" => Schema::qualified("w1", ["id", "pName", "teamId"]),
+                "w2" => Schema::qualified("w2", ["id", "name"]),
+                other => return Err(format!("unknown {other}")),
+            })
+        };
+        let schema = figure8_plan().schema_with(&resolve).unwrap();
+        assert_eq!(schema.join_names(", "), "ex:teamName, ex:playerName");
+    }
+
+    #[test]
+    fn schema_of_join_concatenates() {
+        let resolve =
+            |name: &str| -> Result<Schema, String> { Ok(Schema::qualified(name, ["id"])) };
+        let plan = Plan::scan("w1").join(
+            Plan::scan("w2"),
+            vec![(
+                ColumnRef::qualified("w1", "id"),
+                ColumnRef::qualified("w2", "id"),
+            )],
+        );
+        assert_eq!(plan.schema_with(&resolve).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn union_arity_mismatch_detected() {
+        let resolve = |name: &str| -> Result<Schema, String> {
+            Ok(match name {
+                "a" => Schema::bare(["x"]),
+                _ => Schema::bare(["x", "y"]),
+            })
+        };
+        let u = Plan::union(vec![Plan::scan("a"), Plan::scan("b")]);
+        assert!(u.schema_with(&resolve).is_err());
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(figure8_plan().node_count(), 4); // scan, scan, join, project
+    }
+
+    #[test]
+    fn distinct_and_limit_render() {
+        let p = Plan::scan("w").distinct().limit(5);
+        assert_eq!(p.to_string(), "limit[5](δ(w))");
+    }
+}

@@ -1,0 +1,321 @@
+//! The executor: logical plan + catalog → materialised [`Table`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::algebra::{JoinKind, Plan, SortOrder};
+use crate::expr::Expr;
+use crate::physical::{
+    drain, DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec,
+    SortExec, UnionExec,
+};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Tuple;
+
+/// An error raised during plan translation or execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A source of rows for one named relation.
+///
+/// In MDM every wrapper is a `RelationProvider`: its schema is the wrapper
+/// signature `w(a1, …, an)` and `rows()` runs the wrapper (API call, file
+/// read, …) and flattens the payload to 1NF.
+pub trait RelationProvider {
+    /// The relation's schema (qualified by the relation name).
+    fn provider_schema(&self) -> Schema;
+    /// Produces the current rows. May fail — a crashed source is an error
+    /// the engine surfaces rather than hides (cf. the paper's motivation:
+    /// queries over evolved schemas "crash or return partial results").
+    fn rows(&self) -> Result<Vec<Tuple>, ExecError>;
+}
+
+/// Resolves relation names to providers.
+pub trait Catalog {
+    /// The provider registered under `name`.
+    fn provider(&self, name: &str) -> Option<&dyn RelationProvider>;
+
+    /// The schema of relation `name`, as a `Result` for plan derivation.
+    fn relation_schema(&self, name: &str) -> Result<Schema, String> {
+        self.provider(name)
+            .map(|p| p.provider_schema())
+            .ok_or_else(|| format!("unknown relation '{name}'"))
+    }
+}
+
+/// A catalog of materialised tables (used by tests, benches and the SQLite-
+/// replacement path where wrapper outputs are staged before federation).
+#[derive(Default)]
+pub struct MemoryCatalog {
+    tables: HashMap<String, Table>,
+}
+
+impl MemoryCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        MemoryCatalog::default()
+    }
+
+    /// Registers `table` under `name`, replacing any previous registration.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort();
+        names
+    }
+}
+
+impl RelationProvider for Table {
+    fn provider_schema(&self) -> Schema {
+        self.schema().clone()
+    }
+
+    fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
+        Ok(self.rows().to_vec())
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn provider(&self, name: &str) -> Option<&dyn RelationProvider> {
+        self.tables.get(name).map(|t| t as &dyn RelationProvider)
+    }
+}
+
+/// Executes logical plans against a catalog.
+pub struct Executor<'a> {
+    catalog: &'a dyn Catalog,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over `catalog`.
+    pub fn new(catalog: &'a dyn Catalog) -> Self {
+        Executor { catalog }
+    }
+
+    /// Runs `plan` to completion, materialising the result.
+    pub fn run(&self, plan: &Plan) -> Result<Table, ExecError> {
+        let op = self.build(plan)?;
+        let schema = op.schema().clone();
+        let rows = drain(op)?;
+        Table::new(schema, rows).map_err(ExecError)
+    }
+
+    /// Translates a logical plan into a physical operator tree.
+    fn build(&self, plan: &Plan) -> Result<Box<dyn Operator>, ExecError> {
+        match plan {
+            Plan::Scan { relation } => {
+                let provider = self.catalog.provider(relation).ok_or_else(|| {
+                    ExecError(format!("unknown relation '{relation}' in catalog"))
+                })?;
+                Ok(Box::new(ScanExec::new(
+                    provider.provider_schema(),
+                    provider.rows()?,
+                )))
+            }
+            Plan::Filter { input, predicate } => Ok(Box::new(FilterExec::new(
+                self.build(input)?,
+                predicate.clone(),
+            ))),
+            Plan::Project { input, columns } => {
+                let child = self.build(input)?;
+                let exprs: Vec<Expr> = columns.iter().map(|(e, _)| e.clone()).collect();
+                let schema = Schema::new(columns.iter().map(|(_, name)| name.clone()).collect());
+                Ok(Box::new(ProjectExec::new(child, exprs, schema)))
+            }
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
+                let left_op = self.build(left)?;
+                let right_op = self.build(right)?;
+                let mut left_keys = Vec::with_capacity(on.len());
+                let mut right_keys = Vec::with_capacity(on.len());
+                for (l, r) in on {
+                    left_keys.push(
+                        left_op
+                            .schema()
+                            .index_of(l)
+                            .map_err(|e| ExecError(format!("join key: {e}")))?,
+                    );
+                    right_keys.push(
+                        right_op
+                            .schema()
+                            .index_of(r)
+                            .map_err(|e| ExecError(format!("join key: {e}")))?,
+                    );
+                }
+                Ok(Box::new(HashJoinExec::new(
+                    left_op,
+                    right_op,
+                    left_keys,
+                    right_keys,
+                    matches!(kind, JoinKind::Left),
+                )?))
+            }
+            Plan::Union { inputs } => {
+                let ops = inputs
+                    .iter()
+                    .map(|p| self.build(p))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(UnionExec::new(ops)?))
+            }
+            Plan::Distinct { input } => Ok(Box::new(DistinctExec::new(self.build(input)?))),
+            Plan::Sort { input, keys } => {
+                let child = self.build(input)?;
+                let resolved = keys
+                    .iter()
+                    .map(|(column, order)| {
+                        child
+                            .schema()
+                            .index_of(column)
+                            .map(|i| (i, matches!(order, SortOrder::Desc)))
+                            .map_err(ExecError)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(SortExec::new(child, resolved)?))
+            }
+            Plan::Limit { input, count } => {
+                Ok(Box::new(LimitExec::new(self.build(input)?, *count)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRef;
+    use crate::value::Value;
+
+    fn catalog() -> MemoryCatalog {
+        let mut catalog = MemoryCatalog::new();
+        catalog.register(
+            "w1",
+            Table::new(
+                Schema::qualified("w1", ["id", "pName", "teamId"]),
+                vec![
+                    vec![Value::Int(1), Value::str("Lionel Messi"), Value::Int(25)],
+                    vec![
+                        Value::Int(2),
+                        Value::str("Robert Lewandowski"),
+                        Value::Int(27),
+                    ],
+                    vec![
+                        Value::Int(3),
+                        Value::str("Zlatan Ibrahimovic"),
+                        Value::Int(31),
+                    ],
+                ],
+            )
+            .unwrap(),
+        );
+        catalog.register(
+            "w2",
+            Table::new(
+                Schema::qualified("w2", ["id", "name", "shortName"]),
+                vec![
+                    vec![
+                        Value::Int(25),
+                        Value::str("FC Barcelona"),
+                        Value::str("FCB"),
+                    ],
+                    vec![
+                        Value::Int(27),
+                        Value::str("Bayern Munich"),
+                        Value::str("FCB2"),
+                    ],
+                    vec![
+                        Value::Int(31),
+                        Value::str("Manchester United"),
+                        Value::str("MU"),
+                    ],
+                ],
+            )
+            .unwrap(),
+        );
+        catalog
+    }
+
+    /// Runs the paper's Figure 8 query and checks Table 1's rows come out.
+    #[test]
+    fn figure8_query_produces_table1() {
+        let catalog = catalog();
+        let plan = Plan::scan("w1")
+            .join(
+                Plan::scan("w2"),
+                vec![(
+                    ColumnRef::qualified("w1", "teamId"),
+                    ColumnRef::qualified("w2", "id"),
+                )],
+            )
+            .project_named(&[("w2.name", "ex:teamName"), ("w1.pName", "ex:playerName")]);
+        let table = Executor::new(&catalog).run(&plan).unwrap();
+        assert_eq!(table.len(), 3);
+        let rendered = table.render();
+        assert!(rendered.contains("FC Barcelona      | Lionel Messi"));
+        assert!(rendered.contains("Bayern Munich     | Robert Lewandowski"));
+        assert!(rendered.contains("Manchester United | Zlatan Ibrahimovic"));
+    }
+
+    #[test]
+    fn unknown_relation_is_error() {
+        let catalog = catalog();
+        let err = Executor::new(&catalog)
+            .run(&Plan::scan("nope"))
+            .unwrap_err();
+        assert!(err.0.contains("unknown relation 'nope'"));
+    }
+
+    #[test]
+    fn union_distinct_pipeline() {
+        let catalog = catalog();
+        let plan = Plan::union(vec![Plan::scan("w2"), Plan::scan("w2")]).distinct();
+        let table = Executor::new(&catalog).run(&plan).unwrap();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn filter_sort_limit_pipeline() {
+        let catalog = catalog();
+        let plan = Plan::scan("w1")
+            .filter(Expr::col("id").binary(crate::expr::BinOp::Gt, Expr::lit(1i64)))
+            .sort_by(&["w1.pName"])
+            .limit(1);
+        let table = Executor::new(&catalog).run(&plan).unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows()[0][1], Value::str("Robert Lewandowski"));
+    }
+
+    #[test]
+    fn bad_join_key_is_error() {
+        let catalog = catalog();
+        let plan = Plan::scan("w1").join(
+            Plan::scan("w2"),
+            vec![(ColumnRef::bare("missing"), ColumnRef::bare("id"))],
+        );
+        let err = Executor::new(&catalog).run(&plan).unwrap_err();
+        assert!(err.0.contains("join key"));
+    }
+
+    #[test]
+    fn relation_schema_through_catalog() {
+        let catalog = catalog();
+        assert!(catalog.relation_schema("w1").is_ok());
+        assert!(catalog.relation_schema("nope").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! Scalar expressions and predicates over tuples.
+
+use std::fmt;
+
+use crate::schema::{ColumnRef, Schema};
+use crate::value::{Tuple, Value};
+
+/// Binary operators over values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// The SQL-ish symbol used in plan rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "≠",
+            BinOp::Lt => "<",
+            BinOp::Le => "≤",
+            BinOp::Gt => ">",
+            BinOp::Ge => "≥",
+            BinOp::And => "∧",
+            BinOp::Or => "∨",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression evaluated against one tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A column reference, resolved by schema at evaluation time.
+    Column(ColumnRef),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// True when the operand is NULL.
+    IsNull(Box<Expr>),
+}
+
+/// An error raised during expression evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// A column expression from `rel.name` or bare `name` notation.
+    pub fn col(text: &str) -> Expr {
+        Expr::Column(ColumnRef::parse(text))
+    }
+
+    /// A literal expression.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// `self op other`, builder style.
+    pub fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Equality comparison.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// Evaluates the expression against a tuple.
+    ///
+    /// Comparison/arithmetic with NULL yields NULL (SQL three-valued logic);
+    /// a NULL predicate result is treated as *false* by filters.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<Value, EvalError> {
+        match self {
+            Expr::Column(column) => {
+                let index = schema.index_of(column).map_err(EvalError)?;
+                Ok(tuple[index].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Not(inner) => match inner.eval(schema, tuple)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(EvalError(format!("NOT applied to non-boolean {other}"))),
+            },
+            Expr::IsNull(inner) => Ok(Value::Bool(inner.eval(schema, tuple)?.is_null())),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(schema, tuple)?;
+                let r = right.eval(schema, tuple)?;
+                eval_binary(*op, l, r)
+            }
+        }
+    }
+
+    /// Evaluates as a predicate: NULL and false are both "drop the row".
+    pub fn eval_predicate(&self, schema: &Schema, tuple: &Tuple) -> Result<bool, EvalError> {
+        match self.eval(schema, tuple)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(EvalError(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    /// The columns this expression references, in first-use order.
+    pub fn referenced_columns(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        match self {
+            Expr::Column(c) => {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Not(inner) | Expr::IsNull(inner) => inner.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            // Three-valued logic with short-circuit identities.
+            let as_bool = |v: &Value| -> Result<Option<bool>, EvalError> {
+                match v {
+                    Value::Bool(b) => Ok(Some(*b)),
+                    Value::Null => Ok(None),
+                    other => Err(EvalError(format!("boolean operator on {other}"))),
+                }
+            };
+            let (lb, rb) = (as_bool(&l)?, as_bool(&r)?);
+            let result = match (op, lb, rb) {
+                (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+                (And, Some(true), Some(true)) => Some(true),
+                (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+                (Or, Some(false), Some(false)) => Some(false),
+                _ => None,
+            };
+            Ok(result.map_or(Value::Null, Value::Bool))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ordering = l.cmp(&r);
+            let b = match op {
+                Eq => l == r,
+                Ne => l != r,
+                Lt => ordering.is_lt(),
+                Le => ordering.is_le(),
+                Gt => ordering.is_gt(),
+                Ge => ordering.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic stays integral when both sides are ints.
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return match op {
+                    Add => Ok(Value::Int(a.wrapping_add(*b))),
+                    Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                    Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                    Div => {
+                        if *b == 0 {
+                            Err(EvalError("division by zero".to_string()))
+                        } else {
+                            Ok(Value::Int(a / b))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EvalError(format!(
+                        "arithmetic on non-numeric values {l} and {r}"
+                    )))
+                }
+            };
+            let result = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(EvalError("division by zero".to_string()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(result))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Not(inner) => write!(f, "¬({inner})"),
+            Expr::IsNull(inner) => write!(f, "isnull({inner})"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "{left} {} {right}", op.symbol())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::qualified("w1", ["id", "height", "foot"])
+    }
+
+    fn messi() -> Tuple {
+        vec![Value::Int(6176), Value::Float(170.18), Value::str("left")]
+    }
+
+    #[test]
+    fn column_and_literal_eval() {
+        let s = schema();
+        let t = messi();
+        assert_eq!(Expr::col("id").eval(&s, &t).unwrap(), Value::Int(6176));
+        assert_eq!(
+            Expr::col("w1.foot").eval(&s, &t).unwrap(),
+            Value::str("left")
+        );
+        assert_eq!(Expr::lit(5i64).eval(&s, &t).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let t = messi();
+        assert!(Expr::col("height")
+            .binary(BinOp::Gt, Expr::lit(170.0))
+            .eval_predicate(&s, &t)
+            .unwrap());
+        assert!(!Expr::col("foot")
+            .eq(Expr::lit("right"))
+            .eval_predicate(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn null_propagation_in_comparison() {
+        let s = Schema::bare(["a"]);
+        let t = vec![Value::Null];
+        let expr = Expr::col("a").eq(Expr::lit(1i64));
+        assert_eq!(expr.eval(&s, &t).unwrap(), Value::Null);
+        assert!(!expr.eval_predicate(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let s = Schema::bare(["a"]);
+        let t = vec![Value::Null];
+        // NULL AND false = false; NULL OR true = true.
+        let null_pred = Expr::col("a").eq(Expr::lit(1i64));
+        assert_eq!(
+            null_pred
+                .clone()
+                .and(Expr::lit(false))
+                .eval(&s, &t)
+                .unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            null_pred
+                .clone()
+                .binary(BinOp::Or, Expr::lit(true))
+                .eval(&s, &t)
+                .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            null_pred.clone().and(Expr::lit(true)).eval(&s, &t).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = Schema::bare(["x", "y"]);
+        let t = vec![Value::Int(10), Value::Float(2.5)];
+        assert_eq!(
+            Expr::col("x")
+                .binary(BinOp::Add, Expr::lit(5i64))
+                .eval(&s, &t)
+                .unwrap(),
+            Value::Int(15)
+        );
+        assert_eq!(
+            Expr::col("x")
+                .binary(BinOp::Mul, Expr::col("y"))
+                .eval(&s, &t)
+                .unwrap(),
+            Value::Float(25.0)
+        );
+        assert!(Expr::col("x")
+            .binary(BinOp::Div, Expr::lit(0i64))
+            .eval(&s, &t)
+            .is_err());
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let s = Schema::bare(["a"]);
+        let t = vec![Value::Null];
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col("a"))).eval(&s, &t).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::col("a")))))
+                .eval(&s, &t)
+                .unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let s = schema();
+        let t = messi();
+        assert!(Expr::col("nope").eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated() {
+        let expr = Expr::col("a")
+            .eq(Expr::col("b"))
+            .and(Expr::col("a").eq(Expr::lit(1i64)));
+        let cols: Vec<String> = expr
+            .referenced_columns()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(cols, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_reads_like_algebra() {
+        let expr = Expr::col("w1.teamId").eq(Expr::col("w2.id"));
+        assert_eq!(expr.to_string(), "w1.teamId = w2.id");
+        let pred = Expr::col("foot").eq(Expr::lit("left"));
+        assert_eq!(pred.to_string(), "foot = 'left'");
+    }
+}

@@ -1,0 +1,36 @@
+//! # mdm-relational
+//!
+//! The federated-execution substrate of MDM. The paper's implementation
+//! loads "the fragment of data provided by wrappers … into temporal SQLite
+//! tables in order to execute the federated query" (§2.5). This crate
+//! replaces that stage with a native engine:
+//!
+//! * [`Value`] / [`Tuple`] / [`Schema`] / [`Table`] — the data model, with a
+//!   figure-style pretty printer (Table 1 of the paper is produced by it);
+//! * [`expr`] — scalar expressions and predicates over tuples;
+//! * [`algebra`] — the logical relational algebra (σ, π, ⋈, ∪, δ, ρ); the
+//!   query-rewriting algorithm of `mdm-core` outputs one of these plans, and
+//!   its `Display` form is the "relational algebra expression" shown in
+//!   Figure 8;
+//! * [`physical`] — volcano-style operators (hash join, nested-loop join,
+//!   filter, project, union, distinct, sort, limit);
+//! * [`executor`] — turns a logical plan plus a [`Catalog`] of relation
+//!   providers into a materialised [`Table`];
+//! * [`optimizer`] — heuristic rewrites (predicate pushdown, projection
+//!   pruning, join reordering) exercised by the ablation benches.
+
+pub mod algebra;
+pub mod executor;
+pub mod expr;
+pub mod optimizer;
+pub mod physical;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use algebra::{JoinKind, Plan};
+pub use executor::{Catalog, ExecError, Executor, MemoryCatalog, RelationProvider};
+pub use expr::{BinOp, Expr};
+pub use schema::Schema;
+pub use table::Table;
+pub use value::{Tuple, Value};

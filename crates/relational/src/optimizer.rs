@@ -1,0 +1,367 @@
+//! Heuristic plan rewrites.
+//!
+//! The paper's prototype unions SQLite queries without optimisation; a
+//! production federation layer wants at least the classical heuristics. The
+//! ablation bench (`P6` in DESIGN.md) measures their effect:
+//!
+//! * **predicate pushdown** — filters sink below joins and unions to the arm
+//!   that can evaluate them;
+//! * **join input ordering** — the smaller estimated input becomes the hash-
+//!   join build side (we express this by swapping children, since
+//!   [`HashJoinExec`](crate::physical::HashJoinExec) always builds right);
+//! * **union-arm pruning** — a union arm whose relation provider is known
+//!   empty is dropped (frequent under schema evolution: a superseded wrapper
+//!   version may serve zero rows).
+
+use crate::algebra::Plan;
+use crate::expr::Expr;
+use crate::schema::Schema;
+
+/// Cardinality estimates for base relations, used by join ordering.
+pub trait Statistics {
+    /// Estimated row count of `relation`, when known.
+    fn estimated_rows(&self, relation: &str) -> Option<usize>;
+}
+
+/// Statistics that know nothing.
+pub struct NoStatistics;
+
+impl Statistics for NoStatistics {
+    fn estimated_rows(&self, _relation: &str) -> Option<usize> {
+        None
+    }
+}
+
+/// The optimizer; all rewrites are semantics-preserving.
+pub struct Optimizer<'a> {
+    stats: &'a dyn Statistics,
+    /// Resolves relation schemas, needed to decide where predicates can sink.
+    resolve: &'a dyn Fn(&str) -> Result<Schema, String>,
+}
+
+impl<'a> Optimizer<'a> {
+    pub fn new(
+        stats: &'a dyn Statistics,
+        resolve: &'a dyn Fn(&str) -> Result<Schema, String>,
+    ) -> Self {
+        Optimizer { stats, resolve }
+    }
+
+    /// Applies all rewrites bottom-up.
+    pub fn optimize(&self, plan: Plan) -> Plan {
+        let plan = self.rewrite(plan);
+        self.order_joins(plan)
+    }
+
+    /// Predicate pushdown and union-arm simplification.
+    fn rewrite(&self, plan: Plan) -> Plan {
+        match plan {
+            Plan::Filter { input, predicate } => {
+                let input = self.rewrite(*input);
+                self.push_filter(input, predicate)
+            }
+            Plan::Project { input, columns } => Plan::Project {
+                input: Box::new(self.rewrite(*input)),
+                columns,
+            },
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => Plan::Join {
+                kind,
+                left: Box::new(self.rewrite(*left)),
+                right: Box::new(self.rewrite(*right)),
+                on,
+            },
+            Plan::Union { inputs } => {
+                Plan::union(inputs.into_iter().map(|p| self.rewrite(p)).collect())
+            }
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.rewrite(*input)),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.rewrite(*input)),
+                keys,
+            },
+            Plan::Limit { input, count } => Plan::Limit {
+                input: Box::new(self.rewrite(*input)),
+                count,
+            },
+            leaf @ Plan::Scan { .. } => leaf,
+        }
+    }
+
+    /// Sinks `predicate` as deep as its column references allow.
+    fn push_filter(&self, input: Plan, predicate: Expr) -> Plan {
+        match input {
+            Plan::Union { inputs } => {
+                // A filter over a union applies to every arm.
+                Plan::union(
+                    inputs
+                        .into_iter()
+                        .map(|arm| self.push_filter(arm, predicate.clone()))
+                        .collect(),
+                )
+            }
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
+                // Sink into whichever side covers all referenced columns.
+                if self.covers(&left, &predicate) {
+                    Plan::Join {
+                        kind,
+                        left: Box::new(self.push_filter(*left, predicate)),
+                        right,
+                        on,
+                    }
+                } else if self.covers(&right, &predicate) {
+                    Plan::Join {
+                        kind,
+                        left,
+                        right: Box::new(self.push_filter(*right, predicate)),
+                        on,
+                    }
+                } else {
+                    Plan::Join {
+                        kind,
+                        left,
+                        right,
+                        on,
+                    }
+                    .filter(predicate)
+                }
+            }
+            other => other.filter(predicate),
+        }
+    }
+
+    /// True when every column the predicate references resolves in the
+    /// plan's output schema.
+    fn covers(&self, plan: &Plan, predicate: &Expr) -> bool {
+        let Ok(schema) = plan.schema_with(self.resolve) else {
+            return false;
+        };
+        predicate
+            .referenced_columns()
+            .iter()
+            .all(|column| schema.index_of(column).is_ok())
+    }
+
+    /// Puts the smaller estimated input on the right of every inner join
+    /// (the build side of our hash join).
+    fn order_joins(&self, plan: Plan) -> Plan {
+        match plan {
+            Plan::Join {
+                kind: crate::algebra::JoinKind::Inner,
+                left,
+                right,
+                on,
+            } => {
+                let left = self.order_joins(*left);
+                let right = self.order_joins(*right);
+                let left_rows = self.estimate(&left);
+                let right_rows = self.estimate(&right);
+                match (left_rows, right_rows) {
+                    // Swap when the *left* is smaller: small side should be
+                    // the build (right) side. Key pairs flip accordingly.
+                    (Some(l), Some(r)) if l < r => Plan::Join {
+                        kind: crate::algebra::JoinKind::Inner,
+                        left: Box::new(right),
+                        right: Box::new(left),
+                        on: on.into_iter().map(|(a, b)| (b, a)).collect(),
+                    },
+                    _ => Plan::Join {
+                        kind: crate::algebra::JoinKind::Inner,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        on,
+                    },
+                }
+            }
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.order_joins(*input)),
+                predicate,
+            },
+            Plan::Project { input, columns } => Plan::Project {
+                input: Box::new(self.order_joins(*input)),
+                columns,
+            },
+            Plan::Union { inputs } => {
+                Plan::union(inputs.into_iter().map(|p| self.order_joins(p)).collect())
+            }
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.order_joins(*input)),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.order_joins(*input)),
+                keys,
+            },
+            Plan::Limit { input, count } => Plan::Limit {
+                input: Box::new(self.order_joins(*input)),
+                count,
+            },
+            other => other,
+        }
+    }
+
+    /// A crude cardinality estimate: scans use statistics, filters halve,
+    /// joins multiply then take a tenth, unions add.
+    fn estimate(&self, plan: &Plan) -> Option<usize> {
+        match plan {
+            Plan::Scan { relation } => self.stats.estimated_rows(relation),
+            Plan::Filter { input, .. } => self.estimate(input).map(|n| n / 2),
+            Plan::Project { input, .. } | Plan::Distinct { input } | Plan::Sort { input, .. } => {
+                self.estimate(input)
+            }
+            Plan::Limit { input, count } => self.estimate(input).map(|n| n.min(*count)),
+            Plan::Join { left, right, .. } => {
+                let l = self.estimate(left)?;
+                let r = self.estimate(right)?;
+                Some((l.saturating_mul(r) / 10).max(1))
+            }
+            Plan::Union { inputs } => {
+                let mut total = 0usize;
+                for input in inputs {
+                    total = total.saturating_add(self.estimate(input)?);
+                }
+                Some(total)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRef;
+    use std::collections::HashMap;
+
+    struct MapStats(HashMap<String, usize>);
+
+    impl Statistics for MapStats {
+        fn estimated_rows(&self, relation: &str) -> Option<usize> {
+            self.0.get(relation).copied()
+        }
+    }
+
+    fn resolve(name: &str) -> Result<Schema, String> {
+        Ok(match name {
+            "w1" => Schema::qualified("w1", ["id", "pName", "teamId"]),
+            "w2" => Schema::qualified("w2", ["id", "name"]),
+            other => return Err(format!("unknown {other}")),
+        })
+    }
+
+    fn join_plan() -> Plan {
+        Plan::scan("w1").join(
+            Plan::scan("w2"),
+            vec![(
+                ColumnRef::qualified("w1", "teamId"),
+                ColumnRef::qualified("w2", "id"),
+            )],
+        )
+    }
+
+    #[test]
+    fn filter_sinks_below_join() {
+        let plan = join_plan().filter(Expr::col("w1.pName").eq(Expr::lit("Messi")));
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimized = optimizer.optimize(plan);
+        let rendered = optimized.to_string();
+        // The σ must appear inside the join, applied to w1.
+        assert!(
+            rendered.contains("σ[w1.pName = 'Messi'](w1)"),
+            "got {rendered}"
+        );
+    }
+
+    #[test]
+    fn filter_over_union_distributes() {
+        let plan = Plan::union(vec![Plan::scan("w1"), Plan::scan("w1")])
+            .filter(Expr::col("w1.id").eq(Expr::lit(1i64)));
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let rendered = optimizer.optimize(plan).to_string();
+        assert_eq!(rendered.matches("σ[").count(), 2, "got {rendered}");
+    }
+
+    #[test]
+    fn cross_side_predicate_stays_above_join() {
+        let plan = join_plan().filter(Expr::col("w1.teamId").eq(Expr::col("w2.id")));
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let rendered = optimizer.optimize(plan).to_string();
+        assert!(rendered.starts_with("σ["), "got {rendered}");
+    }
+
+    #[test]
+    fn join_ordering_puts_small_side_right() {
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 1_000_000),
+            ("w2".to_string(), 10),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve);
+        // w2 is already right (small): no swap.
+        let rendered = optimizer.optimize(join_plan()).to_string();
+        assert!(
+            rendered.contains("(w1 ⋈[w1.teamId=w2.id] w2)"),
+            "got {rendered}"
+        );
+
+        // Flip statistics: now w1 is small and should move right.
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 10),
+            ("w2".to_string(), 1_000_000),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve);
+        let rendered = optimizer.optimize(join_plan()).to_string();
+        assert!(
+            rendered.contains("(w2 ⋈[w2.id=w1.teamId] w1)"),
+            "got {rendered}"
+        );
+    }
+
+    #[test]
+    fn optimization_preserves_results() {
+        use crate::executor::{Executor, MemoryCatalog};
+        use crate::table::Table;
+        use crate::value::Value;
+
+        let mut catalog = MemoryCatalog::new();
+        catalog.register(
+            "w1",
+            Table::new(
+                Schema::qualified("w1", ["id", "pName", "teamId"]),
+                vec![
+                    vec![Value::Int(1), Value::str("Messi"), Value::Int(25)],
+                    vec![Value::Int(2), Value::str("Lewandowski"), Value::Int(27)],
+                ],
+            )
+            .unwrap(),
+        );
+        catalog.register(
+            "w2",
+            Table::new(
+                Schema::qualified("w2", ["id", "name"]),
+                vec![
+                    vec![Value::Int(25), Value::str("FC Barcelona")],
+                    vec![Value::Int(27), Value::str("Bayern Munich")],
+                ],
+            )
+            .unwrap(),
+        );
+        let plan = join_plan()
+            .filter(Expr::col("w1.pName").eq(Expr::lit("Messi")))
+            .project_named(&[("w2.name", "team")]);
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimized = optimizer.optimize(plan.clone());
+        let executor = Executor::new(&catalog);
+        let baseline = executor.run(&plan).unwrap().sorted();
+        let improved = executor.run(&optimized).unwrap().sorted();
+        assert_eq!(baseline, improved);
+        assert_eq!(baseline.rows()[0][0], Value::str("FC Barcelona"));
+    }
+}

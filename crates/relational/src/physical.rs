@@ -1,0 +1,589 @@
+//! Volcano-style physical operators.
+//!
+//! Each operator implements [`Operator`]: a pull-based iterator of tuples
+//! with a known output schema. The executor builds an operator tree from a
+//! logical [`Plan`](crate::Plan) and drains the root. Operators are
+//! deliberately simple — MDM federates *metadata-mediated* queries whose
+//! inputs are wrapper row sets (thousands to low millions of rows), so hash
+//! joins and in-memory sorts are the right tools.
+
+use std::collections::HashMap;
+
+use crate::executor::ExecError;
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::value::{Tuple, Value};
+
+/// A pull-based operator: yields tuples until exhausted.
+pub trait Operator {
+    /// The operator's output schema.
+    fn schema(&self) -> &Schema;
+    /// The next tuple, `None` when exhausted.
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>>;
+}
+
+/// Drains an operator to completion.
+pub fn drain(mut op: Box<dyn Operator>) -> Result<Vec<Tuple>, ExecError> {
+    let mut out = Vec::new();
+    while let Some(item) = op.next() {
+        out.push(item?);
+    }
+    Ok(out)
+}
+
+/// Scans a materialised row set.
+pub struct ScanExec {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl ScanExec {
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        ScanExec {
+            schema,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for ScanExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        self.rows.next().map(Ok)
+    }
+}
+
+/// σ — filters rows by a predicate.
+pub struct FilterExec {
+    input: Box<dyn Operator>,
+    predicate: Expr,
+}
+
+impl FilterExec {
+    pub fn new(input: Box<dyn Operator>, predicate: Expr) -> Self {
+        FilterExec { input, predicate }
+    }
+}
+
+impl Operator for FilterExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        loop {
+            let tuple = match self.input.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            match self.predicate.eval_predicate(self.input.schema(), &tuple) {
+                Ok(true) => return Some(Ok(tuple)),
+                Ok(false) => continue,
+                Err(e) => return Some(Err(ExecError(e.0))),
+            }
+        }
+    }
+}
+
+/// π — computes output expressions.
+pub struct ProjectExec {
+    input: Box<dyn Operator>,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    pub fn new(input: Box<dyn Operator>, exprs: Vec<Expr>, schema: Schema) -> Self {
+        ProjectExec {
+            input,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl Operator for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        let tuple = match self.input.next()? {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        let mut out = Vec::with_capacity(self.exprs.len());
+        for expr in &self.exprs {
+            match expr.eval(self.input.schema(), &tuple) {
+                Ok(v) => out.push(v),
+                Err(e) => return Some(Err(ExecError(e.0))),
+            }
+        }
+        Some(Ok(out))
+    }
+}
+
+/// ⋈ — hash equi-join. Builds on the right input, probes with the left.
+///
+/// NULL join keys never match (SQL semantics): a wrapper row missing its
+/// identifier cannot join, it is *not* an error — schema evolution routinely
+/// produces rows without the new attributes.
+pub struct HashJoinExec {
+    left: Box<dyn Operator>,
+    schema: Schema,
+    left_keys: Vec<usize>,
+    /// Right-side hash table: key values → rows.
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    /// Pending output rows from the current probe.
+    pending: Vec<Tuple>,
+    /// For left joins: width of the right side (to emit NULLs) and whether
+    /// to emit unmatched probe rows.
+    right_width: usize,
+    emit_unmatched_left: bool,
+}
+
+impl HashJoinExec {
+    /// Builds the hash table eagerly from `right`.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        emit_unmatched_left: bool,
+    ) -> Result<Self, ExecError> {
+        let schema = left.schema().concat(right.schema());
+        let right_width = right.schema().len();
+        let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let rows = drain(right)?;
+        for row in rows {
+            let key: Vec<Value> = right_keys.iter().map(|&i| row[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(row);
+        }
+        Ok(HashJoinExec {
+            left,
+            schema,
+            left_keys,
+            table,
+            pending: Vec::new(),
+            right_width,
+            emit_unmatched_left,
+        })
+    }
+}
+
+impl Operator for HashJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Some(Ok(row));
+            }
+            let probe = match self.left.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            let key: Vec<Value> = self.left_keys.iter().map(|&i| probe[i].clone()).collect();
+            let matches = if key.iter().any(Value::is_null) {
+                None
+            } else {
+                self.table.get(&key)
+            };
+            match matches {
+                Some(rows) => {
+                    for row in rows {
+                        let mut combined = probe.clone();
+                        combined.extend(row.iter().cloned());
+                        self.pending.push(combined);
+                    }
+                }
+                None if self.emit_unmatched_left => {
+                    let mut combined = probe;
+                    combined.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                    self.pending.push(combined);
+                }
+                None => continue,
+            }
+        }
+    }
+}
+
+/// ⋈ — nested-loop join with an arbitrary predicate (the fallback when the
+/// join condition is not a conjunction of equalities).
+pub struct NestedLoopJoinExec {
+    left_rows: Vec<Tuple>,
+    right_rows: Vec<Tuple>,
+    schema: Schema,
+    predicate: Expr,
+    i: usize,
+    j: usize,
+}
+
+impl NestedLoopJoinExec {
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        predicate: Expr,
+    ) -> Result<Self, ExecError> {
+        let schema = left.schema().concat(right.schema());
+        Ok(NestedLoopJoinExec {
+            left_rows: drain(left)?,
+            right_rows: drain(right)?,
+            schema,
+            predicate,
+            i: 0,
+            j: 0,
+        })
+    }
+}
+
+impl Operator for NestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        while self.i < self.left_rows.len() {
+            while self.j < self.right_rows.len() {
+                let mut combined = self.left_rows[self.i].clone();
+                combined.extend(self.right_rows[self.j].iter().cloned());
+                self.j += 1;
+                match self.predicate.eval_predicate(&self.schema, &combined) {
+                    Ok(true) => return Some(Ok(combined)),
+                    Ok(false) => continue,
+                    Err(e) => return Some(Err(ExecError(e.0))),
+                }
+            }
+            self.i += 1;
+            self.j = 0;
+        }
+        None
+    }
+}
+
+/// ∪ — concatenates inputs (bag semantics).
+pub struct UnionExec {
+    inputs: Vec<Box<dyn Operator>>,
+    schema: Schema,
+    current: usize,
+}
+
+impl UnionExec {
+    /// All inputs must share an arity; the first input's schema is used.
+    pub fn new(inputs: Vec<Box<dyn Operator>>) -> Result<Self, ExecError> {
+        let first = inputs
+            .first()
+            .ok_or_else(|| ExecError("union of zero inputs".to_string()))?;
+        let schema = first.schema().clone();
+        for input in &inputs {
+            if input.schema().len() != schema.len() {
+                return Err(ExecError(format!(
+                    "union arity mismatch: {} vs {}",
+                    schema,
+                    input.schema()
+                )));
+            }
+        }
+        Ok(UnionExec {
+            inputs,
+            schema,
+            current: 0,
+        })
+    }
+}
+
+impl Operator for UnionExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        while self.current < self.inputs.len() {
+            match self.inputs[self.current].next() {
+                Some(item) => return Some(item),
+                None => self.current += 1,
+            }
+        }
+        None
+    }
+}
+
+/// δ — duplicate elimination (materialising).
+pub struct DistinctExec {
+    input: Box<dyn Operator>,
+    seen: std::collections::HashSet<Tuple>,
+}
+
+impl DistinctExec {
+    pub fn new(input: Box<dyn Operator>) -> Self {
+        DistinctExec {
+            input,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl Operator for DistinctExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        loop {
+            let tuple = match self.input.next()? {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            if self.seen.insert(tuple.clone()) {
+                return Some(Ok(tuple));
+            }
+        }
+    }
+}
+
+/// Sort — materialises and sorts by key columns.
+pub struct SortExec {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl SortExec {
+    pub fn new(
+        input: Box<dyn Operator>,
+        keys: Vec<(usize, bool)>, // (column index, descending?)
+    ) -> Result<Self, ExecError> {
+        let schema = input.schema().clone();
+        let mut rows = drain(input)?;
+        rows.sort_by(|a, b| {
+            for &(index, descending) in &keys {
+                let ordering = a[index].cmp(&b[index]);
+                let ordering = if descending {
+                    ordering.reverse()
+                } else {
+                    ordering
+                };
+                if !ordering.is_eq() {
+                    return ordering;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(SortExec {
+            schema,
+            rows: rows.into_iter(),
+        })
+    }
+}
+
+impl Operator for SortExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        self.rows.next().map(Ok)
+    }
+}
+
+/// Limit — yields the first `count` tuples.
+pub struct LimitExec {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl LimitExec {
+    pub fn new(input: Box<dyn Operator>, count: usize) -> Self {
+        LimitExec {
+            input,
+            remaining: count,
+        }
+    }
+}
+
+impl Operator for LimitExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.input.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRef;
+
+    fn players() -> ScanExec {
+        ScanExec::new(
+            Schema::qualified("w1", ["id", "pName", "teamId"]),
+            vec![
+                vec![Value::Int(1), Value::str("Messi"), Value::Int(25)],
+                vec![Value::Int(2), Value::str("Lewandowski"), Value::Int(27)],
+                vec![Value::Int(3), Value::str("Unattached"), Value::Null],
+            ],
+        )
+    }
+
+    fn teams() -> ScanExec {
+        ScanExec::new(
+            Schema::qualified("w2", ["id", "name"]),
+            vec![
+                vec![Value::Int(25), Value::str("FC Barcelona")],
+                vec![Value::Int(27), Value::str("Bayern Munich")],
+                vec![Value::Int(31), Value::str("Juventus")],
+            ],
+        )
+    }
+
+    #[test]
+    fn scan_yields_all_rows() {
+        let rows = drain(Box::new(players())).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn filter_drops_nonmatching() {
+        let op = FilterExec::new(
+            Box::new(players()),
+            Expr::col("pName").eq(Expr::lit("Messi")),
+        );
+        let rows = drain(Box::new(op)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::str("Messi"));
+    }
+
+    #[test]
+    fn project_computes_and_renames() {
+        let op = ProjectExec::new(
+            Box::new(players()),
+            vec![Expr::col("pName")],
+            Schema::bare(["name"]),
+        );
+        let rows = drain(Box::new(op)).unwrap();
+        assert_eq!(rows[0], vec![Value::str("Messi")]);
+    }
+
+    #[test]
+    fn hash_join_matches_and_skips_nulls() {
+        let join = HashJoinExec::new(
+            Box::new(players()),
+            Box::new(teams()),
+            vec![2], // teamId
+            vec![0], // id
+            false,
+        )
+        .unwrap();
+        let mut rows = drain(Box::new(join)).unwrap();
+        rows.sort();
+        assert_eq!(rows.len(), 2); // Unattached (NULL teamId) drops out
+        assert_eq!(rows[0][1], Value::str("Messi"));
+        assert_eq!(rows[0][4], Value::str("FC Barcelona"));
+    }
+
+    #[test]
+    fn left_join_emits_nulls_for_unmatched() {
+        let join = HashJoinExec::new(
+            Box::new(players()),
+            Box::new(teams()),
+            vec![2],
+            vec![0],
+            true,
+        )
+        .unwrap();
+        let rows = drain(Box::new(join)).unwrap();
+        assert_eq!(rows.len(), 3);
+        let unattached = rows
+            .iter()
+            .find(|r| r[1] == Value::str("Unattached"))
+            .unwrap();
+        assert!(unattached[3].is_null());
+        assert!(unattached[4].is_null());
+    }
+
+    #[test]
+    fn nested_loop_join_with_inequality() {
+        let join = NestedLoopJoinExec::new(
+            Box::new(players()),
+            Box::new(teams()),
+            Expr::col("w1.id").binary(crate::expr::BinOp::Lt, Expr::col("w2.id")),
+        )
+        .unwrap();
+        let rows = drain(Box::new(join)).unwrap();
+        assert_eq!(rows.len(), 9); // all ids 1,2,3 < all team ids 25,27,31
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let u = UnionExec::new(vec![Box::new(teams()), Box::new(teams())]).unwrap();
+        let rows = drain(Box::new(u)).unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn union_arity_mismatch_rejected() {
+        let narrow = ScanExec::new(Schema::bare(["only"]), vec![]);
+        assert!(UnionExec::new(vec![Box::new(teams()), Box::new(narrow)]).is_err());
+    }
+
+    #[test]
+    fn union_of_zero_inputs_rejected() {
+        assert!(UnionExec::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let u = UnionExec::new(vec![Box::new(teams()), Box::new(teams())]).unwrap();
+        let d = DistinctExec::new(Box::new(u));
+        let rows = drain(Box::new(d)).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let s = SortExec::new(Box::new(teams()), vec![(1, false)]).unwrap();
+        let rows = drain(Box::new(s)).unwrap();
+        assert_eq!(rows[0][1], Value::str("Bayern Munich"));
+        let s = SortExec::new(Box::new(teams()), vec![(1, true)]).unwrap();
+        let rows = drain(Box::new(s)).unwrap();
+        assert_eq!(rows[0][1], Value::str("Juventus"));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let l = LimitExec::new(Box::new(teams()), 2);
+        let rows = drain(Box::new(l)).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn join_schema_is_qualified_concat() {
+        let join = HashJoinExec::new(
+            Box::new(players()),
+            Box::new(teams()),
+            vec![2],
+            vec![0],
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            join.schema()
+                .index_of(&ColumnRef::qualified("w2", "name"))
+                .unwrap(),
+            4
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Relation schemas: ordered, optionally qualified column names.
+
+use std::fmt;
+
+/// A column reference: an optional relation qualifier plus a column name.
+///
+/// Wrapper attributes are qualified by their wrapper (`w1.id`, `w2.id`), the
+/// form join discovery works with; projected output columns (feature names
+/// like `ex:playerName`) are typically unqualified.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    pub relation: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef {
+            relation: None,
+            name: name.into(),
+        }
+    }
+
+    /// A relation-qualified column.
+    pub fn qualified(relation: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef {
+            relation: Some(relation.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Parses `rel.name` or bare `name` notation.
+    pub fn parse(text: &str) -> Self {
+        match text.split_once('.') {
+            Some((rel, name)) if !rel.is_empty() && !name.is_empty() => {
+                ColumnRef::qualified(rel, name)
+            }
+            _ => ColumnRef::bare(text),
+        }
+    }
+
+    /// True when `self` satisfies a lookup for `wanted`: names must match,
+    /// and if `wanted` is qualified the qualifiers must match too.
+    pub fn matches(&self, wanted: &ColumnRef) -> bool {
+        if self.name != wanted.name {
+            return false;
+        }
+        match (&wanted.relation, &self.relation) {
+            (None, _) => true,
+            (Some(w), Some(r)) => w == r,
+            (Some(_), None) => false,
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.relation {
+            Some(rel) => write!(f, "{rel}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// An ordered list of column references.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnRef>,
+}
+
+impl Schema {
+    /// Builds a schema from column references.
+    pub fn new(columns: Vec<ColumnRef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Builds a schema of unqualified columns from names.
+    pub fn bare(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Schema {
+            columns: names.into_iter().map(ColumnRef::bare).collect(),
+        }
+    }
+
+    /// Builds a schema where every column is qualified by `relation`.
+    pub fn qualified(relation: &str, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Schema {
+            columns: names
+                .into_iter()
+                .map(|n| ColumnRef::qualified(relation, n))
+                .collect(),
+        }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[ColumnRef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the unique column matching `wanted`.
+    ///
+    /// Returns `Err` with a descriptive message when the column is missing or
+    /// ambiguous (an unqualified lookup that matches columns from two
+    /// relations — exactly the situation after a join of two wrapper versions
+    /// that share attribute names).
+    pub fn index_of(&self, wanted: &ColumnRef) -> Result<usize, String> {
+        let hits: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(wanted))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [index] => Ok(*index),
+            [] => Err(format!(
+                "column '{wanted}' not found in schema [{}]",
+                self.join_names(", ")
+            )),
+            _ => Err(format!(
+                "column '{wanted}' is ambiguous in schema [{}]",
+                self.join_names(", ")
+            )),
+        }
+    }
+
+    /// Concatenates two schemas (for joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// All column display names joined with `sep`.
+    pub fn join_names(&self, sep: &str) -> String {
+        self.columns
+            .iter()
+            .map(ColumnRef::to_string)
+            .collect::<Vec<_>>()
+            .join(sep)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.join_names(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_column_refs() {
+        assert_eq!(ColumnRef::parse("id"), ColumnRef::bare("id"));
+        assert_eq!(ColumnRef::parse("w1.id"), ColumnRef::qualified("w1", "id"));
+        assert_eq!(ColumnRef::parse(".x"), ColumnRef::bare(".x"));
+    }
+
+    #[test]
+    fn unqualified_lookup_matches_any_relation() {
+        let schema = Schema::qualified("w1", ["id", "pName"]);
+        assert_eq!(schema.index_of(&ColumnRef::bare("pName")).unwrap(), 1);
+    }
+
+    #[test]
+    fn qualified_lookup_requires_matching_relation() {
+        let schema = Schema::qualified("w1", ["id"]).concat(&Schema::qualified("w2", ["id"]));
+        assert_eq!(
+            schema.index_of(&ColumnRef::qualified("w2", "id")).unwrap(),
+            1
+        );
+        let err = schema.index_of(&ColumnRef::bare("id")).unwrap_err();
+        assert!(err.contains("ambiguous"));
+    }
+
+    #[test]
+    fn missing_column_error_names_schema() {
+        let schema = Schema::bare(["a", "b"]);
+        let err = schema.index_of(&ColumnRef::bare("c")).unwrap_err();
+        assert!(err.contains("'c' not found"));
+        assert!(err.contains("a, b"));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let s = Schema::qualified("w1", ["a"]).concat(&Schema::qualified("w2", ["b"]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.columns()[1], ColumnRef::qualified("w2", "b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Schema::qualified("w1", ["id", "name"]);
+        assert_eq!(s.to_string(), "(w1.id, w1.name)");
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,201 @@
+//! Materialised tables and the figure-style pretty printer.
+//!
+//! The demo "presents the execution of the query in tabular form" (§3);
+//! Table 1 of the paper is a rendering of such a result. [`Table::render`]
+//! reproduces that layout.
+
+use std::fmt;
+
+use crate::schema::{ColumnRef, Schema};
+use crate::value::{Tuple, Value};
+
+/// A fully materialised relation: schema plus rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// Creates a table, checking every row's arity against the schema.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Result<Self, String> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(format!(
+                    "row {i} has {} values but schema {schema} has {} columns",
+                    row.len(),
+                    schema.len()
+                ));
+            }
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The values of one column, by reference.
+    pub fn column(&self, wanted: &ColumnRef) -> Result<Vec<&Value>, String> {
+        let index = self.schema.index_of(wanted)?;
+        Ok(self.rows.iter().map(|row| &row[index]).collect())
+    }
+
+    /// Sorts rows lexicographically, making result comparison deterministic.
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort();
+        self
+    }
+
+    /// Renders the table with a header row and column-width alignment, the
+    /// way the MDM frontend displays query results (cf. Table 1):
+    ///
+    /// ```text
+    /// ex:teamName  | ex:playerName
+    /// -------------+--------------
+    /// FC Barcelona | Lionel Messi
+    /// ```
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(ColumnRef::to_string)
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            // Trim right-padding on the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push_row(&headers, &mut out);
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("-+-");
+            }
+            out.push_str(&"-".repeat(*width));
+        }
+        out.push('\n');
+        for row in &rendered_rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_one() -> Table {
+        // The paper's Table 1, verbatim.
+        Table::new(
+            Schema::bare(["ex:teamName", "ex:playerName"]),
+            vec![
+                vec![Value::str("FC Barcelona"), Value::str("Lionel Messi")],
+                vec![
+                    Value::str("Bayern Munich"),
+                    Value::str("Robert Lewandowski"),
+                ],
+                vec![
+                    Value::str("Manchester United"),
+                    Value::str("Zlatan Ibrahimovic"),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Table::new(
+            Schema::bare(["a"]),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap_err();
+        assert!(err.contains("2 values"));
+    }
+
+    #[test]
+    fn render_matches_figure_layout() {
+        let rendered = table_one().render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "ex:teamName       | ex:playerName");
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[1].contains("-+-"));
+        assert_eq!(lines[2], "FC Barcelona      | Lionel Messi");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = table_one();
+        let teams = t.column(&ColumnRef::bare("ex:teamName")).unwrap();
+        assert_eq!(teams.len(), 3);
+        assert_eq!(teams[0].as_str(), Some("FC Barcelona"));
+        assert!(t.column(&ColumnRef::bare("nope")).is_err());
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let t = table_one().sorted();
+        assert_eq!(t.rows()[0][0].as_str(), Some("Bayern Munich"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::empty(Schema::bare(["x"]));
+        let lines: Vec<String> = t.render().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "x");
+    }
+}

@@ -1,0 +1,266 @@
+//! Relational values and tuples.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed relational value.
+///
+/// Wrapper rows are dynamically typed (their source APIs are schemaless JSON
+/// and XML), so the engine types values per cell. Integers and floats compare
+/// and join across types (`25` joins `25.0`): REST APIs routinely disagree on
+/// numeric representation across versions, and joins over identifiers must
+/// survive that.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats); `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a scalar from the flat text produced by
+    /// `mdm_dataform::flatten`: empty → null, then int, float, bool, string.
+    pub fn from_text(text: &str) -> Value {
+        if text.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            if text == i.to_string() {
+                return Value::Int(i);
+            }
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            if let Ok(f) = text.parse::<f64>() {
+                return Value::Float(f);
+            }
+        }
+        match text {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::str(text),
+        }
+    }
+
+    /// A rank for cross-type ordering: null < bool < numeric < string.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Cross-type numeric equality via f64.
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => {
+                if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+                    // total_cmp keeps NaN ordered instead of panicking.
+                    x.total_cmp(&y)
+                } else {
+                    a.type_rank().cmp(&b.type_rank())
+                }
+            }
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with the coercing equality: every numeric hashes
+        // through its f64 bit pattern (ints are exact in f64 up to 2^53;
+        // identifier values are far below that).
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(_) | Value::Float(_) => {
+                2u8.hash(state);
+                let f = self.as_f64().expect("numeric");
+                // Normalise -0.0 to 0.0 so they hash identically (they are ==).
+                let f = if f == 0.0 { 0.0 } else { f };
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A row: one value per schema column.
+pub type Tuple = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(25), Value::Float(25.0));
+        assert_ne!(Value::Int(25), Value::Float(25.5));
+        assert_ne!(Value::Int(25), Value::str("25"));
+    }
+
+    #[test]
+    fn hash_agrees_with_coercing_equality() {
+        let mut map: HashMap<Value, &str> = HashMap::new();
+        map.insert(Value::Int(25), "team");
+        assert_eq!(map.get(&Value::Float(25.0)), Some(&"team"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_ranked() {
+        let mut values = [
+            Value::str("z"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(0.5),
+        ];
+        values.sort();
+        assert!(values[0].is_null());
+        assert_eq!(values[1], Value::Bool(true));
+        assert_eq!(values[2], Value::Float(0.5));
+        assert_eq!(values[3], Value::Int(1));
+        assert_eq!(values[4], Value::str("z"));
+    }
+
+    #[test]
+    fn from_text_types_correctly() {
+        assert_eq!(Value::from_text(""), Value::Null);
+        assert_eq!(Value::from_text("159"), Value::Int(159));
+        assert_eq!(Value::from_text("170.18"), Value::Float(170.18));
+        assert_eq!(Value::from_text("true"), Value::Bool(true));
+        assert_eq!(Value::from_text("left"), Value::str("left"));
+        assert_eq!(Value::from_text("007"), Value::str("007"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Int(25).to_string(), "25");
+        assert_eq!(Value::Float(25.0).to_string(), "25.0");
+        assert_eq!(Value::str("FCB").to_string(), "FCB");
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        let mut map: HashMap<Value, ()> = HashMap::new();
+        map.insert(Value::Float(0.0), ());
+        assert!(map.contains_key(&Value::Float(-0.0)));
+        assert!(map.contains_key(&Value::Int(0)));
+    }
+}

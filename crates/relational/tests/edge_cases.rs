@@ -1,0 +1,235 @@
+//! Edge-case tests for the relational engine: NULL semantics through whole
+//! pipelines, empty inputs, duplicate-heavy joins, and plan-level errors.
+
+use mdm_relational::algebra::Plan;
+use mdm_relational::expr::{BinOp, Expr};
+use mdm_relational::schema::{ColumnRef, Schema};
+use mdm_relational::{Executor, MemoryCatalog, Table, Value};
+
+fn register(catalog: &mut MemoryCatalog, name: &str, columns: &[&str], rows: Vec<Vec<Value>>) {
+    catalog.register(
+        name,
+        Table::new(Schema::qualified(name, columns.to_vec()), rows).unwrap(),
+    );
+}
+
+#[test]
+fn empty_inputs_flow_through_every_operator() {
+    let mut catalog = MemoryCatalog::new();
+    register(&mut catalog, "e", &["k", "v"], vec![]);
+    register(
+        &mut catalog,
+        "f",
+        &["k", "v"],
+        vec![vec![Value::Int(1), Value::str("x")]],
+    );
+    let executor = Executor::new(&catalog);
+    let join = Plan::scan("e").join(
+        Plan::scan("f"),
+        vec![(
+            ColumnRef::qualified("e", "k"),
+            ColumnRef::qualified("f", "k"),
+        )],
+    );
+    assert!(executor.run(&join).unwrap().is_empty());
+    let union = Plan::union(vec![Plan::scan("e"), Plan::scan("f")]);
+    assert_eq!(executor.run(&union).unwrap().len(), 1);
+    let chained = Plan::scan("e")
+        .filter(Expr::col("v").eq(Expr::lit("x")))
+        .distinct()
+        .sort_by(&["e.k"])
+        .limit(10)
+        .project_named(&[("e.v", "out")]);
+    assert!(executor.run(&chained).unwrap().is_empty());
+}
+
+#[test]
+fn null_keys_never_join_but_null_payloads_pass_through() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "l",
+        &["k", "v"],
+        vec![
+            vec![Value::Null, Value::str("null-key")],
+            vec![Value::Int(1), Value::Null],
+        ],
+    );
+    register(
+        &mut catalog,
+        "r",
+        &["k", "w"],
+        vec![
+            vec![Value::Null, Value::str("also-null")],
+            vec![Value::Int(1), Value::str("matched")],
+        ],
+    );
+    let plan = Plan::scan("l").join(
+        Plan::scan("r"),
+        vec![(
+            ColumnRef::qualified("l", "k"),
+            ColumnRef::qualified("r", "k"),
+        )],
+    );
+    let table = Executor::new(&catalog).run(&plan).unwrap();
+    // Only the k=1 pair joins; NULL=NULL does not.
+    assert_eq!(table.len(), 1);
+    assert!(table.rows()[0][1].is_null()); // the NULL payload survives
+    assert_eq!(table.rows()[0][3], Value::str("matched"));
+}
+
+#[test]
+fn duplicate_heavy_join_produces_cross_products_per_key() {
+    let mut catalog = MemoryCatalog::new();
+    let threes = vec![
+        vec![Value::Int(7), Value::str("a")],
+        vec![Value::Int(7), Value::str("b")],
+        vec![Value::Int(7), Value::str("c")],
+    ];
+    register(&mut catalog, "x", &["k", "v"], threes.clone());
+    register(&mut catalog, "y", &["k", "v"], threes);
+    let plan = Plan::scan("x").join(
+        Plan::scan("y"),
+        vec![(
+            ColumnRef::qualified("x", "k"),
+            ColumnRef::qualified("y", "k"),
+        )],
+    );
+    assert_eq!(Executor::new(&catalog).run(&plan).unwrap().len(), 9);
+}
+
+#[test]
+fn multi_key_join_requires_all_keys() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "a",
+        &["k1", "k2", "v"],
+        vec![
+            vec![Value::Int(1), Value::Int(1), Value::str("both")],
+            vec![Value::Int(1), Value::Int(2), Value::str("half")],
+        ],
+    );
+    register(
+        &mut catalog,
+        "b",
+        &["k1", "k2"],
+        vec![vec![Value::Int(1), Value::Int(1)]],
+    );
+    let plan = Plan::scan("a").join(
+        Plan::scan("b"),
+        vec![
+            (
+                ColumnRef::qualified("a", "k1"),
+                ColumnRef::qualified("b", "k1"),
+            ),
+            (
+                ColumnRef::qualified("a", "k2"),
+                ColumnRef::qualified("b", "k2"),
+            ),
+        ],
+    );
+    let table = Executor::new(&catalog).run(&plan).unwrap();
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.rows()[0][2], Value::str("both"));
+}
+
+#[test]
+fn projection_expressions_compute() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "m",
+        &["height_cm"],
+        vec![vec![Value::Float(170.18)], vec![Value::Int(184)]],
+    );
+    let plan = Plan::scan("m").project(vec![(
+        Expr::col("height_cm").binary(BinOp::Div, Expr::lit(100.0)),
+        ColumnRef::bare("height_m"),
+    )]);
+    let table = Executor::new(&catalog).run(&plan).unwrap();
+    assert_eq!(table.rows()[0][0], Value::Float(1.7018));
+    assert_eq!(table.rows()[1][0], Value::Float(1.84));
+}
+
+#[test]
+fn filter_type_error_surfaces_not_panics() {
+    let mut catalog = MemoryCatalog::new();
+    register(&mut catalog, "t", &["v"], vec![vec![Value::str("text")]]);
+    // v + 1 on a string is an evaluation error.
+    let plan = Plan::scan("t").filter(
+        Expr::col("v")
+            .binary(BinOp::Add, Expr::lit(1i64))
+            .eq(Expr::lit(2i64)),
+    );
+    let err = Executor::new(&catalog).run(&plan).unwrap_err();
+    assert!(err.0.contains("arithmetic"), "{err}");
+}
+
+#[test]
+fn union_of_projections_with_matching_width() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "p",
+        &["a", "b"],
+        vec![vec![Value::Int(1), Value::Int(2)]],
+    );
+    register(&mut catalog, "q", &["c"], vec![vec![Value::Int(3)]]);
+    // Arms with different base widths unify after projection.
+    let plan = Plan::union(vec![
+        Plan::scan("p").project_named(&[("p.a", "out")]),
+        Plan::scan("q").project_named(&[("q.c", "out")]),
+    ]);
+    let table = Executor::new(&catalog).run(&plan).unwrap();
+    assert_eq!(table.len(), 2);
+}
+
+#[test]
+fn deep_plan_nesting_executes() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "base",
+        &["k"],
+        (0..50).map(|i| vec![Value::Int(i)]).collect(),
+    );
+    // 20 stacked filters.
+    let mut plan = Plan::scan("base");
+    for i in 0..20 {
+        plan = plan.filter(Expr::col("k").binary(BinOp::Ne, Expr::lit(i as i64)));
+    }
+    let table = Executor::new(&catalog).run(&plan).unwrap();
+    assert_eq!(table.len(), 30);
+}
+
+#[test]
+fn sort_with_mixed_types_is_total() {
+    let mut catalog = MemoryCatalog::new();
+    register(
+        &mut catalog,
+        "mixed",
+        &["v"],
+        vec![
+            vec![Value::str("z")],
+            vec![Value::Int(5)],
+            vec![Value::Null],
+            vec![Value::Bool(true)],
+            vec![Value::Float(2.5)],
+        ],
+    );
+    let table = Executor::new(&catalog)
+        .run(&Plan::scan("mixed").sort_by(&["mixed.v"]))
+        .unwrap();
+    // Rank order: null < bool < numeric < string.
+    assert!(table.rows()[0][0].is_null());
+    assert_eq!(table.rows()[1][0], Value::Bool(true));
+    assert_eq!(table.rows()[4][0], Value::str("z"));
+}
+
+#[test]
+fn table_render_handles_wide_values() {
+    let table = Table::new(Schema::bare(["a"]), vec![vec![Value::str("x".repeat(200))]]).unwrap();
+    let rendered = table.render();
+    assert!(rendered.lines().nth(2).unwrap().len() >= 200);
+}

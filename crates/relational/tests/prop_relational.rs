@@ -1,0 +1,188 @@
+//! Property tests for the relational engine: algebraic laws of the physical
+//! operators and semantics preservation by the optimizer.
+
+use proptest::prelude::*;
+
+use mdm_relational::algebra::Plan;
+use mdm_relational::expr::{BinOp, Expr};
+use mdm_relational::optimizer::{NoStatistics, Optimizer};
+use mdm_relational::schema::{ColumnRef, Schema};
+use mdm_relational::{Catalog, Executor, MemoryCatalog, Table, Value};
+
+/// A random table with columns (k, v) — k from a small domain so joins hit.
+fn arb_table(relation: &'static str) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0i64..8, -50i64..50), 0..20).prop_map(move |rows| {
+        Table::new(
+            Schema::qualified(relation, ["k", "v"]),
+            rows.into_iter()
+                .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+                .collect(),
+        )
+        .expect("arity matches")
+    })
+}
+
+fn catalog(a: Table, b: Table) -> MemoryCatalog {
+    let mut catalog = MemoryCatalog::new();
+    catalog.register("a", a);
+    catalog.register("b", b);
+    catalog
+}
+
+/// Projects a result to a sorted multiset of strings for order-insensitive
+/// comparison.
+fn canonical(table: &Table, columns: &[&str]) -> Vec<Vec<String>> {
+    let indexes: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(&ColumnRef::parse(c)).unwrap())
+        .collect();
+    let mut rows: Vec<Vec<String>> = table
+        .rows()
+        .iter()
+        .map(|row| indexes.iter().map(|&i| row[i].to_string()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    /// Join is commutative (modulo column order).
+    #[test]
+    fn join_commutes(a in arb_table("a"), b in arb_table("b")) {
+        let catalog = catalog(a, b);
+        let executor = Executor::new(&catalog);
+        let ab = Plan::scan("a").join(
+            Plan::scan("b"),
+            vec![(ColumnRef::qualified("a", "k"), ColumnRef::qualified("b", "k"))],
+        );
+        let ba = Plan::scan("b").join(
+            Plan::scan("a"),
+            vec![(ColumnRef::qualified("b", "k"), ColumnRef::qualified("a", "k"))],
+        );
+        let left = executor.run(&ab).unwrap();
+        let right = executor.run(&ba).unwrap();
+        prop_assert_eq!(
+            canonical(&left, &["a.k", "a.v", "b.v"]),
+            canonical(&right, &["a.k", "a.v", "b.v"])
+        );
+    }
+
+    /// |A ⋈ B| equals the sum over keys of |A_k|·|B_k|.
+    #[test]
+    fn join_cardinality_formula(a in arb_table("a"), b in arb_table("b")) {
+        use std::collections::HashMap;
+        let mut a_hist: HashMap<i64, usize> = HashMap::new();
+        for row in a.rows() {
+            if let Value::Int(k) = row[0] {
+                *a_hist.entry(k).or_default() += 1;
+            }
+        }
+        let mut expected = 0usize;
+        for row in b.rows() {
+            if let Value::Int(k) = row[0] {
+                expected += a_hist.get(&k).copied().unwrap_or(0);
+            }
+        }
+        let catalog = catalog(a, b);
+        let plan = Plan::scan("a").join(
+            Plan::scan("b"),
+            vec![(ColumnRef::qualified("a", "k"), ColumnRef::qualified("b", "k"))],
+        );
+        let result = Executor::new(&catalog).run(&plan).unwrap();
+        prop_assert_eq!(result.len(), expected);
+    }
+
+    /// Union length is the sum; distinct is idempotent and ≤ input.
+    #[test]
+    fn union_and_distinct_laws(a in arb_table("a"), b in arb_table("b")) {
+        let a_len = a.len();
+        let b_len = b.len();
+        let catalog = {
+            // Same schema for both arms: re-qualify b's columns as "a".
+            let b_rows = b.rows().to_vec();
+            let b_as_a = Table::new(Schema::qualified("a", ["k", "v"]), b_rows).unwrap();
+            let mut c = MemoryCatalog::new();
+            c.register("a", a);
+            c.register("b", b_as_a);
+            c
+        };
+        let executor = Executor::new(&catalog);
+        let union = Plan::union(vec![Plan::scan("a"), Plan::scan("b")]);
+        let all = executor.run(&union).unwrap();
+        prop_assert_eq!(all.len(), a_len + b_len);
+        let d1 = executor.run(&union.clone().distinct()).unwrap();
+        let d2 = executor.run(&union.distinct().distinct()).unwrap();
+        prop_assert!(d1.len() <= all.len());
+        prop_assert_eq!(d1.len(), d2.len());
+    }
+
+    /// σ commutes with itself and conjunction splits.
+    #[test]
+    fn filter_laws(a in arb_table("a"), threshold in -50i64..50) {
+        let catalog = {
+            let mut c = MemoryCatalog::new();
+            c.register("a", a);
+            c
+        };
+        let executor = Executor::new(&catalog);
+        let p1 = Expr::col("a.v").binary(BinOp::Gt, Expr::lit(threshold));
+        let p2 = Expr::col("a.k").binary(BinOp::Le, Expr::lit(4i64));
+        let seq = Plan::scan("a").filter(p1.clone()).filter(p2.clone());
+        let swapped = Plan::scan("a").filter(p2.clone()).filter(p1.clone());
+        let conj = Plan::scan("a").filter(p1.and(p2));
+        let r_seq = executor.run(&seq).unwrap();
+        let r_swapped = executor.run(&swapped).unwrap();
+        let r_conj = executor.run(&conj).unwrap();
+        prop_assert_eq!(canonical(&r_seq, &["a.k", "a.v"]), canonical(&r_swapped, &["a.k", "a.v"]));
+        prop_assert_eq!(canonical(&r_seq, &["a.k", "a.v"]), canonical(&r_conj, &["a.k", "a.v"]));
+    }
+
+    /// The optimizer never changes results.
+    #[test]
+    fn optimizer_preserves_semantics(
+        a in arb_table("a"),
+        b in arb_table("b"),
+        threshold in -50i64..50,
+    ) {
+        let catalog = catalog(a, b);
+        let resolve = |name: &str| catalog.relation_schema(name);
+        let plan = Plan::scan("a")
+            .join(
+                Plan::scan("b"),
+                vec![(ColumnRef::qualified("a", "k"), ColumnRef::qualified("b", "k"))],
+            )
+            .filter(Expr::col("a.v").binary(BinOp::Gt, Expr::lit(threshold)))
+            .project(vec![
+                (Expr::col("a.k"), ColumnRef::bare("k")),
+                (Expr::col("b.v"), ColumnRef::bare("bv")),
+            ]);
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimized = optimizer.optimize(plan.clone());
+        let executor = Executor::new(&catalog);
+        let before = executor.run(&plan).unwrap();
+        let after = executor.run(&optimized).unwrap();
+        prop_assert_eq!(canonical(&before, &["k", "bv"]), canonical(&after, &["k", "bv"]));
+    }
+
+    /// Sort is stable w.r.t. the full-row order and limit truncates.
+    #[test]
+    fn sort_limit_laws(a in arb_table("a"), n in 0usize..25) {
+        let a_len = a.len();
+        let catalog = {
+            let mut c = MemoryCatalog::new();
+            c.register("a", a);
+            c
+        };
+        let executor = Executor::new(&catalog);
+        let sorted = executor
+            .run(&Plan::scan("a").sort_by(&["a.v", "a.k"]))
+            .unwrap();
+        for pair in sorted.rows().windows(2) {
+            prop_assert!(pair[0][1] <= pair[1][1]);
+        }
+        let limited = executor
+            .run(&Plan::scan("a").sort_by(&["a.v"]).limit(n))
+            .unwrap();
+        prop_assert_eq!(limited.len(), n.min(a_len));
+    }
+}

@@ -1,0 +1,193 @@
+//! The SPARQL abstract syntax tree.
+
+use mdm_rdf::pattern::TriplePattern;
+use mdm_rdf::{Iri, Term};
+
+/// Which result form the query uses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT ?a ?b` (empty projection list means `SELECT *`).
+    Select {
+        distinct: bool,
+        variables: Vec<String>,
+    },
+    /// `ASK`.
+    Ask,
+}
+
+/// The graph a pattern block is matched against.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphTarget {
+    /// The dataset's active (default) graph.
+    Active,
+    /// `GRAPH <iri> { … }`.
+    Named(Iri),
+    /// `GRAPH ?g { … }` — iterate all named graphs, binding `?g`.
+    Variable(String),
+}
+
+/// A graph pattern (the contents of a `WHERE` clause or nested block).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<TriplePattern>),
+    /// Sequential conjunction of sub-patterns (joins their solutions).
+    Group(Vec<GraphPattern>),
+    /// `OPTIONAL { … }` (left join).
+    Optional(Box<GraphPattern>),
+    /// `{ … } UNION { … }`.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// `FILTER expr`.
+    Filter(Expression, Box<GraphPattern>),
+    /// `GRAPH target { … }`.
+    Graph(GraphTarget, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    /// All variables mentioned in triple patterns, in first-use order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        let mut push = |v: &str| {
+            if !out.iter().any(|existing| existing == v) {
+                out.push(v.to_string());
+            }
+        };
+        match self {
+            GraphPattern::Bgp(patterns) => {
+                for pattern in patterns {
+                    for v in pattern.variables() {
+                        push(v);
+                    }
+                }
+            }
+            GraphPattern::Group(parts) => {
+                for part in parts {
+                    part.collect_variables(out);
+                }
+            }
+            GraphPattern::Optional(inner) => inner.collect_variables(out),
+            GraphPattern::Union(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            GraphPattern::Filter(_, inner) => inner.collect_variables(out),
+            GraphPattern::Graph(target, inner) => {
+                if let GraphTarget::Variable(v) = target {
+                    push(v);
+                }
+                inner.collect_variables(out);
+            }
+        }
+    }
+}
+
+/// Comparison operators in FILTER expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A FILTER expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Variable(String),
+    /// A constant term.
+    Constant(Term),
+    /// Binary comparison.
+    Compare(CompareOp, Box<Expression>, Box<Expression>),
+    /// Conjunction.
+    And(Box<Expression>, Box<Expression>),
+    /// Disjunction.
+    Or(Box<Expression>, Box<Expression>),
+    /// Negation.
+    Not(Box<Expression>),
+    /// `BOUND(?v)`.
+    Bound(String),
+    /// `REGEX(str, pattern)` — substring / anchored-wildcard match.
+    Regex(Box<Expression>, String),
+    /// `STR(expr)` — the lexical form as a plain string.
+    Str(Box<Expression>),
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub form: QueryForm,
+    pub pattern: GraphPattern,
+    pub order_by: Vec<(String, bool)>, // (variable, descending)
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// The variables the query projects (expanding `SELECT *` against the
+    /// pattern's variables).
+    pub fn projected_variables(&self) -> Vec<String> {
+        match &self.form {
+            QueryForm::Select { variables, .. } if !variables.is_empty() => variables.clone(),
+            _ => self.pattern.variables(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_rdf::pattern::PatternTerm;
+
+    #[test]
+    fn variables_collected_in_order() {
+        let pattern = GraphPattern::Bgp(vec![
+            TriplePattern::new(
+                PatternTerm::var("p"),
+                Term::iri("ex:name"),
+                PatternTerm::var("n"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("p"),
+                Term::iri("ex:team"),
+                PatternTerm::var("t"),
+            ),
+        ]);
+        assert_eq!(pattern.variables(), vec!["p", "n", "t"]);
+    }
+
+    #[test]
+    fn graph_variable_is_collected() {
+        let pattern = GraphPattern::Graph(
+            GraphTarget::Variable("g".to_string()),
+            Box::new(GraphPattern::Bgp(vec![])),
+        );
+        assert_eq!(pattern.variables(), vec!["g"]);
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let q = Query {
+            form: QueryForm::Select {
+                distinct: false,
+                variables: vec![],
+            },
+            pattern: GraphPattern::Bgp(vec![TriplePattern::new(
+                PatternTerm::var("s"),
+                PatternTerm::var("p"),
+                PatternTerm::var("o"),
+            )]),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(q.projected_variables(), vec!["s", "p", "o"]);
+    }
+}

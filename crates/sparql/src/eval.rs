@@ -1,0 +1,669 @@
+//! The SPARQL evaluator.
+//!
+//! Evaluation is solution-set based: a [`GraphPattern`] maps a sequence of
+//! partial bindings to an extended sequence. BGPs fold triple patterns
+//! left-to-right (index-backed matching from `mdm-rdf`), OPTIONAL is a left
+//! join, UNION concatenates, FILTER drops rows whose expression is not
+//! *true* (error → false, per SPARQL's effective boolean value rules).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use mdm_rdf::dataset::Dataset;
+use mdm_rdf::graph::Graph;
+use mdm_rdf::pattern::Bindings;
+use mdm_rdf::term::{xsd, Term};
+
+use crate::ast::{CompareOp, Expression, GraphPattern, GraphTarget, Query, QueryForm};
+use crate::parser::parse_query;
+use crate::result::{Solution, Solutions};
+
+/// An evaluation error (cascades parser errors for the convenience APIs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sparql evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Parses and executes `query` against a dataset. The active graph is the
+/// dataset's default graph; `GRAPH` blocks switch to named graphs.
+pub fn execute(query: &str, dataset: &Dataset) -> Result<Solutions, EvalError> {
+    let parsed = parse_query(query).map_err(|e| EvalError(e.to_string()))?;
+    execute_parsed(&parsed, dataset)
+}
+
+/// Executes against a bare graph (wrapped as the default graph).
+pub fn execute_select_on_graph(query: &str, graph: &Graph) -> Result<Solutions, EvalError> {
+    let mut dataset = Dataset::new();
+    dataset.default_graph_mut().extend_from(graph);
+    execute(query, &dataset)
+}
+
+/// Executes an already-parsed query.
+pub fn execute_parsed(query: &Query, dataset: &Dataset) -> Result<Solutions, EvalError> {
+    let seed = vec![Bindings::new()];
+    let mut rows = eval_pattern(&query.pattern, dataset, dataset.default_graph(), seed);
+
+    // ORDER BY.
+    if !query.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (variable, descending) in &query.order_by {
+                let ordering = compare_optional_terms(a.get(variable), b.get(variable));
+                let ordering = if *descending {
+                    ordering.reverse()
+                } else {
+                    ordering
+                };
+                if ordering != Ordering::Equal {
+                    return ordering;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // OFFSET / LIMIT.
+    let offset = query.offset.unwrap_or(0);
+    let rows: Vec<Bindings> = rows
+        .into_iter()
+        .skip(offset)
+        .take(query.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    match &query.form {
+        QueryForm::Ask => {
+            // ASK renders as a single boolean row under variable "ask".
+            let mut solutions = Solutions::empty(vec!["ask".to_string()]);
+            let mut row = Solution::new();
+            row.insert(
+                "ask".to_string(),
+                Term::Literal(mdm_rdf::term::Literal::boolean(!rows.is_empty())),
+            );
+            solutions.rows.push(row);
+            Ok(solutions)
+        }
+        QueryForm::Select {
+            distinct,
+            variables,
+        } => {
+            let projected = if variables.is_empty() {
+                query.pattern.variables()
+            } else {
+                variables.clone()
+            };
+            let mut out_rows: Vec<Solution> = rows
+                .into_iter()
+                .map(|bindings| {
+                    projected
+                        .iter()
+                        .filter_map(|v| bindings.get(v).map(|t| (v.clone(), t.clone())))
+                        .collect::<Solution>()
+                })
+                .collect();
+            if *distinct {
+                let mut seen = std::collections::BTreeSet::new();
+                out_rows.retain(|row| seen.insert(row.clone()));
+            }
+            Ok(Solutions {
+                variables: projected,
+                rows: out_rows,
+            })
+        }
+    }
+}
+
+/// Orders possibly-unbound terms: unbound < bound, then term order with
+/// numeric literals compared numerically.
+fn compare_optional_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => match (numeric_value(x), numeric_value(y)) {
+            (Some(nx), Some(ny)) => nx.total_cmp(&ny),
+            _ => x.cmp(y),
+        },
+    }
+}
+
+fn numeric_value(term: &Term) -> Option<f64> {
+    let literal = term.as_literal()?;
+    match literal.datatype().as_str() {
+        xsd::INTEGER | xsd::DOUBLE => literal.as_f64(),
+        _ => None,
+    }
+}
+
+/// Core recursion: evaluates `pattern` under each binding in `input` against
+/// `active` (the current graph), with `dataset` available for GRAPH blocks.
+fn eval_pattern(
+    pattern: &GraphPattern,
+    dataset: &Dataset,
+    active: &Graph,
+    input: Vec<Bindings>,
+) -> Vec<Bindings> {
+    match pattern {
+        GraphPattern::Bgp(triples) => {
+            let mut solutions = input;
+            for triple in triples {
+                let mut next = Vec::new();
+                for bindings in &solutions {
+                    next.extend(triple.match_against(active, bindings));
+                }
+                solutions = next;
+                if solutions.is_empty() {
+                    break;
+                }
+            }
+            solutions
+        }
+        GraphPattern::Group(parts) => {
+            let mut solutions = input;
+            for part in parts {
+                solutions = eval_pattern(part, dataset, active, solutions);
+                if solutions.is_empty() {
+                    break;
+                }
+            }
+            solutions
+        }
+        GraphPattern::Optional(inner) => {
+            let mut out = Vec::new();
+            for bindings in input {
+                let extended = eval_pattern(inner, dataset, active, vec![bindings.clone()]);
+                if extended.is_empty() {
+                    out.push(bindings);
+                } else {
+                    out.extend(extended);
+                }
+            }
+            out
+        }
+        GraphPattern::Union(a, b) => {
+            let mut out = eval_pattern(a, dataset, active, input.clone());
+            out.extend(eval_pattern(b, dataset, active, input));
+            out
+        }
+        GraphPattern::Filter(expression, inner) => {
+            let solutions = eval_pattern(inner, dataset, active, input);
+            solutions
+                .into_iter()
+                .filter(|bindings| effective_boolean(expression, bindings))
+                .collect()
+        }
+        GraphPattern::Graph(target, inner) => match target {
+            GraphTarget::Active => eval_pattern(inner, dataset, active, input),
+            GraphTarget::Named(iri) => match dataset.named_graph(iri) {
+                Some(graph) => eval_pattern(inner, dataset, graph, input),
+                None => Vec::new(),
+            },
+            GraphTarget::Variable(variable) => {
+                let mut out = Vec::new();
+                let names: Vec<_> = dataset.graph_names().cloned().collect();
+                for name in names {
+                    let graph = dataset
+                        .named_graph(&name)
+                        .expect("name enumerated from dataset");
+                    let name_term = Term::Iri(name.clone());
+                    // Respect an existing binding of the graph variable.
+                    let seeds: Vec<Bindings> = input
+                        .iter()
+                        .filter(|b| match b.get(variable) {
+                            Some(existing) => *existing == name_term,
+                            None => true,
+                        })
+                        .map(|b| {
+                            let mut b = b.clone();
+                            b.insert(variable.clone(), name_term.clone());
+                            b
+                        })
+                        .collect();
+                    out.extend(eval_pattern(inner, dataset, graph, seeds));
+                }
+                out
+            }
+        },
+    }
+}
+
+/// SPARQL effective boolean value: errors (type mismatch, unbound variable
+/// outside BOUND) make the filter reject the row.
+fn effective_boolean(expression: &Expression, bindings: &Bindings) -> bool {
+    matches!(
+        eval_expression(expression, bindings),
+        Ok(ExprValue::Bool(true))
+    )
+}
+
+/// Evaluated expression values.
+enum ExprValue {
+    Term(Term),
+    Bool(bool),
+    Str(String),
+}
+
+fn eval_expression(expression: &Expression, bindings: &Bindings) -> Result<ExprValue, EvalError> {
+    match expression {
+        Expression::Variable(v) => bindings
+            .get(v)
+            .cloned()
+            .map(ExprValue::Term)
+            .ok_or_else(|| EvalError(format!("unbound variable ?{v}"))),
+        Expression::Constant(t) => Ok(ExprValue::Term(t.clone())),
+        Expression::Bound(v) => Ok(ExprValue::Bool(bindings.contains_key(v))),
+        Expression::Not(inner) => match eval_expression(inner, bindings)? {
+            ExprValue::Bool(b) => Ok(ExprValue::Bool(!b)),
+            ExprValue::Term(t) => Ok(ExprValue::Bool(!term_truthiness(&t)?)),
+            _ => Err(EvalError("! applied to non-boolean".to_string())),
+        },
+        Expression::And(a, b) => {
+            let left = coerce_bool(eval_expression(a, bindings)?)?;
+            if !left {
+                return Ok(ExprValue::Bool(false));
+            }
+            Ok(ExprValue::Bool(coerce_bool(eval_expression(b, bindings)?)?))
+        }
+        Expression::Or(a, b) => {
+            let left = coerce_bool(eval_expression(a, bindings)?)?;
+            if left {
+                return Ok(ExprValue::Bool(true));
+            }
+            Ok(ExprValue::Bool(coerce_bool(eval_expression(b, bindings)?)?))
+        }
+        Expression::Str(inner) => {
+            let value = eval_expression(inner, bindings)?;
+            Ok(ExprValue::Str(match value {
+                ExprValue::Term(t) => match t {
+                    Term::Iri(iri) => iri.as_str().to_string(),
+                    Term::Literal(lit) => lit.lexical().to_string(),
+                    Term::Blank(b) => b.label().to_string(),
+                },
+                ExprValue::Str(s) => s,
+                ExprValue::Bool(b) => b.to_string(),
+            }))
+        }
+        Expression::Regex(target, pattern) => {
+            let text = match eval_expression(&Expression::Str((*target).clone()), bindings)? {
+                ExprValue::Str(s) => s,
+                _ => unreachable!("Str always yields Str"),
+            };
+            Ok(ExprValue::Bool(regex_lite(&text, pattern)))
+        }
+        Expression::Compare(op, a, b) => {
+            let left = eval_expression(a, bindings)?;
+            let right = eval_expression(b, bindings)?;
+            let ordering = compare_values(&left, &right)?;
+            let result = match op {
+                CompareOp::Eq => ordering == Ordering::Equal,
+                CompareOp::Ne => ordering != Ordering::Equal,
+                CompareOp::Lt => ordering == Ordering::Less,
+                CompareOp::Le => ordering != Ordering::Greater,
+                CompareOp::Gt => ordering == Ordering::Greater,
+                CompareOp::Ge => ordering != Ordering::Less,
+            };
+            Ok(ExprValue::Bool(result))
+        }
+    }
+}
+
+fn coerce_bool(value: ExprValue) -> Result<bool, EvalError> {
+    match value {
+        ExprValue::Bool(b) => Ok(b),
+        ExprValue::Term(t) => term_truthiness(&t),
+        _ => Err(EvalError("expected boolean".to_string())),
+    }
+}
+
+fn term_truthiness(term: &Term) -> Result<bool, EvalError> {
+    match term {
+        Term::Literal(lit) => lit
+            .as_bool()
+            .ok_or_else(|| EvalError(format!("'{lit}' is not boolean"))),
+        _ => Err(EvalError("non-literal in boolean position".to_string())),
+    }
+}
+
+fn compare_values(a: &ExprValue, b: &ExprValue) -> Result<Ordering, EvalError> {
+    // Numeric comparison when both sides coerce to numbers; string
+    // comparison when both are stringy; RDF-term comparison otherwise.
+    let num = |v: &ExprValue| -> Option<f64> {
+        match v {
+            ExprValue::Term(t) => numeric_value(t),
+            _ => None,
+        }
+    };
+    if let (Some(x), Some(y)) = (num(a), num(b)) {
+        return Ok(x.total_cmp(&y));
+    }
+    let string = |v: &ExprValue| -> Option<String> {
+        match v {
+            ExprValue::Str(s) => Some(s.clone()),
+            ExprValue::Term(Term::Literal(l)) if l.datatype().as_str() == xsd::STRING => {
+                Some(l.lexical().to_string())
+            }
+            _ => None,
+        }
+    };
+    if let (Some(x), Some(y)) = (string(a), string(b)) {
+        return Ok(x.cmp(&y));
+    }
+    match (a, b) {
+        (ExprValue::Term(x), ExprValue::Term(y)) => Ok(x.cmp(y)),
+        (ExprValue::Bool(x), ExprValue::Bool(y)) => Ok(x.cmp(y)),
+        _ => Err(EvalError("incomparable values".to_string())),
+    }
+}
+
+/// A tiny regex: supports plain substring search plus `^`/`$` anchors and
+/// `.*` wildcards — the patterns MDM's interface generates.
+fn regex_lite(text: &str, pattern: &str) -> bool {
+    let (anchored_start, pattern) = match pattern.strip_prefix('^') {
+        Some(rest) => (true, rest),
+        None => (false, pattern),
+    };
+    let (anchored_end, pattern) = match pattern.strip_suffix('$') {
+        Some(rest) => (true, rest),
+        None => (false, pattern),
+    };
+    let parts: Vec<&str> = pattern.split(".*").collect();
+    // Match parts in order.
+    let mut position = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        match text[position..].find(part) {
+            Some(found) => {
+                if i == 0 && anchored_start && found != 0 {
+                    return false;
+                }
+                position += found + part.len();
+            }
+            None => return false,
+        }
+    }
+    if anchored_end {
+        if let Some(last) = parts.last() {
+            if !last.is_empty() && !text.ends_with(last) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_rdf::dataset::GraphName;
+    use mdm_rdf::Iri;
+
+    /// A small football dataset in the shape of the paper's global graph
+    /// instance data.
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let g = ds.default_graph_mut();
+        let ex = "http://e.x/";
+        let triples = [
+            ("messi", "a", "Player"),
+            ("messi", "name", "\"Lionel Messi\""),
+            ("messi", "team", "fcb"),
+            ("lewa", "a", "Player"),
+            ("lewa", "name", "\"Robert Lewandowski\""),
+            ("lewa", "team", "bayern"),
+            ("fcb", "a", "Team"),
+            ("fcb", "name", "\"FC Barcelona\""),
+            ("bayern", "a", "Team"),
+            ("bayern", "name", "\"Bayern Munich\""),
+        ];
+        for (s, p, o) in triples {
+            let subject = Term::iri(format!("{ex}{s}"));
+            let predicate = if p == "a" {
+                mdm_rdf::vocab::rdf::TYPE.term()
+            } else {
+                Term::iri(format!("{ex}{p}"))
+            };
+            let object = if let Some(text) = o.strip_prefix('"') {
+                Term::string(text.trim_end_matches('"'))
+            } else {
+                Term::iri(format!("{ex}{o}"))
+            };
+            g.insert((subject, predicate, object));
+        }
+        // Heights for FILTER tests.
+        g.insert((
+            Term::iri(format!("{ex}messi")),
+            Term::iri(format!("{ex}height")),
+            Term::double(170.18),
+        ));
+        g.insert((
+            Term::iri(format!("{ex}lewa")),
+            Term::iri(format!("{ex}height")),
+            Term::double(184.0),
+        ));
+        ds
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let results = execute(
+            r#"SELECT ?pname ?tname WHERE {
+                ?p a <http://e.x/Player> .
+                ?p <http://e.x/name> ?pname .
+                ?p <http://e.x/team> ?t .
+                ?t <http://e.x/name> ?tname .
+            }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        let rendered = results.render();
+        assert!(rendered.contains("Lionel Messi"));
+        assert!(rendered.contains("FC Barcelona"));
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let results = execute(
+            r#"SELECT ?p WHERE {
+                ?p <http://e.x/height> ?h .
+                FILTER (?h > 180)
+            }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.get(0, "p").unwrap().short(), "lewa");
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let mut ds = dataset();
+        ds.default_graph_mut().insert((
+            Term::iri("http://e.x/newguy"),
+            mdm_rdf::vocab::rdf::TYPE.term(),
+            Term::iri("http://e.x/Player"),
+        ));
+        let results = execute(
+            r#"SELECT ?p ?n WHERE {
+                ?p a <http://e.x/Player> .
+                OPTIONAL { ?p <http://e.x/name> ?n . }
+            }"#,
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        let unnamed: Vec<_> = results
+            .rows
+            .iter()
+            .filter(|row| !row.contains_key("n"))
+            .collect();
+        assert_eq!(unnamed.len(), 1);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let results = execute(
+            r#"SELECT ?x WHERE {
+                { ?x a <http://e.x/Player> . } UNION { ?x a <http://e.x/Team> . }
+            }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let results = execute(
+            r#"SELECT DISTINCT ?t WHERE { ?p <http://e.x/team> ?t . ?p a <http://e.x/Player> . }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let truthy = execute("ASK { ?p a <http://e.x/Player> . }", &dataset()).unwrap();
+        assert_eq!(
+            truthy
+                .get(0, "ask")
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        let falsy = execute("ASK { ?p a <http://e.x/Nothing> . }", &dataset()).unwrap();
+        assert_eq!(
+            falsy.get(0, "ask").unwrap().as_literal().unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn order_by_numeric_and_limit() {
+        let results = execute(
+            r#"SELECT ?p WHERE { ?p <http://e.x/height> ?h . } ORDER BY DESC(?h) LIMIT 1"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.get(0, "p").unwrap().short(), "lewa");
+    }
+
+    #[test]
+    fn offset_skips() {
+        let results = execute(
+            r#"SELECT ?p WHERE { ?p <http://e.x/height> ?h . } ORDER BY ?h OFFSET 1"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.get(0, "p").unwrap().short(), "lewa");
+    }
+
+    #[test]
+    fn named_graph_matching() {
+        let mut ds = dataset();
+        let w1 = Iri::new("http://e.x/w1");
+        ds.insert(
+            &GraphName::Named(w1.clone()),
+            (
+                Term::iri("http://e.x/Player"),
+                Term::iri("http://e.x/covered"),
+                Term::iri("http://e.x/name"),
+            ),
+        );
+        // Named graph via constant.
+        let results = execute(
+            r#"SELECT ?c WHERE { GRAPH <http://e.x/w1> { ?c <http://e.x/covered> ?f . } }"#,
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        // Named graph via variable binds the graph name.
+        let results = execute(
+            r#"SELECT ?g ?c WHERE { GRAPH ?g { ?c <http://e.x/covered> ?f . } }"#,
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.get(0, "g").unwrap(), &Term::Iri(w1));
+    }
+
+    #[test]
+    fn bound_filter() {
+        let mut ds = dataset();
+        ds.default_graph_mut().insert((
+            Term::iri("http://e.x/newguy"),
+            mdm_rdf::vocab::rdf::TYPE.term(),
+            Term::iri("http://e.x/Player"),
+        ));
+        let results = execute(
+            r#"SELECT ?p WHERE {
+                ?p a <http://e.x/Player> .
+                OPTIONAL { ?p <http://e.x/name> ?n . }
+                FILTER (!BOUND(?n))
+            }"#,
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.get(0, "p").unwrap().short(), "newguy");
+    }
+
+    #[test]
+    fn regex_filter() {
+        let results = execute(
+            r#"SELECT ?n WHERE { ?p <http://e.x/name> ?n . FILTER REGEX(?n, "Lion") }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn regex_lite_semantics() {
+        assert!(regex_lite("Lionel Messi", "Messi"));
+        assert!(regex_lite("Lionel Messi", "^Lionel"));
+        assert!(!regex_lite("Lionel Messi", "^Messi"));
+        assert!(regex_lite("Lionel Messi", "Messi$"));
+        assert!(!regex_lite("Lionel Messi", "Lionel$"));
+        assert!(regex_lite("Lionel Messi", "^Lio.*ssi$"));
+        assert!(!regex_lite("Lionel Messi", "^Lio.*xyz$"));
+    }
+
+    #[test]
+    fn string_equality_filter() {
+        let results = execute(
+            r#"SELECT ?p WHERE { ?p <http://e.x/name> ?n . FILTER (?n = "Lionel Messi") }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn filter_error_rejects_row() {
+        // Comparing an IRI with a number errors → row filtered out, query ok.
+        let results = execute(
+            r#"SELECT ?p WHERE { ?p a <http://e.x/Player> . FILTER (?p > 5) }"#,
+            &dataset(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 0);
+    }
+
+    #[test]
+    fn empty_bgp_yields_one_empty_solution() {
+        let results = execute("SELECT * WHERE { }", &dataset()).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,478 @@
+//! The SPARQL tokenizer.
+
+use std::fmt;
+
+/// A token produced by the lexer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// A keyword, uppercased (`SELECT`, `WHERE`, `FILTER`, …) or the `a`
+    /// shorthand (kept lowercase to distinguish it from a variable).
+    Keyword(String),
+    /// `?name` or `$name`.
+    Variable(String),
+    /// `<iri>` (contents without angle brackets).
+    IriRef(String),
+    /// `prefix:local` (including empty prefix `:local`).
+    PrefixedName(String, String),
+    /// A string literal (unescaped), with optional language tag or datatype
+    /// handled by the parser via following tokens.
+    String(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A decimal/double literal.
+    Double(f64),
+    /// `true` / `false`.
+    Boolean(bool),
+    /// Punctuation and operators.
+    Punct(&'static str),
+    /// A language tag from `@tag`.
+    LangTag(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Variable(v) => write!(f, "?{v}"),
+            Token::IriRef(iri) => write!(f, "<{iri}>"),
+            Token::PrefixedName(p, l) => write!(f, "{p}:{l}"),
+            Token::String(s) => write!(f, "\"{s}\""),
+            Token::Integer(i) => write!(f, "{i}"),
+            Token::Double(d) => write!(f, "{d}"),
+            Token::Boolean(b) => write!(f, "{b}"),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::LangTag(t) => write!(f, "@{t}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexer error with 1-based line/column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparql lex error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// SPARQL keywords recognised case-insensitively.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL", "UNION", "GRAPH", "PREFIX", "DISTINCT",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BOUND", "REGEX", "STR", "AS",
+];
+
+/// Tokenizes a SPARQL document; appends [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize, usize)>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+
+    macro_rules! err {
+        ($msg:expr) => {
+            return Err(LexError {
+                message: $msg.to_string(),
+                line,
+                column: pos - line_start + 1,
+            })
+        };
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        let col = pos - line_start + 1;
+        match c {
+            b'\n' => {
+                pos += 1;
+                line += 1;
+                line_start = pos;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'?' | b'$' => {
+                pos += 1;
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                if pos == start {
+                    err!("empty variable name");
+                }
+                tokens.push((Token::Variable(input[start..pos].to_string()), line, col));
+            }
+            b'<' => {
+                // '<' begins an IRI when followed by a non-space, non-'='
+                // char that can appear in an IRI; otherwise it is the
+                // comparison operator.
+                let next = bytes.get(pos + 1).copied();
+                let is_iri =
+                    matches!(next, Some(n) if n != b' ' && n != b'=' && n != b'?' && n != b'<');
+                if is_iri {
+                    pos += 1;
+                    let start = pos;
+                    while pos < bytes.len() && bytes[pos] != b'>' {
+                        if bytes[pos] == b'\n' {
+                            err!("unterminated IRI");
+                        }
+                        pos += 1;
+                    }
+                    if pos >= bytes.len() {
+                        err!("unterminated IRI");
+                    }
+                    if pos == start {
+                        err!("empty IRI '<>' (base resolution is unsupported)");
+                    }
+                    tokens.push((Token::IriRef(input[start..pos].to_string()), line, col));
+                    pos += 1;
+                } else if next == Some(b'=') {
+                    tokens.push((Token::Punct("<="), line, col));
+                    pos += 2;
+                } else {
+                    tokens.push((Token::Punct("<"), line, col));
+                    pos += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                pos += 1;
+                let mut value = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        err!("unterminated string");
+                    }
+                    let b = bytes[pos];
+                    if b == quote {
+                        pos += 1;
+                        break;
+                    }
+                    if b == b'\\' {
+                        pos += 1;
+                        if pos >= bytes.len() {
+                            err!("unterminated escape");
+                        }
+                        match bytes[pos] {
+                            b'"' => value.push('"'),
+                            b'\'' => value.push('\''),
+                            b'\\' => value.push('\\'),
+                            b'n' => value.push('\n'),
+                            b'r' => value.push('\r'),
+                            b't' => value.push('\t'),
+                            _ => err!("unknown string escape"),
+                        }
+                        pos += 1;
+                    } else if b == b'\n' {
+                        err!("newline in string literal");
+                    } else if b < 0x80 {
+                        value.push(b as char);
+                        pos += 1;
+                    } else {
+                        let s = match std::str::from_utf8(&bytes[pos..]) {
+                            Ok(s) => s,
+                            Err(_) => err!("invalid UTF-8 in string"),
+                        };
+                        let ch = s.chars().next().expect("non-empty");
+                        value.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+                tokens.push((Token::String(value), line, col));
+            }
+            b'@' => {
+                pos += 1;
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                if pos == start {
+                    err!("empty language tag");
+                }
+                tokens.push((Token::LangTag(input[start..pos].to_string()), line, col));
+            }
+            b'{' | b'}' | b'(' | b')' | b'.' | b',' | b';' | b'*' | b'+' | b'/' => {
+                // '.' could start a number like ".5"? SPARQL requires a digit
+                // before '.', so '.' here is always punctuation... except
+                // after a digit, which is handled in the number branch.
+                let punct: &'static str = match c {
+                    b'{' => "{",
+                    b'}' => "}",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'.' => ".",
+                    b',' => ",",
+                    b';' => ";",
+                    b'*' => "*",
+                    b'+' => "+",
+                    b'/' => "/",
+                    _ => unreachable!(),
+                };
+                tokens.push((Token::Punct(punct), line, col));
+                pos += 1;
+            }
+            b'=' => {
+                tokens.push((Token::Punct("="), line, col));
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((Token::Punct("!="), line, col));
+                    pos += 2;
+                } else {
+                    tokens.push((Token::Punct("!"), line, col));
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((Token::Punct(">="), line, col));
+                    pos += 2;
+                } else {
+                    tokens.push((Token::Punct(">"), line, col));
+                    pos += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    tokens.push((Token::Punct("&&"), line, col));
+                    pos += 2;
+                } else {
+                    err!("expected '&&'");
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    tokens.push((Token::Punct("||"), line, col));
+                    pos += 2;
+                } else {
+                    err!("expected '||'");
+                }
+            }
+            b'^' => {
+                if bytes.get(pos + 1) == Some(&b'^') {
+                    tokens.push((Token::Punct("^^"), line, col));
+                    pos += 2;
+                } else {
+                    err!("expected '^^'");
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = pos;
+                if c == b'-' {
+                    pos += 1;
+                }
+                let mut is_double = false;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                if pos < bytes.len()
+                    && bytes[pos] == b'.'
+                    && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_double = true;
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                if pos < bytes.len() && matches!(bytes[pos], b'e' | b'E') {
+                    is_double = true;
+                    pos += 1;
+                    if pos < bytes.len() && matches!(bytes[pos], b'+' | b'-') {
+                        pos += 1;
+                    }
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                let text = &input[start..pos];
+                if is_double {
+                    match text.parse::<f64>() {
+                        Ok(v) => tokens.push((Token::Double(v), line, col)),
+                        Err(_) => err!(format!("invalid number '{text}'")),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens.push((Token::Integer(v), line, col)),
+                        Err(_) => err!(format!("invalid number '{text}'")),
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b':' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                let word = &input[start..pos];
+                // A prefixed name when followed by ':'.
+                if pos < bytes.len() && bytes[pos] == b':' {
+                    pos += 1;
+                    let local_start = pos;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_alphanumeric()
+                            || bytes[pos] == b'_'
+                            || bytes[pos] == b'-'
+                            || (bytes[pos] == b'.'
+                                && bytes
+                                    .get(pos + 1)
+                                    .is_some_and(|n| n.is_ascii_alphanumeric() || *n == b'_')))
+                    {
+                        pos += 1;
+                    }
+                    tokens.push((
+                        Token::PrefixedName(word.to_string(), input[local_start..pos].to_string()),
+                        line,
+                        col,
+                    ));
+                    continue;
+                }
+                match word {
+                    "a" => tokens.push((Token::Keyword("a".to_string()), line, col)),
+                    "true" => tokens.push((Token::Boolean(true), line, col)),
+                    "false" => tokens.push((Token::Boolean(false), line, col)),
+                    _ => {
+                        let upper = word.to_ascii_uppercase();
+                        if KEYWORDS.contains(&upper.as_str()) {
+                            tokens.push((Token::Keyword(upper), line, col));
+                        } else {
+                            err!(format!("unexpected word '{word}'"));
+                        }
+                    }
+                }
+            }
+            other => err!(format!("unexpected character '{}'", other as char)),
+        }
+    }
+    tokens.push((Token::Eof, line, bytes.len() - line_start + 1));
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|(t, _, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_select_query() {
+        let tokens = kinds("SELECT ?name WHERE { ?p ex:name ?name . }");
+        assert_eq!(tokens[0], Token::Keyword("SELECT".to_string()));
+        assert_eq!(tokens[1], Token::Variable("name".to_string()));
+        assert_eq!(tokens[2], Token::Keyword("WHERE".to_string()));
+        assert_eq!(tokens[3], Token::Punct("{"));
+        assert_eq!(
+            tokens[5],
+            Token::PrefixedName("ex".to_string(), "name".to_string())
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], Token::Keyword("SELECT".to_string()));
+        assert_eq!(kinds("Select")[0], Token::Keyword("SELECT".to_string()));
+    }
+
+    #[test]
+    fn a_keyword_stays_lowercase() {
+        assert_eq!(kinds("a")[0], Token::Keyword("a".to_string()));
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        let tokens = kinds("FILTER (?x < 5)");
+        assert!(tokens.contains(&Token::Punct("<")));
+        let tokens = kinds("<http://e.x/p>");
+        assert_eq!(tokens[0], Token::IriRef("http://e.x/p".to_string()));
+        let tokens = kinds("?x <= 5");
+        assert!(tokens.contains(&Token::Punct("<=")));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let tokens = kinds(r#""he said \"hi\"\n""#);
+        assert_eq!(tokens[0], Token::String("he said \"hi\"\n".to_string()));
+        let tokens = kinds("'single'");
+        assert_eq!(tokens[0], Token::String("single".to_string()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Token::Integer(42));
+        assert_eq!(kinds("-7")[0], Token::Integer(-7));
+        assert_eq!(kinds("3.25")[0], Token::Double(3.25));
+        assert_eq!(kinds("1e2")[0], Token::Double(100.0));
+    }
+
+    #[test]
+    fn operators() {
+        let tokens = kinds("= != < <= > >= && || ! ^^");
+        let expected = ["=", "!=", "<", "<=", ">", ">=", "&&", "||", "!", "^^"];
+        for (i, e) in expected.iter().enumerate() {
+            assert_eq!(tokens[i], Token::Punct(e), "at {i}");
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let tokens = kinds("SELECT # comment\n ?x");
+        assert_eq!(tokens.len(), 3); // SELECT, ?x, EOF
+    }
+
+    #[test]
+    fn default_prefix_name() {
+        let tokens = kinds(":local");
+        assert_eq!(
+            tokens[0],
+            Token::PrefixedName(String::new(), "local".to_string())
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("SELECT ?x\n WHERE { ~ }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('~'));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn lang_tags() {
+        let tokens = kinds("\"hola\"@es");
+        assert_eq!(tokens[1], Token::LangTag("es".to_string()));
+    }
+}

@@ -1,0 +1,43 @@
+//! # mdm-sparql
+//!
+//! A SPARQL engine for the fragment MDM generates and consumes.
+//!
+//! MDM translates graphically-posed OMQs (walks over the global graph) into
+//! SPARQL (paper §2.4, Figure 8); internally it also queries the BDI
+//! ontology itself (e.g. "which wrappers' named graphs cover this concept").
+//! The paper's stack used Jena ARQ; this crate is the native replacement.
+//!
+//! Supported fragment:
+//!
+//! * `SELECT [DISTINCT] ?v … | *`, `ASK`
+//! * basic graph patterns with `a` and prefixed names
+//! * `FILTER` with comparisons, `&&`/`||`/`!`, `BOUND`, `REGEX`(substring)
+//! * `OPTIONAL { … }`, `{ … } UNION { … }`, `GRAPH <g> { … }` /
+//!   `GRAPH ?g { … }`
+//! * `ORDER BY`, `LIMIT`, `OFFSET`
+//!
+//! ```
+//! use mdm_rdf::{Graph, Term};
+//! use mdm_sparql::execute_select_on_graph;
+//!
+//! let mut g = Graph::new();
+//! g.insert((Term::iri("http://e.x/messi"),
+//!           Term::iri("http://e.x/plays"),
+//!           Term::iri("http://e.x/fcb")));
+//! let results = execute_select_on_graph(
+//!     "SELECT ?who WHERE { ?who <http://e.x/plays> <http://e.x/fcb> . }",
+//!     &g,
+//! ).unwrap();
+//! assert_eq!(results.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod result;
+
+pub use ast::{Expression, GraphPattern, Query, QueryForm};
+pub use eval::{execute, execute_select_on_graph, EvalError};
+pub use parser::{parse_query, ParseError};
+pub use result::{Solution, Solutions};

@@ -1,0 +1,664 @@
+//! The recursive-descent SPARQL parser.
+
+use std::fmt;
+
+use mdm_rdf::namespace::PrefixMap;
+use mdm_rdf::pattern::{PatternTerm, TriplePattern};
+use mdm_rdf::term::{Iri, Literal, Term};
+use mdm_rdf::vocab;
+
+use crate::ast::{CompareOp, Expression, GraphPattern, GraphTarget, Query, QueryForm};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// A parse error with 1-based position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sparql parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            column: e.column,
+        }
+    }
+}
+
+/// Parses a SPARQL query. `PREFIX` declarations in the query extend (and
+/// shadow) the defaults of [`PrefixMap::with_defaults`].
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: PrefixMap::with_defaults(),
+    };
+    let query = parser.parse_query()?;
+    parser.expect_eof()?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize, usize)>,
+    pos: usize,
+    prefixes: PrefixMap,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].0
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos.min(self.tokens.len() - 1)].0.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (_, line, column) = self.tokens[self.pos.min(self.tokens.len() - 1)];
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Token::Punct(found) if found == p => Ok(()),
+            other => Err(self.error(format!("expected '{p}', found '{other}'"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Token::Keyword(found) if found == kw => Ok(()),
+            other => Err(self.error(format!("expected {kw}, found '{other}'"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Eof => Ok(()),
+            other => Err(self.error(format!("unexpected trailing '{other}'"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Keyword(k) if k == kw)
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- query structure ----
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        while self.try_keyword("PREFIX") {
+            let (prefix, ns) = self.parse_prefix_decl()?;
+            self.prefixes.insert(prefix, ns);
+        }
+        let form = if self.try_keyword("SELECT") {
+            let distinct = self.try_keyword("DISTINCT");
+            let mut variables = Vec::new();
+            if matches!(self.peek(), Token::Punct("*")) {
+                self.bump();
+            } else {
+                while let Token::Variable(_) = self.peek() {
+                    if let Token::Variable(v) = self.bump() {
+                        variables.push(v);
+                    }
+                }
+                if variables.is_empty() {
+                    return Err(self.error("SELECT requires '*' or at least one variable"));
+                }
+            }
+            QueryForm::Select {
+                distinct,
+                variables,
+            }
+        } else if self.try_keyword("ASK") {
+            QueryForm::Ask
+        } else {
+            return Err(self.error("expected SELECT or ASK"));
+        };
+        // WHERE is optional in SPARQL for ASK; we accept it optionally.
+        let _ = self.try_keyword("WHERE");
+        let pattern = self.parse_group_pattern()?;
+
+        let mut order_by = Vec::new();
+        if self.try_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                match self.peek().clone() {
+                    Token::Variable(v) => {
+                        self.bump();
+                        order_by.push((v, false));
+                    }
+                    Token::Keyword(k) if k == "ASC" || k == "DESC" => {
+                        self.bump();
+                        self.expect_punct("(")?;
+                        let v = match self.bump() {
+                            Token::Variable(v) => v,
+                            other => {
+                                return Err(
+                                    self.error(format!("expected variable, found '{other}'"))
+                                )
+                            }
+                        };
+                        self.expect_punct(")")?;
+                        order_by.push((v, k == "DESC"));
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.error("ORDER BY requires at least one key"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.try_keyword("LIMIT") {
+                match self.bump() {
+                    Token::Integer(n) if n >= 0 => limit = Some(n as usize),
+                    other => return Err(self.error(format!("bad LIMIT '{other}'"))),
+                }
+            } else if self.try_keyword("OFFSET") {
+                match self.bump() {
+                    Token::Integer(n) if n >= 0 => offset = Some(n as usize),
+                    other => return Err(self.error(format!("bad OFFSET '{other}'"))),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            form,
+            pattern,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_prefix_decl(&mut self) -> Result<(String, String), ParseError> {
+        // The lexer tokenizes `ex:` with empty local as PrefixedName("ex",""),
+        // followed by the IRI.
+        match self.bump() {
+            Token::PrefixedName(prefix, local) if local.is_empty() => match self.bump() {
+                Token::IriRef(iri) => Ok((prefix, iri)),
+                other => Err(self.error(format!("expected IRI after prefix, found '{other}'"))),
+            },
+            other => Err(self.error(format!("expected 'prefix:', found '{other}'"))),
+        }
+    }
+
+    // ---- graph patterns ----
+
+    /// Parses `{ … }` including FILTERs, OPTIONALs, UNIONs and nested groups.
+    fn parse_group_pattern(&mut self) -> Result<GraphPattern, ParseError> {
+        self.expect_punct("{")?;
+        let mut parts: Vec<GraphPattern> = Vec::new();
+        let mut filters: Vec<Expression> = Vec::new();
+        let mut bgp: Vec<TriplePattern> = Vec::new();
+
+        macro_rules! flush_bgp {
+            () => {
+                if !bgp.is_empty() {
+                    parts.push(GraphPattern::Bgp(std::mem::take(&mut bgp)));
+                }
+            };
+        }
+
+        loop {
+            match self.peek().clone() {
+                Token::Punct("}") => {
+                    self.bump();
+                    break;
+                }
+                Token::Keyword(k) if k == "FILTER" => {
+                    self.bump();
+                    filters.push(self.parse_filter_expression()?);
+                }
+                Token::Keyword(k) if k == "OPTIONAL" => {
+                    self.bump();
+                    flush_bgp!();
+                    let inner = self.parse_group_pattern()?;
+                    parts.push(GraphPattern::Optional(Box::new(inner)));
+                }
+                Token::Keyword(k) if k == "GRAPH" => {
+                    self.bump();
+                    flush_bgp!();
+                    let target = match self.bump() {
+                        Token::IriRef(iri) => GraphTarget::Named(Iri::new(iri)),
+                        Token::PrefixedName(p, l) => {
+                            GraphTarget::Named(self.expand_prefixed(&p, &l)?)
+                        }
+                        Token::Variable(v) => GraphTarget::Variable(v),
+                        other => return Err(self.error(format!("bad GRAPH target '{other}'"))),
+                    };
+                    let inner = self.parse_group_pattern()?;
+                    parts.push(GraphPattern::Graph(target, Box::new(inner)));
+                }
+                Token::Punct("{") => {
+                    flush_bgp!();
+                    let mut left = self.parse_group_pattern()?;
+                    while self.try_keyword("UNION") {
+                        let right = self.parse_group_pattern()?;
+                        left = GraphPattern::Union(Box::new(left), Box::new(right));
+                    }
+                    parts.push(left);
+                }
+                Token::Punct(".") => {
+                    self.bump();
+                }
+                Token::Eof => return Err(self.error("unterminated group pattern")),
+                _ => {
+                    let triples = self.parse_triples_block()?;
+                    bgp.extend(triples);
+                }
+            }
+        }
+        flush_bgp!();
+        let mut pattern = match parts.len() {
+            0 => GraphPattern::Bgp(vec![]),
+            1 => parts.pop().expect("len checked"),
+            _ => GraphPattern::Group(parts),
+        };
+        for filter in filters {
+            pattern = GraphPattern::Filter(filter, Box::new(pattern));
+        }
+        Ok(pattern)
+    }
+
+    /// One subject with predicate-object lists (`;` and `,` supported).
+    fn parse_triples_block(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        let subject = self.parse_pattern_term()?;
+        let mut out = Vec::new();
+        loop {
+            let predicate = self.parse_pattern_term()?;
+            loop {
+                let object = self.parse_pattern_term()?;
+                out.push(TriplePattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                if matches!(self.peek(), Token::Punct(",")) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Token::Punct(";")) {
+                self.bump();
+                // Allow dangling ';' before '.' or '}'.
+                if matches!(self.peek(), Token::Punct(".") | Token::Punct("}")) {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_pattern_term(&mut self) -> Result<PatternTerm, ParseError> {
+        match self.bump() {
+            Token::Variable(v) => Ok(PatternTerm::Var(v)),
+            Token::IriRef(iri) => Ok(PatternTerm::Const(Term::iri(iri))),
+            Token::PrefixedName(p, l) => {
+                Ok(PatternTerm::Const(Term::Iri(self.expand_prefixed(&p, &l)?)))
+            }
+            Token::Keyword(k) if k == "a" => Ok(PatternTerm::Const(vocab::rdf::TYPE.term())),
+            Token::String(s) => {
+                // Optional @lang or ^^datatype suffix.
+                match self.peek().clone() {
+                    Token::LangTag(tag) => {
+                        self.bump();
+                        Ok(PatternTerm::Const(Term::Literal(Literal::lang_string(
+                            s, tag,
+                        ))))
+                    }
+                    Token::Punct("^^") => {
+                        self.bump();
+                        let datatype = match self.bump() {
+                            Token::IriRef(iri) => Iri::new(iri),
+                            Token::PrefixedName(p, l) => self.expand_prefixed(&p, &l)?,
+                            other => return Err(self.error(format!("bad datatype '{other}'"))),
+                        };
+                        Ok(PatternTerm::Const(Term::Literal(Literal::typed(
+                            s, datatype,
+                        ))))
+                    }
+                    _ => Ok(PatternTerm::Const(Term::string(s))),
+                }
+            }
+            Token::Integer(i) => Ok(PatternTerm::Const(Term::integer(i))),
+            Token::Double(d) => Ok(PatternTerm::Const(Term::double(d))),
+            Token::Boolean(b) => Ok(PatternTerm::Const(Term::Literal(Literal::boolean(b)))),
+            other => Err(self.error(format!("expected term, found '{other}'"))),
+        }
+    }
+
+    fn expand_prefixed(&self, prefix: &str, local: &str) -> Result<Iri, ParseError> {
+        self.prefixes
+            .expand_prefix(prefix)
+            .map(|ns| Iri::new(format!("{ns}{local}")))
+            .ok_or_else(|| self.error(format!("unknown prefix '{prefix}:'")))
+    }
+
+    // ---- filter expressions ----
+
+    fn parse_filter_expression(&mut self) -> Result<Expression, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Token::Punct("||")) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expression, ParseError> {
+        let mut left = self.parse_comparison()?;
+        while matches!(self.peek(), Token::Punct("&&")) {
+            self.bump();
+            let right = self.parse_comparison()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expression, ParseError> {
+        let left = self.parse_primary()?;
+        let op = match self.peek() {
+            Token::Punct("=") => Some(CompareOp::Eq),
+            Token::Punct("!=") => Some(CompareOp::Ne),
+            Token::Punct("<") => Some(CompareOp::Lt),
+            Token::Punct("<=") => Some(CompareOp::Le),
+            Token::Punct(">") => Some(CompareOp::Gt),
+            Token::Punct(">=") => Some(CompareOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_primary()?;
+            Ok(Expression::Compare(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expression, ParseError> {
+        match self.peek().clone() {
+            Token::Punct("(") => {
+                self.bump();
+                let inner = self.parse_filter_expression()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            Token::Punct("!") => {
+                self.bump();
+                let inner = self.parse_primary()?;
+                Ok(Expression::Not(Box::new(inner)))
+            }
+            Token::Keyword(k) if k == "BOUND" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let v = match self.bump() {
+                    Token::Variable(v) => v,
+                    other => {
+                        return Err(self.error(format!("BOUND expects a variable, found '{other}'")))
+                    }
+                };
+                self.expect_punct(")")?;
+                Ok(Expression::Bound(v))
+            }
+            Token::Keyword(k) if k == "REGEX" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let target = self.parse_filter_expression()?;
+                self.expect_punct(",")?;
+                let pattern = match self.bump() {
+                    Token::String(s) => s,
+                    other => {
+                        return Err(
+                            self.error(format!("REGEX expects a string pattern, found '{other}'"))
+                        )
+                    }
+                };
+                self.expect_punct(")")?;
+                Ok(Expression::Regex(Box::new(target), pattern))
+            }
+            Token::Keyword(k) if k == "STR" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let inner = self.parse_filter_expression()?;
+                self.expect_punct(")")?;
+                Ok(Expression::Str(Box::new(inner)))
+            }
+            Token::Variable(v) => {
+                self.bump();
+                Ok(Expression::Variable(v))
+            }
+            _ => {
+                let term = self.parse_pattern_term()?;
+                match term {
+                    PatternTerm::Const(t) => Ok(Expression::Constant(t)),
+                    PatternTerm::Var(v) => Ok(Expression::Variable(v)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure8_style_query() {
+        // The query MDM generates in Figure 8: names of players and teams.
+        let q = parse_query(
+            r#"
+            PREFIX ex: <http://www.essi.upc.edu/~snadal/example/>
+            PREFIX sc: <http://schema.org/>
+            SELECT ?teamName ?playerName
+            WHERE {
+                ?player a ex:Player .
+                ?player ex:hasName ?playerName .
+                ?player ex:belongsTo ?team .
+                ?team a sc:SportsTeam .
+                ?team ex:hasName ?teamName .
+            }
+            "#,
+        )
+        .unwrap();
+        match &q.form {
+            QueryForm::Select { variables, .. } => {
+                assert_eq!(variables, &["teamName", "playerName"]);
+            }
+            _ => panic!("expected SELECT"),
+        }
+        match &q.pattern {
+            GraphPattern::Bgp(triples) => assert_eq!(triples.len(), 5),
+            other => panic!("expected flat BGP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse_query("SELECT * WHERE { ?s ?p ?o . }").unwrap();
+        assert_eq!(q.projected_variables(), vec!["s", "p", "o"]);
+    }
+
+    #[test]
+    fn distinct_flag() {
+        let q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o . }").unwrap();
+        assert!(matches!(q.form, QueryForm::Select { distinct: true, .. }));
+    }
+
+    #[test]
+    fn ask_form() {
+        let q = parse_query("ASK { ?s a <http://e.x/C> . }").unwrap();
+        assert!(matches!(q.form, QueryForm::Ask));
+    }
+
+    #[test]
+    fn predicate_object_lists() {
+        let q = parse_query("SELECT * WHERE { ?p a <http://e.x/C> ; <http://e.x/n> ?n, ?m . }")
+            .unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(triples) => assert_eq!(triples.len(), 3),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_comparison() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <http://e.x/h> ?h . FILTER (?h > 170 && ?h <= 200) }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Filter(Expression::And(_, _), _) => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_and_union() {
+        let q = parse_query(
+            r#"SELECT * WHERE {
+                ?s a <http://e.x/C> .
+                OPTIONAL { ?s <http://e.x/n> ?n . }
+                { ?s <http://e.x/a> ?v . } UNION { ?s <http://e.x/b> ?v . }
+            }"#,
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Group(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], GraphPattern::Optional(_)));
+                assert!(matches!(parts[2], GraphPattern::Union(_, _)));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_blocks() {
+        let q = parse_query(
+            "SELECT * WHERE { GRAPH <http://e.x/w1> { ?s ?p ?o . } GRAPH ?g { ?s ?p ?o . } }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Group(parts) => {
+                assert!(
+                    matches!(&parts[0], GraphPattern::Graph(GraphTarget::Named(i), _) if i.as_str() == "http://e.x/w1")
+                );
+                assert!(matches!(
+                    &parts[1],
+                    GraphPattern::Graph(GraphTarget::Variable(v), _) if v == "g"
+                ));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let q =
+            parse_query("SELECT ?s WHERE { ?s ?p ?o . } ORDER BY ?s DESC(?o) LIMIT 10 OFFSET 5")
+                .unwrap();
+        assert_eq!(
+            q.order_by,
+            vec![("s".to_string(), false), ("o".to_string(), true)]
+        );
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn default_prefixes_available() {
+        let q = parse_query("SELECT ?c WHERE { ?c a G:Concept . }").unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(triples) => {
+                let object = triples[0].object.as_const().unwrap();
+                assert_eq!(
+                    object.as_iri().unwrap().as_str(),
+                    mdm_rdf::vocab::bdi::CONCEPT.as_str()
+                );
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_is_error() {
+        let err = parse_query("SELECT ?s WHERE { ?s a nope:C . }").unwrap_err();
+        assert!(err.message.contains("unknown prefix"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o . } garbage").is_err());
+    }
+
+    #[test]
+    fn typed_and_lang_literals() {
+        let q = parse_query(
+            r#"SELECT * WHERE { ?s <http://e.x/p> "x"^^xsd:token ; <http://e.x/q> "y"@en . }"#,
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Bgp(triples) => {
+                let lit = triples[0].object.as_const().unwrap().as_literal().unwrap();
+                assert!(lit.datatype().as_str().ends_with("token"));
+                let lit = triples[1].object.as_const().unwrap().as_literal().unwrap();
+                assert_eq!(lit.language(), Some("en"));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_and_regex() {
+        let q = parse_query(
+            r#"SELECT ?n WHERE { ?s <http://e.x/n> ?n . FILTER (BOUND(?n) && REGEX(?n, "Messi")) }"#,
+        )
+        .unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Filter(_, _)));
+    }
+}

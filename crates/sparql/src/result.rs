@@ -1,0 +1,133 @@
+//! Solution sequences: the results of SPARQL evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mdm_rdf::Term;
+
+/// One solution: a partial mapping from variable names to terms.
+/// Unbound variables (possible under OPTIONAL/UNION) are simply absent.
+pub type Solution = BTreeMap<String, Term>;
+
+/// An ordered sequence of solutions plus the projected variable list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solutions {
+    pub variables: Vec<String>,
+    pub rows: Vec<Solution>,
+}
+
+impl Solutions {
+    /// An empty result with the given header.
+    pub fn empty(variables: Vec<String>) -> Self {
+        Solutions {
+            variables,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The bound term for `variable` in row `index`.
+    pub fn get(&self, index: usize, variable: &str) -> Option<&Term> {
+        self.rows.get(index)?.get(variable)
+    }
+
+    /// Renders results as an aligned text table (`?var` headers, one row per
+    /// solution), the form the MDM interface displays.
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self.variables.iter().map(|v| format!("?{v}")).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                self.variables
+                    .iter()
+                    .map(|v| row.get(v).map(|t| t.to_string()).unwrap_or_default())
+                    .collect()
+            })
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let push = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{cell:<w$}", w = widths[i]));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push(&headers, &mut out);
+        for row in &rendered {
+            push(row, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Solutions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut row1 = Solution::new();
+        row1.insert("n".to_string(), Term::string("Lionel Messi"));
+        let mut row2 = Solution::new();
+        row2.insert("n".to_string(), Term::string("Xavi"));
+        let s = Solutions {
+            variables: vec!["n".to_string()],
+            rows: vec![row1, row2],
+        };
+        let text = s.render();
+        assert!(text.starts_with("?n\n"));
+        assert!(text.contains("Lionel Messi"));
+    }
+
+    #[test]
+    fn unbound_variables_render_empty() {
+        let s = Solutions {
+            variables: vec!["a".to_string(), "b".to_string()],
+            rows: vec![Solution::new()],
+        };
+        let rendered = s.render();
+        assert_eq!(rendered.lines().count(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut row = Solution::new();
+        row.insert("x".to_string(), Term::integer(1));
+        let s = Solutions {
+            variables: vec!["x".to_string()],
+            rows: vec![row],
+        };
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(0, "x"), Some(&Term::integer(1)));
+        assert_eq!(s.get(0, "y"), None);
+        assert_eq!(s.get(1, "x"), None);
+    }
+}

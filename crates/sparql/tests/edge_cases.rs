@@ -1,0 +1,212 @@
+//! Edge-case tests for the SPARQL engine: parser negatives, evaluator
+//! corner cases, and the interplay of GRAPH with joins.
+
+use mdm_rdf::dataset::GraphName;
+use mdm_rdf::{Dataset, Iri, Term};
+use mdm_sparql::{execute, parse_query};
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::new();
+    let g = ds.default_graph_mut();
+    g.insert((
+        Term::iri("http://e.x/a"),
+        Term::iri("http://e.x/p"),
+        Term::iri("http://e.x/b"),
+    ));
+    g.insert((
+        Term::iri("http://e.x/b"),
+        Term::iri("http://e.x/p"),
+        Term::iri("http://e.x/c"),
+    ));
+    for w in ["w1", "w2"] {
+        ds.insert(
+            &GraphName::Named(Iri::new(format!("http://e.x/{w}"))),
+            (
+                Term::iri(format!("http://e.x/{w}/s")),
+                Term::iri("http://e.x/covers"),
+                Term::iri("http://e.x/a"),
+            ),
+        );
+    }
+    ds
+}
+
+// ---- parser negatives ----
+
+#[test]
+fn parser_rejects_malformed_queries() {
+    for (query, hint) in [
+        ("SELECT", "variable"),
+        ("SELECT ?x", "{"),
+        ("SELECT ?x WHERE { ?s ?p }", "term"),
+        ("SELECT ?x WHERE { ?s ?p ?o . ", "unterminated"),
+        ("SELECT ?x WHERE { FILTER } ", ""),
+        ("ASK { ?s ?p ?o . } LIMIT x", ""),
+        ("SELECT ?x WHERE { ?s ?p ?o . } ORDER BY", "ORDER BY"),
+        ("SELECT ?x WHERE { ?s ?p ?o . } LIMIT -3", ""),
+        ("FOO ?x WHERE { }", "FOO"),
+        ("SELECT ?x WHERE { GRAPH { ?s ?p ?o . } }", "GRAPH"),
+    ] {
+        let result = parse_query(query);
+        assert!(result.is_err(), "should reject: {query}");
+        if !hint.is_empty() {
+            let message = result.unwrap_err().to_string();
+            assert!(
+                message.to_lowercase().contains(&hint.to_lowercase()),
+                "error for '{query}' should mention '{hint}': {message}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lexer_rejects_malformed_tokens() {
+    for query in [
+        "SELECT ?x WHERE { ?s ?p \"unterminated }",
+        "SELECT ? WHERE { }",
+        "SELECT ?x WHERE { ?s ?p ?o . } # fine\n @",
+        "SELECT ?x WHERE { ?s ?p 'multi\nline' . }",
+    ] {
+        assert!(parse_query(query).is_err(), "should reject: {query}");
+    }
+}
+
+// ---- evaluator corner cases ----
+
+#[test]
+fn self_join_via_shared_variable() {
+    // ?x p ?y . ?y p ?z — a path of length 2.
+    let results = execute(
+        "SELECT ?x ?z WHERE { ?x <http://e.x/p> ?y . ?y <http://e.x/p> ?z . }",
+        &dataset(),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results.get(0, "x").unwrap().short(), "a");
+    assert_eq!(results.get(0, "z").unwrap().short(), "c");
+}
+
+#[test]
+fn graph_variable_joins_with_default_graph_pattern() {
+    // Bind ?g from named graphs, then use the binding in the default graph.
+    let results = execute(
+        r#"SELECT ?g ?t WHERE {
+            GRAPH ?g { ?s <http://e.x/covers> ?t . }
+            ?t <http://e.x/p> ?o .
+        }"#,
+        &dataset(),
+    )
+    .unwrap();
+    // Both named graphs cover 'a', and 'a' has an outgoing p-edge.
+    assert_eq!(results.len(), 2);
+}
+
+#[test]
+fn graph_constant_missing_graph_yields_empty() {
+    let results = execute(
+        "SELECT ?s WHERE { GRAPH <http://e.x/nope> { ?s ?p ?o . } }",
+        &dataset(),
+    )
+    .unwrap();
+    assert!(results.is_empty());
+}
+
+#[test]
+fn optional_inside_graph_block() {
+    let results = execute(
+        r#"SELECT ?s ?x WHERE {
+            GRAPH <http://e.x/w1> {
+                ?s <http://e.x/covers> ?t .
+                OPTIONAL { ?s <http://e.x/missing> ?x . }
+            }
+        }"#,
+        &dataset(),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 1);
+    assert!(results.get(0, "x").is_none());
+}
+
+#[test]
+fn filter_before_pattern_in_group_still_applies() {
+    // FILTERs apply to the whole group regardless of position.
+    let results = execute(
+        r#"SELECT ?o WHERE {
+            FILTER (?o != <http://e.x/b>)
+            ?s <http://e.x/p> ?o .
+        }"#,
+        &dataset(),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results.get(0, "o").unwrap().short(), "c");
+}
+
+#[test]
+fn distinct_with_partial_projection() {
+    // Two triples share the predicate; projecting only ?p with DISTINCT
+    // collapses them.
+    let results = execute("SELECT DISTINCT ?p WHERE { ?s ?p ?o . }", &dataset()).unwrap();
+    assert_eq!(results.len(), 1);
+}
+
+#[test]
+fn ask_with_limit_zero_still_answers() {
+    let results = execute("ASK { ?s ?p ?o . }", &dataset()).unwrap();
+    assert_eq!(
+        results
+            .get(0, "ask")
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+}
+
+#[test]
+fn numeric_comparison_across_integer_and_double() {
+    let mut ds = Dataset::new();
+    let g = ds.default_graph_mut();
+    g.insert((
+        Term::iri("http://e.x/x"),
+        Term::iri("http://e.x/v"),
+        Term::integer(25),
+    ));
+    g.insert((
+        Term::iri("http://e.x/y"),
+        Term::iri("http://e.x/v"),
+        Term::double(25.5),
+    ));
+    let results = execute(
+        "SELECT ?s WHERE { ?s <http://e.x/v> ?v . FILTER (?v > 25.2) }",
+        &ds,
+    )
+    .unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results.get(0, "s").unwrap().short(), "y");
+}
+
+#[test]
+fn str_function_compares_iri_text() {
+    let results = execute(
+        r#"SELECT ?s WHERE { ?s <http://e.x/p> ?o . FILTER (STR(?s) = "http://e.x/a") }"#,
+        &dataset(),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 1);
+}
+
+#[test]
+fn nested_unions_accumulate() {
+    let results = execute(
+        r#"SELECT ?x WHERE {
+            { ?x <http://e.x/p> <http://e.x/b> . }
+            UNION { ?x <http://e.x/p> <http://e.x/c> . }
+            UNION { <http://e.x/a> <http://e.x/p> ?x . }
+        }"#,
+        &dataset(),
+    )
+    .unwrap();
+    assert_eq!(results.len(), 3);
+}

@@ -1,0 +1,19 @@
+//! Robustness: the SPARQL parser must never panic on arbitrary input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn sparql_parser_never_panics(input in "\\PC*") {
+        let _ = mdm_sparql::parse_query(&input);
+    }
+
+    #[test]
+    fn sparql_parser_never_panics_on_sparqlish(
+        input in "[?$a-zA-Z0-9<>{}()\\.;,\"'= !&|*#\\n:/-]*",
+    ) {
+        let _ = mdm_sparql::parse_query(&input);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the SPARQL engine: BGP evaluation must agree with a
+//! naive reference evaluator on random graphs and patterns.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mdm_rdf::pattern::{Bindings, PatternTerm, TriplePattern};
+use mdm_rdf::{Graph, Term};
+use mdm_sparql::ast::{GraphPattern, Query, QueryForm};
+use mdm_sparql::eval::execute_parsed;
+
+fn arb_node() -> impl Strategy<Value = Term> {
+    (0u8..6).prop_map(|i| Term::iri(format!("http://e.x/n{i}")))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((arb_node(), arb_node(), arb_node()), 0..25)
+        .prop_map(|triples| triples.into_iter().collect())
+}
+
+/// A pattern component: a variable from a tiny pool or a constant node.
+fn arb_component() -> impl Strategy<Value = PatternTerm> {
+    prop_oneof![
+        (0u8..3).prop_map(|i| PatternTerm::var(format!("v{i}"))),
+        arb_node().prop_map(PatternTerm::Const),
+    ]
+}
+
+fn arb_bgp() -> impl Strategy<Value = Vec<TriplePattern>> {
+    proptest::collection::vec(
+        (arb_component(), arb_component(), arb_component()).prop_map(|(s, p, o)| TriplePattern {
+            subject: s,
+            predicate: p,
+            object: o,
+        }),
+        1..4,
+    )
+}
+
+/// Reference: evaluate the BGP by brute-force nested loops over all triples.
+fn naive_bgp(graph: &Graph, patterns: &[TriplePattern]) -> BTreeSet<Bindings> {
+    let triples: Vec<_> = graph.iter().collect();
+    let mut solutions: Vec<Bindings> = vec![Bindings::new()];
+    for pattern in patterns {
+        let mut next = Vec::new();
+        for bindings in &solutions {
+            for (s, p, o) in &triples {
+                let mut extended = bindings.clone();
+                let mut ok = true;
+                for (component, term) in [
+                    (&pattern.subject, s),
+                    (&pattern.predicate, p),
+                    (&pattern.object, o),
+                ] {
+                    match component {
+                        PatternTerm::Const(c) => {
+                            if c != term {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        PatternTerm::Var(v) => match extended.get(v) {
+                            Some(existing) if existing != term => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                extended.insert(v.clone(), term.clone());
+                            }
+                        },
+                    }
+                }
+                if ok {
+                    next.push(extended);
+                }
+            }
+        }
+        solutions = next;
+    }
+    solutions.into_iter().collect()
+}
+
+proptest! {
+    /// The engine's BGP evaluation equals the brute-force evaluation.
+    #[test]
+    fn bgp_matches_naive_evaluation(graph in arb_graph(), bgp in arb_bgp()) {
+        let query = Query {
+            form: QueryForm::Select {
+                distinct: true,
+                variables: vec![],
+            },
+            pattern: GraphPattern::Bgp(bgp.clone()),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        let mut dataset = mdm_rdf::Dataset::new();
+        dataset.default_graph_mut().extend_from(&graph);
+        let engine = execute_parsed(&query, &dataset).unwrap();
+        // Project naive solutions to the pattern's variables (distinct).
+        let variables = GraphPattern::Bgp(bgp.clone()).variables();
+        let expected: BTreeSet<Vec<Option<Term>>> = naive_bgp(&graph, &bgp)
+            .into_iter()
+            .map(|b| variables.iter().map(|v| b.get(v).cloned()).collect())
+            .collect();
+        let actual: BTreeSet<Vec<Option<Term>>> = engine
+            .rows
+            .iter()
+            .map(|row| variables.iter().map(|v| row.get(v).cloned()).collect())
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// UNION of a pattern with itself doubles nothing under DISTINCT and
+    /// changes nothing in the solution *set*.
+    #[test]
+    fn union_idempotent_under_distinct(graph in arb_graph(), bgp in arb_bgp()) {
+        let base = Query {
+            form: QueryForm::Select { distinct: true, variables: vec![] },
+            pattern: GraphPattern::Bgp(bgp.clone()),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        let doubled = Query {
+            form: QueryForm::Select { distinct: true, variables: vec![] },
+            pattern: GraphPattern::Union(
+                Box::new(GraphPattern::Bgp(bgp.clone())),
+                Box::new(GraphPattern::Bgp(bgp)),
+            ),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        let mut dataset = mdm_rdf::Dataset::new();
+        dataset.default_graph_mut().extend_from(&graph);
+        let a = execute_parsed(&base, &dataset).unwrap();
+        let b = execute_parsed(&doubled, &dataset).unwrap();
+        let set = |s: &mdm_sparql::Solutions| -> BTreeSet<_> {
+            s.rows.iter().cloned().collect()
+        };
+        prop_assert_eq!(set(&a), set(&b));
+    }
+
+    /// LIMIT n yields min(n, total) rows; OFFSET k skips exactly k.
+    #[test]
+    fn limit_offset_laws(graph in arb_graph(), n in 0usize..10, k in 0usize..10) {
+        let total_query = Query {
+            form: QueryForm::Select { distinct: false, variables: vec![] },
+            pattern: GraphPattern::Bgp(vec![TriplePattern {
+                subject: PatternTerm::var("s"),
+                predicate: PatternTerm::var("p"),
+                object: PatternTerm::var("o"),
+            }]),
+            order_by: vec![("s".to_string(), false)],
+            limit: None,
+            offset: None,
+        };
+        let mut dataset = mdm_rdf::Dataset::new();
+        dataset.default_graph_mut().extend_from(&graph);
+        let total = execute_parsed(&total_query, &dataset).unwrap().len();
+        let mut limited = total_query.clone();
+        limited.limit = Some(n);
+        limited.offset = Some(k);
+        let got = execute_parsed(&limited, &dataset).unwrap().len();
+        prop_assert_eq!(got, total.saturating_sub(k).min(n));
+    }
+}

@@ -1,0 +1,446 @@
+//! The schema-evolution generator.
+//!
+//! Models what the paper observes in the wild ("in the last year Facebook's
+//! Graph API released four major versions affecting more than twenty
+//! endpoints each, many of them breaking changes"): a stream of schema
+//! changes applied to a source, each producing a new [`Release`].
+//!
+//! A [`SchemaSpec`] describes a flat record type; [`ChangeKind`]s transform
+//! it. [`EvolvingSource`] owns the spec, applies a change, regenerates the
+//! payload and publishes the next version — while remembering, per field,
+//! the *lineage* (which original field a current field descends from), which
+//! is what a data steward uses to re-bind wrappers after a release.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rest::{Format, Release, RestSource};
+
+/// The primitive type of a field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+/// One field of a record schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldSpec {
+    pub name: String,
+    pub field_type: FieldType,
+    /// The name this field had in version 1 (`None` for fields added later).
+    pub origin: Option<String>,
+}
+
+/// A flat record schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaSpec {
+    pub fields: Vec<FieldSpec>,
+}
+
+impl SchemaSpec {
+    /// Builds a v1 schema; every field is its own origin.
+    pub fn new(fields: impl IntoIterator<Item = (impl Into<String>, FieldType)>) -> Self {
+        SchemaSpec {
+            fields: fields
+                .into_iter()
+                .map(|(name, field_type)| {
+                    let name = name.into();
+                    FieldSpec {
+                        origin: Some(name.clone()),
+                        name,
+                        field_type,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The current field names.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldSpec> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// One schema change. Breaking-ness follows the survey taxonomy the paper
+/// cites (Caruccio et al., *Synchronization of Queries and Views Upon Schema
+/// Evolutions*): additions are non-breaking; renames, removals and type
+/// changes break consumers bound to the old shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// Add a new field (non-breaking).
+    AddField { name: String, field_type: FieldType },
+    /// Remove an existing field (breaking).
+    RemoveField { name: String },
+    /// Rename a field (breaking).
+    RenameField { from: String, to: String },
+    /// Change a field's type, e.g. Int → Text ids (breaking).
+    ChangeType { name: String, to: FieldType },
+}
+
+impl ChangeKind {
+    /// True when the change breaks consumers of the previous version.
+    pub fn is_breaking(&self) -> bool {
+        !matches!(self, ChangeKind::AddField { .. })
+    }
+
+    /// Applies the change to a schema.
+    pub fn apply(&self, schema: &mut SchemaSpec) -> Result<(), EvolutionError> {
+        match self {
+            ChangeKind::AddField { name, field_type } => {
+                if schema.field(name).is_some() {
+                    return Err(EvolutionError(format!("field '{name}' already exists")));
+                }
+                schema.fields.push(FieldSpec {
+                    name: name.clone(),
+                    field_type: *field_type,
+                    origin: None,
+                });
+                Ok(())
+            }
+            ChangeKind::RemoveField { name } => {
+                let before = schema.fields.len();
+                schema.fields.retain(|f| f.name != *name);
+                if schema.fields.len() == before {
+                    return Err(EvolutionError(format!("field '{name}' does not exist")));
+                }
+                Ok(())
+            }
+            ChangeKind::RenameField { from, to } => {
+                if schema.field(to).is_some() {
+                    return Err(EvolutionError(format!("field '{to}' already exists")));
+                }
+                match schema.fields.iter_mut().find(|f| f.name == *from) {
+                    Some(field) => {
+                        field.name = to.clone();
+                        Ok(())
+                    }
+                    None => Err(EvolutionError(format!("field '{from}' does not exist"))),
+                }
+            }
+            ChangeKind::ChangeType { name, to } => {
+                match schema.fields.iter_mut().find(|f| f.name == *name) {
+                    Some(field) => {
+                        field.field_type = *to;
+                        Ok(())
+                    }
+                    None => Err(EvolutionError(format!("field '{name}' does not exist"))),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChangeKind::AddField { name, .. } => write!(f, "ADD {name}"),
+            ChangeKind::RemoveField { name } => write!(f, "REMOVE {name}"),
+            ChangeKind::RenameField { from, to } => write!(f, "RENAME {from} → {to}"),
+            ChangeKind::ChangeType { name, to } => write!(f, "RETYPE {name} → {to:?}"),
+        }
+    }
+}
+
+/// An error applying a change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvolutionError(pub String);
+
+impl fmt::Display for EvolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evolution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvolutionError {}
+
+/// A source whose schema evolves release by release.
+#[derive(Clone, Debug)]
+pub struct EvolvingSource {
+    pub endpoint: RestSource,
+    schema: SchemaSpec,
+    version: u32,
+    rows: usize,
+    seed: u64,
+    /// The change log: `(version introduced, change)`.
+    pub history: Vec<(u32, ChangeKind)>,
+}
+
+impl EvolvingSource {
+    /// Creates the source and publishes v1.
+    pub fn new(name: impl Into<String>, schema: SchemaSpec, rows: usize, seed: u64) -> Self {
+        let mut source = EvolvingSource {
+            endpoint: RestSource::new(name),
+            schema,
+            version: 1,
+            rows,
+            seed,
+            history: Vec::new(),
+        };
+        source.publish_current("initial release");
+        source
+    }
+
+    /// The current schema.
+    pub fn schema(&self) -> &SchemaSpec {
+        &self.schema
+    }
+
+    /// The current version number.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Applies a change and publishes the next version.
+    pub fn evolve(&mut self, change: ChangeKind) -> Result<&Release, EvolutionError> {
+        change.apply(&mut self.schema)?;
+        self.version += 1;
+        self.history.push((self.version, change.clone()));
+        self.publish_current(&change.to_string());
+        Ok(self.endpoint.release(self.version).expect("just published"))
+    }
+
+    fn publish_current(&mut self, notes: &str) {
+        let body = generate_payload(&self.schema, self.rows, self.seed ^ self.version as u64);
+        self.endpoint.publish(Release {
+            version: self.version,
+            format: Format::Json,
+            body,
+            notes: notes.to_string(),
+        });
+    }
+
+    /// For each current field, the v1 field it descends from (renames
+    /// tracked through [`FieldSpec::origin`]). Added fields map to `None`.
+    pub fn lineage(&self) -> BTreeMap<String, Option<String>> {
+        self.schema
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.origin.clone()))
+            .collect()
+    }
+}
+
+/// Generates a deterministic JSON array payload for a schema.
+pub fn generate_payload(schema: &SchemaSpec, rows: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let mut fields = Vec::with_capacity(schema.fields.len());
+        for field in &schema.fields {
+            let value = match field.field_type {
+                // The field named "id" (or originating from it) is the key:
+                // sequential so joins across versions line up.
+                FieldType::Int if is_key(field) => i.to_string(),
+                FieldType::Int => rng.gen_range(0..1000).to_string(),
+                FieldType::Float => format!("{:.2}", rng.gen_range(0..10000) as f64 / 100.0),
+                FieldType::Text if is_key(field) => format!("\"k{i}\""),
+                FieldType::Text => format!("\"{}-{}\"", field.name, rng.gen_range(0..1000)),
+                FieldType::Bool => rng.gen_bool(0.5).to_string(),
+            };
+            fields.push(format!("\"{}\":{}", field.name, value));
+        }
+        items.push(format!("{{{}}}", fields.join(",")));
+    }
+    format!("[{}]", items.join(","))
+}
+
+/// Key-like fields generate sequential values (row `i` gets value `i`) so
+/// identifiers and foreign keys (`*_next` in the synthetic chain workloads)
+/// join positionally across sources and versions. They are also protected
+/// from destructive random changes.
+fn is_key(field: &FieldSpec) -> bool {
+    let key_name = |name: &str| name == "id" || name.ends_with("_next");
+    key_name(&field.name) || field.origin.as_deref().is_some_and(key_name)
+}
+
+/// Draws a random applicable change for `schema`, never touching the key
+/// field `id` (sources keep their identifiers; MDM requires joinable ids).
+pub fn random_change(schema: &SchemaSpec, rng: &mut StdRng) -> ChangeKind {
+    let non_key: Vec<&FieldSpec> = schema.fields.iter().filter(|f| !is_key(f)).collect();
+    let choices = if non_key.is_empty() { 1 } else { 4 };
+    match rng.gen_range(0..choices) {
+        0 => ChangeKind::AddField {
+            name: format!("f{}", rng.gen_range(10_000..100_000)),
+            field_type: [FieldType::Int, FieldType::Float, FieldType::Text][rng.gen_range(0..3)],
+        },
+        1 => ChangeKind::RenameField {
+            from: non_key[rng.gen_range(0..non_key.len())].name.clone(),
+            to: format!("r{}", rng.gen_range(10_000..100_000)),
+        },
+        2 => ChangeKind::RemoveField {
+            name: non_key[rng.gen_range(0..non_key.len())].name.clone(),
+        },
+        _ => ChangeKind::ChangeType {
+            name: non_key[rng.gen_range(0..non_key.len())].name.clone(),
+            to: FieldType::Text,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn player_schema() -> SchemaSpec {
+        SchemaSpec::new([
+            ("id", FieldType::Int),
+            ("name", FieldType::Text),
+            ("height", FieldType::Float),
+            ("rating", FieldType::Int),
+        ])
+    }
+
+    #[test]
+    fn changes_apply() {
+        let mut schema = player_schema();
+        ChangeKind::RenameField {
+            from: "name".to_string(),
+            to: "full_name".to_string(),
+        }
+        .apply(&mut schema)
+        .unwrap();
+        ChangeKind::RemoveField {
+            name: "rating".to_string(),
+        }
+        .apply(&mut schema)
+        .unwrap();
+        ChangeKind::AddField {
+            name: "nationality".to_string(),
+            field_type: FieldType::Int,
+        }
+        .apply(&mut schema)
+        .unwrap();
+        assert_eq!(
+            schema.field_names(),
+            vec!["id", "full_name", "height", "nationality"]
+        );
+        // Lineage survives the rename.
+        assert_eq!(
+            schema.field("full_name").unwrap().origin.as_deref(),
+            Some("name")
+        );
+        assert_eq!(schema.field("nationality").unwrap().origin, None);
+    }
+
+    #[test]
+    fn invalid_changes_rejected() {
+        let mut schema = player_schema();
+        assert!(ChangeKind::RemoveField {
+            name: "nope".to_string()
+        }
+        .apply(&mut schema)
+        .is_err());
+        assert!(ChangeKind::RenameField {
+            from: "nope".to_string(),
+            to: "x".to_string()
+        }
+        .apply(&mut schema)
+        .is_err());
+        assert!(ChangeKind::RenameField {
+            from: "name".to_string(),
+            to: "height".to_string()
+        }
+        .apply(&mut schema)
+        .is_err());
+        assert!(ChangeKind::AddField {
+            name: "name".to_string(),
+            field_type: FieldType::Text
+        }
+        .apply(&mut schema)
+        .is_err());
+    }
+
+    #[test]
+    fn breaking_classification() {
+        assert!(!ChangeKind::AddField {
+            name: "x".to_string(),
+            field_type: FieldType::Int
+        }
+        .is_breaking());
+        assert!(ChangeKind::RemoveField {
+            name: "x".to_string()
+        }
+        .is_breaking());
+        assert!(ChangeKind::RenameField {
+            from: "a".to_string(),
+            to: "b".to_string()
+        }
+        .is_breaking());
+    }
+
+    #[test]
+    fn evolving_source_publishes_versions() {
+        let mut source = EvolvingSource::new("API", player_schema(), 10, 42);
+        assert_eq!(source.version(), 1);
+        source
+            .evolve(ChangeKind::RenameField {
+                from: "name".to_string(),
+                to: "full_name".to_string(),
+            })
+            .unwrap();
+        assert_eq!(source.version(), 2);
+        assert_eq!(source.endpoint.versions(), vec![1, 2]);
+        let v2 = source.endpoint.release(2).unwrap();
+        assert!(v2.body.contains("full_name"));
+        assert!(!v2.body.contains("\"name\""));
+        assert_eq!(source.history.len(), 1);
+    }
+
+    #[test]
+    fn lineage_maps_current_to_origin() {
+        let mut source = EvolvingSource::new("API", player_schema(), 5, 1);
+        source
+            .evolve(ChangeKind::RenameField {
+                from: "height".to_string(),
+                to: "height_cm".to_string(),
+            })
+            .unwrap();
+        let lineage = source.lineage();
+        assert_eq!(lineage["height_cm"].as_deref(), Some("height"));
+        assert_eq!(lineage["id"].as_deref(), Some("id"));
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_keyed() {
+        let schema = player_schema();
+        let a = generate_payload(&schema, 5, 7);
+        let b = generate_payload(&schema, 5, 7);
+        assert_eq!(a, b);
+        let parsed = mdm_dataform::json::parse(&a).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows.len(), 5);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.get("id").unwrap().as_number().unwrap().as_i64(),
+                Some(i as i64)
+            );
+        }
+    }
+
+    #[test]
+    fn random_changes_always_apply() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut schema = player_schema();
+        let mut applied = 0;
+        for _ in 0..100 {
+            let change = random_change(&schema, &mut rng);
+            if change.apply(&mut schema).is_ok() {
+                applied += 1;
+            }
+            // id must survive every change.
+            assert!(schema.field("id").is_some());
+        }
+        assert!(applied > 50, "only {applied}/100 random changes applied");
+    }
+}

@@ -1,0 +1,611 @@
+//! The motivational use case: European football data served by four
+//! independent REST APIs (paper §1, Figures 1–2).
+//!
+//! * **Players API** — JSON. v1 has the flat schema of Figure 2; the v2
+//!   release introduces the breaking changes of the demo's
+//!   "governance of evolution" scenario (§3): `name` → `full_name`,
+//!   `preferred_foot` → `foot`, `rating` dropped, the team reference nested
+//!   under `team.id`, and a new `nationality` field. Crucially, **v1 and v2
+//!   serve disjoint subsets of the players** (old records stay on the old
+//!   endpoint), so only a query spanning *both* versions is complete —
+//!   exactly the situation MDM's LAV rewriting is built to handle.
+//! * **Teams API** — XML (Figure 2's `<team>` payload), with league links.
+//! * **Leagues API** — JSON.
+//! * **Countries API** — CSV.
+//!
+//! The well-known rows of the paper's Table 1 (Messi / Lewandowski /
+//! Ibrahimovic and their teams) are always present; additional synthetic
+//! rows are generated deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rest::{Format, Release, RestSource};
+use crate::wrapper::{Signature, Wrapper};
+
+/// Sizing and seeding for the generated ecosystem.
+#[derive(Clone, Debug)]
+pub struct FootballConfig {
+    /// Synthetic teams beyond the three from Table 1.
+    pub extra_teams: usize,
+    /// Players generated per team (the three famous players are extra).
+    pub players_per_team: usize,
+    /// RNG seed; equal seeds give byte-identical payloads.
+    pub seed: u64,
+}
+
+impl Default for FootballConfig {
+    fn default() -> Self {
+        FootballConfig {
+            extra_teams: 5,
+            players_per_team: 4,
+            seed: 2018, // EDBT 2018
+        }
+    }
+}
+
+/// One generated player record (pre-serialisation).
+#[derive(Clone, Debug)]
+pub struct PlayerRecord {
+    pub id: i64,
+    pub name: String,
+    pub height: f64,
+    pub weight: i64,
+    pub rating: i64,
+    pub preferred_foot: &'static str,
+    pub team_id: i64,
+    pub country_id: i64,
+}
+
+/// One generated team record.
+#[derive(Clone, Debug)]
+pub struct TeamRecord {
+    pub id: i64,
+    pub name: String,
+    pub short_name: String,
+    pub league_id: i64,
+}
+
+impl FootballEcosystem {
+    /// True when the player record is served by the v1 endpoint (older
+    /// records stay there; newer ones — including Zlatan — moved to v2).
+    pub fn served_on_v1(&self, player_id: i64) -> bool {
+        player_id < self.version_split_id && player_id != 6178
+    }
+}
+
+/// The full generated dataset plus the four endpoints.
+#[derive(Clone, Debug)]
+pub struct FootballEcosystem {
+    pub players_api: RestSource,
+    pub teams_api: RestSource,
+    pub leagues_api: RestSource,
+    pub countries_api: RestSource,
+    pub players: Vec<PlayerRecord>,
+    pub teams: Vec<TeamRecord>,
+    /// `(id, name, country_id)` per league.
+    pub leagues: Vec<(i64, String, i64)>,
+    /// `(id, name)` per country.
+    pub countries: Vec<(i64, String)>,
+    /// Players with id below this ship on the v1 endpoint; the rest on v2.
+    pub version_split_id: i64,
+}
+
+const COUNTRIES: &[&str] = &["Spain", "Germany", "England", "Italy", "France", "Sweden"];
+const LEAGUES: &[(&str, usize)] = &[
+    ("La Liga", 0),
+    ("Bundesliga", 1),
+    ("Premier League", 2),
+    ("Serie A", 3),
+    ("Ligue 1", 4),
+    ("Allsvenskan", 5),
+];
+const FAMOUS: &[(&str, f64, i64, i64, &str, usize, usize)] = &[
+    // (name, height, weight, rating, foot, team index, country index)
+    ("Lionel Messi", 170.18, 159, 94, "left", 0, 0),
+    ("Robert Lewandowski", 184.0, 176, 92, "right", 1, 1),
+    ("Zlatan Ibrahimovic", 195.0, 209, 90, "right", 2, 5),
+];
+const BASE_TEAMS: &[(&str, &str, usize)] = &[
+    // (name, short name, league index)
+    ("FC Barcelona", "FCB", 0),
+    ("Bayern Munich", "FCB2", 1),
+    ("Manchester United", "MU", 2),
+];
+const FIRST_NAMES: &[&str] = &[
+    "Andres",
+    "Xavi",
+    "Sergio",
+    "Thomas",
+    "Manuel",
+    "Marcus",
+    "David",
+    "Paolo",
+    "Gianluigi",
+    "Antoine",
+    "Olivier",
+    "Henrik",
+    "Fredrik",
+    "Karim",
+    "Luka",
+    "Pedri",
+];
+const LAST_NAMES: &[&str] = &[
+    "Iniesta",
+    "Hernandez",
+    "Ramos",
+    "Muller",
+    "Neuer",
+    "Rashford",
+    "Silva",
+    "Maldini",
+    "Buffon",
+    "Griezmann",
+    "Giroud",
+    "Larsson",
+    "Ljungberg",
+    "Benzema",
+    "Modric",
+    "Gonzalez",
+];
+
+/// Builds the ecosystem with [`FootballConfig::default`].
+pub fn build_default() -> FootballEcosystem {
+    build(&FootballConfig::default())
+}
+
+/// Builds the four endpoints and all records.
+pub fn build(config: &FootballConfig) -> FootballEcosystem {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let countries: Vec<(i64, String)> = COUNTRIES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (i as i64 + 1, (*name).to_string()))
+        .collect();
+    let leagues: Vec<(i64, String, i64)> = LEAGUES
+        .iter()
+        .enumerate()
+        .map(|(i, (name, country))| (i as i64 + 1, (*name).to_string(), *country as i64 + 1))
+        .collect();
+
+    let mut teams: Vec<TeamRecord> = BASE_TEAMS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, short, league))| TeamRecord {
+            id: 25 + i as i64 * 2, // 25, 27, 29 — FCB keeps the paper's id 25
+            name: (*name).to_string(),
+            short_name: (*short).to_string(),
+            league_id: *league as i64 + 1,
+        })
+        .collect();
+    for i in 0..config.extra_teams {
+        let league = rng.gen_range(0..leagues.len());
+        let id = 100 + i as i64;
+        teams.push(TeamRecord {
+            id,
+            name: format!("{} FC {}", COUNTRIES[league % COUNTRIES.len()], id),
+            short_name: format!("T{id}"),
+            league_id: leagues[league].0,
+        });
+    }
+
+    let mut players: Vec<PlayerRecord> = Vec::new();
+    for (i, (name, height, weight, rating, foot, team_index, country_index)) in
+        FAMOUS.iter().enumerate()
+    {
+        players.push(PlayerRecord {
+            id: 6176 + i as i64, // Messi keeps the paper's id 6176
+            name: (*name).to_string(),
+            height: *height,
+            weight: *weight,
+            rating: *rating,
+            preferred_foot: foot,
+            team_id: teams[*team_index].id,
+            country_id: *country_index as i64 + 1,
+        });
+    }
+    let mut next_id = 7000;
+    for team in &teams {
+        for _ in 0..config.players_per_team {
+            let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+            let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            players.push(PlayerRecord {
+                id: next_id,
+                name: format!("{first} {last}"),
+                height: 165.0 + rng.gen_range(0..300) as f64 / 10.0,
+                weight: 130 + rng.gen_range(0..90),
+                rating: 60 + rng.gen_range(0..35),
+                preferred_foot: if rng.gen_bool(0.25) { "left" } else { "right" },
+                team_id: team.id,
+                country_id: countries[rng.gen_range(0..countries.len())].0,
+            });
+            next_id += 1;
+        }
+    }
+
+    // Old players stay on v1, newer ids move to the v2 endpoint. Zlatan
+    // (id 6178) moves too: his record only exists on the new version, so
+    // Table 1 is only complete when the rewriting spans both versions.
+    let version_split_id = 7000 + (players.len() as i64 - 3) / 2;
+    let on_v2 = |p: &&PlayerRecord| p.id >= version_split_id || p.id == 6178;
+    let on_v1 = |p: &&PlayerRecord| !(p.id >= version_split_id || p.id == 6178);
+
+    let mut players_api = RestSource::new("PlayersAPI");
+    players_api.publish(Release {
+        version: 1,
+        format: Format::Json,
+        body: players_v1_payload(players.iter().filter(on_v1)),
+        notes: "initial schema (Figure 2)".to_string(),
+    });
+    players_api.publish(Release {
+        version: 2,
+        format: Format::Json,
+        body: players_v2_payload(players.iter().filter(on_v2)),
+        notes: "BREAKING: name→full_name, preferred_foot→foot, rating removed, \
+                team_id nested under team.id, nationality added"
+            .to_string(),
+    });
+
+    let mut teams_api = RestSource::new("TeamsAPI");
+    teams_api.publish(Release {
+        version: 1,
+        format: Format::Xml,
+        body: teams_payload(&teams),
+        notes: "initial schema (Figure 2)".to_string(),
+    });
+
+    let mut leagues_api = RestSource::new("LeaguesAPI");
+    leagues_api.publish(Release {
+        version: 1,
+        format: Format::Json,
+        body: leagues_payload(&leagues),
+        notes: "initial schema".to_string(),
+    });
+
+    let mut countries_api = RestSource::new("CountriesAPI");
+    countries_api.publish(Release {
+        version: 1,
+        format: Format::Csv,
+        body: countries_payload(&countries),
+        notes: "initial schema".to_string(),
+    });
+
+    FootballEcosystem {
+        players_api,
+        teams_api,
+        leagues_api,
+        countries_api,
+        players,
+        teams,
+        leagues,
+        countries,
+        version_split_id,
+    }
+}
+
+fn players_v1_payload<'a>(players: impl Iterator<Item = &'a PlayerRecord>) -> String {
+    let items: Vec<String> = players
+        .map(|p| {
+            format!(
+                r#"{{"id":{},"name":"{}","height":{},"weight":{},"rating":{},"preferred_foot":"{}","team_id":{},"country_id":{}}}"#,
+                p.id, p.name, p.height, p.weight, p.rating, p.preferred_foot, p.team_id,
+                p.country_id
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn players_v2_payload<'a>(players: impl Iterator<Item = &'a PlayerRecord>) -> String {
+    let items: Vec<String> = players
+        .map(|p| {
+            format!(
+                r#"{{"id":{},"full_name":"{}","height":{},"weight":{},"foot":"{}","team":{{"id":{}}},"nationality":{}}}"#,
+                p.id, p.name, p.height, p.weight, p.preferred_foot, p.team_id, p.country_id
+            )
+        })
+        .collect();
+    format!(r#"{{"players":[{}]}}"#, items.join(","))
+}
+
+fn teams_payload(teams: &[TeamRecord]) -> String {
+    let mut out = String::from("<teams>");
+    for t in teams {
+        out.push_str(&format!(
+            "<team><id>{}</id><name>{}</name><shortName>{}</shortName><leagueId>{}</leagueId></team>",
+            t.id, t.name, t.short_name, t.league_id
+        ));
+    }
+    out.push_str("</teams>");
+    out
+}
+
+fn leagues_payload(leagues: &[(i64, String, i64)]) -> String {
+    let items: Vec<String> = leagues
+        .iter()
+        .map(|(id, name, country)| {
+            format!(r#"{{"id":{id},"name":"{name}","country_id":{country}}}"#)
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn countries_payload(countries: &[(i64, String)]) -> String {
+    let mut out = String::from("id,name\n");
+    for (id, name) in countries {
+        out.push_str(&format!("{id},{name}\n"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The use case's wrappers
+// ---------------------------------------------------------------------------
+
+/// `w1(id, pName, height, weight, score, foot, teamId)` over Players v1 —
+/// the exact signature of the paper's Figure 6, renames included.
+pub fn w1_players_v1(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new(
+            "w1",
+            ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+        )
+        .expect("static signature"),
+        "PlayersAPI",
+        eco.players_api.release(1).expect("v1 published").clone(),
+        [
+            ("id", "id"),
+            ("pName", "name"),
+            ("height", "height"),
+            ("weight", "weight"),
+            ("score", "rating"),
+            ("foot", "preferred_foot"),
+            ("teamId", "team_id"),
+        ],
+    )
+    .expect("static bindings")
+}
+
+/// `w2(id, name, shortName)` over Teams v1 — Figure 6's second wrapper.
+pub fn w2_teams(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new("w2", ["id", "name", "shortName"]).expect("static signature"),
+        "TeamsAPI",
+        eco.teams_api.release(1).expect("v1 published").clone(),
+        [
+            ("id", "team_id"),
+            ("name", "team_name"),
+            ("shortName", "team_shortName"),
+        ],
+    )
+    .expect("static bindings")
+}
+
+/// `w3(id, pName, height, weight, foot, teamId, nationality)` over Players
+/// v2 — registered in the governance-of-evolution scenario. Note the
+/// *breaking* payload differences handled purely in bindings.
+pub fn w3_players_v2(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new(
+            "w3",
+            [
+                "id",
+                "pName",
+                "height",
+                "weight",
+                "foot",
+                "teamId",
+                "nationality",
+            ],
+        )
+        .expect("static signature"),
+        "PlayersAPI",
+        eco.players_api.release(2).expect("v2 published").clone(),
+        [
+            ("id", "players_id"),
+            ("pName", "players_full_name"),
+            ("height", "players_height"),
+            ("weight", "players_weight"),
+            ("foot", "players_foot"),
+            ("teamId", "players_team_id"),
+            ("nationality", "players_nationality"),
+        ],
+    )
+    .expect("static bindings")
+}
+
+/// `w4(id, name, countryId)` over Leagues v1.
+pub fn w4_leagues(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new("w4", ["id", "name", "countryId"]).expect("static signature"),
+        "LeaguesAPI",
+        eco.leagues_api.release(1).expect("v1 published").clone(),
+        [("id", "id"), ("name", "name"), ("countryId", "country_id")],
+    )
+    .expect("static bindings")
+}
+
+/// `w5(id, name)` over Countries v1.
+pub fn w5_countries(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new("w5", ["id", "name"]).expect("static signature"),
+        "CountriesAPI",
+        eco.countries_api.release(1).expect("v1 published").clone(),
+        [("id", "id"), ("name", "name")],
+    )
+    .expect("static bindings")
+}
+
+/// `w6(id, teamLeagueId)` over Teams v1 — a second wrapper over the Teams
+/// source exposing the league link ("regardless of the number of wrappers
+/// per source", §1).
+pub fn w6_team_league(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new("w6", ["id", "leagueId"]).expect("static signature"),
+        "TeamsAPI",
+        eco.teams_api.release(1).expect("v1 published").clone(),
+        [("id", "team_id"), ("leagueId", "team_leagueId")],
+    )
+    .expect("static bindings")
+}
+
+/// `w7(id, countryId)` over Players v1 — player nationality under the v1
+/// schema, used by the "league of their nationality" exemplary query.
+pub fn w7_player_country_v1(eco: &FootballEcosystem) -> Wrapper {
+    Wrapper::over_release(
+        Signature::new("w7", ["id", "countryId"]).expect("static signature"),
+        "PlayersAPI",
+        eco.players_api.release(1).expect("v1 published").clone(),
+        [("id", "id"), ("countryId", "country_id")],
+    )
+    .expect("static bindings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_relational::Value;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build_default();
+        let b = build_default();
+        assert_eq!(
+            a.players_api.release(1).unwrap().body,
+            b.players_api.release(1).unwrap().body
+        );
+        assert_eq!(
+            a.teams_api.release(1).unwrap().body,
+            b.teams_api.release(1).unwrap().body
+        );
+    }
+
+    #[test]
+    fn famous_rows_are_present() {
+        let eco = build_default();
+        let names: Vec<&str> = eco.players.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"Lionel Messi"));
+        assert!(names.contains(&"Robert Lewandowski"));
+        assert!(names.contains(&"Zlatan Ibrahimovic"));
+        let messi = eco
+            .players
+            .iter()
+            .find(|p| p.name == "Lionel Messi")
+            .unwrap();
+        assert_eq!(messi.id, 6176);
+        assert_eq!(messi.height, 170.18);
+        assert_eq!(messi.team_id, 25);
+    }
+
+    #[test]
+    fn w1_produces_figure6_rows() {
+        let eco = build_default();
+        let w1 = w1_players_v1(&eco);
+        assert_eq!(
+            w1.signature().to_string(),
+            "w1(id, pName, height, weight, score, foot, teamId)"
+        );
+        let rows = w1.rows().unwrap();
+        let messi = rows.iter().find(|r| r[0] == Value::Int(6176)).unwrap();
+        assert_eq!(messi[1], Value::str("Lionel Messi"));
+        assert_eq!(messi[5], Value::str("left"));
+        assert_eq!(messi[6], Value::Int(25));
+    }
+
+    #[test]
+    fn w2_reads_xml_teams() {
+        let eco = build_default();
+        let w2 = w2_teams(&eco);
+        let rows = w2.rows().unwrap();
+        let fcb = rows.iter().find(|r| r[0] == Value::Int(25)).unwrap();
+        assert_eq!(fcb[1], Value::str("FC Barcelona"));
+        assert_eq!(fcb[2], Value::str("FCB"));
+    }
+
+    #[test]
+    fn version_split_is_disjoint_and_complete() {
+        let eco = build_default();
+        let v1_rows = w1_players_v1(&eco).rows().unwrap().len();
+        let v2_rows = w3_players_v2(&eco).rows().unwrap().len();
+        assert!(v1_rows > 0 && v2_rows > 0);
+        assert_eq!(v1_rows + v2_rows, eco.players.len());
+    }
+
+    #[test]
+    fn v2_wrapper_handles_breaking_changes() {
+        let eco = build_default();
+        let w3 = w3_players_v2(&eco);
+        let rows = w3.rows().unwrap();
+        assert!(!rows.is_empty());
+        // Every row has a non-null name (bound to full_name) and teamId
+        // (bound to the nested team.id).
+        for row in rows {
+            assert!(!row[1].is_null(), "pName null in {row:?}");
+            assert!(!row[5].is_null(), "teamId null in {row:?}");
+            assert!(!row[6].is_null(), "nationality null in {row:?}");
+        }
+        assert!(w3.dangling_bindings().unwrap().is_empty());
+    }
+
+    #[test]
+    fn old_wrapper_over_new_release_dangles() {
+        // The failure MDM governs: pointing w1's bindings at the v2 payload
+        // leaves most of them dangling.
+        let eco = build_default();
+        let broken = Wrapper::over_release(
+            Signature::new(
+                "w1_broken",
+                ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+            )
+            .unwrap(),
+            "PlayersAPI",
+            eco.players_api.release(2).unwrap().clone(),
+            [
+                ("id", "id"),
+                ("pName", "name"),
+                ("height", "height"),
+                ("weight", "weight"),
+                ("score", "rating"),
+                ("foot", "preferred_foot"),
+                ("teamId", "team_id"),
+            ],
+        )
+        .unwrap();
+        let dangling = broken.dangling_bindings().unwrap();
+        assert!(dangling.contains(&"pName"));
+        assert!(dangling.contains(&"score"));
+        assert!(dangling.contains(&"teamId"));
+    }
+
+    #[test]
+    fn league_and_country_wrappers() {
+        let eco = build_default();
+        assert_eq!(w4_leagues(&eco).rows().unwrap().len(), eco.leagues.len());
+        assert_eq!(
+            w5_countries(&eco).rows().unwrap().len(),
+            eco.countries.len()
+        );
+        let w6 = w6_team_league(&eco);
+        let rows = w6.rows().unwrap();
+        assert_eq!(rows.len(), eco.teams.len());
+        assert!(rows.iter().all(|r| !r[1].is_null()));
+    }
+
+    #[test]
+    fn sizes_scale_with_config() {
+        let small = build(&FootballConfig {
+            extra_teams: 0,
+            players_per_team: 1,
+            seed: 1,
+        });
+        let large = build(&FootballConfig {
+            extra_teams: 20,
+            players_per_team: 10,
+            seed: 1,
+        });
+        assert!(large.players.len() > small.players.len());
+        assert_eq!(small.teams.len(), 3);
+        assert_eq!(large.teams.len(), 23);
+    }
+}

@@ -1,0 +1,130 @@
+//! The wrapper catalog: name → wrapper, usable by the federated executor.
+
+use std::collections::BTreeMap;
+
+use mdm_relational::{Catalog, RelationProvider};
+
+use crate::wrapper::Wrapper;
+
+/// A catalog of registered wrappers, keyed by wrapper name.
+///
+/// This is the bridge between MDM's metadata level (wrappers registered by
+/// the data steward) and the execution level (relations scanned by rewritten
+/// query plans).
+#[derive(Default, Debug, Clone)]
+pub struct WrapperCatalog {
+    wrappers: BTreeMap<String, Wrapper>,
+}
+
+impl WrapperCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        WrapperCatalog::default()
+    }
+
+    /// Registers a wrapper under its signature name. Returns the previous
+    /// wrapper when one with the same name was registered.
+    pub fn register(&mut self, wrapper: Wrapper) -> Option<Wrapper> {
+        self.wrappers.insert(wrapper.name().to_string(), wrapper)
+    }
+
+    /// Removes a wrapper by name.
+    pub fn unregister(&mut self, name: &str) -> Option<Wrapper> {
+        self.wrappers.remove(name)
+    }
+
+    /// The wrapper registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Wrapper> {
+        self.wrappers.get(name)
+    }
+
+    /// All registered wrapper names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.wrappers.keys().map(String::as_str).collect()
+    }
+
+    /// All wrappers reading from the given data source.
+    pub fn for_source(&self, source: &str) -> Vec<&Wrapper> {
+        self.wrappers
+            .values()
+            .filter(|w| w.source() == source)
+            .collect()
+    }
+
+    /// Number of registered wrappers.
+    pub fn len(&self) -> usize {
+        self.wrappers.len()
+    }
+
+    /// True when no wrapper is registered.
+    pub fn is_empty(&self) -> bool {
+        self.wrappers.is_empty()
+    }
+}
+
+impl Catalog for WrapperCatalog {
+    fn provider(&self, name: &str) -> Option<&dyn RelationProvider> {
+        self.wrappers.get(name).map(|w| w as &dyn RelationProvider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rest::{Format, Release};
+    use crate::wrapper::Signature;
+    use mdm_relational::{Executor, Plan};
+
+    fn wrapper(name: &str, source: &str, version: u32) -> Wrapper {
+        Wrapper::identity_over_release(
+            Signature::new(name, ["id", "name"]).unwrap(),
+            source,
+            Release {
+                version,
+                format: Format::Json,
+                body: format!(r#"[{{"id":{version},"name":"row-{name}"}}]"#),
+                notes: String::new(),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut catalog = WrapperCatalog::new();
+        catalog.register(wrapper("w1", "A", 1));
+        catalog.register(wrapper("w2", "A", 2));
+        catalog.register(wrapper("w3", "B", 1));
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(catalog.names(), vec!["w1", "w2", "w3"]);
+        assert_eq!(catalog.for_source("A").len(), 2);
+        assert!(catalog.get("w1").is_some());
+        assert!(catalog.get("nope").is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut catalog = WrapperCatalog::new();
+        assert!(catalog.register(wrapper("w1", "A", 1)).is_none());
+        let old = catalog.register(wrapper("w1", "A", 2)).unwrap();
+        assert_eq!(old.version(), 1);
+        assert_eq!(catalog.get("w1").unwrap().version(), 2);
+    }
+
+    #[test]
+    fn executor_scans_wrappers_through_catalog() {
+        let mut catalog = WrapperCatalog::new();
+        catalog.register(wrapper("w1", "A", 1));
+        let table = Executor::new(&catalog).run(&Plan::scan("w1")).unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows()[0][1], mdm_relational::Value::str("row-w1"));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut catalog = WrapperCatalog::new();
+        catalog.register(wrapper("w1", "A", 1));
+        assert!(catalog.unregister("w1").is_some());
+        assert!(catalog.is_empty());
+    }
+}

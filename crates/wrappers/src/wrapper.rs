@@ -1,0 +1,404 @@
+//! Wrappers: signatures, payload bindings, and 1NF row production.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use mdm_dataform::flatten::{flatten_rows, FlattenOptions, Row};
+use mdm_relational::{ExecError, RelationProvider, Schema, Tuple, Value};
+
+use crate::rest::Release;
+
+/// A wrapper signature `w(a1, …, an)` (paper §2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl Signature {
+    /// Builds a signature; attribute names must be unique and non-empty.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, WrapperError> {
+        let name = name.into();
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if name.is_empty() {
+            return Err(WrapperError("wrapper name must not be empty".to_string()));
+        }
+        if attributes.is_empty() {
+            return Err(WrapperError(format!(
+                "wrapper '{name}' must expose at least one attribute"
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for attribute in &attributes {
+            if attribute.is_empty() {
+                return Err(WrapperError(format!(
+                    "wrapper '{name}' has an empty attribute name"
+                )));
+            }
+            if !seen.insert(attribute.as_str()) {
+                return Err(WrapperError(format!(
+                    "wrapper '{name}' repeats attribute '{attribute}'"
+                )));
+            }
+        }
+        Ok(Signature { name, attributes })
+    }
+
+    /// The wrapper name `w`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute names `a1, …, an` in order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// The arity `n`.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// An error raised while building or executing a wrapper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WrapperError(pub String);
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wrapper error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// A runnable wrapper: a signature, the release it reads, and the binding of
+/// each signature attribute to a flattened payload column.
+///
+/// The binding layer is where the paper's renames happen: the Players
+/// wrapper exposes `foot` for the payload's `preferred_foot` and `pName` for
+/// `name` (Figure 6's `w1(id, pName, height, weight, score, foot, teamId)`).
+#[derive(Debug)]
+pub struct Wrapper {
+    signature: Signature,
+    /// The data source (endpoint) this wrapper reads, e.g. `PlayersAPI`.
+    source: String,
+    /// The schema version it consumes.
+    version: u32,
+    /// `attribute → flattened payload column` pairs, one per attribute.
+    bindings: Vec<(String, String)>,
+    release: Release,
+    /// Rows are produced once and cached; a wrapper models one snapshot.
+    cache: OnceLock<Result<Vec<Tuple>, String>>,
+}
+
+impl Clone for Wrapper {
+    fn clone(&self) -> Self {
+        Wrapper {
+            signature: self.signature.clone(),
+            source: self.source.clone(),
+            version: self.version,
+            bindings: self.bindings.clone(),
+            release: self.release.clone(),
+            cache: OnceLock::new(),
+        }
+    }
+}
+
+impl Wrapper {
+    /// Builds a wrapper over a release.
+    ///
+    /// `bindings` maps each signature attribute to the flattened payload
+    /// column it reads. Every signature attribute must be bound exactly once;
+    /// binding an attribute to a column the payload lacks is *allowed* (it
+    /// produces NULLs) because that is precisely what happens when a source
+    /// evolves under a wrapper — MDM's job is to detect and govern it.
+    pub fn over_release(
+        signature: Signature,
+        source: impl Into<String>,
+        release: Release,
+        bindings: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+    ) -> Result<Self, WrapperError> {
+        let bindings: Vec<(String, String)> = bindings
+            .into_iter()
+            .map(|(a, c)| (a.into(), c.into()))
+            .collect();
+        for attribute in signature.attributes() {
+            let count = bindings.iter().filter(|(a, _)| a == attribute).count();
+            if count != 1 {
+                return Err(WrapperError(format!(
+                    "attribute '{attribute}' of {signature} must be bound exactly once, found {count}",
+                )));
+            }
+        }
+        if bindings.len() != signature.arity() {
+            return Err(WrapperError(format!(
+                "{signature} has {} attributes but {} bindings",
+                signature.arity(),
+                bindings.len()
+            )));
+        }
+        Ok(Wrapper {
+            signature,
+            source: source.into(),
+            version: release.version,
+            bindings,
+            release,
+            cache: OnceLock::new(),
+        })
+    }
+
+    /// Convenience: bindings are identity (attribute name == payload column).
+    pub fn identity_over_release(
+        signature: Signature,
+        source: impl Into<String>,
+        release: Release,
+    ) -> Result<Self, WrapperError> {
+        let bindings: Vec<(String, String)> = signature
+            .attributes()
+            .iter()
+            .map(|a| (a.clone(), a.clone()))
+            .collect();
+        Wrapper::over_release(signature, source, release, bindings)
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The wrapper name (signature name).
+    pub fn name(&self) -> &str {
+        self.signature.name()
+    }
+
+    /// The data source name.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The consumed schema version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The attribute → payload-column bindings.
+    pub fn bindings(&self) -> &[(String, String)] {
+        &self.bindings
+    }
+
+    /// Fetches, parses, flattens and maps the payload into signature rows.
+    pub fn rows(&self) -> Result<&[Tuple], WrapperError> {
+        let result = self.cache.get_or_init(|| self.compute_rows());
+        match result {
+            Ok(rows) => Ok(rows),
+            Err(e) => Err(WrapperError(e.clone())),
+        }
+    }
+
+    fn compute_rows(&self) -> Result<Vec<Tuple>, String> {
+        let value = self.release.parse()?;
+        let flat: Vec<Row> = flatten_rows(&value, &FlattenOptions::default());
+        let rows = flat
+            .into_iter()
+            .map(|row| {
+                self.bindings
+                    .iter()
+                    .map(|(_, column)| {
+                        row.get(column)
+                            .map(|text| Value::from_text(text))
+                            .unwrap_or(Value::Null)
+                    })
+                    .collect::<Tuple>()
+            })
+            .collect();
+        Ok(rows)
+    }
+
+    /// The flattened payload columns this release actually provides — the
+    /// raw material for MDM's automatic *schema extraction* step (§2.2).
+    pub fn payload_columns(&self) -> Result<Vec<String>, WrapperError> {
+        let value = self.release.parse().map_err(WrapperError)?;
+        let flat = flatten_rows(&value, &FlattenOptions::default());
+        Ok(mdm_dataform::flatten::infer_columns(&flat))
+    }
+
+    /// Bindings whose payload column is absent from the release — the
+    /// *dangling* bindings a breaking schema change leaves behind.
+    pub fn dangling_bindings(&self) -> Result<Vec<&str>, WrapperError> {
+        let columns = self.payload_columns()?;
+        Ok(self
+            .bindings
+            .iter()
+            .filter(|(_, column)| !columns.contains(column))
+            .map(|(attribute, _)| attribute.as_str())
+            .collect())
+    }
+}
+
+impl RelationProvider for Wrapper {
+    fn provider_schema(&self) -> Schema {
+        Schema::qualified(self.name(), self.signature.attributes().to_vec())
+    }
+
+    fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
+        Wrapper::rows(self)
+            .map(<[Tuple]>::to_vec)
+            .map_err(|e| ExecError(e.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rest::Format;
+
+    fn players_release() -> Release {
+        Release {
+            version: 1,
+            format: Format::Json,
+            body: r#"[
+                {"id":6176,"name":"Lionel Messi","height":170.18,"weight":159,
+                 "rating":94,"preferred_foot":"left","team_id":25},
+                {"id":6177,"name":"Robert Lewandowski","height":184.0,"weight":176,
+                 "rating":92,"preferred_foot":"right","team_id":27}
+            ]"#
+            .to_string(),
+            notes: String::new(),
+        }
+    }
+
+    /// The paper's w1 with its renames (name→pName, rating→score,
+    /// preferred_foot→foot, team_id→teamId).
+    fn w1() -> Wrapper {
+        Wrapper::over_release(
+            Signature::new(
+                "w1",
+                ["id", "pName", "height", "weight", "score", "foot", "teamId"],
+            )
+            .unwrap(),
+            "PlayersAPI",
+            players_release(),
+            [
+                ("id", "id"),
+                ("pName", "name"),
+                ("height", "height"),
+                ("weight", "weight"),
+                ("score", "rating"),
+                ("foot", "preferred_foot"),
+                ("teamId", "team_id"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn signature_display_matches_paper_notation() {
+        let s = Signature::new("w2", ["id", "name", "shortName"]).unwrap();
+        assert_eq!(s.to_string(), "w2(id, name, shortName)");
+    }
+
+    #[test]
+    fn signature_rejects_duplicates_and_empties() {
+        assert!(Signature::new("w", ["a", "a"]).is_err());
+        assert!(Signature::new("w", [""]).is_err());
+        assert!(Signature::new("", ["a"]).is_err());
+        assert!(Signature::new("w", Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn wrapper_produces_renamed_rows() {
+        let w = w1();
+        let rows = w.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        // pName column (index 1) carries the payload's "name".
+        assert_eq!(rows[0][1], Value::str("Lionel Messi"));
+        // foot column (index 5) carries "preferred_foot".
+        assert_eq!(rows[0][5], Value::str("left"));
+        assert_eq!(rows[0][6], Value::Int(25));
+    }
+
+    #[test]
+    fn provider_schema_is_qualified() {
+        let w = w1();
+        let schema = RelationProvider::provider_schema(&w);
+        assert_eq!(schema.len(), 7);
+        assert!(schema
+            .index_of(&mdm_relational::schema::ColumnRef::qualified("w1", "pName"))
+            .is_ok());
+    }
+
+    #[test]
+    fn missing_column_produces_nulls_and_dangles() {
+        // Wrapper binds an attribute to a column the payload doesn't have —
+        // the evolved-source failure mode.
+        let w = Wrapper::over_release(
+            Signature::new("w1b", ["id", "nationality"]).unwrap(),
+            "PlayersAPI",
+            players_release(),
+            [("id", "id"), ("nationality", "nationality")],
+        )
+        .unwrap();
+        let rows = w.rows().unwrap();
+        assert!(rows[0][1].is_null());
+        assert_eq!(w.dangling_bindings().unwrap(), vec!["nationality"]);
+        assert!(w1().dangling_bindings().unwrap().is_empty());
+    }
+
+    #[test]
+    fn binding_validation() {
+        let sig = Signature::new("w", ["a", "b"]).unwrap();
+        // Missing binding for b.
+        assert!(
+            Wrapper::over_release(sig.clone(), "S", players_release(), [("a", "id")],).is_err()
+        );
+        // Duplicate binding for a.
+        assert!(
+            Wrapper::over_release(sig, "S", players_release(), [("a", "id"), ("a", "name")],)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn payload_columns_reflect_schema_extraction() {
+        let columns = w1().payload_columns().unwrap();
+        assert!(columns.contains(&"preferred_foot".to_string()));
+        assert!(columns.contains(&"team_id".to_string()));
+        assert_eq!(columns.len(), 7);
+    }
+
+    #[test]
+    fn malformed_payload_surfaces_error() {
+        let w = Wrapper::identity_over_release(
+            Signature::new("w", ["id"]).unwrap(),
+            "S",
+            Release {
+                version: 1,
+                format: Format::Json,
+                body: "{broken".to_string(),
+                notes: String::new(),
+            },
+        )
+        .unwrap();
+        assert!(w.rows().is_err());
+        // The error is cached, not recomputed.
+        assert!(w.rows().is_err());
+    }
+
+    #[test]
+    fn rows_are_cached() {
+        let w = w1();
+        let first = w.rows().unwrap().as_ptr();
+        let second = w.rows().unwrap().as_ptr();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,80 @@
+//! Ad-hoc ontology-mediated queries over the football ecosystem, including
+//! the exemplary query of the paper's §1: *"who are the players that play in
+//! a league of their nationality?"*.
+//!
+//! Run with: `cargo run -p mdm-examples --bin adhoc_queries`
+
+use mdm_core::usecase::{self, ex, sports_team};
+use mdm_core::Walk;
+use mdm_wrappers::football;
+
+fn main() {
+    let eco = football::build_default();
+    let mut mdm = usecase::football_mdm(&eco).expect("use case setup");
+    usecase::register_players_v2(&mut mdm, &eco).expect("register v2");
+
+    let queries: Vec<(&str, Walk)> = vec![
+        (
+            "Players and their physical features",
+            Walk::new()
+                .feature(&ex("Player"), &ex("playerName"))
+                .feature(&ex("Player"), &ex("height"))
+                .feature(&ex("Player"), &ex("weight")),
+        ),
+        (
+            "Teams with short names",
+            Walk::new()
+                .feature(&sports_team(), &ex("teamName"))
+                .feature(&sports_team(), &ex("shortName")),
+        ),
+        (
+            "Players and their teams (Figure 8)",
+            usecase::figure8_walk(),
+        ),
+        (
+            "Teams and the league they play in",
+            Walk::new()
+                .feature(&sports_team(), &ex("teamName"))
+                .feature(&ex("League"), &ex("leagueName"))
+                .relation(&sports_team(), &ex("playsIn"), &ex("League")),
+        ),
+        (
+            "Leagues and their countries",
+            Walk::new()
+                .feature(&ex("League"), &ex("leagueName"))
+                .feature(&ex("Country"), &ex("countryName"))
+                .relation(&ex("League"), &ex("ofCountry"), &ex("Country")),
+        ),
+        (
+            "Players that play in a league of their nationality (§1)",
+            usecase::nationality_league_walk(),
+        ),
+    ];
+
+    for (title, walk) in queries {
+        println!("==============================================");
+        println!("OMQ: {title}\n");
+        match mdm.query(&walk) {
+            Ok(answer) => {
+                println!("-- SPARQL --\n{}\n", answer.rewriting.sparql);
+                println!(
+                    "-- algebra ({} branch(es)) --",
+                    answer.rewriting.branch_count()
+                );
+                let algebra = answer.rewriting.algebra();
+                if algebra.chars().count() > 400 {
+                    let prefix: String = algebra.chars().take(400).collect();
+                    println!("{prefix}... [{} chars]\n", algebra.chars().count());
+                } else {
+                    println!("{algebra}\n");
+                }
+                let rendered = answer.render();
+                for line in rendered.lines().take(10) {
+                    println!("{line}");
+                }
+                println!("... ({} rows total)\n", answer.table.len());
+            }
+            Err(e) => println!("query failed: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Semi-automatic source onboarding — the steward-assistance workflow.
+//!
+//! The paper: "data stewards are provided with mechanisms to
+//! semi-automatically integrate new sources and accommodate schema
+//! evolution". This example onboards two sources through
+//! `Mdm::onboard_source`:
+//!
+//! 1. a mirror of the Teams API whose attribute names match the global
+//!    features — it maps fully automatically;
+//! 2. the breaking Players v2 release — attribute *reuse* from the v1
+//!    wrapper resolves the surviving fields, and the report pinpoints what
+//!    the steward still has to decide (the brand-new `nationality` field).
+//!
+//! Run with: `cargo run -p mdm-examples --bin onboarding`
+
+use mdm_core::assist;
+use mdm_core::usecase;
+use mdm_wrappers::football;
+use mdm_wrappers::{Format, Release, RestSource};
+
+fn main() {
+    let eco = football::build_default();
+    let mut mdm = usecase::football_mdm(&eco).expect("use case setup");
+
+    println!("=== Onboarding 1: a fresh source with matching names ===\n");
+    let mut mirror = RestSource::new("TeamsMirror");
+    mirror.publish(Release {
+        version: 1,
+        format: Format::Json,
+        body: r#"[{"team_id":25,"team_name":"FC Barcelona","short_name":"FCB"},
+                  {"team_id":27,"team_name":"Bayern Munich","short_name":"FCB2"}]"#
+            .to_string(),
+        notes: "mirror of the Teams API".to_string(),
+    });
+    let config = r#"{
+        "source": "TeamsMirror",
+        "wrappers": [{
+            "name": "wm1",
+            "version": 1,
+            "bindings": [
+                {"attribute": "teamId",    "column": "team_id"},
+                {"attribute": "teamName",  "column": "team_name"},
+                {"attribute": "shortName", "column": "short_name"}
+            ]
+        }]
+    }"#;
+    for report in mdm.onboard_source(&mirror, config).expect("onboards") {
+        println!(
+            "wrapper {}: mapped={} suggestions={} unmatched={:?} gaps={:?}",
+            report.wrapper,
+            report.mapped,
+            report.suggestions,
+            report.unmatched,
+            report.identifier_gaps
+        );
+    }
+    let walk = usecase::figure8_walk();
+    let answer = mdm.query(&walk).expect("answers");
+    println!(
+        "\nthe Figure 8 walk now unions {} branches (the mirror joined in automatically)\n",
+        answer.rewriting.branch_count()
+    );
+
+    println!("=== Onboarding 2: the breaking Players v2 release ===\n");
+    // Register the v2 wrapper *without* a mapping, then ask for suggestions.
+    mdm.register_wrapper(football::w3_players_v2(&eco))
+        .expect("registers");
+    let draft = assist::suggest_mapping(mdm.ontology(), "w3").expect("suggests");
+    println!("suggestions for w3 (Players v2):");
+    for s in &draft.accepted {
+        println!(
+            "    {:<12} → {:<18} [{:?}] {}",
+            s.attribute,
+            mdm.ontology().compact(&s.feature),
+            s.confidence,
+            s.rationale
+        );
+    }
+    for a in &draft.unmatched {
+        println!("    {a:<12} → (steward decision needed)");
+    }
+    println!(
+        "\ndraft applicable as-is: {} — the steward adds the new 'nationality' \
+         feature to the global graph, extends the draft, and applies.",
+        draft.is_applicable()
+    );
+}

@@ -1,0 +1,69 @@
+//! Drives every example binary end to end and asserts on its output — the
+//! examples are part of the public API surface and must keep working.
+
+use std::process::Command;
+
+fn run(binary: &str) -> String {
+    let output = Command::new(binary)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {binary}: {e}"));
+    assert!(
+        output.status.success(),
+        "{binary} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_regenerates_the_figures() {
+    let out = run(env!("CARGO_BIN_EXE_quickstart"));
+    for needle in [
+        "Sample source payloads (Figure 2)",
+        "Global graph (Figure 5)",
+        "Source graph (Figure 6)",
+        "LAV mappings (Figure 7)",
+        "OMQ (Figure 8)",
+        "SELECT ?teamName ?playerName",
+        "⋈",
+        "Lionel Messi",
+    ] {
+        assert!(out.contains(needle), "quickstart missing '{needle}'");
+    }
+}
+
+#[test]
+fn evolution_demonstrates_governance() {
+    let out = run(env!("CARGO_BIN_EXE_evolution"));
+    assert!(out.contains("Zlatan present? false"));
+    assert!(out.contains("Zlatan present? true"));
+    assert!(out.contains("dangling bindings"));
+    assert!(out.contains("RENAME"));
+    assert!(out.contains("breaking: true"));
+}
+
+#[test]
+fn adhoc_queries_answer_the_nationality_question() {
+    let out = run(env!("CARGO_BIN_EXE_adhoc_queries"));
+    assert!(out.contains("league of their nationality"));
+    assert!(out.contains("rows total"));
+    assert!(!out.contains("query failed"), "an OMQ failed:\n{out}");
+}
+
+#[test]
+fn supersede_scales_and_survives_evolution() {
+    let out = run(env!("CARGO_BIN_EXE_supersede"));
+    assert!(out.contains("walks of increasing span"));
+    assert!(out.contains("continued evolution"));
+    assert!(out.contains("still returns"));
+    assert!(!out.contains("failed:"), "a span failed:\n{out}");
+}
+
+#[test]
+fn onboarding_maps_automatically() {
+    let out = run(env!("CARGO_BIN_EXE_onboarding"));
+    assert!(out.contains("mapped=true"));
+    assert!(out.contains("attribute reused"));
+    assert!(out.contains("steward decision needed"));
+}

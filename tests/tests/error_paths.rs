@@ -1,0 +1,188 @@
+//! Systematic error-path coverage of the public API: every failure mode
+//! surfaces as a typed [`MdmError`] with an actionable message — never a
+//! panic, never silent partial state.
+
+use mdm_core::mapping::MappingBuilder;
+use mdm_core::usecase::{self, ex, sports_team};
+use mdm_core::{Mdm, Walk};
+use mdm_wrappers::football;
+use mdm_wrappers::rest::{Format, Release, RestSource};
+use mdm_wrappers::wrapper::{Signature, Wrapper};
+
+fn system() -> Mdm {
+    let eco = football::build_default();
+    usecase::football_mdm(&eco).unwrap()
+}
+
+#[test]
+fn ontology_errors() {
+    let mut mdm = system();
+    // Feature on unknown concept.
+    let err = mdm.define_feature(&ex("Ghost"), &ex("f")).unwrap_err();
+    assert_eq!(err.category(), "ontology");
+    // Relation to unknown concept.
+    let err = mdm
+        .define_relation(&ex("Player"), &ex("p"), &ex("Ghost"))
+        .unwrap_err();
+    assert_eq!(err.category(), "ontology");
+    // Feature stealing across concepts.
+    let err = mdm
+        .define_feature(&sports_team(), &ex("playerName"))
+        .unwrap_err();
+    assert!(err.message().contains("exactly one concept"));
+}
+
+#[test]
+fn registration_errors() {
+    let mut mdm = system();
+    let release = Release {
+        version: 1,
+        format: Format::Json,
+        body: "[]".to_string(),
+        notes: String::new(),
+    };
+    // Wrapper against an unregistered source.
+    let orphan = Wrapper::identity_over_release(
+        Signature::new("w_orphan", ["id"]).unwrap(),
+        "UnknownSource",
+        release.clone(),
+    )
+    .unwrap();
+    let err = mdm.register_wrapper(orphan).unwrap_err();
+    assert_eq!(err.category(), "registration");
+    assert!(err.message().contains("UnknownSource"));
+    // Duplicate wrapper name.
+    let dup = Wrapper::identity_over_release(
+        Signature::new("w1", ["id"]).unwrap(),
+        "PlayersAPI",
+        release,
+    )
+    .unwrap();
+    let err = mdm.register_wrapper(dup).unwrap_err();
+    assert!(err.message().contains("already registered"));
+    // Metadata unchanged by the failures: still 6 wrappers.
+    assert_eq!(mdm.ontology().wrappers().len(), 6);
+    assert_eq!(mdm.catalog().len(), 6);
+}
+
+#[test]
+fn mapping_errors_leave_no_partial_state() {
+    let mut mdm = system();
+    let eco = football::build_default();
+    mdm.register_wrapper(football::w3_players_v2(&eco)).unwrap();
+    let mappings_before = mdm.ontology().mappings().named_graph_count();
+    let source_before = mdm.ontology().source_graph().len();
+    // Valid contour but a sameAs to a foreign attribute → rejected whole.
+    let err = mdm
+        .define_mapping(
+            MappingBuilder::for_wrapper("w3")
+                .cover_concept(&ex("Player"))
+                .cover_feature(&ex("playerId"))
+                .same_as("id", &ex("playerId"))
+                .same_as("name", &ex("playerId")), // w3 has no 'name'
+        )
+        .unwrap_err();
+    assert_eq!(err.category(), "mapping");
+    assert_eq!(
+        mdm.ontology().mappings().named_graph_count(),
+        mappings_before
+    );
+    assert_eq!(mdm.ontology().source_graph().len(), source_before);
+}
+
+#[test]
+fn walk_and_rewrite_errors() {
+    let mdm = system();
+    // Disconnected walk.
+    let err = mdm
+        .query(
+            &Walk::new()
+                .feature(&ex("Player"), &ex("playerName"))
+                .feature(&ex("Country"), &ex("countryName")),
+        )
+        .unwrap_err();
+    assert_eq!(err.category(), "walk");
+    assert!(err.message().contains("not connected"));
+    // Relation direction matters.
+    let err = mdm
+        .query(
+            &Walk::new()
+                .feature(&ex("Player"), &ex("playerName"))
+                .feature(&sports_team(), &ex("teamName"))
+                .relation(&sports_team(), &ex("hasTeam"), &ex("Player")),
+        )
+        .unwrap_err();
+    assert!(err.message().contains("not a relation"));
+}
+
+#[test]
+fn execution_errors_from_broken_sources() {
+    // A wrapper over a malformed payload: registration succeeds (metadata
+    // is schema-level), execution surfaces the parse failure.
+    let mut mdm = system();
+    let mut broken_api = RestSource::new("BrokenAPI");
+    broken_api.publish(Release {
+        version: 1,
+        format: Format::Json,
+        body: "{definitely not json".to_string(),
+        notes: String::new(),
+    });
+    mdm.add_source("BrokenAPI").unwrap();
+    let wrapper = Wrapper::identity_over_release(
+        Signature::new("wbroken", ["id", "teamName"]).unwrap(),
+        "BrokenAPI",
+        broken_api.release(1).unwrap().clone(),
+    )
+    .unwrap();
+    mdm.register_wrapper(wrapper).unwrap();
+    mdm.define_mapping(
+        MappingBuilder::for_wrapper("wbroken")
+            .cover_concept(&sports_team())
+            .cover_feature(&ex("teamId"))
+            .cover_feature(&ex("teamName"))
+            .same_as("id", &ex("teamId"))
+            .same_as("teamName", &ex("teamName")),
+    )
+    .unwrap();
+    let err = mdm
+        .query(&Walk::new().feature(&sports_team(), &ex("teamName")))
+        .unwrap_err();
+    assert_eq!(err.category(), "execution");
+    assert!(err.message().contains("json"), "{err}");
+}
+
+#[test]
+fn repository_errors() {
+    assert!(Mdm::restore_metadata("garbage").is_err());
+    assert!(Mdm::restore_metadata("# MDM SNAPSHOT v1\ntruncated").is_err());
+    // A snapshot with corrupted Turtle inside.
+    let mut snapshot = system().snapshot();
+    snapshot.push_str("\n=== MAPPINGS ===\nGRAPH <oops> { broken");
+    // Either section parsing or mapping parsing fails — must be an error,
+    // not a partial restore.
+    assert!(Mdm::restore_metadata(&snapshot).is_err());
+}
+
+#[test]
+fn onboard_errors_are_atomic_per_wrapper() {
+    let mut mdm = system();
+    let endpoint = RestSource::new("Empty");
+    // Config referencing a version the endpoint never published.
+    let config = r#"{
+        "source": "Empty",
+        "wrappers": [{
+            "name": "we1",
+            "version": 5,
+            "bindings": [{"attribute": "id", "column": "id"}]
+        }]
+    }"#;
+    let err = mdm.onboard_source(&endpoint, config).unwrap_err();
+    assert_eq!(err.category(), "registration");
+    assert!(err.message().contains("v5"));
+    // Nothing was registered.
+    assert!(!mdm
+        .ontology()
+        .wrappers()
+        .iter()
+        .any(|w| w.local_name() == "we1"));
+}
