@@ -1,0 +1,86 @@
+//! Server throughput over loopback TCP: requests per second end to end
+//! (parse → route → lock → answer → serialize), and the plan cache's
+//! effect on OMQ latency — a cached query skips the three-phase rewriting
+//! and only pays lock + execution + JSON, while every steward mutation
+//! bumps the epoch and forces the next query to replan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mdm_core::usecase;
+use mdm_server::{client, serve, ServerConfig};
+use mdm_wrappers::football;
+
+const FIG8_WALK_BODY: &str = r#"{"walk": "ex:Player { ex:playerName }\nsc:SportsTeam { ex:teamName }\nex:Player -ex:hasTeam-> sc:SportsTeam"}"#;
+
+fn football_server() -> mdm_server::ServerHandle {
+    let eco = football::build_default();
+    let mdm = usecase::football_mdm(&eco).expect("use case builds");
+    serve(ServerConfig::default(), mdm).expect("server binds")
+}
+
+fn server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+
+    // Floor: the cheapest route over a keep-alive connection.
+    let server = football_server();
+    let mut connection = client::Connection::open(server.addr()).expect("connects");
+    group.bench_function("healthz", |b| {
+        b.iter(|| {
+            let response = connection.send("GET", "/healthz", None).expect("responds");
+            assert_eq!(response.status, 200);
+            std::hint::black_box(response.body.len())
+        })
+    });
+    drop(connection);
+    server.shutdown();
+
+    // The Figure 8 OMQ with a warm plan cache: every request after the
+    // first reuses the compiled UCQ.
+    let server = football_server();
+    let mut connection = client::Connection::open(server.addr()).expect("connects");
+    connection
+        .send("POST", "/analyst/query", Some(FIG8_WALK_BODY))
+        .expect("warm-up query");
+    group.bench_function("query_fig8_cached", |b| {
+        b.iter(|| {
+            let response = connection
+                .send("POST", "/analyst/query", Some(FIG8_WALK_BODY))
+                .expect("responds");
+            assert_eq!(response.status, 200);
+            std::hint::black_box(response.body.len())
+        })
+    });
+    drop(connection);
+    server.shutdown();
+
+    // The same OMQ against a cold cache: an (idempotent) steward mutation
+    // bumps the epoch before each query, so every request replans the
+    // three rewriting phases before executing.
+    let server = football_server();
+    let mut connection = client::Connection::open(server.addr()).expect("connects");
+    group.bench_function("query_fig8_uncached", |b| {
+        b.iter(|| {
+            connection
+                .send(
+                    "POST",
+                    "/steward/concepts",
+                    Some(r#"{"concept": "ex:Player"}"#),
+                )
+                .expect("epoch bump");
+            let response = connection
+                .send("POST", "/analyst/query", Some(FIG8_WALK_BODY))
+                .expect("responds");
+            assert_eq!(response.status, 200);
+            std::hint::black_box(response.body.len())
+        })
+    });
+    drop(connection);
+    server.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, server_throughput);
+criterion_main!(benches);

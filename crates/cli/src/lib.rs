@@ -22,6 +22,8 @@ pub struct Session {
     pub ecosystem: Option<FootballEcosystem>,
     /// Lines being accumulated for a multi-line `query`/`rewrite` command.
     pending: Option<(PendingKind, String)>,
+    /// A running HTTP server, when `serve` moved the system behind it.
+    server: Option<mdm_server::ServerHandle>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,7 @@ impl Session {
             mdm: None,
             ecosystem: None,
             pending: None,
+            server: None,
         }
     }
 
@@ -100,6 +103,9 @@ impl Session {
                 Outcome::NeedMore
             }
             "suggest" => self.suggest(argument),
+            "serve" => self.serve(argument),
+            "call" => self.call(argument),
+            "stop" => self.stop_server(),
             "status" => self.status(),
             "snapshot" => self.snapshot(argument),
             "restore" => self.restore(argument),
@@ -254,6 +260,88 @@ impl Session {
         }
     }
 
+    /// `serve [addr]` — moves the loaded system behind an HTTP server.
+    /// The REPL stays usable through `call`, and `stop` brings the (possibly
+    /// stewarded-over-HTTP) system back into the session.
+    fn serve(&mut self, addr: &str) -> Outcome {
+        if self.server.is_some() {
+            return Outcome::Text("a server is already running — 'stop' it first".to_string());
+        }
+        if self.mdm.is_none() {
+            return Outcome::Text("no system loaded — run 'setup football' first".to_string());
+        }
+        let addr = if addr.is_empty() { "127.0.0.1:0" } else { addr };
+        let listener = match std::net::TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => return Outcome::Text(format!("cannot bind {addr}: {e}")),
+        };
+        let mdm = self.mdm.take().expect("checked above");
+        match mdm_server::serve_on(listener, 4, mdm) {
+            Ok(handle) => {
+                let text = format!(
+                    "serving on http://{}\n\
+                     the metadata moved behind the server: use 'call' here or curl from outside\n\
+                     e.g.  call GET /metrics\n\
+                     'stop' shuts the server down and brings the system back",
+                    handle.addr()
+                );
+                self.server = Some(handle);
+                Outcome::Text(text)
+            }
+            Err(e) => Outcome::Text(format!("failed to start server: {e}")),
+        }
+    }
+
+    /// `call METHOD /path [json-body]` — issues one HTTP request against
+    /// the server started with `serve` and pretty-prints the JSON answer.
+    fn call(&mut self, argument: &str) -> Outcome {
+        let Some(server) = &self.server else {
+            return Outcome::Text("no server running — start one with 'serve'".to_string());
+        };
+        let mut parts = argument.splitn(3, ' ');
+        let (method, path) = match (parts.next(), parts.next()) {
+            (Some(m), Some(p)) if p.starts_with('/') => (m.to_ascii_uppercase(), p),
+            _ => {
+                return Outcome::Text(
+                    "usage: call METHOD /path [json-body]   e.g. call GET /healthz".to_string(),
+                )
+            }
+        };
+        let body = parts.next().map(str::trim).filter(|b| !b.is_empty());
+        match mdm_server::client::Connection::open(server.addr())
+            .and_then(|mut c| c.send(&method, path, body))
+        {
+            Ok(response) => {
+                let rendered = match mdm_dataform::json::parse(&response.body) {
+                    Ok(value) => mdm_dataform::json::to_string_pretty(&value),
+                    Err(_) => response.body,
+                };
+                Outcome::Text(format!("HTTP {}\n{rendered}", response.status))
+            }
+            Err(e) => Outcome::Text(format!("request failed: {e}")),
+        }
+    }
+
+    /// `stop` — shuts the server down and restores the system into the
+    /// session, including every change stewards made over HTTP.
+    fn stop_server(&mut self) -> Outcome {
+        match self.server.take() {
+            Some(handle) => match handle.into_mdm() {
+                Some(mdm) => {
+                    let epoch = mdm.epoch();
+                    self.mdm = Some(mdm);
+                    Outcome::Text(format!(
+                        "server stopped — metadata back in the session (epoch {epoch})"
+                    ))
+                }
+                None => Outcome::Text(
+                    "server stopped, but the metadata could not be recovered".to_string(),
+                ),
+            },
+            None => Outcome::Text("no server running".to_string()),
+        }
+    }
+
     fn status(&self) -> Outcome {
         let mdm = match self.require_mdm() {
             Ok(m) => m,
@@ -357,6 +445,9 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   query              enter a walk, finish with '.', execute it (Table 1 style)
   trace              like query, plus a provenance column (which branch/version)
   suggest <wrapper>  semi-automatic mapping suggestions for an unmapped wrapper
+  serve [addr]       expose the system over HTTP (default 127.0.0.1:0; see README)
+  call M /path [json] issue one HTTP request against the running server
+  stop               shut the server down, bring the metadata back
   status             governance dashboard (coverage, versions, unmapped wrappers)
   snapshot [file]    dump the metadata snapshot (to stdout or a file)
   restore <file>     load a metadata snapshot
@@ -469,6 +560,45 @@ mod tests {
         session.interpret("nope:Concept { }");
         let err = text(session.interpret("."));
         assert!(err.contains("walk error"), "{err}");
+    }
+
+    #[test]
+    fn serve_call_stop_round_trip() {
+        let mut session = Session::new();
+        session.interpret("setup football");
+        let started = text(session.interpret("serve 127.0.0.1:0"));
+        assert!(
+            started.contains("serving on http://127.0.0.1:"),
+            "{started}"
+        );
+        // The metadata lives behind the server now.
+        assert!(text(session.interpret("status")).contains("no system loaded"));
+        let health = text(session.interpret("call GET /healthz"));
+        assert!(health.contains("HTTP 200"), "{health}");
+        assert!(health.contains("\"ok\""), "{health}");
+        let answer = text(
+            session
+                .interpret(r#"call POST /analyst/query {"walk": "ex:Player { ex:playerName }"}"#),
+        );
+        assert!(answer.contains("Lionel Messi"), "{answer}");
+        // Steward over HTTP, then verify the change survives `stop`.
+        let defined =
+            text(session.interpret(r#"call POST /steward/concepts {"concept": "ex:Referee"}"#));
+        assert!(defined.contains("HTTP 200"), "{defined}");
+        let stopped = text(session.interpret("stop"));
+        assert!(
+            stopped.contains("metadata back in the session"),
+            "{stopped}"
+        );
+        assert!(text(session.interpret("show global")).contains("ex:Referee"));
+    }
+
+    #[test]
+    fn serve_requires_a_loaded_system() {
+        let mut session = Session::new();
+        assert!(text(session.interpret("serve")).contains("no system loaded"));
+        assert!(text(session.interpret("call GET /healthz")).contains("no server running"));
+        assert!(text(session.interpret("stop")).contains("no server running"));
     }
 
     #[test]

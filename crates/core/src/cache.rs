@@ -1,0 +1,248 @@
+//! Epoch-keyed rewrite-plan cache.
+//!
+//! Rewriting a walk is pure metadata work: its output depends only on the
+//! ontology (global graph, source graph, mappings) and the rewrite options.
+//! Both change *only* through steward calls, so the [`crate::Mdm`] facade
+//! stamps every mutation with a monotonically increasing **metadata epoch**
+//! and this cache keys plans by *(canonical walk, epoch)*: a release, a new
+//! mapping or an option change bumps the epoch and every cached plan from
+//! the previous epoch becomes unreachable — readers can never observe a
+//! stale union that misses a newly mapped wrapper version.
+//!
+//! The cache is LRU-bounded and internally synchronised (a mutex around the
+//! map, atomics for the counters), so it serves concurrent analysts holding
+//! a shared reference — the shape `mdm-server` relies on: many readers under
+//! an `RwLock` read guard, all hitting the same cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::rewrite::Rewriting;
+
+/// Default bound on cached plans; enough for every distinct dashboard query
+/// of a deployment while keeping the worst-case memory small (plans are a
+/// few KiB each).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A point-in-time view of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache at the current epoch.
+    pub hits: u64,
+    /// Lookups that had to rewrite (absent key or stale epoch).
+    pub misses: u64,
+    /// Entries dropped because their epoch was older than the lookup's.
+    pub invalidations: u64,
+    /// Entries dropped to make room (LRU policy).
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Configured bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    epoch: u64,
+    plan: Arc<Rewriting>,
+    last_used: u64,
+}
+
+/// The LRU-bounded, epoch-validated plan cache.
+pub struct PlanCache {
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the plan cached for `key` if it was produced at `epoch`.
+    /// A key cached at an older epoch is dropped (and counted as an
+    /// invalidation): the metadata it was derived from no longer exists.
+    pub fn lookup(&self, key: &str, epoch: u64) -> Option<Arc<Rewriting>> {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        match entries.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches `plan` for `key` as of `epoch`, evicting the least recently
+    /// used entry when full.
+    pub fn insert(&self, key: String, epoch: u64, plan: Arc<Rewriting>) {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+            if let Some(victim) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.insert(
+            key,
+            Entry {
+                epoch,
+                plan,
+                last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.entries.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("plan cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_relational::Plan;
+
+    fn dummy_plan(tag: &str) -> Arc<Rewriting> {
+        Arc::new(Rewriting {
+            queries: Vec::new(),
+            plan: Plan::scan(tag),
+            sparql: String::new(),
+            output_columns: vec![tag.to_string()],
+            expanded_identifiers: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_at_same_epoch() {
+        let cache = PlanCache::new(4);
+        assert!(cache.lookup("q", 1).is_none());
+        cache.insert("q".into(), 1, dummy_plan("w1"));
+        let hit = cache.lookup("q", 1).expect("cached");
+        assert_eq!(hit.output_columns, vec!["w1".to_string()]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = PlanCache::new(4);
+        cache.insert("q".into(), 1, dummy_plan("old"));
+        assert!(cache.lookup("q", 2).is_none(), "stale plan must not serve");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0, "stale entry is dropped eagerly");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), 1, dummy_plan("a"));
+        cache.insert("b".into(), 1, dummy_plan("b"));
+        cache.lookup("a", 1); // refresh a; b is now least recently used
+        cache.insert("c".into(), 1, dummy_plan("c"));
+        assert!(cache.lookup("a", 1).is_some());
+        assert!(cache.lookup("b", 1).is_none(), "b was evicted");
+        assert!(cache.lookup("c", 1).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let cache = PlanCache::new(0);
+        cache.insert("a".into(), 1, dummy_plan("a"));
+        assert!(cache.lookup("a", 1).is_some());
+        assert_eq!(cache.stats().capacity, 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = PlanCache::new(4);
+        cache.insert("a".into(), 1, dummy_plan("a"));
+        cache.lookup("a", 1);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(PlanCache::new(16));
+        cache.insert("q".into(), 1, dummy_plan("w"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert!(cache.lookup("q", 1).is_some());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(cache.stats().hits, 400);
+    }
+}

@@ -83,6 +83,7 @@
 //! ```
 
 pub mod assist;
+pub mod cache;
 pub mod error;
 pub mod expansion;
 pub mod gav;
@@ -105,6 +106,7 @@ pub mod usecase;
 pub mod walk;
 pub mod walk_dsl;
 
+pub use cache::{CacheStats, PlanCache};
 pub use error::MdmError;
 pub use mdm::Mdm;
 pub use ontology::BdiOntology;

@@ -2,10 +2,13 @@
 //! (§2): (a) definition of the global graph, (b) registration of wrappers,
 //! (c) definition of LAV mappings, (d) querying the global graph.
 
+use std::sync::Arc;
+
 use mdm_rdf::term::Iri;
-use mdm_relational::Catalog;
+use mdm_relational::{Catalog, Executor};
 use mdm_wrappers::{Wrapper, WrapperCatalog};
 
+use crate::cache::{CacheStats, PlanCache};
 use crate::error::MdmError;
 use crate::gav::GavMapping;
 use crate::mapping::MappingBuilder;
@@ -40,6 +43,11 @@ pub struct Mdm {
     ontology: BdiOntology,
     catalog: WrapperCatalog,
     options: RewriteOptions,
+    /// Metadata epoch: bumped by every successful steward mutation, so
+    /// derived artifacts (cached plans) can be validated against the
+    /// metadata they were computed from.
+    epoch: u64,
+    plan_cache: PlanCache,
 }
 
 impl Mdm {
@@ -49,6 +57,33 @@ impl Mdm {
             ontology: BdiOntology::new(),
             catalog: WrapperCatalog::new(),
             options: RewriteOptions::default(),
+            epoch: 0,
+            plan_cache: PlanCache::default(),
+        }
+    }
+
+    /// The metadata epoch. Strictly increases across steward mutations;
+    /// two equal epochs guarantee the metadata (and thus every rewriting)
+    /// is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counters of the rewrite-plan cache backing [`Mdm::rewrite_cached`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Raises the epoch to at least `floor`. A freshly restored [`Mdm`]
+    /// starts at epoch 0; a long-running service swapping it in calls this
+    /// with its previous epoch + 1 so observers see time move forward only.
+    pub fn ensure_epoch_at_least(&mut self, floor: u64) {
+        if self.epoch < floor {
+            self.epoch = floor;
         }
     }
 
@@ -62,14 +97,18 @@ impl Mdm {
         &self.catalog
     }
 
-    /// Sets the rewriting options (distinct on/off).
+    /// Sets the rewriting options (distinct on/off). Options shape the
+    /// generated plans, so this bumps the epoch like a metadata change.
     pub fn set_options(&mut self, options: RewriteOptions) {
         self.options = options;
+        self.touch();
     }
 
-    /// Binds a rendering prefix on the underlying ontology.
+    /// Binds a rendering prefix on the underlying ontology. Prefixes flow
+    /// into compacted column names, hence into plans: epoch bump.
     pub(crate) fn bind_prefix_internal(&mut self, prefix: &str, namespace: &str) {
         self.ontology.bind_prefix(prefix, namespace);
+        self.touch();
     }
 
     // ------------------------------------------------------------------
@@ -78,17 +117,23 @@ impl Mdm {
 
     /// Declares a concept.
     pub fn define_concept(&mut self, concept: &Iri) -> Result<(), MdmError> {
-        self.ontology.add_concept(concept)
+        self.ontology.add_concept(concept)?;
+        self.touch();
+        Ok(())
     }
 
     /// Declares a feature of a concept.
     pub fn define_feature(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
-        self.ontology.add_feature(concept, feature)
+        self.ontology.add_feature(concept, feature)?;
+        self.touch();
+        Ok(())
     }
 
     /// Declares the identifier feature of a concept.
     pub fn define_identifier(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
-        self.ontology.add_identifier(concept, feature)
+        self.ontology.add_identifier(concept, feature)?;
+        self.touch();
+        Ok(())
     }
 
     /// Relates two concepts.
@@ -98,12 +143,16 @@ impl Mdm {
         property: &Iri,
         to: &Iri,
     ) -> Result<(), MdmError> {
-        self.ontology.add_relation(from, property, to)
+        self.ontology.add_relation(from, property, to)?;
+        self.touch();
+        Ok(())
     }
 
     /// Declares a concept taxonomy edge.
     pub fn define_subconcept(&mut self, sub: &Iri, sup: &Iri) -> Result<(), MdmError> {
-        self.ontology.add_subconcept(sub, sup)
+        self.ontology.add_subconcept(sub, sup)?;
+        self.touch();
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -112,7 +161,9 @@ impl Mdm {
 
     /// Registers a data source.
     pub fn add_source(&mut self, name: &str) -> Result<Iri, MdmError> {
-        register_source(&mut self.ontology, name)
+        let iri = register_source(&mut self.ontology, name)?;
+        self.touch();
+        Ok(iri)
     }
 
     /// Registers a wrapper release: extracts its schema into the source
@@ -131,6 +182,7 @@ impl Mdm {
             &attributes,
         )?;
         self.catalog.register(wrapper);
+        self.touch();
         Ok(registration)
     }
 
@@ -160,7 +212,11 @@ impl Mdm {
             let draft = crate::assist::suggest_mapping(&self.ontology, &name)?;
             let mapped = if draft.is_applicable() {
                 let builder = draft.to_builder(&self.ontology);
-                builder.apply(&mut self.ontology).is_ok()
+                let applied = builder.apply(&mut self.ontology).is_ok();
+                if applied {
+                    self.touch();
+                }
+                applied
             } else {
                 false
             };
@@ -185,7 +241,9 @@ impl Mdm {
 
     /// Applies a LAV mapping built with [`MappingBuilder`].
     pub fn define_mapping(&mut self, builder: MappingBuilder) -> Result<Iri, MdmError> {
-        builder.apply(&mut self.ontology)
+        let graph = builder.apply(&mut self.ontology)?;
+        self.touch();
+        Ok(graph)
     }
 
     // ------------------------------------------------------------------
@@ -196,6 +254,38 @@ impl Mdm {
     /// Figure 8 view).
     pub fn rewrite(&self, walk: &Walk) -> Result<Rewriting, MdmError> {
         rewrite_walk(&self.ontology, walk, &self.options)
+    }
+
+    /// Like [`Mdm::rewrite`], but consulting the epoch-keyed plan cache
+    /// first: a walk already rewritten at the current metadata epoch is
+    /// served without re-running the three phases. Safe under concurrency —
+    /// the cache is internally synchronised, so shared (`&self`) callers on
+    /// many threads all benefit.
+    pub fn rewrite_cached(&self, walk: &Walk) -> Result<Arc<Rewriting>, MdmError> {
+        let key = walk.canonical_key();
+        if let Some(plan) = self.plan_cache.lookup(&key, self.epoch) {
+            return Ok(plan);
+        }
+        let rewriting = Arc::new(rewrite_walk(&self.ontology, walk, &self.options)?);
+        self.plan_cache
+            .insert(key, self.epoch, Arc::clone(&rewriting));
+        Ok(rewriting)
+    }
+
+    /// Rewrites through the plan cache and executes against the internal
+    /// catalog. Execution always runs (results depend on wrapper *data*,
+    /// which is not governed by the metadata epoch); only the rewriting
+    /// work is reused.
+    pub fn query_cached(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
+        let rewriting = self.rewrite_cached(walk)?;
+        let table = Executor::new(&self.catalog)
+            .run(&rewriting.plan)
+            .map_err(|e| MdmError::Execution(e.0))?
+            .sorted();
+        Ok(QueryAnswer {
+            rewriting: (*rewriting).clone(),
+            table,
+        })
     }
 
     /// Rewrites and executes a walk against the internal wrapper catalog.
@@ -261,6 +351,8 @@ impl Mdm {
             ontology: crate::repo::restore(document)?,
             catalog: WrapperCatalog::new(),
             options: RewriteOptions::default(),
+            epoch: 0,
+            plan_cache: PlanCache::default(),
         })
     }
 }
@@ -508,6 +600,85 @@ mod tests {
             .wrappers()
             .iter()
             .any(|w| w.local_name() == "wn1"));
+    }
+
+    #[test]
+    fn epoch_increases_with_every_steward_call() {
+        let mut mdm = Mdm::new();
+        assert_eq!(mdm.epoch(), 0);
+        mdm.define_concept(&ex("Player")).unwrap();
+        let after_concept = mdm.epoch();
+        assert!(after_concept > 0);
+        mdm.define_feature(&ex("Player"), &ex("playerName"))
+            .unwrap();
+        let after_feature = mdm.epoch();
+        assert!(after_feature > after_concept);
+        // Failed mutations leave the epoch alone.
+        assert!(mdm.define_feature(&ex("Ghost"), &ex("x")).is_err());
+        assert_eq!(mdm.epoch(), after_feature);
+        mdm.set_options(RewriteOptions::default());
+        assert!(mdm.epoch() > after_feature);
+    }
+
+    #[test]
+    fn cached_rewrite_hits_and_matches_uncached() {
+        let mdm = football_mdm();
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&ex("Player"), &ex("hasTeam"), &team);
+        let fresh = mdm.rewrite(&walk).unwrap();
+        let first = mdm.rewrite_cached(&walk).unwrap();
+        let second = mdm.rewrite_cached(&walk).unwrap();
+        assert_eq!(first.algebra(), fresh.algebra());
+        assert_eq!(first.sparql, second.sparql);
+        let stats = mdm.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // query_cached returns the same table as the uncached path.
+        let cached_answer = mdm.query_cached(&walk).unwrap();
+        let plain_answer = mdm.query(&walk).unwrap();
+        assert_eq!(cached_answer.render(), plain_answer.render());
+        assert_eq!(mdm.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn release_registration_invalidates_cached_plans() {
+        // The governance scenario through the cached path: the post-release
+        // rewriting must gain the new version's union branch, never serve
+        // the pre-release plan.
+        let eco = football::build_default();
+        let mut mdm = football_mdm();
+        let player = ex("Player");
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let walk = Walk::new()
+            .feature(&player, &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&player, &ex("hasTeam"), &team);
+        let before = mdm.query_cached(&walk).unwrap();
+        let branches_before = before.rewriting.branch_count();
+        assert!(!before.render().contains("Zlatan"));
+
+        mdm.define_feature(&player, &ex("nationality")).unwrap();
+        mdm.register_wrapper(football::w3_players_v2(&eco)).unwrap();
+        mdm.define_mapping(
+            MappingBuilder::for_wrapper("w3")
+                .cover_concept(&player)
+                .cover_concept(&team)
+                .cover_feature(&ex("playerId"))
+                .cover_feature(&ex("playerName"))
+                .cover_feature(&ex("teamId"))
+                .cover_relation(&player, &ex("hasTeam"), &team)
+                .same_as("id", &ex("playerId"))
+                .same_as("pName", &ex("playerName"))
+                .same_as("teamId", &ex("teamId")),
+        )
+        .unwrap();
+
+        let after = mdm.query_cached(&walk).unwrap();
+        assert!(after.rewriting.branch_count() > branches_before);
+        assert!(after.render().contains("Zlatan Ibrahimovic"));
+        assert!(mdm.cache_stats().invalidations >= 1);
     }
 
     #[test]

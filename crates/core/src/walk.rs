@@ -148,6 +148,36 @@ impl Walk {
         Ok(())
     }
 
+    /// A deterministic textual key identifying the walk's *semantics*: the
+    /// concepts and their features in selection order (they fix the output
+    /// column order) and the relation edges as a set (their order never
+    /// changes the answer). Two walks with equal keys have interchangeable
+    /// rewritings, which is what the epoch-keyed plan cache needs.
+    pub fn canonical_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        for concept in &self.concepts {
+            let _ = write!(key, "c<{concept}>[");
+            for (index, feature) in self.features_of(concept).iter().enumerate() {
+                if index > 0 {
+                    key.push(',');
+                }
+                let _ = write!(key, "{feature}");
+            }
+            key.push_str("];");
+        }
+        let mut relations: Vec<String> = self
+            .relations
+            .iter()
+            .map(|(from, property, to)| format!("r<{from}|{property}|{to}>;"))
+            .collect();
+        relations.sort();
+        for relation in relations {
+            key.push_str(&relation);
+        }
+        key
+    }
+
     fn is_connected(&self) -> bool {
         if self.concepts.len() <= 1 {
             return true;
@@ -267,6 +297,29 @@ mod tests {
             .feature(&ex("Player"), &ex("height"))
             .validate(&o)
             .unwrap();
+    }
+
+    #[test]
+    fn canonical_key_ignores_relation_order_only() {
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let a = figure8_walk();
+        // Same selection, relations listed "first": identical key.
+        let b = Walk::new()
+            .concept(&ex("Player"))
+            .concept(&team)
+            .relation(&ex("Player"), &ex("hasTeam"), &team)
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        // Different concept order changes output columns, so the key differs.
+        let c = Walk::new()
+            .feature(&team, &ex("teamName"))
+            .feature(&ex("Player"), &ex("playerName"))
+            .relation(&ex("Player"), &ex("hasTeam"), &team);
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        // And a different feature set differs too.
+        let d = figure8_walk().feature(&ex("Player"), &ex("height"));
+        assert_ne!(a.canonical_key(), d.canonical_key());
     }
 
     #[test]

@@ -93,6 +93,13 @@ pub fn walk_to_text(walk: &Walk, ontology: &BdiOntology) -> String {
     out
 }
 
+/// Resolves a single prefixed name (`ex:Player`) or bracketed IRI
+/// (`<http://…>`) against the ontology's prefix map — the element-name
+/// syntax every textual MDM interface (CLI, HTTP API) shares.
+pub fn resolve_name(token: &str, ontology: &BdiOntology) -> Result<Iri, MdmError> {
+    resolve(token, ontology).map_err(MdmError::Walk)
+}
+
 fn resolve(token: &str, ontology: &BdiOntology) -> Result<Iri, String> {
     if token.is_empty() {
         return Err("empty name".to_string());

@@ -99,13 +99,18 @@ fn write_prefixes(out: &mut String, prefixes: &PrefixMap) {
 fn write_graph_body(out: &mut String, graph: &Graph, prefixes: &PrefixMap, indent: usize) {
     let pad = "    ".repeat(indent);
     for subject in graph.all_subjects() {
-        let triples = graph.matching(Some(&subject), None, None);
+        let mut triples = graph.matching(Some(&subject), None, None);
         if triples.is_empty() {
             continue;
         }
+        // Canonical order: sort by (predicate, object) *term* value, not
+        // the interner-id order matching() returns — graphs holding the
+        // same triples serialise identically regardless of insertion
+        // history, so snapshot → restore → snapshot is a fixpoint.
+        triples.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.2.cmp(&b.2)));
         out.push_str(&format!("{pad}{}", format_term(&subject, prefixes)));
-        // Group consecutive triples by predicate (matching() returns them
-        // sorted by (s, p, o), so same-predicate triples are adjacent).
+        // Group consecutive triples by predicate (same-predicate triples
+        // are adjacent after the sort).
         let mut last_pred: Option<Term> = None;
         for (_, p, o) in triples {
             if last_pred.as_ref() == Some(&p) {

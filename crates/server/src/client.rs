@@ -1,0 +1,99 @@
+//! A tiny blocking HTTP/1.1 client — enough for the CLI, tests and benches
+//! to drive an `mdm-server` without third-party dependencies.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A response as the client sees it.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Treats non-2xx statuses as errors carrying the body.
+    pub fn into_ok(self) -> Result<String, String> {
+        if (200..300).contains(&self.status) {
+            Ok(self.body)
+        } else {
+            Err(format!("HTTP {}: {}", self.status, self.body))
+        }
+    }
+}
+
+/// A connection that can issue several requests (keep-alive).
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    pub fn open(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Connection { stream })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or_default();
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: mdm\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.stream.flush()?;
+        read_client_response(&mut BufReader::new(&mut self.stream))
+    }
+}
+
+fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line '{}'", status_line.trim_end()),
+            )
+        })?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))?;
+    Ok(ClientResponse { status, body })
+}
+
+/// One-shot GET over a fresh connection.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<ClientResponse> {
+    Connection::open(addr)?.send("GET", path, None)
+}
+
+/// One-shot POST of a JSON body over a fresh connection.
+pub fn post_json(addr: impl ToSocketAddrs, path: &str, body: &str) -> io::Result<ClientResponse> {
+    Connection::open(addr)?.send("POST", path, Some(body))
+}

@@ -1,0 +1,279 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams.
+//!
+//! Implements exactly what the MDM service needs: request-line + header
+//! parsing, `Content-Length` bodies, keep-alive, and response writing.
+//! No chunked transfer, no TLS, no HTTP/2 — analysts and stewards speak
+//! plain JSON over loopback or a trusted network segment.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on header count.
+const MAX_HEADERS: usize = 100;
+/// Upper bound on a request body (wrapper payloads ride in JSON strings).
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (without `?`), when present.
+    pub query: Option<String>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == wanted)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not UTF-8".to_string())
+    }
+
+    /// True when the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    line.push(byte[0]);
+                }
+                if line.len() > MAX_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "header line too long",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "header line is not UTF-8"))
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// cleanly before sending another request (normal keep-alive shutdown);
+/// `InvalidData` errors mean a malformed request (answer 400 and close).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let request_line = match read_line(reader)? {
+        Some(line) if !line.is_empty() => line,
+        _ => return Ok(None),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line '{request_line}'"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol '{version}'"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "connection closed mid-headers")
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed header '{line}'"),
+            )
+        })?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad Content-Length '{length}'"),
+            )
+        })?;
+        if length > MAX_BODY {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// A response ready to serialise.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from already-serialised text.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Serialises `response`; `keep_alive` controls the `Connection` header.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let request = parse(
+            "POST /analyst/query?limit=5 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/analyst/query");
+        assert_eq!(request.query.as_deref(), Some("limit=5"));
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.body_text().unwrap(), "body");
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        let request = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        assert!(parse("BROKEN\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/2\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

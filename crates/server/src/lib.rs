@@ -1,0 +1,316 @@
+//! # mdm-server
+//!
+//! MDM as a service: the steward and analyst APIs of [`mdm_core::Mdm`]
+//! behind a from-scratch HTTP/1.1 JSON interface over
+//! [`std::net::TcpListener`] — no third-party dependencies, matching the
+//! paper's deployment shape (MDM ran as a web application stewards and
+//! analysts share).
+//!
+//! Architecture:
+//!
+//! * [`http`] — request parsing / response writing (keep-alive, bounded).
+//! * [`state`] — one [`mdm_core::Mdm`] behind an `RwLock`: steward routes
+//!   write, analyst routes read concurrently. Every steward mutation bumps
+//!   the metadata **epoch**; analyst rewrites go through the epoch-keyed
+//!   plan cache inside `Mdm`, so repeated dashboards cost one rewriting
+//!   per metadata change, and a release can never serve a stale plan.
+//! * [`routes`] — the JSON route table (`/steward/*`, `/analyst/*`,
+//!   `/healthz`, `/metrics`).
+//! * [`client`] — a tiny blocking HTTP client for the CLI, tests, benches.
+//!
+//! ```no_run
+//! let server = mdm_server::serve(mdm_server::ServerConfig::default(), mdm_core::Mdm::new())?;
+//! println!("listening on {}", server.addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod routes;
+pub mod state;
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use mdm_core::Mdm;
+
+use crate::http::{read_request, write_response, Response};
+use crate::state::AppState;
+
+/// Listener configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the default, for tests).
+    pub addr: String,
+    /// Fixed worker-pool size.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the listener and joins every worker.
+/// One slot per worker holding a clone of the connection it is serving,
+/// so shutdown can force-close blocked keep-alive reads instead of waiting
+/// out their read timeout.
+type ConnSlots = Vec<Mutex<Option<TcpStream>>>;
+
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Option<Arc<AppState>>,
+    stopping: Arc<AtomicBool>,
+    slots: Arc<ConnSlots>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests inspect counters through it).
+    pub fn state(&self) -> &Arc<AppState> {
+        self.state.as_ref().expect("server state taken")
+    }
+
+    /// Stops accepting, drains the workers and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Stops the server and hands back the [`Mdm`] it was serving (with
+    /// everything stewards changed while it ran). `None` only if a worker
+    /// leaked a state reference, which joining the pool prevents.
+    pub fn into_mdm(mut self) -> Option<Mdm> {
+        self.stop();
+        let state = self.state.take()?;
+        Arc::try_unwrap(state).ok().map(|s| {
+            s.mdm
+                .into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+        })
+    }
+
+    fn stop(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Force-close in-flight connections so workers blocked in a
+        // keep-alive read return immediately.
+        for slot in self.slots.iter() {
+            if let Ok(guard) = slot.lock() {
+                if let Some(stream) = guard.as_ref() {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds, spawns the acceptor and the worker pool, and returns immediately.
+pub fn serve(config: ServerConfig, mdm: Mdm) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    serve_on(listener, config.workers, mdm)
+}
+
+/// Like [`serve`], over an already-bound listener — callers that must not
+/// lose `mdm` on a bad address bind first and hand the listener over.
+pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<ServerHandle> {
+    let workers = workers.max(1);
+    let addr = listener.local_addr()?;
+    let state = Arc::new(AppState::new(mdm, workers));
+    let stopping = Arc::new(AtomicBool::new(false));
+
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let slots: Arc<ConnSlots> = Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|index| {
+            let receiver = Arc::clone(&receiver);
+            let state = Arc::clone(&state);
+            let stopping = Arc::clone(&stopping);
+            let slots = Arc::clone(&slots);
+            thread::Builder::new()
+                .name(format!("mdm-worker-{index}"))
+                .spawn(move || loop {
+                    let stream = {
+                        let guard = receiver.lock().expect("job queue poisoned");
+                        guard.recv()
+                    };
+                    match stream {
+                        Ok(stream) if stopping.load(Ordering::SeqCst) => drop(stream),
+                        Ok(stream) => {
+                            *slots[index].lock().expect("slot poisoned") = stream.try_clone().ok();
+                            handle_connection(stream, &state);
+                            *slots[index].lock().expect("slot poisoned") = None;
+                        }
+                        Err(_) => break, // sender dropped: shutting down
+                    }
+                })
+                .expect("failed to spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let stopping = Arc::clone(&stopping);
+        thread::Builder::new()
+            .name("mdm-acceptor".to_string())
+            .spawn(move || {
+                // `sender` moves in here; dropping it on exit stops workers.
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if sender.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("failed to spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state: Some(state),
+        stopping,
+        slots,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+/// Serves one connection: requests in a keep-alive loop until the peer
+/// closes, asks to close, or sends garbage (answered with a 400).
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive();
+                let response = routes::dispatch(state, &request);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                state.count_request();
+                state.count_error();
+                let response = Response::json(
+                    400,
+                    format!(
+                        "{{\"error\":{{\"category\":\"protocol\",\"message\":{:?}}}}}",
+                        e.to_string()
+                    ),
+                );
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
+            Err(_) => return, // timeout or reset
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_and_shutdown_round_trip() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let health = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(
+            health.body.contains("\"status\": \"ok\"") || health.body.contains("\"status\":\"ok\"")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_counted() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let missing = client::get(server.addr(), "/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        let metrics = client::get(server.addr(), "/metrics").unwrap();
+        assert!(metrics.body.contains("\"errors_total\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let mut connection = client::Connection::open(server.addr()).unwrap();
+        for _ in 0..3 {
+            let response = connection.send("GET", "/healthz", None).unwrap();
+            assert_eq!(response.status, 200);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn into_mdm_returns_stewarded_state() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let response = client::post_json(
+            server.addr(),
+            "/steward/concepts",
+            r#"{"concept": "<http://example.org/Player>"}"#,
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let mdm = server.into_mdm().expect("state recovered after join");
+        assert_eq!(mdm.epoch(), 1);
+        assert_eq!(mdm.ontology().concepts().len(), 1);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.shutdown();
+    }
+}

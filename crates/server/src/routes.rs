@@ -1,0 +1,644 @@
+//! The route table: the steward and analyst APIs as JSON-over-HTTP.
+//!
+//! Steward routes (metadata mutations, write lock):
+//!
+//! | method | path                  | body |
+//! |--------|-----------------------|------|
+//! | POST   | `/steward/concepts`   | `{"concept"}` |
+//! | POST   | `/steward/features`   | `{"concept","feature","identifier"?}` |
+//! | POST   | `/steward/relations`  | `{"from","property","to"}` |
+//! | POST   | `/steward/subconcepts`| `{"sub","sup"}` |
+//! | POST   | `/steward/sources`    | `{"name"}` |
+//! | POST   | `/steward/wrappers`   | `{"name","source","version","format"?,"payload","attributes","bindings"}` |
+//! | POST   | `/steward/mappings`   | `{"wrapper","concepts"?,"features"?,"relations"?,"same_as"?}` |
+//! | GET    | `/steward/snapshot`   | — |
+//! | POST   | `/steward/restore`    | `{"snapshot"}` |
+//!
+//! Analyst routes (read lock, shared plan cache):
+//!
+//! | POST | `/analyst/parse`   | `{"walk"}` — walk DSL, echoed canonicalised |
+//! | POST | `/analyst/rewrite` | `{"walk"}` — SPARQL + algebra + branches |
+//! | POST | `/analyst/explain` | `{"walk"}` — the derivation narration |
+//! | POST | `/analyst/query`   | `{"walk"}` — executes, returns the table |
+//!
+//! Plus `GET /healthz` and `GET /metrics`. Element names in bodies are
+//! prefixed names (`ex:Player`) or bracketed IRIs, resolved against the
+//! ontology's prefix map exactly like the walk DSL.
+
+use mdm_core::mapping::MappingBuilder;
+use mdm_core::walk::Walk;
+use mdm_core::walk_dsl;
+use mdm_core::{Mdm, MdmError};
+use mdm_dataform::{json, Value};
+use mdm_rdf::term::Iri;
+use mdm_relational::Table;
+use mdm_wrappers::{Format, Release, Signature, Wrapper};
+
+use crate::http::{Request, Response};
+use crate::state::AppState;
+
+/// Routes the request and maintains the request/error counters.
+pub fn dispatch(state: &AppState, request: &Request) -> Response {
+    state.count_request();
+    let response = route(state, request);
+    if response.status >= 400 {
+        state.count_error();
+    }
+    response
+}
+
+const PATHS: &[(&str, &str)] = &[
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("POST", "/steward/concepts"),
+    ("POST", "/steward/features"),
+    ("POST", "/steward/relations"),
+    ("POST", "/steward/subconcepts"),
+    ("POST", "/steward/sources"),
+    ("POST", "/steward/wrappers"),
+    ("POST", "/steward/mappings"),
+    ("GET", "/steward/snapshot"),
+    ("POST", "/steward/restore"),
+    ("POST", "/analyst/parse"),
+    ("POST", "/analyst/rewrite"),
+    ("POST", "/analyst/explain"),
+    ("POST", "/analyst/query"),
+];
+
+fn route(state: &AppState, request: &Request) -> Response {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/") => index(),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("POST", "/steward/concepts") => steward_concepts(state, request),
+        ("POST", "/steward/features") => steward_features(state, request),
+        ("POST", "/steward/relations") => steward_relations(state, request),
+        ("POST", "/steward/subconcepts") => steward_subconcepts(state, request),
+        ("POST", "/steward/sources") => steward_sources(state, request),
+        ("POST", "/steward/wrappers") => steward_wrappers(state, request),
+        ("POST", "/steward/mappings") => steward_mappings(state, request),
+        ("GET", "/steward/snapshot") => steward_snapshot(state),
+        ("POST", "/steward/restore") => steward_restore(state, request),
+        ("POST", "/analyst/parse") => analyst_parse(state, request),
+        ("POST", "/analyst/rewrite") => analyst_rewrite(state, request),
+        ("POST", "/analyst/explain") => analyst_explain(state, request),
+        ("POST", "/analyst/query") => analyst_query(state, request),
+        _ if PATHS.iter().any(|(_, p)| *p == path) => error_response(
+            405,
+            "protocol",
+            &format!("method {method} not allowed on {path}"),
+        ),
+        _ => error_response(404, "protocol", &format!("no route for {method} {path}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON plumbing
+// ---------------------------------------------------------------------
+
+fn ok_json(value: Value) -> Response {
+    Response::json(200, json::to_string(&value))
+}
+
+fn error_response(status: u16, category: &str, message: &str) -> Response {
+    let body = Value::object([(
+        "error",
+        Value::object([
+            ("category", Value::string(category)),
+            ("message", Value::string(message)),
+        ]),
+    )]);
+    Response::json(status, json::to_string(&body))
+}
+
+fn mdm_error_response(error: &MdmError) -> Response {
+    let status = match error.category() {
+        "execution" => 500,
+        "rewrite" => 422,
+        _ => 400,
+    };
+    error_response(status, error.category(), error.message())
+}
+
+fn parse_body(request: &Request) -> Result<Value, Response> {
+    let text = request
+        .body_text()
+        .map_err(|m| error_response(400, "protocol", &m))?;
+    json::parse(text)
+        .map_err(|e| error_response(400, "protocol", &format!("invalid JSON body: {e}")))
+}
+
+fn str_field<'v>(body: &'v Value, name: &str) -> Result<&'v str, Response> {
+    body.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| error_response(400, "protocol", &format!("missing string field '{name}'")))
+}
+
+fn u32_field(body: &Value, name: &str) -> Result<u32, Response> {
+    body.get(name)
+        .and_then(Value::as_number)
+        .and_then(|n| n.as_i64())
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| error_response(400, "protocol", &format!("missing unsigned field '{name}'")))
+}
+
+fn resolve(mdm: &Mdm, token: &str) -> Result<Iri, Response> {
+    walk_dsl::resolve_name(token, mdm.ontology()).map_err(|e| mdm_error_response(&e))
+}
+
+fn table_json(table: &Table) -> Value {
+    let columns = Value::array(
+        table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| Value::string(c.to_string())),
+    );
+    let rows = Value::array(table.rows().iter().map(|row| {
+        Value::array(row.iter().map(|cell| match cell {
+            mdm_relational::Value::Null => Value::Null,
+            mdm_relational::Value::Bool(b) => Value::Bool(*b),
+            mdm_relational::Value::Int(i) => Value::int(*i),
+            mdm_relational::Value::Float(f) => Value::float(*f),
+            mdm_relational::Value::Str(s) => Value::string(s.clone()),
+        }))
+    }));
+    Value::object([
+        ("columns", columns),
+        ("rows", rows),
+        ("row_count", Value::int(table.len() as i64)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Service routes
+// ---------------------------------------------------------------------
+
+fn index() -> Response {
+    let routes = Value::array(
+        PATHS
+            .iter()
+            .map(|(method, path)| Value::string(format!("{method} {path}"))),
+    );
+    ok_json(Value::object([
+        ("service", Value::string("mdm-server")),
+        ("routes", routes),
+    ]))
+}
+
+fn healthz(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    ok_json(Value::object([
+        ("status", Value::string("ok")),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ]))
+}
+
+fn metrics(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    let stats = mdm.cache_stats();
+    let cache = Value::object([
+        ("hits", Value::int(stats.hits as i64)),
+        ("misses", Value::int(stats.misses as i64)),
+        ("invalidations", Value::int(stats.invalidations as i64)),
+        ("evictions", Value::int(stats.evictions as i64)),
+        ("entries", Value::int(stats.entries as i64)),
+        ("capacity", Value::int(stats.capacity as i64)),
+        ("hit_rate", Value::float(stats.hit_rate())),
+    ]);
+    ok_json(Value::object([
+        ("epoch", Value::int(mdm.epoch() as i64)),
+        (
+            "requests_total",
+            Value::int(state.requests.load(std::sync::atomic::Ordering::Relaxed) as i64),
+        ),
+        (
+            "errors_total",
+            Value::int(state.errors.load(std::sync::atomic::Ordering::Relaxed) as i64),
+        ),
+        (
+            "uptime_ms",
+            Value::int(state.started.elapsed().as_millis() as i64),
+        ),
+        ("workers", Value::int(state.workers as i64)),
+        ("plan_cache", cache),
+    ]))
+}
+
+// ---------------------------------------------------------------------
+// Steward routes
+// ---------------------------------------------------------------------
+
+/// Standard mutation acknowledgement: `{"ok":true,"epoch":N}` (+ extras).
+fn ack(mdm: &Mdm, extras: Vec<(&'static str, Value)>) -> Response {
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ];
+    fields.extend(extras);
+    ok_json(Value::object(fields))
+}
+
+fn steward_concepts(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let concept = match str_field(&body, "concept").and_then(|t| resolve(&mdm, t)) {
+        Ok(iri) => iri,
+        Err(r) => return r,
+    };
+    match mdm.define_concept(&concept) {
+        Ok(()) => ack(&mdm, vec![("concept", Value::string(concept.to_string()))]),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_features(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let identifier = body
+        .get("identifier")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let parsed = str_field(&body, "concept")
+        .and_then(|t| resolve(&mdm, t))
+        .and_then(|c| {
+            str_field(&body, "feature")
+                .and_then(|t| resolve(&mdm, t))
+                .map(|f| (c, f))
+        });
+    let (concept, feature) = match parsed {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    let result = if identifier {
+        mdm.define_identifier(&concept, &feature)
+    } else {
+        mdm.define_feature(&concept, &feature)
+    };
+    match result {
+        Ok(()) => ack(&mdm, vec![("feature", Value::string(feature.to_string()))]),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_relations(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let parsed = (|| {
+        let from = resolve(&mdm, str_field(&body, "from")?)?;
+        let property = resolve(&mdm, str_field(&body, "property")?)?;
+        let to = resolve(&mdm, str_field(&body, "to")?)?;
+        Ok((from, property, to))
+    })();
+    let (from, property, to) = match parsed {
+        Ok(triple) => triple,
+        Err(r) => return r,
+    };
+    match mdm.define_relation(&from, &property, &to) {
+        Ok(()) => ack(
+            &mdm,
+            vec![("property", Value::string(property.to_string()))],
+        ),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_subconcepts(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let parsed = (|| {
+        let sub = resolve(&mdm, str_field(&body, "sub")?)?;
+        let sup = resolve(&mdm, str_field(&body, "sup")?)?;
+        Ok((sub, sup))
+    })();
+    let (sub, sup) = match parsed {
+        Ok(pair) => pair,
+        Err(r) => return r,
+    };
+    match mdm.define_subconcept(&sub, &sup) {
+        Ok(()) => ack(&mdm, vec![("sub", Value::string(sub.to_string()))]),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_sources(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let name = match str_field(&body, "name") {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    match mdm.add_source(name) {
+        Ok(iri) => ack(&mdm, vec![("source", Value::string(iri.to_string()))]),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+/// Registers a wrapper release. `attributes` fixes the signature order;
+/// `bindings` is an object mapping each attribute to the flattened payload
+/// column it reads; `payload` is the release body in `format`
+/// (json | xml | csv, default json).
+fn steward_wrappers(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let built = (|| {
+        let name = str_field(&body, "name")?;
+        let source = str_field(&body, "source")?;
+        let version = u32_field(&body, "version")?;
+        let payload = str_field(&body, "payload")?;
+        let format = match body.get("format").and_then(Value::as_str).unwrap_or("json") {
+            "json" => Format::Json,
+            "xml" => Format::Xml,
+            "csv" => Format::Csv,
+            other => {
+                return Err(error_response(
+                    400,
+                    "protocol",
+                    &format!("unknown format '{other}' (expected json, xml or csv)"),
+                ))
+            }
+        };
+        let attributes: Vec<String> = body
+            .get("attributes")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if attributes.is_empty() {
+            return Err(error_response(
+                400,
+                "protocol",
+                "missing array field 'attributes'",
+            ));
+        }
+        let bindings_object = body
+            .get("bindings")
+            .and_then(Value::as_object)
+            .ok_or_else(|| error_response(400, "protocol", "missing object field 'bindings'"))?;
+        let mut bindings = Vec::with_capacity(attributes.len());
+        for attribute in &attributes {
+            let column = bindings_object
+                .get(attribute)
+                .and_then(Value::as_str)
+                .ok_or_else(|| {
+                    error_response(
+                        400,
+                        "protocol",
+                        &format!("bindings lacks a column for attribute '{attribute}'"),
+                    )
+                })?;
+            bindings.push((attribute.clone(), column.to_string()));
+        }
+        let signature = Signature::new(name, attributes)
+            .map_err(|e| error_response(400, "registration", &e.to_string()))?;
+        let release = Release {
+            version,
+            format,
+            body: payload.to_string(),
+            notes: body
+                .get("notes")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        };
+        Wrapper::over_release(signature, source, release, bindings)
+            .map_err(|e| error_response(400, "registration", &e.to_string()))
+    })();
+    let wrapper = match built {
+        Ok(w) => w,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    match mdm.register_wrapper(wrapper) {
+        Ok(registration) => ack(
+            &mdm,
+            vec![
+                ("wrapper", Value::string(registration.wrapper.to_string())),
+                (
+                    "reused",
+                    Value::array(
+                        registration
+                            .reused
+                            .iter()
+                            .map(|s| Value::string(s.as_str())),
+                    ),
+                ),
+                (
+                    "minted",
+                    Value::array(
+                        registration
+                            .minted
+                            .iter()
+                            .map(|s| Value::string(s.as_str())),
+                    ),
+                ),
+            ],
+        ),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_mappings(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let built = (|| {
+        let wrapper = str_field(&body, "wrapper")?;
+        let mut builder = MappingBuilder::for_wrapper(wrapper);
+        for item in body
+            .get("concepts")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+        {
+            let token = item
+                .as_str()
+                .ok_or_else(|| error_response(400, "protocol", "'concepts' must hold strings"))?;
+            builder = builder.cover_concept(&resolve(&mdm, token)?);
+        }
+        for item in body
+            .get("features")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+        {
+            let token = item
+                .as_str()
+                .ok_or_else(|| error_response(400, "protocol", "'features' must hold strings"))?;
+            builder = builder.cover_feature(&resolve(&mdm, token)?);
+        }
+        for item in body
+            .get("relations")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+        {
+            let from = resolve(&mdm, str_field(item, "from")?)?;
+            let property = resolve(&mdm, str_field(item, "property")?)?;
+            let to = resolve(&mdm, str_field(item, "to")?)?;
+            builder = builder.cover_relation(&from, &property, &to);
+        }
+        for item in body.get("same_as").and_then(Value::as_array).unwrap_or(&[]) {
+            let attribute = str_field(item, "attribute")?;
+            let feature = resolve(&mdm, str_field(item, "feature")?)?;
+            builder = builder.same_as(attribute, &feature);
+        }
+        Ok(builder)
+    })();
+    let builder = match built {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    match mdm.define_mapping(builder) {
+        Ok(graph) => ack(&mdm, vec![("graph", Value::string(graph.to_string()))]),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn steward_snapshot(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    ok_json(Value::object([
+        ("snapshot", Value::string(mdm.snapshot())),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ]))
+}
+
+/// Swaps in restored metadata. Wrapper payloads are data, not metadata:
+/// the execution catalog starts empty and wrappers re-register through
+/// `/steward/wrappers`. The epoch keeps increasing across the swap.
+fn steward_restore(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let snapshot = match str_field(&body, "snapshot") {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    match Mdm::restore_metadata(snapshot) {
+        Ok(mut restored) => {
+            restored.ensure_epoch_at_least(mdm.epoch() + 1);
+            *mdm = restored;
+            ack(&mdm, Vec::new())
+        }
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analyst routes
+// ---------------------------------------------------------------------
+
+/// Parses the `walk` DSL field under the read lock and hands the validated
+/// walk to `handler`.
+fn with_walk(
+    state: &AppState,
+    request: &Request,
+    handler: impl FnOnce(&Mdm, &Walk) -> Result<Value, MdmError>,
+) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let text = match str_field(&body, "walk") {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let mdm = state.mdm.read().expect("state poisoned");
+    let walk = match walk_dsl::parse_walk(text, mdm.ontology())
+        .and_then(|walk| walk.validate(mdm.ontology()).map(|()| walk))
+    {
+        Ok(walk) => walk,
+        Err(e) => return mdm_error_response(&e),
+    };
+    match handler(&mdm, &walk) {
+        Ok(value) => ok_json(value),
+        Err(e) => mdm_error_response(&e),
+    }
+}
+
+fn analyst_parse(state: &AppState, request: &Request) -> Response {
+    with_walk(state, request, |mdm, walk| {
+        Ok(Value::object([
+            (
+                "text",
+                Value::string(walk_dsl::walk_to_text(walk, mdm.ontology())),
+            ),
+            ("canonical_key", Value::string(walk.canonical_key())),
+            ("concepts", Value::int(walk.concepts().len() as i64)),
+            ("features", Value::int(walk.all_features().len() as i64)),
+            ("relations", Value::int(walk.relations().len() as i64)),
+        ]))
+    })
+}
+
+fn analyst_rewrite(state: &AppState, request: &Request) -> Response {
+    with_walk(state, request, |mdm, walk| {
+        let rewriting = mdm.rewrite_cached(walk)?;
+        Ok(Value::object([
+            ("sparql", Value::string(rewriting.sparql.clone())),
+            ("algebra", Value::string(rewriting.algebra())),
+            ("branches", Value::int(rewriting.branch_count() as i64)),
+            (
+                "output_columns",
+                Value::array(
+                    rewriting
+                        .output_columns
+                        .iter()
+                        .map(|s| Value::string(s.as_str())),
+                ),
+            ),
+            ("epoch", Value::int(mdm.epoch() as i64)),
+        ]))
+    })
+}
+
+fn analyst_explain(state: &AppState, request: &Request) -> Response {
+    with_walk(state, request, |mdm, walk| {
+        let rewriting = mdm.rewrite_cached(walk)?;
+        Ok(Value::object([
+            ("explain", Value::string(rewriting.explain())),
+            ("branches", Value::int(rewriting.branch_count() as i64)),
+            ("epoch", Value::int(mdm.epoch() as i64)),
+        ]))
+    })
+}
+
+fn analyst_query(state: &AppState, request: &Request) -> Response {
+    with_walk(state, request, |mdm, walk| {
+        let answer = mdm.query_cached(walk)?;
+        let mut fields = match table_json(&answer.table) {
+            Value::Object(map) => map.into_iter().collect::<Vec<_>>(),
+            _ => unreachable!("table_json returns an object"),
+        };
+        fields.push((
+            "branches".to_string(),
+            Value::int(answer.rewriting.branch_count() as i64),
+        ));
+        fields.push(("epoch".to_string(), Value::int(mdm.epoch() as i64)));
+        Ok(Value::object(fields))
+    })
+}

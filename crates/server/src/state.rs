@@ -1,0 +1,41 @@
+//! Shared server state: the [`Mdm`] instance behind a readers–writer lock
+//! plus request counters.
+//!
+//! Steward routes take the write lock (they mutate metadata and bump the
+//! epoch); analyst routes take the read lock, so any number of queries run
+//! concurrently and all share the epoch-keyed plan cache inside [`Mdm`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+use mdm_core::Mdm;
+
+/// Everything a worker thread needs to answer a request.
+pub struct AppState {
+    pub mdm: RwLock<Mdm>,
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub started: Instant,
+    pub workers: usize,
+}
+
+impl AppState {
+    pub fn new(mdm: Mdm, workers: usize) -> Self {
+        AppState {
+            mdm: RwLock::new(mdm),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            started: Instant::now(),
+            workers,
+        }
+    }
+
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}

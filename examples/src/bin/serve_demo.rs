@@ -1,0 +1,148 @@
+//! MDM as a service: starts `mdm-server` on a loopback port, then plays
+//! both roles over HTTP — the analyst queries the Figure 8 walk (watching
+//! the plan cache warm up), the steward registers the breaking Players API
+//! v2 release, and the same query transparently unions both versions.
+//!
+//! Run with `cargo run -p mdm-examples --bin serve_demo`.
+
+use mdm_core::usecase;
+use mdm_dataform::json;
+use mdm_server::{client, serve, ServerConfig};
+use mdm_wrappers::football;
+
+const FIG8_WALK: &str =
+    "ex:Player { ex:playerName }\nsc:SportsTeam { ex:teamName }\nex:Player -ex:hasTeam-> sc:SportsTeam";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eco = football::build_default();
+    let mdm = usecase::football_mdm(&eco)?;
+    let server = serve(ServerConfig::default(), mdm)?;
+    let addr = server.addr();
+    println!("mdm-server listening on http://{addr}");
+
+    // The analyst poses the Figure 8 walk — twice, to show the plan cache.
+    let query = json::to_string(&mdm_dataform::Value::object([(
+        "walk",
+        mdm_dataform::Value::string(FIG8_WALK),
+    )]));
+    for attempt in 1..=2 {
+        let answer = client::post_json(addr, "/analyst/query", &query)?.into_ok()?;
+        let parsed = json::parse(&answer)?;
+        let rows = parsed.get("row_count").and_then(|v| v.as_number());
+        println!("query #{attempt}: {:?} rows (Table 1 shape)", rows);
+    }
+    let metrics = json::parse(&client::get(addr, "/metrics")?.into_ok()?)?;
+    let cache = metrics.get("plan_cache").expect("metrics expose the cache");
+    println!(
+        "plan cache after warm-up: hits={} misses={}",
+        cache.get("hits").unwrap().scalar_text().unwrap(),
+        cache.get("misses").unwrap().scalar_text().unwrap(),
+    );
+
+    // The steward publishes the breaking v2 release over HTTP: new wrapper
+    // over the evolved payload, its LAV mapping, one new feature.
+    let v2 = eco.players_api.release(2).expect("v2 published");
+    let wrapper_body = mdm_dataform::Value::object([
+        ("name", mdm_dataform::Value::string("w3")),
+        ("source", mdm_dataform::Value::string("PlayersAPI")),
+        ("version", mdm_dataform::Value::int(i64::from(v2.version))),
+        ("format", mdm_dataform::Value::string("json")),
+        ("payload", mdm_dataform::Value::string(v2.body.as_str())),
+        ("notes", mdm_dataform::Value::string(v2.notes.as_str())),
+        (
+            "attributes",
+            mdm_dataform::Value::array(
+                [
+                    "id",
+                    "pName",
+                    "height",
+                    "weight",
+                    "foot",
+                    "teamId",
+                    "nationality",
+                ]
+                .into_iter()
+                .map(mdm_dataform::Value::string),
+            ),
+        ),
+        (
+            "bindings",
+            mdm_dataform::Value::object([
+                ("id", mdm_dataform::Value::string("players_id")),
+                ("pName", mdm_dataform::Value::string("players_full_name")),
+                ("height", mdm_dataform::Value::string("players_height")),
+                ("weight", mdm_dataform::Value::string("players_weight")),
+                ("foot", mdm_dataform::Value::string("players_foot")),
+                ("teamId", mdm_dataform::Value::string("players_team_id")),
+                (
+                    "nationality",
+                    mdm_dataform::Value::string("players_nationality"),
+                ),
+            ]),
+        ),
+    ]);
+    client::post_json(
+        addr,
+        "/steward/features",
+        r#"{"concept": "ex:Player", "feature": "ex:nationality"}"#,
+    )?
+    .into_ok()?;
+    client::post_json(addr, "/steward/wrappers", &json::to_string(&wrapper_body))?.into_ok()?;
+    let mapping = r#"{
+        "wrapper": "w3",
+        "concepts": ["ex:Player", "sc:SportsTeam"],
+        "features": ["ex:playerId", "ex:playerName", "ex:height", "ex:weight",
+                     "ex:foot", "ex:nationality", "ex:teamId"],
+        "relations": [{"from": "ex:Player", "property": "ex:hasTeam", "to": "sc:SportsTeam"}],
+        "same_as": [
+            {"attribute": "id", "feature": "ex:playerId"},
+            {"attribute": "pName", "feature": "ex:playerName"},
+            {"attribute": "height", "feature": "ex:height"},
+            {"attribute": "weight", "feature": "ex:weight"},
+            {"attribute": "foot", "feature": "ex:foot"},
+            {"attribute": "nationality", "feature": "ex:nationality"},
+            {"attribute": "teamId", "feature": "ex:teamId"}
+        ]
+    }"#;
+    client::post_json(addr, "/steward/mappings", mapping)?.into_ok()?;
+    println!("steward registered the breaking v2 release + mapping over HTTP");
+
+    // The very same walk now unions both versions — governed evolution.
+    let answer = json::parse(&client::post_json(addr, "/analyst/query", &query)?.into_ok()?)?;
+    let rows = answer.get("rows").and_then(|v| v.as_array()).unwrap_or(&[]);
+    let zlatan = rows.iter().any(|row| {
+        row.as_array()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .any(|c| c.as_str().is_some_and(|s| s.contains("Zlatan")))
+            })
+            .unwrap_or(false)
+    });
+    println!(
+        "post-release query: {} rows, {} union branches, Zlatan present? {zlatan}",
+        answer.get("row_count").unwrap().scalar_text().unwrap(),
+        answer.get("branches").unwrap().scalar_text().unwrap(),
+    );
+
+    let metrics = json::parse(&client::get(addr, "/metrics")?.into_ok()?)?;
+    println!(
+        "final metrics: epoch={} requests={} cache_invalidations={}",
+        metrics.get("epoch").unwrap().scalar_text().unwrap(),
+        metrics
+            .get("requests_total")
+            .unwrap()
+            .scalar_text()
+            .unwrap(),
+        metrics
+            .get("plan_cache")
+            .and_then(|c| c.get("invalidations"))
+            .unwrap()
+            .scalar_text()
+            .unwrap(),
+    );
+
+    server.shutdown();
+    println!("server stopped cleanly");
+    Ok(())
+}

@@ -61,6 +61,17 @@ fn supersede_scales_and_survives_evolution() {
 }
 
 #[test]
+fn serve_demo_governs_evolution_over_http() {
+    let out = run(env!("CARGO_BIN_EXE_serve_demo"));
+    assert!(out.contains("mdm-server listening on http://127.0.0.1:"));
+    assert!(out.contains("plan cache after warm-up: hits=1 misses=1"));
+    assert!(out.contains("steward registered the breaking v2 release + mapping over HTTP"));
+    assert!(out.contains("Zlatan present? true"));
+    assert!(out.contains("union branches"));
+    assert!(out.contains("server stopped cleanly"));
+}
+
+#[test]
 fn onboarding_maps_automatically() {
     let out = run(env!("CARGO_BIN_EXE_onboarding"));
     assert!(out.contains("mapped=true"));

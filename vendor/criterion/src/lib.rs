@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: `Criterion::benchmark_group` /
+//! `bench_function`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop (short warm-up, then timed
+//! batches) printing mean time per iteration and, when a throughput is
+//! declared, elements per second. No statistics, plots or HTML reports —
+//! the numbers are comparable across runs on the same machine, which is
+//! what the repo's baselines need. `--quick` and other CLI flags are
+//! accepted and ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque black box (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs closures and measures mean wall-clock time per iteration.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: short warm-up, then batches until the measurement
+    /// budget (~120 ms) is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, at most ~20 ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        let start = Instant::now();
+        black_box(routine());
+        let mut probe = start.elapsed().max(Duration::from_nanos(1));
+        while Instant::now() < warmup_deadline && probe < Duration::from_millis(20) {
+            let start = Instant::now();
+            black_box(routine());
+            probe = start.elapsed().max(Duration::from_nanos(1));
+        }
+
+        // Measurement: batches sized so one batch is ~10 ms.
+        let batch = (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 10_000);
+        let budget = Duration::from_millis(120);
+        let mut iterations: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iterations += batch as u64;
+        }
+        self.mean_nanos = elapsed.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { mean_nanos: 0.0 };
+        f(&mut bencher);
+        self.report(&id, bencher.mean_nanos);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { mean_nanos: 0.0 };
+        f(&mut bencher, input);
+        self.report(&id, bencher.mean_nanos);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, mean_nanos: f64) {
+        let label = format!("{}/{}", self.name, id);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_second = n as f64 / (mean_nanos / 1e9);
+                println!(
+                    "{label:<50} time: {:>12}   thrpt: {per_second:>12.0} elem/s",
+                    format_nanos(mean_nanos)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_second = n as f64 / (mean_nanos / 1e9);
+                println!(
+                    "{label:<50} time: {:>12}   thrpt: {:>9.2} MiB/s",
+                    format_nanos(mean_nanos),
+                    per_second / (1024.0 * 1024.0)
+                );
+            }
+            None => {
+                println!("{label:<50} time: {:>12}", format_nanos(mean_nanos));
+            }
+        }
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI flags (`--quick`, `--bench`, filters …).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function(BenchmarkId::from(""), f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn id_renderings() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,782 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest's API its property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! range / tuple / string-pattern / collection strategies, `Just`, `any`,
+//! and the `proptest!`, `prop_oneof!`, `prop_assert!*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failing case reports its inputs but is not
+//!   minimised;
+//! * **deterministic RNG** — cases derive from a fixed per-test seed, so
+//!   runs are reproducible without a `proptest-regressions` file (existing
+//!   regression files are ignored);
+//! * string patterns support the regex subset the tests use (character
+//!   classes, `{m,n}`/`*`/`+`/`?` quantifiers, groups, alternation).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (e.g. the test name).
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64;
+            for byte in label.bytes() {
+                state ^= byte as u64;
+                state = state.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A test-case failure (or rejection) carried out of the test body.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result type of a generated test body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike real proptest there is no value tree and
+    /// therefore no shrinking: a strategy is just a deterministic function
+    /// of the RNG state.
+    pub trait Strategy: 'static {
+        type Value: 'static;
+
+        /// Generates one value.
+        fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.gen_one(rng)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized,
+            O: 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| f(inner.gen_one(rng))))
+        }
+
+        /// Recursive strategies: the closure receives the strategy for the
+        /// previous depth and wraps it one level deeper. This stand-in
+        /// unrolls the recursion `depth` times instead of generating with a
+        /// size budget.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            S: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> BoxedStrategy<T> {
+        pub fn new(generate: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy(Rc::new(generate))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_one(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A weighted union of strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T: 'static> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs a positive weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut draw = rng.below(total);
+            for (weight, strat) in &self.arms {
+                if draw < *weight as u64 {
+                    return strat.gen_one(rng);
+                }
+                draw -= *weight as u64;
+            }
+            unreachable!("weighted draw out of range")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn gen_one(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn gen_one(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// String patterns: a `&str` literal is a strategy generating strings
+    /// matching the regex subset described in [`crate::string`].
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen_one(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_one(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `A` (`any::<i64>()` etc.).
+    pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+        BoxedStrategy::new(A::arbitrary)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly printable ASCII with an occasional wider scalar.
+            if rng.below(8) == 0 {
+                char::from_u32(0x00A0 + (rng.below(0x2000)) as u32).unwrap_or('�')
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeMap;
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// Sizes accepted by the collection strategies.
+    pub trait SizeBounds {
+        /// `(min, max)` inclusive.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeBounds for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// `Vec` strategy with lengths in `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl SizeBounds + 'static,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let (min, max) = size.bounds();
+        let element = element.boxed();
+        BoxedStrategy::new(move |rng| {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len).map(|_| element.gen_one(rng)).collect()
+        })
+    }
+
+    /// `BTreeMap` strategy with sizes in `size` (duplicate keys permitting:
+    /// the map may come out smaller than drawn when the key domain is tiny).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl SizeBounds + 'static,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        let keys = keys.boxed();
+        let values = values.boxed();
+        BoxedStrategy::new(move |rng| {
+            let target = min + rng.below((max - min + 1) as u64) as usize;
+            let mut map = BTreeMap::new();
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 4 + 8 {
+                map.insert(keys.gen_one(rng), values.gen_one(rng));
+                attempts += 1;
+            }
+            map
+        })
+    }
+}
+
+pub mod string {
+    //! Generation for the regex subset used as string strategies.
+    //!
+    //! Supported: literal characters, `[...]` character classes (ranges,
+    //! escapes, leading-`^` negation over printable ASCII), `(...)` groups,
+    //! `|` alternation, `.` (printable ASCII), and the quantifiers `{n}`,
+    //! `{m,n}`, `*` (0–4), `+` (1–4), `?`.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Literal(char),
+        Class { options: Vec<char>, negated: bool },
+        Group(Vec<Vec<Node>>),
+        AnyPrintable,
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Generates one string matching `pattern`. Panics on syntax this
+    /// subset does not understand — that is a test-authoring error.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (alternatives, consumed) = parse_alternation(&chars, 0, false);
+        assert!(
+            consumed == chars.len(),
+            "unsupported regex pattern: {pattern:?}"
+        );
+        let mut out = String::new();
+        emit_alternation(&alternatives, rng, &mut out);
+        out
+    }
+
+    fn parse_alternation(
+        chars: &[char],
+        mut pos: usize,
+        in_group: bool,
+    ) -> (Vec<Vec<Node>>, usize) {
+        let mut alternatives = Vec::new();
+        let mut current = Vec::new();
+        while pos < chars.len() {
+            match chars[pos] {
+                ')' if in_group => break,
+                '|' => {
+                    alternatives.push(std::mem::take(&mut current));
+                    pos += 1;
+                }
+                _ => {
+                    let (node, next) = parse_item(chars, pos, in_group);
+                    current.push(node);
+                    pos = next;
+                }
+            }
+        }
+        alternatives.push(current);
+        (alternatives, pos)
+    }
+
+    fn parse_item(chars: &[char], pos: usize, in_group: bool) -> (Node, usize) {
+        let (atom, next) = parse_atom(chars, pos, in_group);
+        if next < chars.len() {
+            match chars[next] {
+                '{' => {
+                    let close = chars[next..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|i| next + i)
+                        .expect("unterminated {...} quantifier");
+                    let spec: String = chars[next + 1..close].iter().collect();
+                    let (min, max) = match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.parse().expect("bad quantifier"),
+                            n.parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    };
+                    return (Node::Repeat(Box::new(atom), min, max), close + 1);
+                }
+                '*' => return (Node::Repeat(Box::new(atom), 0, 4), next + 1),
+                '+' => return (Node::Repeat(Box::new(atom), 1, 4), next + 1),
+                '?' => return (Node::Repeat(Box::new(atom), 0, 1), next + 1),
+                _ => {}
+            }
+        }
+        (atom, next)
+    }
+
+    fn parse_atom(chars: &[char], pos: usize, _in_group: bool) -> (Node, usize) {
+        match chars[pos] {
+            '(' => {
+                let (alternatives, end) = parse_alternation(chars, pos + 1, true);
+                assert!(
+                    end < chars.len() && chars[end] == ')',
+                    "unterminated group in pattern"
+                );
+                (Node::Group(alternatives), end + 1)
+            }
+            '[' => parse_class(chars, pos + 1),
+            '.' => (Node::AnyPrintable, pos + 1),
+            '\\' => (
+                Node::Literal(*chars.get(pos + 1).expect("dangling escape")),
+                pos + 2,
+            ),
+            c => (Node::Literal(c), pos + 1),
+        }
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut options = Vec::new();
+        let mut negated = false;
+        if chars.get(pos) == Some(&'^') {
+            negated = true;
+            pos += 1;
+        }
+        let mut first = true;
+        while pos < chars.len() && (chars[pos] != ']' || first) {
+            first = false;
+            let c = if chars[pos] == '\\' {
+                pos += 1;
+                *chars.get(pos).expect("dangling escape in class")
+            } else {
+                chars[pos]
+            };
+            // Range `a-z` (a `-` at the end of the class is a literal).
+            if chars.get(pos + 1) == Some(&'-') && chars.get(pos + 2).is_some_and(|&n| n != ']') {
+                let hi = chars[pos + 2];
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        options.push(ch);
+                    }
+                }
+                pos += 3;
+            } else {
+                options.push(c);
+                pos += 1;
+            }
+        }
+        assert!(chars.get(pos) == Some(&']'), "unterminated character class");
+        (Node::Class { options, negated }, pos + 1)
+    }
+
+    fn emit_alternation(alternatives: &[Vec<Node>], rng: &mut TestRng, out: &mut String) {
+        let pick = rng.below(alternatives.len() as u64) as usize;
+        for node in &alternatives[pick] {
+            emit(node, rng, out);
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::AnyPrintable => out.push((b' ' + rng.below(95) as u8) as char),
+            Node::Class { options, negated } => {
+                if *negated {
+                    loop {
+                        let candidate = (b' ' + rng.below(95) as u8) as char;
+                        if !options.contains(&candidate) {
+                            out.push(candidate);
+                            break;
+                        }
+                    }
+                } else {
+                    assert!(!options.is_empty(), "empty character class");
+                    out.push(options[rng.below(options.len() as u64) as usize]);
+                }
+            }
+            Node::Group(alternatives) => emit_alternation(alternatives, rng, out),
+            Node::Repeat(inner, min, max) => {
+                let count = *min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..count {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// its inputs reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// A (possibly weighted) union of strategies over the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases; the body may
+/// use `prop_assert!*`, `?` on `TestCaseResult`, and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_internal! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_internal! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_internal {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let combined = ($($strategy,)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let ($($parm,)+) = $crate::strategy::Strategy::gen_one(&combined, &mut rng);
+                let inputs = format!(
+                    concat!($(stringify!($parm), " = {:?}; ",)+),
+                    $(&$parm,)+
+                );
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed at case {}/{}:\n{}\ninputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg,
+                            inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic("shape");
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = crate::string::generate("x(ab|cd)?[0-9]{2}", &mut rng);
+            assert!(t.starts_with('x'), "{t:?}");
+            assert!(t.ends_with(|c: char| c.is_ascii_digit()), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_classes_generate() {
+        let mut rng = TestRng::deterministic("unicode");
+        let s = crate::string::generate("[ -~àé😀]{0,10}", &mut rng);
+        assert!(s.chars().count() <= 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(pair in (0usize..10, 1i64..5), flag in any::<bool>()) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((1..5).contains(&pair.1));
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            items in crate::collection::vec(0u8..4, 2..6),
+            map in crate::collection::btree_map("[a-z]{1,3}", 0i64..9, 0..4),
+        ) {
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(map.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            2 => (0u8..10).prop_map(i64::from),
+            1 => Just(-1i64),
+        ]) {
+            prop_assert!(v == -1 || (0..10).contains(&v));
+        }
+    }
+}
