@@ -1,0 +1,65 @@
+//! P8 — degraded-mode execution cost vs. transient-fault rate.
+//!
+//! Runs the evolved football UCQ (4 branches over w1/w2/w3) through
+//! [`mdm_core::Mdm::query_degraded`] while the injected transient-error
+//! rate grows: 0% (the fault-free baseline, measuring the pure overhead of
+//! the retry/breaker plumbing), 10% and 30%. Backoff sleeps are zeroed so
+//! the numbers isolate the *computational* cost of fault recovery —
+//! re-fetching, re-parsing and completeness accounting — from wall-clock
+//! sleeping. Expected: cost grows roughly with 1/(1-rate) (the expected
+//! number of attempts per fetch).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdm_core::usecase;
+use mdm_core::Mdm;
+use mdm_relational::{Deadline, RetryPolicy};
+use mdm_wrappers::football;
+use mdm_wrappers::FaultPlan;
+
+fn evolved_mdm() -> Mdm {
+    let eco = football::build_default();
+    let mut mdm = usecase::football_mdm(&eco).expect("use case builds");
+    usecase::register_players_v2(&mut mdm, &eco).expect("v2 registers");
+    mdm
+}
+
+fn p8_fault_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p8_fault_recovery_vs_rate");
+    group.sample_size(20);
+    let walk = usecase::figure8_walk();
+    for rate_pct in [0u32, 10, 30] {
+        let mut mdm = evolved_mdm();
+        mdm.set_retry_policy(RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0xbe7c,
+        });
+        if rate_pct > 0 {
+            mdm.set_fault_plan(Some(Arc::new(
+                FaultPlan::seeded(0xfa17).transient_rate(f64::from(rate_pct) / 100.0),
+            )));
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rate_pct}pct")),
+            &mdm,
+            |b, mdm| {
+                b.iter(|| {
+                    let answer = mdm
+                        .query_degraded(&walk, Deadline::none())
+                        .expect("transient faults are absorbed");
+                    assert!(answer.completeness.is_complete());
+                    std::hint::black_box(answer)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, p8_fault_recovery);
+criterion_main!(benches);

@@ -10,11 +10,15 @@
 //! every command is unit-testable; `main.rs` is a thin REPL around it.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 use mdm_core::usecase;
 use mdm_core::walk_dsl;
 use mdm_core::Mdm;
+use mdm_relational::Deadline;
 use mdm_wrappers::football::{self, FootballEcosystem};
+use mdm_wrappers::FaultPlan;
 
 /// The interpreter state: the system plus the ecosystem backing it.
 pub struct Session {
@@ -24,6 +28,12 @@ pub struct Session {
     pending: Option<(PendingKind, String)>,
     /// A running HTTP server, when `serve` moved the system behind it.
     server: Option<mdm_server::ServerHandle>,
+    /// Fault-injection seed applied to every loaded system (`--fault-seed`).
+    fault_seed: Option<u64>,
+    /// Transient-fault rate paired with `fault_seed`.
+    fault_rate: f64,
+    /// Per-query deadline budget (`--deadline-ms`); `None` = unbounded.
+    deadline_ms: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -58,6 +68,38 @@ impl Session {
             ecosystem: None,
             pending: None,
             server: None,
+            fault_seed: None,
+            fault_rate: 0.3,
+            deadline_ms: None,
+        }
+    }
+
+    /// Arms fault injection for every system loaded after this call
+    /// (the `--fault-seed` startup flag; `faults <seed>` at the prompt).
+    pub fn set_fault_seed(&mut self, seed: Option<u64>) {
+        self.fault_seed = seed;
+        self.apply_fault_plan();
+    }
+
+    /// Sets the per-query deadline budget (the `--deadline-ms` flag).
+    pub fn set_deadline_ms(&mut self, ms: Option<u64>) {
+        self.deadline_ms = ms;
+    }
+
+    fn deadline(&self) -> Deadline {
+        match self.deadline_ms {
+            Some(ms) => Deadline::in_ms(ms),
+            None => Deadline::none(),
+        }
+    }
+
+    /// (Re)stamps the loaded system with the session's fault plan.
+    fn apply_fault_plan(&mut self) {
+        if let Some(mdm) = self.mdm.as_mut() {
+            let plan = self
+                .fault_seed
+                .map(|seed| Arc::new(FaultPlan::seeded(seed).transient_rate(self.fault_rate)));
+            mdm.set_fault_plan(plan);
         }
     }
 
@@ -103,6 +145,7 @@ impl Session {
                 Outcome::NeedMore
             }
             "suggest" => self.suggest(argument),
+            "faults" => self.faults(argument),
             "serve" => self.serve(argument),
             "call" => self.call(argument),
             "stop" => self.stop_server(),
@@ -130,6 +173,7 @@ impl Session {
                         let wrappers = mdm.catalog().len();
                         self.mdm = Some(mdm);
                         self.ecosystem = Some(eco);
+                        self.apply_fault_plan();
                         Outcome::Text(format!(
                             "football use case loaded: 4 sources, {wrappers} wrappers.\n\
                              Try 'show global', then 'query' (finish the walk with a lone '.')."
@@ -247,16 +291,87 @@ impl Session {
                 )),
                 Err(e) => Outcome::Text(format!("query error: {e}")),
             },
-            PendingKind::Query => match mdm.query(&walk) {
+            PendingKind::Query => match mdm.query_degraded(&walk, self.deadline()) {
                 Ok(answer) => Outcome::Text(format!(
-                    "-- algebra ({} branches) --\n{}\n\n{}({} rows)",
+                    "-- algebra ({} branches) --\n{}\n\n{}({} rows; {})",
                     answer.rewriting.branch_count(),
                     answer.rewriting.algebra(),
                     answer.render(),
-                    answer.table.len()
+                    answer.table.len(),
+                    answer.completeness.summary(),
                 )),
                 Err(e) => Outcome::Text(format!("query error: {e}")),
             },
+        }
+    }
+
+    /// `faults [<seed> [rate] | off]` — arms, disarms or reports the
+    /// deterministic fault-injection plan on the loaded system.
+    fn faults(&mut self, argument: &str) -> Outcome {
+        let mut parts = argument.split_whitespace();
+        match parts.next() {
+            None | Some("") => {
+                let mdm = match self.require_mdm() {
+                    Ok(m) => m,
+                    Err(e) => return Outcome::Text(e),
+                };
+                let mut out = String::new();
+                match self.fault_seed {
+                    Some(seed) => writeln!(
+                        out,
+                        "fault plan armed: seed {seed}, transient rate {}",
+                        self.fault_rate
+                    )
+                    .unwrap(),
+                    None => writeln!(out, "fault injection off").unwrap(),
+                }
+                match self.deadline_ms {
+                    Some(ms) => writeln!(out, "query deadline: {ms} ms").unwrap(),
+                    None => writeln!(out, "query deadline: unbounded").unwrap(),
+                }
+                let breakers = mdm.breaker_snapshots();
+                if breakers.is_empty() {
+                    writeln!(out, "circuit breakers: none tracked yet").unwrap();
+                } else {
+                    for b in breakers {
+                        writeln!(
+                            out,
+                            "breaker {}: {} ({} failures / {} successes, opened {}x)",
+                            b.relation, b.state, b.failures_total, b.successes_total, b.opened_total
+                        )
+                        .unwrap();
+                    }
+                }
+                Outcome::Text(out)
+            }
+            Some("off") => {
+                self.fault_seed = None;
+                self.apply_fault_plan();
+                Outcome::Text("fault injection disarmed".to_string())
+            }
+            Some(token) => {
+                let Ok(seed) = token.parse::<u64>() else {
+                    return Outcome::Text(
+                        "usage: faults [<seed> [rate] | off]   e.g. faults 42 0.3".to_string(),
+                    );
+                };
+                if let Some(rate) = parts.next() {
+                    match rate.parse::<f64>() {
+                        Ok(rate) if (0.0..=1.0).contains(&rate) => self.fault_rate = rate,
+                        _ => {
+                            return Outcome::Text(
+                                "rate must be a number between 0.0 and 1.0".to_string(),
+                            )
+                        }
+                    }
+                }
+                self.fault_seed = Some(seed);
+                self.apply_fault_plan();
+                Outcome::Text(format!(
+                    "fault plan armed: seed {seed}, transient rate {} (applies to loaded and future systems)",
+                    self.fault_rate
+                ))
+            }
         }
     }
 
@@ -276,7 +391,11 @@ impl Session {
             Err(e) => return Outcome::Text(format!("cannot bind {addr}: {e}")),
         };
         let mdm = self.mdm.take().expect("checked above");
-        match mdm_server::serve_on(listener, 4, mdm) {
+        let config = mdm_server::ServerConfig {
+            request_deadline: self.deadline_ms.map(Duration::from_millis),
+            ..mdm_server::ServerConfig::default()
+        };
+        match mdm_server::serve_on(listener, &config, mdm) {
             Ok(handle) => {
                 let text = format!(
                     "serving on http://{}\n\
@@ -420,6 +539,7 @@ impl Session {
             Ok(mdm) => {
                 self.mdm = Some(mdm);
                 self.ecosystem = None;
+                self.apply_fault_plan();
                 Outcome::Text(format!(
                     "metadata restored from {path} (wrappers must be re-registered to execute queries)"
                 ))
@@ -445,6 +565,8 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   query              enter a walk, finish with '.', execute it (Table 1 style)
   trace              like query, plus a provenance column (which branch/version)
   suggest <wrapper>  semi-automatic mapping suggestions for an unmapped wrapper
+  faults [<seed> [rate] | off]  arm/disarm deterministic fault injection; bare
+                     'faults' reports the plan, deadline and breaker states
   serve [addr]       expose the system over HTTP (default 127.0.0.1:0; see README)
   call M /path [json] issue one HTTP request against the running server
   stop               shut the server down, bring the metadata back

@@ -5,14 +5,54 @@
 //! ```sh
 //! printf 'setup football\nshow global\nquit\n' | cargo run -p mdm-cli
 //! ```
+//!
+//! Flags:
+//!
+//! * `--fault-seed <n>` — arm deterministic fault injection (seed `n`) on
+//!   every system the session loads (same as the `faults <n>` command).
+//! * `--deadline-ms <n>` — bound every query (REPL and served) by `n` ms.
 
 use std::io::{BufRead, Write};
 
 use mdm_cli::{Outcome, Session};
 
+fn parse_flags(session: &mut Session) -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--fault-seed" => {
+                let raw = value(&mut args)?;
+                let seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fault-seed: '{raw}' is not an unsigned integer"))?;
+                session.set_fault_seed(Some(seed));
+            }
+            "--deadline-ms" => {
+                let raw = value(&mut args)?;
+                let ms = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--deadline-ms: '{raw}' is not an unsigned integer"))?;
+                session.set_deadline_ms(Some(ms));
+            }
+            "--help" | "-h" => {
+                return Err("usage: mdm [--fault-seed <n>] [--deadline-ms <n>]".to_string())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let stdin = std::io::stdin();
     let mut session = Session::new();
+    if let Err(message) = parse_flags(&mut session) {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
     println!("MDM — Metadata Management System (type 'help')");
     let mut prompt = "mdm> ";
     print!("{prompt}");

@@ -20,6 +20,8 @@ pub enum MdmError {
     Rewrite(String),
     /// Federated execution failed.
     Execution(String),
+    /// A query exceeded its deadline budget.
+    Timeout(String),
     /// Snapshot/restore failed.
     Repository(String),
 }
@@ -34,6 +36,7 @@ impl MdmError {
             MdmError::Walk(_) => "walk",
             MdmError::Rewrite(_) => "rewrite",
             MdmError::Execution(_) => "execution",
+            MdmError::Timeout(_) => "timeout",
             MdmError::Repository(_) => "repository",
         }
     }
@@ -47,7 +50,17 @@ impl MdmError {
             | MdmError::Walk(m)
             | MdmError::Rewrite(m)
             | MdmError::Execution(m)
+            | MdmError::Timeout(m)
             | MdmError::Repository(m) => m,
+        }
+    }
+
+    /// Lifts an engine error, keeping the timeout distinction (a timeout
+    /// maps to HTTP 504, an execution failure to 500).
+    pub fn from_exec(error: mdm_relational::ExecError) -> MdmError {
+        match error.kind {
+            mdm_relational::ErrorKind::Timeout => MdmError::Timeout(error.message),
+            _ => MdmError::Execution(error.message),
         }
     }
 }

@@ -110,5 +110,6 @@ pub use cache::{CacheStats, PlanCache};
 pub use error::MdmError;
 pub use mdm::Mdm;
 pub use ontology::BdiOntology;
+pub use query::{Completeness, DegradedAnswer, DroppedBranch, QueryAnswer};
 pub use rewrite::{rewrite_walk, RewriteOptions, Rewriting};
 pub use walk::Walk;

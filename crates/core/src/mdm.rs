@@ -5,15 +5,18 @@
 use std::sync::Arc;
 
 use mdm_rdf::term::Iri;
-use mdm_relational::{Catalog, Executor};
-use mdm_wrappers::{Wrapper, WrapperCatalog};
+use mdm_relational::{
+    BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline, ExecOptions, Executor,
+    RetryPolicy,
+};
+use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::error::MdmError;
 use crate::gav::GavMapping;
 use crate::mapping::MappingBuilder;
 use crate::ontology::BdiOntology;
-use crate::query::{answer_walk, QueryAnswer};
+use crate::query::{answer_walk, execute_degraded, DegradedAnswer, QueryAnswer};
 use crate::release::{register_source, register_wrapper, Registration};
 use crate::render;
 use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
@@ -48,6 +51,10 @@ pub struct Mdm {
     /// metadata they were computed from.
     epoch: u64,
     plan_cache: PlanCache,
+    /// Retry policy applied to every relation fetch during execution.
+    retry: RetryPolicy,
+    /// Per-wrapper circuit breakers shared by all query executions.
+    breakers: BreakerRegistry,
 }
 
 impl Mdm {
@@ -59,6 +66,8 @@ impl Mdm {
             options: RewriteOptions::default(),
             epoch: 0,
             plan_cache: PlanCache::default(),
+            retry: RetryPolicy::default(),
+            breakers: BreakerRegistry::default(),
         }
     }
 
@@ -280,7 +289,7 @@ impl Mdm {
         let rewriting = self.rewrite_cached(walk)?;
         let table = Executor::new(&self.catalog)
             .run(&rewriting.plan)
-            .map_err(|e| MdmError::Execution(e.0))?
+            .map_err(MdmError::from_exec)?
             .sorted();
         Ok(QueryAnswer {
             rewriting: (*rewriting).clone(),
@@ -291,6 +300,73 @@ impl Mdm {
     /// Rewrites and executes a walk against the internal wrapper catalog.
     pub fn query(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
         answer_walk(&self.ontology, walk, &self.catalog, &self.options)
+    }
+
+    /// Executes a walk in **degraded mode** under a deadline: the rewriting
+    /// comes from the plan cache, every relation fetch goes through the
+    /// retry policy and the per-wrapper circuit breakers, and a CQ branch
+    /// that fails terminally is dropped (named in the completeness report)
+    /// instead of failing the whole query. Only when no branch survives —
+    /// or the deadline expires before any does — is this an `Err`.
+    pub fn query_degraded(
+        &self,
+        walk: &Walk,
+        deadline: Deadline,
+    ) -> Result<DegradedAnswer, MdmError> {
+        let rewriting = self.rewrite_cached(walk)?;
+        let exec_options = ExecOptions {
+            retry: self.retry.clone(),
+            deadline,
+        };
+        let (table, mut completeness) = execute_degraded(
+            &rewriting,
+            &self.catalog,
+            &self.options,
+            &exec_options,
+            Some(&self.breakers),
+        )?;
+        // Enrich wrapper names with the version each one consumes
+        // (`w3@v2`), so completeness reports pin down *which release*
+        // contributed or was dropped.
+        let label = |name: &String| match self.catalog.get(name) {
+            Some(w) => format!("{name}@v{}", w.version()),
+            None => name.clone(),
+        };
+        completeness.contributors = completeness.contributors.iter().map(label).collect();
+        for dropped in &mut completeness.dropped {
+            dropped.wrappers = dropped.wrappers.iter().map(label).collect();
+        }
+        Ok(DegradedAnswer {
+            rewriting: (*rewriting).clone(),
+            table,
+            completeness,
+        })
+    }
+
+    /// Attaches (or detaches) a fault-injection schedule to every wrapper
+    /// in the catalog — the test/chaos hook behind `--fault-seed`.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.catalog.set_fault_plan(plan);
+    }
+
+    /// Sets the retry policy used by [`Mdm::query_degraded`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry policy used by [`Mdm::query_degraded`].
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Replaces the circuit-breaker configuration (and resets all state).
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) {
+        self.breakers = BreakerRegistry::new(config);
+    }
+
+    /// Current circuit-breaker state per wrapper, for `/metrics`.
+    pub fn breaker_snapshots(&self) -> Vec<BreakerSnapshot> {
+        self.breakers.snapshot()
     }
 
     /// Like [`Mdm::query`], with a trailing `provenance` column naming the
@@ -353,6 +429,8 @@ impl Mdm {
             options: RewriteOptions::default(),
             epoch: 0,
             plan_cache: PlanCache::default(),
+            retry: RetryPolicy::default(),
+            breakers: BreakerRegistry::default(),
         })
     }
 }

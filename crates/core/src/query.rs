@@ -5,11 +5,14 @@
 //! federated query" (§2.5) — here the rewritten plan runs directly on the
 //! `mdm-relational` engine against any [`Catalog`] of wrapper relations.
 
-use mdm_relational::{Catalog, Executor, Table};
+use std::collections::BTreeSet;
+
+use mdm_relational::resilience::ScanGuard;
+use mdm_relational::{Catalog, ExecOptions, Executor, Table};
 
 use crate::error::MdmError;
 use crate::ontology::BdiOntology;
-use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
+use crate::rewrite::{plan_for_cq, rewrite_walk, RewriteOptions, Rewriting};
 use crate::walk::Walk;
 
 /// The answer to an OMQ: the rewriting artifacts plus the result table.
@@ -36,9 +39,155 @@ pub fn answer_walk(
     let rewriting = rewrite_walk(ontology, walk, options)?;
     let table = Executor::new(catalog)
         .run(&rewriting.plan)
-        .map_err(|e| MdmError::Execution(e.0))?
+        .map_err(MdmError::from_exec)?
         .sorted();
     Ok(QueryAnswer { rewriting, table })
+}
+
+/// One CQ branch that could not contribute to a degraded answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DroppedBranch {
+    /// The wrapper relations the branch scans (enriched with versions when
+    /// the executing [`crate::Mdm`] knows them, e.g. `w3@v2`).
+    pub wrappers: Vec<String>,
+    /// The failure class (`transient`, `permanent`, `malformed`, `timeout`).
+    pub kind: String,
+    /// The error message that killed the branch.
+    pub reason: String,
+}
+
+/// How much of the UCQ a degraded answer actually covers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Completeness {
+    /// CQ branches in the rewriting.
+    pub total_branches: usize,
+    /// Branches that executed and contributed rows.
+    pub executed_branches: usize,
+    /// Wrappers that contributed (union over surviving branches, sorted).
+    pub contributors: Vec<String>,
+    /// Branches dropped with the reason each one failed.
+    pub dropped: Vec<DroppedBranch>,
+    /// Transient scan failures absorbed by retries along the way.
+    pub retries: u64,
+}
+
+impl Completeness {
+    /// True when every branch of the rewriting executed.
+    pub fn is_complete(&self) -> bool {
+        self.dropped.is_empty()
+    }
+
+    /// A one-line human summary (the CLI footer).
+    pub fn summary(&self) -> String {
+        if self.is_complete() {
+            format!(
+                "complete: {}/{} branches, {} retries absorbed",
+                self.executed_branches, self.total_branches, self.retries
+            )
+        } else {
+            let dropped: Vec<String> = self
+                .dropped
+                .iter()
+                .map(|d| format!("{} ({})", d.wrappers.join("+"), d.kind))
+                .collect();
+            format!(
+                "PARTIAL: {}/{} branches; dropped {}",
+                self.executed_branches,
+                self.total_branches,
+                dropped.join(", ")
+            )
+        }
+    }
+}
+
+/// The answer to an OMQ executed in degraded mode: the surviving rows plus
+/// the completeness report saying what is missing and why.
+#[derive(Clone, Debug)]
+pub struct DegradedAnswer {
+    pub rewriting: Rewriting,
+    pub table: Table,
+    pub completeness: Completeness,
+}
+
+impl DegradedAnswer {
+    /// The tabular rendering (cf. Table 1).
+    pub fn render(&self) -> String {
+        self.table.render()
+    }
+}
+
+/// Executes a rewriting branch by branch: a CQ branch that fails terminally
+/// is *dropped* — recorded in the completeness report — while the surviving
+/// branches still produce rows. Only when **no** branch survives does the
+/// query fail (with a timeout error if any branch timed out).
+///
+/// This is the degraded-mode contract: under partial source failure an
+/// analyst gets the answerable fraction of the UCQ plus an honest account
+/// of what is missing, instead of an all-or-nothing error.
+pub fn execute_degraded(
+    rewriting: &Rewriting,
+    catalog: &dyn Catalog,
+    options: &RewriteOptions,
+    exec_options: &ExecOptions,
+    guard: Option<&dyn ScanGuard>,
+) -> Result<(Table, Completeness), MdmError> {
+    let mut completeness = Completeness {
+        total_branches: rewriting.queries.len(),
+        ..Completeness::default()
+    };
+    let mut contributors: BTreeSet<String> = BTreeSet::new();
+    let mut merged_schema = None;
+    let mut merged_rows = Vec::new();
+    for cq in &rewriting.queries {
+        // A plan-shape failure is a rewriting bug, not a source fault —
+        // surface it instead of degrading around it.
+        let plan = plan_for_cq(cq, &rewriting.output_columns)?;
+        let plan = if options.distinct { plan.distinct() } else { plan };
+        let mut executor = Executor::with_options(catalog, exec_options.clone());
+        if let Some(guard) = guard {
+            executor = executor.with_guard(guard);
+        }
+        let outcome = executor.run(&plan);
+        completeness.retries += executor.retries();
+        match outcome {
+            Ok(table) => {
+                completeness.executed_branches += 1;
+                contributors.extend(cq.atoms.iter().cloned());
+                if merged_schema.is_none() {
+                    merged_schema = Some(table.schema().clone());
+                }
+                merged_rows.extend(table.rows().iter().cloned());
+            }
+            Err(error) => completeness.dropped.push(DroppedBranch {
+                wrappers: cq.atoms.clone(),
+                kind: error.kind.label().to_string(),
+                reason: error.message,
+            }),
+        }
+    }
+    completeness.contributors = contributors.into_iter().collect();
+    let Some(schema) = merged_schema else {
+        // Every branch failed: no rows to stand behind, fail the query.
+        let reasons: Vec<String> = completeness
+            .dropped
+            .iter()
+            .map(|d| format!("{}: {}", d.wrappers.join("+"), d.reason))
+            .collect();
+        let message = format!("all {} branch(es) failed — {}", completeness.total_branches, reasons.join("; "));
+        return Err(if completeness.dropped.iter().any(|d| d.kind == "timeout") {
+            MdmError::Timeout(message)
+        } else {
+            MdmError::Execution(message)
+        });
+    };
+    if options.distinct {
+        let set: BTreeSet<_> = merged_rows.into_iter().collect();
+        merged_rows = set.into_iter().collect();
+    }
+    let table = Table::new(schema, merged_rows)
+        .map_err(MdmError::Execution)?
+        .sorted();
+    Ok((table, completeness))
 }
 
 /// Like [`answer_walk`], but the result carries a trailing `provenance`
@@ -90,7 +239,7 @@ pub fn answer_walk_with_provenance(
     };
     let table = Executor::new(catalog)
         .run(&plan)
-        .map_err(|e| MdmError::Execution(e.0))?
+        .map_err(MdmError::from_exec)?
         .sorted();
     Ok(QueryAnswer { rewriting, table })
 }

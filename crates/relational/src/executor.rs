@@ -1,25 +1,92 @@
 //! The executor: logical plan + catalog → materialised [`Table`].
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::algebra::{JoinKind, Plan, SortOrder};
 use crate::expr::Expr;
 use crate::physical::{
-    drain, DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec,
-    SortExec, UnionExec,
+    DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec, SortExec,
+    UnionExec,
 };
+use crate::resilience::{Deadline, RetryPolicy, ScanGuard};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Tuple;
 
+/// Classifies an [`ExecError`] by what the caller should do about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Retryable: a hiccup that a later attempt may clear.
+    Transient,
+    /// Non-retryable: bad plan, unknown relation, dead source.
+    Permanent,
+    /// The source answered with bytes that do not parse.
+    Malformed,
+    /// A deadline or time budget was exceeded.
+    Timeout,
+}
+
+impl ErrorKind {
+    /// The lowercase label used in messages and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Timeout => "timeout",
+        }
+    }
+}
+
 /// An error raised during plan translation or execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ExecError(pub String);
+pub struct ExecError {
+    /// What went wrong, coarsely: drives retry and degraded-mode decisions.
+    pub kind: ErrorKind,
+    /// The human-readable description.
+    pub message: String,
+}
+
+impl ExecError {
+    /// An error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ExecError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A retryable error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Transient, message)
+    }
+
+    /// A non-retryable error (the default for plan-shape problems).
+    pub fn permanent(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Permanent, message)
+    }
+
+    /// An unparseable-payload error.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Malformed, message)
+    }
+
+    /// A deadline-exceeded error.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        ExecError::new(ErrorKind::Timeout, message)
+    }
+
+    /// True when a retry can reasonably be expected to succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Transient
+    }
+}
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution error: {}", self.0)
+        write!(f, "execution error ({}): {}", self.kind.label(), self.message)
     }
 }
 
@@ -94,23 +161,130 @@ impl Catalog for MemoryCatalog {
     }
 }
 
+/// Knobs for one plan execution: how hard to retry transient scan
+/// failures, and how long the whole query may take.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Retry policy applied to every relation fetch.
+    pub retry: RetryPolicy,
+    /// Time budget for the whole plan (fetches, retries, and drains).
+    pub deadline: Deadline,
+}
+
 /// Executes logical plans against a catalog.
 pub struct Executor<'a> {
     catalog: &'a dyn Catalog,
+    options: ExecOptions,
+    guard: Option<&'a dyn ScanGuard>,
+    retries: Cell<u64>,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor over `catalog`.
+    /// Creates an executor over `catalog` with default options (a small
+    /// retry budget, no deadline, no circuit breaking).
     pub fn new(catalog: &'a dyn Catalog) -> Self {
-        Executor { catalog }
+        Executor::with_options(catalog, ExecOptions::default())
+    }
+
+    /// An executor with explicit retry/deadline options.
+    pub fn with_options(catalog: &'a dyn Catalog, options: ExecOptions) -> Self {
+        Executor {
+            catalog,
+            options,
+            guard: None,
+            retries: Cell::new(0),
+        }
+    }
+
+    /// Routes every relation fetch through `guard` (circuit breaking).
+    pub fn with_guard(mut self, guard: &'a dyn ScanGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Transient scan failures retried (and absorbed) so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
     }
 
     /// Runs `plan` to completion, materialising the result.
     pub fn run(&self, plan: &Plan) -> Result<Table, ExecError> {
-        let op = self.build(plan)?;
+        if self.options.deadline.expired() {
+            return Err(self.options.deadline.exceeded("starting plan execution"));
+        }
+        let mut op = self.build(plan)?;
         let schema = op.schema().clone();
-        let rows = drain(op)?;
-        Table::new(schema, rows).map_err(ExecError)
+        // Drain with a periodic deadline check so a huge (or pathological)
+        // result cannot blow past the budget unnoticed.
+        let mut rows = Vec::new();
+        while let Some(tuple) = op.next() {
+            rows.push(tuple?);
+            if rows.len() % 1024 == 0 && self.options.deadline.expired() {
+                return Err(self.options.deadline.exceeded("draining result rows"));
+            }
+        }
+        Table::new(schema, rows).map_err(ExecError::permanent)
+    }
+
+    /// Fetches one relation's rows through the guard, the retry policy and
+    /// the deadline — the resilient edge between the engine and a source.
+    fn fetch_rows(
+        &self,
+        relation: &str,
+        provider: &dyn RelationProvider,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        if let Some(guard) = self.guard {
+            // A breaker rejection is not a new failure; don't record it.
+            guard.admit(relation)?;
+        }
+        let mut attempt: u32 = 1;
+        loop {
+            if self.options.deadline.expired() {
+                let err = self
+                    .options
+                    .deadline
+                    .exceeded(&format!("fetching relation '{relation}'"));
+                if let Some(guard) = self.guard {
+                    guard.record_failure(relation, &err);
+                }
+                return Err(err);
+            }
+            match provider.rows() {
+                Ok(rows) => {
+                    if let Some(guard) = self.guard {
+                        guard.record_success(relation);
+                    }
+                    return Ok(rows);
+                }
+                Err(err) if err.is_transient() && attempt < self.options.retry.max_attempts => {
+                    let backoff = self.options.retry.backoff(attempt);
+                    if let Some(remaining) = self.options.deadline.remaining() {
+                        if backoff >= remaining {
+                            let timeout = ExecError::timeout(format!(
+                                "deadline exhausted retrying '{relation}' after {attempt} \
+                                 attempt(s); last error: {}",
+                                err.message
+                            ));
+                            if let Some(guard) = self.guard {
+                                guard.record_failure(relation, &timeout);
+                            }
+                            return Err(timeout);
+                        }
+                    }
+                    self.retries.set(self.retries.get() + 1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+                Err(err) => {
+                    if let Some(guard) = self.guard {
+                        guard.record_failure(relation, &err);
+                    }
+                    return Err(err);
+                }
+            }
+        }
     }
 
     /// Translates a logical plan into a physical operator tree.
@@ -118,11 +292,11 @@ impl<'a> Executor<'a> {
         match plan {
             Plan::Scan { relation } => {
                 let provider = self.catalog.provider(relation).ok_or_else(|| {
-                    ExecError(format!("unknown relation '{relation}' in catalog"))
+                    ExecError::permanent(format!("unknown relation '{relation}' in catalog"))
                 })?;
                 Ok(Box::new(ScanExec::new(
                     provider.provider_schema(),
-                    provider.rows()?,
+                    self.fetch_rows(relation, provider)?,
                 )))
             }
             Plan::Filter { input, predicate } => Ok(Box::new(FilterExec::new(
@@ -150,13 +324,13 @@ impl<'a> Executor<'a> {
                         left_op
                             .schema()
                             .index_of(l)
-                            .map_err(|e| ExecError(format!("join key: {e}")))?,
+                            .map_err(|e| ExecError::permanent(format!("join key: {e}")))?,
                     );
                     right_keys.push(
                         right_op
                             .schema()
                             .index_of(r)
-                            .map_err(|e| ExecError(format!("join key: {e}")))?,
+                            .map_err(|e| ExecError::permanent(format!("join key: {e}")))?,
                     );
                 }
                 Ok(Box::new(HashJoinExec::new(
@@ -184,7 +358,7 @@ impl<'a> Executor<'a> {
                             .schema()
                             .index_of(column)
                             .map(|i| (i, matches!(order, SortOrder::Desc)))
-                            .map_err(ExecError)
+                            .map_err(ExecError::permanent)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Box::new(SortExec::new(child, resolved)?))
@@ -278,7 +452,8 @@ mod tests {
         let err = Executor::new(&catalog)
             .run(&Plan::scan("nope"))
             .unwrap_err();
-        assert!(err.0.contains("unknown relation 'nope'"));
+        assert!(err.message.contains("unknown relation 'nope'"));
+        assert_eq!(err.kind, ErrorKind::Permanent);
     }
 
     #[test]
@@ -309,7 +484,7 @@ mod tests {
             vec![(ColumnRef::bare("missing"), ColumnRef::bare("id"))],
         );
         let err = Executor::new(&catalog).run(&plan).unwrap_err();
-        assert!(err.0.contains("join key"));
+        assert!(err.message.contains("join key"));
     }
 
     #[test]
@@ -317,5 +492,128 @@ mod tests {
         let catalog = catalog();
         assert!(catalog.relation_schema("w1").is_ok());
         assert!(catalog.relation_schema("nope").is_err());
+    }
+
+    /// A provider that fails with `kind` for its first `failures` fetches,
+    /// then serves one row.
+    struct Flaky {
+        failures: Cell<u32>,
+        kind: ErrorKind,
+    }
+
+    impl Flaky {
+        fn new(failures: u32, kind: ErrorKind) -> Self {
+            Flaky {
+                failures: Cell::new(failures),
+                kind,
+            }
+        }
+    }
+
+    impl RelationProvider for Flaky {
+        fn provider_schema(&self) -> Schema {
+            Schema::qualified("f", ["id"])
+        }
+
+        fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
+            let left = self.failures.get();
+            if left > 0 {
+                self.failures.set(left - 1);
+                return Err(ExecError::new(self.kind, "injected"));
+            }
+            Ok(vec![vec![Value::Int(1)]])
+        }
+    }
+
+    struct OneProvider<'p> {
+        provider: &'p dyn RelationProvider,
+    }
+
+    impl Catalog for OneProvider<'_> {
+        fn provider(&self, name: &str) -> Option<&dyn RelationProvider> {
+            (name == "f").then_some(self.provider)
+        }
+    }
+
+    #[test]
+    fn transient_failures_absorbed_by_retry() {
+        let flaky = Flaky::new(2, ErrorKind::Transient);
+        let catalog = OneProvider { provider: &flaky };
+        let options = ExecOptions {
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: std::time::Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            deadline: Deadline::none(),
+        };
+        let executor = Executor::with_options(&catalog, options);
+        let table = executor.run(&Plan::scan("f")).unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(executor.retries(), 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_transient_error() {
+        let flaky = Flaky::new(10, ErrorKind::Transient);
+        let catalog = OneProvider { provider: &flaky };
+        let options = ExecOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: std::time::Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            deadline: Deadline::none(),
+        };
+        let executor = Executor::with_options(&catalog, options);
+        let err = executor.run(&Plan::scan("f")).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Transient);
+        assert_eq!(executor.retries(), 2, "two retries after the first attempt");
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let flaky = Flaky::new(1, ErrorKind::Permanent);
+        let catalog = OneProvider { provider: &flaky };
+        let executor = Executor::new(&catalog);
+        let err = executor.run(&Plan::scan("f")).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Permanent);
+        assert_eq!(executor.retries(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_before_fetching() {
+        let catalog = catalog();
+        let options = ExecOptions {
+            retry: RetryPolicy::none(),
+            deadline: Deadline::after(std::time::Duration::ZERO),
+        };
+        let err = Executor::with_options(&catalog, options)
+            .run(&Plan::scan("w1"))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn guard_records_and_breaks_the_scan() {
+        use crate::resilience::{BreakerConfig, BreakerRegistry};
+        let flaky = Flaky::new(100, ErrorKind::Permanent);
+        let catalog = OneProvider { provider: &flaky };
+        let registry = BreakerRegistry::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: std::time::Duration::from_secs(60),
+        });
+        for _ in 0..2 {
+            let executor = Executor::new(&catalog).with_guard(&registry);
+            assert!(executor.run(&Plan::scan("f")).is_err());
+        }
+        // Third run is rejected by the open breaker without touching the
+        // provider: the failure count stays at 2.
+        let executor = Executor::new(&catalog).with_guard(&registry);
+        let err = executor.run(&Plan::scan("f")).unwrap_err();
+        assert!(err.message.contains("circuit breaker open"), "{err}");
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot[0].state, "open");
+        assert_eq!(snapshot[0].failures_total, 2);
     }
 }

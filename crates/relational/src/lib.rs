@@ -24,12 +24,18 @@ pub mod executor;
 pub mod expr;
 pub mod optimizer;
 pub mod physical;
+pub mod resilience;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use algebra::{JoinKind, Plan};
-pub use executor::{Catalog, ExecError, Executor, MemoryCatalog, RelationProvider};
+pub use executor::{
+    Catalog, ErrorKind, ExecError, ExecOptions, Executor, MemoryCatalog, RelationProvider,
+};
+pub use resilience::{
+    BreakerConfig, BreakerRegistry, BreakerSnapshot, Deadline, RetryPolicy, ScanGuard,
+};
 pub use expr::{BinOp, Expr};
 pub use schema::Schema;
 pub use table::Table;

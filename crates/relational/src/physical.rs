@@ -82,7 +82,7 @@ impl Operator for FilterExec {
             match self.predicate.eval_predicate(self.input.schema(), &tuple) {
                 Ok(true) => return Some(Ok(tuple)),
                 Ok(false) => continue,
-                Err(e) => return Some(Err(ExecError(e.0))),
+                Err(e) => return Some(Err(ExecError::permanent(e.0))),
             }
         }
     }
@@ -119,7 +119,7 @@ impl Operator for ProjectExec {
         for expr in &self.exprs {
             match expr.eval(self.input.schema(), &tuple) {
                 Ok(v) => out.push(v),
-                Err(e) => return Some(Err(ExecError(e.0))),
+                Err(e) => return Some(Err(ExecError::permanent(e.0))),
             }
         }
         Some(Ok(out))
@@ -259,7 +259,7 @@ impl Operator for NestedLoopJoinExec {
                 match self.predicate.eval_predicate(&self.schema, &combined) {
                     Ok(true) => return Some(Ok(combined)),
                     Ok(false) => continue,
-                    Err(e) => return Some(Err(ExecError(e.0))),
+                    Err(e) => return Some(Err(ExecError::permanent(e.0))),
                 }
             }
             self.i += 1;
@@ -281,11 +281,11 @@ impl UnionExec {
     pub fn new(inputs: Vec<Box<dyn Operator>>) -> Result<Self, ExecError> {
         let first = inputs
             .first()
-            .ok_or_else(|| ExecError("union of zero inputs".to_string()))?;
+            .ok_or_else(|| ExecError::permanent("union of zero inputs"))?;
         let schema = first.schema().clone();
         for input in &inputs {
             if input.schema().len() != schema.len() {
-                return Err(ExecError(format!(
+                return Err(ExecError::permanent(format!(
                     "union arity mismatch: {} vs {}",
                     schema,
                     input.schema()

@@ -1,0 +1,420 @@
+//! Execution-time resilience primitives: retry policies, query deadlines,
+//! and per-relation circuit breakers.
+//!
+//! The paper's wrappers front external REST APIs that fail, stall and ship
+//! malformed payloads; the Mask-Mediator-Wrapper line of work
+//! (arXiv:2208.12319) argues the mediator must insulate consumers from
+//! wrapper-side faults. This module gives the executor the three standard
+//! tools for that job:
+//!
+//! * [`RetryPolicy`] — bounded attempts with exponential backoff and
+//!   deterministic jitter, so transient faults are absorbed;
+//! * [`Deadline`] — a per-query time budget every retry loop and row drain
+//!   respects, so a stalled source cannot hold a query hostage;
+//! * [`BreakerRegistry`] — a per-relation circuit breaker
+//!   (closed → open → half-open), so a dead source stops being hammered and
+//!   queries degrade fast instead of timing out one by one.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::executor::{ErrorKind, ExecError};
+
+// ---------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------
+
+/// Bounded-retry configuration for one relation fetch.
+///
+/// Attempt `n` (1-based) sleeps `base_backoff · 2^(n-1)` capped at
+/// `max_backoff`, scaled by a deterministic jitter factor in `[0.5, 1.0)`
+/// derived from `jitter_seed` — retries never sleep past the query
+/// [`Deadline`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per scan (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no sleeping).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The backoff to sleep before retry number `retry` (1-based), with
+    /// jitter applied. Deterministic for a given `(jitter_seed, retry)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(16);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        // SplitMix64 step → jitter factor in [0.5, 1.0).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(retry).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        raw.mul_f64(0.5 + unit * 0.5)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------
+
+/// A per-query time budget. [`Deadline::none`] never expires; a concrete
+/// deadline makes every scan retry loop and row drain check remaining time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+impl Deadline {
+    /// No deadline: the query may run forever.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expires `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Expires `ms` milliseconds from now.
+    pub fn in_ms(ms: u64) -> Self {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// Remaining budget; `None` means unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+
+    /// An [`ExecError`] describing the expiry, for error paths.
+    pub fn exceeded(&self, what: &str) -> ExecError {
+        ExecError::timeout(format!("deadline exceeded while {what}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan guard (circuit-breaker hook)
+// ---------------------------------------------------------------------
+
+/// Consulted by the executor around every relation fetch. The default
+/// executor runs unguarded; callers wanting circuit breaking pass a
+/// [`BreakerRegistry`].
+pub trait ScanGuard: Sync {
+    /// Called before fetching `relation`; an `Err` fails the scan without
+    /// touching the provider (e.g. the breaker is open).
+    fn admit(&self, relation: &str) -> Result<(), ExecError>;
+    /// Called after a successful fetch.
+    fn record_success(&self, relation: &str);
+    /// Called after a fetch failed terminally (retries exhausted included).
+    fn record_failure(&self, relation: &str, error: &ExecError);
+}
+
+/// Circuit-breaker tuning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open(Instant),
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerEntry {
+    state: BreakerState,
+    consecutive_failures: u32,
+    failures_total: u64,
+    successes_total: u64,
+    opened_total: u64,
+    last_error: Option<String>,
+}
+
+impl BreakerEntry {
+    fn new() -> Self {
+        BreakerEntry {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            failures_total: 0,
+            successes_total: 0,
+            opened_total: 0,
+            last_error: None,
+        }
+    }
+}
+
+/// One relation's breaker state, for `/metrics` and reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    pub relation: String,
+    /// `"closed"`, `"open"` or `"half-open"`.
+    pub state: &'static str,
+    pub consecutive_failures: u32,
+    pub failures_total: u64,
+    pub successes_total: u64,
+    pub opened_total: u64,
+    pub last_error: Option<String>,
+}
+
+/// Per-relation circuit breakers: closed → open (after
+/// `failure_threshold` consecutive failures) → half-open (after
+/// `cooldown`) → closed on a successful probe, re-open on a failed one.
+///
+/// Internally synchronised; shared (`&self`) callers on many threads all
+/// see one consistent state machine per relation.
+#[derive(Debug, Default)]
+pub struct BreakerRegistry {
+    config: BreakerConfig,
+    entries: Mutex<BTreeMap<String, BreakerEntry>>,
+}
+
+impl BreakerRegistry {
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerRegistry {
+            config,
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The current tuning.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Snapshot of every tracked relation, sorted by name.
+    pub fn snapshot(&self) -> Vec<BreakerSnapshot> {
+        let entries = self.entries.lock().expect("breaker registry poisoned");
+        entries
+            .iter()
+            .map(|(relation, entry)| BreakerSnapshot {
+                relation: relation.clone(),
+                state: match entry.state {
+                    BreakerState::Closed => "closed",
+                    BreakerState::Open(_) => "open",
+                    BreakerState::HalfOpen => "half-open",
+                },
+                consecutive_failures: entry.consecutive_failures,
+                failures_total: entry.failures_total,
+                successes_total: entry.successes_total,
+                opened_total: entry.opened_total,
+                last_error: entry.last_error.clone(),
+            })
+            .collect()
+    }
+
+    /// Forgets all breaker state (tests; metadata restore).
+    pub fn reset(&self) {
+        self.entries
+            .lock()
+            .expect("breaker registry poisoned")
+            .clear();
+    }
+}
+
+impl ScanGuard for BreakerRegistry {
+    fn admit(&self, relation: &str) -> Result<(), ExecError> {
+        let mut entries = self.entries.lock().expect("breaker registry poisoned");
+        let entry = entries
+            .entry(relation.to_string())
+            .or_insert_with(BreakerEntry::new);
+        match entry.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open(since) => {
+                if since.elapsed() >= self.config.cooldown {
+                    entry.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(ExecError::permanent(format!(
+                        "circuit breaker open for '{relation}' after {} consecutive failures{}",
+                        entry.consecutive_failures,
+                        entry
+                            .last_error
+                            .as_deref()
+                            .map(|e| format!(" (last error: {e})"))
+                            .unwrap_or_default()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn record_success(&self, relation: &str) {
+        let mut entries = self.entries.lock().expect("breaker registry poisoned");
+        let entry = entries
+            .entry(relation.to_string())
+            .or_insert_with(BreakerEntry::new);
+        entry.successes_total += 1;
+        entry.consecutive_failures = 0;
+        entry.state = BreakerState::Closed;
+    }
+
+    fn record_failure(&self, relation: &str, error: &ExecError) {
+        let mut entries = self.entries.lock().expect("breaker registry poisoned");
+        let entry = entries
+            .entry(relation.to_string())
+            .or_insert_with(BreakerEntry::new);
+        entry.failures_total += 1;
+        entry.consecutive_failures += 1;
+        entry.last_error = Some(error.message.clone());
+        let trip = match entry.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => entry.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open(_) => false,
+        };
+        if trip {
+            entry.state = BreakerState::Open(Instant::now());
+            entry.opened_total += 1;
+        }
+    }
+}
+
+/// Marker kinds re-exported for guard implementors.
+pub use crate::executor::ErrorKind as ExecErrorKind;
+
+/// Returns true when an error of `kind` should be retried.
+pub fn retryable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Transient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_grows_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 7,
+        };
+        let b1 = policy.backoff(1);
+        let b2 = policy.backoff(2);
+        let b4 = policy.backoff(4);
+        // Jitter keeps every sleep within [raw/2, raw).
+        assert!(b1 >= Duration::from_millis(5) && b1 < Duration::from_millis(10));
+        assert!(b2 >= Duration::from_millis(10) && b2 < Duration::from_millis(20));
+        // Attempt 4 raw backoff is 80ms, capped to 40ms before jitter.
+        assert!(b4 >= Duration::from_millis(20) && b4 < Duration::from_millis(40));
+        // Deterministic.
+        assert_eq!(policy.backoff(3), policy.backoff(3));
+        assert_eq!(RetryPolicy::none().backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let never = Deadline::none();
+        assert!(!never.expired());
+        assert_eq!(never.remaining(), None);
+        let tight = Deadline::after(Duration::ZERO);
+        assert!(tight.expired());
+        let roomy = Deadline::in_ms(60_000);
+        assert!(!roomy.expired());
+        assert!(roomy.remaining().unwrap() > Duration::from_secs(50));
+        assert_eq!(tight.exceeded("testing").kind, ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_recovers() {
+        let registry = BreakerRegistry::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(20),
+        });
+        let boom = ExecError::permanent("w1: HTTP 500");
+        assert!(registry.admit("w1").is_ok());
+        registry.record_failure("w1", &boom);
+        assert!(registry.admit("w1").is_ok(), "below threshold stays closed");
+        registry.record_failure("w1", &boom);
+        let rejected = registry.admit("w1").unwrap_err();
+        assert!(rejected.message.contains("circuit breaker open"), "{rejected}");
+        assert!(rejected.message.contains("w1"));
+
+        // After the cooldown one probe is admitted (half-open)…
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(registry.admit("w1").is_ok());
+        // …and a success closes the breaker again.
+        registry.record_success("w1");
+        assert!(registry.admit("w1").is_ok());
+        let snap = registry.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].state, "closed");
+        assert_eq!(snap[0].opened_total, 1);
+        assert_eq!(snap[0].failures_total, 2);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens() {
+        let registry = BreakerRegistry::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        registry.record_failure("w", &ExecError::timeout("stalled"));
+        assert!(registry.admit("w").is_err());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(registry.admit("w").is_ok()); // half-open probe
+        registry.record_failure("w", &ExecError::timeout("still stalled"));
+        assert!(registry.admit("w").is_err(), "probe failure re-opens");
+        assert_eq!(registry.snapshot()[0].opened_total, 2);
+    }
+}

@@ -163,7 +163,7 @@ fn filter_type_error_surfaces_not_panics() {
             .eq(Expr::lit(2i64)),
     );
     let err = Executor::new(&catalog).run(&plan).unwrap_err();
-    assert!(err.0.contains("arithmetic"), "{err}");
+    assert!(err.message.contains("arithmetic"), "{err}");
 }
 
 #[test]

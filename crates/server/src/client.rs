@@ -8,6 +8,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 #[derive(Clone, Debug)]
 pub struct ClientResponse {
     pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
     pub body: String,
 }
 
@@ -19,6 +21,15 @@ impl ClientResponse {
         } else {
             Err(format!("HTTP {}: {}", self.status, self.body))
         }
+    }
+
+    /// First value of `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == wanted)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -66,6 +77,7 @@ fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientRespo
             )
         })?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -74,18 +86,25 @@ fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientRespo
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                 })?;
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))?;
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// One-shot GET over a fresh connection.

@@ -163,6 +163,8 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
 pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
+    /// Extra headers beyond the standard trio (e.g. `Retry-After`).
+    pub headers: Vec<(&'static str, String)>,
     pub body: Vec<u8>,
 }
 
@@ -172,6 +174,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -181,8 +184,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Adds an extra header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -195,6 +205,8 @@ fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -207,13 +219,17 @@ pub fn write_response(
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(&response.body)?;
     writer.flush()
 }
@@ -264,6 +280,18 @@ mod tests {
     #[test]
     fn bad_content_length_rejected() {
         assert!(parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn extra_headers_and_overload_statuses() {
+        let mut out = Vec::new();
+        let response = Response::json(503, "{}").with_header("Retry-After", "2");
+        write_response(&mut out, &response, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        assert_eq!(status_text(504), "Gateway Timeout");
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub struct ServerConfig {
     pub addr: String,
     /// Fixed worker-pool size.
     pub workers: usize,
+    /// Per-connection read timeout (bounds idle keep-alive connections).
+    pub read_timeout: Duration,
+    /// Deadline budget for each analyst query; defaults to `read_timeout`
+    /// when `None`, so a query can never outlive its connection.
+    pub request_deadline: Option<Duration>,
+    /// Accepted connections allowed to wait for a worker before new ones
+    /// are shed with `503 Service Unavailable`.
+    pub max_pending: usize,
+    /// The `Retry-After` hint sent with 503 responses.
+    pub retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +66,10 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            read_timeout: Duration::from_secs(30),
+            request_deadline: None,
+            max_pending: 64,
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -114,12 +128,14 @@ impl ServerHandle {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        // Force-close in-flight connections so workers blocked in a
-        // keep-alive read return immediately.
+        // Graceful drain: shut down only the *read* side of in-flight
+        // connections. Workers blocked in a keep-alive read see EOF and
+        // return immediately, while a worker mid-request still owns a
+        // writable socket and flushes its response before closing.
         for slot in self.slots.iter() {
             if let Ok(guard) = slot.lock() {
                 if let Some(stream) = guard.as_ref() {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    let _ = stream.shutdown(std::net::Shutdown::Read);
                 }
             }
         }
@@ -138,15 +154,37 @@ impl Drop for ServerHandle {
 /// Binds, spawns the acceptor and the worker pool, and returns immediately.
 pub fn serve(config: ServerConfig, mdm: Mdm) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
-    serve_on(listener, config.workers, mdm)
+    serve_on(listener, &config, mdm)
+}
+
+/// The 503 answered without a worker: queue saturated or server draining.
+/// The request is drained (briefly) before responding, so the close sends
+/// a clean FIN instead of resetting the connection under the client's read.
+fn shed_connection(stream: TcpStream, state: &AppState, reason: &str) {
+    state.count_request();
+    state.count_error();
+    state.count_shed();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    if let Ok(clone) = stream.try_clone() {
+        let _ = read_request(&mut BufReader::new(clone));
+    }
+    let response = Response::json(
+        503,
+        format!("{{\"error\":{{\"category\":\"overload\",\"message\":{reason:?}}}}}"),
+    )
+    .with_header("Retry-After", state.retry_after_secs.to_string());
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response(&mut writer, &response, false);
 }
 
 /// Like [`serve`], over an already-bound listener — callers that must not
 /// lose `mdm` on a bad address bind first and hand the listener over.
-pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<ServerHandle> {
-    let workers = workers.max(1);
+pub fn serve_on(listener: TcpListener, config: &ServerConfig, mdm: Mdm) -> io::Result<ServerHandle> {
+    let workers = config.workers.max(1);
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(mdm, workers));
+    let state = Arc::new(AppState::new(mdm, config));
     let stopping = Arc::new(AtomicBool::new(false));
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -167,10 +205,16 @@ pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<S
                         guard.recv()
                     };
                     match stream {
-                        Ok(stream) if stopping.load(Ordering::SeqCst) => drop(stream),
+                        Ok(stream) if stopping.load(Ordering::SeqCst) => {
+                            // Draining: tell queued-but-unserved clients to
+                            // retry instead of silently dropping them.
+                            state.queued.fetch_sub(1, Ordering::SeqCst);
+                            shed_connection(stream, &state, "server is shutting down");
+                        }
                         Ok(stream) => {
+                            state.queued.fetch_sub(1, Ordering::SeqCst);
                             *slots[index].lock().expect("slot poisoned") = stream.try_clone().ok();
-                            handle_connection(stream, &state);
+                            handle_connection(stream, &state, &stopping);
                             *slots[index].lock().expect("slot poisoned") = None;
                         }
                         Err(_) => break, // sender dropped: shutting down
@@ -182,6 +226,7 @@ pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<S
 
     let acceptor = {
         let stopping = Arc::clone(&stopping);
+        let state = Arc::clone(&state);
         thread::Builder::new()
             .name("mdm-acceptor".to_string())
             .spawn(move || {
@@ -192,6 +237,11 @@ pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<S
                     }
                     match stream {
                         Ok(stream) => {
+                            if state.queued.load(Ordering::SeqCst) >= state.max_pending {
+                                shed_connection(stream, &state, "worker queue is saturated");
+                                continue;
+                            }
+                            state.queued.fetch_add(1, Ordering::SeqCst);
                             if sender.send(stream).is_err() {
                                 break;
                             }
@@ -214,9 +264,10 @@ pub fn serve_on(listener: TcpListener, workers: usize, mdm: Mdm) -> io::Result<S
 }
 
 /// Serves one connection: requests in a keep-alive loop until the peer
-/// closes, asks to close, or sends garbage (answered with a 400).
-fn handle_connection(stream: TcpStream, state: &AppState) {
-    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+/// closes, asks to close, sends garbage (answered with a 400), or the
+/// server starts draining (the in-flight request still completes).
+fn handle_connection(stream: TcpStream, state: &AppState, stopping: &AtomicBool) {
+    stream.set_read_timeout(Some(state.read_timeout)).ok();
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
@@ -226,7 +277,8 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     loop {
         match read_request(&mut reader) {
             Ok(Some(request)) => {
-                let keep_alive = request.keep_alive();
+                let draining = stopping.load(Ordering::SeqCst);
+                let keep_alive = request.keep_alive() && !draining;
                 let response = routes::dispatch(state, &request);
                 if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
                     return;

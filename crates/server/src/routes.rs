@@ -31,7 +31,7 @@ use mdm_core::walk_dsl;
 use mdm_core::{Mdm, MdmError};
 use mdm_dataform::{json, Value};
 use mdm_rdf::term::Iri;
-use mdm_relational::Table;
+use mdm_relational::{Deadline, Table};
 use mdm_wrappers::{Format, Release, Signature, Wrapper};
 
 use crate::http::{Request, Response};
@@ -116,6 +116,7 @@ fn error_response(status: u16, category: &str, message: &str) -> Response {
 fn mdm_error_response(error: &MdmError) -> Response {
     let status = match error.category() {
         "execution" => 500,
+        "timeout" => 504,
         "rewrite" => 422,
         _ => 400,
     };
@@ -197,6 +198,7 @@ fn healthz(state: &AppState) -> Response {
 }
 
 fn metrics(state: &AppState) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
     let mdm = state.mdm.read().expect("state poisoned");
     let stats = mdm.cache_stats();
     let cache = Value::object([
@@ -208,22 +210,44 @@ fn metrics(state: &AppState) -> Response {
         ("capacity", Value::int(stats.capacity as i64)),
         ("hit_rate", Value::float(stats.hit_rate())),
     ]);
+    let availability = Value::object([
+        ("shed_total", Value::int(state.shed.load(Relaxed) as i64)),
+        ("queued", Value::int(state.queued.load(Relaxed) as i64)),
+        ("max_pending", Value::int(state.max_pending as i64)),
+        (
+            "request_deadline_ms",
+            Value::int(state.request_deadline.as_millis() as i64),
+        ),
+    ]);
+    let breakers = Value::array(mdm.breaker_snapshots().into_iter().map(|b| {
+        Value::object([
+            ("relation", Value::string(b.relation)),
+            ("state", Value::string(b.state)),
+            (
+                "consecutive_failures",
+                Value::int(b.consecutive_failures as i64),
+            ),
+            ("failures_total", Value::int(b.failures_total as i64)),
+            ("successes_total", Value::int(b.successes_total as i64)),
+            ("opened_total", Value::int(b.opened_total as i64)),
+            (
+                "last_error",
+                b.last_error.map(Value::string).unwrap_or(Value::Null),
+            ),
+        ])
+    }));
     ok_json(Value::object([
         ("epoch", Value::int(mdm.epoch() as i64)),
-        (
-            "requests_total",
-            Value::int(state.requests.load(std::sync::atomic::Ordering::Relaxed) as i64),
-        ),
-        (
-            "errors_total",
-            Value::int(state.errors.load(std::sync::atomic::Ordering::Relaxed) as i64),
-        ),
+        ("requests_total", Value::int(state.requests.load(Relaxed) as i64)),
+        ("errors_total", Value::int(state.errors.load(Relaxed) as i64)),
         (
             "uptime_ms",
             Value::int(state.started.elapsed().as_millis() as i64),
         ),
         ("workers", Value::int(state.workers as i64)),
         ("plan_cache", cache),
+        ("availability", availability),
+        ("breakers", breakers),
     ]))
 }
 
@@ -627,9 +651,46 @@ fn analyst_explain(state: &AppState, request: &Request) -> Response {
     })
 }
 
+fn completeness_json(completeness: &mdm_core::Completeness) -> Value {
+    let dropped = Value::array(completeness.dropped.iter().map(|d| {
+        Value::object([
+            (
+                "wrappers",
+                Value::array(d.wrappers.iter().map(|w| Value::string(w.as_str()))),
+            ),
+            ("kind", Value::string(d.kind.as_str())),
+            ("reason", Value::string(d.reason.as_str())),
+        ])
+    }));
+    Value::object([
+        ("complete", Value::Bool(completeness.is_complete())),
+        (
+            "total_branches",
+            Value::int(completeness.total_branches as i64),
+        ),
+        (
+            "executed_branches",
+            Value::int(completeness.executed_branches as i64),
+        ),
+        (
+            "contributors",
+            Value::array(
+                completeness
+                    .contributors
+                    .iter()
+                    .map(|c| Value::string(c.as_str())),
+            ),
+        ),
+        ("dropped", dropped),
+        ("retries", Value::int(completeness.retries as i64)),
+        ("summary", Value::string(completeness.summary())),
+    ])
+}
+
 fn analyst_query(state: &AppState, request: &Request) -> Response {
+    let deadline = Deadline::after(state.request_deadline);
     with_walk(state, request, |mdm, walk| {
-        let answer = mdm.query_cached(walk)?;
+        let answer = mdm.query_degraded(walk, deadline)?;
         let mut fields = match table_json(&answer.table) {
             Value::Object(map) => map.into_iter().collect::<Vec<_>>(),
             _ => unreachable!("table_json returns an object"),
@@ -637,6 +698,10 @@ fn analyst_query(state: &AppState, request: &Request) -> Response {
         fields.push((
             "branches".to_string(),
             Value::int(answer.rewriting.branch_count() as i64),
+        ));
+        fields.push((
+            "completeness".to_string(),
+            completeness_json(&answer.completeness),
         ));
         fields.push(("epoch".to_string(), Value::int(mdm.epoch() as i64)));
         Ok(Value::object(fields))

@@ -1,33 +1,54 @@
 //! Shared server state: the [`Mdm`] instance behind a readers–writer lock
-//! plus request counters.
+//! plus request counters and the availability knobs.
 //!
 //! Steward routes take the write lock (they mutate metadata and bump the
 //! epoch); analyst routes take the read lock, so any number of queries run
 //! concurrently and all share the epoch-keyed plan cache inside [`Mdm`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::RwLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mdm_core::Mdm;
+
+use crate::ServerConfig;
 
 /// Everything a worker thread needs to answer a request.
 pub struct AppState {
     pub mdm: RwLock<Mdm>,
     pub requests: AtomicU64,
     pub errors: AtomicU64,
+    /// Connections answered 503 because the queue was saturated or the
+    /// server was draining.
+    pub shed: AtomicU64,
+    /// Accepted connections waiting for a worker (load-shedding gauge).
+    pub queued: AtomicUsize,
     pub started: Instant,
     pub workers: usize,
+    /// Queue depth beyond which new connections are shed with 503.
+    pub max_pending: usize,
+    /// Per-connection read timeout (keep-alive idle bound).
+    pub read_timeout: Duration,
+    /// Deadline budget handed to each analyst query.
+    pub request_deadline: Duration,
+    /// Seconds advertised in `Retry-After` on 503 responses.
+    pub retry_after_secs: u64,
 }
 
 impl AppState {
-    pub fn new(mdm: Mdm, workers: usize) -> Self {
+    pub fn new(mdm: Mdm, config: &ServerConfig) -> Self {
         AppState {
             mdm: RwLock::new(mdm),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
             started: Instant::now(),
-            workers,
+            workers: config.workers.max(1),
+            max_pending: config.max_pending.max(1),
+            read_timeout: config.read_timeout,
+            request_deadline: config.request_deadline.unwrap_or(config.read_timeout),
+            retry_after_secs: config.retry_after.as_secs().max(1),
         }
     }
 
@@ -37,5 +58,9 @@ impl AppState {
 
     pub fn count_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -1,0 +1,292 @@
+//! Deterministic fault injection for simulated REST sources.
+//!
+//! Real wrappers front external APIs that fail, stall, and ship malformed
+//! payloads; our simulated [`crate::RestSource`] layer is perfectly
+//! reliable, so the resilient execution path needs a way to *manufacture*
+//! failure on demand. A [`FaultPlan`] is a seeded schedule of injected
+//! faults: every fetch attempt a wrapper makes draws its fate from a
+//! SplitMix64 stream keyed by `(seed, wrapper name, attempt number)` — the
+//! same plan replayed against the same wrappers produces the same faults
+//! in the same order, so every flaky-network scenario in the test suite is
+//! reproducible from a single `u64`.
+//!
+//! Fault classes (mirroring what live REST APIs do):
+//!
+//! * **transient errors** — HTTP 503-style hiccups, drawn at a rate that
+//!   can change as attempts accumulate ([`FaultPlan::transient_window`]);
+//!   a retry is expected to succeed eventually;
+//! * **terminal errors** — the source is gone ([`FaultPlan::kill`]) or
+//!   dies after a number of fetches ([`FaultPlan::kill_after`]); retrying
+//!   is pointless;
+//! * **malformed payloads** — the body is truncated mid-stream, so the
+//!   parser (not the transport) fails;
+//! * **latency** — the response arrives, slowly; pure added delay.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a single injected fault does to one fetch attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Sleep this long, then serve the payload normally.
+    Latency(Duration),
+    /// Fail this attempt with a retryable transport error.
+    Transient,
+    /// Fail every attempt from now on; the source is dead.
+    Terminal,
+    /// Serve a truncated body so payload parsing fails.
+    Malformed,
+}
+
+/// One segment of a transient-error-rate schedule: `rate` applies to
+/// attempt numbers `>= from_attempt` (1-based), until a later window
+/// takes over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateWindow {
+    pub from_attempt: u64,
+    pub rate: f64,
+}
+
+/// A seeded, deterministic fault schedule shared by every wrapper it is
+/// attached to. Cheap to clone behind an `Arc`; attempt counters are
+/// interior-mutable so `&self` fetches from many threads stay consistent.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    transient: Vec<RateWindow>,
+    malformed_rate: f64,
+    latency: Option<(Duration, f64)>,
+    /// wrapper → attempt number (1-based) from which every fetch fails
+    /// terminally. `1` means dead on arrival.
+    killed: BTreeMap<String, u64>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) drawing from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets a flat transient-error rate for every attempt.
+    pub fn transient_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range");
+        self.transient = vec![RateWindow {
+            from_attempt: 1,
+            rate,
+        }];
+        self
+    }
+
+    /// Appends a schedule window: from attempt `from_attempt` (1-based)
+    /// onward, transient errors are drawn at `rate` — e.g. a source that
+    /// is healthy for its first 10 fetches and flaky afterwards.
+    pub fn transient_window(mut self, from_attempt: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range");
+        self.transient.push(RateWindow { from_attempt, rate });
+        self.transient.sort_by_key(|w| w.from_attempt);
+        self
+    }
+
+    /// Sets the probability that a served payload is truncated.
+    pub fn malformed_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range");
+        self.malformed_rate = rate;
+        self
+    }
+
+    /// Injects `delay` of extra latency with probability `rate`.
+    pub fn latency(mut self, delay: Duration, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate out of range");
+        self.latency = Some((delay, rate));
+        self
+    }
+
+    /// Kills `wrapper` outright: every fetch fails terminally.
+    pub fn kill(self, wrapper: impl Into<String>) -> Self {
+        self.kill_after(wrapper, 0)
+    }
+
+    /// Lets `wrapper` serve `healthy_fetches` successful-eligible attempts,
+    /// then kills it.
+    pub fn kill_after(mut self, wrapper: impl Into<String>, healthy_fetches: u64) -> Self {
+        self.killed.insert(wrapper.into(), healthy_fetches + 1);
+        self
+    }
+
+    /// Number of fetch attempts `wrapper` has made under this plan.
+    pub fn attempts(&self, wrapper: &str) -> u64 {
+        *self
+            .counters
+            .lock()
+            .expect("fault counters poisoned")
+            .get(wrapper)
+            .unwrap_or(&0)
+    }
+
+    /// Registers one fetch attempt by `wrapper` and draws its fate.
+    /// `None` means the attempt succeeds unimpeded.
+    pub fn next_fault(&self, wrapper: &str) -> Option<InjectedFault> {
+        let attempt = {
+            let mut counters = self.counters.lock().expect("fault counters poisoned");
+            let counter = counters.entry(wrapper.to_string()).or_insert(0);
+            *counter += 1;
+            *counter
+        };
+        if let Some(&dead_from) = self.killed.get(wrapper) {
+            if attempt >= dead_from {
+                return Some(InjectedFault::Terminal);
+            }
+        }
+        let mut rng = self.rng_for(wrapper, attempt);
+        let rate = self
+            .transient
+            .iter()
+            .rev()
+            .find(|w| attempt >= w.from_attempt)
+            .map_or(0.0, |w| w.rate);
+        if rate > 0.0 && rng.gen_bool(rate) {
+            return Some(InjectedFault::Transient);
+        }
+        if self.malformed_rate > 0.0 && rng.gen_bool(self.malformed_rate) {
+            return Some(InjectedFault::Malformed);
+        }
+        if let Some((delay, rate)) = self.latency {
+            if rate > 0.0 && rng.gen_bool(rate) {
+                return Some(InjectedFault::Latency(delay));
+            }
+        }
+        None
+    }
+
+    /// Forgets all attempt counters (a fresh run of the same schedule).
+    pub fn reset(&self) {
+        self.counters
+            .lock()
+            .expect("fault counters poisoned")
+            .clear();
+    }
+
+    fn rng_for(&self, wrapper: &str, attempt: u64) -> StdRng {
+        // FNV-1a over the wrapper name, mixed with the seed and attempt, so
+        // each (wrapper, attempt) pair gets an independent draw stream.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in wrapper.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_add(hash)
+                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+}
+
+/// Truncates a payload body the way a dropped connection does: keeps the
+/// first half (at least one byte) on a UTF-8 boundary.
+pub fn truncate_body(body: &str) -> String {
+    let mut cut = (body.len() / 2).max(1).min(body.len());
+    while cut < body.len() && !body.is_char_boundary(cut) {
+        cut += 1;
+    }
+    body[..cut].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(plan.next_fault("w1"), None);
+        }
+        assert_eq!(plan.attempts("w1"), 100);
+        assert_eq!(plan.attempts("w2"), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::seeded(7).transient_rate(0.4).malformed_rate(0.2);
+        let b = FaultPlan::seeded(7).transient_rate(0.4).malformed_rate(0.2);
+        let draws_a: Vec<_> = (0..200).map(|_| a.next_fault("w1")).collect();
+        let draws_b: Vec<_> = (0..200).map(|_| b.next_fault("w1")).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().any(|f| f == &Some(InjectedFault::Transient)));
+        assert!(draws_a.iter().any(|f| f == &Some(InjectedFault::Malformed)));
+        assert!(draws_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn different_wrappers_draw_independently() {
+        let plan = FaultPlan::seeded(9).transient_rate(0.5);
+        let w1: Vec<_> = (0..64).map(|_| plan.next_fault("w1")).collect();
+        plan.reset();
+        let w2: Vec<_> = (0..64).map(|_| plan.next_fault("w2")).collect();
+        assert_ne!(w1, w2, "streams should be keyed by wrapper name");
+    }
+
+    #[test]
+    fn kill_is_terminal_forever() {
+        let plan = FaultPlan::seeded(1).kill("w3");
+        for _ in 0..5 {
+            assert_eq!(plan.next_fault("w3"), Some(InjectedFault::Terminal));
+        }
+        assert_eq!(plan.next_fault("w1"), None);
+    }
+
+    #[test]
+    fn kill_after_allows_healthy_fetches_first() {
+        let plan = FaultPlan::seeded(1).kill_after("w1", 2);
+        assert_eq!(plan.next_fault("w1"), None);
+        assert_eq!(plan.next_fault("w1"), None);
+        assert_eq!(plan.next_fault("w1"), Some(InjectedFault::Terminal));
+        assert_eq!(plan.next_fault("w1"), Some(InjectedFault::Terminal));
+    }
+
+    #[test]
+    fn rate_schedule_switches_windows() {
+        // 0% for the first 50 attempts, 100% afterwards.
+        let plan = FaultPlan::seeded(3)
+            .transient_window(1, 0.0)
+            .transient_window(51, 1.0);
+        for _ in 0..50 {
+            assert_eq!(plan.next_fault("w"), None);
+        }
+        for _ in 0..10 {
+            assert_eq!(plan.next_fault("w"), Some(InjectedFault::Transient));
+        }
+    }
+
+    #[test]
+    fn latency_fault_carries_delay() {
+        let plan = FaultPlan::seeded(5).latency(Duration::from_millis(40), 1.0);
+        assert_eq!(
+            plan.next_fault("w"),
+            Some(InjectedFault::Latency(Duration::from_millis(40)))
+        );
+    }
+
+    #[test]
+    fn truncation_breaks_json() {
+        let body = r#"[{"id":1,"name":"Messi"},{"id":2,"name":"Ramos"}]"#;
+        let cut = truncate_body(body);
+        assert!(cut.len() < body.len());
+        assert!(mdm_dataform::json::parse(&cut).is_err());
+        assert_eq!(truncate_body("ab"), "a");
+    }
+}

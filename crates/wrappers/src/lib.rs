@@ -28,12 +28,14 @@
 pub mod config;
 pub mod diff;
 pub mod evolution;
+pub mod fault;
 pub mod football;
 pub mod registry;
 pub mod rest;
 pub mod workload;
 pub mod wrapper;
 
+pub use fault::{FaultPlan, InjectedFault};
 pub use registry::WrapperCatalog;
 pub use rest::{Format, Release, RestSource};
 pub use wrapper::{Signature, Wrapper, WrapperError};

@@ -1,19 +1,24 @@
 //! The wrapper catalog: name → wrapper, usable by the federated executor.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mdm_relational::{Catalog, RelationProvider};
 
+use crate::fault::FaultPlan;
 use crate::wrapper::Wrapper;
 
 /// A catalog of registered wrappers, keyed by wrapper name.
 ///
 /// This is the bridge between MDM's metadata level (wrappers registered by
 /// the data steward) and the execution level (relations scanned by rewritten
-/// query plans).
+/// query plans). An attached [`FaultPlan`] is stamped onto every wrapper —
+/// registered before or after — so a whole ecosystem turns flaky with one
+/// call.
 #[derive(Default, Debug, Clone)]
 pub struct WrapperCatalog {
     wrappers: BTreeMap<String, Wrapper>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl WrapperCatalog {
@@ -24,8 +29,23 @@ impl WrapperCatalog {
 
     /// Registers a wrapper under its signature name. Returns the previous
     /// wrapper when one with the same name was registered.
-    pub fn register(&mut self, wrapper: Wrapper) -> Option<Wrapper> {
+    pub fn register(&mut self, mut wrapper: Wrapper) -> Option<Wrapper> {
+        wrapper.set_fault_plan(self.faults.clone());
         self.wrappers.insert(wrapper.name().to_string(), wrapper)
+    }
+
+    /// Attaches (or with `None` detaches) a fault schedule, restamping
+    /// every registered wrapper.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+        for wrapper in self.wrappers.values_mut() {
+            wrapper.set_fault_plan(self.faults.clone());
+        }
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Removes a wrapper by name.
@@ -118,6 +138,19 @@ mod tests {
         let table = Executor::new(&catalog).run(&Plan::scan("w1")).unwrap();
         assert_eq!(table.len(), 1);
         assert_eq!(table.rows()[0][1], mdm_relational::Value::str("row-w1"));
+    }
+
+    #[test]
+    fn fault_plan_stamps_existing_and_future_wrappers() {
+        let mut catalog = WrapperCatalog::new();
+        catalog.register(wrapper("w1", "A", 1));
+        catalog.set_fault_plan(Some(Arc::new(FaultPlan::seeded(4).kill("w1").kill("w2"))));
+        catalog.register(wrapper("w2", "B", 1));
+        assert!(catalog.get("w1").unwrap().rows().is_err());
+        assert!(catalog.get("w2").unwrap().rows().is_err());
+        catalog.set_fault_plan(None);
+        assert!(catalog.get("w1").unwrap().rows().is_ok());
+        assert!(catalog.fault_plan().is_none());
     }
 
     #[test]

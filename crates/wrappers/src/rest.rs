@@ -13,6 +13,8 @@ use std::fmt;
 
 use mdm_dataform::{json, xml, Value};
 
+use crate::wrapper::WrapperError;
+
 /// The serialisation format of a payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Format {
@@ -45,16 +47,24 @@ pub struct Release {
 }
 
 impl Release {
-    /// Parses the payload into the unified document model.
-    pub fn parse(&self) -> Result<Value, String> {
+    /// Parses the payload into the unified document model. A parse failure
+    /// is a [`WrapperError::Malformed`]: the bytes arrived, but are not a
+    /// valid document.
+    pub fn parse(&self) -> Result<Value, WrapperError> {
+        self.parse_body(&self.body)
+    }
+
+    /// Parses an arbitrary body in this release's format — the fault
+    /// harness uses it to feed truncated payloads through the real parser.
+    pub fn parse_body(&self, body: &str) -> Result<Value, WrapperError> {
         match self.format {
-            Format::Json => json::parse(&self.body).map_err(|e| e.to_string()),
-            Format::Xml => xml::parse(&self.body)
+            Format::Json => json::parse(body).map_err(|e| WrapperError::Malformed(e.to_string())),
+            Format::Xml => xml::parse(body)
                 .map(|e| xml::to_value(&e))
-                .map_err(|e| e.to_string()),
-            Format::Csv => mdm_dataform::csv::parse(&self.body)
+                .map_err(|e| WrapperError::Malformed(e.to_string())),
+            Format::Csv => mdm_dataform::csv::parse(body)
                 .map(|t| Value::Array(t.to_values()))
-                .map_err(|e| e.to_string()),
+                .map_err(|e| WrapperError::Malformed(e.to_string())),
         }
     }
 }
@@ -100,17 +110,18 @@ impl RestSource {
         self.releases.keys().copied().collect()
     }
 
-    /// Serves the body for `version` — the simulated HTTP GET.
-    pub fn get(&self, version: u32) -> Result<&str, String> {
+    /// Serves the body for `version` — the simulated HTTP GET. A missing
+    /// version is an HTTP 404: a [`WrapperError::Permanent`] no retry fixes.
+    pub fn get(&self, version: u32) -> Result<&str, WrapperError> {
         self.releases
             .get(&version)
             .map(|r| r.body.as_str())
             .ok_or_else(|| {
-                format!(
+                WrapperError::Permanent(format!(
                     "{}: HTTP 404 — version v{version} not published (available: {:?})",
                     self.name,
                     self.versions()
-                )
+                ))
             })
     }
 }
@@ -133,7 +144,9 @@ mod tests {
         let mut api = RestSource::new("PlayersAPI");
         api.publish(players_v1());
         assert_eq!(api.get(1).unwrap(), r#"[{"id":1,"name":"Messi"}]"#);
-        assert!(api.get(2).unwrap_err().contains("404"));
+        let err = api.get(2).unwrap_err();
+        assert!(matches!(err, WrapperError::Permanent(_)), "{err}");
+        assert!(err.message().contains("404"));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Wrappers: signatures, payload bindings, and 1NF row production.
 
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use mdm_dataform::flatten::{flatten_rows, FlattenOptions, Row};
-use mdm_relational::{ExecError, RelationProvider, Schema, Tuple, Value};
+use mdm_relational::{ErrorKind, ExecError, RelationProvider, Schema, Tuple, Value};
 
+use crate::fault::{truncate_body, FaultPlan, InjectedFault};
 use crate::rest::Release;
 
 /// A wrapper signature `w(a1, …, an)` (paper §2.2).
@@ -24,22 +25,24 @@ impl Signature {
         let name = name.into();
         let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
         if name.is_empty() {
-            return Err(WrapperError("wrapper name must not be empty".to_string()));
+            return Err(WrapperError::Permanent(
+                "wrapper name must not be empty".to_string(),
+            ));
         }
         if attributes.is_empty() {
-            return Err(WrapperError(format!(
+            return Err(WrapperError::Permanent(format!(
                 "wrapper '{name}' must expose at least one attribute"
             )));
         }
         let mut seen = std::collections::BTreeSet::new();
         for attribute in &attributes {
             if attribute.is_empty() {
-                return Err(WrapperError(format!(
+                return Err(WrapperError::Permanent(format!(
                     "wrapper '{name}' has an empty attribute name"
                 )));
             }
             if !seen.insert(attribute.as_str()) {
-                return Err(WrapperError(format!(
+                return Err(WrapperError::Permanent(format!(
                     "wrapper '{name}' repeats attribute '{attribute}'"
                 )));
             }
@@ -69,17 +72,66 @@ impl fmt::Display for Signature {
     }
 }
 
-/// An error raised while building or executing a wrapper.
+/// An error raised while building or executing a wrapper, classified by
+/// what the caller should do about it.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WrapperError(pub String);
+pub enum WrapperError {
+    /// A retryable fault (network hiccup, HTTP 503); trying again may work.
+    Transient(String),
+    /// A non-retryable fault (bad configuration, HTTP 404, dead source).
+    Permanent(String),
+    /// The payload arrived but could not be parsed (truncated, invalid).
+    Malformed(String),
+    /// The fetch exceeded its time budget.
+    Timeout(String),
+}
+
+impl WrapperError {
+    /// The human-readable message, without the classification.
+    pub fn message(&self) -> &str {
+        match self {
+            WrapperError::Transient(m)
+            | WrapperError::Permanent(m)
+            | WrapperError::Malformed(m)
+            | WrapperError::Timeout(m) => m,
+        }
+    }
+
+    /// The classification as a lowercase label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WrapperError::Transient(_) => "transient",
+            WrapperError::Permanent(_) => "permanent",
+            WrapperError::Malformed(_) => "malformed",
+            WrapperError::Timeout(_) => "timeout",
+        }
+    }
+
+    /// True when a retry can reasonably be expected to succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WrapperError::Transient(_))
+    }
+}
 
 impl fmt::Display for WrapperError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wrapper error: {}", self.0)
+        write!(f, "wrapper error ({}): {}", self.kind(), self.message())
     }
 }
 
 impl std::error::Error for WrapperError {}
+
+impl From<WrapperError> for ExecError {
+    fn from(error: WrapperError) -> Self {
+        let kind = match &error {
+            WrapperError::Transient(_) => ErrorKind::Transient,
+            WrapperError::Permanent(_) => ErrorKind::Permanent,
+            WrapperError::Malformed(_) => ErrorKind::Malformed,
+            WrapperError::Timeout(_) => ErrorKind::Timeout,
+        };
+        ExecError::new(kind, error.message().to_string())
+    }
+}
 
 /// A runnable wrapper: a signature, the release it reads, and the binding of
 /// each signature attribute to a flattened payload column.
@@ -97,8 +149,11 @@ pub struct Wrapper {
     /// `attribute → flattened payload column` pairs, one per attribute.
     bindings: Vec<(String, String)>,
     release: Release,
-    /// Rows are produced once and cached; a wrapper models one snapshot.
-    cache: OnceLock<Result<Vec<Tuple>, String>>,
+    /// An attached fault schedule makes every [`Wrapper::rows`] call a
+    /// fresh simulated fetch; without one, rows are produced once and
+    /// cached (a wrapper models one snapshot).
+    faults: Option<Arc<FaultPlan>>,
+    cache: OnceLock<Result<Vec<Tuple>, WrapperError>>,
 }
 
 impl Clone for Wrapper {
@@ -109,6 +164,7 @@ impl Clone for Wrapper {
             version: self.version,
             bindings: self.bindings.clone(),
             release: self.release.clone(),
+            faults: self.faults.clone(),
             cache: OnceLock::new(),
         }
     }
@@ -135,13 +191,13 @@ impl Wrapper {
         for attribute in signature.attributes() {
             let count = bindings.iter().filter(|(a, _)| a == attribute).count();
             if count != 1 {
-                return Err(WrapperError(format!(
+                return Err(WrapperError::Permanent(format!(
                     "attribute '{attribute}' of {signature} must be bound exactly once, found {count}",
                 )));
             }
         }
         if bindings.len() != signature.arity() {
-            return Err(WrapperError(format!(
+            return Err(WrapperError::Permanent(format!(
                 "{signature} has {} attributes but {} bindings",
                 signature.arity(),
                 bindings.len()
@@ -153,6 +209,7 @@ impl Wrapper {
             version: release.version,
             bindings,
             release,
+            faults: None,
             cache: OnceLock::new(),
         })
     }
@@ -196,17 +253,57 @@ impl Wrapper {
         &self.bindings
     }
 
+    /// Attaches a fault schedule: every subsequent [`Wrapper::rows`] call
+    /// becomes a fresh simulated fetch drawing its fate from the plan.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+        self.cache = OnceLock::new();
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     /// Fetches, parses, flattens and maps the payload into signature rows.
-    pub fn rows(&self) -> Result<&[Tuple], WrapperError> {
-        let result = self.cache.get_or_init(|| self.compute_rows());
-        match result {
-            Ok(rows) => Ok(rows),
-            Err(e) => Err(WrapperError(e.clone())),
+    ///
+    /// Without a fault plan the result is computed once and cached. With
+    /// one, each call simulates a fresh fetch against a flaky source and
+    /// may fail with any [`WrapperError`] variant.
+    pub fn rows(&self) -> Result<Vec<Tuple>, WrapperError> {
+        match &self.faults {
+            None => self
+                .cache
+                .get_or_init(|| self.compute_rows(&self.release.body))
+                .clone(),
+            Some(plan) => match plan.next_fault(self.name()) {
+                Some(InjectedFault::Terminal) => Err(WrapperError::Permanent(format!(
+                    "{}: source '{}' is gone (injected terminal fault)",
+                    self.name(),
+                    self.source
+                ))),
+                Some(InjectedFault::Transient) => Err(WrapperError::Transient(format!(
+                    "{}: HTTP 503 from '{}' (injected transient fault, attempt {})",
+                    self.name(),
+                    self.source,
+                    plan.attempts(self.name())
+                ))),
+                Some(InjectedFault::Malformed) => {
+                    self.compute_rows(&truncate_body(&self.release.body))
+                }
+                Some(InjectedFault::Latency(delay)) => {
+                    std::thread::sleep(delay);
+                    self.compute_rows(&self.release.body)
+                }
+                None => self.compute_rows(&self.release.body),
+            },
         }
     }
 
-    fn compute_rows(&self) -> Result<Vec<Tuple>, String> {
-        let value = self.release.parse()?;
+    fn compute_rows(&self, body: &str) -> Result<Vec<Tuple>, WrapperError> {
+        let value = self.release.parse_body(body).map_err(|e| {
+            WrapperError::Malformed(format!("{}: {}", self.name(), e.message()))
+        })?;
         let flat: Vec<Row> = flatten_rows(&value, &FlattenOptions::default());
         let rows = flat
             .into_iter()
@@ -227,7 +324,7 @@ impl Wrapper {
     /// The flattened payload columns this release actually provides — the
     /// raw material for MDM's automatic *schema extraction* step (§2.2).
     pub fn payload_columns(&self) -> Result<Vec<String>, WrapperError> {
-        let value = self.release.parse().map_err(WrapperError)?;
+        let value = self.release.parse()?;
         let flat = flatten_rows(&value, &FlattenOptions::default());
         Ok(mdm_dataform::flatten::infer_columns(&flat))
     }
@@ -251,9 +348,7 @@ impl RelationProvider for Wrapper {
     }
 
     fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
-        Wrapper::rows(self)
-            .map(<[Tuple]>::to_vec)
-            .map_err(|e| ExecError(e.0))
+        Wrapper::rows(self).map_err(ExecError::from)
     }
 }
 
@@ -313,6 +408,15 @@ mod tests {
         assert!(Signature::new("w", [""]).is_err());
         assert!(Signature::new("", ["a"]).is_err());
         assert!(Signature::new("w", Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_permanent() {
+        let err = Signature::new("w", ["a", "a"]).unwrap_err();
+        assert!(matches!(err, WrapperError::Permanent(_)));
+        assert_eq!(err.kind(), "permanent");
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("permanent"));
     }
 
     #[test]
@@ -389,16 +493,62 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(w.rows().is_err());
+        let err = w.rows().unwrap_err();
+        assert!(matches!(err, WrapperError::Malformed(_)), "{err}");
         // The error is cached, not recomputed.
         assert!(w.rows().is_err());
     }
 
     #[test]
-    fn rows_are_cached() {
+    fn rows_are_cached_without_faults() {
         let w = w1();
-        let first = w.rows().unwrap().as_ptr();
-        let second = w.rows().unwrap().as_ptr();
+        let first = w.rows().unwrap();
+        let second = w.rows().unwrap();
         assert_eq!(first, second);
+        // The cache holds the computed result; clones reset it.
+        assert!(w.cache.get().is_some());
+        assert!(w.clone().cache.get().is_none());
+    }
+
+    #[test]
+    fn fault_plan_turns_fetches_flaky_then_ok() {
+        let mut w = w1();
+        // 100% transient for attempts 1-2, clean afterwards.
+        w.set_fault_plan(Some(Arc::new(
+            FaultPlan::seeded(11)
+                .transient_window(1, 1.0)
+                .transient_window(3, 0.0),
+        )));
+        let e1 = w.rows().unwrap_err();
+        assert!(e1.is_transient(), "{e1}");
+        assert!(e1.message().contains("attempt 1"));
+        assert!(w.rows().unwrap_err().is_transient());
+        assert_eq!(w.rows().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn terminal_fault_is_permanent() {
+        let mut w = w1();
+        w.set_fault_plan(Some(Arc::new(FaultPlan::seeded(0).kill("w1"))));
+        let err = w.rows().unwrap_err();
+        assert!(matches!(err, WrapperError::Permanent(_)), "{err}");
+        assert!(err.message().contains("PlayersAPI"));
+    }
+
+    #[test]
+    fn malformed_fault_truncates_payload() {
+        let mut w = w1();
+        w.set_fault_plan(Some(Arc::new(FaultPlan::seeded(0).malformed_rate(1.0))));
+        let err = w.rows().unwrap_err();
+        assert!(matches!(err, WrapperError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn exec_error_conversion_preserves_kind() {
+        let exec: ExecError = WrapperError::Transient("hiccup".to_string()).into();
+        assert_eq!(exec.kind, ErrorKind::Transient);
+        assert_eq!(exec.message, "hiccup");
+        let exec: ExecError = WrapperError::Timeout("slow".to_string()).into();
+        assert_eq!(exec.kind, ErrorKind::Timeout);
     }
 }

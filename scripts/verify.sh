@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and a
+# warning-free clippy pass over every target. CI and pre-commit both run
+# this; keep it the single source of truth for "the workspace is healthy".
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> OK"
