@@ -1,0 +1,65 @@
+//! P9 — parallel execution speedup vs. branch count and data size.
+//!
+//! Executes version-widened UCQs (the P1 shape: one concept, `versions`
+//! coexisting wrapper versions, so the union width equals the version
+//! count) under worker pools of 1, 2, 4 and 8 threads. Pool size 1 is the
+//! sequential baseline; the ratio to it is the speedup reported in
+//! EXPERIMENTS.md. Every configuration runs the same plan through the same
+//! executor — only the pool differs — and results are byte-identical by
+//! construction (asserted once per configuration before sampling).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdm_bench::versions_system;
+use mdm_relational::{ExecOptions, Executor, Pool};
+
+fn p9_parallel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p9_parallel_speedup");
+    group.sample_size(20);
+    for branches in [2usize, 4, 8] {
+        for rows in [1_000usize, 10_000] {
+            let system = versions_system(branches, rows);
+            let rewriting = system.mdm.rewrite(&system.walk).expect("rewrites");
+            let baseline = Executor::with_options(
+                system.mdm.catalog(),
+                ExecOptions::sequential(),
+            )
+            .run(&rewriting.plan)
+            .expect("executes");
+            for pool_size in [1usize, 2, 4, 8] {
+                let pool = Arc::new(Pool::new(pool_size));
+                let options = ExecOptions {
+                    pool: Some(Arc::clone(&pool)),
+                    ..ExecOptions::default()
+                };
+                let parallel = Executor::with_options(system.mdm.catalog(), options.clone())
+                    .run(&rewriting.plan)
+                    .expect("executes");
+                assert_eq!(baseline, parallel, "pool must not change the answer");
+                group.throughput(Throughput::Elements((branches * rows) as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("branches={branches}/rows={rows}"),
+                        format!("pool={pool_size}"),
+                    ),
+                    &options,
+                    |b, options| {
+                        b.iter(|| {
+                            std::hint::black_box(
+                                Executor::with_options(system.mdm.catalog(), options.clone())
+                                    .run(&rewriting.plan)
+                                    .expect("executes"),
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, p9_parallel_speedup);
+criterion_main!(benches);

@@ -34,6 +34,9 @@ pub struct Session {
     fault_rate: f64,
     /// Per-query deadline budget (`--deadline-ms`); `None` = unbounded.
     deadline_ms: Option<u64>,
+    /// Execution-pool size (`--threads`); `None` = the process-wide
+    /// default, `Some(1)` = sequential.
+    threads: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,7 @@ impl Session {
             fault_seed: None,
             fault_rate: 0.3,
             deadline_ms: None,
+            threads: None,
         }
     }
 
@@ -84,6 +88,20 @@ impl Session {
     /// Sets the per-query deadline budget (the `--deadline-ms` flag).
     pub fn set_deadline_ms(&mut self, ms: Option<u64>) {
         self.deadline_ms = ms;
+    }
+
+    /// Sets the execution-pool size applied to every loaded system
+    /// (the `--threads` flag). `1` forces the sequential path.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+        self.apply_threads();
+    }
+
+    /// (Re)stamps the loaded system with the session's pool size.
+    fn apply_threads(&mut self) {
+        if let (Some(mdm), Some(threads)) = (self.mdm.as_mut(), self.threads) {
+            mdm.set_threads(threads);
+        }
     }
 
     fn deadline(&self) -> Deadline {
@@ -174,6 +192,7 @@ impl Session {
                         self.mdm = Some(mdm);
                         self.ecosystem = Some(eco);
                         self.apply_fault_plan();
+                        self.apply_threads();
                         Outcome::Text(format!(
                             "football use case loaded: 4 sources, {wrappers} wrappers.\n\
                              Try 'show global', then 'query' (finish the walk with a lone '.')."
@@ -540,6 +559,7 @@ impl Session {
                 self.mdm = Some(mdm);
                 self.ecosystem = None;
                 self.apply_fault_plan();
+                self.apply_threads();
                 Outcome::Text(format!(
                     "metadata restored from {path} (wrappers must be re-registered to execute queries)"
                 ))

@@ -11,6 +11,8 @@
 //! * `--fault-seed <n>` — arm deterministic fault injection (seed `n`) on
 //!   every system the session loads (same as the `faults <n>` command).
 //! * `--deadline-ms <n>` — bound every query (REPL and served) by `n` ms.
+//! * `--threads <n>` — execution-pool size for query fan-out (`1` forces
+//!   the sequential path; default sizes from `available_parallelism`).
 
 use std::io::{BufRead, Write};
 
@@ -37,8 +39,17 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
                     .map_err(|_| format!("--deadline-ms: '{raw}' is not an unsigned integer"))?;
                 session.set_deadline_ms(Some(ms));
             }
+            "--threads" => {
+                let raw = value(&mut args)?;
+                let threads = raw
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads: '{raw}' is not an unsigned integer"))?;
+                session.set_threads(Some(threads));
+            }
             "--help" | "-h" => {
-                return Err("usage: mdm [--fault-seed <n>] [--deadline-ms <n>]".to_string())
+                return Err(
+                    "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>]".to_string(),
+                )
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use mdm_rdf::term::Iri;
 use mdm_relational::{
-    BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline, ExecOptions, Executor,
-    RetryPolicy,
+    pool, BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline, ExecOptions,
+    Executor, Pool, PoolStats, RetryPolicy,
 };
 use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 
@@ -16,7 +16,7 @@ use crate::error::MdmError;
 use crate::gav::GavMapping;
 use crate::mapping::MappingBuilder;
 use crate::ontology::BdiOntology;
-use crate::query::{answer_walk, execute_degraded, DegradedAnswer, QueryAnswer};
+use crate::query::{answer_walk_with, execute_degraded, DegradedAnswer, QueryAnswer};
 use crate::release::{register_source, register_wrapper, Registration};
 use crate::render;
 use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
@@ -41,7 +41,6 @@ pub struct OnboardReport {
 /// Owns the BDI ontology (metadata level) and the wrapper catalog
 /// (execution level); the steward methods mutate the former and register
 /// into the latter, the analyst methods rewrite and execute.
-#[derive(Default)]
 pub struct Mdm {
     ontology: BdiOntology,
     catalog: WrapperCatalog,
@@ -55,6 +54,15 @@ pub struct Mdm {
     retry: RetryPolicy,
     /// Per-wrapper circuit breakers shared by all query executions.
     breakers: BreakerRegistry,
+    /// Worker pool fanning union branches (and large join probes) out
+    /// across cores. `None` forces the legacy sequential path.
+    pool: Option<Arc<Pool>>,
+}
+
+impl Default for Mdm {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Mdm {
@@ -68,6 +76,42 @@ impl Mdm {
             plan_cache: PlanCache::default(),
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
+            pool: Some(pool::global()),
+        }
+    }
+
+    /// Sets the execution parallelism: `0` selects the process-wide shared
+    /// pool sized from `available_parallelism`, `1` forces the legacy
+    /// sequential path, and any other `n` builds a dedicated `n`-worker
+    /// pool for this instance.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = match threads {
+            0 => Some(pool::global()),
+            1 => None,
+            n => Some(Arc::new(Pool::new(n))),
+        };
+    }
+
+    /// The number of workers query execution fans out on (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.size())
+    }
+
+    /// Counters of the worker pool, if one is attached (for `/metrics`).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    /// Execution options for one query: the instance's retry policy, pool
+    /// and metadata epoch (the scan-cache key component), plus the caller's
+    /// deadline.
+    fn exec_options(&self, deadline: Deadline) -> ExecOptions {
+        ExecOptions {
+            retry: self.retry.clone(),
+            deadline,
+            pool: self.pool.clone(),
+            epoch: self.epoch,
+            ..ExecOptions::default()
         }
     }
 
@@ -287,7 +331,7 @@ impl Mdm {
     /// work is reused.
     pub fn query_cached(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
         let rewriting = self.rewrite_cached(walk)?;
-        let table = Executor::new(&self.catalog)
+        let table = Executor::with_options(&self.catalog, self.exec_options(Deadline::none()))
             .run(&rewriting.plan)
             .map_err(MdmError::from_exec)?
             .sorted();
@@ -299,7 +343,13 @@ impl Mdm {
 
     /// Rewrites and executes a walk against the internal wrapper catalog.
     pub fn query(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
-        answer_walk(&self.ontology, walk, &self.catalog, &self.options)
+        answer_walk_with(
+            &self.ontology,
+            walk,
+            &self.catalog,
+            &self.options,
+            &self.exec_options(Deadline::none()),
+        )
     }
 
     /// Executes a walk in **degraded mode** under a deadline: the rewriting
@@ -314,10 +364,7 @@ impl Mdm {
         deadline: Deadline,
     ) -> Result<DegradedAnswer, MdmError> {
         let rewriting = self.rewrite_cached(walk)?;
-        let exec_options = ExecOptions {
-            retry: self.retry.clone(),
-            deadline,
-        };
+        let exec_options = self.exec_options(deadline);
         let (table, mut completeness) = execute_degraded(
             &rewriting,
             &self.catalog,
@@ -382,7 +429,13 @@ impl Mdm {
 
     /// Rewrites and executes against an external catalog (tests/benches).
     pub fn query_with(&self, walk: &Walk, catalog: &dyn Catalog) -> Result<QueryAnswer, MdmError> {
-        answer_walk(&self.ontology, walk, catalog, &self.options)
+        answer_walk_with(
+            &self.ontology,
+            walk,
+            catalog,
+            &self.options,
+            &self.exec_options(Deadline::none()),
+        )
     }
 
     /// Derives a GAV baseline mapping from the current metadata.
@@ -431,6 +484,7 @@ impl Mdm {
             plan_cache: PlanCache::default(),
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
+            pool: Some(pool::global()),
         })
     }
 }

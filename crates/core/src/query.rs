@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 use mdm_relational::resilience::ScanGuard;
-use mdm_relational::{Catalog, ExecOptions, Executor, Table};
+use mdm_relational::{Catalog, ExecOptions, Executor, ScanCache, Table};
 
 use crate::error::MdmError;
 use crate::ontology::BdiOntology;
@@ -29,15 +29,29 @@ impl QueryAnswer {
     }
 }
 
-/// Rewrites `walk` and executes it against `catalog`.
+/// Rewrites `walk` and executes it against `catalog` with default
+/// execution options (process-wide pool, no deadline).
 pub fn answer_walk(
     ontology: &BdiOntology,
     walk: &Walk,
     catalog: &dyn Catalog,
     options: &RewriteOptions,
 ) -> Result<QueryAnswer, MdmError> {
+    answer_walk_with(ontology, walk, catalog, options, &ExecOptions::default())
+}
+
+/// [`answer_walk`] with explicit execution options — the entry point the
+/// [`crate::Mdm`] facade uses to thread its pool, retry policy and
+/// metadata epoch into execution.
+pub fn answer_walk_with(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    catalog: &dyn Catalog,
+    options: &RewriteOptions,
+    exec_options: &ExecOptions,
+) -> Result<QueryAnswer, MdmError> {
     let rewriting = rewrite_walk(ontology, walk, options)?;
-    let table = Executor::new(catalog)
+    let table = Executor::with_options(catalog, exec_options.clone())
         .run(&rewriting.plan)
         .map_err(MdmError::from_exec)?
         .sorted();
@@ -135,20 +149,38 @@ pub fn execute_degraded(
         total_branches: rewriting.queries.len(),
         ..Completeness::default()
     };
-    let mut contributors: BTreeSet<String> = BTreeSet::new();
-    let mut merged_schema = None;
-    let mut merged_rows = Vec::new();
+    // A plan-shape failure is a rewriting bug, not a source fault —
+    // surface it before any branch executes.
+    let mut plans = Vec::with_capacity(rewriting.queries.len());
     for cq in &rewriting.queries {
-        // A plan-shape failure is a rewriting bug, not a source fault —
-        // surface it instead of degrading around it.
         let plan = plan_for_cq(cq, &rewriting.output_columns)?;
-        let plan = if options.distinct { plan.distinct() } else { plan };
-        let mut executor = Executor::with_options(catalog, exec_options.clone());
+        plans.push(if options.distinct { plan.distinct() } else { plan });
+    }
+    // One scan cache for the whole UCQ: a wrapper referenced by several
+    // branches is fetched once, so retries and breaker events fire once
+    // per wrapper per query — which also keeps fault-injection outcomes
+    // (and thus the completeness report) independent of how concurrent
+    // branches interleave.
+    let cache = ScanCache::new();
+    let run_branch = |i: usize| {
+        let mut executor =
+            Executor::with_options(catalog, exec_options.clone()).with_scan_cache(&cache);
         if let Some(guard) = guard {
             executor = executor.with_guard(guard);
         }
-        let outcome = executor.run(&plan);
-        completeness.retries += executor.retries();
+        let outcome = executor.run(&plans[i]);
+        (executor.retries(), outcome)
+    };
+    let pool = exec_options.pool.as_ref().filter(|p| p.size() > 1);
+    let outcomes = match pool {
+        Some(pool) if plans.len() > 1 => pool.run(plans.len(), run_branch),
+        _ => (0..plans.len()).map(&run_branch).collect(),
+    };
+    let mut contributors: BTreeSet<String> = BTreeSet::new();
+    let mut merged_schema = None;
+    let mut merged_rows = Vec::new();
+    for (cq, (retries, outcome)) in rewriting.queries.iter().zip(outcomes) {
+        completeness.retries += retries;
         match outcome {
             Ok(table) => {
                 completeness.executed_branches += 1;
@@ -156,7 +188,7 @@ pub fn execute_degraded(
                 if merged_schema.is_none() {
                     merged_schema = Some(table.schema().clone());
                 }
-                merged_rows.extend(table.rows().iter().cloned());
+                merged_rows.extend(table.into_rows());
             }
             Err(error) => completeness.dropped.push(DroppedBranch {
                 wrappers: cq.atoms.clone(),

@@ -1,16 +1,19 @@
 //! The executor: logical plan + catalog → materialised [`Table`].
 
-use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::algebra::{JoinKind, Plan, SortOrder};
 use crate::expr::Expr;
 use crate::physical::{
     DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec, SortExec,
-    UnionExec,
+    UnionExec, DEFAULT_BATCH,
 };
+use crate::pool::{self, Pool};
 use crate::resilience::{Deadline, RetryPolicy, ScanGuard};
+use crate::scan_cache::ScanCache;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Tuple;
@@ -97,17 +100,25 @@ impl std::error::Error for ExecError {}
 /// In MDM every wrapper is a `RelationProvider`: its schema is the wrapper
 /// signature `w(a1, …, an)` and `rows()` runs the wrapper (API call, file
 /// read, …) and flattens the payload to 1NF.
-pub trait RelationProvider {
+/// `Sync` because union branches executing on pool workers fetch through
+/// shared references; providers must tolerate concurrent `rows()` calls.
+pub trait RelationProvider: Sync {
     /// The relation's schema (qualified by the relation name).
     fn provider_schema(&self) -> Schema;
     /// Produces the current rows. May fail — a crashed source is an error
     /// the engine surfaces rather than hides (cf. the paper's motivation:
     /// queries over evolved schemas "crash or return partial results").
     fn rows(&self) -> Result<Vec<Tuple>, ExecError>;
+    /// A version discriminator for the per-query scan cache key; providers
+    /// whose rows never change under one identity may leave the default.
+    fn version(&self) -> u64 {
+        0
+    }
 }
 
-/// Resolves relation names to providers.
-pub trait Catalog {
+/// Resolves relation names to providers. `Sync` for the same reason as
+/// [`RelationProvider`]: one catalog serves every parallel branch.
+pub trait Catalog: Sync {
     /// The provider registered under `name`.
     fn provider(&self, name: &str) -> Option<&dyn RelationProvider>;
 
@@ -162,13 +173,45 @@ impl Catalog for MemoryCatalog {
 }
 
 /// Knobs for one plan execution: how hard to retry transient scan
-/// failures, and how long the whole query may take.
-#[derive(Clone, Debug, Default)]
+/// failures, how long the whole query may take, and how wide it may fan
+/// out.
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Retry policy applied to every relation fetch.
     pub retry: RetryPolicy,
     /// Time budget for the whole plan (fetches, retries, and drains).
     pub deadline: Deadline,
+    /// Worker pool for parallel union execution and partitioned join
+    /// probes. `None` (or a size-1 pool) forces the legacy sequential
+    /// path. Defaults to the process-wide [`pool::global`] pool.
+    pub pool: Option<Arc<Pool>>,
+    /// Tuples pulled per `next_batch` call while draining operators.
+    pub batch_size: usize,
+    /// Metadata epoch stamped into scan-cache keys so rows can never leak
+    /// across a steward mutation.
+    pub epoch: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            retry: RetryPolicy::default(),
+            deadline: Deadline::none(),
+            pool: Some(pool::global()),
+            batch_size: DEFAULT_BATCH,
+            epoch: 0,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options forcing single-threaded execution (the A/B baseline).
+    pub fn sequential() -> Self {
+        ExecOptions {
+            pool: None,
+            ..ExecOptions::default()
+        }
+    }
 }
 
 /// Executes logical plans against a catalog.
@@ -176,7 +219,8 @@ pub struct Executor<'a> {
     catalog: &'a dyn Catalog,
     options: ExecOptions,
     guard: Option<&'a dyn ScanGuard>,
-    retries: Cell<u64>,
+    retries: AtomicU64,
+    shared_cache: Option<&'a ScanCache>,
 }
 
 impl<'a> Executor<'a> {
@@ -192,7 +236,8 @@ impl<'a> Executor<'a> {
             catalog,
             options,
             guard: None,
-            retries: Cell::new(0),
+            retries: AtomicU64::new(0),
+            shared_cache: None,
         }
     }
 
@@ -202,24 +247,130 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Shares `cache` across executors of one query, so sibling branch
+    /// executors (degraded mode runs one per branch) fetch each wrapper
+    /// exactly once between them. Without this, `run` uses a private
+    /// per-call cache with the same within-query guarantee.
+    pub fn with_scan_cache(mut self, cache: &'a ScanCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Transient scan failures retried (and absorbed) so far.
     pub fn retries(&self) -> u64 {
-        self.retries.get()
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The pool to fan out on, when parallel execution is enabled at all.
+    fn fanout_pool(&self) -> Option<&Arc<Pool>> {
+        self.options.pool.as_ref().filter(|p| p.size() > 1)
     }
 
     /// Runs `plan` to completion, materialising the result.
+    ///
+    /// When a pool is configured and the plan root is a union (bare or
+    /// under the UCQ's δ), branches execute concurrently; the output is
+    /// byte-identical to sequential execution because branch results are
+    /// merged in branch order and deduplicated in first-occurrence order —
+    /// exactly the row stream `UnionExec`/`DistinctExec` would produce.
     pub fn run(&self, plan: &Plan) -> Result<Table, ExecError> {
+        match self.shared_cache {
+            Some(shared) => self.run_with_cache(plan, shared),
+            None => {
+                let cache = ScanCache::new();
+                self.run_with_cache(plan, &cache)
+            }
+        }
+    }
+
+    fn run_with_cache(&self, plan: &Plan, cache: &ScanCache) -> Result<Table, ExecError> {
+        if self.fanout_pool().is_some() {
+            match plan {
+                Plan::Distinct { input } => {
+                    if let Plan::Union { inputs } = &**input {
+                        if inputs.len() > 1 {
+                            return self.run_union(inputs, true, cache);
+                        }
+                    }
+                }
+                Plan::Union { inputs } if inputs.len() > 1 => {
+                    return self.run_union(inputs, false, cache);
+                }
+                _ => {}
+            }
+        }
+        self.run_sequential(plan, cache)
+    }
+
+    /// Executes union branches on the pool and merges them in branch order
+    /// (with an optional pre-sized streaming δ), reproducing the
+    /// sequential row stream exactly.
+    fn run_union(
+        &self,
+        branches: &[Plan],
+        distinct: bool,
+        cache: &ScanCache,
+    ) -> Result<Table, ExecError> {
+        let pool = self.fanout_pool().expect("checked by caller");
+        let results = pool.run(branches.len(), |i| {
+            self.run_with_cache(&branches[i], cache)
+        });
+        let mut tables = Vec::with_capacity(results.len());
+        let mut total = 0;
+        for result in results {
+            // First error in branch order, matching the sequential
+            // depth-first build.
+            let table = result?;
+            total += table.len();
+            tables.push(table);
+        }
+        let schema = tables
+            .first()
+            .map(|t| t.schema().clone())
+            .ok_or_else(|| ExecError::permanent("union of zero inputs"))?;
+        for table in &tables {
+            if table.schema().len() != schema.len() {
+                return Err(ExecError::permanent(format!(
+                    "union arity mismatch: {} vs {}",
+                    schema,
+                    table.schema()
+                )));
+            }
+        }
+        let mut rows = Vec::with_capacity(total);
+        if distinct {
+            let mut seen: HashSet<Tuple> = HashSet::with_capacity(total);
+            for table in tables {
+                for row in table.into_rows() {
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                }
+                if self.options.deadline.expired() {
+                    return Err(self.options.deadline.exceeded("merging union branches"));
+                }
+            }
+        } else {
+            for table in tables {
+                rows.extend(table.into_rows());
+            }
+        }
+        Table::new(schema, rows).map_err(ExecError::permanent)
+    }
+
+    fn run_sequential(&self, plan: &Plan, cache: &ScanCache) -> Result<Table, ExecError> {
         if self.options.deadline.expired() {
             return Err(self.options.deadline.exceeded("starting plan execution"));
         }
-        let mut op = self.build(plan)?;
+        let mut op = self.build(plan, cache)?;
         let schema = op.schema().clone();
-        // Drain with a periodic deadline check so a huge (or pathological)
-        // result cannot blow past the budget unnoticed.
+        // Drain batch-at-a-time with a deadline check per batch so a huge
+        // (or pathological) result cannot blow past the budget unnoticed.
         let mut rows = Vec::new();
-        while let Some(tuple) = op.next() {
-            rows.push(tuple?);
-            if rows.len() % 1024 == 0 && self.options.deadline.expired() {
+        let batch_size = self.options.batch_size.max(1);
+        while let Some(batch) = op.next_batch(batch_size) {
+            rows.extend(batch?);
+            if self.options.deadline.expired() {
                 return Err(self.options.deadline.exceeded("draining result rows"));
             }
         }
@@ -271,7 +422,7 @@ impl<'a> Executor<'a> {
                             return Err(timeout);
                         }
                     }
-                    self.retries.set(self.retries.get() + 1);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -287,24 +438,29 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Translates a logical plan into a physical operator tree.
-    fn build(&self, plan: &Plan) -> Result<Box<dyn Operator>, ExecError> {
+    /// Translates a logical plan into a physical operator tree. Scans go
+    /// through the per-query cache: a relation referenced by `k` branches
+    /// is fetched (and pays retries/breaker events) once, not `k` times.
+    fn build(&self, plan: &Plan, cache: &ScanCache) -> Result<Box<dyn Operator>, ExecError> {
         match plan {
             Plan::Scan { relation } => {
                 let provider = self.catalog.provider(relation).ok_or_else(|| {
                     ExecError::permanent(format!("unknown relation '{relation}' in catalog"))
                 })?;
-                Ok(Box::new(ScanExec::new(
-                    provider.provider_schema(),
-                    self.fetch_rows(relation, provider)?,
-                )))
+                let rows = cache.fetch_or_insert(
+                    relation,
+                    provider.version(),
+                    self.options.epoch,
+                    || self.fetch_rows(relation, provider),
+                )?;
+                Ok(Box::new(ScanExec::shared(provider.provider_schema(), rows)))
             }
             Plan::Filter { input, predicate } => Ok(Box::new(FilterExec::new(
-                self.build(input)?,
+                self.build(input, cache)?,
                 predicate.clone(),
             ))),
             Plan::Project { input, columns } => {
-                let child = self.build(input)?;
+                let child = self.build(input, cache)?;
                 let exprs: Vec<Expr> = columns.iter().map(|(e, _)| e.clone()).collect();
                 let schema = Schema::new(columns.iter().map(|(_, name)| name.clone()).collect());
                 Ok(Box::new(ProjectExec::new(child, exprs, schema)))
@@ -315,8 +471,8 @@ impl<'a> Executor<'a> {
                 right,
                 on,
             } => {
-                let left_op = self.build(left)?;
-                let right_op = self.build(right)?;
+                let left_op = self.build(left, cache)?;
+                let right_op = self.build(right, cache)?;
                 let mut left_keys = Vec::with_capacity(on.len());
                 let mut right_keys = Vec::with_capacity(on.len());
                 for (l, r) in on {
@@ -333,24 +489,27 @@ impl<'a> Executor<'a> {
                             .map_err(|e| ExecError::permanent(format!("join key: {e}")))?,
                     );
                 }
-                Ok(Box::new(HashJoinExec::new(
-                    left_op,
-                    right_op,
-                    left_keys,
-                    right_keys,
-                    matches!(kind, JoinKind::Left),
-                )?))
+                Ok(Box::new(
+                    HashJoinExec::new(
+                        left_op,
+                        right_op,
+                        left_keys,
+                        right_keys,
+                        matches!(kind, JoinKind::Left),
+                    )?
+                    .with_pool(self.options.pool.clone()),
+                ))
             }
             Plan::Union { inputs } => {
                 let ops = inputs
                     .iter()
-                    .map(|p| self.build(p))
+                    .map(|p| self.build(p, cache))
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Box::new(UnionExec::new(ops)?))
             }
-            Plan::Distinct { input } => Ok(Box::new(DistinctExec::new(self.build(input)?))),
+            Plan::Distinct { input } => Ok(Box::new(DistinctExec::new(self.build(input, cache)?))),
             Plan::Sort { input, keys } => {
-                let child = self.build(input)?;
+                let child = self.build(input, cache)?;
                 let resolved = keys
                     .iter()
                     .map(|(column, order)| {
@@ -364,7 +523,7 @@ impl<'a> Executor<'a> {
                 Ok(Box::new(SortExec::new(child, resolved)?))
             }
             Plan::Limit { input, count } => {
-                Ok(Box::new(LimitExec::new(self.build(input)?, *count)))
+                Ok(Box::new(LimitExec::new(self.build(input, cache)?, *count)))
             }
         }
     }
@@ -497,14 +656,14 @@ mod tests {
     /// A provider that fails with `kind` for its first `failures` fetches,
     /// then serves one row.
     struct Flaky {
-        failures: Cell<u32>,
+        failures: std::sync::atomic::AtomicU32,
         kind: ErrorKind,
     }
 
     impl Flaky {
         fn new(failures: u32, kind: ErrorKind) -> Self {
             Flaky {
-                failures: Cell::new(failures),
+                failures: std::sync::atomic::AtomicU32::new(failures),
                 kind,
             }
         }
@@ -516,9 +675,9 @@ mod tests {
         }
 
         fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
-            let left = self.failures.get();
+            let left = self.failures.load(Ordering::Relaxed);
             if left > 0 {
-                self.failures.set(left - 1);
+                self.failures.store(left - 1, Ordering::Relaxed);
                 return Err(ExecError::new(self.kind, "injected"));
             }
             Ok(vec![vec![Value::Int(1)]])
@@ -546,6 +705,7 @@ mod tests {
                 ..RetryPolicy::default()
             },
             deadline: Deadline::none(),
+            ..ExecOptions::default()
         };
         let executor = Executor::with_options(&catalog, options);
         let table = executor.run(&Plan::scan("f")).unwrap();
@@ -564,6 +724,7 @@ mod tests {
                 ..RetryPolicy::default()
             },
             deadline: Deadline::none(),
+            ..ExecOptions::default()
         };
         let executor = Executor::with_options(&catalog, options);
         let err = executor.run(&Plan::scan("f")).unwrap_err();
@@ -587,6 +748,7 @@ mod tests {
         let options = ExecOptions {
             retry: RetryPolicy::none(),
             deadline: Deadline::after(std::time::Duration::ZERO),
+            ..ExecOptions::default()
         };
         let err = Executor::with_options(&catalog, options)
             .run(&Plan::scan("w1"))

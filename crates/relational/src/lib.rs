@@ -15,7 +15,11 @@
 //! * [`physical`] — volcano-style operators (hash join, nested-loop join,
 //!   filter, project, union, distinct, sort, limit);
 //! * [`executor`] — turns a logical plan plus a [`Catalog`] of relation
-//!   providers into a materialised [`Table`];
+//!   providers into a materialised [`Table`], fanning union branches out
+//!   on the worker [`pool`] with per-query scan reuse ([`scan_cache`]);
+//! * [`pool`] — the bounded, work-stealing scoped-thread worker pool;
+//! * [`scan_cache`] — the per-query `(relation, version, epoch)`-keyed
+//!   scan cache (each wrapper fetched once per query);
 //! * [`optimizer`] — heuristic rewrites (predicate pushdown, projection
 //!   pruning, join reordering) exercised by the ablation benches.
 
@@ -24,7 +28,9 @@ pub mod executor;
 pub mod expr;
 pub mod optimizer;
 pub mod physical;
+pub mod pool;
 pub mod resilience;
+pub mod scan_cache;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -33,9 +39,11 @@ pub use algebra::{JoinKind, Plan};
 pub use executor::{
     Catalog, ErrorKind, ExecError, ExecOptions, Executor, MemoryCatalog, RelationProvider,
 };
+pub use pool::{Pool, PoolStats};
 pub use resilience::{
     BreakerConfig, BreakerRegistry, BreakerSnapshot, Deadline, RetryPolicy, ScanGuard,
 };
+pub use scan_cache::{ScanCache, ScanCacheStats};
 pub use expr::{BinOp, Expr};
 pub use schema::Schema;
 pub use table::Table;

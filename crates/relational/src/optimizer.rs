@@ -76,7 +76,18 @@ impl<'a> Optimizer<'a> {
                 on,
             },
             Plan::Union { inputs } => {
-                Plan::union(inputs.into_iter().map(|p| self.rewrite(p)).collect())
+                // Flatten nested unions: ∪(∪(a, b), c) → ∪(a, b, c). Arm
+                // order is preserved, so results are unchanged, and the
+                // widened top-level union gives the parallel executor one
+                // flat set of branches to fan out.
+                let mut flat = Vec::with_capacity(inputs.len());
+                for input in inputs {
+                    match self.rewrite(input) {
+                        Plan::Union { inputs: nested } => flat.extend(nested),
+                        other => flat.push(other),
+                    }
+                }
+                Plan::union(flat)
             }
             Plan::Distinct { input } => Plan::Distinct {
                 input: Box::new(self.rewrite(*input)),
@@ -287,6 +298,22 @@ mod tests {
         let optimizer = Optimizer::new(&NoStatistics, &resolve);
         let rendered = optimizer.optimize(plan).to_string();
         assert_eq!(rendered.matches("σ[").count(), 2, "got {rendered}");
+    }
+
+    #[test]
+    fn nested_unions_flatten_in_arm_order() {
+        let plan = Plan::union(vec![
+            Plan::union(vec![Plan::scan("w1"), Plan::scan("w2")]),
+            Plan::scan("w1"),
+        ]);
+        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        match optimizer.optimize(plan) {
+            Plan::Union { inputs } => {
+                let arms: Vec<String> = inputs.iter().map(Plan::to_string).collect();
+                assert_eq!(arms, ["w1", "w2", "w1"]);
+            }
+            other => panic!("expected a flat union, got {other}"),
+        }
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //! joins and in-memory sorts are the right tools.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::executor::ExecError;
 use crate::expr::Expr;
+use crate::pool::Pool;
 use crate::schema::Schema;
 use crate::value::{Tuple, Value};
+
+/// The default number of tuples pulled per [`Operator::next_batch`] call.
+pub const DEFAULT_BATCH: usize = 1024;
 
 /// A pull-based operator: yields tuples until exhausted.
 pub trait Operator {
@@ -20,6 +25,26 @@ pub trait Operator {
     fn schema(&self) -> &Schema;
     /// The next tuple, `None` when exhausted.
     fn next(&mut self) -> Option<Result<Tuple, ExecError>>;
+
+    /// Up to roughly `max` tuples at once, `None` when exhausted. Batches
+    /// amortise the per-tuple dynamic dispatch of [`Operator::next`] across
+    /// the pipeline; a returned batch is never empty. The default pulls
+    /// tuple-at-a-time; vectorising operators override it.
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        let mut out = Vec::new();
+        while out.len() < max.max(1) {
+            match self.next() {
+                Some(Ok(tuple)) => out.push(tuple),
+                Some(Err(e)) => return Some(Err(e)),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }
 }
 
 /// Drains an operator to completion.
@@ -31,17 +56,25 @@ pub fn drain(mut op: Box<dyn Operator>) -> Result<Vec<Tuple>, ExecError> {
     Ok(out)
 }
 
-/// Scans a materialised row set.
+/// Scans a materialised row set, possibly shared with sibling branches
+/// through the per-query scan cache (rows are cloned lazily, per tuple).
 pub struct ScanExec {
     schema: Schema,
-    rows: std::vec::IntoIter<Tuple>,
+    rows: Arc<Vec<Tuple>>,
+    cursor: usize,
 }
 
 impl ScanExec {
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        ScanExec::shared(schema, Arc::new(rows))
+    }
+
+    /// A scan over rows shared with other operators (no upfront copy).
+    pub fn shared(schema: Schema, rows: Arc<Vec<Tuple>>) -> Self {
         ScanExec {
             schema,
-            rows: rows.into_iter(),
+            rows,
+            cursor: 0,
         }
     }
 }
@@ -52,7 +85,19 @@ impl Operator for ScanExec {
     }
 
     fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
-        self.rows.next().map(Ok)
+        let tuple = self.rows.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(Ok(tuple))
+    }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        if self.cursor >= self.rows.len() {
+            return None;
+        }
+        let end = (self.cursor + max.max(1)).min(self.rows.len());
+        let batch = self.rows[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(Ok(batch))
     }
 }
 
@@ -83,6 +128,26 @@ impl Operator for FilterExec {
                 Ok(true) => return Some(Ok(tuple)),
                 Ok(false) => continue,
                 Err(e) => return Some(Err(ExecError::permanent(e.0))),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        loop {
+            let batch = match self.input.next_batch(max)? {
+                Ok(b) => b,
+                Err(e) => return Some(Err(e)),
+            };
+            let mut out = Vec::with_capacity(batch.len());
+            for tuple in batch {
+                match self.predicate.eval_predicate(self.input.schema(), &tuple) {
+                    Ok(true) => out.push(tuple),
+                    Ok(false) => {}
+                    Err(e) => return Some(Err(ExecError::permanent(e.0))),
+                }
+            }
+            if !out.is_empty() {
+                return Some(Ok(out));
             }
         }
     }
@@ -124,6 +189,25 @@ impl Operator for ProjectExec {
         }
         Some(Ok(out))
     }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        let batch = match self.input.next_batch(max)? {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        for tuple in batch {
+            let mut projected = Vec::with_capacity(self.exprs.len());
+            for expr in &self.exprs {
+                match expr.eval(self.input.schema(), &tuple) {
+                    Ok(v) => projected.push(v),
+                    Err(e) => return Some(Err(ExecError::permanent(e.0))),
+                }
+            }
+            out.push(projected);
+        }
+        Some(Ok(out))
+    }
 }
 
 /// ⋈ — hash equi-join. Builds on the right input, probes with the left.
@@ -143,6 +227,48 @@ pub struct HashJoinExec {
     /// to emit unmatched probe rows.
     right_width: usize,
     emit_unmatched_left: bool,
+    /// When set, probe batches at least [`PARALLEL_PROBE_MIN`] rows wide
+    /// are split into contiguous chunks probed on pool workers.
+    pool: Option<Arc<Pool>>,
+}
+
+/// Probe batches below this width are not worth fanning out.
+const PARALLEL_PROBE_MIN: usize = 512;
+
+/// Probes `rows` against the build table, appending combined rows in probe
+/// order (matches of one probe row keep build-insertion order).
+fn probe_rows(
+    table: &HashMap<Vec<Value>, Vec<Tuple>>,
+    left_keys: &[usize],
+    right_width: usize,
+    emit_unmatched_left: bool,
+    rows: &[Tuple],
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for probe in rows {
+        let key: Vec<Value> = left_keys.iter().map(|&i| probe[i].clone()).collect();
+        let matches = if key.iter().any(Value::is_null) {
+            None
+        } else {
+            table.get(&key)
+        };
+        match matches {
+            Some(build_rows) => {
+                for row in build_rows {
+                    let mut combined = probe.clone();
+                    combined.extend(row.iter().cloned());
+                    out.push(combined);
+                }
+            }
+            None if emit_unmatched_left => {
+                let mut combined = probe.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(combined);
+            }
+            None => {}
+        }
+    }
+    out
 }
 
 impl HashJoinExec {
@@ -173,7 +299,41 @@ impl HashJoinExec {
             pending: Vec::new(),
             right_width,
             emit_unmatched_left,
+            pool: None,
         })
+    }
+
+    /// Enables partitioned parallel probing of wide batches on `pool`.
+    /// Output order is unchanged: chunks are contiguous and re-concatenated
+    /// in chunk order, so the row stream is identical to sequential.
+    pub fn with_pool(mut self, pool: Option<Arc<Pool>>) -> Self {
+        self.pool = pool.filter(|p| p.size() > 1);
+        self
+    }
+
+    fn probe_batch(&self, batch: &[Tuple], out: &mut Vec<Tuple>) {
+        if let Some(pool) = &self.pool {
+            if batch.len() >= PARALLEL_PROBE_MIN {
+                let chunk = batch.len().div_ceil(pool.size());
+                let chunks: Vec<&[Tuple]> = batch.chunks(chunk).collect();
+                let (table, keys) = (&self.table, &self.left_keys);
+                let (width, emit) = (self.right_width, self.emit_unmatched_left);
+                let probed = pool.run(chunks.len(), |i| {
+                    probe_rows(table, keys, width, emit, chunks[i])
+                });
+                for part in probed {
+                    out.extend(part);
+                }
+                return;
+            }
+        }
+        out.extend(probe_rows(
+            &self.table,
+            &self.left_keys,
+            self.right_width,
+            self.emit_unmatched_left,
+            batch,
+        ));
     }
 }
 
@@ -191,27 +351,36 @@ impl Operator for HashJoinExec {
                 Ok(t) => t,
                 Err(e) => return Some(Err(e)),
             };
-            let key: Vec<Value> = self.left_keys.iter().map(|&i| probe[i].clone()).collect();
-            let matches = if key.iter().any(Value::is_null) {
-                None
-            } else {
-                self.table.get(&key)
+            let mut matched = probe_rows(
+                &self.table,
+                &self.left_keys,
+                self.right_width,
+                self.emit_unmatched_left,
+                std::slice::from_ref(&probe),
+            );
+            // `pending` is a stack: reverse so popping replays probe order.
+            matched.reverse();
+            self.pending = matched;
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        let mut out = Vec::new();
+        while let Some(row) = self.pending.pop() {
+            out.push(row);
+        }
+        while out.len() < max.max(1) {
+            let batch = match self.left.next_batch(max) {
+                None => break,
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(b)) => b,
             };
-            match matches {
-                Some(rows) => {
-                    for row in rows {
-                        let mut combined = probe.clone();
-                        combined.extend(row.iter().cloned());
-                        self.pending.push(combined);
-                    }
-                }
-                None if self.emit_unmatched_left => {
-                    let mut combined = probe;
-                    combined.extend(std::iter::repeat_n(Value::Null, self.right_width));
-                    self.pending.push(combined);
-                }
-                None => continue,
-            }
+            self.probe_batch(&batch, &mut out);
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
         }
     }
 }
@@ -314,6 +483,16 @@ impl Operator for UnionExec {
         }
         None
     }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        while self.current < self.inputs.len() {
+            match self.inputs[self.current].next_batch(max) {
+                Some(item) => return Some(item),
+                None => self.current += 1,
+            }
+        }
+        None
+    }
 }
 
 /// δ — duplicate elimination (materialising).
@@ -344,6 +523,25 @@ impl Operator for DistinctExec {
             };
             if self.seen.insert(tuple.clone()) {
                 return Some(Ok(tuple));
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Option<Result<Vec<Tuple>, ExecError>> {
+        loop {
+            let batch = match self.input.next_batch(max)? {
+                Ok(b) => b,
+                Err(e) => return Some(Err(e)),
+            };
+            // Pre-size for the incoming batch so the δ hash table grows in
+            // strides instead of rehashing on the hot path.
+            self.seen.reserve(batch.len());
+            let fresh: Vec<Tuple> = batch
+                .into_iter()
+                .filter(|tuple| self.seen.insert(tuple.clone()))
+                .collect();
+            if !fresh.is_empty() {
+                return Some(Ok(fresh));
             }
         }
     }

@@ -1,0 +1,260 @@
+//! A shared, bounded worker pool for parallel plan execution.
+//!
+//! The rewriting algorithm (paper §2.4) deliberately produces a *union of
+//! conjunctive queries*, and unions are embarrassingly parallel: every
+//! branch scans, joins and projects independently, and the δ at the root
+//! only needs the branch outputs in a deterministic order. This pool gives
+//! the executor (and the hash-join probe) bounded fan-out without any
+//! external dependency:
+//!
+//! * **Scoped threads** — workers borrow the caller's stack data
+//!   (`std::thread::scope`), so operator trees and catalogs need no `Arc`
+//!   plumbing or `'static` bounds on the data they read.
+//! * **Permit-bounded** — a pool of size `N` lends out at most `N − 1`
+//!   extra threads *globally*, whatever the number of concurrent `run`
+//!   callers (the caller's own thread is always worker 0). Acquisition is
+//!   non-blocking: when no permits are free the tasks simply run inline on
+//!   the caller, so a saturated server degrades to sequential execution
+//!   instead of deadlocking or spawning unboundedly.
+//! * **Work stealing** — tasks are dealt round-robin into per-worker
+//!   deques; a worker that drains its own deque steals from the back of a
+//!   sibling's, so skewed branch costs (one huge wrapper, many small ones)
+//!   do not serialise the query on the slowest worker.
+//! * **Deterministic results** — `run` returns results ordered by task
+//!   index regardless of which worker computed what, which is what lets
+//!   callers guarantee parallel output is byte-identical to sequential.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters describing a pool's lifetime activity, for `/metrics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured pool size (worker budget including the caller's thread).
+    pub size: usize,
+    /// Tasks submitted through [`Pool::run`] over the pool's lifetime.
+    pub tasks_total: u64,
+    /// Scoped worker threads spawned (≤ `size − 1` live at any instant).
+    pub spawned_total: u64,
+    /// Tasks that ran inline on the caller because no permit was free.
+    pub inline_total: u64,
+    /// Tasks a worker stole from a sibling's deque.
+    pub steals_total: u64,
+    /// Workers currently executing tasks (gauge).
+    pub active: u64,
+}
+
+/// A bounded scoped-thread worker pool. See the module docs.
+pub struct Pool {
+    size: usize,
+    /// Spawn permits still available; `size − 1` when idle.
+    permits: Mutex<usize>,
+    tasks_total: AtomicU64,
+    spawned_total: AtomicU64,
+    inline_total: AtomicU64,
+    steals_total: AtomicU64,
+    active: AtomicU64,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool").field("size", &self.size).finish()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+/// The pool size matching this machine: `available_parallelism`, or 1 when
+/// the runtime cannot tell.
+pub fn default_size() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide shared pool, sized from [`default_size`] on first use.
+/// Every default-configured executor — including all HTTP workers of one
+/// server — draws from this single permit budget, so concurrent queries
+/// cannot multiply threads past the hardware.
+pub fn global() -> Arc<Pool> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Pool::new(default_size()))))
+}
+
+impl Pool {
+    /// A pool that may keep up to `size` workers busy (minimum 1: the
+    /// caller's own thread). `Pool::new(1)` never spawns and runs
+    /// everything inline — the sequential baseline.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        Pool {
+            size,
+            permits: Mutex::new(size - 1),
+            tasks_total: AtomicU64::new(0),
+            spawned_total: AtomicU64::new(0),
+            inline_total: AtomicU64::new(0),
+            steals_total: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured worker budget.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            size: self.size,
+            tasks_total: self.tasks_total.load(Ordering::Relaxed),
+            spawned_total: self.spawned_total.load(Ordering::Relaxed),
+            inline_total: self.inline_total.load(Ordering::Relaxed),
+            steals_total: self.steals_total.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+        }
+    }
+
+    fn acquire(&self, wanted: usize) -> usize {
+        if wanted == 0 {
+            return 0;
+        }
+        let mut permits = self.permits.lock().expect("pool permits poisoned");
+        let granted = (*permits).min(wanted);
+        *permits -= granted;
+        granted
+    }
+
+    fn release(&self, granted: usize) {
+        *self.permits.lock().expect("pool permits poisoned") += granted;
+    }
+
+    /// Runs `tasks` invocations of `f` (passed the task index `0..tasks`)
+    /// across the caller plus as many spawned workers as permits allow, and
+    /// returns the results **in task-index order**. Nested `run` calls are
+    /// safe: an inner call that finds no permits free executes inline.
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        self.tasks_total.fetch_add(tasks as u64, Ordering::Relaxed);
+        let extra = self.acquire(tasks.min(self.size).saturating_sub(1));
+        if extra == 0 {
+            self.inline_total.fetch_add(tasks as u64, Ordering::Relaxed);
+            self.active.fetch_add(1, Ordering::Relaxed);
+            let out = (0..tasks).map(f).collect();
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return out;
+        }
+        let workers = extra + 1;
+        // Deal task indices round-robin; worker `w` owns deque `w`.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..tasks).step_by(workers).collect()))
+            .collect();
+        let worker = |me: usize| -> Vec<(usize, T)> {
+            self.active.fetch_add(1, Ordering::Relaxed);
+            let mut out = Vec::new();
+            loop {
+                let mut task = deques[me].lock().expect("pool deque poisoned").pop_front();
+                if task.is_none() {
+                    // Own deque dry: steal from the back of a sibling's.
+                    for other in (0..workers).filter(|&o| o != me) {
+                        task = deques[other].lock().expect("pool deque poisoned").pop_back();
+                        if task.is_some() {
+                            self.steals_total.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                match task {
+                    Some(index) => out.push((index, f(index))),
+                    None => break,
+                }
+            }
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            out
+        };
+        let mut collected: Vec<(usize, T)> = Vec::with_capacity(tasks);
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (1..workers)
+                .map(|w| {
+                    self.spawned_total.fetch_add(1, Ordering::Relaxed);
+                    scope.spawn(move || worker(w))
+                })
+                .collect();
+            collected.extend(worker(0));
+            for handle in handles {
+                collected.extend(handle.join().expect("pool worker panicked"));
+            }
+        });
+        self.release(extra);
+        collected.sort_unstable_by_key(|(index, _)| *index);
+        collected.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(64, |i| {
+            // Make early tasks slow so stealing actually reorders work.
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.tasks_total, 64);
+        assert!(stats.spawned_total >= 1, "{stats:?}");
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn size_one_pool_runs_everything_inline() {
+        let pool = Pool::new(1);
+        let out = pool.run(10, |i| i);
+        assert_eq!(out.len(), 10);
+        let stats = pool.stats();
+        assert_eq!(stats.spawned_total, 0);
+        assert_eq!(stats.inline_total, 10);
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let out = pool.run(4, |i| pool.run(4, move |j| i * 10 + j));
+        assert_eq!(out.len(), 4);
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &(0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+        // All permits returned.
+        assert_eq!(*pool.permits.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.run(0, |_| unreachable!("no tasks to run"));
+        assert!(out.is_empty());
+        assert_eq!(pool.stats().tasks_total, 0);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_hardware_sized() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.size(), default_size());
+    }
+}

@@ -49,6 +49,11 @@ impl Table {
         &self.rows
     }
 
+    /// The rows, consuming the table (merge paths avoid re-cloning).
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()

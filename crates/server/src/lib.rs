@@ -59,6 +59,11 @@ pub struct ServerConfig {
     pub max_pending: usize,
     /// The `Retry-After` hint sent with 503 responses.
     pub retry_after: Duration,
+    /// Execution-pool size for query fan-out. `None` (or `Some(0)`) keeps
+    /// the process-wide pool sized from `available_parallelism`; `Some(1)`
+    /// forces sequential execution; `Some(n)` builds a dedicated n-worker
+    /// pool.
+    pub pool_size: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +75,7 @@ impl Default for ServerConfig {
             request_deadline: None,
             max_pending: 64,
             retry_after: Duration::from_secs(1),
+            pool_size: None,
         }
     }
 }

@@ -219,6 +219,18 @@ fn metrics(state: &AppState) -> Response {
             Value::int(state.request_deadline.as_millis() as i64),
         ),
     ]);
+    let pool = match mdm.pool_stats() {
+        Some(p) => Value::object([
+            ("size", Value::int(p.size as i64)),
+            ("tasks_total", Value::int(p.tasks_total as i64)),
+            ("spawned_total", Value::int(p.spawned_total as i64)),
+            ("inline_total", Value::int(p.inline_total as i64)),
+            ("steals_total", Value::int(p.steals_total as i64)),
+            ("active", Value::int(p.active as i64)),
+        ]),
+        // Sequential mode: no pool attached.
+        None => Value::object([("size", Value::int(1))]),
+    };
     let breakers = Value::array(mdm.breaker_snapshots().into_iter().map(|b| {
         Value::object([
             ("relation", Value::string(b.relation)),
@@ -247,6 +259,7 @@ fn metrics(state: &AppState) -> Response {
         ("workers", Value::int(state.workers as i64)),
         ("plan_cache", cache),
         ("availability", availability),
+        ("pool", pool),
         ("breakers", breakers),
     ]))
 }

@@ -36,7 +36,10 @@ pub struct AppState {
 }
 
 impl AppState {
-    pub fn new(mdm: Mdm, config: &ServerConfig) -> Self {
+    pub fn new(mut mdm: Mdm, config: &ServerConfig) -> Self {
+        if let Some(threads) = config.pool_size {
+            mdm.set_threads(threads);
+        }
         AppState {
             mdm: RwLock::new(mdm),
             requests: AtomicU64::new(0),

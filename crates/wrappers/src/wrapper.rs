@@ -150,10 +150,13 @@ pub struct Wrapper {
     bindings: Vec<(String, String)>,
     release: Release,
     /// An attached fault schedule makes every [`Wrapper::rows`] call a
-    /// fresh simulated fetch; without one, rows are produced once and
-    /// cached (a wrapper models one snapshot).
+    /// fresh simulated fetch whose *fate* the plan injects; the payload
+    /// itself stays memoised (a wrapper models one snapshot).
     faults: Option<Arc<FaultPlan>>,
     cache: OnceLock<Result<Vec<Tuple>, WrapperError>>,
+    /// `rows()` invocations on this instance — the observable the scan
+    /// cache's once-per-query guarantee is asserted against.
+    fetches: std::sync::atomic::AtomicU64,
 }
 
 impl Clone for Wrapper {
@@ -166,6 +169,7 @@ impl Clone for Wrapper {
             release: self.release.clone(),
             faults: self.faults.clone(),
             cache: OnceLock::new(),
+            fetches: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -211,6 +215,7 @@ impl Wrapper {
             release,
             faults: None,
             cache: OnceLock::new(),
+            fetches: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -265,17 +270,35 @@ impl Wrapper {
         self.faults.as_ref()
     }
 
+    /// `rows()` calls on this instance so far (the per-query scan cache is
+    /// asserted against this: k branches, 1 fetch).
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The memoised clean-payload rows. Parsing and typing the release
+    /// body is deterministic, so a successful simulated fetch — with or
+    /// without a fault plan attached — can always reuse it: injected
+    /// faults decide the fetch's *fate*, not the payload's content.
+    fn clean_rows(&self) -> Result<Vec<Tuple>, WrapperError> {
+        self.cache
+            .get_or_init(|| self.compute_rows(&self.release.body))
+            .clone()
+    }
+
     /// Fetches, parses, flattens and maps the payload into signature rows.
     ///
-    /// Without a fault plan the result is computed once and cached. With
-    /// one, each call simulates a fresh fetch against a flaky source and
-    /// may fail with any [`WrapperError`] variant.
+    /// The clean payload is computed once and cached, fault plan or not —
+    /// an attached plan injects each simulated fetch's *outcome* (failure,
+    /// latency, truncation) but a successful fetch serves the memoised
+    /// rows, so fault-recovery measurements see retry cost rather than
+    /// re-parsing cost. Only a `Malformed` outcome re-parses: it must type
+    /// the truncated body, which the cache of clean rows cannot answer.
     pub fn rows(&self) -> Result<Vec<Tuple>, WrapperError> {
+        self.fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match &self.faults {
-            None => self
-                .cache
-                .get_or_init(|| self.compute_rows(&self.release.body))
-                .clone(),
+            None => self.clean_rows(),
             Some(plan) => match plan.next_fault(self.name()) {
                 Some(InjectedFault::Terminal) => Err(WrapperError::Permanent(format!(
                     "{}: source '{}' is gone (injected terminal fault)",
@@ -293,9 +316,9 @@ impl Wrapper {
                 }
                 Some(InjectedFault::Latency(delay)) => {
                     std::thread::sleep(delay);
-                    self.compute_rows(&self.release.body)
+                    self.clean_rows()
                 }
-                None => self.compute_rows(&self.release.body),
+                None => self.clean_rows(),
             },
         }
     }
@@ -349,6 +372,10 @@ impl RelationProvider for Wrapper {
 
     fn rows(&self) -> Result<Vec<Tuple>, ExecError> {
         Wrapper::rows(self).map_err(ExecError::from)
+    }
+
+    fn version(&self) -> u64 {
+        u64::from(self.version)
     }
 }
 

@@ -12,6 +12,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo test --release"
+cargo test --release --workspace --quiet
+
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --workspace --no-run
+
 echo "==> cargo clippy (all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
