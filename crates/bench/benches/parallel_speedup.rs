@@ -22,12 +22,9 @@ fn p9_parallel_speedup(c: &mut Criterion) {
         for rows in [1_000usize, 10_000] {
             let system = versions_system(branches, rows);
             let rewriting = system.mdm.rewrite(&system.walk).expect("rewrites");
-            let baseline = Executor::with_options(
-                system.mdm.catalog(),
-                ExecOptions::sequential(),
-            )
-            .run(&rewriting.plan)
-            .expect("executes");
+            let baseline = Executor::with_options(system.mdm.catalog(), ExecOptions::sequential())
+                .run(&rewriting.plan)
+                .expect("executes");
             for pool_size in [1usize, 2, 4, 8] {
                 let pool = Arc::new(Pool::new(pool_size));
                 let options = ExecOptions {

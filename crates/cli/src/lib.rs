@@ -10,12 +10,13 @@
 //! every command is unit-testable; `main.rs` is a thin REPL around it.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use mdm_core::usecase;
 use mdm_core::walk_dsl;
-use mdm_core::Mdm;
+use mdm_core::{FsyncPolicy, Mdm, MetaStore};
 use mdm_relational::Deadline;
 use mdm_wrappers::football::{self, FootballEcosystem};
 use mdm_wrappers::FaultPlan;
@@ -37,6 +38,13 @@ pub struct Session {
     /// Execution-pool size (`--threads`); `None` = the process-wide
     /// default, `Some(1)` = sequential.
     threads: Option<usize>,
+    /// The durable journal opened by `--data-dir`; every steward mutation
+    /// appends to its WAL and `compact` folds it.
+    store: Option<Arc<MetaStore>>,
+    /// The directory behind `store` (for messages).
+    data_dir: Option<PathBuf>,
+    /// WAL durability policy applied when opening `--data-dir`.
+    fsync: FsyncPolicy,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -75,7 +83,82 @@ impl Session {
             fault_rate: 0.3,
             deadline_ms: None,
             threads: None,
+            store: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
+    }
+
+    /// Sets the WAL fsync policy used by the next [`Session::open_data_dir`]
+    /// (the `--fsync` flag; parse with [`FsyncPolicy::parse`]).
+    pub fn set_fsync(&mut self, policy: FsyncPolicy) {
+        self.fsync = policy;
+    }
+
+    /// Opens (or creates) the durable store in `dir` — the `--data-dir`
+    /// flag. An existing journal is recovered and becomes the session's
+    /// system; otherwise the store is seeded from the loaded system (or an
+    /// empty one). Returns a human-readable report.
+    pub fn open_data_dir(&mut self, dir: &Path) -> Result<String, String> {
+        if self.server.is_some() {
+            return Err("stop the running server before opening a data dir".to_string());
+        }
+        if self.store.is_some() {
+            return Err(format!(
+                "a data dir is already open ({})",
+                self.data_dir
+                    .as_deref()
+                    .unwrap_or_else(|| Path::new("?"))
+                    .display()
+            ));
+        }
+        if !dir.exists() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let initial = self.mdm.take().unwrap_or_default();
+        let (store, mdm, report) = MetaStore::attach(dir, self.fsync, initial)
+            .map_err(|e| format!("cannot open data dir {}: {e}", dir.display()))?;
+        let epoch = mdm.epoch();
+        self.mdm = Some(mdm);
+        self.store = Some(store);
+        self.data_dir = Some(dir.to_path_buf());
+        self.apply_fault_plan();
+        self.apply_threads();
+        Ok(if report.recovered {
+            format!(
+                "recovered {} (generation {}, {} journal records replayed{}) — epoch {epoch}",
+                dir.display(),
+                report.generation,
+                report.replayed,
+                if report.truncated_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                }
+            )
+        } else {
+            format!(
+                "created durable store in {} (generation {}, fsync {})",
+                dir.display(),
+                report.generation,
+                self.fsync
+            )
+        })
+    }
+
+    /// Re-seeds the open store after a command replaced the whole system
+    /// (`setup`, `restore`): folds the new state into a fresh generation and
+    /// re-attaches the journal sink. Returns a warning line on failure.
+    fn rebind_store(&mut self) -> Option<String> {
+        let (Some(store), Some(mdm)) = (&self.store, self.mdm.as_mut()) else {
+            return None;
+        };
+        if let Err(e) = store.compact(mdm) {
+            return Some(format!("warning: journal compaction failed: {e}"));
+        }
+        mdm.set_journal(Some(store.clone()));
+        None
     }
 
     /// Arms fault injection for every system loaded after this call
@@ -170,6 +253,7 @@ impl Session {
             "status" => self.status(),
             "snapshot" => self.snapshot(argument),
             "restore" => self.restore(argument),
+            "compact" => self.compact(),
             other => Outcome::Text(format!(
                 "unknown command '{other}' — type 'help' for the command list"
             )),
@@ -193,10 +277,15 @@ impl Session {
                         self.ecosystem = Some(eco);
                         self.apply_fault_plan();
                         self.apply_threads();
-                        Outcome::Text(format!(
+                        let mut text = format!(
                             "football use case loaded: 4 sources, {wrappers} wrappers.\n\
                              Try 'show global', then 'query' (finish the walk with a lone '.')."
-                        ))
+                        );
+                        if let Some(warning) = self.rebind_store() {
+                            text.push('\n');
+                            text.push_str(&warning);
+                        }
+                        Outcome::Text(text)
                     }
                     Err(e) => Outcome::Text(format!("setup failed: {e}")),
                 }
@@ -356,7 +445,11 @@ impl Session {
                         writeln!(
                             out,
                             "breaker {}: {} ({} failures / {} successes, opened {}x)",
-                            b.relation, b.state, b.failures_total, b.successes_total, b.opened_total
+                            b.relation,
+                            b.state,
+                            b.failures_total,
+                            b.successes_total,
+                            b.opened_total
                         )
                         .unwrap();
                     }
@@ -414,7 +507,9 @@ impl Session {
             request_deadline: self.deadline_ms.map(Duration::from_millis),
             ..mdm_server::ServerConfig::default()
         };
-        match mdm_server::serve_on(listener, &config, mdm) {
+        // Hand the already-open journal over so `/admin/compact`, the
+        // journal metrics and the drain-time fsync work behind the server.
+        match mdm_server::serve_prepared(listener, &config, mdm, self.store.clone()) {
             Ok(handle) => {
                 let text = format!(
                     "serving on http://{}\n\
@@ -560,11 +655,44 @@ impl Session {
                 self.ecosystem = None;
                 self.apply_fault_plan();
                 self.apply_threads();
-                Outcome::Text(format!(
+                let mut text = format!(
                     "metadata restored from {path} (wrappers must be re-registered to execute queries)"
-                ))
+                );
+                if let Some(warning) = self.rebind_store() {
+                    text.push('\n');
+                    text.push_str(&warning);
+                }
+                Outcome::Text(text)
             }
             Err(e) => Outcome::Text(format!("restore failed: {e}")),
+        }
+    }
+
+    /// `compact` — folds the journal into a fresh snapshot generation.
+    fn compact(&mut self) -> Outcome {
+        let Some(store) = &self.store else {
+            return Outcome::Text(
+                "no durable store open — start the CLI with --data-dir <dir>".to_string(),
+            );
+        };
+        if self.server.is_some() {
+            return Outcome::Text(
+                "the system is behind the server — use 'call POST /admin/compact'".to_string(),
+            );
+        }
+        let Some(mdm) = self.mdm.as_ref() else {
+            return Outcome::Text("no system loaded — run 'setup football' first".to_string());
+        };
+        match store.compact(mdm) {
+            Ok(generation) => {
+                let stats = store.stats();
+                Outcome::Text(format!(
+                    "journal folded into generation {generation} (epoch {}, {} bytes of WAL)",
+                    mdm.epoch(),
+                    stats.wal_bytes
+                ))
+            }
+            Err(e) => Outcome::Text(format!("compaction failed: {e}")),
         }
     }
 }
@@ -593,6 +721,8 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   status             governance dashboard (coverage, versions, unmapped wrappers)
   snapshot [file]    dump the metadata snapshot (to stdout or a file)
   restore <file>     load a metadata snapshot
+  compact            fold the durable journal into a fresh snapshot generation
+                     (needs --data-dir; behind 'serve' use POST /admin/compact)
   quit               leave
 
 Walk notation (one line per element, '#' comments):
@@ -741,6 +871,37 @@ mod tests {
         assert!(text(session.interpret("serve")).contains("no system loaded"));
         assert!(text(session.interpret("call GET /healthz")).contains("no server running"));
         assert!(text(session.interpret("stop")).contains("no server running"));
+    }
+
+    #[test]
+    fn data_dir_survives_session_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "mdm-cli-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut session = Session::new();
+        session.open_data_dir(&dir).unwrap();
+        session.interpret("setup football");
+        let compacted = text(session.interpret("compact"));
+        assert!(compacted.contains("generation"), "{compacted}");
+        let epoch = session.mdm.as_ref().unwrap().epoch();
+        let snapshot = session.mdm.as_ref().unwrap().snapshot();
+        drop(session);
+
+        // A fresh session over the same dir recovers the state and epoch.
+        let mut revived = Session::new();
+        let report = revived.open_data_dir(&dir).unwrap();
+        assert!(report.contains("recovered"), "{report}");
+        assert_eq!(revived.mdm.as_ref().unwrap().epoch(), epoch);
+        assert_eq!(revived.mdm.as_ref().unwrap().snapshot(), snapshot);
+        assert!(text(revived.interpret("show global")).contains("concept ex:Player"));
+        // Without --data-dir the compact command explains itself.
+        let mut plain = Session::new();
+        assert!(text(plain.interpret("compact")).contains("--data-dir"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * `--deadline-ms <n>` — bound every query (REPL and served) by `n` ms.
 //! * `--threads <n>` — execution-pool size for query fan-out (`1` forces
 //!   the sequential path; default sizes from `available_parallelism`).
+//! * `--data-dir <dir>` — durable metadata: recover the journal in `dir`
+//!   (or create one) and append every steward mutation to its WAL.
+//! * `--fsync <policy>` — WAL durability for `--data-dir`: `always`
+//!   (default), `never`, or `interval[:ms]`.
 
 use std::io::{BufRead, Write};
 
@@ -20,6 +24,7 @@ use mdm_cli::{Outcome, Session};
 
 fn parse_flags(session: &mut Session) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
+    let mut data_dir: Option<std::path::PathBuf> = None;
     while let Some(flag) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
             args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -46,13 +51,29 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
                     .map_err(|_| format!("--threads: '{raw}' is not an unsigned integer"))?;
                 session.set_threads(Some(threads));
             }
+            "--data-dir" => {
+                data_dir = Some(std::path::PathBuf::from(value(&mut args)?));
+            }
+            "--fsync" => {
+                let raw = value(&mut args)?;
+                let policy =
+                    mdm_core::FsyncPolicy::parse(&raw).map_err(|e| format!("--fsync: {e}"))?;
+                session.set_fsync(policy);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>]".to_string(),
+                    "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>] \
+                     [--data-dir <dir>] [--fsync always|never|interval[:ms]]"
+                        .to_string(),
                 )
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    // Open the store last so --fsync applies regardless of flag order.
+    if let Some(dir) = data_dir {
+        let report = session.open_data_dir(&dir)?;
+        println!("{report}");
     }
     Ok(())
 }

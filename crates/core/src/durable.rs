@@ -1,0 +1,313 @@
+//! The durable metadata store: `mdm-store`'s WAL/compaction machinery bound
+//! to [`Mdm`]'s mutation journal.
+//!
+//! [`MetaStore`] is the [`JournalSink`] a durable deployment attaches to its
+//! [`Mdm`]: every steward mutation appends one encoded [`MutationOp`] to the
+//! live generation's write-ahead log, and [`MetaStore::compact`] folds the
+//! log into a fresh canonical snapshot. [`MetaStore::attach`] is the
+//! open-or-create entry point a process calls on startup: it recovers the
+//! latest complete generation (snapshot + surviving WAL prefix), replays
+//! the journal, and returns an [`Mdm`] whose epoch continues where the
+//! crashed process stopped.
+//!
+//! A journal write failure (disk full, permissions) does **not** fail the
+//! steward call — the in-memory mutation stands, the store flips to
+//! unhealthy, and the service surfaces `degraded` on `/healthz` until a
+//! later append or an explicit [`MetaStore::sync`]/[`MetaStore::compact`]
+//! succeeds.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use mdm_store::{FsyncPolicy, Store, StoreStats};
+
+use crate::error::MdmError;
+use crate::journal::{JournalSink, MutationOp};
+use crate::mdm::Mdm;
+
+/// What [`MetaStore::attach`] found (or created) on disk.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// The live generation after open/create.
+    pub generation: u64,
+    /// Epoch of the generation's snapshot.
+    pub base_epoch: u64,
+    /// WAL records replayed on top of the snapshot (0 for a fresh store).
+    pub replayed: u64,
+    /// True when a torn or corrupt WAL tail was cut during recovery.
+    pub truncated_tail: bool,
+    /// True when the store already existed; false when this call created it.
+    pub recovered: bool,
+}
+
+struct Inner {
+    store: Store,
+    healthy: bool,
+    last_error: Option<String>,
+}
+
+/// A thread-safe durable journal for one metadata store directory.
+pub struct MetaStore {
+    inner: Mutex<Inner>,
+}
+
+impl MetaStore {
+    /// Opens the store in `dir` if one exists, otherwise creates one seeded
+    /// with `initial`'s state. Returns the store, the system to serve (the
+    /// recovered state when one existed, else `initial`), and a report. The
+    /// journal sink is **already attached** to the returned [`Mdm`].
+    pub fn attach(
+        dir: &Path,
+        policy: FsyncPolicy,
+        initial: Mdm,
+    ) -> Result<(std::sync::Arc<MetaStore>, Mdm, RecoveryReport), MdmError> {
+        match Store::open(dir, policy).map_err(store_err)? {
+            Some((store, recovered)) => {
+                let mut mdm = Mdm::restore_metadata(&recovered.snapshot)?;
+                mdm.ensure_epoch_at_least(recovered.base_epoch);
+                for record in &recovered.records {
+                    let op = MutationOp::decode(&record.payload)?;
+                    op.apply(&mut mdm).map_err(|e| {
+                        MdmError::Repository(format!("journal replay of {} failed: {e}", op.kind()))
+                    })?;
+                    // The record carries the post-mutation epoch of the
+                    // crashed process; replay must not lag behind it.
+                    mdm.ensure_epoch_at_least(record.epoch);
+                }
+                let report = RecoveryReport {
+                    generation: recovered.generation,
+                    base_epoch: recovered.base_epoch,
+                    replayed: recovered.records.len() as u64,
+                    truncated_tail: recovered.truncated_tail,
+                    recovered: true,
+                };
+                let meta = std::sync::Arc::new(MetaStore {
+                    inner: Mutex::new(Inner {
+                        store,
+                        healthy: true,
+                        last_error: None,
+                    }),
+                });
+                mdm.set_journal(Some(meta.clone()));
+                Ok((meta, mdm, report))
+            }
+            None => {
+                let store =
+                    Store::create(dir, policy, &initial.snapshot_stamped(), initial.epoch())
+                        .map_err(store_err)?;
+                let report = RecoveryReport {
+                    generation: store.generation(),
+                    base_epoch: initial.epoch(),
+                    replayed: 0,
+                    truncated_tail: false,
+                    recovered: false,
+                };
+                let meta = std::sync::Arc::new(MetaStore {
+                    inner: Mutex::new(Inner {
+                        store,
+                        healthy: true,
+                        last_error: None,
+                    }),
+                });
+                let mut mdm = initial;
+                mdm.set_journal(Some(meta.clone()));
+                Ok((meta, mdm, report))
+            }
+        }
+    }
+
+    /// Folds the journal into a fresh snapshot of `mdm`'s current state and
+    /// swaps generations atomically. Returns the new generation number.
+    pub fn compact(&self, mdm: &Mdm) -> Result<u64, MdmError> {
+        let snapshot = mdm.snapshot_stamped();
+        let epoch = mdm.epoch();
+        let mut inner = self.lock();
+        match inner.store.compact(&snapshot, epoch) {
+            Ok(generation) => {
+                inner.healthy = true;
+                inner.last_error = None;
+                Ok(generation)
+            }
+            Err(e) => {
+                inner.healthy = false;
+                inner.last_error = Some(e.to_string());
+                Err(store_err(e))
+            }
+        }
+    }
+
+    /// Forces buffered WAL records to stable storage (drain/shutdown path).
+    pub fn sync(&self) -> Result<(), MdmError> {
+        let mut inner = self.lock();
+        match inner.store.sync() {
+            Ok(()) => {
+                inner.healthy = true;
+                inner.last_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                inner.healthy = false;
+                inner.last_error = Some(e.to_string());
+                Err(store_err(e))
+            }
+        }
+    }
+
+    /// Durability counters for `/metrics`.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().store.stats()
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.lock().store.policy()
+    }
+
+    /// False after a journal write failure: acknowledged mutations since the
+    /// failure are **not** durable (`/healthz` reports `degraded`).
+    pub fn healthy(&self) -> bool {
+        self.lock().healthy
+    }
+
+    /// The last journal failure, if the store is unhealthy.
+    pub fn last_error(&self) -> Option<String> {
+        self.lock().last_error.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock poisons it; the store's state is
+        // still consistent (appends are atomic at the record level), so
+        // recover the guard rather than propagating the poison.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl JournalSink for MetaStore {
+    fn record(&self, op: &MutationOp, epoch: u64) -> Result<(), String> {
+        let mut inner = self.lock();
+        match inner.store.append(epoch, &op.encode()) {
+            Ok(()) => {
+                inner.healthy = true;
+                inner.last_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                let message = format!("journal append of {} failed: {e}", op.kind());
+                inner.healthy = false;
+                inner.last_error = Some(message.clone());
+                Err(message)
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        self.sync().map_err(|e| e.to_string())
+    }
+}
+
+fn store_err(e: mdm_store::StoreError) -> MdmError {
+    MdmError::Repository(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdm_rdf::term::Iri;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mdm-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ex(local: &str) -> Iri {
+        Iri::new(format!("{}{local}", mdm_rdf::vocab::EXAMPLE_NS))
+    }
+
+    #[test]
+    fn fresh_store_journals_and_recovers() {
+        let dir = temp_dir("fresh");
+        let (meta, mut mdm, report) =
+            MetaStore::attach(&dir, FsyncPolicy::Always, Mdm::new()).unwrap();
+        assert!(!report.recovered);
+        mdm.define_concept(&ex("Player")).unwrap();
+        mdm.define_identifier(&ex("Player"), &ex("playerId"))
+            .unwrap();
+        mdm.add_source("PlayersAPI").unwrap();
+        assert_eq!(meta.stats().wal_records, 3);
+        assert!(meta.healthy());
+        let expected = mdm.snapshot();
+        let expected_epoch = mdm.epoch();
+        drop((meta, mdm));
+
+        // "Restart": open the same directory, replay the journal.
+        let (_meta2, recovered, report) =
+            MetaStore::attach(&dir, FsyncPolicy::Always, Mdm::new()).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(recovered.snapshot(), expected);
+        assert_eq!(recovered.epoch(), expected_epoch);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_advances_generation_and_preserves_state() {
+        let dir = temp_dir("compact");
+        let (meta, mut mdm, _) = MetaStore::attach(&dir, FsyncPolicy::Never, Mdm::new()).unwrap();
+        mdm.define_concept(&ex("Team")).unwrap();
+        let generation = meta.compact(&mdm).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(meta.stats().wal_records, 0);
+        mdm.define_feature(&ex("Team"), &ex("teamName")).unwrap();
+        meta.sync().unwrap();
+        let expected = mdm.snapshot();
+        drop((meta, mdm));
+
+        let (meta2, recovered, report) =
+            MetaStore::attach(&dir, FsyncPolicy::Never, Mdm::new()).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(recovered.snapshot(), expected);
+        // A second compaction from the recovered state keeps the bytes.
+        meta2.compact(&recovered).unwrap();
+        drop((meta2, recovered));
+        let (_, again, _) = MetaStore::attach(&dir, FsyncPolicy::Never, Mdm::new()).unwrap();
+        assert_eq!(again.snapshot(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_failure_degrades_instead_of_failing_mutations() {
+        let dir = temp_dir("degrade");
+        let (meta, mut mdm, _) = MetaStore::attach(&dir, FsyncPolicy::Always, Mdm::new()).unwrap();
+        // Tear down the directory under the store to force append failures
+        // on the next fsync-ed write.
+        drop(std::fs::remove_dir_all(&dir));
+        let before = mdm.epoch();
+        // The mutation itself still succeeds...
+        let result = mdm.define_concept(&ex("Ghost"));
+        assert!(result.is_ok());
+        assert!(mdm.epoch() > before);
+        // ...and durability loss is visible, not silent. (With the directory
+        // gone the buffered write may still land in the page cache; force it
+        // out to observe the failure deterministically.)
+        let _ = meta.sync();
+        if meta.healthy() {
+            // Some filesystems keep the unlinked file writable; at minimum
+            // the sink interface must stay callable.
+            let sink: Arc<dyn JournalSink> = meta.clone();
+            let _ = sink.flush();
+        } else {
+            assert!(meta.last_error().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,6 +30,8 @@
 //! * [`render`] — deterministic textual renderings of the paper's figures
 //!   (global graph, source graph, mappings, query artifacts).
 //! * [`repo`] — snapshot/restore of the whole metadata state.
+//! * [`journal`] / [`durable`] — steward mutations as replayable journal
+//!   ops, bound to the `mdm-store` WAL for crash recovery.
 //! * [`mdm`] — the [`mdm::Mdm`] facade: the steward and analyst APIs.
 //!
 //! ## Example: the four interactions of the paper
@@ -84,11 +86,13 @@
 
 pub mod assist;
 pub mod cache;
+pub mod durable;
 pub mod error;
 pub mod expansion;
 pub mod gav;
 pub mod inter;
 pub mod intra;
+pub mod journal;
 pub mod mapping;
 pub mod mdm;
 pub mod ontology;
@@ -107,8 +111,11 @@ pub mod walk;
 pub mod walk_dsl;
 
 pub use cache::{CacheStats, PlanCache};
+pub use durable::{MetaStore, RecoveryReport};
 pub use error::MdmError;
+pub use journal::{JournalSink, MutationOp};
 pub use mdm::Mdm;
+pub use mdm_store::FsyncPolicy;
 pub use ontology::BdiOntology;
 pub use query::{Completeness, DegradedAnswer, DroppedBranch, QueryAnswer};
 pub use rewrite::{rewrite_walk, RewriteOptions, Rewriting};

@@ -21,11 +21,12 @@ use crate::ontology::BdiOntology;
 /// A builder for one wrapper's LAV mapping.
 #[derive(Clone, Debug)]
 pub struct MappingBuilder {
-    wrapper: Iri,
-    concepts: Vec<Iri>,
-    features: Vec<Iri>,
-    relations: Vec<(Iri, Iri, Iri)>,
-    same_as: Vec<(String, Iri)>, // (attribute name, feature)
+    // Crate-visible so `journal` can encode a mapping mutation for the WAL.
+    pub(crate) wrapper: Iri,
+    pub(crate) concepts: Vec<Iri>,
+    pub(crate) features: Vec<Iri>,
+    pub(crate) relations: Vec<(Iri, Iri, Iri)>,
+    pub(crate) same_as: Vec<(String, Iri)>, // (attribute name, feature)
 }
 
 impl MappingBuilder {

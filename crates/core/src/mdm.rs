@@ -14,6 +14,7 @@ use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 use crate::cache::{CacheStats, PlanCache};
 use crate::error::MdmError;
 use crate::gav::GavMapping;
+use crate::journal::{JournalSink, MutationOp};
 use crate::mapping::MappingBuilder;
 use crate::ontology::BdiOntology;
 use crate::query::{answer_walk_with, execute_degraded, DegradedAnswer, QueryAnswer};
@@ -57,6 +58,10 @@ pub struct Mdm {
     /// Worker pool fanning union branches (and large join probes) out
     /// across cores. `None` forces the legacy sequential path.
     pool: Option<Arc<Pool>>,
+    /// Durability hook: every successful steward mutation is handed here as
+    /// a [`MutationOp`] stamped with the post-mutation epoch. `None` (the
+    /// default) keeps the instance purely in-memory.
+    journal: Option<Arc<dyn JournalSink>>,
 }
 
 impl Default for Mdm {
@@ -77,6 +82,7 @@ impl Mdm {
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
+            journal: None,
         }
     }
 
@@ -131,6 +137,27 @@ impl Mdm {
         self.epoch += 1;
     }
 
+    /// Attaches (or detaches) the durability sink. Replay attaches it only
+    /// *after* recovery completes, so replayed mutations never re-journal.
+    pub fn set_journal(&mut self, sink: Option<Arc<dyn JournalSink>>) {
+        self.journal = sink;
+    }
+
+    /// The attached durability sink, if any (drain paths flush through it).
+    pub fn journal(&self) -> Option<&Arc<dyn JournalSink>> {
+        self.journal.as_ref()
+    }
+
+    /// Hands one applied mutation to the journal, stamped with the epoch the
+    /// mutation produced. A failing sink does not undo the in-memory change;
+    /// the sink reports the durability loss through its own health surface
+    /// (`/healthz` flips to `degraded`).
+    fn record(&self, op: MutationOp) {
+        if let Some(sink) = &self.journal {
+            let _ = sink.record(&op, self.epoch);
+        }
+    }
+
     /// Raises the epoch to at least `floor`. A freshly restored [`Mdm`]
     /// starts at epoch 0; a long-running service swapping it in calls this
     /// with its previous epoch + 1 so observers see time move forward only.
@@ -153,8 +180,13 @@ impl Mdm {
     /// Sets the rewriting options (distinct on/off). Options shape the
     /// generated plans, so this bumps the epoch like a metadata change.
     pub fn set_options(&mut self, options: RewriteOptions) {
+        let op = MutationOp::SetOptions {
+            distinct: options.distinct,
+            max_branches: options.max_branches as u64,
+        };
         self.options = options;
         self.touch();
+        self.record(op);
     }
 
     /// Binds a rendering prefix on the underlying ontology. Prefixes flow
@@ -162,6 +194,10 @@ impl Mdm {
     pub(crate) fn bind_prefix_internal(&mut self, prefix: &str, namespace: &str) {
         self.ontology.bind_prefix(prefix, namespace);
         self.touch();
+        self.record(MutationOp::BindPrefix {
+            prefix: prefix.to_string(),
+            namespace: namespace.to_string(),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -172,6 +208,9 @@ impl Mdm {
     pub fn define_concept(&mut self, concept: &Iri) -> Result<(), MdmError> {
         self.ontology.add_concept(concept)?;
         self.touch();
+        self.record(MutationOp::DefineConcept {
+            concept: concept.to_string(),
+        });
         Ok(())
     }
 
@@ -179,6 +218,11 @@ impl Mdm {
     pub fn define_feature(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
         self.ontology.add_feature(concept, feature)?;
         self.touch();
+        self.record(MutationOp::DefineFeature {
+            concept: concept.to_string(),
+            feature: feature.to_string(),
+            identifier: false,
+        });
         Ok(())
     }
 
@@ -186,6 +230,11 @@ impl Mdm {
     pub fn define_identifier(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
         self.ontology.add_identifier(concept, feature)?;
         self.touch();
+        self.record(MutationOp::DefineFeature {
+            concept: concept.to_string(),
+            feature: feature.to_string(),
+            identifier: true,
+        });
         Ok(())
     }
 
@@ -198,6 +247,11 @@ impl Mdm {
     ) -> Result<(), MdmError> {
         self.ontology.add_relation(from, property, to)?;
         self.touch();
+        self.record(MutationOp::DefineRelation {
+            from: from.to_string(),
+            property: property.to_string(),
+            to: to.to_string(),
+        });
         Ok(())
     }
 
@@ -205,6 +259,10 @@ impl Mdm {
     pub fn define_subconcept(&mut self, sub: &Iri, sup: &Iri) -> Result<(), MdmError> {
         self.ontology.add_subconcept(sub, sup)?;
         self.touch();
+        self.record(MutationOp::DefineSubconcept {
+            sub: sub.to_string(),
+            sup: sup.to_string(),
+        });
         Ok(())
     }
 
@@ -216,6 +274,9 @@ impl Mdm {
     pub fn add_source(&mut self, name: &str) -> Result<Iri, MdmError> {
         let iri = register_source(&mut self.ontology, name)?;
         self.touch();
+        self.record(MutationOp::AddSource {
+            name: name.to_string(),
+        });
         Ok(iri)
     }
 
@@ -227,15 +288,37 @@ impl Mdm {
     /// the same object, so they cannot drift.
     pub fn register_wrapper(&mut self, wrapper: Wrapper) -> Result<Registration, MdmError> {
         let attributes: Vec<String> = wrapper.signature().attributes().to_vec();
-        let registration = register_wrapper(
-            &mut self.ontology,
+        let registration = self.register_wrapper_metadata(
             wrapper.source(),
             wrapper.name(),
             wrapper.version(),
             &attributes,
         )?;
         self.catalog.register(wrapper);
+        Ok(registration)
+    }
+
+    /// Registers a wrapper's *metadata* (source-graph schema) without a
+    /// runnable payload. This is what the journal replays on recovery —
+    /// wrapper payloads are data, not metadata, so like
+    /// [`Mdm::restore_metadata`] the execution catalog must be repopulated
+    /// separately.
+    pub fn register_wrapper_metadata(
+        &mut self,
+        source: &str,
+        wrapper: &str,
+        version: u32,
+        attributes: &[String],
+    ) -> Result<Registration, MdmError> {
+        let registration =
+            register_wrapper(&mut self.ontology, source, wrapper, version, attributes)?;
         self.touch();
+        self.record(MutationOp::RegisterWrapper {
+            source: source.to_string(),
+            wrapper: wrapper.to_string(),
+            version,
+            attributes: attributes.to_vec(),
+        });
         Ok(registration)
     }
 
@@ -264,12 +347,10 @@ impl Mdm {
             self.register_wrapper(wrapper)?;
             let draft = crate::assist::suggest_mapping(&self.ontology, &name)?;
             let mapped = if draft.is_applicable() {
+                // Route through `define_mapping` so the applied draft is
+                // journalled like a hand-written mapping.
                 let builder = draft.to_builder(&self.ontology);
-                let applied = builder.apply(&mut self.ontology).is_ok();
-                if applied {
-                    self.touch();
-                }
-                applied
+                self.define_mapping(builder).is_ok()
             } else {
                 false
             };
@@ -294,8 +375,10 @@ impl Mdm {
 
     /// Applies a LAV mapping built with [`MappingBuilder`].
     pub fn define_mapping(&mut self, builder: MappingBuilder) -> Result<Iri, MdmError> {
+        let op = MutationOp::from_mapping(&builder);
         let graph = builder.apply(&mut self.ontology)?;
         self.touch();
+        self.record(op);
         Ok(graph)
     }
 
@@ -467,24 +550,38 @@ impl Mdm {
         render::ontology_trig(&self.ontology)
     }
 
-    /// Serialises the metadata state (not the wrapper payloads).
+    /// Serialises the metadata state (not the wrapper payloads). The text is
+    /// epoch-free so that snapshot → restore → snapshot is a byte fixpoint;
+    /// the durable store stamps the epoch itself (snapshot header + WAL
+    /// header) via [`Mdm::snapshot_stamped`].
     pub fn snapshot(&self) -> String {
         crate::repo::snapshot(&self.ontology)
     }
 
-    /// Restores the metadata state from a snapshot; wrappers must be
-    /// re-registered into the catalog separately (payloads are data, not
-    /// metadata).
+    /// Like [`Mdm::snapshot`] but with the metadata epoch stamped into the
+    /// header, so a restored process continues the epoch sequence instead of
+    /// silently resetting it. This is what the durable store persists.
+    pub fn snapshot_stamped(&self) -> String {
+        crate::repo::snapshot_with_epoch(&self.ontology, self.epoch)
+    }
+
+    /// Restores the metadata state from a snapshot, **including the epoch**
+    /// if one is stamped in its header (plain snapshots restore at 0 —
+    /// callers wanting in-process monotonicity bump it, see the server's
+    /// restore route); wrappers must be re-registered into the catalog
+    /// separately (payloads are data, not metadata).
     pub fn restore_metadata(document: &str) -> Result<Mdm, MdmError> {
+        let (ontology, epoch) = crate::repo::restore_with_epoch(document)?;
         Ok(Mdm {
-            ontology: crate::repo::restore(document)?,
+            ontology,
             catalog: WrapperCatalog::new(),
             options: RewriteOptions::default(),
-            epoch: 0,
+            epoch,
             plan_cache: PlanCache::default(),
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
+            journal: None,
         })
     }
 }
@@ -652,6 +749,24 @@ mod tests {
         assert!(mdm.render_source_graph().contains("PlayersAPI"));
         assert!(mdm.render_mappings().contains("named graph w1"));
         assert!(mdm.render_trig().contains("GRAPH"));
+    }
+
+    #[test]
+    fn restore_preserves_epoch_continuity() {
+        // The epoch travels in the *stamped* snapshot header: a restored
+        // process continues the sequence instead of silently resetting to 0.
+        let mdm = football_mdm();
+        let epoch = mdm.epoch();
+        assert!(epoch > 0);
+        let restored = Mdm::restore_metadata(&mdm.snapshot_stamped()).unwrap();
+        assert_eq!(restored.epoch(), epoch);
+        // Re-snapshotting the restored state is a byte fixpoint, both for
+        // the stamped form and the plain (epoch-free) form.
+        assert_eq!(restored.snapshot_stamped(), mdm.snapshot_stamped());
+        assert_eq!(restored.snapshot(), mdm.snapshot());
+        // The plain form stays epoch-free: restoring it starts a fresh
+        // sequence (the durable store always persists the stamped form).
+        assert_eq!(Mdm::restore_metadata(&mdm.snapshot()).unwrap().epoch(), 0);
     }
 
     #[test]

@@ -154,7 +154,11 @@ pub fn execute_degraded(
     let mut plans = Vec::with_capacity(rewriting.queries.len());
     for cq in &rewriting.queries {
         let plan = plan_for_cq(cq, &rewriting.output_columns)?;
-        plans.push(if options.distinct { plan.distinct() } else { plan });
+        plans.push(if options.distinct {
+            plan.distinct()
+        } else {
+            plan
+        });
     }
     // One scan cache for the whole UCQ: a wrapper referenced by several
     // branches is fetched once, so retries and breaker events fire once
@@ -205,12 +209,18 @@ pub fn execute_degraded(
             .iter()
             .map(|d| format!("{}: {}", d.wrappers.join("+"), d.reason))
             .collect();
-        let message = format!("all {} branch(es) failed — {}", completeness.total_branches, reasons.join("; "));
-        return Err(if completeness.dropped.iter().any(|d| d.kind == "timeout") {
-            MdmError::Timeout(message)
-        } else {
-            MdmError::Execution(message)
-        });
+        let message = format!(
+            "all {} branch(es) failed — {}",
+            completeness.total_branches,
+            reasons.join("; ")
+        );
+        return Err(
+            if completeness.dropped.iter().any(|d| d.kind == "timeout") {
+                MdmError::Timeout(message)
+            } else {
+                MdmError::Execution(message)
+            },
+        );
     };
     if options.distinct {
         let set: BTreeSet<_> = merged_rows.into_iter().collect();

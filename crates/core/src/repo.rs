@@ -11,16 +11,36 @@ use crate::error::MdmError;
 use crate::ontology::BdiOntology;
 
 const HEADER: &str = "# MDM SNAPSHOT v1";
+const EPOCH_MARK: &str = "# epoch: ";
 const GLOBAL_MARK: &str = "=== GLOBAL ===";
 const SOURCE_MARK: &str = "=== SOURCE ===";
 const MAPPINGS_MARK: &str = "=== MAPPINGS ===";
 
-/// Serialises the ontology into a snapshot document.
+/// Serialises the ontology into a snapshot document without an epoch
+/// stamp — the form `Mdm::snapshot` exposes, chosen so that snapshot →
+/// restore → snapshot is a byte fixpoint. The durable store writes
+/// [`snapshot_with_epoch`] instead.
 pub fn snapshot(ontology: &BdiOntology) -> String {
+    snapshot_document(ontology, None)
+}
+
+/// Serialises the ontology with the metadata epoch in the header, so a
+/// restored process continues the epoch sequence instead of re-issuing
+/// values remote clients have already seen against different plans.
+pub fn snapshot_with_epoch(ontology: &BdiOntology, epoch: u64) -> String {
+    snapshot_document(ontology, Some(epoch))
+}
+
+fn snapshot_document(ontology: &BdiOntology, epoch: Option<u64>) -> String {
     let prefixes = ontology.prefixes();
     let mut out = String::new();
     out.push_str(HEADER);
     out.push('\n');
+    if let Some(epoch) = epoch {
+        out.push_str(EPOCH_MARK);
+        out.push_str(&epoch.to_string());
+        out.push('\n');
+    }
     out.push_str(GLOBAL_MARK);
     out.push('\n');
     out.push_str(&turtle::write_graph(ontology.global_graph(), prefixes));
@@ -33,13 +53,32 @@ pub fn snapshot(ontology: &BdiOntology) -> String {
     out
 }
 
-/// Restores an ontology from a snapshot document.
+/// Restores an ontology from a snapshot document, ignoring any epoch
+/// stamp. Callers that must preserve epoch continuity (the facade, the
+/// durable store) use [`restore_with_epoch`].
 pub fn restore(document: &str) -> Result<BdiOntology, MdmError> {
+    restore_with_epoch(document).map(|(ontology, _)| ontology)
+}
+
+/// Restores an ontology plus the epoch recorded in the snapshot header
+/// (0 for pre-epoch documents, which remain readable).
+pub fn restore_with_epoch(document: &str) -> Result<(BdiOntology, u64), MdmError> {
     if !document.starts_with(HEADER) {
         return Err(MdmError::Repository(format!(
             "not an MDM snapshot (expected leading '{HEADER}')"
         )));
     }
+    let epoch = document
+        .lines()
+        .nth(1)
+        .and_then(|line| line.strip_prefix(EPOCH_MARK))
+        .map(|raw| {
+            raw.trim()
+                .parse::<u64>()
+                .map_err(|_| MdmError::Repository(format!("invalid epoch stamp '{}'", raw.trim())))
+        })
+        .transpose()?
+        .unwrap_or(0);
     let global_section = section(document, GLOBAL_MARK, SOURCE_MARK)?;
     let source_section = section(document, SOURCE_MARK, MAPPINGS_MARK)?;
     let mappings_section = document
@@ -73,7 +112,7 @@ pub fn restore(document: &str) -> Result<BdiOntology, MdmError> {
             target.insert(triple);
         }
     }
-    Ok(ontology)
+    Ok((ontology, epoch))
 }
 
 fn section<'a>(document: &'a str, from: &str, to: &str) -> Result<&'a str, MdmError> {
@@ -151,6 +190,23 @@ mod tests {
         assert!(restore(HEADER).is_err());
         let truncated = format!("{HEADER}\n{GLOBAL_MARK}\n");
         assert!(restore(&truncated).is_err());
+    }
+
+    #[test]
+    fn epoch_stamp_round_trips_and_is_optional() {
+        let original = figure7_ontology();
+        let stamped = snapshot_with_epoch(&original, 42);
+        let (restored, epoch) = restore_with_epoch(&stamped).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(restored.concepts(), original.concepts());
+        // Restoring and re-snapshotting keeps the stamp byte-identical.
+        assert_eq!(snapshot_with_epoch(&restored, epoch), stamped);
+        // Pre-epoch documents restore with epoch 0.
+        let (_, epoch) = restore_with_epoch(&snapshot(&original)).unwrap();
+        assert_eq!(epoch, 0);
+        // A mangled stamp is rejected, not silently zeroed.
+        let broken = stamped.replace("# epoch: 42", "# epoch: forty-two");
+        assert!(restore_with_epoch(&broken).is_err());
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl ExecError {
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution error ({}): {}", self.kind.label(), self.message)
+        write!(
+            f,
+            "execution error ({}): {}",
+            self.kind.label(),
+            self.message
+        )
     }
 }
 
@@ -312,9 +317,7 @@ impl<'a> Executor<'a> {
         cache: &ScanCache,
     ) -> Result<Table, ExecError> {
         let pool = self.fanout_pool().expect("checked by caller");
-        let results = pool.run(branches.len(), |i| {
-            self.run_with_cache(&branches[i], cache)
-        });
+        let results = pool.run(branches.len(), |i| self.run_with_cache(&branches[i], cache));
         let mut tables = Vec::with_capacity(results.len());
         let mut total = 0;
         for result in results {

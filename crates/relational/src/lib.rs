@@ -39,12 +39,12 @@ pub use algebra::{JoinKind, Plan};
 pub use executor::{
     Catalog, ErrorKind, ExecError, ExecOptions, Executor, MemoryCatalog, RelationProvider,
 };
+pub use expr::{BinOp, Expr};
 pub use pool::{Pool, PoolStats};
 pub use resilience::{
     BreakerConfig, BreakerRegistry, BreakerSnapshot, Deadline, RetryPolicy, ScanGuard,
 };
 pub use scan_cache::{ScanCache, ScanCacheStats};
-pub use expr::{BinOp, Expr};
 pub use schema::Schema;
 pub use table::Table;
 pub use value::{Tuple, Value};

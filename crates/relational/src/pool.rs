@@ -164,7 +164,10 @@ impl Pool {
                 if task.is_none() {
                     // Own deque dry: steal from the back of a sibling's.
                     for other in (0..workers).filter(|&o| o != me) {
-                        task = deques[other].lock().expect("pool deque poisoned").pop_back();
+                        task = deques[other]
+                            .lock()
+                            .expect("pool deque poisoned")
+                            .pop_back();
                         if task.is_some() {
                             self.steals_total.fetch_add(1, Ordering::Relaxed);
                             break;

@@ -124,7 +124,8 @@ impl Deadline {
 
     /// Remaining budget; `None` means unbounded.
     pub fn remaining(&self) -> Option<Duration> {
-        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
     }
 
     /// True once the budget is exhausted.
@@ -387,7 +388,10 @@ mod tests {
         assert!(registry.admit("w1").is_ok(), "below threshold stays closed");
         registry.record_failure("w1", &boom);
         let rejected = registry.admit("w1").unwrap_err();
-        assert!(rejected.message.contains("circuit breaker open"), "{rejected}");
+        assert!(
+            rejected.message.contains("circuit breaker open"),
+            "{rejected}"
+        );
         assert!(rejected.message.contains("w1"));
 
         // After the cooldown one probe is admitted (half-open)…

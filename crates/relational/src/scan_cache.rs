@@ -115,20 +115,34 @@ mod tests {
     #[test]
     fn second_fetch_for_same_key_is_a_hit() {
         let cache = ScanCache::new();
-        let a = cache.fetch_or_insert("w1", 1, 0, || Ok(vec![row(1)])).unwrap();
+        let a = cache
+            .fetch_or_insert("w1", 1, 0, || Ok(vec![row(1)]))
+            .unwrap();
         let b = cache
             .fetch_or_insert("w1", 1, 0, || panic!("must not refetch"))
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), ScanCacheStats { hits: 1, misses: 2 - 1 });
+        assert_eq!(
+            cache.stats(),
+            ScanCacheStats {
+                hits: 1,
+                misses: 2 - 1
+            }
+        );
     }
 
     #[test]
     fn version_and_epoch_partition_the_key_space() {
         let cache = ScanCache::new();
-        cache.fetch_or_insert("w1", 1, 0, || Ok(vec![row(1)])).unwrap();
-        cache.fetch_or_insert("w1", 2, 0, || Ok(vec![row(2)])).unwrap();
-        cache.fetch_or_insert("w1", 1, 7, || Ok(vec![row(3)])).unwrap();
+        cache
+            .fetch_or_insert("w1", 1, 0, || Ok(vec![row(1)]))
+            .unwrap();
+        cache
+            .fetch_or_insert("w1", 2, 0, || Ok(vec![row(2)]))
+            .unwrap();
+        cache
+            .fetch_or_insert("w1", 1, 7, || Ok(vec![row(3)]))
+            .unwrap();
         assert_eq!(cache.stats().misses, 3);
         assert_eq!(cache.stats().hits, 0);
     }

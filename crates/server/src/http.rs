@@ -288,7 +288,10 @@ mod tests {
         let response = Response::json(503, "{}").with_header("Retry-After", "2");
         write_response(&mut out, &response, false).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
         assert!(text.contains("Retry-After: 2\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
         assert_eq!(status_text(504), "Gateway Timeout");

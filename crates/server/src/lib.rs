@@ -31,13 +31,14 @@ pub mod state;
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use mdm_core::Mdm;
+use mdm_core::{FsyncPolicy, Mdm, MetaStore};
 
 use crate::http::{read_request, write_response, Response};
 use crate::state::AppState;
@@ -64,6 +65,14 @@ pub struct ServerConfig {
     /// forces sequential execution; `Some(n)` builds a dedicated n-worker
     /// pool.
     pub pool_size: Option<usize>,
+    /// Durable-store directory. When set, the server recovers the journal
+    /// on start (replacing the passed [`Mdm`] with the recovered state when
+    /// one exists), appends every steward mutation to the WAL, and serves
+    /// `POST /admin/compact`. `None` keeps the server purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// WAL durability policy for `data_dir`: fsync every record (`Always`,
+    /// the default), at most once per interval, or never (OS decides).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +85,8 @@ impl Default for ServerConfig {
             max_pending: 64,
             retry_after: Duration::from_secs(1),
             pool_size: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -129,6 +140,10 @@ impl ServerHandle {
         if self.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
         // Unblock the acceptor with one last connection to ourselves.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.acceptor.take() {
@@ -147,6 +162,14 @@ impl ServerHandle {
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // With every worker joined, no more journal appends can happen:
+        // flush + fsync so every acknowledged mutation is durable before
+        // the process exits (graceful-drain durability guarantee).
+        if let Some(state) = &self.state {
+            if let Some(store) = &state.store {
+                let _ = store.sync();
+            }
         }
     }
 }
@@ -187,10 +210,39 @@ fn shed_connection(stream: TcpStream, state: &AppState, reason: &str) {
 
 /// Like [`serve`], over an already-bound listener — callers that must not
 /// lose `mdm` on a bad address bind first and hand the listener over.
-pub fn serve_on(listener: TcpListener, config: &ServerConfig, mdm: Mdm) -> io::Result<ServerHandle> {
+///
+/// When [`ServerConfig::data_dir`] is set, the durable store in that
+/// directory is opened (or created): an existing journal **replaces** the
+/// passed `mdm` with the recovered state, and every steward mutation from
+/// then on is appended to the WAL.
+pub fn serve_on(
+    listener: TcpListener,
+    config: &ServerConfig,
+    mdm: Mdm,
+) -> io::Result<ServerHandle> {
+    let (mdm, store) = match &config.data_dir {
+        Some(dir) => {
+            let (store, recovered, _report) = MetaStore::attach(dir, config.fsync, mdm)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            (recovered, Some(store))
+        }
+        None => (mdm, None),
+    };
+    serve_prepared(listener, config, mdm, store)
+}
+
+/// Like [`serve_on`], but with a store the caller already opened (the CLI
+/// recovers at session start and hands both over). `config.data_dir` is
+/// ignored on this path — the store *is* the data dir.
+pub fn serve_prepared(
+    listener: TcpListener,
+    config: &ServerConfig,
+    mdm: Mdm,
+    store: Option<Arc<MetaStore>>,
+) -> io::Result<ServerHandle> {
     let workers = config.workers.max(1);
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(mdm, config));
+    let state = Arc::new(AppState::new(mdm, config, store));
     let stopping = Arc::new(AtomicBool::new(false));
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();

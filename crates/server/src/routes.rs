@@ -21,9 +21,13 @@
 //! | POST | `/analyst/explain` | `{"walk"}` — the derivation narration |
 //! | POST | `/analyst/query`   | `{"walk"}` — executes, returns the table |
 //!
-//! Plus `GET /healthz` and `GET /metrics`. Element names in bodies are
-//! prefixed names (`ex:Player`) or bracketed IRIs, resolved against the
-//! ontology's prefix map exactly like the walk DSL.
+//! Plus `GET /healthz`, `GET /metrics`, and — when the server runs with a
+//! durable `data_dir` — `POST /admin/compact`, which folds the journal
+//! into a fresh snapshot generation. `/healthz` reports `degraded` when
+//! the journal became unwritable (acknowledged mutations may not be
+//! durable). Element names in bodies are prefixed names (`ex:Player`) or
+//! bracketed IRIs, resolved against the ontology's prefix map exactly like
+//! the walk DSL.
 
 use mdm_core::mapping::MappingBuilder;
 use mdm_core::walk::Walk;
@@ -63,6 +67,7 @@ const PATHS: &[(&str, &str)] = &[
     ("POST", "/analyst/rewrite"),
     ("POST", "/analyst/explain"),
     ("POST", "/analyst/query"),
+    ("POST", "/admin/compact"),
 ];
 
 fn route(state: &AppState, request: &Request) -> Response {
@@ -85,6 +90,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("POST", "/analyst/rewrite") => analyst_rewrite(state, request),
         ("POST", "/analyst/explain") => analyst_explain(state, request),
         ("POST", "/analyst/query") => analyst_query(state, request),
+        ("POST", "/admin/compact") => admin_compact(state),
         _ if PATHS.iter().any(|(_, p)| *p == path) => error_response(
             405,
             "protocol",
@@ -191,10 +197,22 @@ fn index() -> Response {
 
 fn healthz(state: &AppState) -> Response {
     let mdm = state.mdm.read().expect("state poisoned");
-    ok_json(Value::object([
-        ("status", Value::string("ok")),
+    // `degraded`: the service answers, but the journal is unwritable, so
+    // acknowledged mutations since the failure may not be durable.
+    let degraded = state.store.as_ref().is_some_and(|s| !s.healthy());
+    let mut fields = vec![
+        (
+            "status",
+            Value::string(if degraded { "degraded" } else { "ok" }),
+        ),
         ("epoch", Value::int(mdm.epoch() as i64)),
-    ]))
+    ];
+    if let Some(store) = &state.store {
+        if let Some(error) = store.last_error() {
+            fields.push(("journal_error", Value::string(error)));
+        }
+    }
+    ok_json(Value::object(fields))
 }
 
 fn metrics(state: &AppState) -> Response {
@@ -248,10 +266,36 @@ fn metrics(state: &AppState) -> Response {
             ),
         ])
     }));
-    ok_json(Value::object([
+    let journal = state.store.as_ref().map(|store| {
+        let stats = store.stats();
+        Value::object([
+            ("wal_records", Value::int(stats.wal_records as i64)),
+            ("wal_bytes", Value::int(stats.wal_bytes as i64)),
+            ("fsyncs", Value::int(stats.fsyncs as i64)),
+            ("generation", Value::int(stats.generation as i64)),
+            (
+                "last_compaction_gen",
+                if stats.compactions > 0 {
+                    Value::int(stats.generation as i64)
+                } else {
+                    Value::Null
+                },
+            ),
+            ("compactions", Value::int(stats.compactions as i64)),
+            ("fsync_policy", Value::string(store.policy().to_string())),
+            ("healthy", Value::Bool(store.healthy())),
+        ])
+    });
+    let mut fields = vec![
         ("epoch", Value::int(mdm.epoch() as i64)),
-        ("requests_total", Value::int(state.requests.load(Relaxed) as i64)),
-        ("errors_total", Value::int(state.errors.load(Relaxed) as i64)),
+        (
+            "requests_total",
+            Value::int(state.requests.load(Relaxed) as i64),
+        ),
+        (
+            "errors_total",
+            Value::int(state.errors.load(Relaxed) as i64),
+        ),
         (
             "uptime_ms",
             Value::int(state.started.elapsed().as_millis() as i64),
@@ -261,7 +305,33 @@ fn metrics(state: &AppState) -> Response {
         ("availability", availability),
         ("pool", pool),
         ("breakers", breakers),
-    ]))
+    ];
+    if let Some(journal) = journal {
+        fields.push(("journal", journal));
+    }
+    ok_json(Value::object(fields))
+}
+
+/// Folds the journal into a fresh snapshot generation. 409 without a
+/// durable store. Takes the write lock so the snapshot and the WAL swap
+/// are atomic with respect to concurrent steward mutations.
+fn admin_compact(state: &AppState) -> Response {
+    let Some(store) = &state.store else {
+        return error_response(
+            409,
+            "repository",
+            "server runs without a data_dir; nothing to compact",
+        );
+    };
+    let mdm = state.mdm.write().expect("state poisoned");
+    match store.compact(&mdm) {
+        Ok(generation) => ok_json(Value::object([
+            ("ok", Value::Bool(true)),
+            ("generation", Value::int(generation as i64)),
+            ("epoch", Value::int(mdm.epoch() as i64)),
+        ])),
+        Err(e) => mdm_error_response(&e),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -579,6 +649,15 @@ fn steward_restore(state: &AppState, request: &Request) -> Response {
         Ok(mut restored) => {
             restored.ensure_epoch_at_least(mdm.epoch() + 1);
             *mdm = restored;
+            if let Some(store) = &state.store {
+                // A restore replaces the whole state, which no journal op
+                // expresses: fold it into a fresh generation and re-attach
+                // the sink so subsequent mutations journal again.
+                if let Err(e) = store.compact(&mdm) {
+                    return mdm_error_response(&e);
+                }
+                mdm.set_journal(Some(store.clone()));
+            }
             ack(&mdm, Vec::new())
         }
         Err(e) => mdm_error_response(&e),

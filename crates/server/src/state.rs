@@ -6,10 +6,10 @@
 //! concurrently and all share the epoch-keyed plan cache inside [`Mdm`].
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use mdm_core::Mdm;
+use mdm_core::{Mdm, MetaStore};
 
 use crate::ServerConfig;
 
@@ -33,10 +33,14 @@ pub struct AppState {
     pub request_deadline: Duration,
     /// Seconds advertised in `Retry-After` on 503 responses.
     pub retry_after_secs: u64,
+    /// The durable journal behind `mdm`, when the server runs with a
+    /// `data_dir`. `/admin/compact` folds it, `/metrics` reports its
+    /// counters, and `/healthz` flips to `degraded` when it is unhealthy.
+    pub store: Option<Arc<MetaStore>>,
 }
 
 impl AppState {
-    pub fn new(mut mdm: Mdm, config: &ServerConfig) -> Self {
+    pub fn new(mut mdm: Mdm, config: &ServerConfig, store: Option<Arc<MetaStore>>) -> Self {
         if let Some(threads) = config.pool_size {
             mdm.set_threads(threads);
         }
@@ -52,6 +56,7 @@ impl AppState {
             read_timeout: config.read_timeout,
             request_deadline: config.request_deadline.unwrap_or(config.read_timeout),
             retry_after_secs: config.retry_after.as_secs().max(1),
+            store,
         }
     }
 

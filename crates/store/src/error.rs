@@ -1,0 +1,35 @@
+//! The crate error type: I/O failures keep their operation context,
+//! corruption is its own variant so callers can distinguish "the disk said
+//! no" from "the bytes are not a store".
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the operation that hit it.
+    Io {
+        context: String,
+        source: std::io::Error,
+    },
+    /// The on-disk bytes violate the format (bad magic, unsupported
+    /// version, missing generation files, …). Torn WAL tails are *not*
+    /// corruption — recovery truncates them silently.
+    Corrupt(String),
+}
+
+impl StoreError {
+    pub fn io(context: String, source: std::io::Error) -> StoreError {
+        StoreError::Io { context, source }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::Corrupt(message) => write!(f, "corrupt store: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

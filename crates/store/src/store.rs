@@ -1,0 +1,392 @@
+//! The generation-numbered store: one canonical snapshot plus the WAL that
+//! extends it, swapped atomically at compaction.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <data_dir>/
+//!   CURRENT              one ASCII line: the live generation number
+//!   snapshot.gen-N.ttl   opaque snapshot text for generation N
+//!   wal.gen-N.log        the WAL of mutations applied after that snapshot
+//! ```
+//!
+//! ## Crash-consistency protocol
+//!
+//! Compaction to generation `N+1`:
+//!
+//! 1. write `snapshot.gen-(N+1).ttl.tmp`, fsync, **rename** to final name;
+//! 2. create `wal.gen-(N+1).log` with a synced header;
+//! 3. write `CURRENT.tmp`, fsync, **rename** over `CURRENT`, fsync the
+//!    directory.
+//!
+//! `CURRENT` is the commit point: until its rename lands, recovery opens
+//! the previous generation (whose files are untouched); after it lands the
+//! new generation is complete by construction. Stale generation files are
+//! deleted only after the swap, and deletion failures are ignored — extra
+//! files are garbage, not corruption.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::wal::{read_wal, FsyncPolicy, WalRecord, WalWriter};
+
+const CURRENT: &str = "CURRENT";
+
+/// Counters for `/metrics`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Intact records in the live WAL (replayed + appended this process).
+    pub wal_records: u64,
+    /// Byte length of the live WAL, header included.
+    pub wal_bytes: u64,
+    /// `fsync` calls issued by this process (WAL and compaction).
+    pub fsyncs: u64,
+    /// The live generation number.
+    pub generation: u64,
+    /// Compactions performed by this process.
+    pub compactions: u64,
+}
+
+/// What recovery found on open.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The generation's snapshot text, exactly as compaction wrote it.
+    pub snapshot: String,
+    /// The epoch recorded in the WAL header (epoch of the snapshot).
+    pub base_epoch: u64,
+    /// Every intact WAL record, in append order.
+    pub records: Vec<WalRecord>,
+    /// True when a torn or corrupt tail was cut from the WAL.
+    pub truncated_tail: bool,
+    pub generation: u64,
+}
+
+/// An open store: the live generation's WAL plus compaction bookkeeping.
+pub struct Store {
+    dir: PathBuf,
+    generation: u64,
+    wal: WalWriter,
+    policy: FsyncPolicy,
+    compactions: u64,
+    compaction_fsyncs: u64,
+}
+
+impl Store {
+    /// Opens an existing store, replaying the live generation. Returns
+    /// `Ok(None)` when `dir` holds no store (no `CURRENT` file) — callers
+    /// then seed one with [`Store::create`].
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> Result<Option<(Store, Recovered)>, StoreError> {
+        let current = dir.join(CURRENT);
+        if !current.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&current)
+            .map_err(|e| StoreError::io(format!("read {}", current.display()), e))?;
+        let generation: u64 = text.trim().parse().map_err(|_| {
+            StoreError::Corrupt(format!(
+                "CURRENT holds '{}', not a generation number",
+                text.trim()
+            ))
+        })?;
+        let snapshot_path = dir.join(snapshot_name(generation));
+        let wal_path = dir.join(wal_name(generation));
+        let snapshot = fs::read_to_string(&snapshot_path)
+            .map_err(|e| StoreError::io(format!("read {}", snapshot_path.display()), e))?;
+        let contents = read_wal(&wal_path)?;
+        if contents.generation != generation {
+            return Err(StoreError::Corrupt(format!(
+                "{} claims generation {}, CURRENT says {generation}",
+                wal_path.display(),
+                contents.generation
+            )));
+        }
+        let wal = WalWriter::reopen(&wal_path, &contents, policy)?;
+        let recovered = Recovered {
+            snapshot,
+            base_epoch: contents.base_epoch,
+            records: contents.records,
+            truncated_tail: contents.truncated_tail,
+            generation,
+        };
+        Ok(Some((
+            Store {
+                dir: dir.to_path_buf(),
+                generation,
+                wal,
+                policy,
+                compactions: 0,
+                compaction_fsyncs: 0,
+            },
+            recovered,
+        )))
+    }
+
+    /// Initialises a store in an empty (or store-less) directory as
+    /// generation 1: the given snapshot becomes the baseline, the WAL
+    /// starts empty.
+    pub fn create(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot: &str,
+        epoch: u64,
+    ) -> Result<Store, StoreError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
+        if dir.join(CURRENT).exists() {
+            return Err(StoreError::Corrupt(format!(
+                "{} already holds a store; open it instead of re-initialising",
+                dir.display()
+            )));
+        }
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            generation: 0,
+            wal: WalWriter::create(&dir.join(wal_name(0)), 0, epoch, policy)?,
+            policy,
+            compactions: 0,
+            compaction_fsyncs: 0,
+        };
+        // The initial generation is written through the same protocol as
+        // every later compaction, so a crash during init leaves either no
+        // store (no CURRENT) or a complete generation 1.
+        store.compact(snapshot, epoch)?;
+        store.compactions = 0; // init is not a compaction for metrics
+        Ok(store)
+    }
+
+    /// Appends one opaque mutation record stamped with the post-mutation
+    /// epoch, honouring the fsync policy.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
+        self.wal.append(epoch, payload)
+    }
+
+    /// Flushes and fsyncs the WAL regardless of policy (drain/shutdown).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Folds the journal into a new generation whose snapshot is `snapshot`
+    /// (the caller's canonical serialisation of its current state) and
+    /// whose WAL is empty. Returns the new generation number.
+    pub fn compact(&mut self, snapshot: &str, epoch: u64) -> Result<u64, StoreError> {
+        let next = self.generation + 1;
+        let snapshot_final = self.dir.join(snapshot_name(next));
+        let snapshot_tmp = self.dir.join(format!("{}.tmp", snapshot_name(next)));
+
+        // (1) the new snapshot, durably, under its final name.
+        let mut file = File::create(&snapshot_tmp)
+            .map_err(|e| StoreError::io(format!("create {}", snapshot_tmp.display()), e))?;
+        file.write_all(snapshot.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| StoreError::io(format!("write {}", snapshot_tmp.display()), e))?;
+        drop(file);
+        fs::rename(&snapshot_tmp, &snapshot_final)
+            .map_err(|e| StoreError::io(format!("rename {}", snapshot_final.display()), e))?;
+
+        // (2) the new, empty WAL (synced header inside).
+        let wal = WalWriter::create(&self.dir.join(wal_name(next)), next, epoch, self.policy)?;
+
+        // (3) the commit point: CURRENT.
+        self.write_current(next)?;
+
+        let old = self.generation;
+        self.generation = next;
+        self.wal = wal;
+        self.compactions += 1;
+        self.compaction_fsyncs += 3; // snapshot + CURRENT + directory
+
+        // Best-effort cleanup of the superseded generation.
+        fs::remove_file(self.dir.join(snapshot_name(old))).ok();
+        fs::remove_file(self.dir.join(wal_name(old))).ok();
+        Ok(next)
+    }
+
+    fn write_current(&self, generation: u64) -> Result<(), StoreError> {
+        let tmp = self.dir.join("CURRENT.tmp");
+        let final_path = self.dir.join(CURRENT);
+        let mut file = File::create(&tmp)
+            .map_err(|e| StoreError::io(format!("create {}", tmp.display()), e))?;
+        file.write_all(format!("{generation}\n").as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
+        drop(file);
+        fs::rename(&tmp, &final_path)
+            .map_err(|e| StoreError::io(format!("rename {}", final_path.display()), e))?;
+        // Persist the rename itself (POSIX: sync the containing directory).
+        sync_dir(&self.dir);
+        Ok(())
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            fsyncs: self.wal.fsyncs() + self.compaction_fsyncs,
+            generation: self.generation,
+            compactions: self.compactions,
+        }
+    }
+}
+
+/// Fsyncs a directory so renames inside it survive power loss. Best-effort:
+/// platforms where directories cannot be opened for sync just skip it.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = OpenOptions::new().read(true).open(dir) {
+        handle.sync_all().ok();
+    }
+}
+
+fn snapshot_name(generation: u64) -> String {
+    format!("snapshot.gen-{generation}.ttl")
+}
+
+fn wal_name(generation: u64) -> String {
+    format!("wal.gen-{generation}.log")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mdm-store-tests-{name}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn create_recover_round_trip() {
+        let dir = temp_dir("round-trip");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP-0", 5).unwrap();
+        assert_eq!(store.generation(), 1);
+        store.append(6, b"op-a").unwrap();
+        store.append(7, b"op-b").unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.snapshot, "SNAP-0");
+        assert_eq!(recovered.base_epoch, 5);
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.records.len(), 2);
+        assert_eq!(recovered.records[1].epoch, 7);
+        assert!(!recovered.truncated_tail);
+        assert_eq!(store.stats().wal_records, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_on_empty_dir_is_none() {
+        let dir = temp_dir("empty");
+        assert!(Store::open(&dir, FsyncPolicy::Never).unwrap().is_none());
+        fs::create_dir_all(&dir).unwrap();
+        assert!(Store::open(&dir, FsyncPolicy::Never).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn double_create_is_rejected() {
+        let dir = temp_dir("double-create");
+        Store::create(&dir, FsyncPolicy::Never, "SNAP", 0).unwrap();
+        let err = match Store::create(&dir, FsyncPolicy::Never, "SNAP", 0) {
+            Err(e) => e,
+            Ok(_) => panic!("second create must fail"),
+        };
+        assert!(err.to_string().contains("already holds a store"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_swaps_generation_and_empties_wal() {
+        let dir = temp_dir("compaction");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP-1", 0).unwrap();
+        store.append(1, b"op").unwrap();
+        let generation = store.compact("SNAP-2", 1).unwrap();
+        assert_eq!(generation, 2);
+        store.append(2, b"post-compaction").unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let (_, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.snapshot, "SNAP-2");
+        assert_eq!(recovered.base_epoch, 1);
+        assert_eq!(recovered.records.len(), 1);
+        assert_eq!(recovered.records[0].payload, b"post-compaction");
+        // The superseded generation's files are gone.
+        assert!(!dir.join(snapshot_name(1)).exists());
+        assert!(!dir.join(wal_name(1)).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_prefix() {
+        let dir = temp_dir("torn");
+        let mut store = Store::create(&dir, FsyncPolicy::Always, "SNAP", 0).unwrap();
+        store.append(1, b"intact").unwrap();
+        store.append(2, b"this record dies mid-write").unwrap();
+        drop(store);
+        let wal_path = dir.join(wal_name(1));
+        let full = fs::metadata(&wal_path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        file.set_len(full - 7).unwrap();
+        drop(file);
+
+        let (mut store, recovered) = Store::open(&dir, FsyncPolicy::Always).unwrap().unwrap();
+        assert!(recovered.truncated_tail);
+        assert_eq!(recovered.records.len(), 1);
+        // Appends continue after the cut.
+        store.append(2, b"retried").unwrap();
+        drop(store);
+        let (_, again) = Store::open(&dir, FsyncPolicy::Always).unwrap().unwrap();
+        assert_eq!(again.records.len(), 2);
+        assert!(!again.truncated_tail);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_compaction_keeps_previous_generation() {
+        // Simulate a crash *between* writing the new generation's files and
+        // the CURRENT swap: the new files exist but CURRENT still points at
+        // the old generation, which must open cleanly.
+        let dir = temp_dir("interrupted");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP-1", 0).unwrap();
+        store.append(1, b"survives").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        // Fake the pre-swap state by hand.
+        fs::write(dir.join(snapshot_name(2)), "SNAP-2-unfinished").unwrap();
+        let _ = WalWriter::create(&dir.join(wal_name(2)), 2, 9, FsyncPolicy::Never).unwrap();
+
+        let (_, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.snapshot, "SNAP-1");
+        assert_eq!(recovered.records.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_track_bytes_and_fsyncs() {
+        let dir = temp_dir("stats");
+        let mut store = Store::create(&dir, FsyncPolicy::Always, "SNAP", 0).unwrap();
+        let before = store.stats();
+        store.append(1, b"0123456789").unwrap();
+        let after = store.stats();
+        assert_eq!(after.wal_records, 1);
+        assert_eq!(after.wal_bytes - before.wal_bytes, 16 + 10);
+        assert!(after.fsyncs > before.fsyncs);
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.compactions, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

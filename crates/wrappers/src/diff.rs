@@ -157,7 +157,9 @@ fn common_prefix(names: &[String]) -> String {
 }
 
 fn columns(release: &Release) -> Result<Vec<String>, DiffError> {
-    let value = release.parse().map_err(|e| DiffError(e.message().to_string()))?;
+    let value = release
+        .parse()
+        .map_err(|e| DiffError(e.message().to_string()))?;
     let rows = mdm_dataform::flatten::flatten_rows(
         &value,
         &mdm_dataform::flatten::FlattenOptions::default(),

@@ -324,9 +324,10 @@ impl Wrapper {
     }
 
     fn compute_rows(&self, body: &str) -> Result<Vec<Tuple>, WrapperError> {
-        let value = self.release.parse_body(body).map_err(|e| {
-            WrapperError::Malformed(format!("{}: {}", self.name(), e.message()))
-        })?;
+        let value = self
+            .release
+            .parse_body(body)
+            .map_err(|e| WrapperError::Malformed(format!("{}: {}", self.name(), e.message())))?;
         let flat: Vec<Row> = flatten_rows(&value, &FlattenOptions::default());
         let rows = flat
             .into_iter()

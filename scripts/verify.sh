@@ -6,6 +6,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -14,6 +17,9 @@ cargo test --workspace --quiet
 
 echo "==> cargo test --release"
 cargo test --release --workspace --quiet
+
+echo "==> crash-recovery suite (release)"
+cargo test --release -p mdm-integration-tests --test durability --quiet
 
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run

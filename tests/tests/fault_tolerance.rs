@@ -85,9 +85,18 @@ fn transient_faults_with_retry_reproduce_table1_byte_for_byte() {
     assert_eq!(answer.completeness.executed_branches, 4);
     // Two failed attempts per wrapper; w1, w2, w3 each pay them once
     // (attempt counters are per wrapper, shared across branches).
-    assert_eq!(answer.completeness.retries, 6, "{}", answer.completeness.summary());
+    assert_eq!(
+        answer.completeness.retries,
+        6,
+        "{}",
+        answer.completeness.summary()
+    );
     assert!(
-        answer.completeness.contributors.iter().any(|c| c == "w3@v2"),
+        answer
+            .completeness
+            .contributors
+            .iter()
+            .any(|c| c == "w3@v2"),
         "contributors name wrapper@version: {:?}",
         answer.completeness.contributors
     );

@@ -7,12 +7,12 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use mdm_core::usecase;
 use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
+use mdm_core::usecase;
 use mdm_core::Mdm;
 use mdm_relational::{
-    Catalog, Deadline, ExecError, ExecOptions, Executor, Plan, Pool, RelationProvider,
-    RetryPolicy, ScanCache, Schema, Tuple, Value,
+    Catalog, Deadline, ExecError, ExecOptions, Executor, Plan, Pool, RelationProvider, RetryPolicy,
+    ScanCache, Schema, Tuple, Value,
 };
 use mdm_wrappers::football;
 use mdm_wrappers::workload::{build, WorkloadConfig};
@@ -122,7 +122,12 @@ fn wrappers_are_fetched_once_per_query_through_the_facade() {
 // (b) parallel execution is byte-identical to sequential
 // ---------------------------------------------------------------------
 
-fn synthetic_mdm(concepts: usize, versions: usize, rows: usize, seed: u64) -> (Mdm, mdm_core::Walk) {
+fn synthetic_mdm(
+    concepts: usize,
+    versions: usize,
+    rows: usize,
+    seed: u64,
+) -> (Mdm, mdm_core::Walk) {
     let config = WorkloadConfig {
         concepts,
         features_per_concept: 3,
@@ -217,7 +222,10 @@ fn set_threads_switches_between_pool_and_sequential() {
     assert_eq!(stats.size, 4);
     mdm.set_threads(1);
     assert_eq!(mdm.threads(), 1);
-    assert!(mdm.pool_stats().is_none(), "threads=1 is the sequential path");
+    assert!(
+        mdm.pool_stats().is_none(),
+        "threads=1 is the sequential path"
+    );
     // Queries work identically in both modes.
     mdm.set_threads(4);
     let walk = usecase::figure8_walk();
