@@ -1,0 +1,81 @@
+//! P11 — zero-copy data-plane microbenchmarks.
+//!
+//! Three questions, all over the E6 shape (2 chained concepts × 2
+//! coexisting versions → a 4-branch UCQ with joins, σ, π and δ):
+//!
+//! 1. **Batched vs. row-at-a-time** — the same plan drained with the
+//!    default operator batch width against `batch_size = 1`, which
+//!    degenerates every `next_block` into one-tuple batches. The batched
+//!    path must never be slower, including at 1k rows where the adaptive
+//!    width clamps down.
+//! 2. **End-to-end UCQ throughput** — rows/sec through
+//!    scan→join→σ→π→∪→δ at 1k and 10k rows per wrapper, the numbers
+//!    recorded in EXPERIMENTS.md P11 (the 100k point is sampled with the
+//!    `p4_point` bin, which is quicker to re-run back-to-back).
+//! 3. **Intern-pool effectiveness** — the hit rate of the global string
+//!    pool after warming, printed once per run for the P11 table.
+//!
+//! Outputs are asserted identical across drain widths before sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mdm_bench::mixed_system;
+use mdm_relational::{metrics, ExecOptions, Executor};
+
+fn p11_data_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p11_data_plane");
+    group.sample_size(15);
+    for rows in [1_000usize, 10_000] {
+        let system = mixed_system(2, 2, rows);
+        let rewriting = system.mdm.rewrite(&system.walk).expect("rewrites");
+        let batched = ExecOptions::sequential();
+        let row_at_a_time = ExecOptions {
+            batch_size: 1,
+            ..ExecOptions::sequential()
+        };
+        // Warm the wrapper payload caches and prove the drain width does
+        // not change a byte of the answer.
+        let warm = Executor::with_options(system.mdm.catalog(), batched.clone())
+            .run(&rewriting.plan)
+            .expect("executes");
+        let narrow = Executor::with_options(system.mdm.catalog(), row_at_a_time.clone())
+            .run(&rewriting.plan)
+            .expect("executes");
+        assert_eq!(warm, narrow, "drain width must not change the answer");
+        group.throughput(Throughput::Elements(warm.len() as u64));
+        for (label, options) in [("batched", &batched), ("row_at_a_time", &row_at_a_time)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("e6_rows={rows}"), label),
+                options,
+                |b, options| {
+                    b.iter(|| {
+                        std::hint::black_box(
+                            Executor::with_options(system.mdm.catalog(), options.clone())
+                                .run(&rewriting.plan)
+                                .expect("executes"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Intern-pool effectiveness after the warmed runs above: one line for
+    // the EXPERIMENTS.md P11 table.
+    let stats = metrics::snapshot();
+    let lookups = stats.intern.hits + stats.intern.misses;
+    let hit_rate = if lookups > 0 {
+        100.0 * stats.intern.hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "p11 intern pool: {lookups} lookups, {hit_rate:.1}% hits, {} live entries, \
+         {} bytes interned (0 lookups ⇒ every string fit the 22-byte inline buffer)",
+        stats.intern.entries, stats.intern.interned_bytes,
+    );
+}
+
+criterion_group!(benches, p11_data_plane);
+criterion_main!(benches);

@@ -38,6 +38,8 @@ pub struct Session {
     /// Execution-pool size (`--threads`); `None` = the process-wide
     /// default, `Some(1)` = sequential.
     threads: Option<usize>,
+    /// Operator batch width (`--batch-size`); `None` = the engine default.
+    batch_size: Option<usize>,
     /// The durable journal opened by `--data-dir`; every steward mutation
     /// appends to its WAL and `compact` folds it.
     store: Option<Arc<MetaStore>>,
@@ -83,6 +85,7 @@ impl Session {
             fault_rate: 0.3,
             deadline_ms: None,
             threads: None,
+            batch_size: None,
             store: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -180,10 +183,23 @@ impl Session {
         self.apply_threads();
     }
 
-    /// (Re)stamps the loaded system with the session's pool size.
+    /// Sets the operator batch width applied to every loaded system
+    /// (the `--batch-size` flag). `0` restores the engine default.
+    pub fn set_batch_size(&mut self, batch_size: Option<usize>) {
+        self.batch_size = batch_size;
+        self.apply_threads();
+    }
+
+    /// (Re)stamps the loaded system with the session's pool size and
+    /// batch width.
     fn apply_threads(&mut self) {
-        if let (Some(mdm), Some(threads)) = (self.mdm.as_mut(), self.threads) {
-            mdm.set_threads(threads);
+        if let Some(mdm) = self.mdm.as_mut() {
+            if let Some(threads) = self.threads {
+                mdm.set_threads(threads);
+            }
+            if let Some(batch) = self.batch_size {
+                mdm.set_batch_size(batch);
+            }
         }
     }
 

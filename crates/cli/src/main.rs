@@ -13,6 +13,8 @@
 //! * `--deadline-ms <n>` — bound every query (REPL and served) by `n` ms.
 //! * `--threads <n>` — execution-pool size for query fan-out (`1` forces
 //!   the sequential path; default sizes from `available_parallelism`).
+//! * `--batch-size <n>` — operator batch width while draining queries
+//!   (`0` restores the default; the executor adapts down for small inputs).
 //! * `--data-dir <dir>` — durable metadata: recover the journal in `dir`
 //!   (or create one) and append every steward mutation to its WAL.
 //! * `--fsync <policy>` — WAL durability for `--data-dir`: `always`
@@ -51,6 +53,13 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
                     .map_err(|_| format!("--threads: '{raw}' is not an unsigned integer"))?;
                 session.set_threads(Some(threads));
             }
+            "--batch-size" => {
+                let raw = value(&mut args)?;
+                let batch = raw
+                    .parse::<usize>()
+                    .map_err(|_| format!("--batch-size: '{raw}' is not an unsigned integer"))?;
+                session.set_batch_size(Some(batch));
+            }
             "--data-dir" => {
                 data_dir = Some(std::path::PathBuf::from(value(&mut args)?));
             }
@@ -63,7 +72,8 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>] \
-                     [--data-dir <dir>] [--fsync always|never|interval[:ms]]"
+                     [--batch-size <n>] [--data-dir <dir>] \
+                     [--fsync always|never|interval[:ms]]"
                         .to_string(),
                 )
             }

@@ -303,7 +303,7 @@ mod tests {
         if meta.healthy() {
             // Some filesystems keep the unlinked file writable; at minimum
             // the sink interface must stay callable.
-            let sink: Arc<dyn JournalSink> = meta.clone();
+            let sink: Arc<dyn JournalSink> = meta;
             let _ = sink.flush();
         } else {
             assert!(meta.last_error().is_some());

@@ -378,7 +378,7 @@ mod tests {
     fn uncovered_feature_is_a_precise_error() {
         let o = figure7_ontology();
         // Add an unmapped feature to the ontology.
-        let mut o2 = o.clone();
+        let mut o2 = o;
         o2.add_feature(&ex("Player"), &ex("birthday")).unwrap();
         let err = partial_walks(&o2, &ex("Player"), &[ex("playerId"), ex("birthday")]).unwrap_err();
         assert!(err.message().contains("birthday"));

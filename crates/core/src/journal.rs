@@ -515,7 +515,7 @@ mod tests {
         assert!(MutationOp::decode(&[]).is_err());
         assert!(MutationOp::decode(&[250, 0, 0]).is_err());
         // Trailing bytes after a complete op are rejected too.
-        let mut padded = bytes.clone();
+        let mut padded = bytes;
         padded.push(0);
         assert!(MutationOp::decode(&padded).is_err());
     }

@@ -413,7 +413,7 @@ mod tests {
         // The overlap of Figure 7: both wrappers cover SportsTeam's teamId.
         let covering =
             wrappers_covering_feature(&o, &vocab::schema::SPORTS_TEAM.iri(), &ex("teamId"));
-        assert_eq!(covering, vec![w1.clone(), w2.clone()]);
+        assert_eq!(covering, vec![w1, w2]);
         // sameAs links landed in the source graph.
         let attr = BdiOntology::attribute_iri("PlayersAPI", "pName");
         assert_eq!(o.feature_of_attribute(&attr), Some(ex("playerName")));

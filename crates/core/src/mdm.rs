@@ -58,6 +58,9 @@ pub struct Mdm {
     /// Worker pool fanning union branches (and large join probes) out
     /// across cores. `None` forces the legacy sequential path.
     pool: Option<Arc<Pool>>,
+    /// Upper bound on tuples moved per operator batch while draining
+    /// queries (the executor still adapts downward for small inputs).
+    batch_size: usize,
     /// Durability hook: every successful steward mutation is handed here as
     /// a [`MutationOp`] stamped with the post-mutation epoch. `None` (the
     /// default) keeps the instance purely in-memory.
@@ -82,6 +85,7 @@ impl Mdm {
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
+            batch_size: mdm_relational::physical::DEFAULT_BATCH,
             journal: None,
         }
     }
@@ -108,6 +112,23 @@ impl Mdm {
         self.pool.as_ref().map(|p| p.stats())
     }
 
+    /// Sets the operator batch width used while draining queries. `0`
+    /// restores the default. The executor caps the effective width at the
+    /// query's input cardinality, so large values only matter for large
+    /// inputs.
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = if batch_size == 0 {
+            mdm_relational::physical::DEFAULT_BATCH
+        } else {
+            batch_size
+        };
+    }
+
+    /// The configured operator batch width.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
     /// Execution options for one query: the instance's retry policy, pool
     /// and metadata epoch (the scan-cache key component), plus the caller's
     /// deadline.
@@ -116,8 +137,8 @@ impl Mdm {
             retry: self.retry.clone(),
             deadline,
             pool: self.pool.clone(),
+            batch_size: self.batch_size,
             epoch: self.epoch,
-            ..ExecOptions::default()
         }
     }
 
@@ -581,6 +602,7 @@ impl Mdm {
             retry: RetryPolicy::default(),
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
+            batch_size: mdm_relational::physical::DEFAULT_BATCH,
             journal: None,
         })
     }

@@ -14,6 +14,7 @@
 //!   which is the 1NF interpretation of repeated groups.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -36,7 +37,10 @@ impl Default for FlattenOptions {
 }
 
 /// A flat row: column name → scalar text (empty string encodes null).
-pub type Row = BTreeMap<String, String>;
+/// Column names are `Arc<str>` because every row of a payload repeats the
+/// same handful of names: one allocation per column per payload, not one
+/// per cell. `Arc<str>: Borrow<str>`, so `row["id"]` lookups still work.
+pub type Row = BTreeMap<Arc<str>, String>;
 
 /// Flattens a document into 1NF rows.
 pub fn flatten_rows(value: &Value, options: &FlattenOptions) -> Vec<Row> {
@@ -49,7 +53,7 @@ pub fn flatten_rows(value: &Value, options: &FlattenOptions) -> Vec<Row> {
         scalar => {
             let mut row = Row::new();
             row.insert(
-                options.scalar_column.clone(),
+                Arc::from(options.scalar_column.as_str()),
                 scalar.scalar_text().unwrap_or_default(),
             );
             vec![row]
@@ -62,10 +66,10 @@ fn flatten_object(value: &Value, prefix: &str, options: &FlattenOptions) -> Vec<
     let Some(map) = value.as_object() else {
         // Scalar under a prefix: single column.
         let mut row = Row::new();
-        let column = if prefix.is_empty() {
-            options.scalar_column.clone()
+        let column: Arc<str> = if prefix.is_empty() {
+            Arc::from(options.scalar_column.as_str())
         } else {
-            prefix.to_string()
+            Arc::from(prefix)
         };
         row.insert(column, value.scalar_text().unwrap_or_default());
         return vec![row];
@@ -74,10 +78,10 @@ fn flatten_object(value: &Value, prefix: &str, options: &FlattenOptions) -> Vec<
     // Start from a single row and expand multiplicatively on arrays.
     let mut rows: Vec<Row> = vec![Row::new()];
     for (key, field) in map {
-        let column = if prefix.is_empty() {
-            key.clone()
+        let column: Arc<str> = if prefix.is_empty() {
+            Arc::from(key.as_str())
         } else {
-            format!("{prefix}{}{key}", options.separator)
+            Arc::from(format!("{prefix}{}{key}", options.separator))
         };
         match field {
             Value::Array(items) => {
@@ -128,7 +132,7 @@ fn flatten_object(value: &Value, prefix: &str, options: &FlattenOptions) -> Vec<
 pub fn infer_columns(rows: &[Row]) -> Vec<String> {
     let mut columns: Vec<String> = rows
         .iter()
-        .flat_map(|row| row.keys().cloned())
+        .flat_map(|row| row.keys().map(|k| k.to_string()))
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect();

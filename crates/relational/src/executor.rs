@@ -7,6 +7,8 @@ use std::sync::Arc;
 
 use crate::algebra::{JoinKind, Plan, SortOrder};
 use crate::expr::Expr;
+use crate::metrics;
+use crate::optimizer::subtree_fingerprint;
 use crate::physical::{
     DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec, SortExec,
     UnionExec, DEFAULT_BATCH,
@@ -219,12 +221,38 @@ impl ExecOptions {
     }
 }
 
+/// The adaptive drain loop never shrinks batches below this width: at tiny
+/// widths the per-block dispatch overhead dominates again.
+const MIN_ADAPTIVE_BATCH: usize = 64;
+
+/// True when some relation appears in more than one `Scan` node — the case
+/// the per-query scan cache exists for.
+fn plan_has_repeated_scans(plan: &Plan) -> bool {
+    fn walk<'p>(plan: &'p Plan, seen: &mut HashSet<&'p str>) -> bool {
+        match plan {
+            Plan::Scan { relation } => !seen.insert(relation.as_str()),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => walk(input, seen),
+            Plan::Join { left, right, .. } => walk(left, seen) || walk(right, seen),
+            Plan::Union { inputs } => inputs.iter().any(|p| walk(p, seen)),
+        }
+    }
+    walk(plan, &mut HashSet::new())
+}
+
 /// Executes logical plans against a catalog.
 pub struct Executor<'a> {
     catalog: &'a dyn Catalog,
     options: ExecOptions,
     guard: Option<&'a dyn ScanGuard>,
     retries: AtomicU64,
+    /// Rows fetched from providers by this executor, feeding the adaptive
+    /// batch width (the result can't be wider than its inputs for the
+    /// UCQ shapes MDM emits).
+    fetched_rows: AtomicU64,
     shared_cache: Option<&'a ScanCache>,
 }
 
@@ -242,6 +270,7 @@ impl<'a> Executor<'a> {
             options,
             guard: None,
             retries: AtomicU64::new(0),
+            fetched_rows: AtomicU64::new(0),
             shared_cache: None,
         }
     }
@@ -282,45 +311,114 @@ impl<'a> Executor<'a> {
         match self.shared_cache {
             Some(shared) => self.run_with_cache(plan, shared),
             None => {
+                // Single-reference plans (no relation scanned twice, no
+                // shared cache to feed) skip the cache's mutex-and-slot
+                // bookkeeping entirely: scans fetch straight into an Arc.
                 let cache = ScanCache::new();
-                self.run_with_cache(plan, &cache)
+                if plan_has_repeated_scans(plan) {
+                    self.run_with_cache(plan, &cache)
+                } else {
+                    self.run_bypassing(plan, &cache)
+                }
             }
         }
     }
 
     fn run_with_cache(&self, plan: &Plan, cache: &ScanCache) -> Result<Table, ExecError> {
+        self.dispatch(plan, cache, false)
+    }
+
+    fn run_bypassing(&self, plan: &Plan, cache: &ScanCache) -> Result<Table, ExecError> {
+        self.dispatch(plan, cache, true)
+    }
+
+    fn dispatch(&self, plan: &Plan, cache: &ScanCache, bypass: bool) -> Result<Table, ExecError> {
         if self.fanout_pool().is_some() {
             match plan {
                 Plan::Distinct { input } => {
                     if let Plan::Union { inputs } = &**input {
                         if inputs.len() > 1 {
-                            return self.run_union(inputs, true, cache);
+                            return self.run_union(inputs, true, cache, bypass);
                         }
                     }
                 }
                 Plan::Union { inputs } if inputs.len() > 1 => {
-                    return self.run_union(inputs, false, cache);
+                    return self.run_union(inputs, false, cache, bypass);
                 }
                 _ => {}
             }
         }
-        self.run_sequential(plan, cache)
+        self.run_sequential(plan, cache, bypass)
     }
 
     /// Executes union branches on the pool and merges them in branch order
     /// (with an optional pre-sized streaming δ), reproducing the
     /// sequential row stream exactly.
+    ///
+    /// Branches with identical subtrees (frequent when coexisting versions
+    /// share the queried attributes) are detected by subtree fingerprint
+    /// and executed once; duplicates reuse the representative's result.
+    /// This composes with the scan cache — the cache dedupes *fetches*,
+    /// this dedupes *operator work* — and it cannot change the output:
+    /// the reused table (or error, errors being cached per wrapper) is
+    /// exactly what re-running the identical branch would produce.
     fn run_union(
         &self,
         branches: &[Plan],
         distinct: bool,
         cache: &ScanCache,
+        bypass: bool,
     ) -> Result<Table, ExecError> {
         let pool = self.fanout_pool().expect("checked by caller");
-        let results = pool.run(branches.len(), |i| self.run_with_cache(&branches[i], cache));
-        let mut tables = Vec::with_capacity(results.len());
+        // `representative[i]` points at the first branch with the same
+        // fingerprint; fingerprint hits are verified by plan equality so a
+        // 64-bit collision can never alias two different branches.
+        let mut first_by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::with_capacity(branches.len());
+        let mut representative: Vec<usize> = Vec::with_capacity(branches.len());
+        for (i, branch) in branches.iter().enumerate() {
+            let fp = subtree_fingerprint(branch);
+            let candidates = first_by_fp.entry(fp).or_default();
+            match candidates.iter().find(|&&u| branches[u] == *branch) {
+                Some(&u) => {
+                    metrics::record_shared_branch();
+                    representative.push(u);
+                }
+                None => {
+                    candidates.push(i);
+                    representative.push(i);
+                    unique.push(i);
+                }
+            }
+        }
+        let mut results: Vec<Option<Result<Table, ExecError>>> = pool
+            .run(unique.len(), |j| {
+                self.dispatch(&branches[unique[j]], cache, bypass)
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
+        // Re-expand: branch i takes the result of its representative. The
+        // last consumer of a slot moves the table; earlier duplicates clone
+        // (cells are interned, so a clone is rows × pointer-sized copies).
+        let mut slot_of: HashMap<usize, usize> = HashMap::with_capacity(unique.len());
+        for (j, &u) in unique.iter().enumerate() {
+            slot_of.insert(u, j);
+        }
+        let mut uses = vec![0usize; unique.len()];
+        for &rep in &representative {
+            uses[slot_of[&rep]] += 1;
+        }
+        let mut tables = Vec::with_capacity(branches.len());
         let mut total = 0;
-        for result in results {
+        for rep in representative {
+            let j = slot_of[&rep];
+            uses[j] -= 1;
+            let result = if uses[j] == 0 {
+                results[j].take().expect("each slot taken once")
+            } else {
+                results[j].clone().expect("slot still live")
+            };
             // First error in branch order, matching the sequential
             // depth-first build.
             let table = result?;
@@ -361,18 +459,36 @@ impl<'a> Executor<'a> {
         Table::new(schema, rows).map_err(ExecError::permanent)
     }
 
-    fn run_sequential(&self, plan: &Plan, cache: &ScanCache) -> Result<Table, ExecError> {
+    fn run_sequential(
+        &self,
+        plan: &Plan,
+        cache: &ScanCache,
+        bypass: bool,
+    ) -> Result<Table, ExecError> {
         if self.options.deadline.expired() {
             return Err(self.options.deadline.exceeded("starting plan execution"));
         }
-        let mut op = self.build(plan, cache)?;
+        let mut op = self.build(plan, cache, bypass)?;
         let schema = op.schema().clone();
-        // Drain batch-at-a-time with a deadline check per batch so a huge
+        // Drain block-at-a-time with a deadline check per block so a huge
         // (or pathological) result cannot blow past the budget unnoticed.
+        // The batch width adapts downward to the input size (known exactly
+        // after `build`, which fetched every scanned relation): a 100-row
+        // query should not pay 1024-row drain bookkeeping.
+        let fetched = self.fetched_rows.load(Ordering::Relaxed) as usize;
+        let batch_size = match fetched {
+            0 => self.options.batch_size.max(1),
+            n => self
+                .options
+                .batch_size
+                .max(1)
+                .min(n.max(MIN_ADAPTIVE_BATCH)),
+        };
         let mut rows = Vec::new();
-        let batch_size = self.options.batch_size.max(1);
-        while let Some(batch) = op.next_batch(batch_size) {
-            rows.extend(batch?);
+        while let Some(block) = op.next_block(batch_size) {
+            let block = block?;
+            metrics::record_batch(block.len() as u64);
+            rows.extend(block.into_tuples());
             if self.options.deadline.expired() {
                 return Err(self.options.deadline.exceeded("draining result rows"));
             }
@@ -408,6 +524,8 @@ impl<'a> Executor<'a> {
                     if let Some(guard) = self.guard {
                         guard.record_success(relation);
                     }
+                    self.fetched_rows
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
                     return Ok(rows);
                 }
                 Err(err) if err.is_transient() && attempt < self.options.retry.max_attempts => {
@@ -444,26 +562,37 @@ impl<'a> Executor<'a> {
     /// Translates a logical plan into a physical operator tree. Scans go
     /// through the per-query cache: a relation referenced by `k` branches
     /// is fetched (and pays retries/breaker events) once, not `k` times.
-    fn build(&self, plan: &Plan, cache: &ScanCache) -> Result<Box<dyn Operator>, ExecError> {
+    /// With `bypass` (single-reference plans only), the cache's slot
+    /// machinery is skipped and scans fetch straight into an `Arc`.
+    fn build(
+        &self,
+        plan: &Plan,
+        cache: &ScanCache,
+        bypass: bool,
+    ) -> Result<Box<dyn Operator>, ExecError> {
         match plan {
             Plan::Scan { relation } => {
                 let provider = self.catalog.provider(relation).ok_or_else(|| {
                     ExecError::permanent(format!("unknown relation '{relation}' in catalog"))
                 })?;
-                let rows = cache.fetch_or_insert(
-                    relation,
-                    provider.version(),
-                    self.options.epoch,
-                    || self.fetch_rows(relation, provider),
-                )?;
+                let rows = if bypass {
+                    Arc::new(self.fetch_rows(relation, provider)?)
+                } else {
+                    cache.fetch_or_insert(
+                        relation,
+                        provider.version(),
+                        self.options.epoch,
+                        || self.fetch_rows(relation, provider),
+                    )?
+                };
                 Ok(Box::new(ScanExec::shared(provider.provider_schema(), rows)))
             }
             Plan::Filter { input, predicate } => Ok(Box::new(FilterExec::new(
-                self.build(input, cache)?,
+                self.build(input, cache, bypass)?,
                 predicate.clone(),
             ))),
             Plan::Project { input, columns } => {
-                let child = self.build(input, cache)?;
+                let child = self.build(input, cache, bypass)?;
                 let exprs: Vec<Expr> = columns.iter().map(|(e, _)| e.clone()).collect();
                 let schema = Schema::new(columns.iter().map(|(_, name)| name.clone()).collect());
                 Ok(Box::new(ProjectExec::new(child, exprs, schema)))
@@ -474,8 +603,8 @@ impl<'a> Executor<'a> {
                 right,
                 on,
             } => {
-                let left_op = self.build(left, cache)?;
-                let right_op = self.build(right, cache)?;
+                let left_op = self.build(left, cache, bypass)?;
+                let right_op = self.build(right, cache, bypass)?;
                 let mut left_keys = Vec::with_capacity(on.len());
                 let mut right_keys = Vec::with_capacity(on.len());
                 for (l, r) in on {
@@ -506,13 +635,15 @@ impl<'a> Executor<'a> {
             Plan::Union { inputs } => {
                 let ops = inputs
                     .iter()
-                    .map(|p| self.build(p, cache))
+                    .map(|p| self.build(p, cache, bypass))
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Box::new(UnionExec::new(ops)?))
             }
-            Plan::Distinct { input } => Ok(Box::new(DistinctExec::new(self.build(input, cache)?))),
+            Plan::Distinct { input } => Ok(Box::new(DistinctExec::new(
+                self.build(input, cache, bypass)?,
+            ))),
             Plan::Sort { input, keys } => {
-                let child = self.build(input, cache)?;
+                let child = self.build(input, cache, bypass)?;
                 let resolved = keys
                     .iter()
                     .map(|(column, order)| {
@@ -525,9 +656,10 @@ impl<'a> Executor<'a> {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Box::new(SortExec::new(child, resolved)?))
             }
-            Plan::Limit { input, count } => {
-                Ok(Box::new(LimitExec::new(self.build(input, cache)?, *count)))
-            }
+            Plan::Limit { input, count } => Ok(Box::new(LimitExec::new(
+                self.build(input, cache, bypass)?,
+                *count,
+            ))),
         }
     }
 }

@@ -331,7 +331,7 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            null_pred.clone().and(Expr::lit(true)).eval(&s, &t).unwrap(),
+            null_pred.and(Expr::lit(true)).eval(&s, &t).unwrap(),
             Value::Null
         );
     }

@@ -1,0 +1,324 @@
+//! Interned string symbols: the data plane's string representation.
+//!
+//! Wrapper payloads repeat the same strings thousands of times (team names,
+//! enum-like attributes, identifiers), and before interning every operator
+//! that moved a tuple deep-copied each `String` cell. [`Sym`] makes string
+//! cells cheap to move: short strings (≤ [`INLINE_CAP`] bytes, the vast
+//! majority of wrapper cell values) are stored inline with zero heap
+//! traffic, and longer strings are deduplicated into a process-wide pool of
+//! `Arc<str>` so every downstream clone is a pointer-sized refcount bump.
+//!
+//! The pool is process-wide, not per-query, on purpose: wrappers memoise
+//! their parsed row sets across queries (`mdm_wrappers` caches the typed
+//! rows per payload), so symbols must outlive any single query. Growth is
+//! bounded by an opportunistic sweep — when a shard crosses its watermark,
+//! entries whose only owner is the pool itself are dropped.
+//!
+//! [`Sym`] behaves exactly like the `String` it replaces: `Eq`/`Ord`/`Hash`
+//! all delegate to the underlying `str` (so `Value`'s coercing semantics
+//! and every hash table keyed on tuples are unchanged), with an
+//! `Arc::ptr_eq` fast path for pooled symbols.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum string length stored inline (no allocation, no pool traffic).
+/// Chosen so `Sym` stays 24 bytes — the same size as the `String` it
+/// replaced.
+pub const INLINE_CAP: usize = 22;
+
+/// An immutable interned string: inline for short strings, a shared
+/// `Arc<str>` from the process-wide pool otherwise. Cloning is always
+/// allocation-free.
+#[derive(Clone)]
+pub struct Sym(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    Shared(Arc<str>),
+}
+
+impl Sym {
+    /// Interns `text`: inline when it fits, pooled otherwise.
+    pub fn new(text: &str) -> Self {
+        if text.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..text.len()].copy_from_slice(text.as_bytes());
+            Sym(Repr::Inline {
+                len: text.len() as u8,
+                buf,
+            })
+        } else {
+            Sym(Repr::Shared(pool().intern(text)))
+        }
+    }
+
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Inline { len, buf } => {
+                // Only ever built from a valid `&str` prefix in `new`.
+                std::str::from_utf8(&buf[..*len as usize]).expect("inline sym is utf-8")
+            }
+            Repr::Shared(s) => s,
+        }
+    }
+
+    /// True when the symbol is stored inline (no pool entry).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl Deref for Sym {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(text: &str) -> Self {
+        Sym::new(text)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(text: String) -> Self {
+        Sym::new(&text)
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            // Pooled symbols with one pointer are equal without looking.
+            (Repr::Shared(a), Repr::Shared(b)) if Arc::ptr_eq(a, b) => true,
+            _ => self.as_str() == other.as_str(),
+        }
+    }
+}
+
+impl Eq for Sym {}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if let (Repr::Shared(a), Repr::Shared(b)) = (&self.0, &other.0) {
+            if Arc::ptr_eq(a, b) {
+                return std::cmp::Ordering::Equal;
+            }
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `String`'s hash (which is `str`'s), so tuple hash
+        // tables behave identically to the pre-interning engine.
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+/// Shard count for the pool: enough that parallel wrapper parses rarely
+/// contend on one mutex.
+const SHARDS: usize = 16;
+
+/// A shard sweeps (drops entries only the pool still owns) when it grows
+/// past its watermark; the watermark then doubles from the surviving size.
+const SWEEP_FLOOR: usize = 1 << 12;
+
+struct Shard {
+    set: HashSet<Arc<str>>,
+    sweep_at: usize,
+}
+
+struct InternPool {
+    shards: [Mutex<Shard>; SHARDS],
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static InternPool {
+    static POOL: OnceLock<InternPool> = OnceLock::new();
+    POOL.get_or_init(|| InternPool {
+        shards: std::array::from_fn(|_| {
+            Mutex::new(Shard {
+                set: HashSet::new(),
+                sweep_at: SWEEP_FLOOR,
+            })
+        }),
+    })
+}
+
+impl InternPool {
+    fn intern(&self, text: &str) -> Arc<str> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        text.hash(&mut hasher);
+        let shard = &self.shards[(hasher.finish() as usize) % SHARDS];
+        let mut shard = shard.lock().expect("intern pool poisoned");
+        if let Some(existing) = shard.set.get(text) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(existing);
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(text.len() as u64, Ordering::Relaxed);
+        let entry: Arc<str> = Arc::from(text);
+        shard.set.insert(Arc::clone(&entry));
+        if shard.set.len() >= shard.sweep_at {
+            shard.set.retain(|s| Arc::strong_count(s) > 1);
+            shard.sweep_at = (shard.set.len() * 2).max(SWEEP_FLOOR);
+        }
+        entry
+    }
+
+    fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("intern pool poisoned").set.len() as u64)
+            .sum()
+    }
+}
+
+/// A snapshot of the pool's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Pool lookups answered by an existing entry.
+    pub hits: u64,
+    /// Pool lookups that allocated a new entry.
+    pub misses: u64,
+    /// Total bytes of string data interned (cumulative, not live).
+    pub interned_bytes: u64,
+    /// Entries currently held by the pool.
+    pub entries: u64,
+}
+
+impl InternStats {
+    /// Hits over lookups, 0.0 when the pool was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lifetime pool counters (process-wide).
+pub fn stats() -> InternStats {
+    InternStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        interned_bytes: BYTES.load(Ordering::Relaxed),
+        entries: pool().entries(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn short_strings_are_inline() {
+        let s = Sym::new("FC Barcelona");
+        assert!(s.is_inline());
+        assert_eq!(s.as_str(), "FC Barcelona");
+    }
+
+    #[test]
+    fn long_strings_are_pooled_and_deduplicated() {
+        let text = "a string comfortably longer than the inline capacity";
+        let a = Sym::new(text);
+        let b = Sym::new(text);
+        assert!(!a.is_inline());
+        assert_eq!(a, b);
+        match (&a.0, &b.0) {
+            (Repr::Shared(x), Repr::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("expected pooled representations"),
+        }
+    }
+
+    #[test]
+    fn hash_matches_string_hash() {
+        for text in ["", "short", "x".repeat(100).as_str()] {
+            assert_eq!(hash_of(&Sym::new(text)), hash_of(&text.to_string()));
+        }
+    }
+
+    #[test]
+    fn ordering_matches_str() {
+        let mut syms = [Sym::new("b"), Sym::new("a"), Sym::new("c")];
+        syms.sort();
+        let strs: Vec<&str> = syms.iter().map(Sym::as_str).collect();
+        assert_eq!(strs, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn boundary_lengths_round_trip() {
+        for len in [0, 1, INLINE_CAP - 1, INLINE_CAP, INLINE_CAP + 1, 200] {
+            let text = "x".repeat(len);
+            let sym = Sym::new(&text);
+            assert_eq!(sym.as_str(), text);
+            assert_eq!(sym.is_inline(), len <= INLINE_CAP);
+        }
+    }
+
+    #[test]
+    fn stats_track_pool_traffic() {
+        let before = stats();
+        let text = "another string comfortably longer than the inline cap";
+        let _a = Sym::new(text);
+        let _b = Sym::new(text);
+        let after = stats();
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+        assert!(after.interned_bytes >= before.interned_bytes + text.len() as u64);
+    }
+}

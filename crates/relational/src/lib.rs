@@ -26,6 +26,8 @@
 pub mod algebra;
 pub mod executor;
 pub mod expr;
+pub mod intern;
+pub mod metrics;
 pub mod optimizer;
 pub mod physical;
 pub mod pool;
@@ -40,6 +42,9 @@ pub use executor::{
     Catalog, ErrorKind, ExecError, ExecOptions, Executor, MemoryCatalog, RelationProvider,
 };
 pub use expr::{BinOp, Expr};
+pub use intern::{InternStats, Sym};
+pub use metrics::DataPlaneStats;
+pub use physical::Batch;
 pub use pool::{Pool, PoolStats};
 pub use resilience::{
     BreakerConfig, BreakerRegistry, BreakerSnapshot, Deadline, RetryPolicy, ScanGuard,

@@ -1,0 +1,48 @@
+//! Process-wide data-plane counters.
+//!
+//! The executor increments these as it drains operator trees; the server's
+//! `/metrics` endpoint exposes them next to the pool and breaker gauges so
+//! an operator can see how much data the federation layer is moving and
+//! how well the string intern pool is paying off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::intern::{self, InternStats};
+
+static ROWS_MOVED: AtomicU64 = AtomicU64::new(0);
+static BATCHES_EMITTED: AtomicU64 = AtomicU64::new(0);
+static BRANCHES_SHARED: AtomicU64 = AtomicU64::new(0);
+
+/// Records `rows` tuples crossing the executor's drain loop in one batch.
+pub(crate) fn record_batch(rows: u64) {
+    ROWS_MOVED.fetch_add(rows, Ordering::Relaxed);
+    BATCHES_EMITTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a union branch answered from an identical sibling's result.
+pub(crate) fn record_shared_branch() {
+    BRANCHES_SHARED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time view of the data-plane counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DataPlaneStats {
+    /// Tuples that crossed the executor drain loop (all queries).
+    pub rows_moved: u64,
+    /// Batches emitted by the executor drain loop.
+    pub batches_emitted: u64,
+    /// Union branches deduplicated by subtree fingerprint.
+    pub branches_shared: u64,
+    /// String intern pool counters.
+    pub intern: InternStats,
+}
+
+/// The process-wide data-plane counters.
+pub fn snapshot() -> DataPlaneStats {
+    DataPlaneStats {
+        rows_moved: ROWS_MOVED.load(Ordering::Relaxed),
+        batches_emitted: BATCHES_EMITTED.load(Ordering::Relaxed),
+        branches_shared: BRANCHES_SHARED.load(Ordering::Relaxed),
+        intern: intern::stats(),
+    }
+}

@@ -17,6 +17,20 @@ use crate::algebra::Plan;
 use crate::expr::Expr;
 use crate::schema::Schema;
 
+/// A structural fingerprint of a plan subtree, used by the executor to
+/// detect identical UCQ branches and execute them once. The `Display`
+/// rendering of a plan is deterministic and complete (it is the Figure-8
+/// algebra expression, covering predicates, projections, join keys and
+/// relation names), so equal renderings mean structurally equal plans;
+/// fingerprint hits are still verified with `Plan::eq` by the caller, so a
+/// 64-bit collision can never merge two different branches.
+pub fn subtree_fingerprint(plan: &Plan) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    plan.to_string().hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Cardinality estimates for base relations, used by join ordering.
 pub trait Statistics {
     /// Estimated row count of `relation`, when known.

@@ -49,6 +49,7 @@ pub struct ScanCache {
     entries: Mutex<HashMap<ScanKey, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    rows: AtomicU64,
 }
 
 impl ScanCache {
@@ -88,10 +89,19 @@ impl ScanCache {
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let fetched = fetch().map(Arc::new);
+                if let Ok(rows) = &fetched {
+                    self.rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
+                }
                 *result = Some(fetched.clone());
                 fetched
             }
         }
+    }
+
+    /// Total rows held across all filled entries — the query's input
+    /// cardinality, used to size batches and pre-size join tables.
+    pub fn cached_rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
     }
 
     /// Lifetime hit/miss counts.

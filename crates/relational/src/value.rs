@@ -4,6 +4,8 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use crate::intern::Sym;
+
 /// A dynamically-typed relational value.
 ///
 /// Wrapper rows are dynamically typed (their source APIs are schemaless JSON
@@ -11,19 +13,23 @@ use std::hash::{Hash, Hasher};
 /// and join across types (`25` joins `25.0`): REST APIs routinely disagree on
 /// numeric representation across versions, and joins over identifiers must
 /// survive that.
+///
+/// String cells are interned [`Sym`]s, so cloning a value (and therefore a
+/// tuple) never allocates: short strings are inline, long strings are
+/// refcounted pool entries.
 #[derive(Clone, Debug)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    Str(Sym),
 }
 
 impl Value {
     /// Shorthand string constructor.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Sym::new(s.as_ref()))
     }
 
     /// True when the value is `Null`.
@@ -43,7 +49,7 @@ impl Value {
     /// String view; `None` for non-strings.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -195,7 +201,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::str(v)
     }
 }
 

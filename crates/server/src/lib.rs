@@ -65,6 +65,10 @@ pub struct ServerConfig {
     /// forces sequential execution; `Some(n)` builds a dedicated n-worker
     /// pool.
     pub pool_size: Option<usize>,
+    /// Operator batch width while draining queries. `None` (or `Some(0)`)
+    /// keeps the engine default; the executor still adapts downward for
+    /// small inputs.
+    pub batch_size: Option<usize>,
     /// Durable-store directory. When set, the server recovers the journal
     /// on start (replacing the passed [`Mdm`] with the recovered state when
     /// one exists), appends every steward mutation to the WAL, and serves
@@ -85,6 +89,7 @@ impl Default for ServerConfig {
             max_pending: 64,
             retry_after: Duration::from_secs(1),
             pool_size: None,
+            batch_size: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
         }

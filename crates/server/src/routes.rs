@@ -169,7 +169,7 @@ fn table_json(table: &Table) -> Value {
             mdm_relational::Value::Bool(b) => Value::Bool(*b),
             mdm_relational::Value::Int(i) => Value::int(*i),
             mdm_relational::Value::Float(f) => Value::float(*f),
-            mdm_relational::Value::Str(s) => Value::string(s.clone()),
+            mdm_relational::Value::Str(s) => Value::string(s.as_str()),
         }))
     }));
     Value::object([
@@ -266,6 +266,20 @@ fn metrics(state: &AppState) -> Response {
             ),
         ])
     }));
+    let dp = mdm_relational::metrics::snapshot();
+    let data_plane = Value::object([
+        ("rows_moved", Value::int(dp.rows_moved as i64)),
+        ("batches_emitted", Value::int(dp.batches_emitted as i64)),
+        ("branches_shared", Value::int(dp.branches_shared as i64)),
+        ("intern_hits", Value::int(dp.intern.hits as i64)),
+        ("intern_misses", Value::int(dp.intern.misses as i64)),
+        ("intern_hit_rate", Value::float(dp.intern.hit_rate())),
+        (
+            "interned_bytes",
+            Value::int(dp.intern.interned_bytes as i64),
+        ),
+        ("intern_entries", Value::int(dp.intern.entries as i64)),
+    ]);
     let journal = state.store.as_ref().map(|store| {
         let stats = store.stats();
         Value::object([
@@ -304,6 +318,7 @@ fn metrics(state: &AppState) -> Response {
         ("plan_cache", cache),
         ("availability", availability),
         ("pool", pool),
+        ("data_plane", data_plane),
         ("breakers", breakers),
     ];
     if let Some(journal) = journal {

@@ -44,6 +44,9 @@ impl AppState {
         if let Some(threads) = config.pool_size {
             mdm.set_threads(threads);
         }
+        if let Some(batch) = config.batch_size {
+            mdm.set_batch_size(batch);
+        }
         AppState {
             mdm: RwLock::new(mdm),
             requests: AtomicU64::new(0),

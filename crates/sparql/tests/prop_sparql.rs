@@ -161,7 +161,7 @@ proptest! {
         let mut dataset = mdm_rdf::Dataset::new();
         dataset.default_graph_mut().extend_from(&graph);
         let total = execute_parsed(&total_query, &dataset).unwrap().len();
-        let mut limited = total_query.clone();
+        let mut limited = total_query;
         limited.limit = Some(n);
         limited.offset = Some(k);
         let got = execute_parsed(&limited, &dataset).unwrap().len();

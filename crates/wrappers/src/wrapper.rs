@@ -335,7 +335,7 @@ impl Wrapper {
                 self.bindings
                     .iter()
                     .map(|(_, column)| {
-                        row.get(column)
+                        row.get(column.as_str())
                             .map(|text| Value::from_text(text))
                             .unwrap_or(Value::Null)
                     })
@@ -533,9 +533,12 @@ mod tests {
         let first = w.rows().unwrap();
         let second = w.rows().unwrap();
         assert_eq!(first, second);
-        // The cache holds the computed result; clones reset it.
+        // The cache holds the computed result; clones reset it. The clone
+        // is the behaviour under test, not a copy to optimise away.
         assert!(w.cache.get().is_some());
-        assert!(w.clone().cache.get().is_none());
+        #[allow(clippy::redundant_clone)]
+        let fresh_clone = w.clone();
+        assert!(fresh_clone.cache.get().is_none());
     }
 
     #[test]

@@ -24,7 +24,7 @@ cargo test --release -p mdm-integration-tests --test durability --quiet
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
-echo "==> cargo clippy (all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (all targets, -D warnings -D clippy::redundant_clone)"
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> OK"

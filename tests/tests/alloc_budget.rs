@@ -1,0 +1,91 @@
+//! Allocation-budget regression test for the zero-copy data plane.
+//!
+//! Re-running a warmed E6 query (the paper's 4-branch version-crossing UCQ)
+//! must stay under a recorded heap-allocation ceiling. Interned strings,
+//! shared batches, and selection vectors exist precisely to keep per-query
+//! allocations proportional to result size rather than to (rows × string
+//! columns); this test pins that property so a regression that quietly
+//! reintroduces per-cell `String` clones fails CI instead of only showing
+//! up in benchmarks.
+//!
+//! The counting allocator wraps [`System`] and lives in its own integration
+//! test binary so the count reflects only this file's work.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
+use mdm_relational::{ExecOptions, Executor};
+use mdm_wrappers::workload::{build, WorkloadConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Heap-allocation ceiling for one warmed sequential E6 execution at 10k
+/// rows per wrapper. Measured ~882k allocations on the recording machine
+/// (≈22 per result row: fetch-clone, join, project, δ); the ceiling leaves
+/// ~25% headroom for stdlib drift while still catching a regression that
+/// reintroduces per-cell string clones — those cost one allocation per
+/// string cell per operator, i.e. millions at this scale.
+const E6_10K_ALLOC_CEILING: u64 = 1_100_000;
+
+#[test]
+fn warmed_e6_execution_stays_under_allocation_budget() {
+    // The E6 shape from EXPERIMENTS.md: 2 chained concepts × 2 coexisting
+    // versions per source → a 4-branch UCQ (mdm_bench::mixed_system(2, 2, n)
+    // rebuilt here because the test crate does not depend on mdm-bench).
+    let config = WorkloadConfig {
+        concepts: 2,
+        features_per_concept: 3,
+        versions_per_source: 2,
+        rows_per_wrapper: 10_000,
+        seed: 42,
+    };
+    let eco = build(&config);
+    let mdm = mdm_from_synthetic(&eco).expect("synthetic system builds");
+    let walk = chain_walk(&eco, 2);
+    let rewriting = mdm.rewrite(&walk).expect("rewrites");
+
+    // Warm run: parses wrapper payloads, fills memoized row caches, interns
+    // the string domain. Sequential options keep the count deterministic.
+    let executor = Executor::with_options(mdm.catalog(), ExecOptions::sequential());
+    let warm = executor.run(&rewriting.plan).expect("warm run executes");
+    assert!(!warm.is_empty(), "E6 must produce rows");
+
+    // Measured run: the steady-state query path the server actually serves.
+    let before = allocations();
+    let table = executor
+        .run(&rewriting.plan)
+        .expect("measured run executes");
+    let spent = allocations() - before;
+
+    assert_eq!(table.len(), warm.len(), "warm and measured runs agree");
+    assert!(
+        spent <= E6_10K_ALLOC_CEILING,
+        "warmed E6 @10k spent {spent} allocations, budget is {E6_10K_ALLOC_CEILING}"
+    );
+}

@@ -11,8 +11,8 @@ use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
 use mdm_core::usecase;
 use mdm_core::Mdm;
 use mdm_relational::{
-    Catalog, Deadline, ExecError, ExecOptions, Executor, Plan, Pool, RelationProvider, RetryPolicy,
-    ScanCache, Schema, Tuple, Value,
+    BinOp, Catalog, Deadline, ExecError, ExecOptions, Executor, Expr, Plan, Pool, RelationProvider,
+    RetryPolicy, ScanCache, Schema, Tuple, Value,
 };
 use mdm_wrappers::football;
 use mdm_wrappers::workload::{build, WorkloadConfig};
@@ -69,11 +69,16 @@ fn eight_branches_over_two_wrappers_fetch_each_wrapper_once() {
         wa: Counting::new("wa"),
         wb: Counting::new("wb"),
     };
-    // Eight union branches alternating over the two providers — the shape
-    // a version-crossing UCQ takes when branches share wrappers.
+    // Eight *distinct* union branches alternating over the two providers —
+    // the shape a version-crossing UCQ takes when branches share wrappers.
+    // Each branch carries its own (always-true) predicate so no two
+    // branches are structurally equal and every one consults the cache.
     let plan = Plan::union(
         (0..8)
-            .map(|i| Plan::scan(if i % 2 == 0 { "wa" } else { "wb" }))
+            .map(|i| {
+                Plan::scan(if i % 2 == 0 { "wa" } else { "wb" })
+                    .filter(Expr::col("id").binary(BinOp::Gt, Expr::lit(-1 - i as i64)))
+            })
             .collect(),
     )
     .distinct();
@@ -82,6 +87,38 @@ fn eight_branches_over_two_wrappers_fetch_each_wrapper_once() {
         pool: Some(Arc::new(Pool::new(4))),
         ..ExecOptions::default()
     };
+    let table = Executor::with_options(&catalog, options.clone())
+        .with_scan_cache(&cache)
+        .run(&plan)
+        .unwrap();
+    assert_eq!(
+        table.len(),
+        16,
+        "distinct collapses the 8 overlapping scans"
+    );
+    assert_eq!(catalog.wa.fetches.load(Ordering::Relaxed), 1);
+    assert_eq!(catalog.wb.fetches.load(Ordering::Relaxed), 1);
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.misses, stats.hits),
+        (2, 6),
+        "8 branch scans collapse to 2 provider fetches"
+    );
+
+    // Structurally *identical* branches are shared one level higher: the
+    // executor runs each unique branch once, so duplicates never reach the
+    // scan cache at all — 2 misses, 0 hits, still 1 fetch per wrapper.
+    let catalog = PairCatalog {
+        wa: Counting::new("wa"),
+        wb: Counting::new("wb"),
+    };
+    let plan = Plan::union(
+        (0..8)
+            .map(|i| Plan::scan(if i % 2 == 0 { "wa" } else { "wb" }))
+            .collect(),
+    )
+    .distinct();
+    let cache = ScanCache::new();
     let table = Executor::with_options(&catalog, options)
         .with_scan_cache(&cache)
         .run(&plan)
@@ -92,8 +129,8 @@ fn eight_branches_over_two_wrappers_fetch_each_wrapper_once() {
     let stats = cache.stats();
     assert_eq!(
         (stats.misses, stats.hits),
-        (2, 6),
-        "8 branch scans collapse to 2 provider fetches"
+        (2, 0),
+        "identical branches are deduplicated before the cache is consulted"
     );
 }
 
@@ -188,8 +225,8 @@ proptest! {
             parallel.completeness.executed_branches
         );
         prop_assert_eq!(
-            sequential.completeness.contributors.clone(),
-            parallel.completeness.contributors.clone()
+            &sequential.completeness.contributors,
+            &parallel.completeness.contributors
         );
         prop_assert_eq!(
             sequential.completeness.dropped.len(),
