@@ -29,6 +29,8 @@ pub struct Session {
     pending: Option<(PendingKind, String)>,
     /// A running HTTP server, when `serve` moved the system behind it.
     server: Option<mdm_server::ServerHandle>,
+    /// A running read replica, when `serve --replica-of` started one.
+    replica: Option<mdm_replica::ReplicaHandle>,
     /// Fault-injection seed applied to every loaded system (`--fault-seed`).
     fault_seed: Option<u64>,
     /// Transient-fault rate paired with `fault_seed`.
@@ -81,6 +83,7 @@ impl Session {
             ecosystem: None,
             pending: None,
             server: None,
+            replica: None,
             fault_seed: None,
             fault_rate: 0.3,
             deadline_ms: None,
@@ -503,12 +506,34 @@ impl Session {
         }
     }
 
-    /// `serve [addr]` — moves the loaded system behind an HTTP server.
-    /// The REPL stays usable through `call`, and `stop` brings the (possibly
-    /// stewarded-over-HTTP) system back into the session.
-    fn serve(&mut self, addr: &str) -> Outcome {
-        if self.server.is_some() {
+    /// `serve [addr] [--replica-of primary]` — moves the loaded system
+    /// behind an HTTP server, or (with `--replica-of`) starts a read
+    /// replica following a primary instead. The REPL stays usable through
+    /// `call`, and `stop` brings the (possibly stewarded-over-HTTP) system
+    /// back into the session.
+    fn serve(&mut self, argument: &str) -> Outcome {
+        if self.server.is_some() || self.replica.is_some() {
             return Outcome::Text("a server is already running — 'stop' it first".to_string());
+        }
+        let mut addr = "";
+        let mut primary = None;
+        let mut tokens = argument.split_whitespace();
+        while let Some(token) = tokens.next() {
+            if token == "--replica-of" {
+                match tokens.next() {
+                    Some(p) => primary = Some(p),
+                    None => {
+                        return Outcome::Text(
+                            "usage: serve [addr] --replica-of host:port".to_string(),
+                        )
+                    }
+                }
+            } else {
+                addr = token;
+            }
+        }
+        if let Some(primary) = primary {
+            return self.serve_replica(addr, primary);
         }
         if self.mdm.is_none() {
             return Outcome::Text("no system loaded — run 'setup football' first".to_string());
@@ -541,11 +566,40 @@ impl Session {
         }
     }
 
+    /// `serve [addr] --replica-of primary` — starts a WAL-shipping read
+    /// replica of `primary`. It needs no loaded system: the state arrives
+    /// over the replication stream.
+    fn serve_replica(&mut self, addr: &str, primary: &str) -> Outcome {
+        let mut config = mdm_replica::ReplicaConfig::new(primary);
+        if !addr.is_empty() {
+            config.server.addr = addr.to_string();
+        }
+        config.server.request_deadline = self.deadline_ms.map(Duration::from_millis);
+        match mdm_replica::ReplicaNode::start(config) {
+            Ok(handle) => {
+                let text = format!(
+                    "replica of {primary} serving on http://{}\n\
+                     analyst routes answer at the replay epoch; steward mutations get 421\n\
+                     e.g.  call GET /epoch   (watch replay_lag)\n\
+                     'stop' shuts the replica down",
+                    handle.addr()
+                );
+                self.replica = Some(handle);
+                Outcome::Text(text)
+            }
+            Err(e) => Outcome::Text(format!("failed to start replica: {e}")),
+        }
+    }
+
     /// `call METHOD /path [json-body]` — issues one HTTP request against
     /// the server started with `serve` and pretty-prints the JSON answer.
     fn call(&mut self, argument: &str) -> Outcome {
-        let Some(server) = &self.server else {
-            return Outcome::Text("no server running — start one with 'serve'".to_string());
+        let addr = match (&self.server, &self.replica) {
+            (Some(server), _) => server.addr(),
+            (None, Some(replica)) => replica.addr(),
+            (None, None) => {
+                return Outcome::Text("no server running — start one with 'serve'".to_string())
+            }
         };
         let mut parts = argument.splitn(3, ' ');
         let (method, path) = match (parts.next(), parts.next()) {
@@ -557,7 +611,7 @@ impl Session {
             }
         };
         let body = parts.next().map(str::trim).filter(|b| !b.is_empty());
-        match mdm_server::client::Connection::open(server.addr())
+        match mdm_server::client::Connection::open(addr)
             .and_then(|mut c| c.send(&method, path, body))
         {
             Ok(response) => {
@@ -574,6 +628,10 @@ impl Session {
     /// `stop` — shuts the server down and restores the system into the
     /// session, including every change stewards made over HTTP.
     fn stop_server(&mut self) -> Outcome {
+        if let Some(replica) = self.replica.take() {
+            replica.shutdown();
+            return Outcome::Text("replica stopped".to_string());
+        }
         match self.server.take() {
             Some(handle) => match handle.into_mdm() {
                 Some(mdm) => {
@@ -732,8 +790,10 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   faults [<seed> [rate] | off]  arm/disarm deterministic fault injection; bare
                      'faults' reports the plan, deadline and breaker states
   serve [addr]       expose the system over HTTP (default 127.0.0.1:0; see README)
+  serve [addr] --replica-of host:port
+                     start a read replica following a primary's WAL stream
   call M /path [json] issue one HTTP request against the running server
-  stop               shut the server down, bring the metadata back
+  stop               shut the server (or replica) down, bring the metadata back
   status             governance dashboard (coverage, versions, unmapped wrappers)
   snapshot [file]    dump the metadata snapshot (to stdout or a file)
   restore <file>     load a metadata snapshot
@@ -848,6 +908,22 @@ mod tests {
         session.interpret("nope:Concept { }");
         let err = text(session.interpret("."));
         assert!(err.contains("walk error"), "{err}");
+    }
+
+    #[test]
+    fn serve_replica_of_starts_and_stops() {
+        let mut session = Session::new();
+        // No loaded system needed: replicas bootstrap over the wire. The
+        // primary here refuses connections, so the replica just reports
+        // degraded until stopped.
+        let started = text(session.interpret("serve 127.0.0.1:0 --replica-of 127.0.0.1:1"));
+        assert!(started.contains("replica of 127.0.0.1:1"), "{started}");
+        let health = text(session.interpret("call GET /healthz"));
+        assert!(health.contains("degraded"), "{health}");
+        assert!(health.contains("bootstrapping"), "{health}");
+        let stopped = text(session.interpret("stop"));
+        assert!(stopped.contains("replica stopped"), "{stopped}");
+        assert!(text(session.interpret("serve --replica-of")).contains("usage"));
     }
 
     #[test]

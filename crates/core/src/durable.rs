@@ -17,9 +17,10 @@
 //! succeeds.
 
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use mdm_store::{FsyncPolicy, Store, StoreStats};
+use mdm_store::{FsyncPolicy, ReplicationBatch, Store, StoreStats};
 
 use crate::error::MdmError;
 use crate::journal::{JournalSink, MutationOp};
@@ -49,6 +50,9 @@ struct Inner {
 /// A thread-safe durable journal for one metadata store directory.
 pub struct MetaStore {
     inner: Mutex<Inner>,
+    /// Signalled on every append and compaction so replication streams can
+    /// long-poll for new records instead of spinning.
+    changed: Condvar,
 }
 
 impl MetaStore {
@@ -87,6 +91,7 @@ impl MetaStore {
                         healthy: true,
                         last_error: None,
                     }),
+                    changed: Condvar::new(),
                 });
                 mdm.set_journal(Some(meta.clone()));
                 Ok((meta, mdm, report))
@@ -108,6 +113,7 @@ impl MetaStore {
                         healthy: true,
                         last_error: None,
                     }),
+                    changed: Condvar::new(),
                 });
                 let mut mdm = initial;
                 mdm.set_journal(Some(meta.clone()));
@@ -126,6 +132,9 @@ impl MetaStore {
             Ok(generation) => {
                 inner.healthy = true;
                 inner.last_error = None;
+                // Generation changed: wake long-polling replicas so they
+                // re-bootstrap promptly instead of waiting out the poll.
+                self.changed.notify_all();
                 Ok(generation)
             }
             Err(e) => {
@@ -163,6 +172,48 @@ impl MetaStore {
         self.lock().store.policy()
     }
 
+    /// The live generation number.
+    pub fn generation(&self) -> u64 {
+        self.lock().store.generation()
+    }
+
+    /// Cuts a replication batch for a replica at (`generation`, `from`);
+    /// see [`mdm_store::Store::replication_batch`] for the resync rules.
+    pub fn replication_batch(
+        &self,
+        generation: u64,
+        from: u64,
+        max_records: usize,
+        primary_epoch: u64,
+    ) -> ReplicationBatch {
+        self.lock()
+            .store
+            .replication_batch(generation, from, max_records, primary_epoch)
+    }
+
+    /// Blocks until the store has records past `from` in `generation`, the
+    /// generation changes, or `timeout` elapses — the long-poll primitive
+    /// behind `/replication/stream`. Returns true when there is something
+    /// new to ship.
+    pub fn wait_for_records(&self, generation: u64, from: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.store.generation() != generation || inner.store.wal_len() > from {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) = self
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|poison| poison.into_inner());
+            inner = guard;
+        }
+    }
+
     /// False after a journal write failure: acknowledged mutations since the
     /// failure are **not** durable (`/healthz` reports `degraded`).
     pub fn healthy(&self) -> bool {
@@ -191,6 +242,7 @@ impl JournalSink for MetaStore {
             Ok(()) => {
                 inner.healthy = true;
                 inner.last_error = None;
+                self.changed.notify_all();
                 Ok(())
             }
             Err(e) => {

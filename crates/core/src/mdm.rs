@@ -319,6 +319,29 @@ impl Mdm {
         Ok(registration)
     }
 
+    /// Installs an executable wrapper into the catalog **without** touching
+    /// metadata, the epoch, or the journal. This is the replica hydration
+    /// path: journal replay registers wrapper *metadata* only (payloads are
+    /// data, not metadata), so a replica fetches each payload from its
+    /// primary and installs it here. The wrapper must already be known to
+    /// the replayed metadata — hydrating an undeclared wrapper is an error,
+    /// because plans would never route to it anyway.
+    pub fn hydrate_wrapper(&mut self, wrapper: Wrapper) -> Result<(), MdmError> {
+        let name = wrapper.name();
+        let declared = self
+            .ontology
+            .wrappers()
+            .iter()
+            .any(|iri| iri.local_name() == name);
+        if !declared {
+            return Err(MdmError::Registration(format!(
+                "cannot hydrate wrapper '{name}': not declared in the replayed metadata"
+            )));
+        }
+        self.catalog.register(wrapper);
+        Ok(())
+    }
+
     /// Registers a wrapper's *metadata* (source-graph schema) without a
     /// runnable payload. This is what the journal replays on recovery —
     /// wrapper payloads are data, not metadata, so like

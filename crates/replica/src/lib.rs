@@ -1,0 +1,587 @@
+//! # mdm-replica
+//!
+//! WAL-shipping read replicas for `mdm-server`. A [`ReplicaNode`] serves
+//! the full analyst API from its own [`Mdm`], kept in sync by pulling the
+//! primary's replication stream:
+//!
+//! 1. **Bootstrap** — the first `/replication/stream` response carries the
+//!    primary's snapshot generation; the replica restores it into a fresh
+//!    `Mdm` and swaps it behind the server's lock.
+//! 2. **Replay** — subsequent responses carry CRC-framed WAL records; each
+//!    decodes to a [`MutationOp`] and replays through the same apply path
+//!    crash recovery uses, so the replica's metadata (and epoch) is
+//!    byte-identical to a primary restored at the same offset.
+//! 3. **Hydrate** — the journal ships metadata only; wrapper payloads are
+//!    fetched separately (`/replication/wrapper?name=`) and installed into
+//!    the execution catalog without touching the epoch.
+//! 4. **Follow** — caught up, the replica long-polls; a steward mutation
+//!    on the primary lands here within one poll cycle.
+//!
+//! The node serves reads at its replay epoch throughout — including while
+//! disconnected (state `disconnected`, still trustworthy, just stale).
+//! Two conditions make it refuse to pretend otherwise: before the first
+//! bootstrap `/healthz` reports `degraded` (there is nothing real to
+//! serve), and a record that fails to decode or apply **poisons** the node
+//! terminally (its state may have diverged; `/healthz` carries the
+//! offending WAL offset). Steward mutations are answered with
+//! `421 Misdirected Request` pointing at the primary.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mdm_core::{Mdm, MutationOp};
+use mdm_dataform::{json, Value};
+use mdm_server::client::Connection;
+use mdm_server::replication::{ReplicaState, ReplicaStatus};
+use mdm_server::state::AppState;
+use mdm_server::{serve_replica_aware, ServerConfig, ServerHandle};
+use mdm_store::ReplicationBatch;
+use mdm_wrappers::{Format, Release, Signature, Wrapper};
+
+/// How a replica node connects to its primary and serves locally.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// The primary's `host:port`.
+    pub primary: String,
+    /// The local server (bind address, workers, shedding) — `data_dir` is
+    /// ignored: a replica's durability is the primary's journal.
+    pub server: ServerConfig,
+    /// Identifier reported to the primary (`/metrics` lag gauges). Empty
+    /// picks `replica-<port>` after binding.
+    pub id: String,
+    /// Long-poll budget per stream request once caught up.
+    pub wait_ms: u64,
+    /// First reconnect delay after a stream failure.
+    pub min_backoff: Duration,
+    /// Reconnect delays double up to this cap.
+    pub max_backoff: Duration,
+}
+
+impl ReplicaConfig {
+    /// Defaults for following `primary`: ephemeral local port, 1 s
+    /// long-poll, 100 ms → 5 s reconnect backoff.
+    pub fn new(primary: impl Into<String>) -> Self {
+        ReplicaConfig {
+            primary: primary.into(),
+            server: ServerConfig::default(),
+            id: String::new(),
+            wait_ms: 1_000,
+            min_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running replica; dropping it (or [`ReplicaHandle::shutdown`]) stops
+/// the sync thread and the local server.
+pub struct ReplicaHandle {
+    addr: SocketAddr,
+    status: Arc<ReplicaStatus>,
+    stopping: Arc<AtomicBool>,
+    server: Option<ServerHandle>,
+    sync: Option<JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    /// The local serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live status latch (tests and the CLI poll it).
+    pub fn status(&self) -> &Arc<ReplicaStatus> {
+        &self.status
+    }
+
+    /// Blocks until the replica has bootstrapped and replayed up to
+    /// `epoch` (or any later one). `false` on timeout or poisoning.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.status.is_bootstrapped()
+                && self.status.replay_epoch.load(Ordering::SeqCst) >= epoch
+            {
+                return true;
+            }
+            if self.status.state() == ReplicaState::Poisoned || Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stops syncing, drains the local server, joins both.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(handle) = self.sync.take() {
+            let _ = handle.join();
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The replica node entry point.
+pub struct ReplicaNode;
+
+impl ReplicaNode {
+    /// Binds the local server (serving immediately — `degraded` until the
+    /// first bootstrap lands) and spawns the sync thread.
+    pub fn start(config: ReplicaConfig) -> io::Result<ReplicaHandle> {
+        let listener = TcpListener::bind(&config.server.addr)?;
+        let addr = listener.local_addr()?;
+        let status = Arc::new(ReplicaStatus::new(config.primary.clone()));
+        let server = serve_replica_aware(
+            listener,
+            &config.server,
+            Mdm::new(),
+            None,
+            Some(Arc::clone(&status)),
+        )?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let id = if config.id.is_empty() {
+            format!("replica-{}", addr.port())
+        } else {
+            config.id.clone()
+        };
+        let ctx = SyncCtx {
+            state: Arc::clone(server.state()),
+            status: Arc::clone(&status),
+            stopping: Arc::clone(&stopping),
+            primary: config.primary.clone(),
+            id,
+            wait_ms: config.wait_ms,
+            min_backoff: config.min_backoff,
+            max_backoff: config.max_backoff,
+        };
+        let sync = thread::Builder::new()
+            .name("mdm-replica-sync".to_string())
+            .spawn(move || sync_loop(ctx))?;
+        Ok(ReplicaHandle {
+            addr,
+            status,
+            stopping,
+            server: Some(server),
+            sync: Some(sync),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sync thread
+// ---------------------------------------------------------------------
+
+struct SyncCtx {
+    state: Arc<AppState>,
+    status: Arc<ReplicaStatus>,
+    stopping: Arc<AtomicBool>,
+    primary: String,
+    id: String,
+    wait_ms: u64,
+    min_backoff: Duration,
+    max_backoff: Duration,
+}
+
+impl SyncCtx {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+}
+
+/// Where the replica's replay stands in the primary's WAL.
+#[derive(Clone, Copy, Default)]
+struct Cursor {
+    generation: u64,
+    from: u64,
+}
+
+/// Why a sync session ended.
+enum SessionEnd {
+    /// Shutdown requested.
+    Stopping,
+    /// A record failed to decode or apply — terminal, thread exits.
+    Poisoned,
+    /// Transport or protocol failure — reconnect with backoff.
+    Disconnected(String),
+}
+
+fn sync_loop(ctx: SyncCtx) {
+    let mut backoff = ctx.min_backoff;
+    let mut cursor = Cursor::default();
+    // Wrapper names registered in metadata whose payloads still need
+    // fetching; survives reconnects so a failed hydration retries.
+    let mut pending_wrappers = BTreeSet::new();
+    while !ctx.stopping() {
+        match sync_session(&ctx, &mut cursor, &mut pending_wrappers, &mut backoff) {
+            SessionEnd::Stopping | SessionEnd::Poisoned => break,
+            SessionEnd::Disconnected(error) => {
+                // A bootstrapped replica keeps serving its epoch while
+                // reconnecting; an unbootstrapped one stays degraded.
+                if ctx.status.is_bootstrapped() {
+                    ctx.status.set_state(ReplicaState::Disconnected);
+                }
+                ctx.status.set_error(Some(error));
+                ctx.status.reconnects.fetch_add(1, Ordering::SeqCst);
+                sleep_unless_stopping(&ctx, backoff);
+                backoff = (backoff * 2).min(ctx.max_backoff);
+            }
+        }
+    }
+}
+
+/// Sleeps in slices so shutdown never waits out a full backoff.
+fn sleep_unless_stopping(ctx: &SyncCtx, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !ctx.stopping() {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// One connection's worth of streaming: request batches from the cursor,
+/// apply them, long-poll when caught up. Returns when the connection (or
+/// the replica) dies.
+fn sync_session(
+    ctx: &SyncCtx,
+    cursor: &mut Cursor,
+    pending_wrappers: &mut BTreeSet<String>,
+    backoff: &mut Duration,
+) -> SessionEnd {
+    let mut conn = match Connection::open(&ctx.primary) {
+        Ok(conn) => conn,
+        Err(e) => return SessionEnd::Disconnected(format!("connect to primary failed: {e}")),
+    };
+    // The read may legitimately park for the whole long-poll budget.
+    let _ = conn.set_read_timeout(Some(
+        Duration::from_millis(ctx.wait_ms) + Duration::from_secs(10),
+    ));
+    loop {
+        if ctx.stopping() {
+            return SessionEnd::Stopping;
+        }
+        let path = format!(
+            "/replication/stream?generation={}&from={}&wait_ms={}&replica_id={}",
+            cursor.generation, cursor.from, ctx.wait_ms, ctx.id
+        );
+        let raw = match conn.send_raw("GET", &path, None) {
+            Ok(raw) => raw,
+            Err(e) => return SessionEnd::Disconnected(format!("stream request failed: {e}")),
+        };
+        if raw.status != 200 {
+            return SessionEnd::Disconnected(format!(
+                "primary answered HTTP {} to the stream request",
+                raw.status
+            ));
+        }
+        // A frame that fails CRC is a transport problem, not divergence:
+        // reconnect and re-request the same offset.
+        let batch = match ReplicationBatch::decode(&raw.body) {
+            Ok(batch) => batch,
+            Err(e) => return SessionEnd::Disconnected(format!("bad replication frame: {e}")),
+        };
+        match apply_batch(ctx, &mut conn, &batch, cursor, pending_wrappers) {
+            Ok(()) => {
+                *backoff = ctx.min_backoff;
+                ctx.status.set_error(None);
+            }
+            Err(end) => return end,
+        }
+    }
+}
+
+/// Applies one batch: snapshot bootstrap (when present), then record
+/// replay, then wrapper hydration. The cursor advances per record, so a
+/// failure mid-batch resumes exactly where it stopped.
+fn apply_batch(
+    ctx: &SyncCtx,
+    conn: &mut Connection,
+    batch: &ReplicationBatch,
+    cursor: &mut Cursor,
+    pending_wrappers: &mut BTreeSet<String>,
+) -> Result<(), SessionEnd> {
+    ctx.status
+        .primary_epoch
+        .store(batch.primary_epoch, Ordering::SeqCst);
+    if let Some(snapshot) = &batch.snapshot {
+        let mut restored = match Mdm::restore_metadata(snapshot) {
+            Ok(mdm) => mdm,
+            Err(e) => {
+                // The frame passed its CRC, so these bytes are what the
+                // primary meant to send — retrying cannot help.
+                ctx.status
+                    .poison(batch.start, format!("snapshot restore failed: {e}"));
+                return Err(SessionEnd::Poisoned);
+            }
+        };
+        restored.ensure_epoch_at_least(batch.base_epoch);
+        {
+            let mut mdm = ctx.state.mdm.write().expect("state poisoned");
+            *mdm = restored;
+        }
+        ctx.status
+            .generation
+            .store(batch.generation, Ordering::SeqCst);
+        ctx.status.bootstraps.fetch_add(1, Ordering::SeqCst);
+        cursor.generation = batch.generation;
+        cursor.from = batch.start;
+        // The snapshot declares wrappers; their payloads ship separately.
+        pending_wrappers.clear();
+        match fetch_wrapper_names(conn) {
+            Ok(names) => pending_wrappers.extend(names),
+            Err(e) => return Err(SessionEnd::Disconnected(e)),
+        }
+    }
+    for (index, record) in batch.records.iter().enumerate() {
+        let offset = batch.start + index as u64;
+        let op = match MutationOp::decode(&record.payload) {
+            Ok(op) => op,
+            Err(e) => {
+                ctx.status.poison(
+                    offset,
+                    format!("WAL record at offset {offset} failed to decode: {e}"),
+                );
+                return Err(SessionEnd::Poisoned);
+            }
+        };
+        {
+            let mut mdm = ctx.state.mdm.write().expect("state poisoned");
+            if let Err(e) = op.apply(&mut mdm) {
+                ctx.status.poison(
+                    offset,
+                    format!(
+                        "WAL record at offset {offset} ({}) failed to apply: {e}",
+                        op.kind()
+                    ),
+                );
+                return Err(SessionEnd::Poisoned);
+            }
+            mdm.ensure_epoch_at_least(record.epoch);
+        }
+        if let MutationOp::RegisterWrapper { wrapper, .. } = &op {
+            pending_wrappers.insert(wrapper.clone());
+        }
+        ctx.status.records_applied.fetch_add(1, Ordering::SeqCst);
+        cursor.from = offset + 1;
+    }
+    cursor.generation = batch.generation;
+    cursor.from = batch.next_offset();
+    hydrate_pending(ctx, conn, pending_wrappers).map_err(SessionEnd::Disconnected)?;
+    // The gauge is published only now, after wrapper hydration: a reader
+    // of `replay_epoch` (or `wait_for_epoch`) must be able to *query* at
+    // that epoch, not merely know its metadata was applied. Reading the
+    // epoch back from the Mdm also re-publishes after a hydration retry
+    // that rode an empty batch.
+    let replayed = ctx.state.mdm.read().expect("state poisoned").epoch();
+    ctx.status.replay_epoch.store(replayed, Ordering::SeqCst);
+    if batch.snapshot.is_some() {
+        ctx.status.mark_bootstrapped();
+    }
+    ctx.status.set_state(ReplicaState::Replicating);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Wrapper hydration
+// ---------------------------------------------------------------------
+
+/// Asks the primary which wrappers its catalog can execute.
+fn fetch_wrapper_names(conn: &mut Connection) -> Result<Vec<String>, String> {
+    let raw = conn
+        .send_raw("GET", "/replication/wrappers", None)
+        .map_err(|e| format!("wrapper list request failed: {e}"))?;
+    let body = raw
+        .into_ok()
+        .map_err(|e| format!("wrapper list request failed: {e}"))?;
+    let text = String::from_utf8(body).map_err(|_| "wrapper list is not UTF-8".to_string())?;
+    let value = json::parse(&text).map_err(|e| format!("wrapper list is not valid JSON: {e}"))?;
+    Ok(value
+        .get("wrappers")
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default())
+}
+
+/// Fetches and installs every pending wrapper payload. Transport errors
+/// abort (the set persists, so the next session retries); semantic errors
+/// drop the name — a wrapper that cannot hydrate stays unbacked, which
+/// degrades query completeness but never correctness of what is answered.
+fn hydrate_pending(
+    ctx: &SyncCtx,
+    conn: &mut Connection,
+    pending: &mut BTreeSet<String>,
+) -> Result<(), String> {
+    let names: Vec<String> = pending.iter().cloned().collect();
+    for name in names {
+        let raw = conn
+            .send_raw("GET", &format!("/replication/wrapper?name={name}"), None)
+            .map_err(|e| format!("wrapper fetch for '{name}' failed: {e}"))?;
+        if raw.status == 404 {
+            // The primary no longer serves this wrapper; nothing to install.
+            pending.remove(&name);
+            continue;
+        }
+        let body = raw
+            .into_ok()
+            .map_err(|e| format!("wrapper fetch for '{name}' failed: {e}"))?;
+        match parse_wrapper(&body) {
+            Ok(wrapper) => {
+                let mut mdm = ctx.state.mdm.write().expect("state poisoned");
+                if let Err(e) = mdm.hydrate_wrapper(wrapper) {
+                    ctx.status
+                        .set_error(Some(format!("hydration of '{name}' rejected: {e}")));
+                }
+                pending.remove(&name);
+            }
+            Err(e) => {
+                ctx.status
+                    .set_error(Some(format!("wrapper '{name}' payload malformed: {e}")));
+                pending.remove(&name);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds an executable [`Wrapper`] from `/replication/wrapper` JSON.
+fn parse_wrapper(body: &[u8]) -> Result<Wrapper, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let field = |name: &str| -> Result<&str, String> {
+        value
+            .get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing string field '{name}'"))
+    };
+    let name = field("name")?;
+    let source = field("source")?;
+    let payload = field("payload")?;
+    let notes = value
+        .get("notes")
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+    let version = value
+        .get("version")
+        .and_then(Value::as_number)
+        .and_then(|n| n.as_i64())
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| "missing unsigned field 'version'".to_string())?;
+    let format = match value
+        .get("format")
+        .and_then(Value::as_str)
+        .unwrap_or("json")
+    {
+        "json" => Format::Json,
+        "xml" => Format::Xml,
+        "csv" => Format::Csv,
+        other => return Err(format!("unknown format '{other}'")),
+    };
+    let attributes: Vec<String> = value
+        .get("attributes")
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let bindings_object = value
+        .get("bindings")
+        .and_then(Value::as_object)
+        .ok_or_else(|| "missing object field 'bindings'".to_string())?;
+    let mut bindings = Vec::with_capacity(attributes.len());
+    for attribute in &attributes {
+        let column = bindings_object
+            .get(attribute)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("bindings lacks a column for attribute '{attribute}'"))?;
+        bindings.push((attribute.clone(), column.to_string()));
+    }
+    let signature = Signature::new(name, attributes).map_err(|e| e.to_string())?;
+    let release = Release {
+        version,
+        format,
+        body: payload.to_string(),
+        notes: notes.to_string(),
+    };
+    Wrapper::over_release(signature, source, release, bindings).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_round_trips_through_replication_json() {
+        let json_body = br#"{
+            "name": "w1",
+            "source": "PlayersAPI",
+            "version": 3,
+            "format": "json",
+            "payload": "[{\"id\": 1, \"pName\": \"a\"}]",
+            "notes": "",
+            "attributes": ["id", "pName"],
+            "bindings": {"id": "id", "pName": "pName"}
+        }"#;
+        let wrapper = parse_wrapper(json_body).unwrap();
+        assert_eq!(wrapper.name(), "w1");
+        assert_eq!(wrapper.source(), "PlayersAPI");
+        assert_eq!(wrapper.release().version, 3);
+        assert_eq!(wrapper.bindings().len(), 2);
+    }
+
+    #[test]
+    fn malformed_wrapper_json_is_an_error_not_a_panic() {
+        assert!(parse_wrapper(b"not json").is_err());
+        assert!(parse_wrapper(b"{}").is_err());
+        assert!(parse_wrapper(br#"{"name": "w", "source": "s", "version": 1, "payload": "[]", "attributes": ["a"], "bindings": {}}"#).is_err());
+    }
+
+    #[test]
+    fn unbootstrapped_replica_reports_degraded() {
+        // Primary address that refuses connections: the replica must come
+        // up, answer /healthz as degraded, and keep retrying quietly.
+        let mut config = ReplicaConfig::new("127.0.0.1:1");
+        config.min_backoff = Duration::from_millis(10);
+        config.max_backoff = Duration::from_millis(50);
+        let replica = ReplicaNode::start(config).unwrap();
+        let health = mdm_server::client::get(replica.addr(), "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("degraded"), "{}", health.body);
+        assert!(health.body.contains("bootstrapping"), "{}", health.body);
+        let denied = mdm_server::client::post_json(
+            replica.addr(),
+            "/steward/concepts",
+            r#"{"concept": "<http://example.org/X>"}"#,
+        )
+        .unwrap();
+        assert_eq!(denied.status, 421);
+        replica.shutdown();
+    }
+}

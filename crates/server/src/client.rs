@@ -13,6 +13,30 @@ pub struct ClientResponse {
     pub body: String,
 }
 
+/// A response whose body stays raw bytes (replication batches are binary).
+#[derive(Clone, Debug)]
+pub struct RawResponse {
+    pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// Treats non-2xx statuses as errors carrying the (lossy) body text.
+    pub fn into_ok(self) -> Result<Vec<u8>, String> {
+        if (200..300).contains(&self.status) {
+            Ok(self.body)
+        } else {
+            Err(format!(
+                "HTTP {}: {}",
+                self.status,
+                String::from_utf8_lossy(&self.body)
+            ))
+        }
+    }
+}
+
 impl ClientResponse {
     /// Treats non-2xx statuses as errors carrying the body.
     pub fn into_ok(self) -> Result<String, String> {
@@ -52,6 +76,24 @@ impl Connection {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
+        let raw = self.send_raw(method, path, body)?;
+        let body = String::from_utf8(raw.body).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8")
+        })?;
+        Ok(ClientResponse {
+            status: raw.status,
+            headers: raw.headers,
+            body,
+        })
+    }
+
+    /// Sends one request and reads the response body as raw bytes.
+    pub fn send_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<RawResponse> {
         let body = body.unwrap_or_default();
         write!(
             self.stream,
@@ -61,9 +103,14 @@ impl Connection {
         self.stream.flush()?;
         read_client_response(&mut BufReader::new(&mut self.stream))
     }
+
+    /// Bounds how long a read may block (long-polls want a generous cap).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
 }
 
-fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientResponse> {
+fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<RawResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -98,9 +145,7 @@ fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientRespo
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))?;
-    Ok(ClientResponse {
+    Ok(RawResponse {
         status,
         headers,
         body,
@@ -110,6 +155,11 @@ fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<ClientRespo
 /// One-shot GET over a fresh connection.
 pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<ClientResponse> {
     Connection::open(addr)?.send("GET", path, None)
+}
+
+/// One-shot GET of a binary body over a fresh connection.
+pub fn get_raw(addr: impl ToSocketAddrs, path: &str) -> io::Result<RawResponse> {
+    Connection::open(addr)?.send_raw("GET", path, None)
 }
 
 /// One-shot POST of a JSON body over a fresh connection.

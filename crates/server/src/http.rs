@@ -158,6 +158,63 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
     Ok(Some(request))
 }
 
+/// A `BufRead` over a byte slice that reports `WouldBlock` instead of EOF
+/// when the slice runs out. Feeding it to [`read_request`] turns the
+/// blocking parser into an incremental one: `WouldBlock` surfacing from any
+/// depth of the parse means "the buffer holds only a request prefix — read
+/// more bytes and retry", while real protocol errors (`InvalidData`) keep
+/// their meaning. The event loop re-parses from the buffer start on each
+/// attempt; requests are small (bounded by the same limits as the blocking
+/// path), so the re-scan is cheap.
+struct PartialReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl io::Read for PartialReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let remaining = &self.bytes[self.pos..];
+        if remaining.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "need more data"));
+        }
+        let n = remaining.len().min(out.len());
+        out[..n].copy_from_slice(&remaining[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for PartialReader<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.bytes.len() {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "need more data"));
+        }
+        Ok(&self.bytes[self.pos..])
+    }
+
+    fn consume(&mut self, amount: usize) {
+        self.pos = (self.pos + amount).min(self.bytes.len());
+    }
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// * `Ok(Some((request, consumed)))` — a full request; the caller drains
+///   `consumed` bytes from the buffer (pipelined bytes after it stay).
+/// * `Ok(None)` — the buffer holds an incomplete request; read more.
+/// * `Err(InvalidData)` — malformed; answer 400 and close.
+pub fn parse_buffered(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+    let mut reader = PartialReader { bytes: buf, pos: 0 };
+    match read_request(&mut reader) {
+        Ok(Some(request)) => Ok(Some((request, reader.pos))),
+        // `read_request` only returns None on EOF, which PartialReader
+        // never reports; treat it as "incomplete" for robustness.
+        Ok(None) => Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// A response ready to serialise.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -189,6 +246,16 @@ impl Response {
         }
     }
 
+    /// A binary response (replication batches).
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
     /// Adds an extra header (builder style).
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.headers.push((name, value.into()));
@@ -203,6 +270,8 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        421 => "Misdirected Request",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -295,6 +364,39 @@ mod tests {
         assert!(text.contains("Retry-After: 2\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
         assert_eq!(status_text(504), "Gateway Timeout");
+    }
+
+    #[test]
+    fn partial_buffers_parse_incrementally() {
+        let full = b"POST /analyst/query HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every proper prefix is "incomplete", never an error.
+        for cut in 0..full.len() {
+            assert!(
+                parse_buffered(&full[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (request, consumed) = parse_buffered(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(request.body_text().unwrap(), "body");
+    }
+
+    #[test]
+    fn pipelined_bytes_stay_in_buffer() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse_buffered(two).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        let (second, rest) = parse_buffered(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn buffered_garbage_is_invalid_data() {
+        let err = parse_buffered(b"NOT-HTTP\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = parse_buffered(b"GET /x HTTP/2\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

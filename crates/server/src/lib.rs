@@ -8,14 +8,22 @@
 //!
 //! Architecture:
 //!
-//! * [`http`] — request parsing / response writing (keep-alive, bounded).
+//! * [`event_loop`] — a poll(2)-based readiness loop owning every
+//!   connection (nonblocking accepts, incremental parsing, buffered
+//!   writes), with route execution on a fixed worker pool so slow queries
+//!   never stall the loop. Load shedding (503 + `Retry-After`) happens in
+//!   the loop before a request ever reaches a worker.
+//! * [`http`] — request parsing / response writing (keep-alive, bounded),
+//!   both blocking (client side) and incremental (server side).
 //! * [`state`] — one [`mdm_core::Mdm`] behind an `RwLock`: steward routes
 //!   write, analyst routes read concurrently. Every steward mutation bumps
 //!   the metadata **epoch**; analyst rewrites go through the epoch-keyed
 //!   plan cache inside `Mdm`, so repeated dashboards cost one rewriting
 //!   per metadata change, and a release can never serve a stale plan.
 //! * [`routes`] — the JSON route table (`/steward/*`, `/analyst/*`,
-//!   `/healthz`, `/metrics`).
+//!   `/healthz`, `/metrics`, `/epoch`, `/replication/*`).
+//! * [`replication`] — primary-side stream gauges and the replica status
+//!   latch `mdm-replica` publishes into.
 //! * [`client`] — a tiny blocking HTTP client for the CLI, tests, benches.
 //!
 //! ```no_run
@@ -25,22 +33,25 @@
 //! ```
 
 pub mod client;
+mod event_loop;
 pub mod http;
+pub mod replication;
 pub mod routes;
 pub mod state;
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use mdm_core::{FsyncPolicy, Mdm, MetaStore};
 
-use crate::http::{read_request, write_response, Response};
+use crate::event_loop::{CompletionQueue, EventLoop, Job};
+use crate::replication::ReplicaStatus;
 use crate::state::AppState;
 
 /// Listener configuration.
@@ -55,8 +66,8 @@ pub struct ServerConfig {
     /// Deadline budget for each analyst query; defaults to `read_timeout`
     /// when `None`, so a query can never outlive its connection.
     pub request_deadline: Option<Duration>,
-    /// Accepted connections allowed to wait for a worker before new ones
-    /// are shed with `503 Service Unavailable`.
+    /// Parsed requests allowed to wait for a worker before new ones are
+    /// shed with `503 Service Unavailable`.
     pub max_pending: usize,
     /// The `Retry-After` hint sent with 503 responses.
     pub retry_after: Duration,
@@ -77,6 +88,9 @@ pub struct ServerConfig {
     /// WAL durability policy for `data_dir`: fsync every record (`Always`,
     /// the default), at most once per interval, or never (OS decides).
     pub fsync: FsyncPolicy,
+    /// Dedicated workers for `/replication/stream` long-polls, so replica
+    /// catch-up never occupies the analyst/steward pool.
+    pub stream_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,23 +106,19 @@ impl Default for ServerConfig {
             batch_size: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            stream_workers: 2,
         }
     }
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
-/// stops the listener and joins every worker.
-/// One slot per worker holding a clone of the connection it is serving,
-/// so shutdown can force-close blocked keep-alive reads instead of waiting
-/// out their read timeout.
-type ConnSlots = Vec<Mutex<Option<TcpStream>>>;
-
+/// stops the event loop and joins every worker.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Option<Arc<AppState>>,
     stopping: Arc<AtomicBool>,
-    slots: Arc<ConnSlots>,
-    acceptor: Option<JoinHandle<()>>,
+    completions: Arc<CompletionQueue>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -123,14 +133,14 @@ impl ServerHandle {
         self.state.as_ref().expect("server state taken")
     }
 
-    /// Stops accepting, drains the workers and joins all threads.
+    /// Stops accepting, drains in-flight work and joins all threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     /// Stops the server and hands back the [`Mdm`] it was serving (with
     /// everything stewards changed while it ran). `None` only if a worker
-    /// leaked a state reference, which joining the pool prevents.
+    /// leaked a state reference, which joining every thread prevents.
     pub fn into_mdm(mut self) -> Option<Mdm> {
         self.stop();
         let state = self.state.take()?;
@@ -145,30 +155,19 @@ impl ServerHandle {
         if self.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.drain();
-    }
-
-    fn drain(&mut self) {
-        // Unblock the acceptor with one last connection to ourselves.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
+        // Wake the poll loop so it observes the flag: it stops accepting,
+        // closes idle connections, lets in-flight requests complete and
+        // flush, and exits. Dropping the job senders (owned by the loop)
+        // then stops the workers, which first answer every queued job with
+        // `503 server is shutting down`.
+        self.completions.wake_loop();
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
-        }
-        // Graceful drain: shut down only the *read* side of in-flight
-        // connections. Workers blocked in a keep-alive read see EOF and
-        // return immediately, while a worker mid-request still owns a
-        // writable socket and flushes its response before closing.
-        for slot in self.slots.iter() {
-            if let Ok(guard) = slot.lock() {
-                if let Some(stream) = guard.as_ref() {
-                    let _ = stream.shutdown(std::net::Shutdown::Read);
-                }
-            }
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        // With every worker joined, no more journal appends can happen:
+        // With every thread joined, no more journal appends can happen:
         // flush + fsync so every acknowledged mutation is durable before
         // the process exits (graceful-drain durability guarantee).
         if let Some(state) = &self.state {
@@ -185,32 +184,10 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds, spawns the acceptor and the worker pool, and returns immediately.
+/// Binds, spawns the event loop and the worker pool, returns immediately.
 pub fn serve(config: ServerConfig, mdm: Mdm) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     serve_on(listener, &config, mdm)
-}
-
-/// The 503 answered without a worker: queue saturated or server draining.
-/// The request is drained (briefly) before responding, so the close sends
-/// a clean FIN instead of resetting the connection under the client's read.
-fn shed_connection(stream: TcpStream, state: &AppState, reason: &str) {
-    state.count_request();
-    state.count_error();
-    state.count_shed();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
-    if let Ok(clone) = stream.try_clone() {
-        let _ = read_request(&mut BufReader::new(clone));
-    }
-    let response = Response::json(
-        503,
-        format!("{{\"error\":{{\"category\":\"overload\",\"message\":{reason:?}}}}}"),
-    )
-    .with_header("Retry-After", state.retry_after_secs.to_string());
-    let mut writer = BufWriter::new(stream);
-    let _ = write_response(&mut writer, &response, false);
 }
 
 /// Like [`serve`], over an already-bound listener — callers that must not
@@ -245,130 +222,95 @@ pub fn serve_prepared(
     mdm: Mdm,
     store: Option<Arc<MetaStore>>,
 ) -> io::Result<ServerHandle> {
+    serve_replica_aware(listener, config, mdm, store, None)
+}
+
+/// The full entry point: [`serve_prepared`] plus an optional replica
+/// status latch. `mdm-replica` uses this to front its replaying [`Mdm`]
+/// with a server whose routes know they are serving a replica.
+pub fn serve_replica_aware(
+    listener: TcpListener,
+    config: &ServerConfig,
+    mdm: Mdm,
+    store: Option<Arc<MetaStore>>,
+    replica: Option<Arc<ReplicaStatus>>,
+) -> io::Result<ServerHandle> {
     let workers = config.workers.max(1);
+    let stream_workers = config.stream_workers.max(1);
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(mdm, config, store));
+    let state = Arc::new(AppState::new(mdm, config, store, replica));
     let stopping = Arc::new(AtomicBool::new(false));
 
-    let (sender, receiver) = mpsc::channel::<TcpStream>();
-    let receiver = Arc::new(Mutex::new(receiver));
-    let slots: Arc<ConnSlots> = Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+    // Self-pipe: workers (and shutdown) write a byte to interrupt poll(2).
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    let completions = Arc::new(CompletionQueue::new(wake_tx));
 
-    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-        .map(|index| {
-            let receiver = Arc::clone(&receiver);
-            let state = Arc::clone(&state);
-            let stopping = Arc::clone(&stopping);
-            let slots = Arc::clone(&slots);
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let (stream_tx, stream_rx) = mpsc::channel::<Job>();
+
+    let mut worker_handles = Vec::with_capacity(workers + stream_workers);
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    for index in 0..workers {
+        let receiver = Arc::clone(&jobs_rx);
+        let state = Arc::clone(&state);
+        let stopping = Arc::clone(&stopping);
+        let completions = Arc::clone(&completions);
+        worker_handles.push(
             thread::Builder::new()
                 .name(format!("mdm-worker-{index}"))
-                .spawn(move || loop {
-                    let stream = {
-                        let guard = receiver.lock().expect("job queue poisoned");
-                        guard.recv()
-                    };
-                    match stream {
-                        Ok(stream) if stopping.load(Ordering::SeqCst) => {
-                            // Draining: tell queued-but-unserved clients to
-                            // retry instead of silently dropping them.
-                            state.queued.fetch_sub(1, Ordering::SeqCst);
-                            shed_connection(stream, &state, "server is shutting down");
-                        }
-                        Ok(stream) => {
-                            state.queued.fetch_sub(1, Ordering::SeqCst);
-                            *slots[index].lock().expect("slot poisoned") = stream.try_clone().ok();
-                            handle_connection(stream, &state, &stopping);
-                            *slots[index].lock().expect("slot poisoned") = None;
-                        }
-                        Err(_) => break, // sender dropped: shutting down
-                    }
-                })
-                .expect("failed to spawn worker thread")
-        })
-        .collect();
-
-    let acceptor = {
-        let stopping = Arc::clone(&stopping);
+                .spawn(move || event_loop::worker_loop(receiver, state, stopping, completions))
+                .expect("failed to spawn worker thread"),
+        );
+    }
+    let stream_rx = Arc::new(Mutex::new(stream_rx));
+    for index in 0..stream_workers {
+        let receiver = Arc::clone(&stream_rx);
         let state = Arc::clone(&state);
+        let stopping = Arc::clone(&stopping);
+        let completions = Arc::clone(&completions);
+        worker_handles.push(
+            thread::Builder::new()
+                .name(format!("mdm-stream-{index}"))
+                .spawn(move || event_loop::worker_loop(receiver, state, stopping, completions))
+                .expect("failed to spawn stream worker thread"),
+        );
+    }
+
+    let event_loop = {
+        let state = Arc::clone(&state);
+        let stopping = Arc::clone(&stopping);
+        let completions = Arc::clone(&completions);
         thread::Builder::new()
-            .name("mdm-acceptor".to_string())
+            .name("mdm-event-loop".to_string())
             .spawn(move || {
-                // `sender` moves in here; dropping it on exit stops workers.
-                for stream in listener.incoming() {
-                    if stopping.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            if state.queued.load(Ordering::SeqCst) >= state.max_pending {
-                                shed_connection(stream, &state, "worker queue is saturated");
-                                continue;
-                            }
-                            state.queued.fetch_add(1, Ordering::SeqCst);
-                            if sender.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
+                EventLoop {
+                    listener,
+                    state,
+                    stopping,
+                    wake_rx,
+                    completions,
+                    jobs: jobs_tx,
+                    stream_jobs: stream_tx,
                 }
+                .run()
             })
-            .expect("failed to spawn acceptor thread")
+            .expect("failed to spawn event-loop thread")
     };
 
     Ok(ServerHandle {
         addr,
         state: Some(state),
         stopping,
-        slots,
-        acceptor: Some(acceptor),
+        completions,
+        event_loop: Some(event_loop),
         workers: worker_handles,
     })
-}
-
-/// Serves one connection: requests in a keep-alive loop until the peer
-/// closes, asks to close, sends garbage (answered with a 400), or the
-/// server starts draining (the in-flight request still completes).
-fn handle_connection(stream: TcpStream, state: &AppState, stopping: &AtomicBool) {
-    stream.set_read_timeout(Some(state.read_timeout)).ok();
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut writer = BufWriter::new(stream);
-    loop {
-        match read_request(&mut reader) {
-            Ok(Some(request)) => {
-                let draining = stopping.load(Ordering::SeqCst);
-                let keep_alive = request.keep_alive() && !draining;
-                let response = routes::dispatch(state, &request);
-                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Ok(None) => return, // clean close between requests
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                state.count_request();
-                state.count_error();
-                let response = Response::json(
-                    400,
-                    format!(
-                        "{{\"error\":{{\"category\":\"protocol\",\"message\":{:?}}}}}",
-                        e.to_string()
-                    ),
-                );
-                let _ = write_response(&mut writer, &response, false);
-                return;
-            }
-            Err(_) => return, // timeout or reset
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpStream;
 
     #[test]
     fn serve_and_shutdown_round_trip() {
@@ -426,6 +368,37 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_split_across_many_writes_still_parses() {
+        use std::io::{Read, Write};
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        for chunk in raw.chunks(5) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_idle_connections_do_not_block_service() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        // Far more connections than workers; the blocking server would
+        // starve here because each idle keep-alive pinned a worker.
+        let idle: Vec<TcpStream> = (0..32)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        let health = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        drop(idle);
         server.shutdown();
     }
 }

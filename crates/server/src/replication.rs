@@ -1,0 +1,266 @@
+//! Replication bookkeeping shared between the HTTP layer and `mdm-replica`.
+//!
+//! Two sides live here because both are rendered by the same routes:
+//!
+//! * [`ReplicationHub`] — primary-side gauges: how many records were
+//!   shipped, how many stream requests arrived, and which replicas checked
+//!   in recently (with their offsets, so `/metrics` can report lag).
+//! * [`ReplicaStatus`] — replica-side state: the sync thread publishes its
+//!   lifecycle (`bootstrapping → replicating ⇄ disconnected`, or terminal
+//!   `poisoned`), replay epoch, and the primary's epoch, and the routes
+//!   answer `/healthz`, `/epoch`, and steward 421s from it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A replica is "connected" when it long-polled within this window (the
+/// poll cycle is ~1 s, so 10 s tolerates several missed rounds).
+pub const CONNECTED_WINDOW: Duration = Duration::from_secs(10);
+
+/// Primary-side view of one replica that recently hit `/replication/stream`.
+#[derive(Clone, Debug)]
+pub struct PeerInfo {
+    pub id: String,
+    /// The `from` offset of the replica's latest request.
+    pub offset: u64,
+    /// Records still ahead of the replica when it last asked.
+    pub lag_records: u64,
+    pub last_seen: Instant,
+}
+
+/// Primary-side replication gauges.
+#[derive(Default)]
+pub struct ReplicationHub {
+    /// WAL records shipped to replicas since start.
+    pub streamed_records: AtomicU64,
+    /// `/replication/stream` requests served since start.
+    pub stream_requests: AtomicU64,
+    /// Snapshot (re-)bootstraps served since start.
+    pub snapshots_served: AtomicU64,
+    peers: Mutex<HashMap<String, PeerInfo>>,
+}
+
+impl ReplicationHub {
+    /// Records one stream request from `id` at `offset` with `lag_records`
+    /// still to ship.
+    pub fn observe(&self, id: &str, offset: u64, lag_records: u64) {
+        let mut peers = self
+            .peers
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        peers.insert(
+            id.to_string(),
+            PeerInfo {
+                id: id.to_string(),
+                offset,
+                lag_records,
+                last_seen: Instant::now(),
+            },
+        );
+    }
+
+    /// Replicas seen within [`CONNECTED_WINDOW`], most recent first.
+    pub fn connected_peers(&self) -> Vec<PeerInfo> {
+        let peers = self
+            .peers
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let now = Instant::now();
+        let mut live: Vec<PeerInfo> = peers
+            .values()
+            .filter(|p| now.duration_since(p.last_seen) <= CONNECTED_WINDOW)
+            .cloned()
+            .collect();
+        live.sort_by_key(|p| std::cmp::Reverse(p.last_seen));
+        live
+    }
+}
+
+/// Lifecycle of a replica's sync thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// No snapshot applied yet — the node serves nothing trustworthy.
+    Bootstrapping,
+    /// Bootstrapped and following the primary's WAL.
+    Replicating,
+    /// Stream lost; reconnecting with backoff (still serving its epoch).
+    Disconnected,
+    /// A record failed to decode or apply; replay is halted for good.
+    Poisoned,
+}
+
+impl ReplicaState {
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicaState::Bootstrapping => "bootstrapping",
+            ReplicaState::Replicating => "replicating",
+            ReplicaState::Disconnected => "disconnected",
+            ReplicaState::Poisoned => "poisoned",
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            ReplicaState::Bootstrapping => 0,
+            ReplicaState::Replicating => 1,
+            ReplicaState::Disconnected => 2,
+            ReplicaState::Poisoned => 3,
+        }
+    }
+
+    fn from_u64(value: u64) -> ReplicaState {
+        match value {
+            1 => ReplicaState::Replicating,
+            2 => ReplicaState::Disconnected,
+            3 => ReplicaState::Poisoned,
+            _ => ReplicaState::Bootstrapping,
+        }
+    }
+}
+
+/// Replica-side status latch, written by the sync thread and read by the
+/// routes. Plain atomics: readers never block the replay path.
+pub struct ReplicaStatus {
+    /// The primary's address, advertised in 421 redirects.
+    pub primary: String,
+    state: AtomicU64,
+    /// True once a snapshot has ever been applied (never reset — a replica
+    /// that bootstrapped once keeps serving through disconnects).
+    bootstrapped: AtomicU64,
+    /// Epoch the local `Mdm` has replayed up to.
+    pub replay_epoch: AtomicU64,
+    /// The primary's epoch as of the last batch received.
+    pub primary_epoch: AtomicU64,
+    /// Store generation the replica is following.
+    pub generation: AtomicU64,
+    /// WAL records applied since start.
+    pub records_applied: AtomicU64,
+    /// Snapshot (re-)bootstraps performed.
+    pub bootstraps: AtomicU64,
+    /// Reconnect attempts after stream loss.
+    pub reconnects: AtomicU64,
+    /// WAL offset of the record that poisoned replay (meaningful only in
+    /// the poisoned state).
+    poisoned_offset: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl ReplicaStatus {
+    pub fn new(primary: impl Into<String>) -> Self {
+        ReplicaStatus {
+            primary: primary.into(),
+            state: AtomicU64::new(ReplicaState::Bootstrapping.as_u64()),
+            bootstrapped: AtomicU64::new(0),
+            replay_epoch: AtomicU64::new(0),
+            primary_epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            bootstraps: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            poisoned_offset: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    pub fn state(&self) -> ReplicaState {
+        ReplicaState::from_u64(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Transitions the lifecycle. The poisoned state is terminal: once a
+    /// record fails to apply the replica must not silently resume, because
+    /// its state may have diverged from the primary's.
+    pub fn set_state(&self, next: ReplicaState) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+                (ReplicaState::from_u64(current) != ReplicaState::Poisoned).then_some(next.as_u64())
+            });
+    }
+
+    /// Marks the first successful bootstrap.
+    pub fn mark_bootstrapped(&self) {
+        self.bootstrapped.store(1, Ordering::SeqCst);
+    }
+
+    /// True once a snapshot has ever been applied.
+    pub fn is_bootstrapped(&self) -> bool {
+        self.bootstrapped.load(Ordering::SeqCst) == 1
+    }
+
+    /// Poisons the health latch: records the offending WAL offset and the
+    /// error, and moves to the terminal state.
+    pub fn poison(&self, offset: u64, message: impl Into<String>) {
+        self.poisoned_offset.store(offset, Ordering::SeqCst);
+        self.set_error(Some(message.into()));
+        self.state
+            .store(ReplicaState::Poisoned.as_u64(), Ordering::SeqCst);
+    }
+
+    pub fn poisoned_offset(&self) -> u64 {
+        self.poisoned_offset.load(Ordering::SeqCst)
+    }
+
+    pub fn set_error(&self, message: Option<String>) {
+        *self
+            .last_error
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner()) = message;
+    }
+
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+
+    /// `primary_epoch − replay_epoch`, saturating: how far behind the
+    /// replica believes it is.
+    pub fn replay_lag(&self) -> u64 {
+        self.primary_epoch
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.replay_epoch.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_is_terminal() {
+        let status = ReplicaStatus::new("127.0.0.1:1");
+        status.set_state(ReplicaState::Replicating);
+        assert_eq!(status.state(), ReplicaState::Replicating);
+        status.poison(7, "bad record");
+        assert_eq!(status.state(), ReplicaState::Poisoned);
+        assert_eq!(status.poisoned_offset(), 7);
+        status.set_state(ReplicaState::Replicating);
+        assert_eq!(status.state(), ReplicaState::Poisoned);
+        assert!(status.last_error().unwrap().contains("bad record"));
+    }
+
+    #[test]
+    fn lag_saturates() {
+        let status = ReplicaStatus::new("127.0.0.1:1");
+        status.primary_epoch.store(5, Ordering::SeqCst);
+        status.replay_epoch.store(9, Ordering::SeqCst);
+        assert_eq!(status.replay_lag(), 0);
+        status.primary_epoch.store(12, Ordering::SeqCst);
+        assert_eq!(status.replay_lag(), 3);
+    }
+
+    #[test]
+    fn hub_tracks_connected_peers() {
+        let hub = ReplicationHub::default();
+        assert!(hub.connected_peers().is_empty());
+        hub.observe("r1", 3, 2);
+        hub.observe("r2", 5, 0);
+        hub.observe("r1", 5, 0);
+        let peers = hub.connected_peers();
+        assert_eq!(peers.len(), 2);
+        assert!(peers.iter().all(|p| p.offset == 5 && p.lag_records == 0));
+    }
+}

@@ -21,13 +21,24 @@
 //! | POST | `/analyst/explain` | `{"walk"}` — the derivation narration |
 //! | POST | `/analyst/query`   | `{"walk"}` — executes, returns the table |
 //!
-//! Plus `GET /healthz`, `GET /metrics`, and — when the server runs with a
-//! durable `data_dir` — `POST /admin/compact`, which folds the journal
-//! into a fresh snapshot generation. `/healthz` reports `degraded` when
-//! the journal became unwritable (acknowledged mutations may not be
-//! durable). Element names in bodies are prefixed names (`ex:Player`) or
-//! bracketed IRIs, resolved against the ontology's prefix map exactly like
-//! the walk DSL.
+//! Plus `GET /healthz`, `GET /metrics`, `GET /epoch`, and — when the
+//! server runs with a durable `data_dir` — `POST /admin/compact`, which
+//! folds the journal into a fresh snapshot generation, and the replication
+//! endpoints replicas feed from:
+//!
+//! | GET | `/replication/stream`   | binary snapshot/WAL batch (long-poll) |
+//! | GET | `/replication/wrappers` | names of executable wrappers |
+//! | GET | `/replication/wrapper`  | `?name=` one wrapper's payload |
+//!
+//! `/healthz` reports `degraded` when the journal became unwritable
+//! (acknowledged mutations may not be durable) and on a replica that has
+//! not completed bootstrap (or whose replay is poisoned). On a replica,
+//! steward mutations and `/admin/compact` answer `421 Misdirected Request`
+//! with a `Location` pointing at the primary. Element names in bodies are
+//! prefixed names (`ex:Player`) or bracketed IRIs, resolved against the
+//! ontology's prefix map exactly like the walk DSL.
+
+use std::time::Duration;
 
 use mdm_core::mapping::MappingBuilder;
 use mdm_core::walk::Walk;
@@ -54,6 +65,10 @@ pub fn dispatch(state: &AppState, request: &Request) -> Response {
 const PATHS: &[(&str, &str)] = &[
     ("GET", "/healthz"),
     ("GET", "/metrics"),
+    ("GET", "/epoch"),
+    ("GET", "/replication/stream"),
+    ("GET", "/replication/wrappers"),
+    ("GET", "/replication/wrapper"),
     ("POST", "/steward/concepts"),
     ("POST", "/steward/features"),
     ("POST", "/steward/relations"),
@@ -73,10 +88,32 @@ const PATHS: &[(&str, &str)] = &[
 fn route(state: &AppState, request: &Request) -> Response {
     let method = request.method.as_str();
     let path = request.path.as_str();
+    // A replica serves reads at its replay epoch; every metadata mutation
+    // belongs on the primary. 421 tells a well-behaved client it knocked
+    // on the wrong node, and `Location` says where to go instead.
+    if let Some(replica) = &state.replica {
+        let mutation =
+            method == "POST" && (path.starts_with("/steward/") || path == "/admin/compact");
+        if mutation {
+            return error_response(
+                421,
+                "replication",
+                &format!(
+                    "this node is a read replica; send steward mutations to the primary at {}",
+                    replica.primary
+                ),
+            )
+            .with_header("Location", format!("http://{}{}", replica.primary, path));
+        }
+    }
     match (method, path) {
         ("GET", "/") => index(),
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
+        ("GET", "/epoch") => epoch(state),
+        ("GET", "/replication/stream") => replication_stream(state, request),
+        ("GET", "/replication/wrappers") => replication_wrappers(state),
+        ("GET", "/replication/wrapper") => replication_wrapper(state, request),
         ("POST", "/steward/concepts") => steward_concepts(state, request),
         ("POST", "/steward/features") => steward_features(state, request),
         ("POST", "/steward/relations") => steward_relations(state, request),
@@ -197,9 +234,16 @@ fn index() -> Response {
 
 fn healthz(state: &AppState) -> Response {
     let mdm = state.mdm.read().expect("state poisoned");
-    // `degraded`: the service answers, but the journal is unwritable, so
-    // acknowledged mutations since the failure may not be durable.
-    let degraded = state.store.as_ref().is_some_and(|s| !s.healthy());
+    // `degraded`: the service answers, but something undermines trust in
+    // the answers — the journal is unwritable (acknowledged mutations may
+    // not be durable), or this is a replica that never bootstrapped (it
+    // would serve an empty ontology as if it were real) or whose replay
+    // poisoned (its state may have diverged from the primary's).
+    let journal_degraded = state.store.as_ref().is_some_and(|s| !s.healthy());
+    let replica_degraded = state.replica.as_ref().is_some_and(|r| {
+        !r.is_bootstrapped() || r.state() == crate::replication::ReplicaState::Poisoned
+    });
+    let degraded = journal_degraded || replica_degraded;
     let mut fields = vec![
         (
             "status",
@@ -212,7 +256,49 @@ fn healthz(state: &AppState) -> Response {
             fields.push(("journal_error", Value::string(error)));
         }
     }
+    if let Some(replica) = &state.replica {
+        fields.push(("replica_state", Value::string(replica.state().label())));
+        fields.push(("replay_lag", Value::int(replica.replay_lag() as i64)));
+        if replica.state() == crate::replication::ReplicaState::Poisoned {
+            fields.push((
+                "poisoned_offset",
+                Value::int(replica.poisoned_offset() as i64),
+            ));
+        }
+        if let Some(error) = replica.last_error() {
+            fields.push(("replica_error", Value::string(error)));
+        }
+    }
     ok_json(Value::object(fields))
+}
+
+/// `GET /epoch`: the minimal staleness probe — the metadata epoch this
+/// node answers queries at, the store generation backing it, and (on a
+/// replica) how far behind the primary it believes it is.
+fn epoch(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    let (role, store_generation, replay_lag) = match &state.replica {
+        Some(replica) => (
+            "replica",
+            replica.generation.load(std::sync::atomic::Ordering::SeqCst),
+            replica.replay_lag(),
+        ),
+        None => (
+            if state.store.is_some() {
+                "primary"
+            } else {
+                "single"
+            },
+            state.store.as_ref().map_or(0, |s| s.generation()),
+            0,
+        ),
+    };
+    ok_json(Value::object([
+        ("metadata_epoch", Value::int(mdm.epoch() as i64)),
+        ("store_generation", Value::int(store_generation as i64)),
+        ("replay_lag", Value::int(replay_lag as i64)),
+        ("role", Value::string(role)),
+    ]))
 }
 
 fn metrics(state: &AppState) -> Response {
@@ -324,6 +410,70 @@ fn metrics(state: &AppState) -> Response {
     if let Some(journal) = journal {
         fields.push(("journal", journal));
     }
+    let replication = match &state.replica {
+        Some(replica) => Value::object([
+            ("role", Value::string("replica")),
+            ("state", Value::string(replica.state().label())),
+            (
+                "replay_epoch",
+                Value::int(replica.replay_epoch.load(Relaxed) as i64),
+            ),
+            (
+                "primary_epoch",
+                Value::int(replica.primary_epoch.load(Relaxed) as i64),
+            ),
+            ("replay_lag", Value::int(replica.replay_lag() as i64)),
+            (
+                "records_applied",
+                Value::int(replica.records_applied.load(Relaxed) as i64),
+            ),
+            (
+                "bootstraps",
+                Value::int(replica.bootstraps.load(Relaxed) as i64),
+            ),
+            (
+                "reconnects",
+                Value::int(replica.reconnects.load(Relaxed) as i64),
+            ),
+        ]),
+        None => {
+            let peers = state.replication.connected_peers();
+            Value::object([
+                (
+                    "role",
+                    Value::string(if state.store.is_some() {
+                        "primary"
+                    } else {
+                        "single"
+                    }),
+                ),
+                (
+                    "streamed_records",
+                    Value::int(state.replication.streamed_records.load(Relaxed) as i64),
+                ),
+                (
+                    "stream_requests",
+                    Value::int(state.replication.stream_requests.load(Relaxed) as i64),
+                ),
+                (
+                    "snapshots_served",
+                    Value::int(state.replication.snapshots_served.load(Relaxed) as i64),
+                ),
+                ("connected_replicas", Value::int(peers.len() as i64)),
+                (
+                    "replicas",
+                    Value::array(peers.into_iter().map(|p| {
+                        Value::object([
+                            ("id", Value::string(p.id)),
+                            ("offset", Value::int(p.offset as i64)),
+                            ("lag_records", Value::int(p.lag_records as i64)),
+                        ])
+                    })),
+                ),
+            ])
+        }
+    };
+    fields.push(("replication", replication));
     ok_json(Value::object(fields))
 }
 
@@ -347,6 +497,152 @@ fn admin_compact(state: &AppState) -> Response {
         ])),
         Err(e) => mdm_error_response(&e),
     }
+}
+
+// ---------------------------------------------------------------------
+// Replication routes (what replicas feed from)
+// ---------------------------------------------------------------------
+
+/// Most WAL records shipped per stream response; a lagging replica loops
+/// until the batch reports `caught_up`.
+const MAX_STREAM_RECORDS: usize = 1024;
+
+/// Longest a stream request may long-poll before answering empty.
+const MAX_STREAM_WAIT_MS: u64 = 30_000;
+
+/// The value of `name` in the request's query string, if present.
+fn query_param<'r>(request: &'r Request, name: &str) -> Option<&'r str> {
+    request.query.as_deref()?.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        (key == name).then_some(value)
+    })
+}
+
+/// An unsigned query parameter, defaulting to 0 when absent.
+fn u64_param(request: &Request, name: &str) -> Result<u64, Response> {
+    match query_param(request, name) {
+        None => Ok(0),
+        Some(raw) => raw.parse().map_err(|_| {
+            error_response(
+                400,
+                "protocol",
+                &format!("query parameter '{name}' must be an unsigned integer"),
+            )
+        }),
+    }
+}
+
+/// `GET /replication/stream?generation=G&from=N&wait_ms=W&replica_id=ID`:
+/// the WAL tail from offset `N` of generation `G`, as a binary
+/// [`ReplicationBatch`]. When `G` is stale or `N` ran past the WAL, the
+/// batch carries a full snapshot and restarts the replica from offset 0 —
+/// the protocol is self-correcting, never an error. A caught-up replica
+/// long-polls: the request parks up to `wait_ms` (capped at 30 s) on the
+/// store's condvar and returns as soon as a mutation lands.
+fn replication_stream(state: &AppState, request: &Request) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
+    let Some(store) = &state.store else {
+        return error_response(
+            409,
+            "replication",
+            "server runs without a data_dir; nothing to replicate",
+        );
+    };
+    let params = (|| {
+        Ok((
+            u64_param(request, "generation")?,
+            u64_param(request, "from")?,
+            u64_param(request, "wait_ms")?,
+        ))
+    })();
+    let (generation, from, wait_ms) = match params {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let wait_ms = wait_ms.min(MAX_STREAM_WAIT_MS);
+    let replica_id = query_param(request, "replica_id").unwrap_or("anonymous");
+    state.replication.stream_requests.fetch_add(1, Relaxed);
+    let mut waited = false;
+    loop {
+        let batch = {
+            // The read lock orders the primary epoch with the WAL view:
+            // no mutation can commit between reading the epoch and
+            // slicing the records.
+            let mdm = state.mdm.read().expect("state poisoned");
+            store.replication_batch(generation, from, MAX_STREAM_RECORDS, mdm.epoch())
+        };
+        if batch.snapshot.is_some() || !batch.records.is_empty() || waited || wait_ms == 0 {
+            state
+                .replication
+                .streamed_records
+                .fetch_add(batch.records.len() as u64, Relaxed);
+            if batch.snapshot.is_some() {
+                state.replication.snapshots_served.fetch_add(1, Relaxed);
+            }
+            let lag = batch.wal_len.saturating_sub(batch.next_offset());
+            state.replication.observe(replica_id, from, lag);
+            return Response::binary(200, batch.encode());
+        }
+        store.wait_for_records(generation, from, Duration::from_millis(wait_ms));
+        waited = true;
+    }
+}
+
+/// `GET /replication/wrappers`: names of the wrappers this node can
+/// execute. The journal ships metadata only, so a bootstrapping replica
+/// asks here which wrapper payloads to hydrate.
+fn replication_wrappers(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    ok_json(Value::object([
+        (
+            "wrappers",
+            Value::array(mdm.catalog().names().into_iter().map(Value::string)),
+        ),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ]))
+}
+
+/// `GET /replication/wrapper?name=X`: one wrapper's full release — enough
+/// for a replica to rebuild the executable wrapper via hydration.
+fn replication_wrapper(state: &AppState, request: &Request) -> Response {
+    let Some(name) = query_param(request, "name") else {
+        return error_response(400, "protocol", "missing query parameter 'name'");
+    };
+    let mdm = state.mdm.read().expect("state poisoned");
+    let Some(wrapper) = mdm.catalog().get(name) else {
+        return error_response(404, "replication", &format!("no wrapper named '{name}'"));
+    };
+    let release = wrapper.release();
+    let format = match release.format {
+        Format::Json => "json",
+        Format::Xml => "xml",
+        Format::Csv => "csv",
+    };
+    let bindings = Value::object(
+        wrapper
+            .bindings()
+            .iter()
+            .map(|(attribute, column)| (attribute.clone(), Value::string(column.as_str()))),
+    );
+    ok_json(Value::object([
+        ("name", Value::string(wrapper.name())),
+        ("source", Value::string(wrapper.source())),
+        ("version", Value::int(release.version as i64)),
+        ("format", Value::string(format)),
+        ("payload", Value::string(release.body.as_str())),
+        ("notes", Value::string(release.notes.as_str())),
+        (
+            "attributes",
+            Value::array(
+                wrapper
+                    .signature()
+                    .attributes()
+                    .iter()
+                    .map(|a| Value::string(a.as_str())),
+            ),
+        ),
+        ("bindings", bindings),
+    ]))
 }
 
 // ---------------------------------------------------------------------

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use mdm_core::{Mdm, MetaStore};
 
+use crate::replication::{ReplicaStatus, ReplicationHub};
 use crate::ServerConfig;
 
 /// Everything a worker thread needs to answer a request.
@@ -37,10 +38,20 @@ pub struct AppState {
     /// `data_dir`. `/admin/compact` folds it, `/metrics` reports its
     /// counters, and `/healthz` flips to `degraded` when it is unhealthy.
     pub store: Option<Arc<MetaStore>>,
+    /// Primary-side replication gauges (`/replication/stream` feeds them).
+    pub replication: ReplicationHub,
+    /// Set when this server fronts a replica: routes consult it for
+    /// `/healthz`, `/epoch`, and to 421 steward mutations to the primary.
+    pub replica: Option<Arc<ReplicaStatus>>,
 }
 
 impl AppState {
-    pub fn new(mut mdm: Mdm, config: &ServerConfig, store: Option<Arc<MetaStore>>) -> Self {
+    pub fn new(
+        mut mdm: Mdm,
+        config: &ServerConfig,
+        store: Option<Arc<MetaStore>>,
+        replica: Option<Arc<ReplicaStatus>>,
+    ) -> Self {
         if let Some(threads) = config.pool_size {
             mdm.set_threads(threads);
         }
@@ -60,6 +71,8 @@ impl AppState {
             request_deadline: config.request_deadline.unwrap_or(config.read_timeout),
             retry_after_secs: config.retry_after.as_secs().max(1),
             store,
+            replication: ReplicationHub::default(),
+            replica,
         }
     }
 

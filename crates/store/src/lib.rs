@@ -39,9 +39,11 @@
 
 pub mod crc;
 pub mod error;
+pub mod ship;
 pub mod store;
 pub mod wal;
 
 pub use error::StoreError;
+pub use ship::ReplicationBatch;
 pub use store::{Recovered, Store, StoreStats};
 pub use wal::{read_wal, FsyncPolicy, WalRecord, MAX_RECORD_BYTES};

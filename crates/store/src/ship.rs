@@ -1,0 +1,297 @@
+//! WAL shipping: the binary frame format a primary uses to stream its
+//! generation snapshot and journal records to read replicas.
+//!
+//! A batch is self-describing and self-correcting: it always names the
+//! generation it belongs to, and when the requesting replica's generation
+//! or offset no longer exists on the primary (compaction, restore, a fresh
+//! store), the batch carries the current snapshot so the replica can
+//! re-bootstrap instead of diverging.
+//!
+//! ## Wire layout (all integers little-endian)
+//!
+//! ```text
+//! magic          8 bytes  "MDMREP1\0"
+//! version        u32      1
+//! flags          u32      bit 0: snapshot frame present
+//! generation     u64      live generation on the primary
+//! base_epoch     u64      epoch of the generation's snapshot
+//! primary_epoch  u64      primary's metadata epoch when the batch was cut
+//! start          u64      WAL index of the first shipped record
+//! wal_len        u64      total records in the generation's WAL right now
+//! [snapshot]     u32 len | u32 crc | bytes        (only when flag bit 0)
+//! record_count   u32
+//! records        record_count × (u32 len | u64 epoch | u32 crc | payload)
+//! ```
+//!
+//! Record frames reuse the WAL's own integrity rule: the CRC-32 covers the
+//! epoch stamp (as 8 LE bytes) followed by the payload, so a replica checks
+//! exactly what recovery checks. The snapshot CRC covers the snapshot bytes.
+
+use crate::crc::Crc32;
+use crate::error::StoreError;
+use crate::wal::{WalRecord, MAX_RECORD_BYTES};
+
+pub(crate) const REP_MAGIC: &[u8; 8] = b"MDMREP1\0";
+pub(crate) const REP_VERSION: u32 = 1;
+const FLAG_SNAPSHOT: u32 = 1;
+/// Snapshots are metadata-scale; cap them like records to bound allocation.
+const MAX_SNAPSHOT_BYTES: u32 = 64 * 1024 * 1024;
+
+/// One shipped batch: an optional snapshot (re-bootstrap) plus a contiguous
+/// run of WAL records starting at `start`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicationBatch {
+    pub generation: u64,
+    /// Epoch of the generation's snapshot (replicas restore to this first).
+    pub base_epoch: u64,
+    /// The primary's metadata epoch when the batch was cut; replicas report
+    /// `primary_epoch - replay_epoch` as their lag.
+    pub primary_epoch: u64,
+    /// WAL index of `records[0]` within the generation.
+    pub start: u64,
+    /// Total records in the generation's WAL at encode time.
+    pub wal_len: u64,
+    /// Present when the replica must (re-)bootstrap from the snapshot.
+    pub snapshot: Option<String>,
+    pub records: Vec<WalRecord>,
+}
+
+impl ReplicationBatch {
+    /// Index of the record *after* the last one shipped — the `from` the
+    /// replica should request next.
+    pub fn next_offset(&self) -> u64 {
+        self.start + self.records.len() as u64
+    }
+
+    /// True when the batch leaves the replica fully caught up.
+    pub fn caught_up(&self) -> bool {
+        self.next_offset() >= self.wal_len
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.snapshot.as_ref().map_or(0, |s| s.len()));
+        out.extend_from_slice(REP_MAGIC);
+        out.extend_from_slice(&REP_VERSION.to_le_bytes());
+        let flags = if self.snapshot.is_some() {
+            FLAG_SNAPSHOT
+        } else {
+            0
+        };
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.base_epoch.to_le_bytes());
+        out.extend_from_slice(&self.primary_epoch.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.wal_len.to_le_bytes());
+        if let Some(snapshot) = &self.snapshot {
+            let bytes = snapshot.as_bytes();
+            let mut crc = Crc32::new();
+            crc.update(bytes);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crc.finish().to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for record in &self.records {
+            let mut crc = Crc32::new();
+            crc.update(&record.epoch.to_le_bytes());
+            crc.update(&record.payload);
+            out.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&record.epoch.to_le_bytes());
+            out.extend_from_slice(&crc.finish().to_le_bytes());
+            out.extend_from_slice(&record.payload);
+        }
+        out
+    }
+
+    /// Decodes and integrity-checks one batch. Any structural or checksum
+    /// failure is `StoreError::Corrupt` — replicas treat that as a poisoned
+    /// stream, not a panic.
+    pub fn decode(bytes: &[u8]) -> Result<ReplicationBatch, StoreError> {
+        let mut reader = FrameReader { bytes, pos: 0 };
+        let magic = reader.take(8)?;
+        if magic != REP_MAGIC {
+            return Err(StoreError::Corrupt(
+                "replication batch: bad magic".to_string(),
+            ));
+        }
+        let version = reader.u32()?;
+        if version != REP_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "replication batch: unsupported version {version}"
+            )));
+        }
+        let flags = reader.u32()?;
+        let generation = reader.u64()?;
+        let base_epoch = reader.u64()?;
+        let primary_epoch = reader.u64()?;
+        let start = reader.u64()?;
+        let wal_len = reader.u64()?;
+        let snapshot = if flags & FLAG_SNAPSHOT != 0 {
+            let len = reader.u32()?;
+            if len > MAX_SNAPSHOT_BYTES {
+                return Err(StoreError::Corrupt(format!(
+                    "replication batch: snapshot of {len} bytes exceeds cap"
+                )));
+            }
+            let expected = reader.u32()?;
+            let body = reader.take(len as usize)?;
+            let mut crc = Crc32::new();
+            crc.update(body);
+            if crc.finish() != expected {
+                return Err(StoreError::Corrupt(
+                    "replication batch: snapshot checksum mismatch".to_string(),
+                ));
+            }
+            let text = String::from_utf8(body.to_vec()).map_err(|_| {
+                StoreError::Corrupt("replication batch: snapshot is not UTF-8".to_string())
+            })?;
+            Some(text)
+        } else {
+            None
+        };
+        let count = reader.u32()?;
+        let mut records = Vec::new();
+        for index in 0..count {
+            let len = reader.u32()?;
+            if len > MAX_RECORD_BYTES {
+                return Err(StoreError::Corrupt(format!(
+                    "replication batch: record {index} of {len} bytes exceeds cap"
+                )));
+            }
+            let epoch = reader.u64()?;
+            let expected = reader.u32()?;
+            let payload = reader.take(len as usize)?;
+            let mut crc = Crc32::new();
+            crc.update(&epoch.to_le_bytes());
+            crc.update(payload);
+            if crc.finish() != expected {
+                return Err(StoreError::Corrupt(format!(
+                    "replication batch: record {} (wal offset {}) checksum mismatch",
+                    index,
+                    start + u64::from(index)
+                )));
+            }
+            records.push(WalRecord {
+                epoch,
+                payload: payload.to_vec(),
+            });
+        }
+        if reader.pos != bytes.len() {
+            return Err(StoreError::Corrupt(format!(
+                "replication batch: {} trailing bytes",
+                bytes.len() - reader.pos
+            )));
+        }
+        Ok(ReplicationBatch {
+            generation,
+            base_epoch,
+            primary_epoch,
+            start,
+            wal_len,
+            snapshot,
+            records,
+        })
+    }
+}
+
+struct FrameReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], StoreError> {
+        if self.bytes.len() - self.pos < len {
+            return Err(StoreError::Corrupt(
+                "replication batch: truncated frame".to_string(),
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReplicationBatch {
+        ReplicationBatch {
+            generation: 3,
+            base_epoch: 10,
+            primary_epoch: 14,
+            start: 2,
+            wal_len: 4,
+            snapshot: Some("SNAPSHOT TEXT".to_string()),
+            records: vec![
+                WalRecord {
+                    epoch: 13,
+                    payload: b"op-a".to_vec(),
+                },
+                WalRecord {
+                    epoch: 14,
+                    payload: b"op-b".to_vec(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let batch = sample();
+        let decoded = ReplicationBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded, batch);
+        assert_eq!(decoded.next_offset(), 4);
+        assert!(decoded.caught_up());
+    }
+
+    #[test]
+    fn round_trip_without_snapshot() {
+        let mut batch = sample();
+        batch.snapshot = None;
+        batch.wal_len = 9;
+        let decoded = ReplicationBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(!decoded.caught_up());
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected() {
+        let batch = sample();
+        let mut bytes = batch.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload byte in the final record
+        let err = ReplicationBatch::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let batch = sample();
+        let bytes = batch.encode();
+        let err = ReplicationBatch::decode(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        let err = ReplicationBatch::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+}

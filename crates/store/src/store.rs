@@ -30,6 +30,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::error::StoreError;
+use crate::ship::ReplicationBatch;
 use crate::wal::{read_wal, FsyncPolicy, WalRecord, WalWriter};
 
 const CURRENT: &str = "CURRENT";
@@ -71,6 +72,15 @@ pub struct Store {
     policy: FsyncPolicy,
     compactions: u64,
     compaction_fsyncs: u64,
+    /// The live generation's snapshot text, kept in memory so replication
+    /// can re-bootstrap replicas without re-reading the file.
+    snapshot: String,
+    /// Epoch of the live generation's snapshot.
+    base_epoch: u64,
+    /// Every record in the live generation's WAL, in append order — the
+    /// in-memory image replication batches are cut from. Metadata-scale
+    /// (compaction resets it), so retention is cheap.
+    recent: Vec<WalRecord>,
 }
 
 impl Store {
@@ -118,6 +128,9 @@ impl Store {
                 policy,
                 compactions: 0,
                 compaction_fsyncs: 0,
+                snapshot: recovered.snapshot.clone(),
+                base_epoch: recovered.base_epoch,
+                recent: recovered.records.clone(),
             },
             recovered,
         )))
@@ -147,6 +160,9 @@ impl Store {
             policy,
             compactions: 0,
             compaction_fsyncs: 0,
+            snapshot: String::new(),
+            base_epoch: epoch,
+            recent: Vec::new(),
         };
         // The initial generation is written through the same protocol as
         // every later compaction, so a crash during init leaves either no
@@ -159,7 +175,12 @@ impl Store {
     /// Appends one opaque mutation record stamped with the post-mutation
     /// epoch, honouring the fsync policy.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StoreError> {
-        self.wal.append(epoch, payload)
+        self.wal.append(epoch, payload)?;
+        self.recent.push(WalRecord {
+            epoch,
+            payload: payload.to_vec(),
+        });
+        Ok(())
     }
 
     /// Flushes and fsyncs the WAL regardless of policy (drain/shutdown).
@@ -196,6 +217,9 @@ impl Store {
         self.wal = wal;
         self.compactions += 1;
         self.compaction_fsyncs += 3; // snapshot + CURRENT + directory
+        self.snapshot = snapshot.to_string();
+        self.base_epoch = epoch;
+        self.recent.clear();
 
         // Best-effort cleanup of the superseded generation.
         fs::remove_file(self.dir.join(snapshot_name(old))).ok();
@@ -221,6 +245,45 @@ impl Store {
 
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Number of records in the live generation's WAL — the offset space
+    /// replicas request from.
+    pub fn wal_len(&self) -> u64 {
+        self.recent.len() as u64
+    }
+
+    /// Epoch of the live generation's snapshot.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Cuts a replication batch for a replica that believes it is at
+    /// (`generation`, `from`). When that position no longer exists — a
+    /// different generation (compaction or restore happened) or an offset
+    /// past the WAL (the replica outran a store swap) — the batch carries
+    /// the current snapshot and restarts the replica from offset 0.
+    /// `primary_epoch` is stamped by the caller, who knows the live
+    /// metadata epoch. At most `max_records` records are shipped.
+    pub fn replication_batch(
+        &self,
+        generation: u64,
+        from: u64,
+        max_records: usize,
+        primary_epoch: u64,
+    ) -> ReplicationBatch {
+        let resync = generation != self.generation || from > self.wal_len();
+        let start = if resync { 0 } else { from as usize };
+        let end = (start + max_records).min(self.recent.len());
+        ReplicationBatch {
+            generation: self.generation,
+            base_epoch: self.base_epoch,
+            primary_epoch,
+            start: start as u64,
+            wal_len: self.wal_len(),
+            snapshot: resync.then(|| self.snapshot.clone()),
+            records: self.recent[start..end].to_vec(),
+        }
     }
 
     pub fn policy(&self) -> FsyncPolicy {

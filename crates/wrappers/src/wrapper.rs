@@ -258,6 +258,12 @@ impl Wrapper {
         &self.bindings
     }
 
+    /// The release this wrapper reads — primaries serialise it so replicas
+    /// can hydrate an identical executable wrapper.
+    pub fn release(&self) -> &Release {
+        &self.release
+    }
+
     /// Attaches a fault schedule: every subsequent [`Wrapper::rows`] call
     /// becomes a fresh simulated fetch drawing its fate from the plan.
     pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {

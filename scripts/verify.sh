@@ -21,6 +21,9 @@ cargo test --release --workspace --quiet
 echo "==> crash-recovery suite (release)"
 cargo test --release -p mdm-integration-tests --test durability --quiet
 
+echo "==> replication suite (release)"
+cargo test --release -p mdm-integration-tests --test replication --quiet
+
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
