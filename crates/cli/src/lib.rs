@@ -268,6 +268,7 @@ impl Session {
             "faults" => self.faults(argument),
             "serve" => self.serve(argument),
             "call" => self.call(argument),
+            "promote" => self.promote(),
             "stop" => self.stop_server(),
             "status" => self.status(),
             "snapshot" => self.snapshot(argument),
@@ -568,13 +569,26 @@ impl Session {
 
     /// `serve [addr] --replica-of primary` — starts a WAL-shipping read
     /// replica of `primary`. It needs no loaded system: the state arrives
-    /// over the replication stream.
+    /// over the replication stream. A session `--data-dir` moves over to
+    /// the node: an old primary's journal there seeds stale reads until
+    /// the rejoin handshake, and a later 'promote' opens its next
+    /// generation in the same place.
     fn serve_replica(&mut self, addr: &str, primary: &str) -> Outcome {
         let mut config = mdm_replica::ReplicaConfig::new(primary);
         if !addr.is_empty() {
             config.server.addr = addr.to_string();
         }
         config.server.request_deadline = self.deadline_ms.map(Duration::from_millis);
+        config.server.fsync = self.fsync;
+        if let Some(dir) = &self.data_dir {
+            // Release the session's handle on the journal first — the
+            // replica node recovers and (on promotion) writes it itself.
+            if let Some(mdm) = self.mdm.as_mut() {
+                mdm.set_journal(None);
+            }
+            self.store = None;
+            config.data_dir = Some(dir.clone());
+        }
         match mdm_replica::ReplicaNode::start(config) {
             Ok(handle) => {
                 let text = format!(
@@ -591,8 +605,11 @@ impl Session {
         }
     }
 
-    /// `call METHOD /path [json-body]` — issues one HTTP request against
-    /// the server started with `serve` and pretty-prints the JSON answer.
+    /// `call [--no-redirect] METHOD /path [json-body]` — issues one HTTP
+    /// request against the server started with `serve` and pretty-prints
+    /// the JSON answer. A `421 Misdirected Request` (steward mutation sent
+    /// to a replica) is followed once to the primary named in its
+    /// `Location` header; `--no-redirect` shows the 421 verbatim instead.
     fn call(&mut self, argument: &str) -> Outcome {
         let addr = match (&self.server, &self.replica) {
             (Some(server), _) => server.addr(),
@@ -601,28 +618,73 @@ impl Session {
                 return Outcome::Text("no server running — start one with 'serve'".to_string())
             }
         };
+        let mut argument = argument.trim();
+        let mut follow = true;
+        if let Some(rest) = argument.strip_prefix("--no-redirect") {
+            follow = false;
+            argument = rest.trim_start();
+        }
         let mut parts = argument.splitn(3, ' ');
-        let (method, path) = match (parts.next(), parts.next()) {
-            (Some(m), Some(p)) if p.starts_with('/') => (m.to_ascii_uppercase(), p),
-            _ => {
-                return Outcome::Text(
-                    "usage: call METHOD /path [json-body]   e.g. call GET /healthz".to_string(),
-                )
-            }
-        };
+        let (method, path) =
+            match (parts.next(), parts.next()) {
+                (Some(m), Some(p)) if p.starts_with('/') => (m.to_ascii_uppercase(), p),
+                _ => return Outcome::Text(
+                    "usage: call [--no-redirect] METHOD /path [json-body]   e.g. call GET /healthz"
+                        .to_string(),
+                ),
+            };
         let body = parts.next().map(str::trim).filter(|b| !b.is_empty());
-        match mdm_server::client::Connection::open(addr)
+        let response = match mdm_server::client::Connection::open(addr)
             .and_then(|mut c| c.send(&method, path, body))
         {
-            Ok(response) => {
-                let rendered = match mdm_dataform::json::parse(&response.body) {
-                    Ok(value) => mdm_dataform::json::to_string_pretty(&value),
-                    Err(_) => response.body,
-                };
-                Outcome::Text(format!("HTTP {}\n{rendered}", response.status))
+            Ok(response) => response,
+            Err(e) => return Outcome::Text(format!("request failed: {e}")),
+        };
+        let mut redirected = None;
+        let response = if follow && response.status == 421 {
+            match response.header("location").and_then(parse_http_location) {
+                Some((target, target_path)) => {
+                    match mdm_server::client::Connection::open(target.as_str())
+                        .and_then(|mut c| c.send(&method, &target_path, body))
+                    {
+                        Ok(followed) => {
+                            redirected = Some(target);
+                            followed
+                        }
+                        Err(e) => {
+                            return Outcome::Text(format!(
+                                "redirect to primary at {target} failed: {e}"
+                            ))
+                        }
+                    }
+                }
+                None => response,
             }
-            Err(e) => Outcome::Text(format!("request failed: {e}")),
+        } else {
+            response
+        };
+        let rendered = match mdm_dataform::json::parse(&response.body) {
+            Ok(value) => mdm_dataform::json::to_string_pretty(&value),
+            Err(_) => response.body,
+        };
+        let preface = match redirected {
+            Some(target) => format!("-> redirected to primary at {target}\n"),
+            None => String::new(),
+        };
+        Outcome::Text(format!("{preface}HTTP {}\n{rendered}", response.status))
+    }
+
+    /// `promote` — asks the running replica to become the primary of a new
+    /// fencing term (drives `POST /admin/promote`).
+    fn promote(&mut self) -> Outcome {
+        if self.replica.is_none() {
+            return Outcome::Text(
+                "no replica running — 'promote' drives POST /admin/promote on a node \
+                 started with 'serve --replica-of'"
+                    .to_string(),
+            );
         }
+        self.call("POST /admin/promote")
     }
 
     /// `stop` — shuts the server down and restores the system into the
@@ -771,6 +833,16 @@ impl Session {
     }
 }
 
+/// Splits an `http://host:port/path` Location value into the socket
+/// address and the path (defaulting to `/`).
+fn parse_http_location(value: &str) -> Option<(String, String)> {
+    let rest = value.strip_prefix("http://")?;
+    match rest.split_once('/') {
+        Some((addr, path)) => Some((addr.to_string(), format!("/{path}"))),
+        None => Some((rest.to_string(), "/".to_string())),
+    }
+}
+
 const HELP: &str = "\
 MDM — Metadata Management System (EDBT 2018 reproduction)
 
@@ -792,7 +864,14 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   serve [addr]       expose the system over HTTP (default 127.0.0.1:0; see README)
   serve [addr] --replica-of host:port
                      start a read replica following a primary's WAL stream
-  call M /path [json] issue one HTTP request against the running server
+                     (with --data-dir: recovers an old primary's journal and
+                     rejoins the new primary, discarding any divergent tail)
+  call [--no-redirect] M /path [json]
+                     issue one HTTP request against the running server; a 421
+                     from a replica is followed once to the primary unless
+                     --no-redirect is given
+  promote            make the running replica the primary of a new fencing
+                     term (POST /admin/promote)
   stop               shut the server (or replica) down, bring the metadata back
   status             governance dashboard (coverage, versions, unmapped wrappers)
   snapshot [file]    dump the metadata snapshot (to stdout or a file)
@@ -924,6 +1003,37 @@ mod tests {
         let stopped = text(session.interpret("stop"));
         assert!(stopped.contains("replica stopped"), "{stopped}");
         assert!(text(session.interpret("serve --replica-of")).contains("usage"));
+    }
+
+    #[test]
+    fn call_follows_a_replica_redirect_to_the_primary() {
+        let mut primary = Session::new();
+        primary.interpret("setup football");
+        let started = text(primary.interpret("serve 127.0.0.1:0"));
+        let addr = started
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap()
+            .to_string();
+        let mut replica = Session::new();
+        let started = text(replica.interpret(&format!("serve 127.0.0.1:0 --replica-of {addr}")));
+        assert!(started.contains("replica of"), "{started}");
+        // A steward mutation on the replica answers 421; by default the
+        // CLI follows the Location header to the primary once.
+        let kept =
+            text(replica.interpret(
+                r#"call --no-redirect POST /steward/concepts {"concept": "ex:Referee"}"#,
+            ));
+        assert!(kept.contains("HTTP 421"), "{kept}");
+        let followed =
+            text(replica.interpret(r#"call POST /steward/concepts {"concept": "ex:Referee"}"#));
+        assert!(followed.contains("redirected to primary"), "{followed}");
+        assert!(followed.contains("HTTP 200"), "{followed}");
+        replica.interpret("stop");
+        primary.interpret("stop");
+        // Without a replica, 'promote' explains itself.
+        assert!(text(Session::new().interpret("promote")).contains("no replica running"));
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct RecoveryReport {
     pub truncated_tail: bool,
     /// True when the store already existed; false when this call created it.
     pub recovered: bool,
+    /// The fencing term the store persists (1 for a fresh store).
+    pub term: u64,
+    /// Epoch at which that term began.
+    pub term_start_epoch: u64,
 }
 
 struct Inner {
@@ -84,6 +88,8 @@ impl MetaStore {
                     replayed: recovered.records.len() as u64,
                     truncated_tail: recovered.truncated_tail,
                     recovered: true,
+                    term: recovered.term,
+                    term_start_epoch: recovered.term_start_epoch,
                 };
                 let meta = std::sync::Arc::new(MetaStore {
                     inner: Mutex::new(Inner {
@@ -106,6 +112,8 @@ impl MetaStore {
                     replayed: 0,
                     truncated_tail: false,
                     recovered: false,
+                    term: store.term(),
+                    term_start_epoch: store.term_start_epoch(),
                 };
                 let meta = std::sync::Arc::new(MetaStore {
                     inner: Mutex::new(Inner {
@@ -172,9 +180,55 @@ impl MetaStore {
         self.lock().store.policy()
     }
 
+    /// Opens (or creates) a store in `dir` for a replica promoting itself
+    /// to primary at `new_term`: `mdm`'s current state becomes the new
+    /// generation's snapshot and the term swap commits atomically with it.
+    /// The journal sink is **not** attached here — the caller swaps it in
+    /// under its own write lock once the server's role flips.
+    pub fn promote_in(
+        dir: &Path,
+        policy: FsyncPolicy,
+        mdm: &Mdm,
+        new_term: u64,
+    ) -> Result<std::sync::Arc<MetaStore>, MdmError> {
+        let snapshot = mdm.snapshot_stamped();
+        let epoch = mdm.epoch();
+        let store = match Store::open(dir, policy).map_err(store_err)? {
+            Some((mut store, _recovered)) => {
+                // An existing store here is the node's own pre-demotion
+                // timeline; the promotion snapshot supersedes it entirely.
+                store
+                    .promote(&snapshot, epoch, new_term)
+                    .map_err(store_err)?;
+                store
+            }
+            None => {
+                Store::create_at_term(dir, policy, &snapshot, epoch, new_term).map_err(store_err)?
+            }
+        };
+        Ok(std::sync::Arc::new(MetaStore {
+            inner: Mutex::new(Inner {
+                store,
+                healthy: true,
+                last_error: None,
+            }),
+            changed: Condvar::new(),
+        }))
+    }
+
     /// The live generation number.
     pub fn generation(&self) -> u64 {
         self.lock().store.generation()
+    }
+
+    /// The fencing term the store persists.
+    pub fn term(&self) -> u64 {
+        self.lock().store.term()
+    }
+
+    /// Epoch at which the current term began.
+    pub fn term_start_epoch(&self) -> u64 {
+        self.lock().store.term_start_epoch()
     }
 
     /// Cuts a replication batch for a replica at (`generation`, `from`);

@@ -108,6 +108,12 @@ impl Connection {
     pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
         self.stream.set_read_timeout(timeout)
     }
+
+    /// A handle onto the underlying socket, so another thread can sever a
+    /// blocked read (`TcpStream::shutdown`) without owning the connection.
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
 }
 
 fn read_client_response(reader: &mut impl io::BufRead) -> io::Result<RawResponse> {

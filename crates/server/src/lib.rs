@@ -171,7 +171,7 @@ impl ServerHandle {
         // flush + fsync so every acknowledged mutation is durable before
         // the process exits (graceful-drain durability guarantee).
         if let Some(state) = &self.state {
-            if let Some(store) = &state.store {
+            if let Some(store) = state.store() {
                 let _ = store.sync();
             }
         }

@@ -11,6 +11,7 @@
 //!   answer `/healthz`, `/epoch`, and steward 421s from it.
 
 use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -145,7 +146,20 @@ pub struct ReplicaStatus {
     /// the poisoned state).
     poisoned_offset: AtomicU64,
     last_error: Mutex<Option<String>>,
+    /// Highest fencing term this replica has observed (from batches or the
+    /// 409 rejoin handshake). 0 until first contact.
+    term: AtomicU64,
+    /// Detach handshake: 0 = attached, 1 = detach requested (promotion is
+    /// waiting), 2 = sync thread exited.
+    detach: AtomicU64,
+    /// The sync thread's live stream connection, so a detach request can
+    /// sever a long-poll instead of waiting it out.
+    stream: Mutex<Option<TcpStream>>,
 }
+
+const ATTACHED: u64 = 0;
+const DETACH_REQUESTED: u64 = 1;
+const DETACHED: u64 = 2;
 
 impl ReplicaStatus {
     pub fn new(primary: impl Into<String>) -> Self {
@@ -161,7 +175,70 @@ impl ReplicaStatus {
             reconnects: AtomicU64::new(0),
             poisoned_offset: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            term: AtomicU64::new(0),
+            detach: AtomicU64::new(ATTACHED),
+            stream: Mutex::new(None),
         }
+    }
+
+    /// Highest fencing term observed from the primary.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::SeqCst)
+    }
+
+    /// Raises the observed term (never lowers it).
+    pub fn observe_term(&self, term: u64) {
+        self.term.fetch_max(term, Ordering::SeqCst);
+    }
+
+    /// Publishes (or clears) the sync thread's live stream connection.
+    pub fn set_stream(&self, stream: Option<TcpStream>) {
+        *self
+            .stream
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner()) = stream;
+    }
+
+    /// Asks the sync thread to exit after finishing the batch in hand, and
+    /// severs its long-poll so it notices immediately.
+    pub fn request_detach(&self) {
+        let _ = self.detach.compare_exchange(
+            ATTACHED,
+            DETACH_REQUESTED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        if let Some(stream) = self
+            .stream
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .as_ref()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// True once a detach has been requested (checked by the sync loop).
+    pub fn detach_requested(&self) -> bool {
+        self.detach.load(Ordering::SeqCst) >= DETACH_REQUESTED
+    }
+
+    /// The sync thread acknowledges its exit (also on normal shutdown, so
+    /// a promotion racing a shutdown cannot hang).
+    pub fn mark_detached(&self) {
+        self.detach.store(DETACHED, Ordering::SeqCst);
+    }
+
+    /// Blocks until the sync thread has exited, up to `timeout`.
+    pub fn wait_detached(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.detach.load(Ordering::SeqCst) != DETACHED {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
     }
 
     pub fn state(&self) -> ReplicaState {
@@ -250,6 +327,20 @@ mod tests {
         assert_eq!(status.replay_lag(), 0);
         status.primary_epoch.store(12, Ordering::SeqCst);
         assert_eq!(status.replay_lag(), 3);
+    }
+
+    #[test]
+    fn detach_handshake_and_term_latch() {
+        let status = ReplicaStatus::new("127.0.0.1:1");
+        assert!(!status.detach_requested());
+        assert!(!status.wait_detached(Duration::from_millis(10)));
+        status.request_detach();
+        assert!(status.detach_requested());
+        status.mark_detached();
+        assert!(status.wait_detached(Duration::from_millis(10)));
+        status.observe_term(3);
+        status.observe_term(2); // never lowers
+        assert_eq!(status.term(), 3);
     }
 
     #[test]

@@ -30,27 +30,37 @@
 //! | GET | `/replication/wrappers` | names of executable wrappers |
 //! | GET | `/replication/wrapper`  | `?name=` one wrapper's payload |
 //!
+//! Failover routes (see the fencing-term section in DESIGN.md):
+//!
+//! | POST | `/admin/promote` | replica → primary at a bumped fencing term |
+//! | POST | `/admin/fence`   | `{"term"}` — fence this node out of term `t` |
+//!
 //! `/healthz` reports `degraded` when the journal became unwritable
 //! (acknowledged mutations may not be durable) and on a replica that has
 //! not completed bootstrap (or whose replay is poisoned). On a replica,
 //! steward mutations and `/admin/compact` answer `421 Misdirected Request`
-//! with a `Location` pointing at the primary. Element names in bodies are
-//! prefixed names (`ex:Player`) or bracketed IRIs, resolved against the
-//! ontology's prefix map exactly like the walk DSL.
+//! with a `Location` pointing at the primary; on a **fenced** node (one
+//! that observed a newer fencing term) they answer `409 Conflict` carrying
+//! `observed_term`, because the true primary is elsewhere and its address
+//! is unknown here. Element names in bodies are prefixed names
+//! (`ex:Player`) or bracketed IRIs, resolved against the ontology's prefix
+//! map exactly like the walk DSL.
 
+use std::sync::atomic::Ordering::SeqCst;
 use std::time::Duration;
 
 use mdm_core::mapping::MappingBuilder;
 use mdm_core::walk::Walk;
 use mdm_core::walk_dsl;
-use mdm_core::{Mdm, MdmError};
+use mdm_core::{JournalSink, Mdm, MdmError, MetaStore};
 use mdm_dataform::{json, Value};
 use mdm_rdf::term::Iri;
 use mdm_relational::{Deadline, Table};
 use mdm_wrappers::{Format, Release, Signature, Wrapper};
 
 use crate::http::{Request, Response};
-use crate::state::AppState;
+use crate::replication::ReplicaState;
+use crate::state::{AppState, RoleState};
 
 /// Routes the request and maintains the request/error counters.
 pub fn dispatch(state: &AppState, request: &Request) -> Response {
@@ -83,6 +93,8 @@ const PATHS: &[(&str, &str)] = &[
     ("POST", "/analyst/explain"),
     ("POST", "/analyst/query"),
     ("POST", "/admin/compact"),
+    ("POST", "/admin/promote"),
+    ("POST", "/admin/fence"),
 ];
 
 fn route(state: &AppState, request: &Request) -> Response {
@@ -90,11 +102,12 @@ fn route(state: &AppState, request: &Request) -> Response {
     let path = request.path.as_str();
     // A replica serves reads at its replay epoch; every metadata mutation
     // belongs on the primary. 421 tells a well-behaved client it knocked
-    // on the wrong node, and `Location` says where to go instead.
-    if let Some(replica) = &state.replica {
-        let mutation =
-            method == "POST" && (path.starts_with("/steward/") || path == "/admin/compact");
-        if mutation {
+    // on the wrong node, and `Location` says where to go instead. (The
+    // failover routes `/admin/promote` and `/admin/fence` deliberately
+    // fall outside this guard: they exist to be called on replicas.)
+    let mutation = method == "POST" && (path.starts_with("/steward/") || path == "/admin/compact");
+    if mutation {
+        if let Some(replica) = state.replica() {
             return error_response(
                 421,
                 "replication",
@@ -104,6 +117,22 @@ fn route(state: &AppState, request: &Request) -> Response {
                 ),
             )
             .with_header("Location", format!("http://{}{}", replica.primary, path));
+        }
+        // A fenced node saw proof of a newer primary: accepting a write
+        // here would fork the timeline. Reads keep serving (stale data,
+        // honestly labelled via /healthz), writes are refused.
+        if state.is_fenced() {
+            state.failover.fenced_rejections.fetch_add(1, SeqCst);
+            return term_error(
+                409,
+                &format!(
+                    "this node was fenced by term {}; it is no longer the primary (own term {})",
+                    state.fenced_by(),
+                    state.current_term()
+                ),
+                state.fenced_by(),
+                None,
+            );
         }
     }
     match (method, path) {
@@ -128,6 +157,8 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("POST", "/analyst/explain") => analyst_explain(state, request),
         ("POST", "/analyst/query") => analyst_query(state, request),
         ("POST", "/admin/compact") => admin_compact(state),
+        ("POST", "/admin/promote") => admin_promote(state),
+        ("POST", "/admin/fence") => admin_fence(state, request),
         _ if PATHS.iter().any(|(_, p)| *p == path) => error_response(
             405,
             "protocol",
@@ -154,6 +185,31 @@ fn error_response(status: u16, category: &str, message: &str) -> Response {
         ]),
     )]);
     Response::json(status, json::to_string(&body))
+}
+
+/// A fencing 409: the standard error envelope plus the responder's
+/// `observed_term` (and, on the rejoin handshake, where that term forked),
+/// so the rejected peer can adopt the newer term and resync.
+fn term_error(
+    status: u16,
+    message: &str,
+    observed_term: u64,
+    term_start_epoch: Option<u64>,
+) -> Response {
+    let mut fields = vec![
+        (
+            "error",
+            Value::object([
+                ("category", Value::string("fencing")),
+                ("message", Value::string(message)),
+            ]),
+        ),
+        ("observed_term", Value::int(observed_term as i64)),
+    ];
+    if let Some(start) = term_start_epoch {
+        fields.push(("term_start_epoch", Value::int(start as i64)));
+    }
+    Response::json(status, json::to_string(&Value::object(fields)))
 }
 
 fn mdm_error_response(error: &MdmError) -> Response {
@@ -233,33 +289,42 @@ fn index() -> Response {
 }
 
 fn healthz(state: &AppState) -> Response {
+    let store = state.store();
+    let replica = state.replica();
     let mdm = state.mdm.read().expect("state poisoned");
     // `degraded`: the service answers, but something undermines trust in
     // the answers — the journal is unwritable (acknowledged mutations may
-    // not be durable), or this is a replica that never bootstrapped (it
+    // not be durable), this is a replica that never bootstrapped (it
     // would serve an empty ontology as if it were real) or whose replay
-    // poisoned (its state may have diverged from the primary's).
-    let journal_degraded = state.store.as_ref().is_some_and(|s| !s.healthy());
-    let replica_degraded = state.replica.as_ref().is_some_and(|r| {
-        !r.is_bootstrapped() || r.state() == crate::replication::ReplicaState::Poisoned
-    });
-    let degraded = journal_degraded || replica_degraded;
+    // poisoned (its state may have diverged from the primary's), or the
+    // node was fenced by a newer term (it serves stale reads only).
+    let journal_degraded = store.as_ref().is_some_and(|s| !s.healthy());
+    let replica_degraded = replica
+        .as_ref()
+        .is_some_and(|r| !r.is_bootstrapped() || r.state() == ReplicaState::Poisoned);
+    let fenced = state.is_fenced();
+    let degraded = journal_degraded || replica_degraded || fenced;
     let mut fields = vec![
         (
             "status",
             Value::string(if degraded { "degraded" } else { "ok" }),
         ),
         ("epoch", Value::int(mdm.epoch() as i64)),
+        ("term", Value::int(state.current_term() as i64)),
     ];
-    if let Some(store) = &state.store {
+    if fenced {
+        fields.push(("fenced", Value::Bool(true)));
+        fields.push(("fenced_by_term", Value::int(state.fenced_by() as i64)));
+    }
+    if let Some(store) = &store {
         if let Some(error) = store.last_error() {
             fields.push(("journal_error", Value::string(error)));
         }
     }
-    if let Some(replica) = &state.replica {
+    if let Some(replica) = &replica {
         fields.push(("replica_state", Value::string(replica.state().label())));
         fields.push(("replay_lag", Value::int(replica.replay_lag() as i64)));
-        if replica.state() == crate::replication::ReplicaState::Poisoned {
+        if replica.state() == ReplicaState::Poisoned {
             fields.push((
                 "poisoned_offset",
                 Value::int(replica.poisoned_offset() as i64),
@@ -276,26 +341,25 @@ fn healthz(state: &AppState) -> Response {
 /// node answers queries at, the store generation backing it, and (on a
 /// replica) how far behind the primary it believes it is.
 fn epoch(state: &AppState) -> Response {
+    let store = state.store();
+    let replica = state.replica();
     let mdm = state.mdm.read().expect("state poisoned");
-    let (role, store_generation, replay_lag) = match &state.replica {
+    let (role, store_generation, replay_lag) = match &replica {
         Some(replica) => (
             "replica",
             replica.generation.load(std::sync::atomic::Ordering::SeqCst),
             replica.replay_lag(),
         ),
         None => (
-            if state.store.is_some() {
-                "primary"
-            } else {
-                "single"
-            },
-            state.store.as_ref().map_or(0, |s| s.generation()),
+            if store.is_some() { "primary" } else { "single" },
+            store.as_ref().map_or(0, |s| s.generation()),
             0,
         ),
     };
     ok_json(Value::object([
         ("metadata_epoch", Value::int(mdm.epoch() as i64)),
         ("store_generation", Value::int(store_generation as i64)),
+        ("term", Value::int(state.current_term() as i64)),
         ("replay_lag", Value::int(replay_lag as i64)),
         ("role", Value::string(role)),
     ]))
@@ -303,6 +367,8 @@ fn epoch(state: &AppState) -> Response {
 
 fn metrics(state: &AppState) -> Response {
     use std::sync::atomic::Ordering::Relaxed;
+    let store = state.store();
+    let replica = state.replica();
     let mdm = state.mdm.read().expect("state poisoned");
     let stats = mdm.cache_stats();
     let cache = Value::object([
@@ -366,7 +432,7 @@ fn metrics(state: &AppState) -> Response {
         ),
         ("intern_entries", Value::int(dp.intern.entries as i64)),
     ]);
-    let journal = state.store.as_ref().map(|store| {
+    let journal = store.as_ref().map(|store| {
         let stats = store.stats();
         Value::object([
             ("wal_records", Value::int(stats.wal_records as i64)),
@@ -410,7 +476,7 @@ fn metrics(state: &AppState) -> Response {
     if let Some(journal) = journal {
         fields.push(("journal", journal));
     }
-    let replication = match &state.replica {
+    let replication = match &replica {
         Some(replica) => Value::object([
             ("role", Value::string("replica")),
             ("state", Value::string(replica.state().label())),
@@ -441,11 +507,7 @@ fn metrics(state: &AppState) -> Response {
             Value::object([
                 (
                     "role",
-                    Value::string(if state.store.is_some() {
-                        "primary"
-                    } else {
-                        "single"
-                    }),
+                    Value::string(if store.is_some() { "primary" } else { "single" }),
                 ),
                 (
                     "streamed_records",
@@ -474,6 +536,31 @@ fn metrics(state: &AppState) -> Response {
         }
     };
     fields.push(("replication", replication));
+    // Failover gauges render on both roles: operators watching a fleet
+    // should see terms and fencing activity wherever they look.
+    fields.push((
+        "failover",
+        Value::object([
+            ("term", Value::int(state.current_term() as i64)),
+            ("fenced", Value::Bool(state.is_fenced())),
+            (
+                "promotions",
+                Value::int(state.failover.promotions.load(Relaxed) as i64),
+            ),
+            (
+                "fenced_rejections",
+                Value::int(state.failover.fenced_rejections.load(Relaxed) as i64),
+            ),
+            (
+                "rejoins",
+                Value::int(state.failover.rejoins.load(Relaxed) as i64),
+            ),
+            (
+                "divergent_records_discarded",
+                Value::int(state.failover.divergent_records_discarded.load(Relaxed) as i64),
+            ),
+        ]),
+    ));
     ok_json(Value::object(fields))
 }
 
@@ -481,7 +568,7 @@ fn metrics(state: &AppState) -> Response {
 /// durable store. Takes the write lock so the snapshot and the WAL swap
 /// are atomic with respect to concurrent steward mutations.
 fn admin_compact(state: &AppState) -> Response {
-    let Some(store) = &state.store else {
+    let Some(store) = state.store() else {
         return error_response(
             409,
             "repository",
@@ -497,6 +584,127 @@ fn admin_compact(state: &AppState) -> Response {
         ])),
         Err(e) => mdm_error_response(&e),
     }
+}
+
+/// `POST /admin/promote`: this replica becomes the primary of a new
+/// fencing term. The sync thread is detached first (severing its
+/// long-poll), so everything durably received has been replayed; then,
+/// under the metadata write lock, a fresh journal generation opens at the
+/// bumped term and the node's role flips to primary in one swap. From the
+/// response on, steward mutations are accepted here and any stale peer is
+/// fenced with 409.
+fn admin_promote(state: &AppState) -> Response {
+    let Some(replica) = state.replica() else {
+        return error_response(
+            409,
+            "fencing",
+            &format!(
+                "this node is not a replica (term {}); only replicas can be promoted",
+                state.current_term()
+            ),
+        );
+    };
+    if replica.state() == ReplicaState::Poisoned {
+        let detail = replica
+            .last_error()
+            .unwrap_or_else(|| "unknown error".to_string());
+        return error_response(
+            409,
+            "fencing",
+            &format!(
+                "replica replay is poisoned at WAL offset {} ({detail}); \
+                 its state may have diverged from the primary's — refusing promotion",
+                replica.poisoned_offset()
+            ),
+        );
+    }
+    if !replica.is_bootstrapped() {
+        return error_response(
+            409,
+            "fencing",
+            "replica never bootstrapped; it holds no replicated state to promote",
+        );
+    }
+    // Stop replaying before reading the final state: the sync loop applies
+    // each batch fully before requesting the next, so once it exits,
+    // everything durably received has been applied.
+    replica.request_detach();
+    if !replica.wait_detached(Duration::from_secs(15)) {
+        return error_response(
+            503,
+            "fencing",
+            "replication thread did not detach in time; retry promotion",
+        );
+    }
+    let new_term = replica.term().max(1) + 1;
+    let mut mdm = state.mdm.write().expect("state poisoned");
+    let store = match &state.promote_dir {
+        Some(dir) => match MetaStore::promote_in(dir, state.fsync, &mdm, new_term) {
+            Ok(store) => Some(store),
+            Err(e) => return mdm_error_response(&e),
+        },
+        None => None,
+    };
+    mdm.set_journal(store.clone().map(|s| s as std::sync::Arc<dyn JournalSink>));
+    let generation = store.as_ref().map_or(0, |s| s.generation());
+    state.set_role(RoleState {
+        store,
+        replica: None,
+    });
+    state.set_solo_term(new_term);
+    state.failover.promotions.fetch_add(1, SeqCst);
+    ok_json(Value::object([
+        ("ok", Value::Bool(true)),
+        ("role", Value::string("primary")),
+        ("term", Value::int(new_term as i64)),
+        ("generation", Value::int(generation as i64)),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ]))
+}
+
+/// `POST /admin/fence {"term": N}`: informs this node that term `N`
+/// exists elsewhere. A primary (or single node) with an older term latches
+/// the fence and stops accepting writes; a replica raises the term it
+/// presents upstream, so a stale primary is rejected at next contact.
+fn admin_fence(state: &AppState, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let term = match body
+        .get("term")
+        .and_then(Value::as_number)
+        .and_then(|n| n.as_i64())
+        .and_then(|n| u64::try_from(n).ok())
+    {
+        Some(t) => t,
+        None => return error_response(400, "protocol", "missing unsigned field 'term'"),
+    };
+    if let Some(replica) = state.replica() {
+        replica.observe_term(term);
+        return ok_json(Value::object([
+            ("ok", Value::Bool(true)),
+            ("role", Value::string("replica")),
+            ("term", Value::int(replica.term() as i64)),
+        ]));
+    }
+    let own = state.current_term();
+    if term > own {
+        state.fence(term);
+        return ok_json(Value::object([
+            ("ok", Value::Bool(true)),
+            ("fenced", Value::Bool(true)),
+            ("term", Value::int(own as i64)),
+            ("fenced_by_term", Value::int(state.fenced_by() as i64)),
+        ]));
+    }
+    state.failover.fenced_rejections.fetch_add(1, SeqCst);
+    term_error(
+        409,
+        &format!("fence term {term} is not newer than this node's term {own}"),
+        own,
+        None,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -539,9 +747,17 @@ fn u64_param(request: &Request, name: &str) -> Result<u64, Response> {
 /// the protocol is self-correcting, never an error. A caught-up replica
 /// long-polls: the request parks up to `wait_ms` (capped at 30 s) on the
 /// store's condvar and returns as soon as a mutation lands.
+///
+/// `&term=T` carries the highest fencing term the replica has observed
+/// (0 on first contact). A mismatch is the failover handshake: a replica
+/// presenting a *newer* term fences this primary on the spot (it lost an
+/// election it never saw); a replica presenting an *older* term is told
+/// the current term and its start epoch so it can discard its divergent
+/// tail and resync. Both answer 409 — replication never serves records
+/// across a term boundary.
 fn replication_stream(state: &AppState, request: &Request) -> Response {
     use std::sync::atomic::Ordering::Relaxed;
-    let Some(store) = &state.store else {
+    let Some(store) = state.store() else {
         return error_response(
             409,
             "replication",
@@ -553,12 +769,53 @@ fn replication_stream(state: &AppState, request: &Request) -> Response {
             u64_param(request, "generation")?,
             u64_param(request, "from")?,
             u64_param(request, "wait_ms")?,
+            u64_param(request, "term")?,
         ))
     })();
-    let (generation, from, wait_ms) = match params {
+    let (generation, from, wait_ms, req_term) = match params {
         Ok(t) => t,
         Err(r) => return r,
     };
+    let own_term = store.term();
+    if state.is_fenced() {
+        state.failover.fenced_rejections.fetch_add(1, SeqCst);
+        return term_error(
+            409,
+            &format!(
+                "this primary (term {own_term}) is fenced by term {}; it no longer serves replication",
+                state.fenced_by()
+            ),
+            state.fenced_by(),
+            None,
+        );
+    }
+    if req_term > own_term {
+        // The replica has seen a newer primary than us: we are stale.
+        // Fence ourselves so steward writes stop immediately.
+        state.fence(req_term);
+        state.failover.fenced_rejections.fetch_add(1, SeqCst);
+        return term_error(
+            409,
+            &format!(
+                "replica presented term {req_term}, newer than this primary's term {own_term}; fencing"
+            ),
+            req_term,
+            None,
+        );
+    }
+    if req_term != 0 && req_term < own_term {
+        // Stale replica (likely a demoted primary rejoining): hand it the
+        // current term and its fork epoch so it can discard its tail.
+        state.failover.fenced_rejections.fetch_add(1, SeqCst);
+        return term_error(
+            409,
+            &format!(
+                "replica term {req_term} is older than this primary's term {own_term}; resync required"
+            ),
+            own_term,
+            Some(store.term_start_epoch()),
+        );
+    }
     let wait_ms = wait_ms.min(MAX_STREAM_WAIT_MS);
     let replica_id = query_param(request, "replica_id").unwrap_or("anonymous");
     state.replication.stream_requests.fetch_add(1, Relaxed);
@@ -960,14 +1217,14 @@ fn steward_restore(state: &AppState, request: &Request) -> Response {
         Ok(mut restored) => {
             restored.ensure_epoch_at_least(mdm.epoch() + 1);
             *mdm = restored;
-            if let Some(store) = &state.store {
+            if let Some(store) = state.store() {
                 // A restore replaces the whole state, which no journal op
                 // expresses: fold it into a fresh generation and re-attach
                 // the sink so subsequent mutations journal again.
                 if let Err(e) = store.compact(&mdm) {
                     return mdm_error_response(&e);
                 }
-                mdm.set_journal(Some(store.clone()));
+                mdm.set_journal(Some(store));
             }
             ack(&mdm, Vec::new())
         }

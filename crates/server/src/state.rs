@@ -4,15 +4,49 @@
 //! Steward routes take the write lock (they mutate metadata and bump the
 //! epoch); analyst routes take the read lock, so any number of queries run
 //! concurrently and all share the epoch-keyed plan cache inside [`Mdm`].
+//!
+//! The server's **role** (primary with a journal, replica with a status
+//! latch, or plain in-memory) lives behind its own lock because promotion
+//! changes it at runtime: `POST /admin/promote` swaps a replica's
+//! [`RoleState`] for a primary one atomically, so every route observes
+//! either the old role or the new one, never a mixture.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use mdm_core::{Mdm, MetaStore};
+use mdm_core::{FsyncPolicy, Mdm, MetaStore};
 
 use crate::replication::{ReplicaStatus, ReplicationHub};
 use crate::ServerConfig;
+
+/// What the node currently is: journal + no latch = primary, latch + no
+/// journal = replica, neither = in-memory single node.
+#[derive(Default)]
+pub struct RoleState {
+    /// The durable journal behind `mdm`, when the node owns one.
+    /// `/admin/compact` folds it, `/metrics` reports its counters, and
+    /// `/healthz` flips to `degraded` when it is unhealthy.
+    pub store: Option<Arc<MetaStore>>,
+    /// Set while this server fronts a replica: routes consult it for
+    /// `/healthz`, `/epoch`, and to 421 steward mutations to the primary.
+    pub replica: Option<Arc<ReplicaStatus>>,
+}
+
+/// Failover counters for `/metrics` (rendered on both roles).
+#[derive(Default)]
+pub struct FailoverStats {
+    /// Times this node promoted itself to primary.
+    pub promotions: AtomicU64,
+    /// Stale-term peers turned away with 409 (stream requests, steward
+    /// writes on a fenced node, replica-side stale batches).
+    pub fenced_rejections: AtomicU64,
+    /// Times this node rejoined a newer-term primary as a replica.
+    pub rejoins: AtomicU64,
+    /// Divergent local WAL records discarded while rejoining.
+    pub divergent_records_discarded: AtomicU64,
+}
 
 /// Everything a worker thread needs to answer a request.
 pub struct AppState {
@@ -34,15 +68,23 @@ pub struct AppState {
     pub request_deadline: Duration,
     /// Seconds advertised in `Retry-After` on 503 responses.
     pub retry_after_secs: u64,
-    /// The durable journal behind `mdm`, when the server runs with a
-    /// `data_dir`. `/admin/compact` folds it, `/metrics` reports its
-    /// counters, and `/healthz` flips to `degraded` when it is unhealthy.
-    pub store: Option<Arc<MetaStore>>,
+    /// The node's current role; swapped whole at promotion.
+    role: RwLock<RoleState>,
     /// Primary-side replication gauges (`/replication/stream` feeds them).
     pub replication: ReplicationHub,
-    /// Set when this server fronts a replica: routes consult it for
-    /// `/healthz`, `/epoch`, and to 421 steward mutations to the primary.
-    pub replica: Option<Arc<ReplicaStatus>>,
+    /// Failover counters (promotions, fenced rejections, rejoins).
+    pub failover: FailoverStats,
+    /// Highest fencing term this node has been fenced by (0 = never).
+    /// The node is *fenced* while this exceeds its own term: steward
+    /// mutations and replication streams answer 409 until it rejoins.
+    fenced_by: AtomicU64,
+    /// Term an in-memory node (no journal, no latch) serves under.
+    solo_term: AtomicU64,
+    /// Directory a promoted replica opens its first journal generation in
+    /// (the replica's `data_dir`; `None` keeps promotion in-memory).
+    pub promote_dir: Option<PathBuf>,
+    /// Fsync policy for the journal opened at promotion.
+    pub fsync: FsyncPolicy,
 }
 
 impl AppState {
@@ -70,10 +112,72 @@ impl AppState {
             read_timeout: config.read_timeout,
             request_deadline: config.request_deadline.unwrap_or(config.read_timeout),
             retry_after_secs: config.retry_after.as_secs().max(1),
-            store,
+            role: RwLock::new(RoleState { store, replica }),
             replication: ReplicationHub::default(),
-            replica,
+            failover: FailoverStats::default(),
+            fenced_by: AtomicU64::new(0),
+            solo_term: AtomicU64::new(1),
+            promote_dir: config.data_dir.clone(),
+            fsync: config.fsync,
         }
+    }
+
+    /// The durable journal, if this node currently owns one.
+    pub fn store(&self) -> Option<Arc<MetaStore>> {
+        self.role_read().store.clone()
+    }
+
+    /// The replica status latch, while this node is a replica.
+    pub fn replica(&self) -> Option<Arc<ReplicaStatus>> {
+        self.role_read().replica.clone()
+    }
+
+    /// Atomically replaces the node's role (promotion flips replica →
+    /// primary in one swap).
+    pub fn set_role(&self, role: RoleState) {
+        *self
+            .role
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner()) = role;
+    }
+
+    /// The fencing term this node currently serves under.
+    pub fn current_term(&self) -> u64 {
+        let role = self.role_read();
+        if let Some(replica) = &role.replica {
+            return replica.term();
+        }
+        if let Some(store) = &role.store {
+            return store.term();
+        }
+        self.solo_term.load(Ordering::SeqCst)
+    }
+
+    /// Sets the term an in-memory node reports (promotion without a
+    /// `data_dir` still bumps the advertised term).
+    pub fn set_solo_term(&self, term: u64) {
+        self.solo_term.store(term, Ordering::SeqCst);
+    }
+
+    /// Latches the highest term this node has been fenced by.
+    pub fn fence(&self, term: u64) {
+        self.fenced_by.fetch_max(term, Ordering::SeqCst);
+    }
+
+    /// True while a newer term has fenced this node out of the write role.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced_by.load(Ordering::SeqCst) > self.current_term()
+    }
+
+    /// Highest term this node has been fenced by (0 = never).
+    pub fn fenced_by(&self) -> u64 {
+        self.fenced_by.load(Ordering::SeqCst)
+    }
+
+    fn role_read(&self) -> std::sync::RwLockReadGuard<'_, RoleState> {
+        self.role
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     pub fn count_request(&self) {

@@ -45,5 +45,5 @@ pub mod wal;
 
 pub use error::StoreError;
 pub use ship::ReplicationBatch;
-pub use store::{Recovered, Store, StoreStats};
+pub use store::{purge, Recovered, Store, StoreStats};
 pub use wal::{read_wal, FsyncPolicy, WalRecord, MAX_RECORD_BYTES};

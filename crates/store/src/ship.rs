@@ -10,18 +10,24 @@
 //! ## Wire layout (all integers little-endian)
 //!
 //! ```text
-//! magic          8 bytes  "MDMREP1\0"
-//! version        u32      1
-//! flags          u32      bit 0: snapshot frame present
-//! generation     u64      live generation on the primary
-//! base_epoch     u64      epoch of the generation's snapshot
-//! primary_epoch  u64      primary's metadata epoch when the batch was cut
-//! start          u64      WAL index of the first shipped record
-//! wal_len        u64      total records in the generation's WAL right now
-//! [snapshot]     u32 len | u32 crc | bytes        (only when flag bit 0)
-//! record_count   u32
-//! records        record_count × (u32 len | u64 epoch | u32 crc | payload)
+//! magic            8 bytes  "MDMREP1\0"
+//! version          u32      2
+//! flags            u32      bit 0: snapshot frame present
+//! term             u64      the primary's fencing term
+//! term_start_epoch u64      epoch at which that term began
+//! generation       u64      live generation on the primary
+//! base_epoch       u64      epoch of the generation's snapshot
+//! primary_epoch    u64      primary's metadata epoch when the batch was cut
+//! start            u64      WAL index of the first shipped record
+//! wal_len          u64      total records in the generation's WAL right now
+//! [snapshot]       u32 len | u32 crc | bytes      (only when flag bit 0)
+//! record_count     u32
+//! records          record_count × (u32 len | u64 epoch | u32 crc | payload)
 //! ```
+//!
+//! Version 2 added the fencing term fields; version-1 frames are rejected
+//! (replicas and primaries upgrade together, and a stale-version peer must
+//! reconnect through the handshake anyway).
 //!
 //! Record frames reuse the WAL's own integrity rule: the CRC-32 covers the
 //! epoch stamp (as 8 LE bytes) followed by the payload, so a replica checks
@@ -32,7 +38,7 @@ use crate::error::StoreError;
 use crate::wal::{WalRecord, MAX_RECORD_BYTES};
 
 pub(crate) const REP_MAGIC: &[u8; 8] = b"MDMREP1\0";
-pub(crate) const REP_VERSION: u32 = 1;
+pub(crate) const REP_VERSION: u32 = 2;
 const FLAG_SNAPSHOT: u32 = 1;
 /// Snapshots are metadata-scale; cap them like records to bound allocation.
 const MAX_SNAPSHOT_BYTES: u32 = 64 * 1024 * 1024;
@@ -42,6 +48,12 @@ const MAX_SNAPSHOT_BYTES: u32 = 64 * 1024 * 1024;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicationBatch {
     pub generation: u64,
+    /// The fencing term the primary was serving under when the batch was
+    /// cut. Replicas refuse batches stamped with a term older than one
+    /// they have already observed — a fenced-out primary cannot feed them.
+    pub term: u64,
+    /// Epoch at which `term` began on the primary.
+    pub term_start_epoch: u64,
     /// Epoch of the generation's snapshot (replicas restore to this first).
     pub base_epoch: u64,
     /// The primary's metadata epoch when the batch was cut; replicas report
@@ -78,6 +90,8 @@ impl ReplicationBatch {
             0
         };
         out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.term.to_le_bytes());
+        out.extend_from_slice(&self.term_start_epoch.to_le_bytes());
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.base_epoch.to_le_bytes());
         out.extend_from_slice(&self.primary_epoch.to_le_bytes());
@@ -122,6 +136,8 @@ impl ReplicationBatch {
             )));
         }
         let flags = reader.u32()?;
+        let term = reader.u64()?;
+        let term_start_epoch = reader.u64()?;
         let generation = reader.u64()?;
         let base_epoch = reader.u64()?;
         let primary_epoch = reader.u64()?;
@@ -185,6 +201,8 @@ impl ReplicationBatch {
         }
         Ok(ReplicationBatch {
             generation,
+            term,
+            term_start_epoch,
             base_epoch,
             primary_epoch,
             start,
@@ -232,6 +250,8 @@ mod tests {
     fn sample() -> ReplicationBatch {
         ReplicationBatch {
             generation: 3,
+            term: 2,
+            term_start_epoch: 8,
             base_epoch: 10,
             primary_epoch: 14,
             start: 2,
@@ -285,6 +305,14 @@ mod tests {
         let bytes = batch.encode();
         let err = ReplicationBatch::decode(&bytes[..bytes.len() - 3]).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn stale_version_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = ReplicationBatch::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported version 1"), "{err}");
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //!
 //! ```text
 //! <data_dir>/
-//!   CURRENT              one ASCII line: the live generation number
+//!   CURRENT              one ASCII line: "<generation> <term> <term_start_epoch>"
 //!   snapshot.gen-N.ttl   opaque snapshot text for generation N
 //!   wal.gen-N.log        the WAL of mutations applied after that snapshot
 //! ```
+//!
+//! `CURRENT` also carries the **fencing term**: a monotonically increasing
+//! counter bumped exactly once per promotion, plus the epoch at which that
+//! term began. Stores written before terms existed hold a single token;
+//! they parse as term 1 starting at epoch 0. Because the term only changes
+//! through the same atomic `CURRENT` rename that commits a generation
+//! swap, generation and term can never be observed torn apart.
 //!
 //! ## Crash-consistency protocol
 //!
@@ -62,6 +69,10 @@ pub struct Recovered {
     /// True when a torn or corrupt tail was cut from the WAL.
     pub truncated_tail: bool,
     pub generation: u64,
+    /// The fencing term this store last wrote under.
+    pub term: u64,
+    /// Epoch at which that term began (the promotion fork point).
+    pub term_start_epoch: u64,
 }
 
 /// An open store: the live generation's WAL plus compaction bookkeeping.
@@ -77,6 +88,10 @@ pub struct Store {
     snapshot: String,
     /// Epoch of the live generation's snapshot.
     base_epoch: u64,
+    /// The fencing term this store writes under (see module docs).
+    term: u64,
+    /// Epoch at which `term` began.
+    term_start_epoch: u64,
     /// Every record in the live generation's WAL, in append order — the
     /// in-memory image replication batches are cut from. Metadata-scale
     /// (compaction resets it), so retention is cheap.
@@ -94,12 +109,7 @@ impl Store {
         }
         let text = fs::read_to_string(&current)
             .map_err(|e| StoreError::io(format!("read {}", current.display()), e))?;
-        let generation: u64 = text.trim().parse().map_err(|_| {
-            StoreError::Corrupt(format!(
-                "CURRENT holds '{}', not a generation number",
-                text.trim()
-            ))
-        })?;
+        let (generation, term, term_start_epoch) = parse_current(&text)?;
         let snapshot_path = dir.join(snapshot_name(generation));
         let wal_path = dir.join(wal_name(generation));
         let snapshot = fs::read_to_string(&snapshot_path)
@@ -119,6 +129,8 @@ impl Store {
             records: contents.records,
             truncated_tail: contents.truncated_tail,
             generation,
+            term,
+            term_start_epoch,
         };
         Ok(Some((
             Store {
@@ -130,6 +142,8 @@ impl Store {
                 compaction_fsyncs: 0,
                 snapshot: recovered.snapshot.clone(),
                 base_epoch: recovered.base_epoch,
+                term,
+                term_start_epoch,
                 recent: recovered.records.clone(),
             },
             recovered,
@@ -137,13 +151,26 @@ impl Store {
     }
 
     /// Initialises a store in an empty (or store-less) directory as
-    /// generation 1: the given snapshot becomes the baseline, the WAL
-    /// starts empty.
+    /// generation 1, term 1: the given snapshot becomes the baseline, the
+    /// WAL starts empty.
     pub fn create(
         dir: &Path,
         policy: FsyncPolicy,
         snapshot: &str,
         epoch: u64,
+    ) -> Result<Store, StoreError> {
+        Store::create_at_term(dir, policy, snapshot, epoch, 1)
+    }
+
+    /// [`Store::create`] at an explicit fencing term — used when a
+    /// promoted replica opens its first local generation, which must start
+    /// at the bumped term, not at 1.
+    pub fn create_at_term(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot: &str,
+        epoch: u64,
+        term: u64,
     ) -> Result<Store, StoreError> {
         fs::create_dir_all(dir)
             .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
@@ -162,6 +189,8 @@ impl Store {
             compaction_fsyncs: 0,
             snapshot: String::new(),
             base_epoch: epoch,
+            term,
+            term_start_epoch: epoch,
             recent: Vec::new(),
         };
         // The initial generation is written through the same protocol as
@@ -227,14 +256,38 @@ impl Store {
         Ok(next)
     }
 
+    /// Promotion: a compaction that also bumps the fencing term. The new
+    /// generation's snapshot is the promoted node's state at `epoch`, and
+    /// the term swap commits atomically with the generation swap through
+    /// the `CURRENT` rename — there is no window where the old term could
+    /// be recovered alongside the new generation.
+    pub fn promote(
+        &mut self,
+        snapshot: &str,
+        epoch: u64,
+        new_term: u64,
+    ) -> Result<u64, StoreError> {
+        if new_term <= self.term {
+            return Err(StoreError::Corrupt(format!(
+                "promotion term {new_term} is not newer than the store's term {}",
+                self.term
+            )));
+        }
+        self.term = new_term;
+        self.term_start_epoch = epoch;
+        self.compact(snapshot, epoch)
+    }
+
     fn write_current(&self, generation: u64) -> Result<(), StoreError> {
         let tmp = self.dir.join("CURRENT.tmp");
         let final_path = self.dir.join(CURRENT);
         let mut file = File::create(&tmp)
             .map_err(|e| StoreError::io(format!("create {}", tmp.display()), e))?;
-        file.write_all(format!("{generation}\n").as_bytes())
-            .and_then(|()| file.sync_all())
-            .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
+        file.write_all(
+            format!("{generation} {} {}\n", self.term, self.term_start_epoch).as_bytes(),
+        )
+        .and_then(|()| file.sync_all())
+        .map_err(|e| StoreError::io(format!("write {}", tmp.display()), e))?;
         drop(file);
         fs::rename(&tmp, &final_path)
             .map_err(|e| StoreError::io(format!("rename {}", final_path.display()), e))?;
@@ -245,6 +298,16 @@ impl Store {
 
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The fencing term this store writes under.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Epoch at which the current term began.
+    pub fn term_start_epoch(&self) -> u64 {
+        self.term_start_epoch
     }
 
     /// Number of records in the live generation's WAL — the offset space
@@ -277,6 +340,8 @@ impl Store {
         let end = (start + max_records).min(self.recent.len());
         ReplicationBatch {
             generation: self.generation,
+            term: self.term,
+            term_start_epoch: self.term_start_epoch,
             base_epoch: self.base_epoch,
             primary_epoch,
             start: start as u64,
@@ -299,6 +364,53 @@ impl Store {
             compactions: self.compactions,
         }
     }
+}
+
+/// Parses a `CURRENT` line. Modern stores write three tokens
+/// (`generation term term_start_epoch`); stores written before fencing
+/// terms existed hold a bare generation, which reads as term 1 from
+/// epoch 0.
+fn parse_current(text: &str) -> Result<(u64, u64, u64), StoreError> {
+    let corrupt = || {
+        StoreError::Corrupt(format!(
+            "CURRENT holds '{}', not 'generation [term term_start_epoch]'",
+            text.trim()
+        ))
+    };
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.as_slice() {
+        [generation] => Ok((generation.parse().map_err(|_| corrupt())?, 1, 0)),
+        [generation, term, start] => Ok((
+            generation.parse().map_err(|_| corrupt())?,
+            term.parse().map_err(|_| corrupt())?,
+            start.parse().map_err(|_| corrupt())?,
+        )),
+        _ => Err(corrupt()),
+    }
+}
+
+/// Removes every store file in `dir` (CURRENT, snapshots, WALs) so a
+/// demoted primary can discard its divergent timeline before resyncing.
+/// The directory itself is kept; missing files are not an error.
+pub fn purge(dir: &Path) -> Result<(), StoreError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(()), // no directory, nothing to purge
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ours = name == CURRENT
+            || name == "CURRENT.tmp"
+            || name.starts_with("snapshot.gen-")
+            || name.starts_with("wal.gen-");
+        if ours {
+            fs::remove_file(entry.path())
+                .map_err(|e| StoreError::io(format!("remove {}", entry.path().display()), e))?;
+        }
+    }
+    sync_dir(dir);
+    Ok(())
 }
 
 /// Fsyncs a directory so renames inside it survive power loss. Best-effort:
@@ -435,6 +547,72 @@ mod tests {
         assert_eq!(recovered.generation, 1);
         assert_eq!(recovered.snapshot, "SNAP-1");
         assert_eq!(recovered.records.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn term_persists_and_survives_compaction() {
+        let dir = temp_dir("term");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP-1", 3).unwrap();
+        assert_eq!(store.term(), 1);
+        assert_eq!(store.term_start_epoch(), 3);
+        store.compact("SNAP-2", 9).unwrap();
+        drop(store);
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.term, 1);
+        assert_eq!(recovered.term_start_epoch, 3);
+        assert_eq!(store.term(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn promotion_bumps_term_atomically_with_the_generation() {
+        let dir = temp_dir("promote");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP-1", 0).unwrap();
+        store.append(1, b"op").unwrap();
+        let generation = store.promote("SNAP-PROMOTED", 7, 2).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(store.term(), 2);
+        assert_eq!(store.term_start_epoch(), 7);
+        // Stale or equal terms are refused.
+        assert!(store.promote("SNAP", 8, 2).is_err());
+        drop(store);
+        let (_, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.term, 2);
+        assert_eq!(recovered.term_start_epoch, 7);
+        assert_eq!(recovered.snapshot, "SNAP-PROMOTED");
+        assert!(recovered.records.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_token_current_reads_as_term_one() {
+        let dir = temp_dir("legacy-current");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP", 2).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        fs::write(dir.join(CURRENT), "1\n").unwrap();
+        let (store, recovered) = Store::open(&dir, FsyncPolicy::Never).unwrap().unwrap();
+        assert_eq!(recovered.term, 1);
+        assert_eq!(recovered.term_start_epoch, 0);
+        assert_eq!(store.term(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn purge_removes_store_files_only() {
+        let dir = temp_dir("purge");
+        let mut store = Store::create(&dir, FsyncPolicy::Never, "SNAP", 0).unwrap();
+        store.append(1, b"op").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        fs::write(dir.join("unrelated.txt"), "keep me").unwrap();
+        purge(&dir).unwrap();
+        assert!(Store::open(&dir, FsyncPolicy::Never).unwrap().is_none());
+        assert!(dir.join("unrelated.txt").exists());
+        // Purging an already-empty (or missing) directory is a no-op.
+        purge(&dir).unwrap();
+        purge(&dir.join("missing")).unwrap();
         fs::remove_dir_all(&dir).ok();
     }
 

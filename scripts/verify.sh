@@ -24,6 +24,11 @@ cargo test --release -p mdm-integration-tests --test durability --quiet
 echo "==> replication suite (release)"
 cargo test --release -p mdm-integration-tests --test replication --quiet
 
+echo "==> failover/chaos suite (release, hard timeout)"
+# The chaos harness must terminate: a hang here means a stuck promotion
+# or a replica that never converges, so fail loudly rather than wedge CI.
+timeout 300 cargo test --release -p mdm-integration-tests --test failover --quiet
+
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 

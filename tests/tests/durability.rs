@@ -213,9 +213,13 @@ fn recover(dir: &Path) -> (Mdm, RecoveryReport) {
 }
 
 fn live_wal(dir: &Path) -> PathBuf {
-    let generation: u64 = std::fs::read_to_string(dir.join("CURRENT"))
-        .unwrap()
-        .trim()
+    // CURRENT holds "generation term term_start_epoch" (the fencing term
+    // rides along since the failover work); the WAL is named by the first.
+    let current = std::fs::read_to_string(dir.join("CURRENT")).unwrap();
+    let generation: u64 = current
+        .split_whitespace()
+        .next()
+        .expect("CURRENT names a generation")
         .parse()
         .unwrap();
     dir.join(format!("wal.gen-{generation}.log"))
