@@ -1,26 +1,38 @@
 //! One P4 measurement point, for back-to-back old-vs-new comparisons.
 //!
-//! `p4_point <rows> [reps]` builds the E6-shaped 4-branch UCQ system at
-//! `rows` rows per wrapper and prints the median execution latency over
-//! `reps` runs (default 10). Kept as a bin (not a Criterion bench) so a
-//! single point can be sampled quickly when re-recording EXPERIMENTS.md.
+//! `p4_point <rows> [reps] [layout]` builds the E6-shaped 4-branch UCQ
+//! system at `rows` rows per wrapper and prints the median execution latency
+//! over `reps` runs (default 10) under `layout` (`row` or `columnar`;
+//! default columnar, the engine default). Kept as a bin (not a Criterion
+//! bench) so a single point can be sampled quickly when re-recording
+//! EXPERIMENTS.md, and so the two layouts can be compared back-to-back.
 
 use std::time::Instant;
+
+use mdm_relational::{ExecOptions, Executor, Layout};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let layout = args
+        .next()
+        .map(|s| Layout::parse(&s).expect("layout is 'row' or 'columnar'"))
+        .unwrap_or_default();
+    let options = ExecOptions {
+        layout,
+        ..ExecOptions::default()
+    };
     let system = mdm_bench::mixed_system(2, 2, rows);
     let rewriting = system.mdm.rewrite(&system.walk).expect("rewrites");
     // Warm the wrapper payload caches so the medians measure execution.
-    let warm = mdm_relational::Executor::new(system.mdm.catalog())
+    let warm = Executor::with_options(system.mdm.catalog(), options.clone())
         .run(&rewriting.plan)
         .expect("executes");
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
-        let table = mdm_relational::Executor::new(system.mdm.catalog())
+        let table = Executor::with_options(system.mdm.catalog(), options.clone())
             .run(&rewriting.plan)
             .expect("executes");
         samples.push(start.elapsed());
@@ -28,7 +40,8 @@ fn main() {
     }
     samples.sort();
     println!(
-        "rows={rows} reps={reps} median={:?} min={:?} result_rows={}",
+        "rows={rows} reps={reps} layout={} median={:?} min={:?} result_rows={}",
+        layout.label(),
         samples[reps / 2],
         samples[0],
         warm.len()

@@ -17,7 +17,7 @@ use std::time::Duration;
 use mdm_core::usecase;
 use mdm_core::walk_dsl;
 use mdm_core::{FsyncPolicy, Mdm, MetaStore};
-use mdm_relational::Deadline;
+use mdm_relational::{Deadline, Layout};
 use mdm_wrappers::football::{self, FootballEcosystem};
 use mdm_wrappers::FaultPlan;
 
@@ -42,6 +42,9 @@ pub struct Session {
     threads: Option<usize>,
     /// Operator batch width (`--batch-size`); `None` = the engine default.
     batch_size: Option<usize>,
+    /// Physical data layout (`--layout`); `None` = the engine default
+    /// (columnar).
+    layout: Option<Layout>,
     /// The durable journal opened by `--data-dir`; every steward mutation
     /// appends to its WAL and `compact` folds it.
     store: Option<Arc<MetaStore>>,
@@ -89,6 +92,7 @@ impl Session {
             deadline_ms: None,
             threads: None,
             batch_size: None,
+            layout: None,
             store: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -193,8 +197,15 @@ impl Session {
         self.apply_threads();
     }
 
-    /// (Re)stamps the loaded system with the session's pool size and
-    /// batch width.
+    /// Sets the physical data layout applied to every loaded system
+    /// (the `--layout` flag; parse with [`Layout::parse`]).
+    pub fn set_layout(&mut self, layout: Option<Layout>) {
+        self.layout = layout;
+        self.apply_threads();
+    }
+
+    /// (Re)stamps the loaded system with the session's pool size, batch
+    /// width and data layout.
     fn apply_threads(&mut self) {
         if let Some(mdm) = self.mdm.as_mut() {
             if let Some(threads) = self.threads {
@@ -202,6 +213,9 @@ impl Session {
             }
             if let Some(batch) = self.batch_size {
                 mdm.set_batch_size(batch);
+            }
+            if let Some(layout) = self.layout {
+                mdm.set_layout(layout);
             }
         }
     }

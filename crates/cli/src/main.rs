@@ -15,6 +15,8 @@
 //!   the sequential path; default sizes from `available_parallelism`).
 //! * `--batch-size <n>` — operator batch width while draining queries
 //!   (`0` restores the default; the executor adapts down for small inputs).
+//! * `--layout row|columnar` — physical data plane: fixed-width term
+//!   columns with vectorized kernels (default) or the row-at-a-time path.
 //! * `--data-dir <dir>` — durable metadata: recover the journal in `dir`
 //!   (or create one) and append every steward mutation to its WAL.
 //! * `--fsync <policy>` — WAL durability for `--data-dir`: `always`
@@ -60,6 +62,12 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
                     .map_err(|_| format!("--batch-size: '{raw}' is not an unsigned integer"))?;
                 session.set_batch_size(Some(batch));
             }
+            "--layout" => {
+                let raw = value(&mut args)?;
+                let layout =
+                    mdm_relational::Layout::parse(&raw).map_err(|e| format!("--layout: {e}"))?;
+                session.set_layout(Some(layout));
+            }
             "--data-dir" => {
                 data_dir = Some(std::path::PathBuf::from(value(&mut args)?));
             }
@@ -72,7 +80,7 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>] \
-                     [--batch-size <n>] [--data-dir <dir>] \
+                     [--batch-size <n>] [--layout row|columnar] [--data-dir <dir>] \
                      [--fsync always|never|interval[:ms]]"
                         .to_string(),
                 )

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use mdm_rdf::term::Iri;
 use mdm_relational::{
     pool, BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline, ExecOptions,
-    Executor, Pool, PoolStats, RetryPolicy,
+    Executor, Layout, Pool, PoolStats, RetryPolicy,
 };
 use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 
@@ -61,6 +61,9 @@ pub struct Mdm {
     /// Upper bound on tuples moved per operator batch while draining
     /// queries (the executor still adapts downward for small inputs).
     batch_size: usize,
+    /// Physical data layout queries execute under: columnar (the default)
+    /// or the row-at-a-time escape hatch.
+    layout: Layout,
     /// Durability hook: every successful steward mutation is handed here as
     /// a [`MutationOp`] stamped with the post-mutation epoch. `None` (the
     /// default) keeps the instance purely in-memory.
@@ -86,6 +89,7 @@ impl Mdm {
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
             batch_size: mdm_relational::physical::DEFAULT_BATCH,
+            layout: Layout::default(),
             journal: None,
         }
     }
@@ -129,6 +133,18 @@ impl Mdm {
         self.batch_size
     }
 
+    /// Sets the physical data layout for query execution: columnar runs
+    /// the vectorized term-id kernels (the default), row restores the
+    /// tuple-at-a-time engine. Results are byte-identical either way.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+    }
+
+    /// The configured physical data layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
     /// Execution options for one query: the instance's retry policy, pool
     /// and metadata epoch (the scan-cache key component), plus the caller's
     /// deadline.
@@ -139,6 +155,7 @@ impl Mdm {
             pool: self.pool.clone(),
             batch_size: self.batch_size,
             epoch: self.epoch,
+            layout: self.layout,
         }
     }
 
@@ -626,6 +643,7 @@ impl Mdm {
             breakers: BreakerRegistry::default(),
             pool: Some(pool::global()),
             batch_size: mdm_relational::physical::DEFAULT_BATCH,
+            layout: Layout::default(),
             journal: None,
         })
     }

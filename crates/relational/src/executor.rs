@@ -6,12 +6,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::algebra::{JoinKind, Plan, SortOrder};
+use crate::columnar::{
+    self, ColDistinct, ColFilter, ColHashJoin, ColLimit, ColOperator, ColProject, ColScan,
+    ColUnion, Layout,
+};
 use crate::expr::Expr;
 use crate::metrics;
 use crate::optimizer::subtree_fingerprint;
 use crate::physical::{
-    DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec, SortExec,
-    UnionExec, DEFAULT_BATCH,
+    DecodeExec, DistinctExec, FilterExec, HashJoinExec, LimitExec, Operator, ProjectExec, ScanExec,
+    SortExec, UnionExec, DEFAULT_BATCH,
 };
 use crate::pool::{self, Pool};
 use crate::resilience::{Deadline, RetryPolicy, ScanGuard};
@@ -197,6 +201,9 @@ pub struct ExecOptions {
     /// Metadata epoch stamped into scan-cache keys so rows can never leak
     /// across a steward mutation.
     pub epoch: u64,
+    /// Physical data layout: columnar (fixed-width term ids, vectorized
+    /// kernels — the default) or the row-at-a-time escape hatch.
+    pub layout: Layout,
 }
 
 impl Default for ExecOptions {
@@ -207,6 +214,7 @@ impl Default for ExecOptions {
             pool: Some(pool::global()),
             batch_size: DEFAULT_BATCH,
             epoch: 0,
+            layout: Layout::default(),
         }
     }
 }
@@ -468,8 +476,11 @@ impl<'a> Executor<'a> {
         if self.options.deadline.expired() {
             return Err(self.options.deadline.exceeded("starting plan execution"));
         }
-        let mut op = self.build(plan, cache, bypass)?;
-        let schema = op.schema().clone();
+        let built = match self.options.layout {
+            Layout::Row => Built::Row(self.build(plan, cache, bypass)?),
+            Layout::Columnar => self.build_hybrid(plan, cache, bypass)?,
+        };
+        let schema = built.schema().clone();
         // Drain block-at-a-time with a deadline check per block so a huge
         // (or pathological) result cannot blow past the budget unnoticed.
         // The batch width adapts downward to the input size (known exactly
@@ -484,16 +495,34 @@ impl<'a> Executor<'a> {
                 .max(1)
                 .min(n.max(MIN_ADAPTIVE_BATCH)),
         };
-        let mut rows = Vec::new();
-        while let Some(block) = op.next_block(batch_size) {
-            let block = block?;
-            metrics::record_batch(block.len() as u64);
-            rows.extend(block.into_tuples());
-            if self.options.deadline.expired() {
-                return Err(self.options.deadline.exceeded("draining result rows"));
+        match built {
+            Built::Row(mut op) => {
+                let mut rows = Vec::new();
+                while let Some(block) = op.next_block(batch_size) {
+                    let block = block?;
+                    metrics::record_batch(block.len() as u64);
+                    rows.extend(block.into_tuples());
+                    if self.options.deadline.expired() {
+                        return Err(self.options.deadline.exceeded("draining result rows"));
+                    }
+                }
+                Table::new(schema, rows).map_err(ExecError::permanent)
+            }
+            Built::Col(mut op) => {
+                // Batches stay encoded until the whole result is known;
+                // only surviving rows pay decode, in `from_column_batches`.
+                let mut batches = Vec::new();
+                while let Some(batch) = op.next_cols(batch_size) {
+                    let batch = batch?;
+                    metrics::record_batch(batch.len() as u64);
+                    batches.push(batch);
+                    if self.options.deadline.expired() {
+                        return Err(self.options.deadline.exceeded("draining result rows"));
+                    }
+                }
+                Table::from_column_batches(schema, &batches).map_err(ExecError::permanent)
             }
         }
-        Table::new(schema, rows).map_err(ExecError::permanent)
     }
 
     /// Fetches one relation's rows through the guard, the retry policy and
@@ -660,6 +689,179 @@ impl<'a> Executor<'a> {
                 self.build(input, cache, bypass)?,
                 *count,
             ))),
+        }
+    }
+
+    /// Translates a logical plan into a hybrid operator tree: columnar
+    /// wherever the plan shape allows (scan/filter/project/join/union/
+    /// distinct/limit), dropping to the row plane through [`DecodeExec`]
+    /// at the first stage that only exists row-wise (sort) or when a
+    /// subtree is degenerate (zero-width schema, empty projection). The
+    /// resulting row stream is byte-identical to [`Executor::build`]'s.
+    fn build_hybrid(
+        &self,
+        plan: &Plan,
+        cache: &ScanCache,
+        bypass: bool,
+    ) -> Result<Built, ExecError> {
+        match plan {
+            Plan::Scan { relation } => {
+                let provider = self.catalog.provider(relation).ok_or_else(|| {
+                    ExecError::permanent(format!("unknown relation '{relation}' in catalog"))
+                })?;
+                let schema = provider.provider_schema();
+                if schema.is_empty() {
+                    // A zero-column relation has no columns to carry the
+                    // row count; keep it on the row plane.
+                    return self.build(plan, cache, bypass).map(Built::Row);
+                }
+                let (columns, len) = if bypass {
+                    let rows = self.fetch_rows(relation, provider)?;
+                    let len = rows.len();
+                    (Arc::new(columnar::encode_rows(&rows, schema.len())), len)
+                } else {
+                    cache.fetch_or_insert_columns(
+                        relation,
+                        provider.version(),
+                        self.options.epoch,
+                        schema.len(),
+                        || self.fetch_rows(relation, provider),
+                    )?
+                };
+                Ok(Built::Col(Box::new(ColScan::new(schema, columns, len))))
+            }
+            Plan::Filter { input, predicate } => match self.build_hybrid(input, cache, bypass)? {
+                Built::Col(child) => Ok(Built::Col(Box::new(ColFilter::new(
+                    child,
+                    predicate.clone(),
+                )))),
+                Built::Row(child) => Ok(Built::Row(Box::new(FilterExec::new(
+                    child,
+                    predicate.clone(),
+                )))),
+            },
+            Plan::Project { input, columns } => {
+                let child = self.build_hybrid(input, cache, bypass)?;
+                let exprs: Vec<Expr> = columns.iter().map(|(e, _)| e.clone()).collect();
+                let schema = Schema::new(columns.iter().map(|(_, name)| name.clone()).collect());
+                match child {
+                    Built::Col(child) if !exprs.is_empty() => {
+                        Ok(Built::Col(Box::new(ColProject::new(child, exprs, schema))))
+                    }
+                    child => Ok(Built::Row(Box::new(ProjectExec::new(
+                        child.into_row(),
+                        exprs,
+                        schema,
+                    )))),
+                }
+            }
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
+                let left_built = self.build_hybrid(left, cache, bypass)?;
+                let right_built = self.build_hybrid(right, cache, bypass)?;
+                let mut left_keys = Vec::with_capacity(on.len());
+                let mut right_keys = Vec::with_capacity(on.len());
+                for (l, r) in on {
+                    left_keys.push(
+                        left_built
+                            .schema()
+                            .index_of(l)
+                            .map_err(|e| ExecError::permanent(format!("join key: {e}")))?,
+                    );
+                    right_keys.push(
+                        right_built
+                            .schema()
+                            .index_of(r)
+                            .map_err(|e| ExecError::permanent(format!("join key: {e}")))?,
+                    );
+                }
+                let emit_unmatched_left = matches!(kind, JoinKind::Left);
+                match (left_built, right_built) {
+                    (Built::Col(l), Built::Col(r)) => Ok(Built::Col(Box::new(
+                        ColHashJoin::new(l, r, left_keys, right_keys, emit_unmatched_left)?
+                            .with_pool(self.options.pool.clone()),
+                    ))),
+                    (l, r) => Ok(Built::Row(Box::new(
+                        HashJoinExec::new(
+                            l.into_row(),
+                            r.into_row(),
+                            left_keys,
+                            right_keys,
+                            emit_unmatched_left,
+                        )?
+                        .with_pool(self.options.pool.clone()),
+                    ))),
+                }
+            }
+            Plan::Union { inputs } => {
+                let built = inputs
+                    .iter()
+                    .map(|p| self.build_hybrid(p, cache, bypass))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if built.iter().all(|b| matches!(b, Built::Col(_))) {
+                    let ops = built
+                        .into_iter()
+                        .map(|b| match b {
+                            Built::Col(op) => op,
+                            Built::Row(_) => unreachable!("checked all-columnar"),
+                        })
+                        .collect();
+                    Ok(Built::Col(Box::new(ColUnion::new(ops)?)))
+                } else {
+                    let ops = built.into_iter().map(Built::into_row).collect();
+                    Ok(Built::Row(Box::new(UnionExec::new(ops)?)))
+                }
+            }
+            Plan::Distinct { input } => match self.build_hybrid(input, cache, bypass)? {
+                Built::Col(child) => Ok(Built::Col(Box::new(ColDistinct::new(child)))),
+                Built::Row(child) => Ok(Built::Row(Box::new(DistinctExec::new(child)))),
+            },
+            Plan::Sort { input, keys } => {
+                let child = self.build_hybrid(input, cache, bypass)?.into_row();
+                let resolved = keys
+                    .iter()
+                    .map(|(column, order)| {
+                        child
+                            .schema()
+                            .index_of(column)
+                            .map(|i| (i, matches!(order, SortOrder::Desc)))
+                            .map_err(ExecError::permanent)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Built::Row(Box::new(SortExec::new(child, resolved)?)))
+            }
+            Plan::Limit { input, count } => match self.build_hybrid(input, cache, bypass)? {
+                Built::Col(child) => Ok(Built::Col(Box::new(ColLimit::new(child, *count)))),
+                Built::Row(child) => Ok(Built::Row(Box::new(LimitExec::new(child, *count)))),
+            },
+        }
+    }
+}
+
+/// A physical operator of either layout, as produced by
+/// [`Executor::build_hybrid`].
+enum Built {
+    Row(Box<dyn Operator>),
+    Col(Box<dyn ColOperator>),
+}
+
+impl Built {
+    fn schema(&self) -> &Schema {
+        match self {
+            Built::Row(op) => op.schema(),
+            Built::Col(op) => op.schema(),
+        }
+    }
+
+    /// Coerces to the row plane, decoding columnar output if needed.
+    fn into_row(self) -> Box<dyn Operator> {
+        match self {
+            Built::Row(op) => op,
+            Built::Col(op) => Box::new(DecodeExec::new(op)),
         }
     }
 }

@@ -177,6 +177,7 @@ struct InternPool {
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+static SWEEPS: AtomicU64 = AtomicU64::new(0);
 
 fn pool() -> &'static InternPool {
     static POOL: OnceLock<InternPool> = OnceLock::new();
@@ -207,6 +208,7 @@ impl InternPool {
         if shard.set.len() >= shard.sweep_at {
             shard.set.retain(|s| Arc::strong_count(s) > 1);
             shard.sweep_at = (shard.set.len() * 2).max(SWEEP_FLOOR);
+            SWEEPS.fetch_add(1, Ordering::Relaxed);
         }
         entry
     }
@@ -230,6 +232,8 @@ pub struct InternStats {
     pub interned_bytes: u64,
     /// Entries currently held by the pool.
     pub entries: u64,
+    /// Watermark sweeps performed (entries only the pool owned dropped).
+    pub sweeps: u64,
 }
 
 impl InternStats {
@@ -251,6 +255,7 @@ pub fn stats() -> InternStats {
         misses: MISSES.load(Ordering::Relaxed),
         interned_bytes: BYTES.load(Ordering::Relaxed),
         entries: pool().entries(),
+        sweeps: SWEEPS.load(Ordering::Relaxed),
     }
 }
 

@@ -14,6 +14,10 @@
 //!   Figure 8;
 //! * [`physical`] — volcano-style operators (hash join, nested-loop join,
 //!   filter, project, union, distinct, sort, limit);
+//! * [`columnar`] — the columnar twin of [`physical`]: fixed-width 16-byte
+//!   term encoding ([`Layout::Columnar`], the default) and vectorized
+//!   filter/join/distinct/project kernels over shared column batches,
+//!   decoding back to [`Value`]s only at render time;
 //! * [`executor`] — turns a logical plan plus a [`Catalog`] of relation
 //!   providers into a materialised [`Table`], fanning union branches out
 //!   on the worker [`pool`] with per-query scan reuse ([`scan_cache`]);
@@ -24,6 +28,7 @@
 //!   pruning, join reordering) exercised by the ablation benches.
 
 pub mod algebra;
+pub mod columnar;
 pub mod executor;
 pub mod expr;
 pub mod intern;
@@ -38,6 +43,7 @@ pub mod table;
 pub mod value;
 
 pub use algebra::{JoinKind, Plan};
+pub use columnar::{DictStats, Layout};
 pub use executor::{
     Catalog, ErrorKind, ExecError, ExecOptions, Executor, MemoryCatalog, RelationProvider,
 };

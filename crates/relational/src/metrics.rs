@@ -12,6 +12,10 @@ use crate::intern::{self, InternStats};
 static ROWS_MOVED: AtomicU64 = AtomicU64::new(0);
 static BATCHES_EMITTED: AtomicU64 = AtomicU64::new(0);
 static BRANCHES_SHARED: AtomicU64 = AtomicU64::new(0);
+static COL_ENCODES: AtomicU64 = AtomicU64::new(0);
+static COL_DECODES: AtomicU64 = AtomicU64::new(0);
+static COL_BYTES: AtomicU64 = AtomicU64::new(0);
+static COL_KERNELS: AtomicU64 = AtomicU64::new(0);
 
 /// Records `rows` tuples crossing the executor's drain loop in one batch.
 pub(crate) fn record_batch(rows: u64) {
@@ -22,6 +26,35 @@ pub(crate) fn record_batch(rows: u64) {
 /// Records a union branch answered from an identical sibling's result.
 pub(crate) fn record_shared_branch() {
     BRANCHES_SHARED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `terms` values encoded into fixed-width term ids.
+pub(crate) fn record_encodes(terms: u64) {
+    COL_ENCODES.fetch_add(terms, Ordering::Relaxed);
+    COL_BYTES.fetch_add(terms * 16, Ordering::Relaxed);
+}
+
+/// Records `terms` term ids decoded back to `Value`s.
+pub(crate) fn record_decodes(terms: u64) {
+    COL_DECODES.fetch_add(terms, Ordering::Relaxed);
+}
+
+/// Records one vectorized kernel invocation (filter/join/distinct/project).
+pub(crate) fn record_kernel() {
+    COL_KERNELS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counters for the columnar execution path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Values encoded into fixed-width term ids.
+    pub encodes: u64,
+    /// Term ids decoded back into `Value`s (render, sort, fallbacks).
+    pub decodes: u64,
+    /// Bytes of fixed-width column data produced (16 per term).
+    pub column_bytes: u64,
+    /// Vectorized kernel invocations (filter/join/distinct/project).
+    pub kernel_invocations: u64,
 }
 
 /// A point-in-time view of the data-plane counters.
@@ -35,6 +68,10 @@ pub struct DataPlaneStats {
     pub branches_shared: u64,
     /// String intern pool counters.
     pub intern: InternStats,
+    /// Columnar execution path counters.
+    pub columnar: ColumnarStats,
+    /// Term dictionary gauges (pooled `Sym` → dense id mapping).
+    pub dict: crate::columnar::DictStats,
 }
 
 /// The process-wide data-plane counters.
@@ -44,5 +81,12 @@ pub fn snapshot() -> DataPlaneStats {
         batches_emitted: BATCHES_EMITTED.load(Ordering::Relaxed),
         branches_shared: BRANCHES_SHARED.load(Ordering::Relaxed),
         intern: intern::stats(),
+        columnar: ColumnarStats {
+            encodes: COL_ENCODES.load(Ordering::Relaxed),
+            decodes: COL_DECODES.load(Ordering::Relaxed),
+            column_bytes: COL_BYTES.load(Ordering::Relaxed),
+            kernel_invocations: COL_KERNELS.load(Ordering::Relaxed),
+        },
+        dict: crate::columnar::dict_stats(),
     }
 }

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use crate::columnar::{self, ColOperator};
 use crate::executor::ExecError;
 use crate::expr::Expr;
 use crate::pool::Pool;
@@ -868,6 +869,60 @@ impl Operator for LimitExec {
         }
         self.remaining -= 1;
         self.input.next()
+    }
+}
+
+/// Adapter from the columnar plane back into the row plane: decodes each
+/// [`columnar::ColumnBatch`] into a materialised [`Batch`]. The executor
+/// inserts one wherever a plan stage only exists row-wise (sort) or a
+/// hybrid tree mixes layouts (a row-plane join with one columnar side).
+pub struct DecodeExec {
+    input: Box<dyn ColOperator>,
+    schema: Schema,
+    buffered: std::collections::VecDeque<Tuple>,
+}
+
+impl DecodeExec {
+    pub fn new(input: Box<dyn ColOperator>) -> Self {
+        let schema = input.schema().clone();
+        DecodeExec {
+            input,
+            schema,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl Operator for DecodeExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<Tuple, ExecError>> {
+        loop {
+            if let Some(tuple) = self.buffered.pop_front() {
+                return Some(Ok(tuple));
+            }
+            match self.input.next_cols(DEFAULT_BATCH)? {
+                Err(e) => return Some(Err(e)),
+                Ok(batch) => self
+                    .buffered
+                    .extend(columnar::decode_batches(std::slice::from_ref(&batch))),
+            }
+        }
+    }
+
+    fn next_block(&mut self, max: usize) -> Option<Result<Batch, ExecError>> {
+        if !self.buffered.is_empty() {
+            let rows: Vec<Tuple> = self.buffered.drain(..).collect();
+            return Some(Ok(Batch::from_vec(rows)));
+        }
+        match self.input.next_cols(max)? {
+            Err(e) => Some(Err(e)),
+            Ok(batch) => Some(Ok(Batch::from_vec(columnar::decode_batches(
+                std::slice::from_ref(&batch),
+            )))),
+        }
     }
 }
 

@@ -19,8 +19,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::columnar::{self, TypedColumn};
 use crate::executor::ExecError;
 use crate::value::Tuple;
+
+/// A relation's rows encoded column-major as shared term columns.
+pub type EncodedScan = Arc<Vec<Arc<TypedColumn>>>;
 
 #[derive(Clone, Debug, Hash, PartialEq, Eq)]
 struct ScanKey {
@@ -32,6 +36,9 @@ struct ScanKey {
 #[derive(Default)]
 struct Slot {
     result: Mutex<Option<Result<Arc<Vec<Tuple>>, ExecError>>>,
+    /// Lazily encoded columnar view of `result`'s rows: a relation scanned
+    /// by many columnar branches pays the term encoding once per query.
+    columns: Mutex<Option<EncodedScan>>,
 }
 
 /// Hit/miss counters for one query's cache, for tests and metrics.
@@ -96,6 +103,42 @@ impl ScanCache {
                 fetched
             }
         }
+    }
+
+    /// Like [`ScanCache::fetch_or_insert`], but returns the rows as
+    /// encoded term columns (plus the row count). The row result is cached
+    /// exactly as before — a query mixing layouts shares one fetch — and
+    /// the encoded columns are cached next to it, so encoding happens once
+    /// per `(relation, version, epoch)` per query.
+    pub fn fetch_or_insert_columns(
+        &self,
+        relation: &str,
+        version: u64,
+        epoch: u64,
+        width: usize,
+        fetch: impl FnOnce() -> Result<Vec<Tuple>, ExecError>,
+    ) -> Result<(EncodedScan, usize), ExecError> {
+        let rows = self.fetch_or_insert(relation, version, epoch, fetch)?;
+        let slot = {
+            let entries = self.entries.lock().expect("scan cache poisoned");
+            Arc::clone(
+                &entries[&ScanKey {
+                    relation: relation.to_string(),
+                    version,
+                    epoch,
+                }],
+            )
+        };
+        let mut columns = slot.columns.lock().expect("scan cache slot poisoned");
+        let cols = match &*columns {
+            Some(cols) => Arc::clone(cols),
+            None => {
+                let encoded = Arc::new(columnar::encode_rows(&rows, width));
+                *columns = Some(Arc::clone(&encoded));
+                encoded
+            }
+        };
+        Ok((cols, rows.len()))
     }
 
     /// Total rows held across all filled entries — the query's input

@@ -31,6 +31,17 @@ impl Table {
         Ok(Table { schema, rows })
     }
 
+    /// Materialises a table from columnar batches, decoding fixed-width
+    /// terms back into [`Value`]s. This is the single exit point from the
+    /// columnar plane: everything upstream ran over 16-byte term ids, and
+    /// only the rows that survived into the result pay decode cost here.
+    pub fn from_column_batches(
+        schema: Schema,
+        batches: &[crate::columnar::ColumnBatch],
+    ) -> Result<Self, String> {
+        Table::new(schema, crate::columnar::decode_batches(batches))
+    }
+
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
         Table {

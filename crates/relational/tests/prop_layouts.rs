@@ -1,0 +1,241 @@
+//! Byte-identity oracle for the columnar data plane.
+//!
+//! The fixed-width term encoding and vectorized kernels must be
+//! observationally identical to the row-at-a-time operators: same rows, same
+//! order, same rendered bytes, same errors. This file property-checks
+//! [`Layout::Columnar`] against [`Layout::Row`] over random plans and data —
+//! NULLs (which never match as join keys), Int/Float keys that only join
+//! under numeric coercion, inline (≤ 22 byte) and pooled (`Arc<str>`)
+//! strings, batch widths {1, 2, 1024}, and both the parallel and the
+//! sequential drain.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mdm_relational::algebra::{JoinKind, Plan};
+use mdm_relational::expr::{BinOp, Expr};
+use mdm_relational::schema::{ColumnRef, Schema};
+use mdm_relational::{ExecOptions, Executor, Layout, MemoryCatalog, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Random data: inline strings, pooled strings, NULLs, coercing numerics
+// ---------------------------------------------------------------------------
+
+/// Long join-key strings (> 22 bytes) take the shared intern-pool path and
+/// therefore the dictionary-id fast path in the columnar plane.
+const LONG_KEYS: [&str; 2] = [
+    "columnar-dictionary-key-alpha-0001",
+    "columnar-dictionary-key-omega-0002",
+];
+const SHORT_KEYS: [&str; 2] = ["x", "y"];
+
+/// A join key: NULL, coercible Int/Float, inline string, or pooled string —
+/// all from a small domain so joins actually hit.
+fn arb_key() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => (-3i64..3).prop_map(Value::Int),
+        2 => (-3i64..3).prop_map(|i| Value::Float(i as f64)),
+        2 => (0usize..SHORT_KEYS.len()).prop_map(|i| Value::str(SHORT_KEYS[i])),
+        1 => (0usize..LONG_KEYS.len()).prop_map(|i| Value::str(LONG_KEYS[i])),
+    ]
+}
+
+/// A payload string column mixing inline and pooled representations, with
+/// repeats so distinct paths dedup across the two encodings.
+fn arb_text() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        3 => (0u8..4, 0usize..8).prop_map(|(c, len)| {
+            Value::str(char::from(b'a' + c).to_string().repeat(len))
+        }),
+        2 => (0u8..3, 23usize..40).prop_map(|(c, len)| {
+            Value::str(char::from(b'p' + c).to_string().repeat(len))
+        }),
+    ]
+}
+
+/// A random (k, s, v) table under the given relation qualifier.
+fn arb_table(relation: &'static str) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((arb_key(), arb_text(), -20i64..20), 0..24).prop_map(move |rows| {
+        Table::new(
+            Schema::qualified(relation, ["k", "s", "v"]),
+            rows.into_iter()
+                .map(|(k, s, v)| vec![k, s, Value::Int(v)])
+                .collect(),
+        )
+        .expect("arity matches")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Harness: columnar vs. row under every execution mode
+// ---------------------------------------------------------------------------
+
+/// The execution modes each layout runs under.
+fn modes(layout: Layout) -> Vec<(&'static str, ExecOptions)> {
+    vec![
+        (
+            "parallel",
+            ExecOptions {
+                layout,
+                ..ExecOptions::default()
+            },
+        ),
+        (
+            "sequential",
+            ExecOptions {
+                layout,
+                ..ExecOptions::sequential()
+            },
+        ),
+        (
+            "batch=1",
+            ExecOptions {
+                layout,
+                batch_size: 1,
+                ..ExecOptions::default()
+            },
+        ),
+        (
+            "batch=2",
+            ExecOptions {
+                layout,
+                batch_size: 2,
+                ..ExecOptions::sequential()
+            },
+        ),
+        (
+            "batch=1024",
+            ExecOptions {
+                layout,
+                batch_size: 1024,
+                ..ExecOptions::default()
+            },
+        ),
+    ]
+}
+
+/// Runs `plan` under the row plane (the oracle) and the columnar plane, over
+/// parallel/sequential drains and batch widths {1, 2, 1024}, asserting every
+/// columnar rendering is byte-identical to its row-plane counterpart — and
+/// that errors, when they happen, carry identical messages.
+fn check(plan: &Plan, tables: Vec<(&'static str, Table)>) -> Result<(), TestCaseError> {
+    let mut catalog = MemoryCatalog::new();
+    let mut map = HashMap::new();
+    for (name, table) in tables {
+        catalog.register(name, table.clone());
+        map.insert(name, table);
+    }
+    for ((mode, row_options), (_, col_options)) in
+        modes(Layout::Row).into_iter().zip(modes(Layout::Columnar))
+    {
+        let row = Executor::with_options(&catalog, row_options).run(plan);
+        let col = Executor::with_options(&catalog, col_options).run(plan);
+        match (row, col) {
+            (Ok(row), Ok(col)) => prop_assert_eq!(
+                col.render(),
+                row.render(),
+                "columnar diverged from row plane in mode {}",
+                mode
+            ),
+            (Err(row), Err(col)) => prop_assert_eq!(
+                col.to_string(),
+                row.to_string(),
+                "columnar error diverged from row plane in mode {}",
+                mode
+            ),
+            (row, col) => prop_assert!(
+                false,
+                "mode {}: row plane {:?} but columnar {:?}",
+                mode,
+                row.map(|t| t.len()),
+                col.map(|t| t.len())
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn join_on_k() -> Vec<(ColumnRef, ColumnRef)> {
+    vec![(
+        ColumnRef::qualified("a", "k"),
+        ColumnRef::qualified("b", "k"),
+    )]
+}
+
+proptest! {
+    /// σ and π (including computed projections, which take the vectorized
+    /// arithmetic kernel) match the row plane byte for byte.
+    #[test]
+    fn filter_project_matches_row_plane(a in arb_table("a"), threshold in -20i64..20) {
+        let plan = Plan::scan("a")
+            .filter(Expr::col("a.v").binary(BinOp::Gt, Expr::lit(threshold)))
+            .project_named(&[("a.s", "s"), ("a.k", "k"), ("a.v", "v")]);
+        check(&plan, vec![("a", a)])?;
+    }
+
+    /// Computed projections with possible division-by-zero: the columnar
+    /// plane must fall back to row-order evaluation and report the exact
+    /// same first error (or the same values when no row errors).
+    #[test]
+    fn computed_projection_matches_row_plane(a in arb_table("a"), divisor in -2i64..3) {
+        let plan = Plan::scan("a").project(vec![
+            (
+                Expr::col("a.v").binary(BinOp::Add, Expr::lit(1i64)),
+                ColumnRef::bare("v1"),
+            ),
+            (
+                Expr::col("a.v").binary(BinOp::Div, Expr::lit(divisor)),
+                ColumnRef::bare("q"),
+            ),
+        ]);
+        check(&plan, vec![("a", a)])?;
+    }
+
+    /// Inner and left hash joins — dictionary-id key comparison, coercing
+    /// Int/Float keys, NULL-key skips, probe × build emission order — match
+    /// the row-plane join exactly.
+    #[test]
+    fn join_matches_row_plane(a in arb_table("a"), b in arb_table("b"), left in any::<bool>()) {
+        let plan = Plan::Join {
+            kind: if left { JoinKind::Left } else { JoinKind::Inner },
+            left: Box::new(Plan::scan("a")),
+            right: Box::new(Plan::scan("b")),
+            on: join_on_k(),
+        };
+        check(&plan, vec![("a", a), ("b", b)])?;
+    }
+
+    /// Full UCQ shells — union, distinct, sort, limit — render identically
+    /// under both layouts (sort crosses back into the row plane; the decode
+    /// boundary must not reorder or rewrite anything).
+    #[test]
+    fn ucq_matches_row_plane(
+        a in arb_table("a"),
+        b in arb_table("b"),
+        threshold in -20i64..20,
+        n in 0usize..40,
+    ) {
+        let join_branch = Plan::scan("a")
+            .join(Plan::scan("b"), join_on_k())
+            .filter(Expr::col("a.v").binary(BinOp::Gt, Expr::lit(threshold)))
+            .project_named(&[("a.k", "k"), ("b.s", "s"), ("a.v", "v")]);
+        let scan_branch = Plan::scan("a").project_named(&[("a.k", "k"), ("a.s", "s"), ("a.v", "v")]);
+        let plan = Plan::union(vec![join_branch, scan_branch])
+            .distinct()
+            .sort_by(&["k", "v", "s"])
+            .limit(n);
+        check(&plan, vec![("a", a), ("b", b)])?;
+    }
+
+    /// First-occurrence distinct over a self-union dedups identically:
+    /// term-id equality must match Value equality for every encoding (NaN,
+    /// -0.0, coerced Int/Float, inline vs pooled strings).
+    #[test]
+    fn distinct_matches_row_plane(a in arb_table("a")) {
+        let plan = Plan::union(vec![Plan::scan("a"), Plan::scan("a")]).distinct();
+        check(&plan, vec![("a", a)])?;
+    }
+}

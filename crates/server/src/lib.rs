@@ -80,6 +80,10 @@ pub struct ServerConfig {
     /// keeps the engine default; the executor still adapts downward for
     /// small inputs.
     pub batch_size: Option<usize>,
+    /// Physical data plane for served queries: `None` keeps the engine
+    /// default (columnar); `Some(Layout::Row)` is the row-at-a-time
+    /// escape hatch.
+    pub layout: Option<mdm_relational::Layout>,
     /// Durable-store directory. When set, the server recovers the journal
     /// on start (replacing the passed [`Mdm`] with the recovered state when
     /// one exists), appends every steward mutation to the WAL, and serves
@@ -104,6 +108,7 @@ impl Default for ServerConfig {
             retry_after: Duration::from_secs(1),
             pool_size: None,
             batch_size: None,
+            layout: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
             stream_workers: 2,

@@ -431,6 +431,21 @@ fn metrics(state: &AppState) -> Response {
             Value::int(dp.intern.interned_bytes as i64),
         ),
         ("intern_entries", Value::int(dp.intern.entries as i64)),
+        ("intern_sweeps", Value::int(dp.intern.sweeps as i64)),
+        ("dict_entries", Value::int(dp.dict.entries as i64)),
+        ("dict_bytes", Value::int(dp.dict.bytes as i64)),
+        (
+            "columnar",
+            Value::object([
+                ("encodes", Value::int(dp.columnar.encodes as i64)),
+                ("decodes", Value::int(dp.columnar.decodes as i64)),
+                ("column_bytes", Value::int(dp.columnar.column_bytes as i64)),
+                (
+                    "kernel_invocations",
+                    Value::int(dp.columnar.kernel_invocations as i64),
+                ),
+            ]),
+        ),
     ]);
     let journal = store.as_ref().map(|store| {
         let stats = store.stats();

@@ -100,6 +100,9 @@ impl AppState {
         if let Some(batch) = config.batch_size {
             mdm.set_batch_size(batch);
         }
+        if let Some(layout) = config.layout {
+            mdm.set_layout(layout);
+        }
         AppState {
             mdm: RwLock::new(mdm),
             requests: AtomicU64::new(0),

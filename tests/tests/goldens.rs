@@ -68,8 +68,16 @@ fn table1_query_output() {
     let eco = football::build_default();
     let mut mdm = usecase::football_mdm(&eco).unwrap();
     usecase::register_players_v2(&mut mdm, &eco).unwrap();
-    let answer = mdm.query(&usecase::figure8_walk()).unwrap();
-    check("table1_query_output.txt", &answer.render());
+    // The rendered table must match the golden byte for byte under both
+    // physical layouts: the columnar default and the row escape hatch.
+    for layout in [
+        mdm_relational::Layout::Columnar,
+        mdm_relational::Layout::Row,
+    ] {
+        mdm.set_layout(layout);
+        let answer = mdm.query(&usecase::figure8_walk()).unwrap();
+        check("table1_query_output.txt", &answer.render());
+    }
 }
 
 #[test]

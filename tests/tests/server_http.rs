@@ -324,6 +324,39 @@ fn lifecycle_from_empty_metadata_over_tcp() {
     let metrics = get(addr, "/metrics");
     assert_eq!(int_of(&metrics, "errors_total"), 0);
     assert!(int_of(&metrics, "requests_total") >= 30);
+
+    // The data-plane export carries intern-pool, dictionary, and columnar
+    // counters; the queries above ran under the columnar default, so the
+    // encode path must have moved.
+    let dp = metrics
+        .get("data_plane")
+        .expect("data_plane stats exported");
+    for field in [
+        "rows_moved",
+        "batches_emitted",
+        "intern_hits",
+        "intern_misses",
+        "intern_entries",
+        "intern_sweeps",
+        "dict_entries",
+        "dict_bytes",
+    ] {
+        assert!(
+            dp.get(field).and_then(Value::as_number).is_some(),
+            "data_plane misses numeric '{field}': {dp:?}"
+        );
+    }
+    let columnar = dp.get("columnar").expect("columnar stats exported");
+    for field in ["encodes", "decodes", "column_bytes", "kernel_invocations"] {
+        assert!(
+            columnar.get(field).and_then(Value::as_number).is_some(),
+            "columnar misses numeric '{field}': {columnar:?}"
+        );
+    }
+    assert!(
+        int_of(columnar, "encodes") > 0 && int_of(columnar, "kernel_invocations") > 0,
+        "columnar default did not execute any kernels: {columnar:?}"
+    );
     server.shutdown();
 }
 
