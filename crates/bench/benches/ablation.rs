@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mdm_bench::mixed_system;
 use mdm_core::RewriteOptions;
-use mdm_relational::optimizer::{NoStatistics, Optimizer, Statistics};
+use mdm_relational::optimizer::{Optimizer, Statistics};
 use mdm_relational::{Catalog, Executor, Expr, Plan};
 
 fn distinct_ablation(c: &mut Criterion) {
@@ -97,7 +97,6 @@ fn optimizer_ablation(c: &mut Criterion) {
         .expect("runs")
         .sorted();
     assert_eq!(a, b);
-    let _ = Optimizer::new(&NoStatistics, &resolve); // exercised in unit tests
     group.finish();
 }
 

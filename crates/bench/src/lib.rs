@@ -6,7 +6,7 @@
 
 use mdm_core::synthetic::{chain_walk, mdm_from_synthetic};
 use mdm_core::{Mdm, Walk};
-use mdm_wrappers::workload::{build, WorkloadConfig};
+use mdm_wrappers::workload::{build, build_with_rows, WorkloadConfig};
 
 /// A configured system plus the walk the experiment poses.
 pub struct BenchSystem {
@@ -71,6 +71,28 @@ pub fn mixed_system(concepts: usize, versions: usize, rows: usize) -> BenchSyste
         mdm,
         walk,
         label: format!("c{concepts}v{versions}"),
+    }
+}
+
+/// P14: a skewed chain — concept 0's source holds `small` rows, every
+/// later source holds `large`. The walk's natural join order (concept 0
+/// first, so the big side lands on the hash-join build side) is exactly
+/// what cost-based reordering exists to fix.
+pub fn skewed_system(concepts: usize, versions: usize, small: usize, large: usize) -> BenchSystem {
+    let config = WorkloadConfig {
+        concepts,
+        features_per_concept: 3,
+        versions_per_source: versions,
+        rows_per_wrapper: large,
+        seed: 42,
+    };
+    let eco = build_with_rows(&config, |c| if c == 0 { small } else { large });
+    let mdm = mdm_from_synthetic(&eco).expect("synthetic system builds");
+    let walk = chain_walk(&eco, concepts);
+    BenchSystem {
+        mdm,
+        walk,
+        label: format!("c{concepts}v{versions}s{small}l{large}"),
     }
 }
 

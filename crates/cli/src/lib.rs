@@ -17,7 +17,7 @@ use std::time::Duration;
 use mdm_core::usecase;
 use mdm_core::walk_dsl;
 use mdm_core::{FsyncPolicy, Mdm, MetaStore};
-use mdm_relational::{Deadline, Layout};
+use mdm_relational::{Deadline, Layout, OptimizeMode};
 use mdm_wrappers::football::{self, FootballEcosystem};
 use mdm_wrappers::FaultPlan;
 
@@ -45,6 +45,9 @@ pub struct Session {
     /// Physical data layout (`--layout`); `None` = the engine default
     /// (columnar).
     layout: Option<Layout>,
+    /// Plan-optimization mode (`--optimize`); `None` = the engine default
+    /// (cost-based).
+    optimize: Option<OptimizeMode>,
     /// The durable journal opened by `--data-dir`; every steward mutation
     /// appends to its WAL and `compact` folds it.
     store: Option<Arc<MetaStore>>,
@@ -93,6 +96,7 @@ impl Session {
             threads: None,
             batch_size: None,
             layout: None,
+            optimize: None,
             store: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -204,8 +208,15 @@ impl Session {
         self.apply_threads();
     }
 
+    /// Sets the plan-optimization mode applied to every loaded system
+    /// (the `--optimize` flag; parse with [`OptimizeMode::parse`]).
+    pub fn set_optimize(&mut self, optimize: Option<OptimizeMode>) {
+        self.optimize = optimize;
+        self.apply_threads();
+    }
+
     /// (Re)stamps the loaded system with the session's pool size, batch
-    /// width and data layout.
+    /// width, data layout and optimization mode.
     fn apply_threads(&mut self) {
         if let Some(mdm) = self.mdm.as_mut() {
             if let Some(threads) = self.threads {
@@ -216,6 +227,9 @@ impl Session {
             }
             if let Some(layout) = self.layout {
                 mdm.set_layout(layout);
+            }
+            if let Some(optimize) = self.optimize {
+                mdm.set_optimize(optimize);
             }
         }
     }
@@ -279,6 +293,7 @@ impl Session {
                 Outcome::NeedMore
             }
             "suggest" => self.suggest(argument),
+            "stats" => self.stats(argument),
             "faults" => self.faults(argument),
             "serve" => self.serve(argument),
             "call" => self.call(argument),
@@ -413,7 +428,24 @@ impl Session {
         };
         match kind {
             PendingKind::Explain => match mdm.rewrite(&walk) {
-                Ok(rewriting) => Outcome::Text(rewriting.explain()),
+                Ok(rewriting) => {
+                    let mut out = rewriting.explain();
+                    // The physical side of the story: the optimized plan
+                    // tree with estimated vs. actual per-operator rows.
+                    match mdm.explain_plan(&walk) {
+                        Ok(tree) => {
+                            let _ = write!(
+                                out,
+                                "\n-- optimized plan ({} mode, est\u{2248}estimated act=actual rows) --\n{tree}",
+                                mdm.optimize_mode()
+                            );
+                        }
+                        Err(e) => {
+                            let _ = write!(out, "\n(plan annotation unavailable: {e})");
+                        }
+                    }
+                    Outcome::Text(out)
+                }
                 Err(e) => Outcome::Text(format!("rewrite error: {e}")),
             },
             PendingKind::Rewrite => match mdm.rewrite(&walk) {
@@ -521,6 +553,55 @@ impl Session {
         }
     }
 
+    /// `stats [refresh]` — reports the cardinality-statistics catalog, or
+    /// (with `refresh`) bumps the stats epoch so relations re-profile and
+    /// cached plans re-optimize. Never a metadata mutation: the metadata
+    /// epoch is untouched.
+    fn stats(&mut self, argument: &str) -> Outcome {
+        if self.server.is_some() {
+            return Outcome::Text(
+                "the system is behind the server — use \
+                 'call POST /steward/stats/refresh' or 'call GET /metrics'"
+                    .to_string(),
+            );
+        }
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        match argument {
+            "refresh" => {
+                let stats_epoch = mdm.refresh_stats();
+                Outcome::Text(format!(
+                    "stats epoch bumped to {stats_epoch} — relations re-profile on next scan, \
+                     cached plans re-optimize on next use (metadata epoch {} untouched)",
+                    mdm.epoch()
+                ))
+            }
+            "" => {
+                let snapshot = mdm.stats_snapshot();
+                let mut out = format!(
+                    "optimizer mode: {}\nstats epoch: {} ({} refreshes, {} observations)\n",
+                    mdm.optimize_mode(),
+                    snapshot.epoch,
+                    snapshot.refreshes,
+                    snapshot.observations
+                );
+                if snapshot.relations.is_empty() {
+                    out.push_str("no relations profiled yet — run a query first\n");
+                } else {
+                    for (relation, rows) in &snapshot.relations {
+                        writeln!(out, "  {relation}: {rows} rows").unwrap();
+                    }
+                }
+                Outcome::Text(out)
+            }
+            other => Outcome::Text(format!(
+                "unknown stats action '{other}' (usage: stats [refresh])"
+            )),
+        }
+    }
+
     /// `serve [addr] [--replica-of primary]` — moves the loaded system
     /// behind an HTTP server, or (with `--replica-of`) starts a read
     /// replica following a primary instead. The REPL stays usable through
@@ -561,6 +642,7 @@ impl Session {
         let mdm = self.mdm.take().expect("checked above");
         let config = mdm_server::ServerConfig {
             request_deadline: self.deadline_ms.map(Duration::from_millis),
+            optimize: self.optimize,
             ..mdm_server::ServerConfig::default()
         };
         // Hand the already-open journal over so `/admin/compact`, the
@@ -869,10 +951,15 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   sources            list registered data sources
   wrappers           list registered wrappers with signatures
   rewrite            enter a walk, finish with '.', show SPARQL + algebra (Figure 8)
-  explain            enter a walk, finish with '.', narrate the rewriting derivation
+  explain            enter a walk, finish with '.', narrate the rewriting
+                     derivation and print the optimized plan tree with
+                     estimated vs. actual per-operator cardinalities
   query              enter a walk, finish with '.', execute it (Table 1 style)
   trace              like query, plus a provenance column (which branch/version)
   suggest <wrapper>  semi-automatic mapping suggestions for an unmapped wrapper
+  stats [refresh]    the cardinality-statistics catalog behind the cost-based
+                     optimizer; 'stats refresh' bumps the stats epoch (cached
+                     plans re-optimize; the metadata epoch is untouched)
   faults [<seed> [rate] | off]  arm/disarm deterministic fault injection; bare
                      'faults' reports the plan, deadline and breaker states
   serve [addr]       expose the system over HTTP (default 127.0.0.1:0; see README)
@@ -980,6 +1067,36 @@ mod tests {
         let status = text(session.interpret("status"));
         assert!(status.contains("ECOSYSTEM"), "{status}");
         assert!(status.contains("PlayersAPI"), "{status}");
+    }
+
+    #[test]
+    fn stats_command_reports_and_refreshes_the_catalog() {
+        let mut session = Session::new();
+        assert!(text(session.interpret("stats")).contains("no system loaded"));
+        session.interpret("setup football");
+        // Warm the catalog with one executed query so scans are observed.
+        session.interpret("query");
+        session.interpret("ex:Player { ex:playerName }");
+        session.interpret(".");
+        let report = text(session.interpret("stats"));
+        assert!(report.contains("optimizer mode: cost"), "{report}");
+        assert!(report.contains("stats epoch"), "{report}");
+        let refreshed = text(session.interpret("stats refresh"));
+        assert!(refreshed.contains("stats epoch"), "{refreshed}");
+        assert!(refreshed.contains("untouched"), "{refreshed}");
+        assert!(text(session.interpret("stats bogus")).contains("usage"));
+    }
+
+    #[test]
+    fn explain_appends_the_optimized_plan_tree() {
+        let mut session = Session::new();
+        session.interpret("setup football");
+        session.interpret("explain");
+        session.interpret("ex:Player { ex:playerName }");
+        let explanation = text(session.interpret("."));
+        assert!(explanation.contains("optimized plan"), "{explanation}");
+        assert!(explanation.contains("est≈"), "{explanation}");
+        assert!(explanation.contains("act="), "{explanation}");
     }
 
     #[test]

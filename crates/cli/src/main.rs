@@ -17,6 +17,9 @@
 //!   (`0` restores the default; the executor adapts down for small inputs).
 //! * `--layout row|columnar` — physical data plane: fixed-width term
 //!   columns with vectorized kernels (default) or the row-at-a-time path.
+//! * `--optimize off|heuristic|cost` — plan optimization: the stats-driven
+//!   cost pipeline (default), the stats-free heuristic rewrites, or none.
+//!   Results are byte-identical in all three modes.
 //! * `--data-dir <dir>` — durable metadata: recover the journal in `dir`
 //!   (or create one) and append every steward mutation to its WAL.
 //! * `--fsync <policy>` — WAL durability for `--data-dir`: `always`
@@ -68,6 +71,13 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
                     mdm_relational::Layout::parse(&raw).map_err(|e| format!("--layout: {e}"))?;
                 session.set_layout(Some(layout));
             }
+            "--optimize" => {
+                let raw = value(&mut args)?;
+                let mode = mdm_relational::OptimizeMode::parse(&raw).ok_or_else(|| {
+                    format!("--optimize: unknown mode '{raw}' (off | heuristic | cost)")
+                })?;
+                session.set_optimize(Some(mode));
+            }
             "--data-dir" => {
                 data_dir = Some(std::path::PathBuf::from(value(&mut args)?));
             }
@@ -80,7 +90,8 @@ fn parse_flags(session: &mut Session) -> Result<(), String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: mdm [--fault-seed <n>] [--deadline-ms <n>] [--threads <n>] \
-                     [--batch-size <n>] [--layout row|columnar] [--data-dir <dir>] \
+                     [--batch-size <n>] [--layout row|columnar] \
+                     [--optimize off|heuristic|cost] [--data-dir <dir>] \
                      [--fsync always|never|interval[:ms]]"
                         .to_string(),
                 )

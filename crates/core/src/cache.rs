@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::rewrite::Rewriting;
+use mdm_relational::Plan;
 
 /// Default bound on cached plans; enough for every distinct dashboard query
 /// of a deployment while keeping the worst-case memory small (plans are a
@@ -36,6 +37,9 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Entries dropped to make room (LRU policy).
     pub evictions: u64,
+    /// Optimized-plan slots recomputed because the stats epoch moved on
+    /// (the metadata-epoch entry itself survived).
+    pub reoptimizations: u64,
     /// Live entries.
     pub entries: usize,
     /// Configured bound.
@@ -58,6 +62,11 @@ struct Entry {
     epoch: u64,
     plan: Arc<Rewriting>,
     last_used: u64,
+    /// The cost-optimized physical form of `plan`, tagged with the stats
+    /// epoch it was optimized under. A stats refresh makes this slot stale
+    /// — and *only* this slot: the rewriting above survives, because
+    /// statistics are not metadata.
+    optimized: Option<(u64, Arc<Plan>)>,
 }
 
 /// The LRU-bounded, epoch-validated plan cache.
@@ -68,6 +77,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
+    reoptimizations: AtomicU64,
     entries: Mutex<HashMap<String, Entry>>,
 }
 
@@ -81,6 +91,7 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            reoptimizations: AtomicU64::new(0),
             entries: Mutex::new(HashMap::new()),
         }
     }
@@ -129,8 +140,44 @@ impl PlanCache {
                 epoch,
                 plan,
                 last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                optimized: None,
             },
         );
+    }
+
+    /// Returns the cost-optimized plan cached for `key`, provided the
+    /// rewriting is current at `epoch` **and** the optimized form was
+    /// computed at `stats_epoch`. A slot optimized under an older stats
+    /// epoch is dropped and counted as a re-optimization — while the
+    /// rewriting entry itself stays cached: a stats refresh re-optimizes
+    /// plans, it does not invalidate metadata.
+    pub fn lookup_optimized(&self, key: &str, epoch: u64, stats_epoch: u64) -> Option<Arc<Plan>> {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        let entry = entries.get_mut(key)?;
+        if entry.epoch != epoch {
+            return None;
+        }
+        match &entry.optimized {
+            Some((at, plan)) if *at == stats_epoch => Some(Arc::clone(plan)),
+            Some(_) => {
+                entry.optimized = None;
+                self.reoptimizations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores the cost-optimized form of `key`'s plan as of `stats_epoch`.
+    /// A no-op when the rewriting entry is absent or from another metadata
+    /// epoch (evicted or invalidated since the rewrite).
+    pub fn store_optimized(&self, key: &str, epoch: u64, stats_epoch: u64, plan: Arc<Plan>) {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        if let Some(entry) = entries.get_mut(key) {
+            if entry.epoch == epoch {
+                entry.optimized = Some((stats_epoch, plan));
+            }
+        }
     }
 
     /// Drops every entry (counters are preserved).
@@ -145,6 +192,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            reoptimizations: self.reoptimizations.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("plan cache poisoned").len(),
             capacity: self.capacity,
         }
@@ -224,6 +272,29 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn optimized_slot_rides_the_stats_epoch_not_the_metadata_epoch() {
+        let cache = PlanCache::new(4);
+        cache.insert("q".into(), 1, dummy_plan("w1"));
+        assert!(cache.lookup_optimized("q", 1, 0).is_none());
+        cache.store_optimized("q", 1, 0, Arc::new(Plan::scan("w1")));
+        assert!(cache.lookup_optimized("q", 1, 0).is_some());
+
+        // Stats epoch moves: the optimized slot is dropped and counted as
+        // a re-optimization, but the rewriting entry still serves.
+        assert!(cache.lookup_optimized("q", 1, 1).is_none());
+        assert_eq!(cache.stats().reoptimizations, 1);
+        assert!(cache.lookup("q", 1).is_some(), "rewriting survives refresh");
+        assert_eq!(cache.stats().invalidations, 0);
+
+        // Wrong metadata epoch never serves an optimized plan.
+        cache.store_optimized("q", 1, 1, Arc::new(Plan::scan("w1")));
+        assert!(cache.lookup_optimized("q", 2, 1).is_none());
+        // Storing against a stale metadata epoch is a no-op.
+        cache.store_optimized("q", 9, 1, Arc::new(Plan::scan("zzz")));
+        assert!(cache.lookup_optimized("q", 9, 1).is_none());
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use mdm_rdf::term::Iri;
 use mdm_relational::{
-    pool, BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline, ExecOptions,
-    Executor, Layout, Pool, PoolStats, RetryPolicy,
+    explain_tree, pool, BreakerConfig, BreakerRegistry, BreakerSnapshot, Catalog, Deadline,
+    ExecOptions, Executor, Layout, OptimizeMode, Optimizer, Plan, Pool, PoolStats, RetryPolicy,
+    ScanCache, StatsCatalog, StatsSnapshot,
 };
 use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 
@@ -64,6 +65,15 @@ pub struct Mdm {
     /// Physical data layout queries execute under: columnar (the default)
     /// or the row-at-a-time escape hatch.
     layout: Layout,
+    /// Cardinality statistics feeding the cost-based optimizer. Shared with
+    /// every executor this instance builds (scans feed observations back)
+    /// and versioned by its own **stats epoch** — bumped by
+    /// [`Mdm::refresh_stats`], never by metadata mutations.
+    stats: Arc<StatsCatalog>,
+    /// Plan-optimization mode applied before execution: `Cost` (default),
+    /// `Heuristic`, or `Off`. Never changes query *results*, only the
+    /// physical plan shape.
+    optimize: OptimizeMode,
     /// Durability hook: every successful steward mutation is handed here as
     /// a [`MutationOp`] stamped with the post-mutation epoch. `None` (the
     /// default) keeps the instance purely in-memory.
@@ -90,6 +100,8 @@ impl Mdm {
             pool: Some(pool::global()),
             batch_size: mdm_relational::physical::DEFAULT_BATCH,
             layout: Layout::default(),
+            stats: mdm_relational::stats::global(),
+            optimize: OptimizeMode::default(),
             journal: None,
         }
     }
@@ -145,6 +157,45 @@ impl Mdm {
         self.layout
     }
 
+    /// Sets the plan-optimization mode: `cost` (default) runs the full
+    /// stats-driven pipeline, `heuristic` only the stats-free rewrites,
+    /// `off` executes rewritings verbatim. Results are identical in all
+    /// three; only execution cost changes.
+    pub fn set_optimize(&mut self, mode: OptimizeMode) {
+        self.optimize = mode;
+    }
+
+    /// The configured plan-optimization mode.
+    pub fn optimize_mode(&self) -> OptimizeMode {
+        self.optimize
+    }
+
+    /// Replaces the statistics catalog — embedders and tests wanting
+    /// isolation from the process-wide one.
+    pub fn set_stats_catalog(&mut self, stats: Arc<StatsCatalog>) {
+        self.stats = stats;
+    }
+
+    /// The current stats epoch (see [`Mdm::refresh_stats`]).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats.epoch()
+    }
+
+    /// The steward's "re-profile the ecosystem" action: bumps the stats
+    /// epoch so the next scan of each relation re-observes it and every
+    /// cached plan is re-optimized on next use. Takes `&self` and does
+    /// **not** touch the metadata epoch — a stats refresh is not a release,
+    /// so cached rewritings (and golden outputs) survive it.
+    pub fn refresh_stats(&self) -> u64 {
+        self.stats.refresh()
+    }
+
+    /// Inventory + counters of the statistics catalog (for `/metrics` and
+    /// the CLI `stats` command).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
     /// Execution options for one query: the instance's retry policy, pool
     /// and metadata epoch (the scan-cache key component), plus the caller's
     /// deadline.
@@ -156,6 +207,7 @@ impl Mdm {
             batch_size: self.batch_size,
             epoch: self.epoch,
             layout: self.layout,
+            stats: Some(Arc::clone(&self.stats)),
         }
     }
 
@@ -469,20 +521,73 @@ impl Mdm {
         Ok(rewriting)
     }
 
+    /// Applies the configured optimization mode to one plan, consulting the
+    /// current statistics.
+    fn optimize_plan(&self, plan: Plan) -> Plan {
+        let resolve = |name: &str| self.catalog.relation_schema(name);
+        Optimizer::new(self.stats.as_ref(), &resolve).optimize_with(self.optimize, plan)
+    }
+
+    /// The optimized physical form of a cached rewriting, served from the
+    /// plan cache's stats-epoch-keyed side slot: optimization reruns only
+    /// when the rewriting itself is fresh or the stats epoch moved on
+    /// (a [`Mdm::refresh_stats`]). The *rewriting* entry — keyed by the
+    /// metadata epoch — is untouched either way.
+    fn optimized_plan(&self, walk: &Walk, rewriting: &Rewriting) -> Arc<Plan> {
+        if self.optimize == OptimizeMode::Off {
+            return Arc::new(rewriting.plan.clone());
+        }
+        let key = walk.canonical_key();
+        let stats_epoch = self.stats.epoch();
+        if let Some(plan) = self
+            .plan_cache
+            .lookup_optimized(&key, self.epoch, stats_epoch)
+        {
+            return plan;
+        }
+        let plan = Arc::new(self.optimize_plan(rewriting.plan.clone()));
+        self.plan_cache
+            .store_optimized(&key, self.epoch, stats_epoch, Arc::clone(&plan));
+        plan
+    }
+
     /// Rewrites through the plan cache and executes against the internal
     /// catalog. Execution always runs (results depend on wrapper *data*,
     /// which is not governed by the metadata epoch); only the rewriting
-    /// work is reused.
+    /// and plan-optimization work is reused.
     pub fn query_cached(&self, walk: &Walk) -> Result<QueryAnswer, MdmError> {
         let rewriting = self.rewrite_cached(walk)?;
+        let plan = self.optimized_plan(walk, &rewriting);
         let table = Executor::with_options(&self.catalog, self.exec_options(Deadline::none()))
-            .run(&rewriting.plan)
+            .run(&plan)
             .map_err(MdmError::from_exec)?
             .sorted();
         Ok(QueryAnswer {
             rewriting: (*rewriting).clone(),
             table,
         })
+    }
+
+    /// The `explain` surface: the optimized physical plan tree, each
+    /// operator annotated with its estimated cardinality and — because
+    /// MDM queries run against live wrappers anyway — the actual row count
+    /// obtained by executing that subtree (one shared scan cache keeps
+    /// every wrapper fetched once despite the per-node runs).
+    pub fn explain_plan(&self, walk: &Walk) -> Result<String, MdmError> {
+        let rewriting = self.rewrite_cached(walk)?;
+        let plan = self.optimized_plan(walk, &rewriting);
+        let resolve = |name: &str| self.catalog.relation_schema(name);
+        let optimizer = Optimizer::new(self.stats.as_ref(), &resolve);
+        let exec_options = self.exec_options(Deadline::none());
+        let cache = ScanCache::new();
+        let actual = |subtree: &Plan| {
+            Executor::with_options(&self.catalog, exec_options.clone())
+                .with_scan_cache(&cache)
+                .run(subtree)
+                .ok()
+                .map(|table| table.len())
+        };
+        Ok(explain_tree(&plan, &|p| optimizer.estimate(p), &actual))
     }
 
     /// Rewrites and executes a walk against the internal wrapper catalog.
@@ -509,12 +614,17 @@ impl Mdm {
     ) -> Result<DegradedAnswer, MdmError> {
         let rewriting = self.rewrite_cached(walk)?;
         let exec_options = self.exec_options(deadline);
+        // Branch plans are derived per query (they depend on the distinct
+        // flag and drop independently), so degraded mode optimizes each
+        // branch inline instead of going through the plan-cache side slot.
+        let optimize = |plan: Plan| self.optimize_plan(plan);
         let (table, mut completeness) = execute_degraded(
             &rewriting,
             &self.catalog,
             &self.options,
             &exec_options,
             Some(&self.breakers),
+            (self.optimize != OptimizeMode::Off).then_some(&optimize as &dyn Fn(Plan) -> Plan),
         )?;
         // Enrich wrapper names with the version each one consumes
         // (`w3@v2`), so completeness reports pin down *which release*
@@ -644,6 +754,8 @@ impl Mdm {
             pool: Some(pool::global()),
             batch_size: mdm_relational::physical::DEFAULT_BATCH,
             layout: Layout::default(),
+            stats: mdm_relational::stats::global(),
+            optimize: OptimizeMode::default(),
             journal: None,
         })
     }
@@ -989,6 +1101,101 @@ mod tests {
         assert!(after.rewriting.branch_count() > branches_before);
         assert!(after.render().contains("Zlatan Ibrahimovic"));
         assert!(mdm.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn stats_refresh_reoptimizes_without_a_metadata_release() {
+        let mut mdm = football_mdm();
+        // Isolated catalog: other tests in the process share the global one.
+        let stats = Arc::new(StatsCatalog::new());
+        mdm.set_stats_catalog(Arc::clone(&stats));
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&ex("Player"), &ex("hasTeam"), &team);
+
+        let before = mdm.query_cached(&walk).unwrap();
+        assert!(
+            !stats.snapshot().relations.is_empty(),
+            "execution feeds scan observations into the catalog"
+        );
+        // Second run: the optimized plan serves from the side slot.
+        mdm.query_cached(&walk).unwrap();
+        assert_eq!(mdm.cache_stats().reoptimizations, 0);
+
+        // Steward refreshes statistics: the stats epoch moves, the
+        // metadata epoch must not — a refresh is not a release.
+        let metadata_epoch = mdm.epoch();
+        let invalidations = mdm.cache_stats().invalidations;
+        let hits = mdm.cache_stats().hits;
+        let stats_epoch = mdm.refresh_stats();
+        assert_eq!(
+            mdm.epoch(),
+            metadata_epoch,
+            "refresh must not touch metadata"
+        );
+        assert_eq!(mdm.stats_epoch(), stats_epoch);
+
+        let after = mdm.query_cached(&walk).unwrap();
+        assert_eq!(after.render(), before.render(), "results are unchanged");
+        let cache = mdm.cache_stats();
+        assert_eq!(cache.reoptimizations, 1, "cached plan was re-optimized");
+        assert_eq!(
+            cache.invalidations, invalidations,
+            "no rewriting entry was invalidated by the refresh"
+        );
+        assert!(cache.hits > hits, "the rewriting itself kept serving");
+    }
+
+    #[test]
+    fn optimize_modes_agree_end_to_end() {
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&vocab::schema::SPORTS_TEAM.iri(), &ex("teamName"))
+            .relation(
+                &ex("Player"),
+                &ex("hasTeam"),
+                &vocab::schema::SPORTS_TEAM.iri(),
+            );
+        let mut renders = Vec::new();
+        let mut degraded = Vec::new();
+        for mode in [
+            OptimizeMode::Off,
+            OptimizeMode::Heuristic,
+            OptimizeMode::Cost,
+        ] {
+            let mut mdm = football_mdm();
+            mdm.set_optimize(mode);
+            assert_eq!(mdm.optimize_mode(), mode);
+            renders.push(mdm.query_cached(&walk).unwrap().render());
+            degraded.push(
+                mdm.query_degraded(&walk, Deadline::none())
+                    .unwrap()
+                    .render(),
+            );
+        }
+        assert_eq!(renders[0], renders[1]);
+        assert_eq!(renders[0], renders[2]);
+        assert_eq!(degraded[0], degraded[1]);
+        assert_eq!(degraded[0], degraded[2]);
+    }
+
+    #[test]
+    fn explain_annotates_the_optimized_plan() {
+        let mut mdm = football_mdm();
+        mdm.set_stats_catalog(Arc::new(StatsCatalog::new()));
+        let team = vocab::schema::SPORTS_TEAM.iri();
+        let walk = Walk::new()
+            .feature(&ex("Player"), &ex("playerName"))
+            .feature(&team, &ex("teamName"))
+            .relation(&ex("Player"), &ex("hasTeam"), &team);
+        // Warm the stats so the tree carries estimates, not just actuals.
+        mdm.query_cached(&walk).unwrap();
+        let tree = mdm.explain_plan(&walk).unwrap();
+        assert!(tree.contains("scan w1"), "{tree}");
+        assert!(tree.contains("act="), "{tree}");
+        assert!(tree.contains("est≈"), "{tree}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 use mdm_relational::resilience::ScanGuard;
-use mdm_relational::{Catalog, ExecOptions, Executor, ScanCache, Table};
+use mdm_relational::{Catalog, ExecOptions, Executor, Plan, ScanCache, Table};
 
 use crate::error::MdmError;
 use crate::ontology::BdiOntology;
@@ -138,12 +138,17 @@ impl DegradedAnswer {
 /// This is the degraded-mode contract: under partial source failure an
 /// analyst gets the answerable fraction of the UCQ plus an honest account
 /// of what is missing, instead of an all-or-nothing error.
+/// `optimize` is applied to each branch plan after it is derived (the
+/// cost-based pass, when the facade runs with optimization on); branches
+/// are optimized independently because each one executes — and can fail —
+/// on its own.
 pub fn execute_degraded(
     rewriting: &Rewriting,
     catalog: &dyn Catalog,
     options: &RewriteOptions,
     exec_options: &ExecOptions,
     guard: Option<&dyn ScanGuard>,
+    optimize: Option<&dyn Fn(Plan) -> Plan>,
 ) -> Result<(Table, Completeness), MdmError> {
     let mut completeness = Completeness {
         total_branches: rewriting.queries.len(),
@@ -154,10 +159,14 @@ pub fn execute_degraded(
     let mut plans = Vec::with_capacity(rewriting.queries.len());
     for cq in &rewriting.queries {
         let plan = plan_for_cq(cq, &rewriting.output_columns)?;
-        plans.push(if options.distinct {
+        let plan = if options.distinct {
             plan.distinct()
         } else {
             plan
+        };
+        plans.push(match optimize {
+            Some(optimize) => optimize(plan),
+            None => plan,
         });
     }
     // One scan cache for the whole UCQ: a wrapper referenced by several

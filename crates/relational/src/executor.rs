@@ -204,6 +204,11 @@ pub struct ExecOptions {
     /// Physical data layout: columnar (fixed-width term ids, vectorized
     /// kernels — the default) or the row-at-a-time escape hatch.
     pub layout: Layout,
+    /// Statistics catalog to feed with scan observations (row counts,
+    /// per-column distincts) as relations are fetched. Defaults to the
+    /// process-wide [`stats::global`](crate::stats::global) catalog;
+    /// `None` disables observation.
+    pub stats: Option<Arc<crate::stats::StatsCatalog>>,
 }
 
 impl Default for ExecOptions {
@@ -215,6 +220,7 @@ impl Default for ExecOptions {
             batch_size: DEFAULT_BATCH,
             epoch: 0,
             layout: Layout::default(),
+            stats: Some(crate::stats::global()),
         }
     }
 }
@@ -555,6 +561,20 @@ impl<'a> Executor<'a> {
                     }
                     self.fetched_rows
                         .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    // Piggyback statistics observation on the fetch we
+                    // already paid for: profile the rows unless the
+                    // catalog has this (relation, version, row count) at
+                    // the current stats epoch already.
+                    if let Some(stats) = &self.options.stats {
+                        if stats.needs_observation(relation, provider.version(), rows.len()) {
+                            stats.observe(
+                                relation,
+                                provider.version(),
+                                &provider.provider_schema(),
+                                &rows,
+                            );
+                        }
+                    }
                     return Ok(rows);
                 }
                 Err(err) if err.is_transient() && attempt < self.options.retry.max_attempts => {

@@ -24,8 +24,14 @@
 //! * [`pool`] — the bounded, work-stealing scoped-thread worker pool;
 //! * [`scan_cache`] — the per-query `(relation, version, epoch)`-keyed
 //!   scan cache (each wrapper fetched once per query);
-//! * [`optimizer`] — heuristic rewrites (predicate pushdown, projection
-//!   pruning, join reordering) exercised by the ablation benches.
+//! * [`optimizer`] — plan optimization: heuristic rewrites (predicate
+//!   pushdown, pairwise join ordering) plus the cost-based pass
+//!   (projection pruning, greedy join-region reordering, branch dedup)
+//!   driven by the [`stats`] catalog;
+//! * [`stats`] — the cardinality-statistics catalog: per-relation row
+//!   counts and per-column distinct/null estimates, learned
+//!   opportunistically from executor scans and versioned by a stats
+//!   epoch.
 
 pub mod algebra;
 pub mod columnar;
@@ -39,6 +45,7 @@ pub mod pool;
 pub mod resilience;
 pub mod scan_cache;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -49,7 +56,8 @@ pub use executor::{
 };
 pub use expr::{BinOp, Expr};
 pub use intern::{InternStats, Sym};
-pub use metrics::DataPlaneStats;
+pub use metrics::{DataPlaneStats, OptimizerStats};
+pub use optimizer::{explain_tree, OptimizeMode, Optimizer, Statistics};
 pub use physical::Batch;
 pub use pool::{Pool, PoolStats};
 pub use resilience::{
@@ -57,5 +65,6 @@ pub use resilience::{
 };
 pub use scan_cache::{ScanCache, ScanCacheStats};
 pub use schema::Schema;
+pub use stats::{StatsCatalog, StatsSnapshot};
 pub use table::Table;
 pub use value::{Tuple, Value};

@@ -16,6 +16,10 @@ static COL_ENCODES: AtomicU64 = AtomicU64::new(0);
 static COL_DECODES: AtomicU64 = AtomicU64::new(0);
 static COL_BYTES: AtomicU64 = AtomicU64::new(0);
 static COL_KERNELS: AtomicU64 = AtomicU64::new(0);
+static JOINS_REORDERED: AtomicU64 = AtomicU64::new(0);
+static FILTERS_PUSHED: AtomicU64 = AtomicU64::new(0);
+static PROJECTIONS_PRUNED: AtomicU64 = AtomicU64::new(0);
+static BRANCHES_DEDUPED: AtomicU64 = AtomicU64::new(0);
 
 /// Records `rows` tuples crossing the executor's drain loop in one batch.
 pub(crate) fn record_batch(rows: u64) {
@@ -42,6 +46,49 @@ pub(crate) fn record_decodes(terms: u64) {
 /// Records one vectorized kernel invocation (filter/join/distinct/project).
 pub(crate) fn record_kernel() {
     COL_KERNELS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one join whose inputs were reordered by the optimizer.
+pub(crate) fn record_join_reordered() {
+    JOINS_REORDERED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one filter pushed below a join by the optimizer.
+pub(crate) fn record_filter_pushed() {
+    FILTERS_PUSHED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one scan narrowed to its consumed columns.
+pub(crate) fn record_projection_pruned() {
+    PROJECTIONS_PRUNED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one duplicate union arm dropped under a distinct.
+pub(crate) fn record_branch_deduped() {
+    BRANCHES_DEDUPED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counters for the plan-optimization passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Joins whose inputs were reordered (greedy rebuild or pairwise swap).
+    pub joins_reordered: u64,
+    /// Filters pushed below a join.
+    pub filters_pushed: u64,
+    /// Scans narrowed to their consumed columns.
+    pub projections_pruned: u64,
+    /// Duplicate union arms dropped under a distinct.
+    pub branches_deduped: u64,
+}
+
+/// The process-wide optimizer counters.
+pub fn optimizer_snapshot() -> OptimizerStats {
+    OptimizerStats {
+        joins_reordered: JOINS_REORDERED.load(Ordering::Relaxed),
+        filters_pushed: FILTERS_PUSHED.load(Ordering::Relaxed),
+        projections_pruned: PROJECTIONS_PRUNED.load(Ordering::Relaxed),
+        branches_deduped: BRANCHES_DEDUPED.load(Ordering::Relaxed),
+    }
 }
 
 /// Counters for the columnar execution path.

@@ -1,24 +1,40 @@
-//! Heuristic plan rewrites.
+//! Plan optimization: heuristic rewrites plus the cost-based pass.
 //!
 //! The paper's prototype unions SQLite queries without optimisation; a
-//! production federation layer wants at least the classical heuristics. The
-//! ablation bench (`P6` in DESIGN.md) measures their effect:
+//! production federation layer wants more. Three tiers are offered via
+//! [`OptimizeMode`]:
 //!
-//! * **predicate pushdown** — filters sink below joins and unions to the arm
-//!   that can evaluate them;
-//! * **join input ordering** — the smaller estimated input becomes the hash-
-//!   join build side (we express this by swapping children, since
+//! * **off** — execute the rewriting exactly as produced;
+//! * **heuristic** — the classical statistics-free rewrites: predicate
+//!   pushdown (filters sink below joins and unions to the arm that can
+//!   evaluate them) and pairwise join-input ordering (the smaller
+//!   estimated input becomes the hash-join build side — we express this by
+//!   swapping children, since
 //!   [`HashJoinExec`](crate::physical::HashJoinExec) always builds right);
-//! * **union-arm pruning** — a union arm whose relation provider is known
-//!   empty is dropped (frequent under schema evolution: a superseded wrapper
-//!   version may serve zero rows).
+//! * **cost** (the default) — everything above plus the passes driven by
+//!   the [`stats`](crate::stats) catalog: projection pruning (scans are
+//!   narrowed to the columns the plan above actually consumes, shrinking
+//!   every downstream join gather), greedy join-region reordering
+//!   (cheapest estimated join first, left-deep, build-side-small), and
+//!   post-reorder union-arm dedup under `δ` (joins that become identical
+//!   only once canonically ordered collapse to one branch).
+//!
+//! Every rewrite is semantics-preserving **including output column
+//! order**: when reordering changes the left-to-right leaf order of a
+//! join region, the region is wrapped in an identity projection restoring
+//! the original schema, so optimized and unoptimized plans render
+//! byte-identical tables.
 
-use crate::algebra::Plan;
-use crate::expr::Expr;
-use crate::schema::Schema;
+use std::collections::HashSet;
+
+use crate::algebra::{JoinKind, Plan};
+use crate::expr::{BinOp, Expr};
+use crate::metrics;
+use crate::schema::{ColumnRef, Schema};
 
 /// A structural fingerprint of a plan subtree, used by the executor to
-/// detect identical UCQ branches and execute them once. The `Display`
+/// detect identical UCQ branches and execute them once, and by the
+/// optimizer to drop duplicate union arms under `δ`. The `Display`
 /// rendering of a plan is deterministic and complete (it is the Figure-8
 /// algebra expression, covering predicates, projections, join keys and
 /// relation names), so equal renderings mean structurally equal plans;
@@ -31,26 +47,84 @@ pub fn subtree_fingerprint(plan: &Plan) -> u64 {
     hasher.finish()
 }
 
-/// Cardinality estimates for base relations, used by join ordering.
+/// Cardinality statistics for base relations; the cost model's input.
+/// Implemented by the process-wide [`StatsCatalog`](crate::stats) and by
+/// test/bench fixtures.
 pub trait Statistics {
     /// Estimated row count of `relation`, when known.
     fn estimated_rows(&self, relation: &str) -> Option<usize>;
+
+    /// Estimated distinct values of `column` (qualified, e.g. `w1.id`) in
+    /// `relation`, when known.
+    fn distinct_values(&self, _relation: &str, _column: &str) -> Option<usize> {
+        None
+    }
+
+    /// Fraction of NULLs in `column` of `relation`, when known.
+    fn null_fraction(&self, _relation: &str, _column: &str) -> Option<f64> {
+        None
+    }
 }
 
-/// Statistics that know nothing.
-pub struct NoStatistics;
+/// How much optimization to apply to execution plans.
+///
+/// The rewriting itself (the Figure-8 algebra expression) is never
+/// touched — all modes optimize the *executed* plan only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptimizeMode {
+    /// Execute rewritings verbatim.
+    Off,
+    /// Statistics-free rewrites: pushdown + pairwise join ordering.
+    Heuristic,
+    /// Full cost-based pass driven by the stats catalog.
+    #[default]
+    Cost,
+}
 
-impl Statistics for NoStatistics {
-    fn estimated_rows(&self, _relation: &str) -> Option<usize> {
-        None
+impl OptimizeMode {
+    /// Parses the CLI/server spelling (`off`, `heuristic`, `cost`).
+    pub fn parse(text: &str) -> Option<OptimizeMode> {
+        match text.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(OptimizeMode::Off),
+            "heuristic" => Some(OptimizeMode::Heuristic),
+            "cost" => Some(OptimizeMode::Cost),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OptimizeMode::Off => "off",
+            OptimizeMode::Heuristic => "heuristic",
+            OptimizeMode::Cost => "cost",
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
 /// The optimizer; all rewrites are semantics-preserving.
 pub struct Optimizer<'a> {
     stats: &'a dyn Statistics,
-    /// Resolves relation schemas, needed to decide where predicates can sink.
+    /// Resolves relation schemas, needed to decide where predicates can
+    /// sink and which scan columns are consumed.
     resolve: &'a dyn Fn(&str) -> Result<Schema, String>,
+}
+
+/// Pre-flight analysis of one inner-join region (see
+/// [`Optimizer::analyze_region`]); its existence means reordering is safe.
+struct RegionPrep {
+    /// Estimated rows per unit.
+    cards: Vec<usize>,
+    /// Per join condition, the (left unit, right unit) it connects.
+    edges: Vec<(usize, usize)>,
+    /// The region's output schema in original unit order.
+    original_schema: Schema,
 }
 
 impl<'a> Optimizer<'a> {
@@ -61,10 +135,27 @@ impl<'a> Optimizer<'a> {
         Optimizer { stats, resolve }
     }
 
-    /// Applies all rewrites bottom-up.
+    /// Applies the full cost-based pass (the [`OptimizeMode::Cost`]
+    /// pipeline).
     pub fn optimize(&self, plan: Plan) -> Plan {
-        let plan = self.rewrite(plan);
-        self.order_joins(plan)
+        self.optimize_with(OptimizeMode::Cost, plan)
+    }
+
+    /// Applies the rewrites selected by `mode`.
+    pub fn optimize_with(&self, mode: OptimizeMode, plan: Plan) -> Plan {
+        match mode {
+            OptimizeMode::Off => plan,
+            OptimizeMode::Heuristic => {
+                let plan = self.rewrite(plan);
+                self.order_joins(plan)
+            }
+            OptimizeMode::Cost => {
+                let plan = self.rewrite(plan);
+                let plan = self.prune(plan, None);
+                let plan = self.reorder(plan);
+                self.dedup_branches(plan)
+            }
+        }
     }
 
     /// Predicate pushdown and union-arm simplification.
@@ -138,6 +229,7 @@ impl<'a> Optimizer<'a> {
             } => {
                 // Sink into whichever side covers all referenced columns.
                 if self.covers(&left, &predicate) {
+                    metrics::record_filter_pushed();
                     Plan::Join {
                         kind,
                         left: Box::new(self.push_filter(*left, predicate)),
@@ -145,6 +237,7 @@ impl<'a> Optimizer<'a> {
                         on,
                     }
                 } else if self.covers(&right, &predicate) {
+                    metrics::record_filter_pushed();
                     Plan::Join {
                         kind,
                         left,
@@ -177,12 +270,494 @@ impl<'a> Optimizer<'a> {
             .all(|column| schema.index_of(column).is_ok())
     }
 
+    /// Projection pruning: narrows scans to the columns consumed above.
+    ///
+    /// `needed` is the set of column references the consumer requires;
+    /// `None` means "everything" (no projection above has restarted the
+    /// set). The set restarts at projections, widens through filters,
+    /// joins and sorts by their own references, and resets to "everything"
+    /// at distincts and unions — pruning below a `δ` would change which
+    /// rows are duplicates, and union arms may disagree on names.
+    fn prune(&self, plan: Plan, needed: Option<&[ColumnRef]>) -> Plan {
+        match plan {
+            Plan::Project { input, columns } => {
+                let mut refs: Vec<ColumnRef> = Vec::new();
+                for (expr, _) in &columns {
+                    for column in expr.referenced_columns() {
+                        if !refs.contains(column) {
+                            refs.push(column.clone());
+                        }
+                    }
+                }
+                let input = self.prune(*input, Some(&refs));
+                // A narrowing π the pass inserted on an earlier run looks
+                // like an identity projection over the same columns; keep
+                // only one so pruning is idempotent.
+                let identity = columns
+                    .iter()
+                    .all(|(expr, out)| matches!(expr, Expr::Column(c) if c == out));
+                let input = match input {
+                    Plan::Project {
+                        input: inner,
+                        columns: inner_columns,
+                    } if identity && inner_columns == columns => *inner,
+                    other => other,
+                };
+                Plan::Project {
+                    input: Box::new(input),
+                    columns,
+                }
+            }
+            Plan::Filter { input, predicate } => {
+                let widened = needed.map(|base| {
+                    let mut refs = base.to_vec();
+                    for column in predicate.referenced_columns() {
+                        if !refs.contains(column) {
+                            refs.push(column.clone());
+                        }
+                    }
+                    refs
+                });
+                Plan::Filter {
+                    input: Box::new(self.prune(*input, widened.as_deref())),
+                    predicate,
+                }
+            }
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
+                let widened = needed.map(|base| {
+                    let mut refs = base.to_vec();
+                    for (l, r) in &on {
+                        if !refs.contains(l) {
+                            refs.push(l.clone());
+                        }
+                        if !refs.contains(r) {
+                            refs.push(r.clone());
+                        }
+                    }
+                    refs
+                });
+                Plan::Join {
+                    kind,
+                    left: Box::new(self.prune(*left, widened.as_deref())),
+                    right: Box::new(self.prune(*right, widened.as_deref())),
+                    on,
+                }
+            }
+            Plan::Sort { input, keys } => {
+                let widened = needed.map(|base| {
+                    let mut refs = base.to_vec();
+                    for (column, _) in &keys {
+                        if !refs.contains(column) {
+                            refs.push(column.clone());
+                        }
+                    }
+                    refs
+                });
+                Plan::Sort {
+                    input: Box::new(self.prune(*input, widened.as_deref())),
+                    keys,
+                }
+            }
+            Plan::Limit { input, count } => Plan::Limit {
+                input: Box::new(self.prune(*input, needed)),
+                count,
+            },
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.prune(*input, None)),
+            },
+            Plan::Union { inputs } => Plan::Union {
+                inputs: inputs
+                    .into_iter()
+                    .map(|arm| self.prune(arm, None))
+                    .collect(),
+            },
+            Plan::Scan { relation } => {
+                if let Some(needed) = needed {
+                    if let Ok(schema) = (self.resolve)(&relation) {
+                        let kept: Vec<ColumnRef> = schema
+                            .columns()
+                            .iter()
+                            .filter(|column| needed.iter().any(|wanted| column.matches(wanted)))
+                            .cloned()
+                            .collect();
+                        if !kept.is_empty() && kept.len() < schema.len() {
+                            metrics::record_projection_pruned();
+                            return Plan::Project {
+                                input: Box::new(Plan::Scan { relation }),
+                                columns: kept
+                                    .into_iter()
+                                    .map(|column| (Expr::Column(column.clone()), column))
+                                    .collect(),
+                            };
+                        }
+                    }
+                }
+                Plan::Scan { relation }
+            }
+        }
+    }
+
+    /// Greedy join-region reordering: within each maximal tree of inner
+    /// joins, units (non-inner-join subtrees) are re-joined cheapest
+    /// estimated join first, left-deep, with the smaller input on the
+    /// right (the hash-join build side). Bails out — leaving the region
+    /// untouched — whenever statistics are missing, a join condition
+    /// cannot be attributed to exactly one unit per side, the region is
+    /// not connected, or its schema has ambiguous columns.
+    fn reorder(&self, plan: Plan) -> Plan {
+        match plan {
+            join @ Plan::Join {
+                kind: JoinKind::Inner,
+                ..
+            } => self.reorder_region(join),
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => Plan::Join {
+                kind,
+                left: Box::new(self.reorder(*left)),
+                right: Box::new(self.reorder(*right)),
+                on,
+            },
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.reorder(*input)),
+                predicate,
+            },
+            Plan::Project { input, columns } => Plan::Project {
+                input: Box::new(self.reorder(*input)),
+                columns,
+            },
+            Plan::Union { inputs } => Plan::Union {
+                inputs: inputs.into_iter().map(|arm| self.reorder(arm)).collect(),
+            },
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.reorder(*input)),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.reorder(*input)),
+                keys,
+            },
+            Plan::Limit { input, count } => Plan::Limit {
+                input: Box::new(self.reorder(*input)),
+                count,
+            },
+            leaf @ Plan::Scan { .. } => leaf,
+        }
+    }
+
+    /// Checks that the region rooted at `plan` (an inner join) can be
+    /// safely reordered, returning the data the greedy pass needs.
+    fn analyze_region(&self, plan: &Plan) -> Option<RegionPrep> {
+        let mut units: Vec<&Plan> = Vec::new();
+        let mut conds: Vec<&(ColumnRef, ColumnRef)> = Vec::new();
+        region_refs(plan, &mut units, &mut conds);
+        if units.len() < 2 || conds.is_empty() {
+            return None;
+        }
+        let cards: Vec<usize> = units
+            .iter()
+            .map(|unit| self.estimate(unit))
+            .collect::<Option<_>>()?;
+        let schemas: Vec<Schema> = units
+            .iter()
+            .map(|unit| unit.schema_with(self.resolve).ok())
+            .collect::<Option<_>>()?;
+        // The restoring projection selects columns by reference, so every
+        // region column must be qualified and unique.
+        let mut seen = HashSet::new();
+        for schema in &schemas {
+            for column in schema.columns() {
+                let relation = column.relation.as_ref()?;
+                if !seen.insert((relation.clone(), column.name.clone())) {
+                    return None;
+                }
+            }
+        }
+        let unit_relations: Vec<Vec<&str>> =
+            units.iter().map(|unit| unit.scanned_relations()).collect();
+        let mut edges = Vec::new();
+        for (l, r) in &conds {
+            let a = unit_of(&unit_relations, &schemas, l)?;
+            let b = unit_of(&unit_relations, &schemas, r)?;
+            if a == b {
+                return None;
+            }
+            edges.push((a, b));
+        }
+        // Connectivity: every unit reachable from unit 0 over conditions.
+        let mut reached = vec![false; units.len()];
+        reached[0] = true;
+        let mut frontier = vec![0usize];
+        while let Some(at) = frontier.pop() {
+            for &(a, b) in &edges {
+                let next = if a == at {
+                    b
+                } else if b == at {
+                    a
+                } else {
+                    continue;
+                };
+                if !reached[next] {
+                    reached[next] = true;
+                    frontier.push(next);
+                }
+            }
+        }
+        if reached.iter().any(|r| !r) {
+            return None;
+        }
+        let mut original_schema = Schema::default();
+        for schema in &schemas {
+            original_schema = original_schema.concat(schema);
+        }
+        Some(RegionPrep {
+            cards,
+            edges,
+            original_schema,
+        })
+    }
+
+    /// Reorders one inner-join region (see [`Optimizer::reorder`]).
+    fn reorder_region(&self, plan: Plan) -> Plan {
+        let Some(prep) = self.analyze_region(&plan) else {
+            // Not reorderable: keep the region's shape, but still visit
+            // the subtrees hanging below it.
+            let Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } = plan
+            else {
+                unreachable!("reorder_region is only called on joins");
+            };
+            return Plan::Join {
+                kind,
+                left: Box::new(self.reorder(*left)),
+                right: Box::new(self.reorder(*right)),
+                on,
+            };
+        };
+        let mut units: Vec<Plan> = Vec::new();
+        let mut conds: Vec<(ColumnRef, ColumnRef)> = Vec::new();
+        split_region(plan, &mut units, &mut conds);
+        let mut units: Vec<Option<Plan>> = units
+            .into_iter()
+            .map(|unit| Some(self.reorder(unit)))
+            .collect();
+        let n = units.len();
+        let RegionPrep {
+            cards,
+            edges,
+            original_schema,
+        } = prep;
+        let mut used = vec![false; conds.len()];
+        let mut in_tree = vec![false; n];
+
+        // Seed with the condition promising the cheapest two-way join.
+        let mut best: Option<(usize, usize)> = None; // (cond index, cost)
+        for (k, &(a, b)) in edges.iter().enumerate() {
+            let cost = self.join_estimate(cards[a], cards[b], Some(&conds[k]));
+            if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+                best = Some((k, cost));
+            }
+        }
+        let (seed, mut tree_card) = best.expect("region has conditions");
+        let (a, b) = edges[seed];
+        // Smaller input on the right: that is the hash-join build side.
+        let (left_unit, right_unit) = if cards[a] >= cards[b] { (a, b) } else { (b, a) };
+        let mut on = Vec::new();
+        for (k, &(x, y)) in edges.iter().enumerate() {
+            if x == left_unit && y == right_unit {
+                on.push(conds[k].clone());
+                used[k] = true;
+            } else if x == right_unit && y == left_unit {
+                let (l, r) = conds[k].clone();
+                on.push((r, l));
+                used[k] = true;
+            }
+        }
+        let mut tree = Plan::Join {
+            kind: JoinKind::Inner,
+            left: Box::new(units[left_unit].take().expect("unit consumed once")),
+            right: Box::new(units[right_unit].take().expect("unit consumed once")),
+            on,
+        };
+        in_tree[left_unit] = true;
+        in_tree[right_unit] = true;
+        let mut leaf_order = vec![left_unit, right_unit];
+
+        // Grow: always attach the connected unit with the cheapest
+        // estimated join against the current tree.
+        while leaf_order.len() < n {
+            let mut best: Option<(usize, usize)> = None; // (unit, cost)
+            for (k, &(x, y)) in edges.iter().enumerate() {
+                if used[k] || in_tree[x] == in_tree[y] {
+                    continue;
+                }
+                let unit = if in_tree[x] { y } else { x };
+                let cost = self.join_estimate(tree_card, cards[unit], Some(&conds[k]));
+                if best.is_none_or(|(best_unit, best_cost)| {
+                    cost < best_cost || (cost == best_cost && unit < best_unit)
+                }) {
+                    best = Some((unit, cost));
+                }
+            }
+            let Some((unit, cost)) = best else {
+                // Unreachable given the connectivity check; keep whatever
+                // is built rather than panic in release.
+                debug_assert!(false, "join region lost connectivity");
+                break;
+            };
+            let unit_right = cards[unit] <= tree_card;
+            let mut on = Vec::new();
+            for (k, &(x, y)) in edges.iter().enumerate() {
+                if used[k] {
+                    continue;
+                }
+                let touches = (in_tree[x] && y == unit) || (in_tree[y] && x == unit);
+                if !touches {
+                    continue;
+                }
+                let (l, r) = conds[k].clone();
+                let (tree_ref, unit_ref) = if y == unit { (l, r) } else { (r, l) };
+                if unit_right {
+                    on.push((tree_ref, unit_ref));
+                } else {
+                    on.push((unit_ref, tree_ref));
+                }
+                used[k] = true;
+            }
+            let attached = units[unit].take().expect("unit consumed once");
+            tree = if unit_right {
+                leaf_order.push(unit);
+                Plan::Join {
+                    kind: JoinKind::Inner,
+                    left: Box::new(tree),
+                    right: Box::new(attached),
+                    on,
+                }
+            } else {
+                leaf_order.insert(0, unit);
+                Plan::Join {
+                    kind: JoinKind::Inner,
+                    left: Box::new(attached),
+                    right: Box::new(tree),
+                    on,
+                }
+            };
+            in_tree[unit] = true;
+            tree_card = cost;
+        }
+
+        // Conditions whose endpoints both entered the tree before the
+        // condition was consumed (cycles) survive as equality filters.
+        for (k, cond) in conds.iter().enumerate() {
+            if !used[k] {
+                let (l, r) = cond.clone();
+                tree = tree.filter(Expr::Column(l).eq(Expr::Column(r)));
+            }
+        }
+
+        // A changed leaf order permutes the join's output columns; restore
+        // the original order with an identity projection so downstream
+        // output is byte-identical.
+        if leaf_order != (0..n).collect::<Vec<_>>() {
+            metrics::record_join_reordered();
+            tree = Plan::Project {
+                input: Box::new(tree),
+                columns: original_schema
+                    .columns()
+                    .iter()
+                    .map(|column| (Expr::Column(column.clone()), column.clone()))
+                    .collect(),
+            };
+        }
+        tree
+    }
+
+    /// Drops duplicate union arms under a `δ` — set semantics make them
+    /// redundant, and after canonical reordering previously distinct-
+    /// looking joins often become structurally identical.
+    fn dedup_branches(&self, plan: Plan) -> Plan {
+        match plan {
+            Plan::Distinct { input } => {
+                let input = self.dedup_branches(*input);
+                if let Plan::Union { inputs } = input {
+                    let mut kept: Vec<(u64, Plan)> = Vec::new();
+                    for arm in inputs {
+                        let fingerprint = subtree_fingerprint(&arm);
+                        if kept
+                            .iter()
+                            .any(|(seen, kept_arm)| *seen == fingerprint && kept_arm == &arm)
+                        {
+                            metrics::record_branch_deduped();
+                        } else {
+                            kept.push((fingerprint, arm));
+                        }
+                    }
+                    Plan::Distinct {
+                        input: Box::new(Plan::Union {
+                            inputs: kept.into_iter().map(|(_, arm)| arm).collect(),
+                        }),
+                    }
+                } else {
+                    Plan::Distinct {
+                        input: Box::new(input),
+                    }
+                }
+            }
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.dedup_branches(*input)),
+                predicate,
+            },
+            Plan::Project { input, columns } => Plan::Project {
+                input: Box::new(self.dedup_branches(*input)),
+                columns,
+            },
+            Plan::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => Plan::Join {
+                kind,
+                left: Box::new(self.dedup_branches(*left)),
+                right: Box::new(self.dedup_branches(*right)),
+                on,
+            },
+            Plan::Union { inputs } => Plan::Union {
+                inputs: inputs
+                    .into_iter()
+                    .map(|arm| self.dedup_branches(arm))
+                    .collect(),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.dedup_branches(*input)),
+                keys,
+            },
+            Plan::Limit { input, count } => Plan::Limit {
+                input: Box::new(self.dedup_branches(*input)),
+                count,
+            },
+            leaf @ Plan::Scan { .. } => leaf,
+        }
+    }
+
     /// Puts the smaller estimated input on the right of every inner join
-    /// (the build side of our hash join).
+    /// (the build side of our hash join). The heuristic-mode ordering
+    /// pass; the cost pass orients joins while rebuilding regions instead.
     fn order_joins(&self, plan: Plan) -> Plan {
         match plan {
             Plan::Join {
-                kind: crate::algebra::JoinKind::Inner,
+                kind: JoinKind::Inner,
                 left,
                 right,
                 on,
@@ -194,14 +769,17 @@ impl<'a> Optimizer<'a> {
                 match (left_rows, right_rows) {
                     // Swap when the *left* is smaller: small side should be
                     // the build (right) side. Key pairs flip accordingly.
-                    (Some(l), Some(r)) if l < r => Plan::Join {
-                        kind: crate::algebra::JoinKind::Inner,
-                        left: Box::new(right),
-                        right: Box::new(left),
-                        on: on.into_iter().map(|(a, b)| (b, a)).collect(),
-                    },
+                    (Some(l), Some(r)) if l < r => {
+                        metrics::record_join_reordered();
+                        Plan::Join {
+                            kind: JoinKind::Inner,
+                            left: Box::new(right),
+                            right: Box::new(left),
+                            on: on.into_iter().map(|(a, b)| (b, a)).collect(),
+                        }
+                    }
                     _ => Plan::Join {
-                        kind: crate::algebra::JoinKind::Inner,
+                        kind: JoinKind::Inner,
                         left: Box::new(left),
                         right: Box::new(right),
                         on,
@@ -234,20 +812,28 @@ impl<'a> Optimizer<'a> {
         }
     }
 
-    /// A crude cardinality estimate: scans use statistics, filters halve,
-    /// joins multiply then take a tenth, unions add.
-    fn estimate(&self, plan: &Plan) -> Option<usize> {
+    /// Estimated output cardinality of `plan`; `None` when a scanned
+    /// relation has no statistics. Scans use the catalog; equality
+    /// filters divide by the column's distinct count when profiled;
+    /// joins divide the cross product by the larger join-key distinct
+    /// count (System-R style), falling back to a tenth; unions add.
+    pub fn estimate(&self, plan: &Plan) -> Option<usize> {
         match plan {
             Plan::Scan { relation } => self.stats.estimated_rows(relation),
-            Plan::Filter { input, .. } => self.estimate(input).map(|n| n / 2),
+            Plan::Filter { input, predicate } => {
+                let rows = self.estimate(input)?;
+                Some(self.filter_estimate(rows, predicate))
+            }
             Plan::Project { input, .. } | Plan::Distinct { input } | Plan::Sort { input, .. } => {
                 self.estimate(input)
             }
             Plan::Limit { input, count } => self.estimate(input).map(|n| n.min(*count)),
-            Plan::Join { left, right, .. } => {
+            Plan::Join {
+                left, right, on, ..
+            } => {
                 let l = self.estimate(left)?;
                 let r = self.estimate(right)?;
-                Some((l.saturating_mul(r) / 10).max(1))
+                Some(self.join_estimate(l, r, on.first()))
             }
             Plan::Union { inputs } => {
                 let mut total = 0usize;
@@ -255,6 +841,203 @@ impl<'a> Optimizer<'a> {
                     total = total.saturating_add(self.estimate(input)?);
                 }
                 Some(total)
+            }
+        }
+    }
+
+    /// Selectivity of one predicate over `rows` input rows.
+    fn filter_estimate(&self, rows: usize, predicate: &Expr) -> usize {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = predicate
+        {
+            let column = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(c)) => {
+                    Some(c)
+                }
+                _ => None,
+            };
+            if let Some(column) = column {
+                if let Some(distinct) = self.column_distinct(column) {
+                    return (rows / distinct.max(1)).max(1);
+                }
+                return (rows / 3).max(1);
+            }
+        }
+        (rows / 2).max(1)
+    }
+
+    /// Estimated size of an equi-join of `l` × `r` rows on `cond`.
+    fn join_estimate(&self, l: usize, r: usize, cond: Option<&(ColumnRef, ColumnRef)>) -> usize {
+        let distinct =
+            cond.and_then(
+                |(a, b)| match (self.column_distinct(a), self.column_distinct(b)) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (None, None) => None,
+                },
+            );
+        match distinct {
+            Some(d) => (l.saturating_mul(r) / d.max(1)).max(1),
+            None => (l.saturating_mul(r) / 10).max(1),
+        }
+    }
+
+    /// Distinct count of a qualified column, when profiled.
+    fn column_distinct(&self, column: &ColumnRef) -> Option<usize> {
+        let relation = column.relation.as_deref()?;
+        self.stats.distinct_values(relation, &column.to_string())
+    }
+}
+
+/// Splits a maximal inner-join tree into its units and conditions,
+/// in-order (left subtree, node conditions, right subtree). Must traverse
+/// identically to [`region_refs`].
+fn split_region(plan: Plan, units: &mut Vec<Plan>, conds: &mut Vec<(ColumnRef, ColumnRef)>) {
+    match plan {
+        Plan::Join {
+            kind: JoinKind::Inner,
+            left,
+            right,
+            on,
+        } => {
+            split_region(*left, units, conds);
+            conds.extend(on);
+            split_region(*right, units, conds);
+        }
+        other => units.push(other),
+    }
+}
+
+/// Borrowing twin of [`split_region`], for pre-flight analysis.
+fn region_refs<'p>(
+    plan: &'p Plan,
+    units: &mut Vec<&'p Plan>,
+    conds: &mut Vec<&'p (ColumnRef, ColumnRef)>,
+) {
+    match plan {
+        Plan::Join {
+            kind: JoinKind::Inner,
+            left,
+            right,
+            on,
+        } => {
+            region_refs(left, units, conds);
+            conds.extend(on.iter());
+            region_refs(right, units, conds);
+        }
+        other => units.push(other),
+    }
+}
+
+/// The unit index a join-condition endpoint belongs to: by relation
+/// qualifier first, by schema resolution second; `None` when ambiguous.
+fn unit_of(unit_relations: &[Vec<&str>], schemas: &[Schema], column: &ColumnRef) -> Option<usize> {
+    if let Some(relation) = column.relation.as_deref() {
+        let hits: Vec<usize> = unit_relations
+            .iter()
+            .enumerate()
+            .filter(|(_, relations)| relations.contains(&relation))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [index] => return Some(*index),
+            [_, ..] => return None,
+            [] => {}
+        }
+    }
+    let hits: Vec<usize> = schemas
+        .iter()
+        .enumerate()
+        .filter(|(_, schema)| schema.index_of(column).is_ok())
+        .map(|(i, _)| i)
+        .collect();
+    match hits.as_slice() {
+        [index] => Some(*index),
+        _ => None,
+    }
+}
+
+/// Renders `plan` as an indented one-line-per-operator tree, annotating
+/// each node with its estimated (`est≈`) and, when the caller can supply
+/// one, actual (`act=`) cardinality — the `explain` surface of the CLI
+/// and the `/analyst/explain` route.
+pub fn explain_tree(
+    plan: &Plan,
+    estimate: &dyn Fn(&Plan) -> Option<usize>,
+    actual: &dyn Fn(&Plan) -> Option<usize>,
+) -> String {
+    let mut out = String::new();
+    explain_node(plan, 0, estimate, actual, &mut out);
+    out
+}
+
+fn explain_node(
+    plan: &Plan,
+    depth: usize,
+    estimate: &dyn Fn(&Plan) -> Option<usize>,
+    actual: &dyn Fn(&Plan) -> Option<usize>,
+    out: &mut String,
+) {
+    let label = match plan {
+        Plan::Scan { relation } => format!("scan {relation}"),
+        Plan::Filter { predicate, .. } => format!("σ[{predicate}]"),
+        Plan::Project { columns, .. } => {
+            if columns.len() > 6 {
+                format!("π[{} columns]", columns.len())
+            } else {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|(expr, name)| {
+                        let rendered = expr.to_string();
+                        if rendered == name.to_string() {
+                            rendered
+                        } else {
+                            format!("{rendered}→{name}")
+                        }
+                    })
+                    .collect();
+                format!("π[{}]", cols.join(", "))
+            }
+        }
+        Plan::Join { kind, on, .. } => {
+            let symbol = match kind {
+                JoinKind::Inner => "⋈",
+                JoinKind::Left => "⟕",
+            };
+            let conditions: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            format!("{symbol}[{}]", conditions.join(" ∧ "))
+        }
+        Plan::Union { inputs } => format!("∪ ({} arms)", inputs.len()),
+        Plan::Distinct { .. } => "δ".to_string(),
+        Plan::Sort { keys, .. } => format!("sort[{} keys]", keys.len()),
+        Plan::Limit { count, .. } => format!("limit[{count}]"),
+    };
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&label);
+    match (estimate(plan), actual(plan)) {
+        (Some(e), Some(a)) => out.push_str(&format!("  est≈{e} act={a}")),
+        (Some(e), None) => out.push_str(&format!("  est≈{e}")),
+        (None, Some(a)) => out.push_str(&format!("  est≈? act={a}")),
+        (None, None) => {}
+    }
+    out.push('\n');
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => explain_node(input, depth + 1, estimate, actual, out),
+        Plan::Join { left, right, .. } => {
+            explain_node(left, depth + 1, estimate, actual, out);
+            explain_node(right, depth + 1, estimate, actual, out);
+        }
+        Plan::Union { inputs } => {
+            for input in inputs {
+                explain_node(input, depth + 1, estimate, actual, out);
             }
         }
     }
@@ -271,6 +1054,32 @@ mod tests {
     impl Statistics for MapStats {
         fn estimated_rows(&self, relation: &str) -> Option<usize> {
             self.0.get(relation).copied()
+        }
+    }
+
+    /// Statistics that know nothing (the old `NoStatistics`).
+    struct NoStats;
+
+    impl Statistics for NoStats {
+        fn estimated_rows(&self, _relation: &str) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Row counts plus per-column distincts.
+    struct FullStats {
+        rows: HashMap<String, usize>,
+        distinct: HashMap<(String, String), usize>,
+    }
+
+    impl Statistics for FullStats {
+        fn estimated_rows(&self, relation: &str) -> Option<usize> {
+            self.rows.get(relation).copied()
+        }
+        fn distinct_values(&self, relation: &str, column: &str) -> Option<usize> {
+            self.distinct
+                .get(&(relation.to_string(), column.to_string()))
+                .copied()
         }
     }
 
@@ -293,9 +1102,32 @@ mod tests {
     }
 
     #[test]
+    fn mode_parses_and_round_trips() {
+        assert_eq!(OptimizeMode::parse("off"), Some(OptimizeMode::Off));
+        assert_eq!(
+            OptimizeMode::parse("Heuristic"),
+            Some(OptimizeMode::Heuristic)
+        );
+        assert_eq!(OptimizeMode::parse("cost"), Some(OptimizeMode::Cost));
+        assert_eq!(OptimizeMode::parse("fast"), None);
+        assert_eq!(OptimizeMode::default(), OptimizeMode::Cost);
+        assert_eq!(OptimizeMode::Cost.to_string(), "cost");
+    }
+
+    #[test]
+    fn off_mode_is_identity() {
+        let plan = join_plan().filter(Expr::col("w1.pName").eq(Expr::lit("Messi")));
+        let optimizer = Optimizer::new(&NoStats, &resolve);
+        assert_eq!(
+            optimizer.optimize_with(OptimizeMode::Off, plan.clone()),
+            plan
+        );
+    }
+
+    #[test]
     fn filter_sinks_below_join() {
         let plan = join_plan().filter(Expr::col("w1.pName").eq(Expr::lit("Messi")));
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
         let optimized = optimizer.optimize(plan);
         let rendered = optimized.to_string();
         // The σ must appear inside the join, applied to w1.
@@ -309,7 +1141,7 @@ mod tests {
     fn filter_over_union_distributes() {
         let plan = Plan::union(vec![Plan::scan("w1"), Plan::scan("w1")])
             .filter(Expr::col("w1.id").eq(Expr::lit(1i64)));
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
         let rendered = optimizer.optimize(plan).to_string();
         assert_eq!(rendered.matches("σ[").count(), 2, "got {rendered}");
     }
@@ -320,7 +1152,7 @@ mod tests {
             Plan::union(vec![Plan::scan("w1"), Plan::scan("w2")]),
             Plan::scan("w1"),
         ]);
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
         match optimizer.optimize(plan) {
             Plan::Union { inputs } => {
                 let arms: Vec<String> = inputs.iter().map(Plan::to_string).collect();
@@ -333,7 +1165,7 @@ mod tests {
     #[test]
     fn cross_side_predicate_stays_above_join() {
         let plan = join_plan().filter(Expr::col("w1.teamId").eq(Expr::col("w2.id")));
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
         let rendered = optimizer.optimize(plan).to_string();
         assert!(rendered.starts_with("σ["), "got {rendered}");
     }
@@ -363,6 +1195,166 @@ mod tests {
             rendered.contains("(w2 ⋈[w2.id=w1.teamId] w1)"),
             "got {rendered}"
         );
+    }
+
+    #[test]
+    fn heuristic_mode_swaps_pairwise() {
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 10),
+            ("w2".to_string(), 1_000_000),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve);
+        let rendered = optimizer
+            .optimize_with(OptimizeMode::Heuristic, join_plan())
+            .to_string();
+        assert_eq!(rendered, "(w2 ⋈[w2.id=w1.teamId] w1)");
+    }
+
+    fn resolve3(name: &str) -> Result<Schema, String> {
+        Ok(match name {
+            "w1" => Schema::qualified("w1", ["id", "a", "t2"]),
+            "w2" => Schema::qualified("w2", ["id", "b", "t3"]),
+            "w3" => Schema::qualified("w3", ["id", "c"]),
+            other => return Err(format!("unknown {other}")),
+        })
+    }
+
+    fn chain_plan() -> Plan {
+        Plan::scan("w1")
+            .join(
+                Plan::scan("w2"),
+                vec![(
+                    ColumnRef::qualified("w1", "t2"),
+                    ColumnRef::qualified("w2", "id"),
+                )],
+            )
+            .join(
+                Plan::scan("w3"),
+                vec![(
+                    ColumnRef::qualified("w2", "t3"),
+                    ColumnRef::qualified("w3", "id"),
+                )],
+            )
+    }
+
+    #[test]
+    fn region_reordering_starts_with_cheapest_join() {
+        // w2 ⋈ w3 is far cheaper than w1 ⋈ w2, so it becomes the seed;
+        // w1 then joins the (small) tree from the left. Leaf order is
+        // unchanged, so no restoring projection appears.
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 1000),
+            ("w2".to_string(), 500),
+            ("w3".to_string(), 2),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve3);
+        let rendered = optimizer.optimize(chain_plan()).to_string();
+        assert_eq!(
+            rendered, "(w1 ⋈[w1.t2=w2.id] (w2 ⋈[w2.t3=w3.id] w3))",
+            "expected right-deep rebuild"
+        );
+    }
+
+    #[test]
+    fn region_reordering_restores_column_order_with_a_projection() {
+        // w1 is tiny so it should end up on a build side, moving it out of
+        // leaf position 0 — which must trigger the restoring projection.
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 2),
+            ("w2".to_string(), 1000),
+            ("w3".to_string(), 500),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve3);
+        let optimized = optimizer.optimize(chain_plan());
+        let rendered = optimized.to_string();
+        assert!(
+            rendered.starts_with("π[w1.id, w1.a, w1.t2, w2.id, w2.b, w2.t3, w3.id, w3.c]("),
+            "got {rendered}"
+        );
+        assert!(
+            rendered.contains("(w2 ⋈[w2.id=w1.t2] w1)"),
+            "got {rendered}"
+        );
+        // The restored schema matches the unoptimized plan's schema.
+        let original = chain_plan().schema_with(&resolve3).unwrap();
+        assert_eq!(optimized.schema_with(&resolve3).unwrap(), original);
+    }
+
+    #[test]
+    fn distinct_aware_join_estimates_pick_the_selective_key() {
+        let stats = FullStats {
+            rows: HashMap::from([("w1".to_string(), 1000), ("w2".to_string(), 1000)]),
+            distinct: HashMap::from([
+                (("w1".to_string(), "w1.teamId".to_string()), 10),
+                (("w2".to_string(), "w2.id".to_string()), 1000),
+            ]),
+        };
+        let optimizer = Optimizer::new(&stats, &resolve);
+        // 1000 × 1000 / max(10, 1000) = 1000, not the /10 fallback 100000.
+        assert_eq!(optimizer.estimate(&join_plan()), Some(1000));
+    }
+
+    #[test]
+    fn projection_pruning_narrows_scans() {
+        let plan = join_plan().project_named(&[("w2.name", "team")]);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
+        let rendered = optimizer.optimize(plan).to_string();
+        // w1 keeps only its join key; w2 keeps the key and the projected
+        // name (all other columns), so only w1 gets a pruning π.
+        assert!(rendered.contains("π[w1.teamId](w1)"), "got {rendered}");
+        assert!(
+            !rendered.contains("π[w2.id, w2.name](w2)"),
+            "got {rendered}"
+        );
+    }
+
+    #[test]
+    fn pruning_stops_at_distinct() {
+        // δ below the projection consumes full rows: pruning must not
+        // narrow the scan, or duplicate elimination would change.
+        let plan = Plan::scan("w1")
+            .distinct()
+            .project_named(&[("w1.pName", "name")]);
+        let optimizer = Optimizer::new(&NoStats, &resolve);
+        let rendered = optimizer.optimize(plan).to_string();
+        assert_eq!(rendered, "π[w1.pName→name](δ(w1))");
+    }
+
+    #[test]
+    fn duplicate_union_arms_dedup_under_distinct() {
+        let arm = || join_plan().project_named(&[("w1.pName", "p")]);
+        let other = Plan::scan("w1").project_named(&[("w1.pName", "p")]);
+        let plan = Plan::union(vec![arm(), other, arm()]).distinct();
+        let optimizer = Optimizer::new(&NoStats, &resolve);
+        match optimizer.optimize(plan) {
+            Plan::Distinct { input } => match *input {
+                Plan::Union { inputs } => assert_eq!(inputs.len(), 2),
+                other => panic!("expected union, got {other}"),
+            },
+            other => panic!("expected distinct, got {other}"),
+        }
+        // Without δ the union keeps bag semantics: no dedup.
+        let plan = Plan::union(vec![arm(), arm()]);
+        match optimizer.optimize(plan) {
+            Plan::Union { inputs } => assert_eq!(inputs.len(), 2),
+            other => panic!("expected union, got {other}"),
+        }
+    }
+
+    #[test]
+    fn explain_tree_annotates_cardinalities() {
+        let stats = MapStats(HashMap::from([
+            ("w1".to_string(), 100),
+            ("w2".to_string(), 10),
+        ]));
+        let optimizer = Optimizer::new(&stats, &resolve);
+        let plan = join_plan();
+        let text = explain_tree(&plan, &|p| optimizer.estimate(p), &|_| None);
+        assert!(text.contains("⋈[w1.teamId=w2.id]  est≈100"), "got {text}");
+        assert!(text.contains("\n  scan w1  est≈100\n"), "got {text}");
+        assert!(text.contains("\n  scan w2  est≈10\n"), "got {text}");
+        let with_actuals = explain_tree(&plan, &|p| optimizer.estimate(p), &|_| Some(7));
+        assert!(with_actuals.contains("act=7"), "got {with_actuals}");
     }
 
     #[test]
@@ -397,12 +1389,27 @@ mod tests {
         let plan = join_plan()
             .filter(Expr::col("w1.pName").eq(Expr::lit("Messi")))
             .project_named(&[("w2.name", "team")]);
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
-        let optimized = optimizer.optimize(plan.clone());
         let executor = Executor::new(&catalog);
         let baseline = executor.run(&plan).unwrap().sorted();
-        let improved = executor.run(&optimized).unwrap().sorted();
-        assert_eq!(baseline, improved);
+        // All three modes, with and without statistics, agree bytewise.
+        for stats in [
+            &MapStats(HashMap::from([
+                ("w1".to_string(), 2),
+                ("w2".to_string(), 2),
+            ])) as &dyn Statistics,
+            &NoStats as &dyn Statistics,
+        ] {
+            let optimizer = Optimizer::new(stats, &resolve);
+            for mode in [
+                OptimizeMode::Off,
+                OptimizeMode::Heuristic,
+                OptimizeMode::Cost,
+            ] {
+                let optimized = optimizer.optimize_with(mode, plan.clone());
+                let improved = executor.run(&optimized).unwrap().sorted();
+                assert_eq!(baseline, improved, "mode {mode}");
+            }
+        }
         assert_eq!(baseline.rows()[0][0], Value::str("FC Barcelona"));
     }
 }

@@ -1,0 +1,309 @@
+//! The cardinality-statistics catalog behind the cost-based optimizer.
+//!
+//! Wrapper relations are opaque REST payloads until a query scans them, so
+//! MDM cannot ANALYZE ahead of time the way a warehouse does. Instead the
+//! catalog learns **opportunistically**: every resilient fetch the executor
+//! performs ([`Executor::fetch_rows`](crate::executor)) offers its rows
+//! here, and the catalog keeps per-relation row counts plus per-column
+//! distinct-value estimates and null fractions. Observation is cheap to
+//! re-offer — a relation already profiled at the same provider version,
+//! row count and **stats epoch** is skipped with one lock acquisition —
+//! and the profiling pass itself is bounded by [`SAMPLE_CAP`] rows.
+//!
+//! The **stats epoch** is a monotonically increasing counter bumped by
+//! [`StatsCatalog::refresh`] (the steward's "re-profile the ecosystem"
+//! action). It is deliberately *not* the metadata epoch: plans cached
+//! against metadata stay valid across a stats refresh — only their
+//! *optimized* physical form is recomputed (see `core::cache`) — so a
+//! refresh can never invalidate a rewriting or change golden outputs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::optimizer::Statistics;
+use crate::schema::Schema;
+use crate::value::{Tuple, Value};
+
+/// Observation scans at most this many rows per relation; distinct counts
+/// are scaled linearly when the relation is larger. Keeps the profiling
+/// pass O(1)-ish even for the largest wrapper payloads.
+pub const SAMPLE_CAP: usize = 65_536;
+
+/// Per-column statistics learned from one observation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Column name as the relation's schema spells it (qualified).
+    pub column: String,
+    /// Estimated distinct non-null values (exact below [`SAMPLE_CAP`]).
+    pub distinct: usize,
+    /// Fraction of sampled rows that were NULL in this column.
+    pub null_fraction: f64,
+}
+
+/// Per-relation statistics: the unit [`StatsCatalog`] stores.
+#[derive(Clone, Debug)]
+pub struct RelationStats {
+    /// Provider version the rows came from.
+    pub version: u64,
+    /// Total rows in the relation at observation time.
+    pub rows: usize,
+    /// Per-column estimates, in schema order.
+    pub columns: Vec<ColumnStats>,
+    /// Stats epoch at which this entry was (re)observed.
+    pub observed_epoch: u64,
+}
+
+/// A point-in-time summary for `/metrics` and the CLI `stats` command.
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Current stats epoch.
+    pub epoch: u64,
+    /// Explicit refreshes performed.
+    pub refreshes: u64,
+    /// Profiling passes actually run (gated re-offers excluded).
+    pub observations: u64,
+    /// Relations currently profiled, with their row counts, sorted.
+    pub relations: Vec<(String, usize)>,
+}
+
+/// The process- or system-wide statistics catalog. Internally synchronised;
+/// shared as an `Arc` between the executor (writer) and the optimizer
+/// (reader).
+#[derive(Debug, Default)]
+pub struct StatsCatalog {
+    epoch: AtomicU64,
+    refreshes: AtomicU64,
+    observations: AtomicU64,
+    entries: Mutex<HashMap<String, RelationStats>>,
+}
+
+impl StatsCatalog {
+    /// An empty catalog at stats epoch 0.
+    pub fn new() -> Self {
+        StatsCatalog::default()
+    }
+
+    /// The current stats epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the stats epoch, making every cached entry stale: the next
+    /// scan of each relation re-profiles it, and plan caches keyed by the
+    /// stats epoch re-optimize. Returns the new epoch. The *metadata*
+    /// epoch is untouched — a refresh is not a release.
+    pub fn refresh(&self) -> u64 {
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// True when offering `(relation, version, rows)` would actually run a
+    /// profiling pass — the executor's cheap pre-check before cloning the
+    /// provider schema.
+    pub fn needs_observation(&self, relation: &str, version: u64, rows: usize) -> bool {
+        let epoch = self.epoch();
+        let entries = self.entries.lock().expect("stats catalog poisoned");
+        match entries.get(relation) {
+            Some(entry) => {
+                entry.version != version || entry.rows != rows || entry.observed_epoch != epoch
+            }
+            None => true,
+        }
+    }
+
+    /// Profiles `rows` (row count, per-column distinct estimate and null
+    /// fraction) and stores the result for `relation`. Sampling is capped
+    /// at [`SAMPLE_CAP`] rows; distinct counts scale linearly beyond it.
+    pub fn observe(&self, relation: &str, version: u64, schema: &Schema, rows: &[Tuple]) {
+        let epoch = self.epoch();
+        let sample = rows.len().min(SAMPLE_CAP);
+        let width = schema.len();
+        let mut distinct: Vec<HashSet<u64>> = vec![HashSet::new(); width];
+        let mut nulls = vec![0usize; width];
+        for row in &rows[..sample] {
+            for (i, value) in row.iter().take(width).enumerate() {
+                if matches!(value, Value::Null) {
+                    nulls[i] += 1;
+                } else {
+                    use std::hash::{Hash, Hasher};
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    value.hash(&mut hasher);
+                    distinct[i].insert(hasher.finish());
+                }
+            }
+        }
+        let scale = if sample > 0 && rows.len() > sample {
+            rows.len() as f64 / sample as f64
+        } else {
+            1.0
+        };
+        let columns = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, column)| ColumnStats {
+                column: column.to_string(),
+                distinct: (((distinct[i].len() as f64) * scale) as usize).min(rows.len()),
+                null_fraction: if sample == 0 {
+                    0.0
+                } else {
+                    nulls[i] as f64 / sample as f64
+                },
+            })
+            .collect();
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().expect("stats catalog poisoned").insert(
+            relation.to_string(),
+            RelationStats {
+                version,
+                rows: rows.len(),
+                columns,
+                observed_epoch: epoch,
+            },
+        );
+    }
+
+    /// The stored statistics for `relation`, if profiled.
+    pub fn relation(&self, relation: &str) -> Option<RelationStats> {
+        self.entries
+            .lock()
+            .expect("stats catalog poisoned")
+            .get(relation)
+            .cloned()
+    }
+
+    /// Counter + inventory snapshot for `/metrics` and the CLI.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let entries = self.entries.lock().expect("stats catalog poisoned");
+        let mut relations: Vec<(String, usize)> = entries
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.rows))
+            .collect();
+        relations.sort();
+        StatsSnapshot {
+            epoch: self.epoch(),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            observations: self.observations.load(Ordering::Relaxed),
+            relations,
+        }
+    }
+}
+
+impl Statistics for StatsCatalog {
+    fn estimated_rows(&self, relation: &str) -> Option<usize> {
+        self.entries
+            .lock()
+            .expect("stats catalog poisoned")
+            .get(relation)
+            .map(|entry| entry.rows)
+    }
+
+    fn distinct_values(&self, relation: &str, column: &str) -> Option<usize> {
+        let entries = self.entries.lock().expect("stats catalog poisoned");
+        let entry = entries.get(relation)?;
+        entry
+            .columns
+            .iter()
+            .find(|c| c.column == column || c.column.ends_with(column))
+            .map(|c| c.distinct.max(1))
+    }
+
+    fn null_fraction(&self, relation: &str, column: &str) -> Option<f64> {
+        let entries = self.entries.lock().expect("stats catalog poisoned");
+        let entry = entries.get(relation)?;
+        entry
+            .columns
+            .iter()
+            .find(|c| c.column == column || c.column.ends_with(column))
+            .map(|c| c.null_fraction)
+    }
+}
+
+/// The process-wide catalog fed by executors that were not handed an
+/// explicit one ([`crate::ExecOptions::stats`] defaults to this).
+pub fn global() -> Arc<StatsCatalog> {
+    static GLOBAL: OnceLock<Arc<StatsCatalog>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(StatsCatalog::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("name-{}", i % 7)),
+                    if i % 4 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int((i % 3) as i64)
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::qualified("w", ["id", "name", "grade"])
+    }
+
+    #[test]
+    fn observation_profiles_rows_distincts_and_nulls() {
+        let catalog = StatsCatalog::new();
+        catalog.observe("w", 1, &schema(), &rows(100));
+        assert_eq!(catalog.estimated_rows("w"), Some(100));
+        assert_eq!(catalog.distinct_values("w", "w.id"), Some(100));
+        assert_eq!(catalog.distinct_values("w", "w.name"), Some(7));
+        // Bare lookup matches the qualified column by suffix.
+        assert_eq!(catalog.distinct_values("w", "id"), Some(100));
+        let nulls = catalog.null_fraction("w", "w.grade").unwrap();
+        assert!((nulls - 0.25).abs() < 1e-9, "{nulls}");
+    }
+
+    #[test]
+    fn observation_gate_skips_unchanged_relations() {
+        let catalog = StatsCatalog::new();
+        assert!(catalog.needs_observation("w", 1, 100));
+        catalog.observe("w", 1, &schema(), &rows(100));
+        assert!(!catalog.needs_observation("w", 1, 100));
+        // A version bump, a row-count change or a refresh re-arms it.
+        assert!(catalog.needs_observation("w", 2, 100));
+        assert!(catalog.needs_observation("w", 1, 101));
+        catalog.refresh();
+        assert!(catalog.needs_observation("w", 1, 100));
+    }
+
+    #[test]
+    fn refresh_bumps_the_stats_epoch_monotonically() {
+        let catalog = StatsCatalog::new();
+        assert_eq!(catalog.epoch(), 0);
+        assert_eq!(catalog.refresh(), 1);
+        assert_eq!(catalog.refresh(), 2);
+        assert_eq!(catalog.snapshot().refreshes, 2);
+    }
+
+    #[test]
+    fn snapshot_lists_relations_sorted() {
+        let catalog = StatsCatalog::new();
+        catalog.observe("w2", 1, &schema(), &rows(5));
+        catalog.observe("w1", 1, &schema(), &rows(9));
+        let snapshot = catalog.snapshot();
+        assert_eq!(
+            snapshot.relations,
+            vec![("w1".to_string(), 9), ("w2".to_string(), 5)]
+        );
+        assert_eq!(snapshot.observations, 2);
+    }
+
+    #[test]
+    fn unknown_relations_answer_none() {
+        let catalog = StatsCatalog::new();
+        assert_eq!(catalog.estimated_rows("ghost"), None);
+        assert_eq!(catalog.distinct_values("ghost", "id"), None);
+        assert_eq!(catalog.null_fraction("ghost", "id"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the cost-based optimizer: for random plans, random
+//! data, and random statistics, optimized plans render byte-identically to
+//! unoptimized execution — in every optimize mode, both physical layouts,
+//! and both the parallel and sequential execution paths.
+
+use proptest::prelude::*;
+
+use mdm_relational::algebra::Plan;
+use mdm_relational::expr::{BinOp, Expr};
+use mdm_relational::optimizer::{OptimizeMode, Optimizer};
+use mdm_relational::schema::{ColumnRef, Schema};
+use mdm_relational::stats::StatsCatalog;
+use mdm_relational::{pool, Catalog, ExecOptions, Executor, Layout, MemoryCatalog, Table, Value};
+
+/// A random table with columns (k, v) — k from a small domain so joins hit.
+fn arb_table(relation: &'static str) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0i64..8, -50i64..50), 0..20).prop_map(move |rows| {
+        Table::new(
+            Schema::qualified(relation, ["k", "v"]),
+            rows.into_iter()
+                .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+                .collect(),
+        )
+        .expect("arity matches")
+    })
+}
+
+/// Shape knobs for a random π-topped plan over relations a, b, c: an
+/// optional third join (exercises reordering), optional filters (exercise
+/// pushdown), an optional second union arm (exercises branch dedup), and
+/// an optional distinct on top.
+#[derive(Debug, Clone)]
+struct Shape {
+    three_way: bool,
+    filter_a: Option<i64>,
+    filter_b: Option<i64>,
+    distinct: bool,
+    union_arm: Option<i64>,
+}
+
+/// An optional filter threshold (None roughly a third of the time).
+fn arb_threshold() -> BoxedStrategy<Option<i64>> {
+    prop_oneof![
+        1 => Just(None),
+        2 => (-50i64..50).prop_map(Some),
+    ]
+    .boxed()
+}
+
+fn arb_shape() -> BoxedStrategy<Shape> {
+    (
+        any::<bool>(),
+        arb_threshold(),
+        arb_threshold(),
+        any::<bool>(),
+        arb_threshold(),
+    )
+        .prop_map(
+            |(three_way, filter_a, filter_b, distinct, union_arm)| Shape {
+                three_way,
+                filter_a,
+                filter_b,
+                distinct,
+                union_arm,
+            },
+        )
+}
+
+/// One union arm: joins, then filters, then a π to the bare (k, bv) schema
+/// shared by every arm.
+fn arm(shape: &Shape, threshold: Option<i64>) -> Plan {
+    let mut plan = Plan::scan("a").join(
+        Plan::scan("b"),
+        vec![(
+            ColumnRef::qualified("a", "k"),
+            ColumnRef::qualified("b", "k"),
+        )],
+    );
+    if shape.three_way {
+        plan = plan.join(
+            Plan::scan("c"),
+            vec![(
+                ColumnRef::qualified("b", "k"),
+                ColumnRef::qualified("c", "k"),
+            )],
+        );
+    }
+    if let Some(t) = threshold {
+        plan = plan.filter(Expr::col("a.v").binary(BinOp::Gt, Expr::lit(t)));
+    }
+    if let Some(t) = shape.filter_b {
+        plan = plan.filter(Expr::col("b.v").binary(BinOp::Le, Expr::lit(t)));
+    }
+    plan.project(vec![
+        (Expr::col("a.k"), ColumnRef::bare("k")),
+        (Expr::col("b.v"), ColumnRef::bare("bv")),
+    ])
+}
+
+fn build(shape: &Shape) -> Plan {
+    let first = arm(shape, shape.filter_a);
+    let plan = match shape.union_arm {
+        // Equal thresholds make the arms identical — exactly the case
+        // branch dedup folds away.
+        Some(t) => Plan::union(vec![first, arm(shape, Some(t))]),
+        None => first,
+    };
+    if shape.distinct {
+        plan.distinct()
+    } else {
+        plan
+    }
+}
+
+fn options(layout: Layout, parallel: bool) -> ExecOptions {
+    ExecOptions {
+        layout,
+        pool: if parallel { Some(pool::global()) } else { None },
+        // Keep the process-wide catalog out of it: stats here are the
+        // random ones fed explicitly below.
+        stats: None,
+        ..ExecOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cost-based and heuristic pipelines never change results: for
+    /// every random plan, dataset, and (possibly partial) stats catalog,
+    /// the sorted render is byte-identical to unoptimized execution under
+    /// every layout × execution-path combination.
+    #[test]
+    fn optimized_plans_render_identically(
+        a in arb_table("a"),
+        b in arb_table("b"),
+        c in arb_table("c"),
+        shape in arb_shape(),
+        profile in (any::<bool>(), any::<bool>(), any::<bool>()),
+    ) {
+        // Random statistics: each relation is independently profiled or
+        // left unknown, so the optimizer sees every mix of present and
+        // missing estimates.
+        let stats = StatsCatalog::new();
+        for (keep, (name, table)) in [profile.0, profile.1, profile.2]
+            .iter()
+            .zip([("a", &a), ("b", &b), ("c", &c)])
+        {
+            if *keep {
+                stats.observe(name, 1, table.schema(), table.rows());
+            }
+        }
+        let mut catalog = MemoryCatalog::new();
+        catalog.register("a", a);
+        catalog.register("b", b);
+        catalog.register("c", c);
+        let resolve = |name: &str| catalog.relation_schema(name);
+        let optimizer = Optimizer::new(&stats, &resolve);
+        let plan = build(&shape);
+        for layout in [Layout::Columnar, Layout::Row] {
+            for parallel in [false, true] {
+                let executor =
+                    Executor::with_options(&catalog, options(layout, parallel));
+                let baseline = executor.run(&plan).unwrap().sorted().render();
+                for mode in [OptimizeMode::Heuristic, OptimizeMode::Cost] {
+                    let optimized = optimizer.optimize_with(mode, plan.clone());
+                    let rendered =
+                        executor.run(&optimized).unwrap().sorted().render();
+                    prop_assert_eq!(
+                        &baseline,
+                        &rendered,
+                        "mode={} layout={:?} parallel={}",
+                        mode.as_str(),
+                        layout,
+                        parallel
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-optimizing an already-optimized plan still renders identically:
+    /// the pipeline may pick a different (equally valid) join shape on a
+    /// second pass, but results never drift.
+    #[test]
+    fn double_optimization_preserves_results(
+        a in arb_table("a"),
+        b in arb_table("b"),
+        c in arb_table("c"),
+        shape in arb_shape(),
+    ) {
+        let stats = StatsCatalog::new();
+        for (name, table) in [("a", &a), ("b", &b), ("c", &c)] {
+            stats.observe(name, 1, table.schema(), table.rows());
+        }
+        let mut catalog = MemoryCatalog::new();
+        catalog.register("a", a);
+        catalog.register("b", b);
+        catalog.register("c", c);
+        let resolve = |name: &str| catalog.relation_schema(name);
+        let optimizer = Optimizer::new(&stats, &resolve);
+        let once = optimizer.optimize_with(OptimizeMode::Cost, build(&shape));
+        let twice = optimizer.optimize_with(OptimizeMode::Cost, once.clone());
+        let executor = Executor::with_options(&catalog, options(Layout::Columnar, false));
+        prop_assert_eq!(
+            executor.run(&once).unwrap().sorted().render(),
+            executor.run(&twice).unwrap().sorted().render()
+        );
+    }
+}

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use mdm_relational::algebra::Plan;
 use mdm_relational::expr::{BinOp, Expr};
-use mdm_relational::optimizer::{NoStatistics, Optimizer};
+use mdm_relational::optimizer::{Optimizer, Statistics};
 use mdm_relational::schema::{ColumnRef, Schema};
 use mdm_relational::{Catalog, Executor, MemoryCatalog, Table, Value};
 
@@ -156,7 +156,13 @@ proptest! {
                 (Expr::col("a.k"), ColumnRef::bare("k")),
                 (Expr::col("b.v"), ColumnRef::bare("bv")),
             ]);
-        let optimizer = Optimizer::new(&NoStatistics, &resolve);
+        struct NoStats;
+        impl Statistics for NoStats {
+            fn estimated_rows(&self, _relation: &str) -> Option<usize> {
+                None
+            }
+        }
+        let optimizer = Optimizer::new(&NoStats, &resolve);
         let optimized = optimizer.optimize(plan.clone());
         let executor = Executor::new(&catalog);
         let before = executor.run(&plan).unwrap();

@@ -84,6 +84,11 @@ pub struct ServerConfig {
     /// default (columnar); `Some(Layout::Row)` is the row-at-a-time
     /// escape hatch.
     pub layout: Option<mdm_relational::Layout>,
+    /// Plan-optimization mode for served queries: `None` keeps the engine
+    /// default (cost-based); `Some(OptimizeMode::Heuristic)` disables the
+    /// stats-driven passes, `Some(OptimizeMode::Off)` executes rewritings
+    /// verbatim. Results are identical in all modes.
+    pub optimize: Option<mdm_relational::OptimizeMode>,
     /// Durable-store directory. When set, the server recovers the journal
     /// on start (replacing the passed [`Mdm`] with the recovered state when
     /// one exists), appends every steward mutation to the WAL, and serves
@@ -109,6 +114,7 @@ impl Default for ServerConfig {
             pool_size: None,
             batch_size: None,
             layout: None,
+            optimize: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
             stream_workers: 2,
@@ -362,6 +368,43 @@ mod tests {
         let mdm = server.into_mdm().expect("state recovered after join");
         assert_eq!(mdm.epoch(), 1);
         assert_eq!(mdm.ontology().concepts().len(), 1);
+    }
+
+    #[test]
+    fn stats_refresh_bumps_stats_epoch_not_metadata_epoch() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let before = client::get(server.addr(), "/epoch").unwrap();
+        assert!(
+            before.body.contains("\"metadata_epoch\":0"),
+            "{}",
+            before.body
+        );
+        let refresh = client::post_json(server.addr(), "/steward/stats/refresh", "{}").unwrap();
+        assert_eq!(refresh.status, 200, "{}", refresh.body);
+        assert!(refresh.body.contains("\"stats_epoch\""), "{}", refresh.body);
+        assert!(
+            refresh.body.contains("\"epoch\":0"),
+            "refresh must not bump the metadata epoch: {}",
+            refresh.body
+        );
+        let metrics = client::get(server.addr(), "/metrics").unwrap();
+        assert!(metrics.body.contains("\"optimizer\""), "{}", metrics.body);
+        assert!(metrics.body.contains("\"stats_epoch\""), "{}", metrics.body);
+        assert!(
+            metrics.body.contains("\"reoptimizations\""),
+            "{}",
+            metrics.body
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn explain_get_requires_a_walk_parameter() {
+        let server = serve(ServerConfig::default(), Mdm::new()).unwrap();
+        let missing = client::get(server.addr(), "/analyst/explain").unwrap();
+        assert_eq!(missing.status, 400, "{}", missing.body);
+        assert!(missing.body.contains("walk"), "{}", missing.body);
+        server.shutdown();
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! | POST   | `/steward/mappings`   | `{"wrapper","concepts"?,"features"?,"relations"?,"same_as"?}` |
 //! | GET    | `/steward/snapshot`   | — |
 //! | POST   | `/steward/restore`    | `{"snapshot"}` |
+//! | POST   | `/steward/stats/refresh` | — bump the stats epoch (re-profile + re-optimize; **not** a metadata release) |
 //!
 //! Analyst routes (read lock, shared plan cache):
 //!
 //! | POST | `/analyst/parse`   | `{"walk"}` — walk DSL, echoed canonicalised |
 //! | POST | `/analyst/rewrite` | `{"walk"}` — SPARQL + algebra + branches |
-//! | POST | `/analyst/explain` | `{"walk"}` — the derivation narration |
+//! | POST | `/analyst/explain` | `{"walk"}` — derivation narration + optimized plan tree with est/actual cardinalities |
+//! | GET  | `/analyst/explain` | `?walk=` — same, for browsers/curl (percent-encoded walk) |
 //! | POST | `/analyst/query`   | `{"walk"}` — executes, returns the table |
 //!
 //! Plus `GET /healthz`, `GET /metrics`, `GET /epoch`, and — when the
@@ -88,9 +90,11 @@ const PATHS: &[(&str, &str)] = &[
     ("POST", "/steward/mappings"),
     ("GET", "/steward/snapshot"),
     ("POST", "/steward/restore"),
+    ("POST", "/steward/stats/refresh"),
     ("POST", "/analyst/parse"),
     ("POST", "/analyst/rewrite"),
     ("POST", "/analyst/explain"),
+    ("GET", "/analyst/explain"),
     ("POST", "/analyst/query"),
     ("POST", "/admin/compact"),
     ("POST", "/admin/promote"),
@@ -152,9 +156,11 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("POST", "/steward/mappings") => steward_mappings(state, request),
         ("GET", "/steward/snapshot") => steward_snapshot(state),
         ("POST", "/steward/restore") => steward_restore(state, request),
+        ("POST", "/steward/stats/refresh") => steward_stats_refresh(state),
         ("POST", "/analyst/parse") => analyst_parse(state, request),
         ("POST", "/analyst/rewrite") => analyst_rewrite(state, request),
         ("POST", "/analyst/explain") => analyst_explain(state, request),
+        ("GET", "/analyst/explain") => analyst_explain_get(state, request),
         ("POST", "/analyst/query") => analyst_query(state, request),
         ("POST", "/admin/compact") => admin_compact(state),
         ("POST", "/admin/promote") => admin_promote(state),
@@ -376,6 +382,7 @@ fn metrics(state: &AppState) -> Response {
         ("misses", Value::int(stats.misses as i64)),
         ("invalidations", Value::int(stats.invalidations as i64)),
         ("evictions", Value::int(stats.evictions as i64)),
+        ("reoptimizations", Value::int(stats.reoptimizations as i64)),
         ("entries", Value::int(stats.entries as i64)),
         ("capacity", Value::int(stats.capacity as i64)),
         ("hit_rate", Value::float(stats.hit_rate())),
@@ -447,6 +454,31 @@ fn metrics(state: &AppState) -> Response {
             ]),
         ),
     ]);
+    let opt = mdm_relational::metrics::optimizer_snapshot();
+    let stats_catalog = mdm.stats_snapshot();
+    let optimizer = Value::object([
+        ("mode", Value::string(mdm.optimize_mode().to_string())),
+        ("stats_epoch", Value::int(stats_catalog.epoch as i64)),
+        (
+            "stats_refreshes",
+            Value::int(stats_catalog.refreshes as i64),
+        ),
+        (
+            "stats_observations",
+            Value::int(stats_catalog.observations as i64),
+        ),
+        (
+            "profiled_relations",
+            Value::int(stats_catalog.relations.len() as i64),
+        ),
+        ("joins_reordered", Value::int(opt.joins_reordered as i64)),
+        ("filters_pushed", Value::int(opt.filters_pushed as i64)),
+        (
+            "projections_pruned",
+            Value::int(opt.projections_pruned as i64),
+        ),
+        ("branches_deduped", Value::int(opt.branches_deduped as i64)),
+    ]);
     let journal = store.as_ref().map(|store| {
         let stats = store.stats();
         Value::object([
@@ -486,6 +518,7 @@ fn metrics(state: &AppState) -> Response {
         ("availability", availability),
         ("pool", pool),
         ("data_plane", data_plane),
+        ("optimizer", optimizer),
         ("breakers", breakers),
     ];
     if let Some(journal) = journal {
@@ -1207,6 +1240,22 @@ fn steward_mappings(state: &AppState, request: &Request) -> Response {
     }
 }
 
+/// `POST /steward/stats/refresh`: bumps the **stats epoch** — the next
+/// scan of each relation re-profiles it and every cached plan re-optimizes
+/// on next use. Deliberately *not* a metadata mutation: the metadata epoch
+/// is untouched and no rewriting is invalidated, so golden outputs cannot
+/// change. It still lives under `/steward/` so replicas route it to the
+/// primary, where queries (and thus observations) concentrate.
+fn steward_stats_refresh(state: &AppState) -> Response {
+    let mdm = state.mdm.read().expect("state poisoned");
+    let stats_epoch = mdm.refresh_stats();
+    ok_json(Value::object([
+        ("ok", Value::Bool(true)),
+        ("stats_epoch", Value::int(stats_epoch as i64)),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+    ]))
+}
+
 fn steward_snapshot(state: &AppState) -> Response {
     let mdm = state.mdm.read().expect("state poisoned");
     ok_json(Value::object([
@@ -1315,15 +1364,69 @@ fn analyst_rewrite(state: &AppState, request: &Request) -> Response {
     })
 }
 
+/// The explain payload: the derivation narration plus the optimized plan
+/// tree annotated with estimated and actual per-operator cardinalities.
+fn explain_value(mdm: &Mdm, walk: &Walk) -> Result<Value, MdmError> {
+    let rewriting = mdm.rewrite_cached(walk)?;
+    let plan = mdm.explain_plan(walk)?;
+    Ok(Value::object([
+        ("explain", Value::string(rewriting.explain())),
+        ("plan", Value::string(plan)),
+        ("optimize", Value::string(mdm.optimize_mode().to_string())),
+        ("branches", Value::int(rewriting.branch_count() as i64)),
+        ("epoch", Value::int(mdm.epoch() as i64)),
+        ("stats_epoch", Value::int(mdm.stats_epoch() as i64)),
+    ]))
+}
+
 fn analyst_explain(state: &AppState, request: &Request) -> Response {
-    with_walk(state, request, |mdm, walk| {
-        let rewriting = mdm.rewrite_cached(walk)?;
-        Ok(Value::object([
-            ("explain", Value::string(rewriting.explain())),
-            ("branches", Value::int(rewriting.branch_count() as i64)),
-            ("epoch", Value::int(mdm.epoch() as i64)),
-        ]))
-    })
+    with_walk(state, request, explain_value)
+}
+
+/// Decodes `%XX` escapes and `+`-for-space in a query-string value.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                        continue;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b'+' => out.push(b' '),
+            byte => out.push(byte),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `GET /analyst/explain?walk=...`: the POST route's payload without a
+/// body, so a browser or plain `curl` can inspect a plan.
+fn analyst_explain_get(state: &AppState, request: &Request) -> Response {
+    let Some(raw) = query_param(request, "walk") else {
+        return error_response(400, "protocol", "missing query parameter 'walk'");
+    };
+    let text = percent_decode(raw);
+    let mdm = state.mdm.read().expect("state poisoned");
+    let walk = match walk_dsl::parse_walk(&text, mdm.ontology())
+        .and_then(|walk| walk.validate(mdm.ontology()).map(|()| walk))
+    {
+        Ok(walk) => walk,
+        Err(e) => return mdm_error_response(&e),
+    };
+    match explain_value(&mdm, &walk) {
+        Ok(value) => ok_json(value),
+        Err(e) => mdm_error_response(&e),
+    }
 }
 
 fn completeness_json(completeness: &mdm_core::Completeness) -> Value {

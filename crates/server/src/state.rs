@@ -103,6 +103,9 @@ impl AppState {
         if let Some(layout) = config.layout {
             mdm.set_layout(layout);
         }
+        if let Some(mode) = config.optimize {
+            mdm.set_optimize(mode);
+        }
         AppState {
             mdm: RwLock::new(mdm),
             requests: AtomicU64::new(0),

@@ -83,6 +83,16 @@ impl SyntheticEcosystem {
 /// rows carry a foreign key into the next concept, and each source evolves
 /// through `versions_per_source - 1` random changes.
 pub fn build(config: &WorkloadConfig) -> SyntheticEcosystem {
+    build_with_rows(config, |_| config.rows_per_wrapper)
+}
+
+/// Like [`build`], but each concept's source gets `rows(concept)` rows —
+/// skewed ecosystems (a small dimension source feeding a large fact
+/// source) are what make join ordering matter in the P14 bench.
+pub fn build_with_rows(
+    config: &WorkloadConfig,
+    rows: impl Fn(usize) -> usize,
+) -> SyntheticEcosystem {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sources = Vec::with_capacity(config.concepts);
     for c in 0..config.concepts {
@@ -103,7 +113,7 @@ pub fn build(config: &WorkloadConfig) -> SyntheticEcosystem {
         let mut source = EvolvingSource::new(
             format!("Source{c}"),
             schema,
-            config.rows_per_wrapper,
+            rows(c),
             config.seed.wrapping_add(c as u64),
         );
 

@@ -29,7 +29,10 @@ echo "==> failover/chaos suite (release, hard timeout)"
 # or a replica that never converges, so fail loudly rather than wedge CI.
 timeout 300 cargo test --release -p mdm-integration-tests --test failover --quiet
 
-echo "==> cargo bench --no-run (benches compile)"
+echo "==> optimizer suite (release)"
+cargo test --release -p mdm-relational --test prop_optimizer --quiet
+
+echo "==> cargo bench --no-run (benches compile, incl. P14 optimizer_scaling)"
 cargo bench --workspace --no-run
 
 echo "==> cargo clippy (all targets, -D warnings -D clippy::redundant_clone)"
