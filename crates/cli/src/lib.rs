@@ -293,6 +293,7 @@ impl Session {
                 Outcome::NeedMore
             }
             "suggest" => self.suggest(argument),
+            "changes" => self.changes(argument),
             "stats" => self.stats(argument),
             "faults" => self.faults(argument),
             "serve" => self.serve(argument),
@@ -816,6 +817,165 @@ impl Session {
         Outcome::Text(report.render(mdm.ontology()))
     }
 
+    /// `changes [--since N] [--follow]` — the evolution changefeed: every
+    /// committed steward mutation after epoch `N` with its dependency
+    /// footprint. With a server (or replica) running the records come from
+    /// `GET /changes` (long-polling under `--follow`); otherwise from the
+    /// session's in-memory feed.
+    fn changes(&mut self, argument: &str) -> Outcome {
+        const USAGE: &str = "usage: changes [--since N] [--follow]";
+        let mut since = 0u64;
+        let mut follow = false;
+        let mut args = argument.split_whitespace();
+        while let Some(arg) = args.next() {
+            match arg {
+                "--follow" => follow = true,
+                "--since" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => since = n,
+                    None => return Outcome::Text(USAGE.to_string()),
+                },
+                _ => return Outcome::Text(USAGE.to_string()),
+            }
+        }
+        if self.server.is_some() || self.replica.is_some() {
+            self.changes_remote(since, follow)
+        } else {
+            self.changes_local(since)
+        }
+    }
+
+    fn changes_local(&self, since: u64) -> Outcome {
+        let mdm = match self.require_mdm() {
+            Ok(m) => m,
+            Err(e) => return Outcome::Text(e),
+        };
+        let (records, truncated) = mdm.changes_since(since, 1024);
+        let mut out = String::new();
+        if truncated {
+            writeln!(
+                out,
+                "(cursor {since} predates the retained horizon — older records were dropped)"
+            )
+            .unwrap();
+        }
+        for record in &records {
+            let tag = if record.extension {
+                "  [extendable]"
+            } else {
+                ""
+            };
+            writeln!(
+                out,
+                "epoch {:>4}  {:<18} {}{tag}",
+                record.epoch, record.kind, record.summary
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "{} change(s) after epoch {since}; metadata epoch {}",
+            records.len(),
+            mdm.epoch()
+        )
+        .unwrap();
+        Outcome::Text(out.trim_end().to_string())
+    }
+
+    fn changes_remote(&self, mut since: u64, follow: bool) -> Outcome {
+        let addr = match (&self.server, &self.replica) {
+            (Some(server), _) => server.addr(),
+            (None, Some(replica)) => replica.addr(),
+            (None, None) => unreachable!("checked by changes()"),
+        };
+        let mut out = String::new();
+        let mut total = 0usize;
+        // A REPL command cannot block forever: --follow long-polls until a
+        // few consecutive polls come back empty, then reports and returns.
+        let mut idle = 0;
+        loop {
+            let wait_ms = if follow { 2_000 } else { 0 };
+            let path = format!("/changes?since={since}&wait_ms={wait_ms}");
+            let response = match mdm_server::client::Connection::open(addr)
+                .and_then(|mut c| c.send("GET", &path, None))
+            {
+                Ok(r) => r,
+                Err(e) => return Outcome::Text(format!("request failed: {e}")),
+            };
+            if response.status != 200 {
+                return Outcome::Text(format!(
+                    "server answered {}: {}",
+                    response.status, response.body
+                ));
+            }
+            let value = match mdm_dataform::json::parse(&response.body) {
+                Ok(v) => v,
+                Err(e) => return Outcome::Text(format!("unparseable /changes body: {e}")),
+            };
+            let as_u64 = |v: &mdm_dataform::Value, name: &str| {
+                v.get(name)
+                    .and_then(mdm_dataform::Value::as_number)
+                    .and_then(|n| n.as_i64())
+                    .map(|n| n as u64)
+            };
+            if value
+                .get("truncated")
+                .and_then(mdm_dataform::Value::as_bool)
+                .unwrap_or(false)
+            {
+                writeln!(
+                    out,
+                    "(cursor {since} predates the retained horizon — older records were dropped)"
+                )
+                .unwrap();
+            }
+            let batch = value
+                .get("changes")
+                .and_then(mdm_dataform::Value::as_array)
+                .map(<[mdm_dataform::Value]>::to_vec)
+                .unwrap_or_default();
+            for change in &batch {
+                let epoch = as_u64(change, "epoch").unwrap_or_default();
+                let kind = change
+                    .get("kind")
+                    .and_then(mdm_dataform::Value::as_str)
+                    .unwrap_or("?");
+                let summary = change
+                    .get("summary")
+                    .and_then(mdm_dataform::Value::as_str)
+                    .unwrap_or("");
+                let tag = match change
+                    .get("extension")
+                    .and_then(mdm_dataform::Value::as_bool)
+                {
+                    Some(true) => "  [extendable]",
+                    _ => "",
+                };
+                writeln!(out, "epoch {epoch:>4}  {kind:<18} {summary}{tag}").unwrap();
+            }
+            total += batch.len();
+            since = as_u64(&value, "next").unwrap_or(since);
+            if !follow {
+                let epoch = as_u64(&value, "epoch").unwrap_or_default();
+                writeln!(out, "{total} change(s); server epoch {epoch}").unwrap();
+                break;
+            }
+            if batch.is_empty() {
+                idle += 1;
+                if idle >= 3 {
+                    writeln!(
+                        out,
+                        "(follow idle — caught up at epoch {since}; re-run 'changes --since {since} --follow' to resume)"
+                    )
+                    .unwrap();
+                    break;
+                }
+            } else {
+                idle = 0;
+            }
+        }
+        Outcome::Text(out.trim_end().to_string())
+    }
+
     fn suggest(&self, wrapper: &str) -> Outcome {
         let mdm = match self.require_mdm() {
             Ok(m) => m,
@@ -957,6 +1117,10 @@ MDM — Metadata Management System (EDBT 2018 reproduction)
   query              enter a walk, finish with '.', execute it (Table 1 style)
   trace              like query, plus a provenance column (which branch/version)
   suggest <wrapper>  semi-automatic mapping suggestions for an unmapped wrapper
+  changes [--since N] [--follow]
+                     the evolution changefeed: every committed steward mutation
+                     after epoch N with its dependency footprint; --follow
+                     long-polls the running server until the feed goes idle
   stats [refresh]    the cardinality-statistics catalog behind the cost-based
                      optimizer; 'stats refresh' bumps the stats epoch (cached
                      plans re-optimize; the metadata epoch is untouched)

@@ -1,24 +1,56 @@
-//! Epoch-keyed rewrite-plan cache.
+//! Footprint-validated rewrite-plan cache with surgical invalidation.
 //!
 //! Rewriting a walk is pure metadata work: its output depends only on the
 //! ontology (global graph, source graph, mappings) and the rewrite options.
 //! Both change *only* through steward calls, so the [`crate::Mdm`] facade
 //! stamps every mutation with a monotonically increasing **metadata epoch**
-//! and this cache keys plans by *(canonical walk, epoch)*: a release, a new
-//! mapping or an option change bumps the epoch and every cached plan from
-//! the previous epoch becomes unreachable — readers can never observe a
-//! stale union that misses a newly mapped wrapper version.
+//! and this cache keys plans by canonical walk, validated against the epoch.
 //!
-//! The cache is LRU-bounded and internally synchronised (a mutex around the
-//! map, atomics for the counters), so it serves concurrent analysts holding
-//! a shared reference — the shape `mdm-server` relies on: many readers under
-//! an `RwLock` read guard, all hitting the same cache.
+//! Historically validation was equality — `entry.epoch == lookup.epoch` —
+//! which made *every* cached plan unreachable after *any* steward mutation:
+//! under continuous source evolution (the paper's core scenario) the cache
+//! degenerated to a 0% hit rate. Validation is now an **epoch-interval
+//! test** against a bounded, append-only **invalidation log**: each cached
+//! rewriting records the dependency [`Footprint`] it read (concepts with
+//! their taxonomic closure, wrappers scanned), each mutation records the
+//! footprint it wrote, and an entry from an older epoch survives iff every
+//! logged mutation in `(entry.epoch, lookup.epoch]` is disjoint from the
+//! entry's footprint — in which case the entry *slides forward* to the
+//! lookup epoch and keeps serving. A release of concept A leaves every plan
+//! over concepts B..Z hot.
+//!
+//! Soundness rests on two properties. First, the log is append-only and
+//! epochs increase strictly, so the interval `(entry.epoch, lookup.epoch]`
+//! enumerates *exactly* the mutations committed since the entry was (last
+//! known) valid — nothing can be inserted behind the cursor. Second,
+//! whenever coverage is uncertain — the entry predates the log's retained
+//! horizon, the lookup epoch is beyond the logged frontier (an epoch jump
+//! the cache was not told about), or the entry has no recorded footprint —
+//! the cache invalidates conservatively. A stale union is never served.
+//!
+//! When the only overlapping mutations are new mapping definitions
+//! ([`crate::journal::MutationOp::is_extension`]), the cache returns
+//! [`Lookup::Extend`] instead of a miss: the caller re-runs phase (b) for
+//! the affected concepts only and re-assembles (see
+//! [`crate::rewrite::assemble`]), splicing the new union branches in at a
+//! fraction of a cold rewrite.
+//!
+//! The cache is LRU-bounded — the victim scan is O(log n) via an ordered
+//! `(last_used, key)` index, not a full-map sweep — and internally
+//! synchronised, so it serves concurrent analysts holding a shared
+//! reference: many readers under an `RwLock` read guard in `mdm-server`,
+//! all hitting the same cache. Mutations eagerly sweep overlapping entries
+//! (so invalidated plans for retired dashboards are reclaimed immediately
+//! instead of pinning memory until their key is looked up again) and slide
+//! disjoint entries forward, keeping the common lookup on the equality
+//! fast path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::rewrite::Rewriting;
+use crate::footprint::Footprint;
+use crate::rewrite::{RewriteArtifacts, Rewriting};
 use mdm_relational::Plan;
 
 /// Default bound on cached plans; enough for every distinct dashboard query
@@ -26,20 +58,50 @@ use mdm_relational::Plan;
 /// few KiB each).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 
+/// Bound on the invalidation log. Entries older than the retained window
+/// invalidate conservatively, so this trades memory for how long an idle
+/// plan can survive without a lookup.
+pub const INVALIDATION_LOG_CAPACITY: usize = 1024;
+
+/// How stale entries are validated (the A/B knob for the P15 bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InvalidationMode {
+    /// Legacy behaviour: any epoch difference invalidates.
+    Coarse,
+    /// Footprint-interval validation (the default).
+    #[default]
+    Surgical,
+}
+
 /// A point-in-time view of the cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache at the current epoch.
+    /// Lookups answered from the cache (including footprint survivals).
     pub hits: u64,
-    /// Lookups that had to rewrite (absent key or stale epoch).
+    /// Lookups that had to rewrite (absent key, stale entry, extension).
     pub misses: u64,
-    /// Entries dropped because their epoch was older than the lookup's.
+    /// Entries dropped because a mutation (or unprovable validity) made
+    /// them stale.
     pub invalidations: u64,
     /// Entries dropped to make room (LRU policy).
     pub evictions: u64,
     /// Optimized-plan slots recomputed because the stats epoch moved on
     /// (the metadata-epoch entry itself survived).
     pub reoptimizations: u64,
+    /// Optimized-slot lookups served from the stats-epoch side slot.
+    pub optimized_hits: u64,
+    /// Optimized-slot lookups that had to re-optimize.
+    pub optimized_misses: u64,
+    /// Entries dropped because a mutation's footprint overlapped theirs.
+    pub surgical_invalidations: u64,
+    /// Entry×mutation events where a disjoint footprint let a cached plan
+    /// stay hot across a steward mutation.
+    pub survivals: u64,
+    /// Stale entries refreshed by incremental UCQ extension (phase (b)
+    /// re-run for affected concepts only).
+    pub incremental_extensions: u64,
+    /// Cold rewrites performed through the cached path.
+    pub full_rewrites: u64,
     /// Live entries.
     pub entries: usize,
     /// Configured bound.
@@ -58,9 +120,55 @@ impl CacheStats {
     }
 }
 
-struct Entry {
+/// Outcome of a cache lookup.
+pub enum Lookup {
+    /// Valid at the lookup epoch (directly or by footprint survival).
+    Hit(Arc<Rewriting>),
+    /// Stale, but every overlapping mutation since the entry's epoch was an
+    /// extendable mapping definition: the caller can re-run phase (b) for
+    /// `affected` concepts over the cached artifacts and re-assemble,
+    /// then store the result with [`PlanCache::insert_extended`].
+    Extend {
+        /// The stale rewriting (for reference; its plan must not be served).
+        plan: Arc<Rewriting>,
+        /// The reusable phase (a)/(b) artifacts.
+        artifacts: Arc<RewriteArtifacts>,
+        /// Concepts (IRI text) the intervening mappings cover.
+        affected: BTreeSet<String>,
+    },
+    /// Absent or irrecoverably stale: rewrite from scratch.
+    Miss,
+}
+
+impl Lookup {
+    /// The hit payload, if any — convenience for callers (and tests) that
+    /// do not use incremental extension.
+    pub fn hit(self) -> Option<Arc<Rewriting>> {
+        match self {
+            Lookup::Hit(plan) => Some(plan),
+            _ => None,
+        }
+    }
+}
+
+struct LoggedMutation {
     epoch: u64,
+    footprint: Footprint,
+    extension: bool,
+}
+
+struct Entry {
+    /// The epoch through which this entry is known valid. Slides forward
+    /// when mutations prove disjoint.
+    epoch: u64,
+    /// True when an extendable mutation overlapped this entry: it is stale
+    /// (must not be served as a hit) but repairable via [`Lookup::Extend`].
+    pending: bool,
     plan: Arc<Rewriting>,
+    /// Read footprint + reusable rewrite phases. `None` for entries stored
+    /// through the footprint-less [`PlanCache::insert`], which can only be
+    /// validated by epoch equality.
+    artifacts: Option<Arc<RewriteArtifacts>>,
     last_used: u64,
     /// The cost-optimized physical form of `plan`, tagged with the stats
     /// epoch it was optimized under. A stats refresh makes this slot stale
@@ -69,16 +177,39 @@ struct Entry {
     optimized: Option<(u64, Arc<Plan>)>,
 }
 
-/// The LRU-bounded, epoch-validated plan cache.
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// `(last_used, key)` index over `entries`: the LRU victim is
+    /// `lru.first()` — O(log n), not a full-map scan.
+    lru: BTreeSet<(u64, String)>,
+    clock: u64,
+    /// The invalidation log: footprints of committed mutations, epochs
+    /// strictly increasing (append-only).
+    log: VecDeque<LoggedMutation>,
+    /// Epochs `<= floor` have fallen off the log (or were never covered):
+    /// entries from them invalidate conservatively.
+    floor: u64,
+    /// The highest epoch the log covers; lookups beyond it invalidate
+    /// conservatively (an epoch jump the cache was not told about).
+    frontier: u64,
+    mode: InvalidationMode,
+}
+
+/// The LRU-bounded, footprint-validated plan cache.
 pub struct PlanCache {
     capacity: usize,
-    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
     reoptimizations: AtomicU64,
-    entries: Mutex<HashMap<String, Entry>>,
+    optimized_hits: AtomicU64,
+    optimized_misses: AtomicU64,
+    surgical_invalidations: AtomicU64,
+    survivals: AtomicU64,
+    incremental_extensions: AtomicU64,
+    full_rewrites: AtomicU64,
+    inner: Mutex<Inner>,
 }
 
 impl PlanCache {
@@ -86,63 +217,257 @@ impl PlanCache {
     pub fn new(capacity: usize) -> Self {
         PlanCache {
             capacity: capacity.max(1),
-            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             reoptimizations: AtomicU64::new(0),
-            entries: Mutex::new(HashMap::new()),
+            optimized_hits: AtomicU64::new(0),
+            optimized_misses: AtomicU64::new(0),
+            surgical_invalidations: AtomicU64::new(0),
+            survivals: AtomicU64::new(0),
+            incremental_extensions: AtomicU64::new(0),
+            full_rewrites: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: BTreeSet::new(),
+                clock: 0,
+                log: VecDeque::new(),
+                floor: 0,
+                frontier: 0,
+                mode: InvalidationMode::default(),
+            }),
         }
     }
 
-    /// Returns the plan cached for `key` if it was produced at `epoch`.
-    /// A key cached at an older epoch is dropped (and counted as an
-    /// invalidation): the metadata it was derived from no longer exists.
-    pub fn lookup(&self, key: &str, epoch: u64) -> Option<Arc<Rewriting>> {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        match entries.get_mut(key) {
-            Some(entry) if entry.epoch == epoch => {
-                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.plan))
-            }
-            Some(_) => {
-                entries.remove(key);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+    /// Switches between coarse (epoch-equality) and surgical validation.
+    pub fn set_invalidation_mode(&self, mode: InvalidationMode) {
+        self.lock().mode = mode;
     }
 
-    /// Caches `plan` for `key` as of `epoch`, evicting the least recently
-    /// used entry when full.
-    pub fn insert(&self, key: String, epoch: u64, plan: Arc<Rewriting>) {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        if !entries.contains_key(&key) && entries.len() >= self.capacity {
-            if let Some(victim) = entries
+    /// The active validation mode.
+    pub fn invalidation_mode(&self) -> InvalidationMode {
+        self.lock().mode
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("plan cache poisoned")
+    }
+
+    /// Records one committed mutation in the invalidation log and sweeps
+    /// the entries: overlapping entries are dropped (or marked pending
+    /// extension when the mutation is an extendable mapping definition and
+    /// the entry kept its artifacts), disjoint current entries slide
+    /// forward to `epoch`. The eager sweep is what fixes the historical
+    /// stale-entry leak — an invalidated plan is reclaimed at mutation
+    /// time, not when (if ever) its key is looked up again.
+    ///
+    /// Epochs at or below the logged frontier are ignored (idempotent
+    /// replay); a gap above the frontier truncates coverage, so entries
+    /// predating the gap invalidate conservatively.
+    pub fn note_mutation(&self, epoch: u64, footprint: Footprint, extension: bool) {
+        let inner = &mut *self.lock();
+        if epoch <= inner.frontier {
+            return;
+        }
+        if epoch > inner.frontier + 1 {
+            // The cache was not told about epochs (frontier, epoch): it
+            // cannot vouch for them. Restart coverage at the gap's edge.
+            inner.log.clear();
+            inner.floor = epoch - 1;
+        }
+        inner.log.push_back(LoggedMutation {
+            epoch,
+            footprint: footprint.clone(),
+            extension,
+        });
+        inner.frontier = epoch;
+        while inner.log.len() > INVALIDATION_LOG_CAPACITY {
+            if let Some(dropped) = inner.log.pop_front() {
+                inner.floor = dropped.epoch;
+            }
+        }
+        if inner.mode == InvalidationMode::Coarse {
+            return; // legacy semantics: validation happens lazily at lookup
+        }
+
+        let mut dropped: Vec<String> = Vec::new();
+        let mut survived = 0u64;
+        for (key, entry) in inner.entries.iter_mut() {
+            if entry.epoch >= epoch {
+                continue;
+            }
+            match entry.artifacts.as_ref() {
+                Some(artifacts) if !footprint.overlaps(&artifacts.footprint) => {
+                    // Disjoint: slide forward, but only entries provably
+                    // current through the predecessor epoch; anything else
+                    // is resolved by the interval test at lookup.
+                    if !entry.pending && entry.epoch == epoch - 1 {
+                        entry.epoch = epoch;
+                        survived += 1;
+                    }
+                }
+                Some(_) if extension => entry.pending = true,
+                _ => dropped.push(key.clone()),
+            }
+        }
+        let overlapped = dropped.len() as u64;
+        for key in dropped {
+            remove_entry(inner, &key);
+        }
+        self.survivals.fetch_add(survived, Ordering::Relaxed);
+        self.invalidations.fetch_add(overlapped, Ordering::Relaxed);
+        self.surgical_invalidations
+            .fetch_add(overlapped, Ordering::Relaxed);
+    }
+
+    /// Validates and returns the plan cached for `key` as of `epoch`.
+    ///
+    /// * Same epoch → [`Lookup::Hit`].
+    /// * Older epoch, every logged mutation in `(entry.epoch, epoch]`
+    ///   disjoint from the entry's footprint → the entry slides forward
+    ///   and serves ([`Lookup::Hit`], counted as a survival).
+    /// * Older epoch, overlapping mutations all extendable →
+    ///   [`Lookup::Extend`].
+    /// * Anything else — including intervals the log cannot vouch for —
+    ///   drops the entry conservatively and reports [`Lookup::Miss`].
+    pub fn lookup(&self, key: &str, epoch: u64) -> Lookup {
+        let inner = &mut *self.lock();
+        let Some(entry) = inner.entries.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        if entry.epoch == epoch && !entry.pending {
+            let plan = Arc::clone(&entry.plan);
+            touch_entry(inner, key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(plan);
+        }
+        if inner.mode == InvalidationMode::Coarse {
+            remove_entry(inner, key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        }
+        // Surgical: the interval test. Refuse to speculate when the log
+        // does not cover (entry.epoch, epoch] or the footprint is unknown.
+        let covered = epoch >= entry.epoch && entry.epoch >= inner.floor && epoch <= inner.frontier;
+        let Some(artifacts) = entry.artifacts.clone() else {
+            remove_entry(inner, key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        if !covered {
+            remove_entry(inner, key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        }
+        let overlapping: Vec<&LoggedMutation> = inner
+            .log
+            .iter()
+            .filter(|m| {
+                m.epoch > entry.epoch
+                    && m.epoch <= epoch
+                    && m.footprint.overlaps(&artifacts.footprint)
+            })
+            .collect();
+        if overlapping.is_empty() {
+            self.survivals.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let plan = {
+                let entry = inner.entries.get_mut(key).expect("present above");
+                entry.epoch = epoch;
+                entry.pending = false;
+                Arc::clone(&entry.plan)
+            };
+            touch_entry(inner, key);
+            return Lookup::Hit(plan);
+        }
+        if overlapping.iter().all(|m| m.extension) {
+            let affected: BTreeSet<String> = overlapping
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                entries.remove(&victim);
+                .flat_map(|m| m.footprint.concepts.iter().cloned())
+                .collect();
+            let plan = Arc::clone(&inner.entries.get(key).expect("present above").plan);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Extend {
+                plan,
+                artifacts,
+                affected,
+            };
+        }
+        remove_entry(inner, key);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.surgical_invalidations.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Lookup::Miss
+    }
+
+    /// Caches `plan` for `key` as of `epoch` without a footprint: the entry
+    /// can only be validated by epoch equality (kept for embedders and
+    /// tests; [`crate::Mdm`] stores footprinted entries).
+    pub fn insert(&self, key: String, epoch: u64, plan: Arc<Rewriting>) {
+        self.insert_entry(key, epoch, plan, None);
+    }
+
+    /// Caches a cold rewrite with its artifacts (read footprint + reusable
+    /// phases).
+    pub fn insert_with_artifacts(
+        &self,
+        key: String,
+        epoch: u64,
+        plan: Arc<Rewriting>,
+        artifacts: Arc<RewriteArtifacts>,
+    ) {
+        self.full_rewrites.fetch_add(1, Ordering::Relaxed);
+        self.insert_entry(key, epoch, plan, Some(artifacts));
+    }
+
+    /// Caches the result of an incremental UCQ extension (see
+    /// [`Lookup::Extend`]), replacing the stale entry.
+    pub fn insert_extended(
+        &self,
+        key: String,
+        epoch: u64,
+        plan: Arc<Rewriting>,
+        artifacts: Arc<RewriteArtifacts>,
+    ) {
+        self.incremental_extensions.fetch_add(1, Ordering::Relaxed);
+        self.insert_entry(key, epoch, plan, Some(artifacts));
+    }
+
+    fn insert_entry(
+        &self,
+        key: String,
+        epoch: u64,
+        plan: Arc<Rewriting>,
+        artifacts: Option<Arc<RewriteArtifacts>>,
+    ) {
+        let inner = &mut *self.lock();
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            if let Some((_, victim)) = inner.lru.pop_first() {
+                inner.entries.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        entries.insert(
-            key,
+        inner.clock += 1;
+        let last_used = inner.clock;
+        if let Some(old) = inner.entries.insert(
+            key.clone(),
             Entry {
                 epoch,
+                pending: false,
                 plan,
-                last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                artifacts,
+                last_used,
                 optimized: None,
             },
-        );
+        ) {
+            inner.lru.remove(&(old.last_used, key.clone()));
+        }
+        inner.lru.insert((last_used, key));
     }
 
     /// Returns the cost-optimized plan cached for `key`, provided the
@@ -150,39 +475,47 @@ impl PlanCache {
     /// computed at `stats_epoch`. A slot optimized under an older stats
     /// epoch is dropped and counted as a re-optimization — while the
     /// rewriting entry itself stays cached: a stats refresh re-optimizes
-    /// plans, it does not invalidate metadata.
+    /// plans, it does not invalidate metadata. Every probe lands in
+    /// `optimized_hits`/`optimized_misses`, so `/metrics` accounts for
+    /// optimizer-path traffic too.
     pub fn lookup_optimized(&self, key: &str, epoch: u64, stats_epoch: u64) -> Option<Arc<Plan>> {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        let entry = entries.get_mut(key)?;
-        if entry.epoch != epoch {
-            return None;
-        }
-        match &entry.optimized {
-            Some((at, plan)) if *at == stats_epoch => Some(Arc::clone(plan)),
-            Some(_) => {
-                entry.optimized = None;
-                self.reoptimizations.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            None => None,
-        }
+        let inner = &mut *self.lock();
+        let result = match inner.entries.get_mut(key) {
+            Some(entry) if entry.epoch == epoch && !entry.pending => match &entry.optimized {
+                Some((at, plan)) if *at == stats_epoch => Some(Arc::clone(plan)),
+                Some(_) => {
+                    entry.optimized = None;
+                    self.reoptimizations.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                None => None,
+            },
+            _ => None,
+        };
+        match &result {
+            Some(_) => self.optimized_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.optimized_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
     }
 
     /// Stores the cost-optimized form of `key`'s plan as of `stats_epoch`.
-    /// A no-op when the rewriting entry is absent or from another metadata
-    /// epoch (evicted or invalidated since the rewrite).
+    /// A no-op when the rewriting entry is absent or stale (evicted or
+    /// invalidated since the rewrite).
     pub fn store_optimized(&self, key: &str, epoch: u64, stats_epoch: u64, plan: Arc<Plan>) {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        if let Some(entry) = entries.get_mut(key) {
-            if entry.epoch == epoch {
+        let inner = &mut *self.lock();
+        if let Some(entry) = inner.entries.get_mut(key) {
+            if entry.epoch == epoch && !entry.pending {
                 entry.optimized = Some((stats_epoch, plan));
             }
         }
     }
 
-    /// Drops every entry (counters are preserved).
+    /// Drops every entry (counters and the invalidation log are preserved).
     pub fn clear(&self) {
-        self.entries.lock().expect("plan cache poisoned").clear();
+        let inner = &mut *self.lock();
+        inner.entries.clear();
+        inner.lru.clear();
     }
 
     /// Snapshot of the counters.
@@ -193,9 +526,33 @@ impl PlanCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             reoptimizations: self.reoptimizations.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("plan cache poisoned").len(),
+            optimized_hits: self.optimized_hits.load(Ordering::Relaxed),
+            optimized_misses: self.optimized_misses.load(Ordering::Relaxed),
+            surgical_invalidations: self.surgical_invalidations.load(Ordering::Relaxed),
+            survivals: self.survivals.load(Ordering::Relaxed),
+            incremental_extensions: self.incremental_extensions.load(Ordering::Relaxed),
+            full_rewrites: self.full_rewrites.load(Ordering::Relaxed),
+            entries: self.lock().entries.len(),
             capacity: self.capacity,
         }
+    }
+}
+
+/// Removes one entry and its LRU index pair.
+fn remove_entry(inner: &mut Inner, key: &str) -> Option<Entry> {
+    let entry = inner.entries.remove(key)?;
+    inner.lru.remove(&(entry.last_used, key.to_string()));
+    Some(entry)
+}
+
+/// Refreshes one entry's recency in the LRU index.
+fn touch_entry(inner: &mut Inner, key: &str) {
+    inner.clock += 1;
+    let clock = inner.clock;
+    if let Some(entry) = inner.entries.get_mut(key) {
+        inner.lru.remove(&(entry.last_used, key.to_string()));
+        entry.last_used = clock;
+        inner.lru.insert((clock, key.to_string()));
     }
 }
 
@@ -220,12 +577,34 @@ mod tests {
         })
     }
 
+    fn dummy_artifacts(concepts: &[&str], wrappers: &[&str]) -> Arc<RewriteArtifacts> {
+        Arc::new(RewriteArtifacts {
+            expanded: crate::expansion::ExpandedWalk {
+                walk: crate::walk::Walk::new(),
+                added_identifiers: Vec::new(),
+            },
+            alternatives: Default::default(),
+            footprint: Footprint {
+                concepts: concepts.iter().map(|s| s.to_string()).collect(),
+                wrappers: wrappers.iter().map(|s| s.to_string()).collect(),
+                global: false,
+            },
+        })
+    }
+
+    fn fp(concepts: &[&str]) -> Footprint {
+        Footprint {
+            concepts: concepts.iter().map(|s| s.to_string()).collect(),
+            ..Footprint::default()
+        }
+    }
+
     #[test]
     fn hit_after_insert_at_same_epoch() {
         let cache = PlanCache::new(4);
-        assert!(cache.lookup("q", 1).is_none());
+        assert!(cache.lookup("q", 1).hit().is_none());
         cache.insert("q".into(), 1, dummy_plan("w1"));
-        let hit = cache.lookup("q", 1).expect("cached");
+        let hit = cache.lookup("q", 1).hit().expect("cached");
         assert_eq!(hit.output_columns, vec!["w1".to_string()]);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -233,13 +612,145 @@ mod tests {
     }
 
     #[test]
-    fn epoch_bump_invalidates() {
+    fn epoch_bump_invalidates_without_log_coverage() {
+        // No `note_mutation` ran, so the log cannot vouch for the interval
+        // (1, 2]: the entry must invalidate conservatively.
         let cache = PlanCache::new(4);
         cache.insert("q".into(), 1, dummy_plan("old"));
-        assert!(cache.lookup("q", 2).is_none(), "stale plan must not serve");
+        assert!(
+            cache.lookup("q", 2).hit().is_none(),
+            "stale plan must not serve"
+        );
         let stats = cache.stats();
         assert_eq!(stats.invalidations, 1);
         assert_eq!(stats.entries, 0, "stale entry is dropped eagerly");
+    }
+
+    #[test]
+    fn disjoint_footprint_survives_and_slides_forward() {
+        let cache = PlanCache::new(4);
+        cache.insert_with_artifacts(
+            "q".into(),
+            1,
+            dummy_plan("w1"),
+            dummy_artifacts(&["A"], &["w1"]),
+        );
+        cache.note_mutation(2, fp(&["B"]), false);
+        assert!(cache.lookup("q", 2).hit().is_some(), "disjoint ⇒ survive");
+        let stats = cache.stats();
+        assert_eq!(stats.survivals, 1, "sweep slid the entry forward");
+        assert_eq!(stats.surgical_invalidations, 0);
+        // A later overlapping mutation still invalidates.
+        cache.note_mutation(3, fp(&["A"]), false);
+        assert!(cache.lookup("q", 3).hit().is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.surgical_invalidations, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn mutation_sweep_reclaims_overlapping_entries_eagerly() {
+        // The historical leak: an invalidated entry for a retired dashboard
+        // stayed pinned until its exact key was looked up again. The sweep
+        // drops it at mutation time.
+        let cache = PlanCache::new(8);
+        cache.insert_with_artifacts("a".into(), 1, dummy_plan("a"), dummy_artifacts(&["A"], &[]));
+        cache.insert_with_artifacts("b".into(), 1, dummy_plan("b"), dummy_artifacts(&["B"], &[]));
+        cache.note_mutation(2, fp(&["A"]), false);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "overlapping entry reclaimed on commit");
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.surgical_invalidations, 1);
+        assert!(cache.lookup("b", 2).hit().is_some(), "disjoint entry hot");
+    }
+
+    #[test]
+    fn extendable_mutation_reports_extend_with_affected_concepts() {
+        let cache = PlanCache::new(4);
+        cache.insert_with_artifacts(
+            "q".into(),
+            1,
+            dummy_plan("w1"),
+            dummy_artifacts(&["A"], &["w1"]),
+        );
+        let mut mapping = fp(&["A"]);
+        mapping.wrappers.insert("w9".into());
+        cache.note_mutation(2, mapping, true);
+        match cache.lookup("q", 2) {
+            Lookup::Extend { affected, .. } => {
+                assert_eq!(affected, ["A".to_string()].into_iter().collect());
+            }
+            _ => panic!("expected Extend"),
+        }
+        // The extended result replaces the stale entry and serves.
+        cache.insert_extended(
+            "q".into(),
+            2,
+            dummy_plan("w1w9"),
+            dummy_artifacts(&["A"], &["w1", "w9"]),
+        );
+        assert!(cache.lookup("q", 2).hit().is_some());
+        assert_eq!(cache.stats().incremental_extensions, 1);
+    }
+
+    #[test]
+    fn extension_then_breaking_mutation_invalidates() {
+        let cache = PlanCache::new(4);
+        cache.insert_with_artifacts(
+            "q".into(),
+            1,
+            dummy_plan("w1"),
+            dummy_artifacts(&["A"], &["w1"]),
+        );
+        cache.note_mutation(2, fp(&["A"]), true); // extendable
+        cache.note_mutation(3, fp(&["A"]), false); // breaking
+        assert!(cache.lookup("q", 3).hit().is_none());
+        assert!(cache.stats().surgical_invalidations >= 1);
+    }
+
+    #[test]
+    fn coarse_mode_restores_legacy_equality_semantics() {
+        let cache = PlanCache::new(4);
+        cache.set_invalidation_mode(InvalidationMode::Coarse);
+        assert_eq!(cache.invalidation_mode(), InvalidationMode::Coarse);
+        cache.insert_with_artifacts(
+            "q".into(),
+            1,
+            dummy_plan("w1"),
+            dummy_artifacts(&["A"], &["w1"]),
+        );
+        cache.note_mutation(2, fp(&["ZZZ"]), false);
+        assert!(
+            cache.lookup("q", 2).hit().is_none(),
+            "coarse mode ignores footprints"
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn epoch_gap_truncates_log_coverage() {
+        let cache = PlanCache::new(4);
+        cache.insert_with_artifacts(
+            "q".into(),
+            1,
+            dummy_plan("w1"),
+            dummy_artifacts(&["A"], &[]),
+        );
+        cache.note_mutation(2, fp(&["B"]), false);
+        // Epoch jumps to 10 without noted mutations in between: coverage
+        // restarts, and the old entry cannot be vouched for.
+        cache.note_mutation(10, fp(&["B"]), false);
+        assert!(cache.lookup("q", 10).hit().is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // Entries inserted after the gap validate normally.
+        cache.insert_with_artifacts(
+            "r".into(),
+            10,
+            dummy_plan("w2"),
+            dummy_artifacts(&["C"], &[]),
+        );
+        cache.note_mutation(11, fp(&["B"]), false);
+        assert!(cache.lookup("r", 11).hit().is_some());
     }
 
     #[test]
@@ -249,9 +760,9 @@ mod tests {
         cache.insert("b".into(), 1, dummy_plan("b"));
         cache.lookup("a", 1); // refresh a; b is now least recently used
         cache.insert("c".into(), 1, dummy_plan("c"));
-        assert!(cache.lookup("a", 1).is_some());
-        assert!(cache.lookup("b", 1).is_none(), "b was evicted");
-        assert!(cache.lookup("c", 1).is_some());
+        assert!(cache.lookup("a", 1).hit().is_some());
+        assert!(cache.lookup("b", 1).hit().is_none(), "b was evicted");
+        assert!(cache.lookup("c", 1).hit().is_some());
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -259,7 +770,7 @@ mod tests {
     fn capacity_minimum_is_one() {
         let cache = PlanCache::new(0);
         cache.insert("a".into(), 1, dummy_plan("a"));
-        assert!(cache.lookup("a", 1).is_some());
+        assert!(cache.lookup("a", 1).hit().is_some());
         assert_eq!(cache.stats().capacity, 1);
     }
 
@@ -286,7 +797,10 @@ mod tests {
         // a re-optimization, but the rewriting entry still serves.
         assert!(cache.lookup_optimized("q", 1, 1).is_none());
         assert_eq!(cache.stats().reoptimizations, 1);
-        assert!(cache.lookup("q", 1).is_some(), "rewriting survives refresh");
+        assert!(
+            cache.lookup("q", 1).hit().is_some(),
+            "rewriting survives refresh"
+        );
         assert_eq!(cache.stats().invalidations, 0);
 
         // Wrong metadata epoch never serves an optimized plan.
@@ -295,6 +809,11 @@ mod tests {
         // Storing against a stale metadata epoch is a no-op.
         cache.store_optimized("q", 9, 1, Arc::new(Plan::scan("zzz")));
         assert!(cache.lookup_optimized("q", 9, 1).is_none());
+
+        // Every probe above landed in the optimized counters.
+        let stats = cache.stats();
+        assert_eq!(stats.optimized_hits, 1);
+        assert_eq!(stats.optimized_misses, 4);
     }
 
     #[test]
@@ -306,7 +825,7 @@ mod tests {
                 let cache = Arc::clone(&cache);
                 std::thread::spawn(move || {
                     for _ in 0..100 {
-                        assert!(cache.lookup("q", 1).is_some());
+                        assert!(cache.lookup("q", 1).hit().is_some());
                     }
                 })
             })

@@ -1,0 +1,150 @@
+//! The evolution changefeed: a bounded in-memory journal of committed
+//! steward mutations, each stamped with its epoch and dependency footprint.
+//!
+//! This is the data behind `GET /changes?since=epoch` on `mdm-server` and
+//! the CLI's `changes` command. It lives on [`crate::Mdm`] itself (not on
+//! the durable store) so every role serves it: an in-memory primary, a
+//! WAL-backed primary (recovery replays mutations through the public
+//! mutators, repopulating the log), and a replica (stream replay does the
+//! same). Epochs increase strictly, so a cursor — "give me everything after
+//! epoch N" — observes each committed mutation exactly once.
+//!
+//! The log is bounded: when it overflows, the oldest records are dropped
+//! and [`ChangeLog::since`] reports `truncated = true` for cursors that
+//! predate the retained horizon, so consumers know to re-sync instead of
+//! silently missing changes.
+
+use std::collections::VecDeque;
+
+use crate::footprint::Footprint;
+
+/// Retained records; at one record per steward mutation this covers far
+/// more history than any live cursor lags behind.
+pub const DEFAULT_CHANGELOG_CAPACITY: usize = 4096;
+
+/// One committed steward mutation, as the changefeed serves it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// The metadata epoch the mutation produced.
+    pub epoch: u64,
+    /// The op kind (`define_concept`, `define_mapping`, …).
+    pub kind: &'static str,
+    /// One-line human summary.
+    pub summary: String,
+    /// What the mutation touched (see [`Footprint`]).
+    pub footprint: Footprint,
+    /// True when overlapping cached plans are incrementally extendable
+    /// over this mutation instead of fully invalidated.
+    pub extension: bool,
+}
+
+/// Bounded, append-only change history.
+#[derive(Debug, Default)]
+pub struct ChangeLog {
+    records: VecDeque<ChangeRecord>,
+    /// Epoch of the newest *dropped* record (0 = nothing dropped): cursors
+    /// at or before this may have missed changes.
+    truncated_at: u64,
+    capacity: usize,
+}
+
+impl ChangeLog {
+    /// An empty log holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> ChangeLog {
+        ChangeLog {
+            records: VecDeque::new(),
+            truncated_at: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends one record; epochs must increase strictly.
+    pub fn push(&mut self, record: ChangeRecord) {
+        debug_assert!(
+            self.records
+                .back()
+                .is_none_or(|last| last.epoch < record.epoch),
+            "change log epochs must increase strictly"
+        );
+        self.records.push_back(record);
+        while self.records.len() > self.capacity {
+            if let Some(dropped) = self.records.pop_front() {
+                self.truncated_at = dropped.epoch;
+            }
+        }
+    }
+
+    /// Records with `epoch > since`, oldest first, at most `limit`. The
+    /// boolean is true when records after `since` were already dropped —
+    /// the cursor predates the retained horizon and should re-sync.
+    pub fn since(&self, since: u64, limit: usize) -> (Vec<ChangeRecord>, bool) {
+        let truncated = since < self.truncated_at;
+        let records = self
+            .records
+            .iter()
+            .filter(|r| r.epoch > since)
+            .take(limit)
+            .cloned()
+            .collect();
+        (records, truncated)
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64) -> ChangeRecord {
+        ChangeRecord {
+            epoch,
+            kind: "define_concept",
+            summary: format!("concept C{epoch}"),
+            footprint: Footprint::default(),
+            extension: false,
+        }
+    }
+
+    #[test]
+    fn cursor_sees_each_record_exactly_once() {
+        let mut log = ChangeLog::new(16);
+        for epoch in 1..=6 {
+            log.push(record(epoch));
+        }
+        let mut cursor = 0;
+        let mut seen = Vec::new();
+        loop {
+            let (batch, truncated) = log.since(cursor, 2);
+            assert!(!truncated);
+            if batch.is_empty() {
+                break;
+            }
+            cursor = batch.last().unwrap().epoch;
+            seen.extend(batch.into_iter().map(|r| r.epoch));
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn overflow_truncates_and_flags_stale_cursors() {
+        let mut log = ChangeLog::new(3);
+        for epoch in 1..=5 {
+            log.push(record(epoch));
+        }
+        assert_eq!(log.len(), 3);
+        let (records, truncated) = log.since(0, 10);
+        assert!(truncated, "cursor 0 predates the horizon");
+        assert_eq!(records.first().unwrap().epoch, 3);
+        let (_, truncated) = log.since(2, 10);
+        assert!(!truncated, "cursor 2 saw everything dropped");
+    }
+}

@@ -1,0 +1,99 @@
+//! Dependency footprints: the metadata a mutation touches, and the metadata
+//! a cached rewriting was derived from.
+//!
+//! The plan cache's surgical invalidation (see [`crate::cache`]) reduces
+//! "is this cached plan still valid?" to a set-intersection test: a cached
+//! rewriting records the concepts and wrappers it *read* while rewriting,
+//! every steward mutation records the concepts and wrappers it *wrote*, and
+//! the plan survives a mutation iff the two footprints are disjoint. Options
+//! and prefix changes reshape every plan (column names, distinct), so they
+//! carry a `global` footprint that overlaps everything.
+//!
+//! Footprints name concepts by full IRI text and wrappers by their local
+//! name (`w1`) — the same representations [`crate::journal::MutationOp`]
+//! stores, so the overlap test never needs the ontology.
+
+use std::collections::BTreeSet;
+
+/// The set of metadata a mutation writes or a plan reads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Concept IRIs (full text). A plan's footprint includes each walk
+    /// concept's taxonomic closure (sub- and superconcepts), because
+    /// coverage and identifier resolution consult both directions.
+    pub concepts: BTreeSet<String>,
+    /// Wrapper local names.
+    pub wrappers: BTreeSet<String>,
+    /// Touches every plan regardless of sets (options, prefixes).
+    pub global: bool,
+}
+
+impl Footprint {
+    /// The footprint that overlaps every other footprint.
+    pub fn global() -> Footprint {
+        Footprint {
+            global: true,
+            ..Footprint::default()
+        }
+    }
+
+    /// A footprint over the given concept IRIs.
+    pub fn concepts<I: IntoIterator<Item = String>>(concepts: I) -> Footprint {
+        Footprint {
+            concepts: concepts.into_iter().collect(),
+            ..Footprint::default()
+        }
+    }
+
+    /// True when the two footprints share a concept or a wrapper, or either
+    /// is global. An empty footprint overlaps nothing.
+    pub fn overlaps(&self, other: &Footprint) -> bool {
+        if self.global || other.global {
+            return true;
+        }
+        self.concepts.intersection(&other.concepts).next().is_some()
+            || self.wrappers.intersection(&other.wrappers).next().is_some()
+    }
+
+    /// True when the footprint touches nothing (e.g. `add_source`, which
+    /// creates a node no rewriting ever reads).
+    pub fn is_empty(&self) -> bool {
+        !self.global && self.concepts.is_empty() && self.wrappers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(concepts: &[&str], wrappers: &[&str]) -> Footprint {
+        Footprint {
+            concepts: concepts.iter().map(|s| s.to_string()).collect(),
+            wrappers: wrappers.iter().map(|s| s.to_string()).collect(),
+            global: false,
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_overlap() {
+        assert!(!fp(&["A"], &["w1"]).overlaps(&fp(&["B"], &["w2"])));
+        assert!(fp(&["A"], &[]).overlaps(&fp(&["A", "B"], &[])));
+        assert!(fp(&[], &["w1"]).overlaps(&fp(&[], &["w1"])));
+    }
+
+    #[test]
+    fn global_overlaps_everything_even_empty() {
+        assert!(Footprint::global().overlaps(&Footprint::default()));
+        assert!(fp(&["A"], &[]).overlaps(&Footprint::global()));
+        assert!(Footprint::global().overlaps(&Footprint::global()));
+    }
+
+    #[test]
+    fn empty_overlaps_nothing_but_global() {
+        let empty = Footprint::default();
+        assert!(empty.is_empty());
+        assert!(!empty.overlaps(&fp(&["A"], &["w1"])));
+        assert!(!empty.overlaps(&Footprint::default()));
+        assert!(empty.overlaps(&Footprint::global()));
+    }
+}

@@ -22,6 +22,7 @@
 //! version gates compatibility.
 
 use crate::error::MdmError;
+use crate::footprint::Footprint;
 use crate::mapping::MappingBuilder;
 use crate::mdm::Mdm;
 use crate::rewrite::RewriteOptions;
@@ -358,6 +359,128 @@ impl MutationOp {
                 });
                 Ok(())
             }
+        }
+    }
+
+    /// The dependency footprint this mutation *writes*: which concepts and
+    /// wrappers it touches. The plan cache invalidates a cached rewriting
+    /// only when a mutation's footprint intersects the plan's read
+    /// footprint (see [`crate::cache`]).
+    ///
+    /// Per-op reasoning:
+    /// * graph definitions touch the concepts they name (a relation or
+    ///   taxonomy edge touches both endpoints);
+    /// * `AddSource` creates a source node no rewriting ever reads — empty;
+    /// * `RegisterWrapper` touches only the (necessarily fresh — duplicate
+    ///   names are rejected) wrapper name: an unmapped wrapper is invisible
+    ///   to rewriting, so this never overlaps an existing plan;
+    /// * `DefineMapping` touches its wrapper plus every concept the mapping
+    ///   covers (coverage is scoped to the mapping's own contour, so the
+    ///   covered-concepts list bounds its effect);
+    /// * prefixes flow into compacted column names and options into plan
+    ///   shape, so both are global.
+    pub fn footprint(&self) -> Footprint {
+        let mut fp = Footprint::default();
+        match self {
+            MutationOp::DefineConcept { concept } => {
+                fp.concepts.insert(concept.clone());
+            }
+            MutationOp::DefineFeature { concept, .. } => {
+                fp.concepts.insert(concept.clone());
+            }
+            MutationOp::DefineRelation { from, to, .. } => {
+                fp.concepts.insert(from.clone());
+                fp.concepts.insert(to.clone());
+            }
+            MutationOp::DefineSubconcept { sub, sup } => {
+                fp.concepts.insert(sub.clone());
+                fp.concepts.insert(sup.clone());
+            }
+            MutationOp::AddSource { .. } => {}
+            MutationOp::RegisterWrapper { wrapper, .. } => {
+                fp.wrappers.insert(wrapper.clone());
+            }
+            MutationOp::DefineMapping {
+                wrapper, concepts, ..
+            } => {
+                fp.wrappers.insert(wrapper.clone());
+                fp.concepts.extend(concepts.iter().cloned());
+            }
+            MutationOp::BindPrefix { .. } | MutationOp::SetOptions { .. } => {
+                fp.global = true;
+            }
+        }
+        fp
+    }
+
+    /// True when a cached plan overlapping *only* mutations of this kind
+    /// can be extended incrementally instead of rewritten from scratch.
+    /// Mappings are immutable once defined (duplicates are rejected), so a
+    /// `DefineMapping` strictly *adds* union branches for its covered
+    /// concepts — the cache re-runs phase (b) for just those concepts and
+    /// re-assembles. Every other overlapping mutation changes inputs the
+    /// reusable fragments were computed from, so it forces a full rewrite.
+    pub fn is_extension(&self) -> bool {
+        matches!(self, MutationOp::DefineMapping { .. })
+    }
+
+    /// One-line human summary for the `/changes` feed and the CLI.
+    pub fn summary(&self) -> String {
+        fn local(text: &str) -> &str {
+            text.rsplit(['/', '#']).next().unwrap_or(text)
+        }
+        match self {
+            MutationOp::DefineConcept { concept } => {
+                format!("concept {}", local(concept))
+            }
+            MutationOp::DefineFeature {
+                concept,
+                feature,
+                identifier,
+            } => format!(
+                "{} {} of {}",
+                if *identifier { "identifier" } else { "feature" },
+                local(feature),
+                local(concept)
+            ),
+            MutationOp::DefineRelation { from, property, to } => {
+                format!(
+                    "relation {} -{}-> {}",
+                    local(from),
+                    local(property),
+                    local(to)
+                )
+            }
+            MutationOp::DefineSubconcept { sub, sup } => {
+                format!("{} subconcept of {}", local(sub), local(sup))
+            }
+            MutationOp::AddSource { name } => format!("source {name}"),
+            MutationOp::RegisterWrapper {
+                source,
+                wrapper,
+                version,
+                attributes,
+            } => format!(
+                "wrapper {wrapper} v{version} over {source} ({} attributes)",
+                attributes.len()
+            ),
+            MutationOp::DefineMapping {
+                wrapper, concepts, ..
+            } => format!(
+                "mapping {wrapper} covering {}",
+                concepts
+                    .iter()
+                    .map(|c| local(c))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            MutationOp::BindPrefix { prefix, namespace } => {
+                format!("prefix {prefix}: <{namespace}>")
+            }
+            MutationOp::SetOptions {
+                distinct,
+                max_branches,
+            } => format!("options distinct={distinct} max_branches={max_branches}"),
         }
     }
 

@@ -86,9 +86,11 @@
 
 pub mod assist;
 pub mod cache;
+pub mod changes;
 pub mod durable;
 pub mod error;
 pub mod expansion;
+pub mod footprint;
 pub mod gav;
 pub mod inter;
 pub mod intra;
@@ -110,13 +112,15 @@ pub mod usecase;
 pub mod walk;
 pub mod walk_dsl;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, InvalidationMode, Lookup, PlanCache};
+pub use changes::{ChangeLog, ChangeRecord};
 pub use durable::{MetaStore, RecoveryReport};
 pub use error::MdmError;
+pub use footprint::Footprint;
 pub use journal::{JournalSink, MutationOp};
 pub use mdm::Mdm;
 pub use mdm_store::FsyncPolicy;
 pub use ontology::BdiOntology;
 pub use query::{Completeness, DegradedAnswer, DroppedBranch, QueryAnswer};
-pub use rewrite::{rewrite_walk, RewriteOptions, Rewriting};
+pub use rewrite::{rewrite_walk, RewriteArtifacts, RewriteOptions, Rewriting};
 pub use walk::Walk;

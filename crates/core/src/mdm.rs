@@ -2,6 +2,7 @@
 //! (§2): (a) definition of the global graph, (b) registration of wrappers,
 //! (c) definition of LAV mappings, (d) querying the global graph.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use mdm_rdf::term::Iri;
@@ -12,16 +13,21 @@ use mdm_relational::{
 };
 use mdm_wrappers::{FaultPlan, Wrapper, WrapperCatalog};
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheStats, InvalidationMode, Lookup, PlanCache};
+use crate::changes::{ChangeLog, ChangeRecord, DEFAULT_CHANGELOG_CAPACITY};
 use crate::error::MdmError;
 use crate::gav::GavMapping;
+use crate::intra::partial_walks;
 use crate::journal::{JournalSink, MutationOp};
 use crate::mapping::MappingBuilder;
 use crate::ontology::BdiOntology;
 use crate::query::{answer_walk_with, execute_degraded, DegradedAnswer, QueryAnswer};
 use crate::release::{register_source, register_wrapper, Registration};
 use crate::render;
-use crate::rewrite::{rewrite_walk, RewriteOptions, Rewriting};
+use crate::rewrite::{
+    assemble, rewrite_walk, rewrite_walk_with_artifacts, RewriteArtifacts, RewriteOptions,
+    Rewriting,
+};
 use crate::walk::Walk;
 
 /// Outcome of onboarding one wrapper via [`Mdm::onboard_source`].
@@ -78,6 +84,10 @@ pub struct Mdm {
     /// a [`MutationOp`] stamped with the post-mutation epoch. `None` (the
     /// default) keeps the instance purely in-memory.
     journal: Option<Arc<dyn JournalSink>>,
+    /// The evolution changefeed: a bounded history of committed mutations
+    /// with their footprints, serving `GET /changes?since=epoch` and the
+    /// CLI `changes` command on every role (see [`crate::changes`]).
+    changes: ChangeLog,
 }
 
 impl Default for Mdm {
@@ -103,6 +113,7 @@ impl Mdm {
             stats: mdm_relational::stats::global(),
             optimize: OptimizeMode::default(),
             journal: None,
+            changes: ChangeLog::new(DEFAULT_CHANGELOG_CAPACITY),
         }
     }
 
@@ -223,10 +234,6 @@ impl Mdm {
         self.plan_cache.stats()
     }
 
-    fn touch(&mut self) {
-        self.epoch += 1;
-    }
-
     /// Attaches (or detaches) the durability sink. Replay attaches it only
     /// *after* recovery completes, so replayed mutations never re-journal.
     pub fn set_journal(&mut self, sink: Option<Arc<dyn JournalSink>>) {
@@ -238,14 +245,50 @@ impl Mdm {
         self.journal.as_ref()
     }
 
-    /// Hands one applied mutation to the journal, stamped with the epoch the
-    /// mutation produced. A failing sink does not undo the in-memory change;
-    /// the sink reports the durability loss through its own health surface
+    /// Commits one successfully applied mutation: bumps the metadata epoch,
+    /// feeds the plan cache's invalidation log (which sweeps overlapping
+    /// entries and slides disjoint ones forward), appends the changefeed
+    /// record, and hands the op to the journal. Every steward mutator
+    /// funnels through here, so the four surfaces cannot drift.
+    ///
+    /// A failing journal sink does not undo the in-memory change; the sink
+    /// reports the durability loss through its own health surface
     /// (`/healthz` flips to `degraded`).
-    fn record(&self, op: MutationOp) {
+    fn commit(&mut self, op: MutationOp) {
+        self.epoch += 1;
+        let footprint = op.footprint();
+        let extension = op.is_extension();
+        self.plan_cache
+            .note_mutation(self.epoch, footprint.clone(), extension);
+        self.changes.push(ChangeRecord {
+            epoch: self.epoch,
+            kind: op.kind(),
+            summary: op.summary(),
+            footprint,
+            extension,
+        });
         if let Some(sink) = &self.journal {
             let _ = sink.record(&op, self.epoch);
         }
+    }
+
+    /// Changefeed records with `epoch > since`, oldest first, at most
+    /// `limit`; the boolean reports cursor truncation (see
+    /// [`ChangeLog::since`]).
+    pub fn changes_since(&self, since: u64, limit: usize) -> (Vec<ChangeRecord>, bool) {
+        self.changes.since(since, limit)
+    }
+
+    /// Switches the plan cache between surgical (footprint-interval) and
+    /// coarse (epoch-equality) invalidation — the A/B knob for the churn
+    /// experiment.
+    pub fn set_invalidation_mode(&self, mode: InvalidationMode) {
+        self.plan_cache.set_invalidation_mode(mode);
+    }
+
+    /// The plan cache's active invalidation mode.
+    pub fn invalidation_mode(&self) -> InvalidationMode {
+        self.plan_cache.invalidation_mode()
     }
 
     /// Raises the epoch to at least `floor`. A freshly restored [`Mdm`]
@@ -275,16 +318,14 @@ impl Mdm {
             max_branches: options.max_branches as u64,
         };
         self.options = options;
-        self.touch();
-        self.record(op);
+        self.commit(op);
     }
 
     /// Binds a rendering prefix on the underlying ontology. Prefixes flow
     /// into compacted column names, hence into plans: epoch bump.
     pub(crate) fn bind_prefix_internal(&mut self, prefix: &str, namespace: &str) {
         self.ontology.bind_prefix(prefix, namespace);
-        self.touch();
-        self.record(MutationOp::BindPrefix {
+        self.commit(MutationOp::BindPrefix {
             prefix: prefix.to_string(),
             namespace: namespace.to_string(),
         });
@@ -297,8 +338,7 @@ impl Mdm {
     /// Declares a concept.
     pub fn define_concept(&mut self, concept: &Iri) -> Result<(), MdmError> {
         self.ontology.add_concept(concept)?;
-        self.touch();
-        self.record(MutationOp::DefineConcept {
+        self.commit(MutationOp::DefineConcept {
             concept: concept.to_string(),
         });
         Ok(())
@@ -307,8 +347,7 @@ impl Mdm {
     /// Declares a feature of a concept.
     pub fn define_feature(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
         self.ontology.add_feature(concept, feature)?;
-        self.touch();
-        self.record(MutationOp::DefineFeature {
+        self.commit(MutationOp::DefineFeature {
             concept: concept.to_string(),
             feature: feature.to_string(),
             identifier: false,
@@ -319,8 +358,7 @@ impl Mdm {
     /// Declares the identifier feature of a concept.
     pub fn define_identifier(&mut self, concept: &Iri, feature: &Iri) -> Result<(), MdmError> {
         self.ontology.add_identifier(concept, feature)?;
-        self.touch();
-        self.record(MutationOp::DefineFeature {
+        self.commit(MutationOp::DefineFeature {
             concept: concept.to_string(),
             feature: feature.to_string(),
             identifier: true,
@@ -336,8 +374,7 @@ impl Mdm {
         to: &Iri,
     ) -> Result<(), MdmError> {
         self.ontology.add_relation(from, property, to)?;
-        self.touch();
-        self.record(MutationOp::DefineRelation {
+        self.commit(MutationOp::DefineRelation {
             from: from.to_string(),
             property: property.to_string(),
             to: to.to_string(),
@@ -348,8 +385,7 @@ impl Mdm {
     /// Declares a concept taxonomy edge.
     pub fn define_subconcept(&mut self, sub: &Iri, sup: &Iri) -> Result<(), MdmError> {
         self.ontology.add_subconcept(sub, sup)?;
-        self.touch();
-        self.record(MutationOp::DefineSubconcept {
+        self.commit(MutationOp::DefineSubconcept {
             sub: sub.to_string(),
             sup: sup.to_string(),
         });
@@ -363,8 +399,7 @@ impl Mdm {
     /// Registers a data source.
     pub fn add_source(&mut self, name: &str) -> Result<Iri, MdmError> {
         let iri = register_source(&mut self.ontology, name)?;
-        self.touch();
-        self.record(MutationOp::AddSource {
+        self.commit(MutationOp::AddSource {
             name: name.to_string(),
         });
         Ok(iri)
@@ -425,8 +460,7 @@ impl Mdm {
     ) -> Result<Registration, MdmError> {
         let registration =
             register_wrapper(&mut self.ontology, source, wrapper, version, attributes)?;
-        self.touch();
-        self.record(MutationOp::RegisterWrapper {
+        self.commit(MutationOp::RegisterWrapper {
             source: source.to_string(),
             wrapper: wrapper.to_string(),
             version,
@@ -490,8 +524,7 @@ impl Mdm {
     pub fn define_mapping(&mut self, builder: MappingBuilder) -> Result<Iri, MdmError> {
         let op = MutationOp::from_mapping(&builder);
         let graph = builder.apply(&mut self.ontology)?;
-        self.touch();
-        self.record(op);
+        self.commit(op);
         Ok(graph)
     }
 
@@ -505,20 +538,85 @@ impl Mdm {
         rewrite_walk(&self.ontology, walk, &self.options)
     }
 
-    /// Like [`Mdm::rewrite`], but consulting the epoch-keyed plan cache
-    /// first: a walk already rewritten at the current metadata epoch is
-    /// served without re-running the three phases. Safe under concurrency —
-    /// the cache is internally synchronised, so shared (`&self`) callers on
-    /// many threads all benefit.
+    /// Like [`Mdm::rewrite`], but consulting the footprint-validated plan
+    /// cache first: a walk already rewritten at the current metadata epoch —
+    /// or whose cached plan survived every intervening mutation's footprint
+    /// test — is served without re-running the three phases, and a plan
+    /// stale *only* behind new mapping definitions is repaired by
+    /// incremental UCQ extension instead of a cold rewrite. Safe under
+    /// concurrency — the cache is internally synchronised, so shared
+    /// (`&self`) callers on many threads all benefit.
     pub fn rewrite_cached(&self, walk: &Walk) -> Result<Arc<Rewriting>, MdmError> {
         let key = walk.canonical_key();
-        if let Some(plan) = self.plan_cache.lookup(&key, self.epoch) {
-            return Ok(plan);
+        match self.plan_cache.lookup(&key, self.epoch) {
+            Lookup::Hit(plan) => Ok(plan),
+            Lookup::Extend {
+                artifacts,
+                affected,
+                ..
+            } => match self.extend_rewriting(walk, &artifacts, &affected) {
+                Ok((rewriting, extended)) => {
+                    let rewriting = Arc::new(rewriting);
+                    self.plan_cache.insert_extended(
+                        key,
+                        self.epoch,
+                        Arc::clone(&rewriting),
+                        Arc::new(extended),
+                    );
+                    Ok(rewriting)
+                }
+                // Extension is an optimization, never a correctness
+                // dependency: any failure falls back to the cold path.
+                Err(_) => self.rewrite_cold(walk, key),
+            },
+            Lookup::Miss => self.rewrite_cold(walk, key),
         }
-        let rewriting = Arc::new(rewrite_walk(&self.ontology, walk, &self.options)?);
-        self.plan_cache
-            .insert(key, self.epoch, Arc::clone(&rewriting));
+    }
+
+    /// The cold path of [`Mdm::rewrite_cached`]: full three-phase rewrite,
+    /// cached with its artifacts so later mutations can validate or extend
+    /// it surgically.
+    fn rewrite_cold(&self, walk: &Walk, key: String) -> Result<Arc<Rewriting>, MdmError> {
+        let (rewriting, artifacts) =
+            rewrite_walk_with_artifacts(&self.ontology, walk, &self.options)?;
+        let rewriting = Arc::new(rewriting);
+        self.plan_cache.insert_with_artifacts(
+            key,
+            self.epoch,
+            Arc::clone(&rewriting),
+            Arc::new(artifacts),
+        );
         Ok(rewriting)
+    }
+
+    /// Incremental UCQ extension: re-runs the intra-concept phase (b) only
+    /// for walk concepts whose taxonomic closure intersects the concepts
+    /// the intervening mappings cover, reuses the cached phase (a)/(b)
+    /// outputs for everything else, and re-assembles. [`assemble`] is
+    /// deterministic in its inputs, so the result is byte-identical to a
+    /// cold rewrite at the same epoch — only cheaper.
+    fn extend_rewriting(
+        &self,
+        walk: &Walk,
+        artifacts: &RewriteArtifacts,
+        affected: &BTreeSet<String>,
+    ) -> Result<(Rewriting, RewriteArtifacts), MdmError> {
+        let expanded = artifacts.expanded.clone();
+        let mut alternatives = artifacts.alternatives.clone();
+        for concept in expanded.walk.concepts() {
+            let touched = std::iter::once(concept.clone())
+                .chain(self.ontology.subconcepts_of(concept))
+                .chain(self.ontology.superconcepts_of(concept))
+                .any(|related| affected.contains(&related.to_string()));
+            if touched {
+                let features = expanded.walk.features_of(concept);
+                alternatives.insert(
+                    concept.clone(),
+                    partial_walks(&self.ontology, concept, features)?,
+                );
+            }
+        }
+        assemble(&self.ontology, walk, expanded, alternatives, &self.options)
     }
 
     /// Applies the configured optimization mode to one plan, consulting the
@@ -757,6 +855,7 @@ impl Mdm {
             stats: mdm_relational::stats::global(),
             optimize: OptimizeMode::default(),
             journal: None,
+            changes: ChangeLog::new(DEFAULT_CHANGELOG_CAPACITY),
         })
     }
 }

@@ -8,9 +8,10 @@ use mdm_relational::schema::ColumnRef;
 use mdm_relational::{Expr, Plan};
 
 use crate::error::MdmError;
-use crate::expansion::expand;
+use crate::expansion::{expand, ExpandedWalk};
+use crate::footprint::Footprint;
 use crate::inter::{generate_ucq, ConjunctiveQuery, QualifiedColumn};
-use crate::intra::partial_walks;
+use crate::intra::{partial_walks, PartialWalk};
 use crate::ontology::BdiOntology;
 use crate::sparql_gen;
 use crate::walk::Walk;
@@ -102,12 +103,41 @@ impl Rewriting {
     }
 }
 
+/// The reusable intermediate state of one rewrite, cached alongside the
+/// plan so evolution can *extend* it instead of recomputing everything.
+///
+/// Phase (a) and the per-concept phase (b) outputs are independent per
+/// concept; when a new mapping lands for one concept, the cache re-runs
+/// phase (b) for that concept only and re-assembles with [`assemble`] —
+/// which, being deterministic, yields byte-identical output to a cold
+/// rewrite at the same metadata epoch.
+#[derive(Clone, Debug)]
+pub struct RewriteArtifacts {
+    /// Phase (a) output: the walk with identifiers injected.
+    pub expanded: ExpandedWalk,
+    /// Phase (b) output: partial walks per walk concept.
+    pub alternatives: BTreeMap<Iri, Vec<PartialWalk>>,
+    /// What the rewrite read: each walk concept's taxonomic closure plus
+    /// every wrapper appearing in the UCQ (see [`Footprint`]).
+    pub footprint: Footprint,
+}
+
 /// Runs the three phases and builds the plan.
 pub fn rewrite_walk(
     ontology: &BdiOntology,
     walk: &Walk,
     options: &RewriteOptions,
 ) -> Result<Rewriting, MdmError> {
+    rewrite_walk_with_artifacts(ontology, walk, options).map(|(rewriting, _)| rewriting)
+}
+
+/// Like [`rewrite_walk`], but also returning the reusable intermediate
+/// artifacts and the read footprint — what the plan cache stores.
+pub fn rewrite_walk_with_artifacts(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    options: &RewriteOptions,
+) -> Result<(Rewriting, RewriteArtifacts), MdmError> {
     // Phase (a): query expansion.
     let expanded = expand(walk, ontology)?;
 
@@ -118,6 +148,21 @@ pub fn rewrite_walk(
         alternatives.insert(concept.clone(), partial_walks(ontology, concept, features)?);
     }
 
+    assemble(ontology, walk, expanded, alternatives, options)
+}
+
+/// Phase (c) + relational-algebra assembly over precomputed phase (a)/(b)
+/// outputs. Deterministic in its inputs: `generate_ucq` enumerates and
+/// sorts branches canonically, and plan construction is purely structural —
+/// so re-assembling with partially reused `alternatives` produces exactly
+/// the plan a cold rewrite would.
+pub fn assemble(
+    ontology: &BdiOntology,
+    walk: &Walk,
+    expanded: ExpandedWalk,
+    alternatives: BTreeMap<Iri, Vec<PartialWalk>>,
+    options: &RewriteOptions,
+) -> Result<(Rewriting, RewriteArtifacts), MdmError> {
     // Phase (c): inter-concept generation.
     let queries = generate_ucq(ontology, walk, &alternatives, options.max_branches)?;
     if queries.is_empty() {
@@ -145,13 +190,48 @@ pub fn rewrite_walk(
         plan = plan.distinct();
     }
 
-    Ok(Rewriting {
+    let footprint = read_footprint(ontology, &expanded, &queries);
+    let rewriting = Rewriting {
         sparql: sparql_gen::walk_to_sparql(ontology, walk),
-        queries,
         plan,
         output_columns,
-        expanded_identifiers: expanded.added_identifiers,
-    })
+        expanded_identifiers: expanded.added_identifiers.clone(),
+        queries,
+    };
+    let artifacts = RewriteArtifacts {
+        expanded,
+        alternatives,
+        footprint,
+    };
+    Ok((rewriting, artifacts))
+}
+
+/// The metadata this rewrite read: every walk concept with its full
+/// taxonomic closure (coverage iterates subconcepts; identifier and
+/// feature resolution consult superconcepts), plus every wrapper any
+/// union branch scans. Conservative by construction — a mutation disjoint
+/// from this set cannot change the rewrite's output.
+fn read_footprint(
+    ontology: &BdiOntology,
+    expanded: &ExpandedWalk,
+    queries: &[ConjunctiveQuery],
+) -> Footprint {
+    let mut footprint = Footprint::default();
+    for concept in expanded.walk.concepts() {
+        footprint.concepts.insert(concept.to_string());
+        for related in ontology.subconcepts_of(concept) {
+            footprint.concepts.insert(related.to_string());
+        }
+        for related in ontology.superconcepts_of(concept) {
+            footprint.concepts.insert(related.to_string());
+        }
+    }
+    for cq in queries {
+        for atom in &cq.atoms {
+            footprint.wrappers.insert(atom.clone());
+        }
+    }
+    footprint
 }
 
 /// Builds the join tree + projection for one conjunctive query.

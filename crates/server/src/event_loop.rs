@@ -672,7 +672,7 @@ fn try_dispatch(
 }
 
 fn is_stream_route(request: &Request) -> bool {
-    request.path == "/replication/stream"
+    request.path == "/replication/stream" || request.path == "/changes"
 }
 
 #[cfg(test)]

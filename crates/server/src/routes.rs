@@ -23,7 +23,10 @@
 //! | GET  | `/analyst/explain` | `?walk=` — same, for browsers/curl (percent-encoded walk) |
 //! | POST | `/analyst/query`   | `{"walk"}` — executes, returns the table |
 //!
-//! Plus `GET /healthz`, `GET /metrics`, `GET /epoch`, and — when the
+//! Plus `GET /healthz`, `GET /metrics`, `GET /epoch`, the evolution
+//! changefeed `GET /changes?since=N&limit=L&wait_ms=W` (long-poll; every
+//! committed mutation after epoch `N` with its dependency footprint,
+//! served on every role), and — when the
 //! server runs with a durable `data_dir` — `POST /admin/compact`, which
 //! folds the journal into a fresh snapshot generation, and the replication
 //! endpoints replicas feed from:
@@ -49,12 +52,12 @@
 //! map exactly like the walk DSL.
 
 use std::sync::atomic::Ordering::SeqCst;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mdm_core::mapping::MappingBuilder;
 use mdm_core::walk::Walk;
 use mdm_core::walk_dsl;
-use mdm_core::{JournalSink, Mdm, MdmError, MetaStore};
+use mdm_core::{ChangeRecord, InvalidationMode, JournalSink, Mdm, MdmError, MetaStore};
 use mdm_dataform::{json, Value};
 use mdm_rdf::term::Iri;
 use mdm_relational::{Deadline, Table};
@@ -78,6 +81,7 @@ const PATHS: &[(&str, &str)] = &[
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/epoch"),
+    ("GET", "/changes"),
     ("GET", "/replication/stream"),
     ("GET", "/replication/wrappers"),
     ("GET", "/replication/wrapper"),
@@ -144,6 +148,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics(state),
         ("GET", "/epoch") => epoch(state),
+        ("GET", "/changes") => changes(state, request),
         ("GET", "/replication/stream") => replication_stream(state, request),
         ("GET", "/replication/wrappers") => replication_wrappers(state),
         ("GET", "/replication/wrapper") => replication_wrapper(state, request),
@@ -383,9 +388,33 @@ fn metrics(state: &AppState) -> Response {
         ("invalidations", Value::int(stats.invalidations as i64)),
         ("evictions", Value::int(stats.evictions as i64)),
         ("reoptimizations", Value::int(stats.reoptimizations as i64)),
+        ("optimized_hits", Value::int(stats.optimized_hits as i64)),
+        (
+            "optimized_misses",
+            Value::int(stats.optimized_misses as i64),
+        ),
         ("entries", Value::int(stats.entries as i64)),
         ("capacity", Value::int(stats.capacity as i64)),
         ("hit_rate", Value::float(stats.hit_rate())),
+    ]);
+    let evolution = Value::object([
+        (
+            "invalidation_mode",
+            Value::string(match mdm.invalidation_mode() {
+                InvalidationMode::Surgical => "surgical",
+                InvalidationMode::Coarse => "coarse",
+            }),
+        ),
+        (
+            "surgical_invalidations",
+            Value::int(stats.surgical_invalidations as i64),
+        ),
+        ("survivals", Value::int(stats.survivals as i64)),
+        (
+            "incremental_extensions",
+            Value::int(stats.incremental_extensions as i64),
+        ),
+        ("full_rewrites", Value::int(stats.full_rewrites as i64)),
     ]);
     let availability = Value::object([
         ("shed_total", Value::int(state.shed.load(Relaxed) as i64)),
@@ -515,6 +544,7 @@ fn metrics(state: &AppState) -> Response {
         ),
         ("workers", Value::int(state.workers as i64)),
         ("plan_cache", cache),
+        ("evolution", evolution),
         ("availability", availability),
         ("pool", pool),
         ("data_plane", data_plane),
@@ -610,6 +640,113 @@ fn metrics(state: &AppState) -> Response {
         ]),
     ));
     ok_json(Value::object(fields))
+}
+
+/// Most changefeed records shipped per `/changes` response; a lagging
+/// cursor loops until a response comes back empty.
+const MAX_CHANGE_RECORDS: usize = 1024;
+
+/// One changefeed record as `/changes` serves it: the epoch cursor, the op
+/// kind and summary, and the dependency-footprint digest clients use to
+/// decide which of their own derived artifacts a mutation touches.
+fn change_value(record: &ChangeRecord) -> Value {
+    Value::object([
+        ("epoch", Value::int(record.epoch as i64)),
+        ("kind", Value::string(record.kind)),
+        ("summary", Value::string(record.summary.as_str())),
+        ("extension", Value::Bool(record.extension)),
+        (
+            "footprint",
+            Value::object([
+                (
+                    "concepts",
+                    Value::array(
+                        record
+                            .footprint
+                            .concepts
+                            .iter()
+                            .map(|c| Value::string(c.as_str())),
+                    ),
+                ),
+                (
+                    "wrappers",
+                    Value::array(
+                        record
+                            .footprint
+                            .wrappers
+                            .iter()
+                            .map(|w| Value::string(w.as_str())),
+                    ),
+                ),
+                ("global", Value::Bool(record.footprint.global)),
+            ]),
+        ),
+    ])
+}
+
+/// `GET /changes?since=N&limit=L&wait_ms=W`: the evolution changefeed —
+/// every committed steward mutation after epoch `N`, oldest first, with
+/// its dependency footprint. Serves on every role (replica replay commits
+/// through the same mutators, so a replica's feed mirrors its primary's).
+///
+/// A caught-up cursor long-polls: with `wait_ms > 0` the request parks
+/// (on the durable store's condvar when one exists, otherwise a short
+/// sleep-poll against the epoch) until a mutation lands or the wait
+/// expires, then answers — possibly empty. `truncated: true` means the
+/// cursor predates the retained horizon and the client should re-sync
+/// from a snapshot instead of trusting the gap.
+fn changes(state: &AppState, request: &Request) -> Response {
+    let params = (|| {
+        Ok((
+            u64_param(request, "since")?,
+            u64_param(request, "limit")?,
+            u64_param(request, "wait_ms")?,
+        ))
+    })();
+    let (since, limit, wait_ms) = match params {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let limit = match limit {
+        0 => MAX_CHANGE_RECORDS,
+        n => (n as usize).min(MAX_CHANGE_RECORDS),
+    };
+    let wait_ms = wait_ms.min(MAX_STREAM_WAIT_MS);
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    let store = state.store();
+    loop {
+        let (records, truncated, epoch, wal_mark) = {
+            let mdm = state.mdm.read().expect("state poisoned");
+            let (records, truncated) = mdm.changes_since(since, limit);
+            // The WAL position is read under the same lock as the feed, so
+            // the long-poll below cannot miss a commit that landed between
+            // "feed is empty" and "start waiting".
+            let wal_mark = store
+                .as_ref()
+                .map(|s| (s.generation(), s.stats().wal_records));
+            (records, truncated, mdm.epoch(), wal_mark)
+        };
+        let now = Instant::now();
+        if !records.is_empty() || truncated || now >= deadline {
+            let next = records.last().map_or(since, |r| r.epoch);
+            return ok_json(Value::object([
+                ("since", Value::int(since as i64)),
+                ("next", Value::int(next as i64)),
+                ("epoch", Value::int(epoch as i64)),
+                ("truncated", Value::Bool(truncated)),
+                ("changes", Value::array(records.iter().map(change_value))),
+            ]));
+        }
+        let remaining = deadline - now;
+        match (&store, wal_mark) {
+            (Some(store), Some((generation, wal_records))) => {
+                store.wait_for_records(generation, wal_records, remaining);
+            }
+            // No durable store to park on (in-memory primary, replica):
+            // poll the feed at a small fixed cadence.
+            _ => std::thread::sleep(remaining.min(Duration::from_millis(25))),
+        }
+    }
 }
 
 /// Folds the journal into a fresh snapshot generation. 409 without a

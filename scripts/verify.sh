@@ -32,7 +32,12 @@ timeout 300 cargo test --release -p mdm-integration-tests --test failover --quie
 echo "==> optimizer suite (release)"
 cargo test --release -p mdm-relational --test prop_optimizer --quiet
 
-echo "==> cargo bench --no-run (benches compile, incl. P14 optimizer_scaling)"
+echo "==> evolution churn suite (release, hard timeout)"
+# Proptest churn scripts plus /changes long-polls: a hang here means a
+# wedged long-poll or a cache livelock, so fail loudly rather than wedge CI.
+timeout 300 cargo test --release -p mdm-integration-tests --test evolution_churn --quiet
+
+echo "==> cargo bench --no-run (benches compile, incl. P15 evolution_churn)"
 cargo bench --workspace --no-run
 
 echo "==> cargo clippy (all targets, -D warnings -D clippy::redundant_clone)"

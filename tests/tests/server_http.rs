@@ -530,5 +530,37 @@ fn plan_cache_hit_rate_and_release_invalidation() {
     let cache = metrics.get("plan_cache").expect("cache stats exported");
     assert!(int_of(cache, "invalidations") >= 1);
     assert_eq!(int_of(cache, "misses"), 2, "the release forces one replan");
+
+    // The optimized-slot probes and the surgical-invalidation counters are
+    // exported on the same scrape.
+    for field in ["optimized_hits", "optimized_misses"] {
+        assert!(
+            cache.get(field).and_then(Value::as_number).is_some(),
+            "plan_cache misses numeric '{field}': {cache:?}"
+        );
+    }
+    let evolution = metrics
+        .get("evolution")
+        .expect("evolution counters exported");
+    assert_eq!(
+        evolution.get("invalidation_mode").and_then(Value::as_str),
+        Some("surgical"),
+        "surgical invalidation is the default: {evolution:?}"
+    );
+    for field in [
+        "surgical_invalidations",
+        "survivals",
+        "incremental_extensions",
+        "full_rewrites",
+    ] {
+        assert!(
+            evolution.get(field).and_then(Value::as_number).is_some(),
+            "evolution misses numeric '{field}': {evolution:?}"
+        );
+    }
+    assert!(
+        int_of(evolution, "full_rewrites") >= 1,
+        "the cold compiles above must be counted: {evolution:?}"
+    );
     server.shutdown();
 }
